@@ -1,0 +1,189 @@
+package trex
+
+import (
+	"fmt"
+	"sort"
+
+	"trex/internal/index"
+	"trex/internal/retrieval"
+	"trex/internal/selfmanage"
+)
+
+// WorkloadQuery is one entry of a self-management workload
+// (Definition 4.1 in the paper): a NEXI query with its frequency and the
+// k its users typically ask for.
+type WorkloadQuery struct {
+	NEXI string
+	Freq float64
+	K    int
+}
+
+// Solver selects the index-selection algorithm.
+type Solver int
+
+const (
+	// SolverGreedy is the paper's 2-approximation (Section 4.2).
+	SolverGreedy Solver = iota
+	// SolverLP is the paper's boolean linear program (Section 4.1),
+	// solved exactly; suitable for small workloads.
+	SolverLP
+	// SolverOptimal exhaustively searches assignments honoring list
+	// sharing; only for very small workloads.
+	SolverOptimal
+)
+
+func (s Solver) String() string {
+	switch s {
+	case SolverLP:
+		return "lp"
+	case SolverOptimal:
+		return "optimal"
+	default:
+		return "greedy"
+	}
+}
+
+// AdvisorReport describes a completed self-management run.
+type AdvisorReport struct {
+	// Workload holds the measured per-query costs handed to the solver.
+	Workload *selfmanage.Workload
+	// Plan is the solver's decision.
+	Plan *selfmanage.Plan
+	// DiskBudget is the budget the plan respected.
+	DiskBudget int64
+	// KeptLists and DroppedLists are the physical list keys retained and
+	// reclaimed.
+	KeptLists    []string
+	DroppedLists []string
+	// DroppedEntries counts entries deleted during reclamation.
+	DroppedEntries int
+}
+
+type listInfo struct {
+	kind index.ListKind
+	term string
+	sid  uint32
+}
+
+func listKey(kind index.ListKind, term string, sid uint32) string {
+	return fmt.Sprintf("%c/%s/%d", byte(kind), term, sid)
+}
+
+// SelfManage measures the workload's queries under all three strategies,
+// chooses which redundant lists to keep under the disk budget using the
+// selected solver, and reclaims the rest — the full self-management cycle
+// of Section 4.
+//
+// Measurement works the way the paper prescribes: the lists each query
+// would need are materialized (via ERA), the three strategies are run, and
+// "the actual time savings and disk space ... measured experimentally and
+// assigned in the formulas". Costs use the deterministic Stats.CostProxy
+// so plans are reproducible. Lists the plan does not keep are dropped,
+// including previously existing lists the workload references; lists
+// never referenced by the workload are left untouched.
+func (e *Engine) SelfManage(queries []WorkloadQuery, disk int64, solver Solver) (*AdvisorReport, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("trex: empty workload")
+	}
+	w := &selfmanage.Workload{}
+	lists := make(map[string]listInfo)
+
+	for _, wq := range queries {
+		tr, err := e.Translate(wq.NEXI)
+		if err != nil {
+			return nil, fmt.Errorf("trex: workload query %q: %w", wq.NEXI, err)
+		}
+		sids, terms := flatten(tr)
+		sc, err := e.store.NewScorer(terms)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := retrieval.Materialize(e.store, sids, terms, sc, index.KindRPL, index.KindERPL); err != nil {
+			return nil, err
+		}
+		k := wq.K
+		if k <= 0 {
+			k = 10
+		}
+		_, eraStats, err := retrieval.ExhaustiveTopK(e.store, sids, terms, sc, k)
+		if err != nil {
+			return nil, err
+		}
+		_, taStats, err := retrieval.TA(e.store, sids, terms, sc, k)
+		if err != nil {
+			return nil, err
+		}
+		_, mergeStats, err := retrieval.Merge(e.store, sids, terms, k)
+		if err != nil {
+			return nil, err
+		}
+
+		spec := selfmanage.QuerySpec{
+			ID:        wq.NEXI,
+			Freq:      wq.Freq,
+			TimeERA:   eraStats.CostProxy(),
+			TimeTA:    taStats.CostProxy(),
+			TimeMerge: mergeStats.CostProxy(),
+		}
+		for _, term := range terms {
+			for _, sid := range sids {
+				for _, kind := range []index.ListKind{index.KindRPL, index.KindERPL} {
+					_, bytes, err := e.store.BuiltSize(kind, term, sid)
+					if err != nil {
+						return nil, err
+					}
+					key := listKey(kind, term, sid)
+					lists[key] = listInfo{kind: kind, term: term, sid: sid}
+					ref := selfmanage.ListRef{Key: key, Bytes: bytes}
+					if kind == index.KindRPL {
+						spec.TALists = append(spec.TALists, ref)
+					} else {
+						spec.MergeLists = append(spec.MergeLists, ref)
+					}
+				}
+			}
+		}
+		w.Queries = append(w.Queries, spec)
+	}
+	w.Normalize()
+
+	var plan *selfmanage.Plan
+	var err error
+	switch solver {
+	case SolverLP:
+		plan, err = selfmanage.LP(w, disk)
+	case SolverOptimal:
+		plan, err = selfmanage.Optimal(w, disk)
+	default:
+		plan, err = selfmanage.Greedy(w, disk)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	keep := make(map[string]bool, len(plan.Lists))
+	for _, k := range plan.Lists {
+		keep[k] = true
+	}
+	report := &AdvisorReport{Workload: w, Plan: plan, DiskBudget: disk}
+	var dropKeys []string
+	for key := range lists {
+		if keep[key] {
+			report.KeptLists = append(report.KeptLists, key)
+		} else {
+			dropKeys = append(dropKeys, key)
+		}
+	}
+	sort.Strings(report.KeptLists)
+	sort.Strings(dropKeys)
+	for _, key := range dropKeys {
+		info := lists[key]
+		n, err := e.store.DropList(info.kind, info.term, info.sid)
+		if err != nil {
+			return nil, err
+		}
+		report.DroppedEntries += n
+		report.DroppedLists = append(report.DroppedLists, key)
+	}
+	return report, nil
+}

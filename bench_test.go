@@ -1,0 +1,234 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (Section 5). Each BenchmarkTable1/BenchmarkFigure* target
+// corresponds to one table or figure; sub-benchmarks split methods and k
+// values so `go test -bench` output forms the figure's series.
+//
+// Corpus scale is reduced (hundreds of documents instead of INEX's
+// 17k-660k) so the suite runs in minutes; the DESIGN.md shape targets —
+// who wins, where the crossovers fall — are what these benchmarks verify.
+package trex_test
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"trex"
+	"trex/internal/bench"
+	"trex/internal/corpus"
+	"trex/internal/selfmanage"
+	"trex/internal/summary"
+)
+
+var (
+	pairOnce sync.Once
+	pair     *bench.EnvPair
+	pairErr  error
+)
+
+// benchScale shrinks corpora under -short or the TREX_BENCH_SCALE env.
+func benchScale() float64 {
+	if s := os.Getenv("TREX_BENCH_SCALE"); s != "" {
+		var f float64
+		if _, err := fmt.Sscanf(s, "%f", &f); err == nil && f > 0 {
+			return f
+		}
+	}
+	return 0.5
+}
+
+func envPair(b *testing.B) *bench.EnvPair {
+	b.Helper()
+	pairOnce.Do(func() {
+		pair, pairErr = bench.NewEnvPair(benchScale())
+	})
+	if pairErr != nil {
+		b.Fatal(pairErr)
+	}
+	return pair
+}
+
+// BenchmarkSummarySizes regenerates the Section 2.1 statistics: node
+// counts of the tag / incoming summaries with and without aliases.
+func BenchmarkSummarySizes(b *testing.B) {
+	p := envPair(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.SummarySizes(p.IEEE.Col)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				unit := strings.ReplaceAll(r.Summary, " ", "-") + "-nodes"
+				b.ReportMetric(float64(r.Nodes), unit)
+			}
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1: per-query translation sizes and
+// answer counts.
+func BenchmarkTable1(b *testing.B) {
+	p := envPair(b)
+	rows, err := bench.Table1(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, row := range rows {
+		row := row
+		b.Run("Q"+row.ID, func(b *testing.B) {
+			env := p.EnvFor(bench.QueryByID(row.ID))
+			for i := 0; i < b.N; i++ {
+				if _, err := env.Engine.Query(row.NEXI, 0, trex.MethodERA); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(row.NumSIDs), "sids")
+			b.ReportMetric(float64(row.NumTerms), "terms")
+			b.ReportMetric(float64(row.NumAnswers), "answers")
+		})
+	}
+}
+
+// benchFigure runs one paper figure: methods x k sweep for a query.
+func benchFigure(b *testing.B, id string) {
+	p := envPair(b)
+	q := bench.QueryByID(id)
+	env := p.EnvFor(q)
+	if err := env.Ensure(q.NEXI); err != nil {
+		b.Fatal(err)
+	}
+	for _, k := range []int{1, 10, 100, 1000} {
+		for _, m := range []trex.Method{trex.MethodERA, trex.MethodTA, trex.MethodMerge} {
+			name := fmt.Sprintf("%s/k=%d", m, k)
+			b.Run(name, func(b *testing.B) {
+				var lastCost float64
+				for i := 0; i < b.N; i++ {
+					res, err := env.Engine.Query(q.NEXI, k, m)
+					if err != nil {
+						b.Fatal(err)
+					}
+					lastCost = res.Stats.CostProxy()
+					if m == trex.MethodTA {
+						b.ReportMetric(float64(res.Stats.ITATime().Nanoseconds()), "ita-ns")
+					}
+				}
+				b.ReportMetric(lastCost, "cost")
+			})
+		}
+	}
+}
+
+// BenchmarkFigure4Q202 and the rest regenerate Figures 4-6, one per
+// paper query.
+func BenchmarkFigure4Q202(b *testing.B) { benchFigure(b, "202") }
+func BenchmarkFigure4Q203(b *testing.B) { benchFigure(b, "203") }
+func BenchmarkFigure5Q260(b *testing.B) { benchFigure(b, "260") }
+func BenchmarkFigure5Q270(b *testing.B) { benchFigure(b, "270") }
+func BenchmarkFigure6Q233(b *testing.B) { benchFigure(b, "233") }
+func BenchmarkFigure6Q290(b *testing.B) { benchFigure(b, "290") }
+func BenchmarkFigure6Q292(b *testing.B) { benchFigure(b, "292") }
+
+// BenchmarkMaterialize measures redundant-list construction (the paper's
+// "TReX uses ERA for generating the RPLs and ERPLs tables").
+func BenchmarkMaterialize(b *testing.B) {
+	col := corpus.GenerateIEEE(100, 5)
+	const q = `//article//sec[about(., ontologies case study)]`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		eng, err := trex.CreateMemory(col, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := eng.Materialize(q); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		eng.Close()
+		b.StartTimer()
+	}
+}
+
+// BenchmarkAdvisor measures the index-selection solvers on synthetic
+// workloads (Section 4; validates the greedy/LP relationship at scale).
+func BenchmarkAdvisor(b *testing.B) {
+	mkWorkload := func(n int) *selfmanage.Workload {
+		w := &selfmanage.Workload{}
+		for i := 0; i < n; i++ {
+			w.Queries = append(w.Queries, selfmanage.QuerySpec{
+				ID:        fmt.Sprintf("q%d", i),
+				Freq:      1.0 / float64(n),
+				TimeERA:   float64(100 + i*37%900),
+				TimeMerge: float64(10 + i*13%200),
+				TimeTA:    float64(5 + i*29%300),
+				MergeLists: []selfmanage.ListRef{
+					{Key: fmt.Sprintf("e%d", i), Bytes: int64(100 + i*17%400)},
+				},
+				TALists: []selfmanage.ListRef{
+					{Key: fmt.Sprintf("r%d", i), Bytes: int64(80 + i*23%300)},
+				},
+			})
+		}
+		return w
+	}
+	b.Run("greedy/n=100", func(b *testing.B) {
+		w := mkWorkload(100)
+		for i := 0; i < b.N; i++ {
+			if _, err := selfmanage.Greedy(w, 10000); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("lp/n=14", func(b *testing.B) {
+		w := mkWorkload(14)
+		for i := 0; i < b.N; i++ {
+			if _, err := selfmanage.LP(w, 2000); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("optimal/n=10", func(b *testing.B) {
+		w := mkWorkload(10)
+		for i := 0; i < b.N; i++ {
+			if _, err := selfmanage.Optimal(w, 2000); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkIndexBuild measures BuildBase throughput (the Section 5.1
+// loading step).
+func BenchmarkIndexBuild(b *testing.B) {
+	col := corpus.GenerateIEEE(50, 9)
+	var bytes int64
+	for _, d := range col.Docs {
+		bytes += int64(len(d.Data))
+	}
+	b.SetBytes(bytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng, err := trex.CreateMemory(col, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng.Close()
+	}
+}
+
+// BenchmarkSummaryBuild measures structural summary construction alone.
+func BenchmarkSummaryBuild(b *testing.B) {
+	col := corpus.GenerateIEEE(100, 9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := summary.Build(col, summary.Options{
+			Kind: summary.KindIncoming, Aliases: col.Aliases,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// Command trexadvisor runs the self-managing index selection over a
+// workload file, materializing the chosen RPLs/ERPLs and reclaiming the
+// rest (Section 4 of the paper).
+//
+// The workload file has one query per line:
+//
+//	<freq> <k> <nexi query>
+//	# comments and blank lines are ignored
+//
+// Usage:
+//
+//	trexadvisor -db ./ieee.trexdb -workload queries.txt -disk 10000000 -solver greedy
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"trex"
+)
+
+func parseWorkload(path string) ([]trex.WorkloadQuery, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []trex.WorkloadQuery
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.SplitN(line, " ", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("%s:%d: want '<freq> <k> <query>'", path, lineNo)
+		}
+		freq, err := strconv.ParseFloat(parts[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad frequency: %w", path, lineNo, err)
+		}
+		k, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad k: %w", path, lineNo, err)
+		}
+		out = append(out, trex.WorkloadQuery{NEXI: strings.TrimSpace(parts[2]), Freq: freq, K: k})
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("trexadvisor: ")
+	dbPath := flag.String("db", "", "TReX database file (required)")
+	workloadPath := flag.String("workload", "", "workload file (required)")
+	disk := flag.Int64("disk", 1<<30, "disk budget in bytes for redundant lists")
+	solver := flag.String("solver", "greedy", "solver: greedy, lp, optimal")
+	flag.Parse()
+	if *dbPath == "" || *workloadPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	workload, err := parseWorkload(*workloadPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var sv trex.Solver
+	switch *solver {
+	case "greedy":
+		sv = trex.SolverGreedy
+	case "lp":
+		sv = trex.SolverLP
+	case "optimal":
+		sv = trex.SolverOptimal
+	default:
+		log.Fatalf("unknown solver %q", *solver)
+	}
+	eng, err := trex.Open(*dbPath, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	report, err := eng.SelfManage(workload, *disk, sv)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("solver=%s budget=%d bytes\n", sv, *disk)
+	fmt.Printf("plan: saving=%.1f (cost units), disk used=%d bytes\n",
+		report.Plan.Saving, report.Plan.DiskUsed)
+	for i, q := range workload {
+		fmt.Printf("  %-6s f=%.2f k=%-5d %s\n",
+			report.Plan.Assignments[i], q.Freq, q.K, q.NEXI)
+	}
+	fmt.Printf("kept %d lists, dropped %d lists (%d entries reclaimed)\n",
+		len(report.KeptLists), len(report.DroppedLists), report.DroppedEntries)
+}

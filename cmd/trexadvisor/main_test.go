@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "workload.txt")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseWorkload(t *testing.T) {
+	path := writeTemp(t, `
+# comment line
+0.6 10 //article[about(., xml)]//sec[about(., retrieval)]
+
+0.4 100 //sec[about(., code signing)]
+`)
+	w, err := parseWorkload(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w) != 2 {
+		t.Fatalf("entries = %d, want 2", len(w))
+	}
+	if w[0].Freq != 0.6 || w[0].K != 10 {
+		t.Fatalf("entry 0 = %+v", w[0])
+	}
+	if w[0].NEXI != `//article[about(., xml)]//sec[about(., retrieval)]` {
+		t.Fatalf("entry 0 query = %q", w[0].NEXI)
+	}
+	if w[1].Freq != 0.4 || w[1].K != 100 {
+		t.Fatalf("entry 1 = %+v", w[1])
+	}
+}
+
+func TestParseWorkloadErrors(t *testing.T) {
+	cases := []string{
+		`0.6 //missing-k[about(., x)]`,
+		`notanumber 10 //a[about(., x)]`,
+		`0.5 notanumber //a[about(., x)]`,
+	}
+	for _, c := range cases {
+		path := writeTemp(t, c)
+		if _, err := parseWorkload(path); err == nil {
+			t.Errorf("parseWorkload(%q) succeeded", c)
+		}
+	}
+	if _, err := parseWorkload(filepath.Join(t.TempDir(), "missing.txt")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

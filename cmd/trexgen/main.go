@@ -1,0 +1,48 @@
+// Command trexgen generates a synthetic XML collection (IEEE-journal or
+// Wikipedia style) into a directory, for use with trexload.
+//
+// Usage:
+//
+//	trexgen -style ieee -docs 400 -seed 1 -out ./corpus-ieee
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"trex/internal/corpus"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("trexgen: ")
+	style := flag.String("style", "ieee", "collection style: ieee or wiki")
+	docs := flag.Int("docs", 200, "number of documents to generate")
+	seed := flag.Int64("seed", 1, "generation seed (same seed = same corpus)")
+	out := flag.String("out", "", "output directory (required)")
+	flag.Parse()
+	if *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var col *corpus.Collection
+	switch *style {
+	case "ieee":
+		col = corpus.GenerateIEEE(*docs, *seed)
+	case "wiki":
+		col = corpus.GenerateWiki(*docs, *seed)
+	default:
+		log.Fatalf("unknown style %q (want ieee or wiki)", *style)
+	}
+	if err := corpus.WriteDir(col, *out); err != nil {
+		log.Fatal(err)
+	}
+	var bytes int64
+	for _, d := range col.Docs {
+		bytes += int64(len(d.Data))
+	}
+	fmt.Printf("wrote %d %s documents (%.1f MB) to %s\n",
+		len(col.Docs), *style, float64(bytes)/1e6, *out)
+}

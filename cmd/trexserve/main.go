@@ -1,0 +1,44 @@
+// Command trexserve serves a TReX database over HTTP: a JSON search API
+// plus a minimal HTML page.
+//
+// Usage:
+//
+//	trexserve -db ./ieee.trexdb -addr :8080 [-writes]
+//
+// Endpoints: /search, /explain, /stats, /materialize (with -writes), /.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"trex"
+	"trex/internal/webapi"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("trexserve: ")
+	dbPath := flag.String("db", "", "TReX database file (required)")
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	writes := flag.Bool("writes", false, "enable the /materialize endpoint")
+	flag.Parse()
+	if *dbPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	eng, err := trex.Open(*dbPath, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	srv := webapi.New(eng, *writes)
+	fmt.Printf("serving %s on http://%s (writes=%v)\n", *dbPath, *addr, *writes)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,127 @@
+// Command trexstats inspects a TReX database: table sizes, structural
+// summary contents, collection statistics and the materialized-list
+// catalog.
+//
+// Usage:
+//
+//	trexstats -db ./ieee.trexdb                 # overview
+//	trexstats -db ./ieee.trexdb -summary        # dump summary nodes
+//	trexstats -db ./ieee.trexdb -terms 20       # top terms by frequency
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+
+	"trex"
+	"trex/internal/storage"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("trexstats: ")
+	dbPath := flag.String("db", "", "TReX database file (required)")
+	dumpSummary := flag.Bool("summary", false, "dump all summary nodes")
+	topTerms := flag.Int("terms", 0, "show the N most frequent terms")
+	catalog := flag.Bool("catalog", false, "list materialized RPL/ERPL lists")
+	flag.Parse()
+	if *dbPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	eng, err := trex.Open(*dbPath, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	st, err := eng.Store().CollectionStats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("collection: %d docs, %d elements, avg element %.0f bytes\n",
+		st.NumDocs, st.NumElements, st.AvgElementLen)
+	fmt.Printf("summary: %d nodes (%s)\n", eng.Summary().NumNodes(), eng.Summary().Kind)
+	fmt.Printf("database: %d pages (%.1f MB)\n",
+		eng.DB().PageCount(), float64(eng.DB().PageCount())*storage.PageSize/1e6)
+
+	fmt.Println("\ntables:")
+	for _, name := range eng.DB().Tables() {
+		tree, err := eng.DB().OpenTable(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows, err := tree.Len()
+		if err != nil {
+			log.Fatal(err)
+		}
+		bytes, err := tree.ApproxBytes()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-14s %10d rows %10.2f MB\n", name, rows, float64(bytes)/1e6)
+	}
+
+	if *dumpSummary {
+		fmt.Println("\nsummary nodes (sid, extent size, path):")
+		for _, n := range eng.Summary().Nodes {
+			fmt.Printf("  %5d %8d  %s\n", n.SID, n.ExtentSize, n.XPathExpr())
+		}
+	}
+
+	if *catalog {
+		entries, err := eng.Store().CatalogEntries()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nmaterialized lists (%d):\n", len(entries))
+		for _, e := range entries {
+			fmt.Printf("  %-4s %-20s sid=%-5d %7d entries %9d bytes\n",
+				e.Kind, e.Term, e.SID, e.Entries, e.Bytes)
+		}
+	}
+
+	if *topTerms > 0 {
+		type termRow struct {
+			term string
+			cf   int64
+		}
+		var rows []termRow
+		tree, err := eng.DB().OpenTable("TermStats")
+		if err != nil {
+			log.Fatal(err)
+		}
+		cur := tree.Cursor()
+		ok, err := cur.First()
+		for ; ok; ok, err = cur.Next() {
+			term := string(cur.Key())
+			if strings.HasPrefix(term, "\x00") {
+				continue
+			}
+			cf, err := eng.Store().TermCF(term)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rows = append(rows, termRow{term: term, cf: cf})
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].cf > rows[j].cf })
+		if len(rows) > *topTerms {
+			rows = rows[:*topTerms]
+		}
+		fmt.Printf("\ntop %d terms by collection frequency:\n", len(rows))
+		for _, r := range rows {
+			df, err := eng.Store().TermDF(r.term)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-20s cf=%-8d df=%d\n", r.term, r.cf, df)
+		}
+	}
+}

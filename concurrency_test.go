@@ -1,0 +1,72 @@
+package trex
+
+import (
+	"sync"
+	"testing"
+
+	"trex/internal/index"
+)
+
+// TestConcurrentReaders exercises the documented concurrency contract:
+// any number of concurrent readers. Run with -race.
+func TestConcurrentReaders(t *testing.T) {
+	eng := testEngine(t, 25, 101)
+	queries := []string{
+		`//article//sec[about(., ontologies case study)]`,
+		`//article[about(., xml query evaluation)]`,
+		`//bdy//*[about(., model checking)]`,
+	}
+	for _, q := range queries {
+		if _, err := eng.Materialize(q, index.KindRPL, index.KindERPL); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reference results, single-threaded.
+	want := make(map[string]*Result)
+	for _, q := range queries {
+		r, err := eng.Query(q, 10, MethodERA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[q] = r
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			methods := []Method{MethodERA, MethodTA, MethodMerge, MethodNRA, MethodRace}
+			for i := 0; i < 6; i++ {
+				q := queries[(w+i)%len(queries)]
+				m := methods[(w+i)%len(methods)]
+				r, err := eng.Query(q, 10, m)
+				if err != nil {
+					errs <- err
+					return
+				}
+				ref := want[q]
+				if len(r.Answers) != len(ref.Answers) {
+					errs <- errMismatch(q)
+					return
+				}
+				for j := range ref.Answers {
+					if r.Answers[j] != ref.Answers[j] {
+						errs <- errMismatch(q)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+type errMismatch string
+
+func (e errMismatch) Error() string { return "concurrent result mismatch for " + string(e) }

@@ -1,0 +1,272 @@
+// Package trex is an XML retrieval system with self-managing top-k
+// (summary, keyword) indexes — a from-scratch reproduction of the TReX
+// system (Consens, Gu, Kanza, Rizzolo; ICDE 2007).
+//
+// TReX evaluates vague NEXI queries (keyword search plus structural
+// constraints) over XML collections. It translates each query into sets
+// of summary-node identifiers (sids) and terms using a structural summary,
+// then retrieves ranked elements with one of three strategies:
+//
+//   - ERA: exhaustive scan over the always-present Elements and
+//     PostingLists tables.
+//   - TA: the threshold algorithm over redundant score-ordered RPLs.
+//   - Merge: a positional merge over redundant position-ordered ERPLs.
+//
+// Because no strategy dominates, the engine self-manages which redundant
+// lists to materialize for a given workload under a disk budget
+// (SelfManage), using either an exact boolean-LP solver or a greedy
+// 2-approximation.
+//
+// Quick start:
+//
+//	col := corpus.GenerateIEEE(200, 42)
+//	eng, err := trex.CreateMemory(col, nil)
+//	res, err := eng.Query(`//article[about(., xml)]//sec[about(., query)]`,
+//	    10, trex.MethodAuto)
+package trex
+
+import (
+	"fmt"
+	"sync"
+
+	"trex/internal/corpus"
+	"trex/internal/index"
+	"trex/internal/score"
+	"trex/internal/storage"
+	"trex/internal/summary"
+	"trex/internal/translate"
+)
+
+// Options configures collection building.
+type Options struct {
+	// SummaryKind defaults to the alias incoming summary the paper uses.
+	SummaryKind summary.Kind
+	// K is the suffix length when SummaryKind is summary.KindAK.
+	K int
+	// Aliases overrides the collection's alias mapping (nil keeps it).
+	Aliases map[string]string
+	// CachePages bounds the storage page cache (0 = default).
+	CachePages int
+	// StoreDocuments also persists raw documents into the DB (needed only
+	// if you want Engine.Document to work after reopening).
+	StoreDocuments bool
+	// Stopwords are excluded from indexing and from queries; the list is
+	// persisted so build and query time always agree. Use
+	// index.DefaultStopwords for a standard English list; nil keeps all
+	// terms.
+	Stopwords []string
+	// Scoring selects the relevance formula (default BM25; also
+	// score.ModelLMDirichlet). Persisted, since materialized list scores
+	// embed it.
+	Scoring score.Model
+}
+
+// Engine is an opened TReX collection: storage, index tables and the
+// structural summary.
+type Engine struct {
+	db    *storage.DB
+	store *index.Store
+	sum   *summary.Summary
+	docs  *corpus.DocStore
+	// inflight tracks racing retrieval goroutines (MethodRace) so Close
+	// does not pull the storage out from under a losing racer.
+	inflight sync.WaitGroup
+	// trCache memoizes query translations (guarded by trMu; invalidated
+	// when the summary changes).
+	trMu    sync.Mutex
+	trCache map[string]*translate.Translation
+}
+
+// metaSummaryChunk prefixes the serialized summary chunks in IndexMeta.
+const metaSummaryPrefix = "summary-chunk-"
+
+// Create builds a new on-disk TReX database at path from the collection.
+func Create(path string, col *corpus.Collection, opts *Options) (*Engine, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	db, err := storage.Open(path, &storage.Options{CachePages: opts.CachePages})
+	if err != nil {
+		return nil, err
+	}
+	eng, err := build(db, col, opts)
+	if err != nil {
+		db.Close()
+		return nil, err
+	}
+	if err := db.Flush(); err != nil {
+		db.Close()
+		return nil, err
+	}
+	return eng, nil
+}
+
+// CreateMemory builds an in-memory TReX database from the collection.
+func CreateMemory(col *corpus.Collection, opts *Options) (*Engine, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	db := storage.OpenMemory()
+	eng, err := build(db, col, opts)
+	if err != nil {
+		db.Close()
+		return nil, err
+	}
+	return eng, nil
+}
+
+func build(db *storage.DB, col *corpus.Collection, opts *Options) (*Engine, error) {
+	aliases := col.Aliases
+	if opts.Aliases != nil {
+		aliases = opts.Aliases
+	}
+	sum, err := summary.Build(col, summary.Options{
+		Kind:    opts.SummaryKind,
+		Aliases: aliases,
+		K:       opts.K,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !sum.SafeForRetrieval() {
+		return nil, fmt.Errorf("trex: summary kind %v is unsafe for retrieval over this collection (an extent contains ancestor/descendant pairs); use the incoming summary", opts.SummaryKind)
+	}
+	store, err := index.Open(db)
+	if err != nil {
+		return nil, err
+	}
+	if len(opts.Stopwords) > 0 {
+		if err := store.PutStopwords(opts.Stopwords); err != nil {
+			return nil, err
+		}
+	}
+	if opts.Scoring != score.ModelBM25 {
+		if err := store.PutScoringModel(opts.Scoring); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := index.BuildBase(store, col, sum); err != nil {
+		return nil, err
+	}
+	eng := &Engine{db: db, store: store, sum: sum}
+	if err := eng.saveSummary(); err != nil {
+		return nil, err
+	}
+	if opts.StoreDocuments {
+		ds, err := corpus.OpenDocStore(db)
+		if err != nil {
+			return nil, err
+		}
+		if err := ds.PutCollection(col); err != nil {
+			return nil, err
+		}
+		eng.docs = ds
+	}
+	return eng, nil
+}
+
+// Open reopens an existing TReX database created by Create.
+func Open(path string, opts *Options) (*Engine, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	db, err := storage.Open(path, &storage.Options{CachePages: opts.CachePages})
+	if err != nil {
+		return nil, err
+	}
+	store, err := index.Open(db)
+	if err != nil {
+		db.Close()
+		return nil, err
+	}
+	eng := &Engine{db: db, store: store}
+	if err := eng.loadSummary(); err != nil {
+		db.Close()
+		return nil, fmt.Errorf("trex: %s is not a TReX database: %w", path, err)
+	}
+	if ds, err := corpus.OpenDocStore(db); err == nil {
+		eng.docs = ds
+	}
+	return eng, nil
+}
+
+// Close waits for any in-flight racers, then flushes and closes the
+// underlying database.
+func (e *Engine) Close() error {
+	e.inflight.Wait()
+	return e.db.Close()
+}
+
+// Summary exposes the collection's structural summary.
+func (e *Engine) Summary() *summary.Summary { return e.sum }
+
+// Store exposes the underlying index tables (read-mostly use).
+func (e *Engine) Store() *index.Store { return e.store }
+
+// DB exposes the storage database (for stats and disk accounting).
+func (e *Engine) DB() *storage.DB { return e.db }
+
+// Backup writes a consistent copy of the whole database (all tables, the
+// summary, any materialized lists) to a new file at path; the copy opens
+// directly with trex.Open. Do not run writes concurrently.
+func (e *Engine) Backup(path string) error {
+	return e.db.BackupToFile(path)
+}
+
+// Document returns the raw bytes of a stored document; only available
+// when the engine was built with StoreDocuments.
+func (e *Engine) Document(id int) ([]byte, error) {
+	if e.docs == nil {
+		return nil, fmt.Errorf("trex: documents were not stored (Options.StoreDocuments)")
+	}
+	return e.docs.Get(id)
+}
+
+// summaryChunkSize keeps each chunk under the storage value limit.
+const summaryChunkSize = 3000
+
+func (e *Engine) saveSummary() error {
+	data, err := e.sum.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	for i := 0; ; i++ {
+		lo := i * summaryChunkSize
+		if lo >= len(data) && i > 0 {
+			break
+		}
+		hi := lo + summaryChunkSize
+		if hi > len(data) {
+			hi = len(data)
+		}
+		key := fmt.Sprintf("%s%08d", metaSummaryPrefix, i)
+		if err := e.store.Meta.Put([]byte(key), data[lo:hi]); err != nil {
+			return err
+		}
+		if hi == len(data) {
+			break
+		}
+	}
+	return nil
+}
+
+func (e *Engine) loadSummary() error {
+	cur := e.store.Meta.Cursor()
+	prefix := []byte(metaSummaryPrefix)
+	var data []byte
+	ok, err := cur.SeekPrefix(prefix)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("no stored summary")
+	}
+	for ; ok; ok, err = cur.NextPrefix(prefix) {
+		data = append(data, cur.Value()...)
+	}
+	if err != nil {
+		return err
+	}
+	e.sum = &summary.Summary{}
+	return e.sum.UnmarshalBinary(data)
+}

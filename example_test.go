@@ -1,0 +1,76 @@
+package trex_test
+
+import (
+	"fmt"
+
+	"trex"
+	"trex/internal/corpus"
+	"trex/internal/index"
+)
+
+// ExampleEngine_Query builds a tiny collection and runs a NEXI query.
+func ExampleEngine_Query() {
+	col := &corpus.Collection{Docs: []corpus.Document{
+		{ID: 0, Data: []byte(`<article><sec>xml retrieval systems</sec><sec>other topic</sec></article>`)},
+		{ID: 1, Data: []byte(`<article><sec>databases</sec></article>`)},
+	}}
+	eng, err := trex.CreateMemory(col, nil)
+	if err != nil {
+		panic(err)
+	}
+	defer eng.Close()
+
+	res, err := eng.Query(`//article//sec[about(., xml retrieval)]`, 10, trex.MethodAuto)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("answers: %d, first from doc %d at %s\n",
+		res.TotalAnswers, res.Answers[0].Doc, res.Answers[0].Path)
+	// Output:
+	// answers: 1, first from doc 0 at /article/sec
+}
+
+// ExampleEngine_Materialize enables the top-k strategies for a query.
+func ExampleEngine_Materialize() {
+	col := &corpus.Collection{Docs: []corpus.Document{
+		{ID: 0, Data: []byte(`<article><sec>ranked retrieval</sec></article>`)},
+	}}
+	eng, err := trex.CreateMemory(col, nil)
+	if err != nil {
+		panic(err)
+	}
+	defer eng.Close()
+
+	const q = `//article//sec[about(., ranked retrieval)]`
+	if _, err := eng.Materialize(q, index.KindRPL, index.KindERPL); err != nil {
+		panic(err)
+	}
+	res, err := eng.Query(q, 3, trex.MethodAuto)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("auto picked %s\n", res.Method)
+	// Output:
+	// auto picked ta
+}
+
+// ExampleEngine_Explain shows the evaluation plan for a query.
+func ExampleEngine_Explain() {
+	col := &corpus.Collection{Docs: []corpus.Document{
+		{ID: 0, Data: []byte(`<article><sec>topics here</sec></article>`)},
+	}}
+	eng, err := trex.CreateMemory(col, nil)
+	if err != nil {
+		panic(err)
+	}
+	defer eng.Close()
+
+	ex, err := eng.Explain(`//article[about(., topics)]//sec[about(., here)]`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("sids=%d terms=%d small-k method=%s\n",
+		ex.NumSIDs, ex.NumTerms, ex.MethodAtSmallK)
+	// Output:
+	// sids=2 terms=2 small-k method=era
+}

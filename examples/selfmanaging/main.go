@@ -1,0 +1,66 @@
+// Selfmanaging: the engine measures a workload of top-k queries, decides
+// under a disk budget which redundant lists (RPLs for TA, ERPLs for
+// Merge) to keep, and reclaims the rest — Section 4 of the paper, with
+// both the greedy 2-approximation and the exact boolean-LP solver.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"trex"
+	"trex/internal/corpus"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	col := corpus.GenerateIEEE(250, 99)
+	eng, err := trex.CreateMemory(col, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	// A workload in the paper's sense: queries with frequencies.
+	workload := []trex.WorkloadQuery{
+		{NEXI: `//article[about(., ontologies)]//sec[about(., ontologies case study)]`, Freq: 0.40, K: 10},
+		{NEXI: `//sec[about(., code signing verification)]`, Freq: 0.25, K: 10},
+		{NEXI: `//article//sec[about(., introduction information retrieval)]`, Freq: 0.20, K: 100},
+		{NEXI: `//article[about(.//bdy, synthesizers) and about(.//bdy, music)]`, Freq: 0.15, K: 5},
+	}
+
+	// First, learn the full footprint with an unlimited budget.
+	full, err := eng.SelfManage(workload, 1<<60, trex.SolverGreedy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("full materialization: %d bytes across %d lists, saving %.0f cost units\n\n",
+		full.Plan.DiskUsed, len(full.KeptLists), full.Plan.Saving)
+
+	// Now sweep the disk budget and watch the plans adapt.
+	for _, frac := range []float64{1.0, 0.5, 0.25, 0.1} {
+		budget := int64(float64(full.Plan.DiskUsed) * frac)
+		report, err := eng.SelfManage(workload, budget, trex.SolverGreedy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lp, err := eng.SelfManage(workload, budget, trex.SolverLP)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("budget %3.0f%% (%d bytes):\n", frac*100, budget)
+		fmt.Printf("  greedy: saving=%.0f disk=%d\n", report.Plan.Saving, report.Plan.DiskUsed)
+		fmt.Printf("  lp:     saving=%.0f disk=%d\n", lp.Plan.Saving, lp.Plan.DiskUsed)
+		for i, q := range workload {
+			fmt.Printf("    %-6s f=%.2f %s\n", report.Plan.Assignments[i], q.Freq, q.NEXI)
+		}
+		// With lists dropped, queries still answer correctly via auto
+		// method selection (falling back to ERA where needed).
+		res, err := eng.Query(workload[0].NEXI, 5, trex.MethodAuto)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  q1 now evaluates via %s (%d answers)\n\n", res.Method, res.TotalAnswers)
+	}
+}

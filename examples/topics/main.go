@@ -1,0 +1,60 @@
+// Topics: evaluate an INEX-style topics file end to end — the workflow of
+// an INEX participant: load a collection, parse the topic castitles, run
+// each as a NEXI query, and print a run file (topic, rank, doc, score).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"trex"
+	"trex/internal/corpus"
+	"trex/internal/nexi"
+)
+
+const topicsXML = `<inex_topics>
+  <inex_topic topic_id="202">
+    <castitle>//article[about(., ontologies)]//sec[about(., ontologies case study)]</castitle>
+    <description>Sections with ontology case studies inside articles about ontologies.</description>
+  </inex_topic>
+  <inex_topic topic_id="260">
+    <castitle>//bdy//*[about(., model checking state space explosion)]</castitle>
+  </inex_topic>
+  <inex_topic topic_id="233">
+    <castitle>//article[about(.//bdy, synthesizers) and about(.//bdy, music)]</castitle>
+  </inex_topic>
+</inex_topics>`
+
+func main() {
+	log.SetFlags(0)
+
+	col := corpus.GenerateIEEE(200, 77)
+	eng, err := trex.CreateMemory(col, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	topics, err := nexi.ParseTopics([]byte(topicsXML))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d topics\n\n", len(topics))
+	// A TREC/INEX-style run file: topic, rank, element, score.
+	for _, tp := range topics {
+		if tp.Err != nil {
+			log.Printf("topic %s skipped: %v", tp.ID, tp.Err)
+			continue
+		}
+		res, err := eng.Query(tp.Raw, 5, trex.MethodAuto)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("# topic %s: %s\n", tp.ID, tp.Raw)
+		for i, a := range res.Answers {
+			fmt.Printf("%s Q0 doc%04d:%s %d %.4f trex\n",
+				tp.ID, a.Doc, a.Path, i+1, a.Score)
+		}
+		fmt.Println()
+	}
+}

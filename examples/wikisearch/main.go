@@ -1,0 +1,56 @@
+// Wikisearch: the Wikipedia-style collection with phrase queries and
+// negated terms — the paper's Query 290 ("genetic algorithm") and Query
+// 292 (Renaissance painting, excluding French and German works).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"trex"
+	"trex/internal/corpus"
+	"trex/internal/index"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	col := corpus.GenerateWiki(600, 3)
+	eng, err := trex.CreateMemory(col, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	queries := []struct {
+		label string
+		nexi  string
+		k     int
+	}{
+		{
+			label: "Query 290: articles about genetic algorithms (phrase)",
+			nexi:  `//article[about(., "genetic algorithm")]`,
+			k:     5,
+		},
+		{
+			label: "Query 292: Renaissance figures, not French or German (negation)",
+			nexi:  `//article//figure[about(., renaissance painting italian flemish -french -german)]`,
+			k:     5,
+		},
+	}
+	for _, q := range queries {
+		if _, err := eng.Materialize(q.nexi, index.KindRPL, index.KindERPL); err != nil {
+			log.Fatal(err)
+		}
+		res, err := eng.Query(q.nexi, q.k, trex.MethodAuto)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s\n  %s\n  method=%s answers=%d (of %d)\n",
+			q.label, q.nexi, res.Method, len(res.Answers), res.TotalAnswers)
+		for i, a := range res.Answers {
+			fmt.Printf("  %d. score=%.4f doc=%d %s\n", i+1, a.Score, a.Doc, a.Path)
+		}
+		fmt.Println()
+	}
+}

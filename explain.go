@@ -1,0 +1,109 @@
+package trex
+
+import (
+	"fmt"
+	"strings"
+
+	"trex/internal/index"
+)
+
+// Explanation describes how the engine would evaluate a query, without
+// running it: the translation, which redundant lists are materialized,
+// and the method auto-selection would pick per k.
+type Explanation struct {
+	Query string
+	// NumSIDs / NumTerms are the translation sizes (Table 1's columns).
+	NumSIDs  int
+	NumTerms int
+	// Clauses, one line per about().
+	Clauses []string
+	// TargetPaths are the answer extents' path expressions.
+	TargetPaths []string
+	// RPLCovered / ERPLCovered report redundant-list availability.
+	RPLCovered  bool
+	ERPLCovered bool
+	// MethodAtSmallK / MethodAtLargeK is what MethodAuto would run.
+	MethodAtSmallK Method
+	MethodAtLargeK Method
+	// ListVolume is the total number of materialized RPL entries the
+	// query's (term, sid) lists hold (TA's maximum read depth).
+	ListVolume int
+}
+
+// Explain analyzes a query without evaluating it.
+func (e *Engine) Explain(src string) (*Explanation, error) {
+	tr, err := e.Translate(src)
+	if err != nil {
+		return nil, err
+	}
+	sids, terms := flatten(tr)
+	ex := &Explanation{
+		Query:    src,
+		NumSIDs:  tr.NumSIDs(),
+		NumTerms: tr.NumTerms(),
+	}
+	for i := range tr.Clauses {
+		c := &tr.Clauses[i]
+		role := "support"
+		if c.IsTarget {
+			role = "target"
+		}
+		ex.Clauses = append(ex.Clauses, fmt.Sprintf(
+			"about #%d (%s): pattern //%s -> %d sids, terms %v",
+			i+1, role, strings.Join(c.Pattern, "//"), len(c.SIDs),
+			append(c.PositiveTerms(), prefixedAll("-", c.NegativeTerms())...)))
+	}
+	for _, sid := range tr.TargetSIDs {
+		if n := e.sum.NodeBySID(int(sid)); n != nil {
+			ex.TargetPaths = append(ex.TargetPaths, n.XPathExpr())
+		}
+	}
+	if ex.RPLCovered, err = e.store.Covered(index.KindRPL, terms, sids); err != nil {
+		return nil, err
+	}
+	if ex.ERPLCovered, err = e.store.Covered(index.KindERPL, terms, sids); err != nil {
+		return nil, err
+	}
+	if ex.MethodAtSmallK, err = e.pick(sids, terms, 1); err != nil {
+		return nil, err
+	}
+	if ex.MethodAtLargeK, err = e.pick(sids, terms, 1_000_000); err != nil {
+		return nil, err
+	}
+	if ex.RPLCovered {
+		for _, t := range terms {
+			for _, sid := range sids {
+				n, _, err := e.store.BuiltSize(index.KindRPL, t, sid)
+				if err != nil {
+					return nil, err
+				}
+				ex.ListVolume += n
+			}
+		}
+	}
+	return ex, nil
+}
+
+func prefixedAll(prefix string, words []string) []string {
+	out := make([]string, len(words))
+	for i, w := range words {
+		out[i] = prefix + w
+	}
+	return out
+}
+
+// String renders a human-readable plan.
+func (ex *Explanation) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "query: %s\n", ex.Query)
+	fmt.Fprintf(&sb, "translation: %d sids, %d terms\n", ex.NumSIDs, ex.NumTerms)
+	for _, c := range ex.Clauses {
+		fmt.Fprintf(&sb, "  %s\n", c)
+	}
+	fmt.Fprintf(&sb, "targets: %s\n", strings.Join(ex.TargetPaths, ", "))
+	fmt.Fprintf(&sb, "lists: RPL covered=%v ERPL covered=%v volume=%d entries\n",
+		ex.RPLCovered, ex.ERPLCovered, ex.ListVolume)
+	fmt.Fprintf(&sb, "auto method: k small -> %s, k large -> %s\n",
+		ex.MethodAtSmallK, ex.MethodAtLargeK)
+	return sb.String()
+}

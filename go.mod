@@ -1,0 +1,3 @@
+module trex
+
+go 1.22

@@ -1,0 +1,184 @@
+package bench
+
+import (
+	"testing"
+
+	"trex/internal/corpus"
+)
+
+// smallPair builds a fast environment shared by the harness tests.
+func smallPair(t *testing.T) *EnvPair {
+	t.Helper()
+	p, err := NewEnvPair(0.1) // 40 ieee docs, 90 wiki docs
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+func TestPaperQueriesWellFormed(t *testing.T) {
+	if len(PaperQueries) != 7 {
+		t.Fatalf("paper queries = %d, want 7", len(PaperQueries))
+	}
+	ids := map[string]bool{}
+	for i := range PaperQueries {
+		q := &PaperQueries[i]
+		if ids[q.ID] {
+			t.Fatalf("duplicate id %s", q.ID)
+		}
+		ids[q.ID] = true
+		if QueryByID(q.ID) != q {
+			t.Fatalf("QueryByID(%s) mismatch", q.ID)
+		}
+		if q.PaperTerms == 0 || q.PaperAnswers == 0 {
+			t.Fatalf("query %s missing paper numbers", q.ID)
+		}
+	}
+	if QueryByID("nope") != nil {
+		t.Fatal("unknown id resolved")
+	}
+}
+
+func TestTable1Harness(t *testing.T) {
+	p := smallPair(t)
+	rows, err := Table1(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.NumTerms != r.PaperTerms {
+			t.Errorf("Q%s terms = %d, paper %d (must match exactly)", r.ID, r.NumTerms, r.PaperTerms)
+		}
+		if r.NumSIDs == 0 {
+			t.Errorf("Q%s matched no sids", r.ID)
+		}
+	}
+}
+
+func TestFigureHarness(t *testing.T) {
+	p := smallPair(t)
+	pts, err := Figure(p, "260", []int{1, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.ERACost <= 0 || pt.MergeCost <= 0 || pt.TACost <= 0 || pt.NRACost <= 0 {
+			t.Fatalf("zero cost in %+v", pt)
+		}
+		if pt.ITA > pt.TA {
+			t.Fatalf("ITA %v exceeds TA %v", pt.ITA, pt.TA)
+		}
+		if pt.DepthFraction < 0 || pt.DepthFraction > 1.000001 {
+			t.Fatalf("depth = %v", pt.DepthFraction)
+		}
+	}
+	// TA cost grows (weakly) with k.
+	if pts[1].TACost < pts[0].TACost {
+		t.Fatalf("TA cost shrank with k: %v -> %v", pts[0].TACost, pts[1].TACost)
+	}
+	if _, err := Figure(p, "000", nil); err == nil {
+		t.Fatal("unknown figure id accepted")
+	}
+}
+
+func TestSummarySizesHarness(t *testing.T) {
+	p := smallPair(t)
+	rows, err := SummarySizes(p.IEEE.Col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]SummarySizeRow{}
+	for _, r := range rows {
+		byName[r.Summary] = r
+	}
+	if byName["incoming"].Nodes < byName["tag"].Nodes {
+		t.Fatal("incoming must refine tag")
+	}
+	if byName["alias incoming"].Nodes > byName["incoming"].Nodes {
+		t.Fatal("aliases must not grow the summary")
+	}
+}
+
+func TestWinnersHarness(t *testing.T) {
+	p := smallPair(t)
+	rows, err := Winners(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	taWins, mergeWins := 0, 0
+	for _, r := range rows {
+		switch r.SmallKWinner {
+		case "ta":
+			taWins++
+		case "merge":
+			mergeWins++
+		case "era":
+			t.Fatalf("Q%s: ERA won at k=1 with lists materialized", r.ID)
+		}
+	}
+	// The headline claim: neither strategy sweeps the board.
+	if taWins == 0 || mergeWins == 0 {
+		t.Fatalf("one strategy dominated: ta=%d merge=%d", taWins, mergeWins)
+	}
+}
+
+func TestEffectivenessHarness(t *testing.T) {
+	p := smallPair(t)
+	rows, err := Effectiveness(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	above := 0
+	for _, r := range rows {
+		if r.PrecisionAt10 > r.RandomBaseline {
+			above++
+		}
+	}
+	if above < 5 {
+		t.Fatalf("only %d/7 queries beat the random baseline", above)
+	}
+}
+
+func TestDriftHarness(t *testing.T) {
+	p := smallPair(t)
+	rows, err := Drift(p, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	b := rows[1]
+	if b.CostReplanned > b.CostStale {
+		t.Fatalf("re-planning made things worse: %v -> %v", b.CostStale, b.CostReplanned)
+	}
+}
+
+func TestEnvFor(t *testing.T) {
+	p := smallPair(t)
+	if p.EnvFor(QueryByID("202")) != p.IEEE {
+		t.Fatal("202 must map to ieee env")
+	}
+	if p.EnvFor(QueryByID("290")) != p.Wiki {
+		t.Fatal("290 must map to wiki env")
+	}
+	if p.IEEE.Style != corpus.StyleIEEE || p.Wiki.Style != corpus.StyleWiki {
+		t.Fatal("styles wrong")
+	}
+}

@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"trex"
+)
+
+// DriftRow is one phase of the workload-drift experiment: the weighted
+// workload cost before and after the advisor re-plans for the new
+// workload under the same disk budget.
+type DriftRow struct {
+	Phase string
+	// CostStale is the workload's weighted cost evaluated with the plan
+	// inherited from the previous phase.
+	CostStale float64
+	// CostReplanned is the weighted cost after SelfManage runs for the
+	// current workload.
+	CostReplanned float64
+	// Improvement = CostStale / CostReplanned (>= 1 when re-planning
+	// helps).
+	Improvement float64
+}
+
+// Drift demonstrates the "self-managing" claim end to end: the query
+// workload shifts (e.g. a conference deadline moves interest from
+// ontologies to model checking), and re-running the advisor under the
+// same disk budget recovers the lost efficiency.
+func Drift(p *EnvPair, budgetFraction float64) ([]DriftRow, error) {
+	if budgetFraction <= 0 {
+		budgetFraction = 0.5
+	}
+	env := p.IEEE
+	phaseA := []trex.WorkloadQuery{
+		{NEXI: `//article[about(., ontologies)]//sec[about(., ontologies case study)]`, Freq: 0.7, K: 10},
+		{NEXI: `//sec[about(., code signing verification)]`, Freq: 0.3, K: 10},
+	}
+	phaseB := []trex.WorkloadQuery{
+		{NEXI: `//bdy//*[about(., model checking state space explosion)]`, Freq: 0.6, K: 10},
+		{NEXI: `//article//sec[about(., introduction information retrieval)]`, Freq: 0.4, K: 10},
+	}
+
+	// Budget: a fraction of the larger phase's full footprint, so the
+	// same budget is meaningful before and after the drift.
+	fullA, err := env.Engine.SelfManage(phaseA, 1<<60, trex.SolverGreedy)
+	if err != nil {
+		return nil, err
+	}
+	fullB, err := env.Engine.SelfManage(phaseB, 1<<60, trex.SolverGreedy)
+	if err != nil {
+		return nil, err
+	}
+	footprint := fullA.Plan.DiskUsed
+	if fullB.Plan.DiskUsed > footprint {
+		footprint = fullB.Plan.DiskUsed
+	}
+	budget := int64(float64(footprint) * budgetFraction)
+	// Reset: drop everything either probe materialized.
+	if _, err := env.Engine.SelfManage(append(append([]trex.WorkloadQuery{}, phaseA...), phaseB...), 0, trex.SolverGreedy); err != nil {
+		return nil, err
+	}
+
+	var rows []DriftRow
+
+	// Phase A: plan for A, measure A.
+	if _, err := env.Engine.SelfManage(phaseA, budget, trex.SolverGreedy); err != nil {
+		return nil, err
+	}
+	costA, err := measureWorkload(env, phaseA)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, DriftRow{Phase: "A (planned for A)", CostStale: costA, CostReplanned: costA, Improvement: 1})
+
+	// Phase B arrives: first measured with A's stale plan, then re-planned.
+	stale, err := measureWorkload(env, phaseB)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := env.Engine.SelfManage(phaseB, budget, trex.SolverGreedy); err != nil {
+		return nil, err
+	}
+	replanned, err := measureWorkload(env, phaseB)
+	if err != nil {
+		return nil, err
+	}
+	row := DriftRow{Phase: "B (drifted)", CostStale: stale, CostReplanned: replanned}
+	if replanned > 0 {
+		row.Improvement = stale / replanned
+	}
+	rows = append(rows, row)
+
+	// Restore full materialization for subsequent experiments.
+	env.materialized = make(map[string]bool)
+	for _, wq := range append(append([]trex.WorkloadQuery{}, phaseA...), phaseB...) {
+		if err := env.Ensure(wq.NEXI); err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// measureWorkload evaluates each query with auto method selection and
+// returns the frequency-weighted cost proxy.
+func measureWorkload(env *Env, workload []trex.WorkloadQuery) (float64, error) {
+	var total float64
+	for _, wq := range workload {
+		res, err := env.Engine.Query(wq.NEXI, wq.K, trex.MethodAuto)
+		if err != nil {
+			return 0, err
+		}
+		total += wq.Freq * res.Stats.CostProxy()
+	}
+	return total, nil
+}

@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"fmt"
+
+	"trex"
+)
+
+// EffectivenessRow reports ranking quality for one query against the
+// generator's planted ground truth. The paper explicitly scopes ranking
+// quality out ("providing such ranking is beyond the scope of this
+// paper"); this experiment is an extension that validates the BM25
+// element scoring actually surfaces the planted topics.
+type EffectivenessRow struct {
+	ID    string
+	Topic string
+	// PrecisionAt10 is the fraction of the top-10 answers whose document
+	// was generated "about" the query's topic.
+	PrecisionAt10 float64
+	// RandomBaseline is the topic's document fraction — what a random
+	// ranker would score in expectation.
+	RandomBaseline float64
+}
+
+// queryTopics maps paper query ids to the generator topic that plants
+// their terms.
+var queryTopics = map[string]string{
+	"202": "ontologies",
+	"203": "codesigning",
+	"233": "music",
+	"260": "modelchecking",
+	"270": "ir",
+	"290": "genetic",
+	"292": "renaissance",
+}
+
+// Effectiveness measures precision@10 for every paper query against the
+// planted topic ground truth.
+func Effectiveness(p *EnvPair) ([]EffectivenessRow, error) {
+	var rows []EffectivenessRow
+	for i := range PaperQueries {
+		q := &PaperQueries[i]
+		topicName := queryTopics[q.ID]
+		env := p.EnvFor(q)
+		relevant := make(map[int]bool)
+		for _, id := range env.Col.Relevance[topicName] {
+			relevant[id] = true
+		}
+		if len(relevant) == 0 {
+			return nil, fmt.Errorf("bench: no ground truth for topic %q", topicName)
+		}
+		res, err := env.Engine.Query(q.NEXI, 10, trex.MethodERA)
+		if err != nil {
+			return nil, err
+		}
+		hits := 0
+		seenDocs := make(map[uint32]bool)
+		for _, a := range res.Answers {
+			if seenDocs[a.Doc] {
+				continue // count distinct documents
+			}
+			seenDocs[a.Doc] = true
+			if relevant[int(a.Doc)] {
+				hits++
+			}
+		}
+		denom := len(seenDocs)
+		if denom == 0 {
+			denom = 1
+		}
+		var frac float64
+		for _, t := range env.Col.Topics {
+			if t.Name == topicName {
+				frac = t.DocFraction
+			}
+		}
+		rows = append(rows, EffectivenessRow{
+			ID:             q.ID,
+			Topic:          topicName,
+			PrecisionAt10:  float64(hits) / float64(denom),
+			RandomBaseline: frac,
+		})
+	}
+	return rows, nil
+}

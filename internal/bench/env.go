@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"fmt"
+
+	"trex"
+	"trex/internal/corpus"
+	"trex/internal/index"
+)
+
+// Env is a built collection ready for experiments.
+type Env struct {
+	Style  corpus.Style
+	Docs   int
+	Seed   int64
+	Col    *corpus.Collection
+	Engine *trex.Engine
+	// materialized remembers which queries already have their lists.
+	materialized map[string]bool
+}
+
+// DefaultIEEEDocs and DefaultWikiDocs size the benchmark corpora. The
+// Wikipedia collection is larger than IEEE, as in the paper (659k vs 17k
+// documents), scaled down to laptop runtimes.
+const (
+	DefaultIEEEDocs = 400
+	DefaultWikiDocs = 900
+	DefaultSeed     = 20070415 // ICDE 2007
+)
+
+// NewEnv builds an in-memory engine over a fresh synthetic collection.
+func NewEnv(style corpus.Style, docs int, seed int64) (*Env, error) {
+	var col *corpus.Collection
+	switch style {
+	case corpus.StyleWiki:
+		col = corpus.GenerateWiki(docs, seed)
+	default:
+		col = corpus.GenerateIEEE(docs, seed)
+	}
+	eng, err := trex.CreateMemory(col, nil)
+	if err != nil {
+		return nil, fmt.Errorf("bench: build %v env: %w", style, err)
+	}
+	return &Env{
+		Style:        style,
+		Docs:         docs,
+		Seed:         seed,
+		Col:          col,
+		Engine:       eng,
+		materialized: make(map[string]bool),
+	}, nil
+}
+
+// Close releases the engine.
+func (e *Env) Close() error { return e.Engine.Close() }
+
+// Ensure materializes the RPLs and ERPLs a query needs (once).
+func (e *Env) Ensure(nexiSrc string) error {
+	if e.materialized[nexiSrc] {
+		return nil
+	}
+	if _, err := e.Engine.Materialize(nexiSrc, index.KindRPL, index.KindERPL); err != nil {
+		return err
+	}
+	e.materialized[nexiSrc] = true
+	return nil
+}
+
+// EnvPair builds the IEEE and Wikipedia environments used by the full
+// experiment suite.
+type EnvPair struct {
+	IEEE *Env
+	Wiki *Env
+}
+
+// NewEnvPair builds both environments at the given scale factor (1.0 =
+// defaults).
+func NewEnvPair(scale float64) (*EnvPair, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	ieee, err := NewEnv(corpus.StyleIEEE, int(float64(DefaultIEEEDocs)*scale), DefaultSeed)
+	if err != nil {
+		return nil, err
+	}
+	wiki, err := NewEnv(corpus.StyleWiki, int(float64(DefaultWikiDocs)*scale), DefaultSeed)
+	if err != nil {
+		ieee.Close()
+		return nil, err
+	}
+	return &EnvPair{IEEE: ieee, Wiki: wiki}, nil
+}
+
+// Close releases both environments.
+func (p *EnvPair) Close() {
+	p.IEEE.Close()
+	p.Wiki.Close()
+}
+
+// EnvFor returns the environment matching a query's collection.
+func (p *EnvPair) EnvFor(q *QueryDef) *Env {
+	if q.Style == corpus.StyleWiki {
+		return p.Wiki
+	}
+	return p.IEEE
+}

@@ -1,0 +1,101 @@
+package corpus
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// manifestName is the metadata file WriteDir places beside the documents.
+const manifestName = "collection.json"
+
+// manifest records the collection-level metadata that cannot be recovered
+// from the XML files alone.
+type manifest struct {
+	Style   string            `json:"style"`
+	Aliases map[string]string `json:"aliases"`
+	Docs    []manifestDoc     `json:"docs"`
+}
+
+type manifestDoc struct {
+	ID   int    `json:"id"`
+	Name string `json:"name"`
+}
+
+// WriteDir writes every document of col into dir (one file per document)
+// plus a collection.json manifest, so tools can exchange corpora on disk.
+func WriteDir(col *Collection, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	m := manifest{Style: col.Style.String(), Aliases: col.Aliases}
+	for _, d := range col.Docs {
+		name := d.Name
+		if name == "" {
+			name = fmt.Sprintf("doc-%06d.xml", d.ID)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), d.Data, 0o644); err != nil {
+			return err
+		}
+		m.Docs = append(m.Docs, manifestDoc{ID: d.ID, Name: name})
+	}
+	data, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, manifestName), data, 0o644)
+}
+
+// LoadDir reads a collection written by WriteDir. Directories without a
+// manifest are loaded by globbing *.xml with ids assigned in name order
+// and no aliases.
+func LoadDir(dir string) (*Collection, error) {
+	col := &Collection{}
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err == nil {
+		var m manifest
+		if err := json.Unmarshal(data, &m); err != nil {
+			return nil, fmt.Errorf("corpus: bad manifest in %s: %w", dir, err)
+		}
+		if m.Style == StyleWiki.String() {
+			col.Style = StyleWiki
+		}
+		col.Aliases = m.Aliases
+		for _, md := range m.Docs {
+			b, err := os.ReadFile(filepath.Join(dir, md.Name))
+			if err != nil {
+				return nil, err
+			}
+			col.Docs = append(col.Docs, Document{ID: md.ID, Name: md.Name, Data: b})
+		}
+		return col, nil
+	}
+	if !os.IsNotExist(err) {
+		return nil, err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".xml") {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("corpus: no manifest and no .xml files in %s", dir)
+	}
+	sort.Strings(names)
+	for i, name := range names {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		col.Docs = append(col.Docs, Document{ID: i, Name: name, Data: b})
+	}
+	return col, nil
+}

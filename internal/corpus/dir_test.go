@@ -1,0 +1,64 @@
+package corpus
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteLoadDirRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	col := GenerateWiki(12, 8)
+	if err := WriteDir(col, dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Style != StyleWiki {
+		t.Fatalf("style = %v", got.Style)
+	}
+	if len(got.Docs) != len(col.Docs) {
+		t.Fatalf("docs = %d, want %d", len(got.Docs), len(col.Docs))
+	}
+	for i := range col.Docs {
+		if got.Docs[i].ID != col.Docs[i].ID || !bytes.Equal(got.Docs[i].Data, col.Docs[i].Data) {
+			t.Fatalf("doc %d differs", i)
+		}
+	}
+	if got.Aliases["section"] != "sec" {
+		t.Fatalf("aliases = %v", got.Aliases)
+	}
+}
+
+func TestLoadDirWithoutManifest(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "b.xml"), []byte(`<a>two</a>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "a.xml"), []byte(`<a>one</a>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	col, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(col.Docs) != 2 {
+		t.Fatalf("docs = %d", len(col.Docs))
+	}
+	// Name order: a.xml gets id 0.
+	if col.Docs[0].Name != "a.xml" || col.Docs[0].ID != 0 {
+		t.Fatalf("doc0 = %+v", col.Docs[0])
+	}
+}
+
+func TestLoadDirEmptyFails(t *testing.T) {
+	if _, err := LoadDir(t.TempDir()); err == nil {
+		t.Fatal("empty dir loaded")
+	}
+	if _, err := LoadDir(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing dir loaded")
+	}
+}

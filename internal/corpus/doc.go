@@ -1,0 +1,23 @@
+// Package corpus generates and stores the synthetic XML collections TReX
+// experiments run on.
+//
+// The paper evaluates on the INEX 2005 IEEE collection (16,819 documents)
+// and the INEX 2006 Wikipedia collection (659,388 documents). Neither is
+// redistributable, so this package provides deterministic generators that
+// reproduce the structural properties the paper's experiments depend on:
+//
+//   - IEEE style: deep journal-article structure (fm/bdy/bm, sec with
+//     ss1/ss2 synonym tags requiring alias mapping, figures with captions,
+//     bibliographies), moderate fan-out, long paragraphs.
+//   - Wikipedia style: flatter and wider (body/section/figure/template),
+//     many more documents, shorter text runs.
+//
+// Vocabulary is Zipf-distributed over a synthetic word list. Topics plant
+// the paper's query terms ("ontologies", "code signing verification",
+// "genetic algorithm", ...) with controlled document fractions so the
+// seven benchmark queries hit the same selectivity regimes as in the
+// paper (few vs many sids, few vs many answers).
+//
+// Generation is deterministic: the same (style, docs, seed) produces the
+// same bytes, so experiments are reproducible.
+package corpus

@@ -1,0 +1,331 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Style selects which collection shape to generate.
+type Style int
+
+const (
+	// StyleIEEE mimics the INEX 2005 IEEE journal-article collection.
+	StyleIEEE Style = iota
+	// StyleWiki mimics the INEX 2006 Wikipedia collection.
+	StyleWiki
+)
+
+func (s Style) String() string {
+	switch s {
+	case StyleIEEE:
+		return "ieee"
+	case StyleWiki:
+		return "wiki"
+	default:
+		return fmt.Sprintf("Style(%d)", int(s))
+	}
+}
+
+// Document is one generated XML file.
+type Document struct {
+	// ID is the document identifier used across all TReX tables.
+	ID int
+	// Name is a human-readable file-style name.
+	Name string
+	// Data is the XML content.
+	Data []byte
+}
+
+// Collection is a generated corpus plus the metadata retrieval needs.
+type Collection struct {
+	Style Style
+	Docs  []Document
+	// Aliases maps synonym tags to their canonical alias (the INEX alias
+	// mapping of Section 2.1: ss1/ss2 -> sec and so on).
+	Aliases map[string]string
+	// Topics used during generation; benchmarks consult the fractions.
+	Topics []Topic
+	// Relevance maps topic name -> ids of documents generated "about"
+	// that topic: ground truth for effectiveness measurements.
+	Relevance map[string][]int
+}
+
+// Config controls generation. Zero values select sensible defaults.
+type Config struct {
+	Style Style
+	Docs  int
+	Seed  int64
+	// VocabSize is the background vocabulary size (default 20000).
+	VocabSize int
+	// Topics defaults to IEEETopics or WikiTopics by style.
+	Topics []Topic
+}
+
+// DefaultIEEEAliases is the synonym mapping for the IEEE style, modeled on
+// the INEX alias list the paper uses (sec, ss1 and ss2 are semantically
+// the same; so are the paragraph variants).
+func DefaultIEEEAliases() map[string]string {
+	return map[string]string{
+		"ss1": "sec",
+		"ss2": "sec",
+		"ip1": "p",
+		"ip2": "p",
+		"fgc": "caption",
+	}
+}
+
+// DefaultWikiAliases is the synonym mapping for the Wikipedia style.
+func DefaultWikiAliases() map[string]string {
+	return map[string]string{
+		"section":    "sec",
+		"body":       "bdy",
+		"caption":    "caption",
+		"subsection": "sec",
+	}
+}
+
+// GenerateIEEE produces an IEEE-style collection with default topics.
+func GenerateIEEE(docs int, seed int64) *Collection {
+	return Generate(Config{Style: StyleIEEE, Docs: docs, Seed: seed})
+}
+
+// GenerateWiki produces a Wikipedia-style collection with default topics.
+func GenerateWiki(docs int, seed int64) *Collection {
+	return Generate(Config{Style: StyleWiki, Docs: docs, Seed: seed})
+}
+
+// Generate produces a collection per cfg. Identical configs produce
+// identical bytes.
+func Generate(cfg Config) *Collection {
+	if cfg.Docs <= 0 {
+		cfg.Docs = 100
+	}
+	if cfg.VocabSize <= 0 {
+		cfg.VocabSize = 20000
+	}
+	topics := cfg.Topics
+	col := &Collection{Style: cfg.Style}
+	switch cfg.Style {
+	case StyleWiki:
+		if topics == nil {
+			topics = WikiTopics
+		}
+		col.Aliases = DefaultWikiAliases()
+	default:
+		if topics == nil {
+			topics = IEEETopics
+		}
+		col.Aliases = DefaultIEEEAliases()
+	}
+	col.Topics = topics
+	col.Relevance = make(map[string][]int)
+	col.Docs = make([]Document, cfg.Docs)
+	for i := 0; i < cfg.Docs; i++ {
+		// Independent per-document stream: regeneration of any prefix of
+		// the collection yields identical documents.
+		rng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(i)))
+		vocab := newVocabulary(rng, cfg.VocabSize)
+		g := &docGen{rng: rng, vocab: vocab, topics: topics}
+		g.pickTopics()
+		var data []byte
+		var name string
+		switch cfg.Style {
+		case StyleWiki:
+			data = g.wikiDoc()
+			name = fmt.Sprintf("wiki-%06d.xml", i)
+		default:
+			data = g.ieeeDoc()
+			name = fmt.Sprintf("ieee-%06d.xml", i)
+		}
+		col.Docs[i] = Document{ID: i, Name: name, Data: data}
+		for _, t := range g.about {
+			col.Relevance[t.Name] = append(col.Relevance[t.Name], i)
+		}
+	}
+	return col
+}
+
+// docGen holds per-document generation state.
+type docGen struct {
+	rng    *rand.Rand
+	vocab  *vocabulary
+	topics []Topic
+	about  []Topic // topics this document is about
+	sb     strings.Builder
+}
+
+func (g *docGen) pickTopics() {
+	for _, t := range g.topics {
+		if g.rng.Float64() < t.DocFraction {
+			g.about = append(g.about, t)
+		}
+	}
+}
+
+// text emits a paragraph-sized run: background words plus topic
+// injections for the document's topics.
+func (g *docGen) text(minWords, maxWords int) string {
+	n := minWords
+	if maxWords > minWords {
+		n += g.rng.Intn(maxWords - minWords)
+	}
+	var parts []string
+	parts = append(parts, g.vocab.sentence(n))
+	for _, t := range g.about {
+		if g.rng.Float64() < t.Density {
+			reps := 1 + g.rng.Intn(2)
+			for r := 0; r < reps; r++ {
+				parts = append(parts, strings.Join(t.Words, " "))
+			}
+		}
+	}
+	// Shuffle the chunks so topic words are not always trailing.
+	g.rng.Shuffle(len(parts), func(i, j int) { parts[i], parts[j] = parts[j], parts[i] })
+	return strings.Join(parts, " ")
+}
+
+// title emits a short run that usually carries the topic words of the
+// document (titles concentrate topical terms).
+func (g *docGen) title() string {
+	base := g.vocab.sentence(2 + g.rng.Intn(4))
+	if len(g.about) > 0 && g.rng.Float64() < 0.8 {
+		t := g.about[g.rng.Intn(len(g.about))]
+		return base + " " + strings.Join(t.Words, " ")
+	}
+	return base
+}
+
+func (g *docGen) open(tag string)  { g.sb.WriteString("<" + tag + ">") }
+func (g *docGen) close(tag string) { g.sb.WriteString("</" + tag + ">") }
+func (g *docGen) leaf(tag, text string) {
+	g.open(tag)
+	g.sb.WriteString(text)
+	g.close(tag)
+}
+
+// ieeeDoc emits one journal article in the IEEE style:
+//
+//	article > fm(hdr, atl, au*) + bdy(sec|ss1|ss2 trees, fig) + bm(bib(bb*))
+func (g *docGen) ieeeDoc() []byte {
+	g.sb.Reset()
+	g.open("article")
+
+	g.open("fm")
+	g.leaf("hdr", g.vocab.sentence(4))
+	g.leaf("atl", g.title())
+	nAuthors := 1 + g.rng.Intn(3)
+	for i := 0; i < nAuthors; i++ {
+		g.leaf("au", g.vocab.sentence(2))
+	}
+	g.leaf("abs", g.text(20, 40))
+	g.close("fm")
+
+	g.open("bdy")
+	nSecs := 3 + g.rng.Intn(5)
+	for i := 0; i < nSecs; i++ {
+		g.ieeeSection(0)
+	}
+	nFigs := g.rng.Intn(3)
+	for i := 0; i < nFigs; i++ {
+		g.open("fig")
+		g.leaf("fgc", g.text(5, 12))
+		g.close("fig")
+	}
+	g.close("bdy")
+
+	g.open("bm")
+	// Appendices contribute additional sec paths (bm/app/sec...), which is
+	// what gives the real IEEE collection its many sec extents.
+	if g.rng.Float64() < 0.4 {
+		g.open("app")
+		g.ieeeSection(0)
+		g.close("app")
+	}
+	g.open("bib")
+	nRefs := 3 + g.rng.Intn(10)
+	for i := 0; i < nRefs; i++ {
+		g.open("bb")
+		g.leaf("au", g.vocab.sentence(2))
+		g.leaf("atl", g.vocab.sentence(4))
+		g.close("bb")
+	}
+	g.close("bib")
+	g.close("bm")
+
+	g.close("article")
+	return []byte(g.sb.String())
+}
+
+// ieeeSection emits a section at nesting depth (0=sec, 1=ss1, 2=ss2),
+// using the synonym tags the alias map collapses.
+func (g *docGen) ieeeSection(depth int) {
+	tags := []string{"sec", "ss1", "ss2"}
+	tag := tags[depth]
+	g.open(tag)
+	g.leaf("st", g.title())
+	nPars := 2 + g.rng.Intn(4)
+	for i := 0; i < nPars; i++ {
+		// Alternate paragraph synonyms to exercise aliases.
+		ptag := "p"
+		if g.rng.Intn(4) == 0 {
+			ptag = "ip1"
+		}
+		g.leaf(ptag, g.text(30, 80))
+	}
+	if g.rng.Float64() < 0.15 {
+		g.open("fig")
+		g.leaf("fgc", g.text(4, 10))
+		g.close("fig")
+	}
+	if depth < 2 && g.rng.Float64() < 0.5 {
+		nSub := 1 + g.rng.Intn(2)
+		for i := 0; i < nSub; i++ {
+			g.ieeeSection(depth + 1)
+		}
+	}
+	g.close(tag)
+}
+
+// wikiDoc emits one Wikipedia-style article: flatter, wider, shorter text.
+//
+//	article > name + body(section(title, p*, figure?, subsection?)*, template*)
+func (g *docGen) wikiDoc() []byte {
+	g.sb.Reset()
+	g.open("article")
+	g.leaf("name", g.title())
+	g.open("body")
+	nSecs := 2 + g.rng.Intn(6)
+	for i := 0; i < nSecs; i++ {
+		g.open("section")
+		g.leaf("title", g.title())
+		nPars := 1 + g.rng.Intn(4)
+		for j := 0; j < nPars; j++ {
+			g.leaf("p", g.text(15, 50))
+		}
+		if g.rng.Float64() < 0.4 {
+			g.open("figure")
+			g.leaf("caption", g.text(4, 10))
+			g.close("figure")
+		}
+		if g.rng.Float64() < 0.25 {
+			g.open("subsection")
+			g.leaf("title", g.vocab.sentence(3))
+			g.leaf("p", g.text(15, 40))
+			if g.rng.Float64() < 0.3 {
+				g.open("figure")
+				g.leaf("caption", g.text(4, 10))
+				g.close("figure")
+			}
+			g.close("subsection")
+		}
+		g.close("section")
+	}
+	nTmpl := g.rng.Intn(3)
+	for i := 0; i < nTmpl; i++ {
+		g.leaf("template", g.vocab.sentence(5))
+	}
+	g.close("body")
+	g.close("article")
+	return []byte(g.sb.String())
+}

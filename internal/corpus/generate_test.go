@@ -1,0 +1,156 @@
+package corpus
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"trex/internal/xmlscan"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := GenerateIEEE(20, 42)
+	b := GenerateIEEE(20, 42)
+	if len(a.Docs) != 20 || len(b.Docs) != 20 {
+		t.Fatalf("doc counts = %d, %d", len(a.Docs), len(b.Docs))
+	}
+	for i := range a.Docs {
+		if !bytes.Equal(a.Docs[i].Data, b.Docs[i].Data) {
+			t.Fatalf("doc %d differs between identical configs", i)
+		}
+	}
+	c := GenerateIEEE(20, 43)
+	same := 0
+	for i := range a.Docs {
+		if bytes.Equal(a.Docs[i].Data, c.Docs[i].Data) {
+			same++
+		}
+	}
+	if same == len(a.Docs) {
+		t.Fatal("different seeds produced identical collections")
+	}
+}
+
+func TestGeneratePrefixStability(t *testing.T) {
+	// Generating more documents must not change the earlier ones.
+	small := GenerateWiki(5, 7)
+	big := GenerateWiki(15, 7)
+	for i := range small.Docs {
+		if !bytes.Equal(small.Docs[i].Data, big.Docs[i].Data) {
+			t.Fatalf("doc %d changed when collection grew", i)
+		}
+	}
+}
+
+func TestGeneratedDocsAreWellFormed(t *testing.T) {
+	for _, col := range []*Collection{GenerateIEEE(30, 1), GenerateWiki(30, 1)} {
+		for _, d := range col.Docs {
+			root, err := xmlscan.Parse(d.Data)
+			if err != nil {
+				t.Fatalf("%s doc %d: %v", col.Style, d.ID, err)
+			}
+			if root.Tag != "article" {
+				t.Fatalf("%s doc %d root = %q", col.Style, d.ID, root.Tag)
+			}
+			if root.Count() < 5 {
+				t.Fatalf("%s doc %d suspiciously small: %d elements", col.Style, d.ID, root.Count())
+			}
+		}
+	}
+}
+
+func TestIEEEStructure(t *testing.T) {
+	col := GenerateIEEE(50, 3)
+	sawSS1, sawSS2, sawIP1, sawFig := false, false, false, false
+	for _, d := range col.Docs {
+		root, err := xmlscan.Parse(d.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		root.Walk(func(n *xmlscan.Node) bool {
+			switch n.Tag {
+			case "ss1":
+				sawSS1 = true
+			case "ss2":
+				sawSS2 = true
+			case "ip1":
+				sawIP1 = true
+			case "fig":
+				sawFig = true
+			}
+			return true
+		})
+	}
+	if !sawSS1 || !sawSS2 || !sawIP1 || !sawFig {
+		t.Fatalf("missing synonym structures: ss1=%v ss2=%v ip1=%v fig=%v",
+			sawSS1, sawSS2, sawIP1, sawFig)
+	}
+	// Alias map collapses the synonyms.
+	if col.Aliases["ss1"] != "sec" || col.Aliases["ss2"] != "sec" || col.Aliases["ip1"] != "p" {
+		t.Fatalf("aliases = %v", col.Aliases)
+	}
+}
+
+func TestTopicPlanting(t *testing.T) {
+	col := GenerateIEEE(200, 11)
+	aboutDocs := 0
+	for _, d := range col.Docs {
+		if strings.Contains(string(d.Data), "ontologies") {
+			aboutDocs++
+		}
+	}
+	// DocFraction for the "ontologies" topic is 0.30; with 200 docs we
+	// expect roughly 60. Accept a generous band.
+	if aboutDocs < 30 || aboutDocs > 110 {
+		t.Fatalf("ontologies appears in %d/200 docs, want ~60", aboutDocs)
+	}
+}
+
+func TestWikiTopicPlanting(t *testing.T) {
+	col := GenerateWiki(300, 5)
+	renaissance := 0
+	genetic := 0
+	for _, d := range col.Docs {
+		s := string(d.Data)
+		if strings.Contains(s, "renaissance") {
+			renaissance++
+		}
+		if strings.Contains(s, "genetic") {
+			genetic++
+		}
+	}
+	if renaissance == 0 {
+		t.Fatal("renaissance topic never planted")
+	}
+	if genetic <= renaissance {
+		t.Fatalf("genetic (%d) should be much more common than renaissance (%d)",
+			genetic, renaissance)
+	}
+}
+
+func TestGenerateDefaults(t *testing.T) {
+	col := Generate(Config{})
+	if len(col.Docs) != 100 {
+		t.Fatalf("default Docs = %d, want 100", len(col.Docs))
+	}
+	if col.Style != StyleIEEE {
+		t.Fatalf("default style = %v", col.Style)
+	}
+	if col.Style.String() != "ieee" || StyleWiki.String() != "wiki" {
+		t.Fatalf("style strings: %q %q", col.Style.String(), StyleWiki.String())
+	}
+}
+
+func TestWordAtUnique(t *testing.T) {
+	seen := make(map[string]int)
+	for i := 0; i < 5000; i++ {
+		w := wordAt(i)
+		if prev, dup := seen[w]; dup {
+			t.Fatalf("wordAt(%d) == wordAt(%d) == %q", i, prev, w)
+		}
+		seen[w] = i
+		if len(w) < 4 {
+			t.Fatalf("wordAt(%d) = %q too short", i, w)
+		}
+	}
+}

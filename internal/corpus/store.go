@@ -1,0 +1,116 @@
+package corpus
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"trex/internal/storage"
+)
+
+// DocStore persists collection documents in a storage table so index
+// builders and tools can fetch document bytes by id.
+//
+// Documents larger than a storage value are split into sequential chunks
+// under keys (docid, chunkno), mirroring how the paper fragments long
+// PostingLists tuples.
+type DocStore struct {
+	tree *storage.Tree
+}
+
+// docChunkSize keeps chunk values comfortably under MaxValueSize.
+const docChunkSize = 3000
+
+// TableDocuments is the storage table name used by OpenDocStore.
+const TableDocuments = "Documents"
+
+// OpenDocStore opens (creating if needed) the document table in db.
+func OpenDocStore(db *storage.DB) (*DocStore, error) {
+	tree, err := db.EnsureTable(TableDocuments)
+	if err != nil {
+		return nil, err
+	}
+	return &DocStore{tree: tree}, nil
+}
+
+func docKey(id int, chunk int) []byte {
+	var k [9]byte
+	k[0] = 'D'
+	binary.BigEndian.PutUint32(k[1:5], uint32(id))
+	binary.BigEndian.PutUint32(k[5:9], uint32(chunk))
+	return k[:]
+}
+
+// Put stores a document's bytes.
+func (s *DocStore) Put(id int, data []byte) error {
+	if id < 0 {
+		return fmt.Errorf("corpus: negative doc id %d", id)
+	}
+	for chunk := 0; ; chunk++ {
+		lo := chunk * docChunkSize
+		if lo >= len(data) && chunk > 0 {
+			break
+		}
+		hi := lo + docChunkSize
+		if hi > len(data) {
+			hi = len(data)
+		}
+		if err := s.tree.Put(docKey(id, chunk), data[lo:hi]); err != nil {
+			return err
+		}
+		if hi == len(data) {
+			break
+		}
+	}
+	return nil
+}
+
+// Get retrieves a document's bytes, or storage.ErrNotFound.
+func (s *DocStore) Get(id int) ([]byte, error) {
+	var out []byte
+	cur := s.tree.Cursor()
+	prefix := docKey(id, 0)[:5]
+	ok, err := cur.SeekPrefix(prefix)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, storage.ErrNotFound
+	}
+	for ; ok; ok, err = cur.NextPrefix(prefix) {
+		out = append(out, cur.Value()...)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PutCollection stores every document of col.
+func (s *DocStore) PutCollection(col *Collection) error {
+	for _, d := range col.Docs {
+		if err := s.Put(d.ID, d.Data); err != nil {
+			return fmt.Errorf("corpus: store doc %d: %w", d.ID, err)
+		}
+	}
+	return nil
+}
+
+// Count returns the number of stored documents.
+func (s *DocStore) Count() (int, error) {
+	cur := s.tree.Cursor()
+	n := 0
+	lastDoc := -1
+	ok, err := cur.First()
+	for ; ok; ok, err = cur.Next() {
+		k := cur.Key()
+		if len(k) != 9 || k[0] != 'D' {
+			continue
+		}
+		id := int(binary.BigEndian.Uint32(k[1:5]))
+		if id != lastDoc {
+			n++
+			lastDoc = id
+		}
+	}
+	return n, err
+}

@@ -1,0 +1,92 @@
+package corpus
+
+import (
+	"bytes"
+	"testing"
+
+	"trex/internal/storage"
+)
+
+func TestDocStoreRoundTrip(t *testing.T) {
+	db := storage.OpenMemory()
+	defer db.Close()
+	ds, err := OpenDocStore(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := GenerateIEEE(10, 9)
+	if err := ds.PutCollection(col); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range col.Docs {
+		got, err := ds.Get(d.ID)
+		if err != nil {
+			t.Fatalf("Get %d: %v", d.ID, err)
+		}
+		if !bytes.Equal(got, d.Data) {
+			t.Fatalf("doc %d round trip mismatch: %d vs %d bytes", d.ID, len(got), len(d.Data))
+		}
+	}
+	n, err := ds.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Fatalf("Count = %d, want 10", n)
+	}
+}
+
+func TestDocStoreLargeDocChunking(t *testing.T) {
+	db := storage.OpenMemory()
+	defer db.Close()
+	ds, err := OpenDocStore(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 25 KiB forces ~9 chunks.
+	big := bytes.Repeat([]byte("abcdefghij"), 2500)
+	if err := ds.Put(3, big); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ds.Get(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, big) {
+		t.Fatalf("large doc mismatch: %d vs %d bytes", len(got), len(big))
+	}
+}
+
+func TestDocStoreMissing(t *testing.T) {
+	db := storage.OpenMemory()
+	defer db.Close()
+	ds, err := OpenDocStore(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.Get(99); err != storage.ErrNotFound {
+		t.Fatalf("Get missing = %v, want ErrNotFound", err)
+	}
+	if err := ds.Put(-1, []byte("x")); err == nil {
+		t.Fatal("negative id accepted")
+	}
+}
+
+func TestDocStoreEmptyDoc(t *testing.T) {
+	db := storage.OpenMemory()
+	defer db.Close()
+	ds, err := OpenDocStore(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Put(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ds.Get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty doc came back with %d bytes", len(got))
+	}
+}

@@ -1,0 +1,38 @@
+package corpus
+
+// Topic plants query terms into a controlled fraction of documents so that
+// benchmark queries hit realistic selectivity regimes.
+type Topic struct {
+	// Name identifies the topic in configs and debugging output.
+	Name string
+	// Words are injected into documents that are "about" the topic.
+	Words []string
+	// DocFraction is the probability that a document is about the topic.
+	DocFraction float64
+	// Density is the probability that any given paragraph of an about-
+	// document receives an injection of the topic's words.
+	Density float64
+}
+
+// IEEETopics mirror the five IEEE-collection queries of Table 1 in the
+// paper (202, 203, 233, 260, 270). Fractions are tuned so the number of
+// matching elements per query spans the same regimes: Q202 broad (~8k
+// answers), Q203 medium, Q233 narrow terms, Q260 very broad wildcard
+// query, Q270 broad two-term conjunction.
+var IEEETopics = []Topic{
+	{Name: "ontologies", Words: []string{"ontologies", "ontology", "case", "study"}, DocFraction: 0.30, Density: 0.25},
+	{Name: "codesigning", Words: []string{"code", "signing", "verification"}, DocFraction: 0.15, Density: 0.15},
+	{Name: "music", Words: []string{"synthesizers", "music", "audio"}, DocFraction: 0.04, Density: 0.20},
+	{Name: "modelchecking", Words: []string{"model", "checking", "state", "space", "explosion"}, DocFraction: 0.35, Density: 0.30},
+	{Name: "ir", Words: []string{"introduction", "information", "retrieval"}, DocFraction: 0.40, Density: 0.30},
+	{Name: "xmlqueries", Words: []string{"xml", "query", "evaluation"}, DocFraction: 0.25, Density: 0.25},
+}
+
+// WikiTopics mirror the two Wikipedia-collection queries (290, 292).
+// Q290 ("genetic algorithm") matches broadly; Q292 (Renaissance painting,
+// with negated -french -german) has many sids but few answers.
+var WikiTopics = []Topic{
+	{Name: "genetic", Words: []string{"genetic", "algorithm", "evolution"}, DocFraction: 0.30, Density: 0.30},
+	{Name: "renaissance", Words: []string{"renaissance", "painting", "italian", "flemish"}, DocFraction: 0.03, Density: 0.4},
+	{Name: "renaissanceneg", Words: []string{"french", "german", "painting"}, DocFraction: 0.05, Density: 0.10},
+}

@@ -1,0 +1,60 @@
+package corpus
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// vocabulary produces deterministic synthetic words and samples them with
+// a Zipf distribution, mimicking natural-language term frequency skew.
+type vocabulary struct {
+	size int
+	zipf *rand.Zipf
+}
+
+var syllables = []string{
+	"ba", "co", "de", "fi", "ga", "hu", "ji", "ka", "lo", "mi",
+	"na", "po", "qua", "ri", "su", "ta", "ve", "wo", "xa", "zu",
+	"ber", "con", "dal", "fen", "gor", "hil", "jun", "kel", "lam", "mor",
+	"nar", "pol", "quin", "ras", "sol", "tem", "vor", "wen", "xil", "zan",
+}
+
+// wordAt returns the i-th synthetic vocabulary word. Words are 2-3
+// syllables, lowercase, unique per index.
+func wordAt(i int) string {
+	n := len(syllables)
+	var sb strings.Builder
+	sb.WriteString(syllables[i%n])
+	i /= n
+	sb.WriteString(syllables[i%n])
+	i /= n
+	if i > 0 {
+		sb.WriteString(syllables[i%n])
+	}
+	return sb.String()
+}
+
+// newVocabulary creates a Zipf sampler over size distinct words using rng.
+func newVocabulary(rng *rand.Rand, size int) *vocabulary {
+	if size < 2 {
+		size = 2
+	}
+	return &vocabulary{
+		size: size,
+		zipf: rand.NewZipf(rng, 1.1, 1.0, uint64(size-1)),
+	}
+}
+
+// sample returns one background word, Zipf-skewed toward low indexes.
+func (v *vocabulary) sample() string {
+	return wordAt(int(v.zipf.Uint64()))
+}
+
+// sentence produces n background words joined by spaces.
+func (v *vocabulary) sentence(n int) string {
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = v.sample()
+	}
+	return strings.Join(parts, " ")
+}

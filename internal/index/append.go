@@ -1,0 +1,165 @@
+package index
+
+import (
+	"fmt"
+
+	"trex/internal/corpus"
+	"trex/internal/summary"
+	"trex/internal/xmlscan"
+)
+
+// AppendStats summarizes an AppendDocuments run.
+type AppendStats struct {
+	Docs     int
+	Elements int
+	Postings int64
+	NewSIDs  int
+}
+
+// AppendDocuments adds documents to an already-built base index. Document
+// ids must continue the existing dense sequence (the collection is
+// append-only; ids order all positions, so new fragments sort after every
+// existing fragment of their token).
+//
+// The summary is extended in place with any new label paths; the caller
+// owns persisting it (Engine.AddDocuments does). Materialized RPL/ERPL
+// lists are NOT updated here — their scores also go stale because the
+// collection statistics change — so callers must drop them (see
+// DropAllLists) or rebuild them afterwards.
+func AppendDocuments(s *Store, docs []corpus.Document, sum *summary.Summary) (*AppendStats, error) {
+	if len(docs) == 0 {
+		return &AppendStats{}, nil
+	}
+	st, err := s.CollectionStats()
+	if err != nil {
+		return nil, fmt.Errorf("index: append requires a built base index: %w", err)
+	}
+	next := st.NumDocs
+	for i, d := range docs {
+		if d.ID != next+i {
+			return nil, fmt.Errorf("index: document ids must continue the sequence: got %d, want %d", d.ID, next+i)
+		}
+	}
+	oldNodes := sum.NumNodes()
+	stats := &AppendStats{Docs: len(docs)}
+	var sumLen int64
+	postings := make(map[string][]Pos)
+	dfDelta := make(map[string]uint32)
+	cfDelta := make(map[string]uint64)
+	stop, err := s.Stopwords()
+	if err != nil {
+		return nil, err
+	}
+
+	for _, d := range docs {
+		root, err := xmlscan.Parse(d.Data)
+		if err != nil {
+			return nil, fmt.Errorf("index: parse doc %d: %w", d.ID, err)
+		}
+		sum.ExtendWith(root)
+		if !sum.SafeForRetrieval() {
+			return nil, fmt.Errorf("index: doc %d makes the summary unsafe for retrieval", d.ID)
+		}
+		type row struct {
+			key, val []byte
+		}
+		var rows []row
+		err = sum.AssignDoc(root, func(n *xmlscan.Node, sid int) {
+			rows = append(rows, row{
+				key: elementsKey(uint32(sid), uint32(d.ID), uint32(n.End)),
+				val: elementsValue(uint32(n.Length())),
+			})
+			sumLen += int64(n.Length())
+		})
+		if err != nil {
+			return nil, fmt.Errorf("index: doc %d: %w", d.ID, err)
+		}
+		for _, r := range rows {
+			if err := s.Elements.Put(r.key, r.val); err != nil {
+				return nil, err
+			}
+			stats.Elements++
+		}
+		terms, err := xmlscan.DocTerms(d.Data)
+		if err != nil {
+			return nil, fmt.Errorf("index: tokenize doc %d: %w", d.ID, err)
+		}
+		seenInDoc := make(map[string]bool)
+		for _, t := range terms {
+			if stop[t.Text] {
+				continue
+			}
+			postings[t.Text] = append(postings[t.Text], Pos{Doc: uint32(d.ID), Off: uint32(t.Offset)})
+			cfDelta[t.Text]++
+			if !seenInDoc[t.Text] {
+				seenInDoc[t.Text] = true
+				dfDelta[t.Text]++
+			}
+		}
+	}
+
+	// Append posting fragments; all new positions sort after existing ones
+	// for their token because document ids are larger.
+	for t, ps := range postings {
+		stats.Postings += int64(len(ps))
+		for lo := 0; lo < len(ps); lo += maxPostingsPerFragment {
+			hi := lo + maxPostingsPerFragment
+			if hi > len(ps) {
+				hi = len(ps)
+			}
+			frag := ps[lo:hi]
+			if err := s.Postings.Put(postingKey(t, frag[0]), postingValue(frag)); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Merge term statistics.
+	for t := range cfDelta {
+		df, err := s.TermDF(t)
+		if err != nil {
+			return nil, err
+		}
+		cf, err := s.TermCF(t)
+		if err != nil {
+			return nil, err
+		}
+		v := termStatsValue(uint32(df)+dfDelta[t], uint64(cf)+cfDelta[t])
+		if err := s.TermStats.Put([]byte(t), v); err != nil {
+			return nil, err
+		}
+	}
+
+	// Update collection statistics (average element length folds in the
+	// new elements' total length).
+	oldSum := st.AvgElementLen * float64(st.NumElements)
+	st.NumDocs += len(docs)
+	st.NumElements += stats.Elements
+	if st.NumElements > 0 {
+		st.AvgElementLen = (oldSum + float64(sumLen)) / float64(st.NumElements)
+	}
+	if err := s.PutCollectionStats(st); err != nil {
+		return nil, err
+	}
+	stats.NewSIDs = sum.NumNodes() - oldNodes
+	return stats, nil
+}
+
+// DropAllLists removes every materialized RPL/ERPL list and its catalog
+// entry, returning the number of list entries deleted. Used after
+// AppendDocuments, when all stored scores are stale.
+func DropAllLists(s *Store) (int, error) {
+	entries, err := s.CatalogEntries()
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, e := range entries {
+		n, err := s.DropList(e.Kind, e.Term, e.SID)
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	return total, nil
+}

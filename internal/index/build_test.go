@@ -1,0 +1,323 @@
+package index
+
+import (
+	"strings"
+	"testing"
+
+	"trex/internal/corpus"
+	"trex/internal/storage"
+	"trex/internal/summary"
+)
+
+// buildTiny sets up a store over a hand-written collection.
+func buildTiny(t *testing.T, docs ...string) (*Store, *summary.Summary, *corpus.Collection) {
+	t.Helper()
+	col := &corpus.Collection{}
+	for i, d := range docs {
+		col.Docs = append(col.Docs, corpus.Document{ID: i, Data: []byte(d)})
+	}
+	sum, err := summary.Build(col, summary.Options{Kind: summary.KindIncoming})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := storage.OpenMemory()
+	t.Cleanup(func() { db.Close() })
+	st, err := Open(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildBase(st, col, sum); err != nil {
+		t.Fatal(err)
+	}
+	return st, sum, col
+}
+
+func sidOf(t *testing.T, sum *summary.Summary, path string) uint32 {
+	t.Helper()
+	for _, n := range sum.Nodes {
+		if strings.Join(n.Path, "/") == path {
+			return uint32(n.SID)
+		}
+	}
+	t.Fatalf("no summary node for path %q", path)
+	return 0
+}
+
+func TestBuildBaseCounts(t *testing.T) {
+	col := corpus.GenerateIEEE(15, 2)
+	sum, err := summary.Build(col, summary.Options{Kind: summary.KindIncoming, Aliases: col.Aliases})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := storage.OpenMemory()
+	defer db.Close()
+	st, err := Open(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := BuildBase(st, col, sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.Docs != 15 {
+		t.Fatalf("Docs = %d", bs.Docs)
+	}
+	if bs.Elements != sum.TotalExtent() {
+		t.Fatalf("Elements = %d, want %d", bs.Elements, sum.TotalExtent())
+	}
+	if bs.Terms < 100 || bs.Postings < 1000 {
+		t.Fatalf("suspicious stats: %+v", bs)
+	}
+	if n, _ := st.Elements.Len(); n != bs.Elements {
+		t.Fatalf("Elements rows = %d, want %d", n, bs.Elements)
+	}
+	cs, err := st.CollectionStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.NumDocs != 15 || cs.NumElements != bs.Elements || cs.AvgElementLen <= 0 {
+		t.Fatalf("CollectionStats = %+v", cs)
+	}
+	// BuildBase refuses to run twice.
+	if _, err := BuildBase(st, col, sum); err == nil {
+		t.Fatal("second BuildBase succeeded")
+	}
+}
+
+func TestElementIterator(t *testing.T) {
+	st, sum, _ := buildTiny(t,
+		`<a><b>one two</b><b>three</b></a>`,
+		`<a><b>four</b></a>`,
+	)
+	bsid := sidOf(t, sum, "a/b")
+	it := NewElementIterator(st, bsid)
+	e, err := it.FirstElement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen []Element
+	for !e.IsDummy() {
+		seen = append(seen, e)
+		e, err = it.NextElementAfter(e.EndPos())
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(seen) != 3 {
+		t.Fatalf("saw %d b-elements, want 3", len(seen))
+	}
+	// Order: doc 0 elements before doc 1; within doc ascending end.
+	if seen[0].Doc != 0 || seen[1].Doc != 0 || seen[2].Doc != 1 {
+		t.Fatalf("doc order = %d,%d,%d", seen[0].Doc, seen[1].Doc, seen[2].Doc)
+	}
+	if seen[0].End >= seen[1].End {
+		t.Fatalf("end order broken: %d >= %d", seen[0].End, seen[1].End)
+	}
+	// All have the right sid.
+	for _, e := range seen {
+		if e.SID != bsid {
+			t.Fatalf("element sid = %d, want %d", e.SID, bsid)
+		}
+	}
+}
+
+func TestElementIteratorEmptyExtent(t *testing.T) {
+	st, _, _ := buildTiny(t, `<a><b>x</b></a>`)
+	it := NewElementIterator(st, 999)
+	e, err := it.FirstElement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.IsDummy() {
+		t.Fatalf("expected dummy, got %+v", e)
+	}
+	e, err = it.NextElementAfter(Pos{Doc: 0, Off: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.IsDummy() {
+		t.Fatalf("expected dummy, got %+v", e)
+	}
+}
+
+func TestElementIteratorSkipsByPosition(t *testing.T) {
+	st, sum, _ := buildTiny(t,
+		`<a><b>one</b><b>two</b><b>three</b></a>`,
+	)
+	bsid := sidOf(t, sum, "a/b")
+	it := NewElementIterator(st, bsid)
+	first, err := it.FirstElement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Jump past the second element directly from the first's position.
+	second, err := it.NextElementAfter(first.EndPos())
+	if err != nil {
+		t.Fatal(err)
+	}
+	third, err := it.NextElementAfter(second.EndPos())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.End >= second.End || second.End >= third.End {
+		t.Fatalf("positions not increasing: %d, %d, %d", first.End, second.End, third.End)
+	}
+	after, err := it.NextElementAfter(third.EndPos())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.IsDummy() {
+		t.Fatalf("expected dummy after last, got %+v", after)
+	}
+	// NextElementAfter(m-pos) is dummy.
+	d, err := it.NextElementAfter(MaxPos)
+	if err != nil || !d.IsDummy() {
+		t.Fatalf("NextElementAfter(m-pos) = %+v, %v", d, err)
+	}
+}
+
+func TestPostingIterator(t *testing.T) {
+	st, _, col := buildTiny(t,
+		`<a><b>alpha beta alpha</b></a>`,
+		`<a><b>alpha</b></a>`,
+	)
+	it := NewPostingIterator(st, "alpha")
+	var ps []Pos
+	for {
+		p, err := it.NextPosition()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.IsMax() {
+			break
+		}
+		ps = append(ps, p)
+	}
+	if len(ps) != 3 {
+		t.Fatalf("alpha positions = %d, want 3", len(ps))
+	}
+	// Positions strictly increase.
+	for i := 1; i < len(ps); i++ {
+		if !ps[i-1].Less(ps[i]) {
+			t.Fatalf("position order broken at %d", i)
+		}
+	}
+	// Each position points at the token text.
+	for _, p := range ps {
+		data := col.Docs[p.Doc].Data
+		if string(data[p.Off:p.Off+5]) != "alpha" {
+			t.Fatalf("position %v points at %q", p, data[p.Off:p.Off+5])
+		}
+	}
+	// Iterating past the end keeps returning m-pos.
+	for i := 0; i < 3; i++ {
+		p, err := it.NextPosition()
+		if err != nil || !p.IsMax() {
+			t.Fatalf("post-end NextPosition = %v, %v", p, err)
+		}
+	}
+}
+
+func TestPostingIteratorAbsentTerm(t *testing.T) {
+	st, _, _ := buildTiny(t, `<a>hello</a>`)
+	it := NewPostingIterator(st, "absent")
+	p, err := it.NextPosition()
+	if err != nil || !p.IsMax() {
+		t.Fatalf("absent term NextPosition = %v, %v", p, err)
+	}
+}
+
+func TestPostingFragmentation(t *testing.T) {
+	// More than maxPostingsPerFragment occurrences of one term forces
+	// multiple fragments; the iterator must cross them seamlessly.
+	var sb strings.Builder
+	sb.WriteString("<a>")
+	const n = 3 * maxPostingsPerFragment
+	for i := 0; i < n; i++ {
+		sb.WriteString("zz ")
+	}
+	sb.WriteString("</a>")
+	st, _, _ := buildTiny(t, sb.String())
+	// At least 3 fragments must exist in the table.
+	rows, err := st.Postings.Len()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows < 3 {
+		t.Fatalf("posting rows = %d, want >= 3", rows)
+	}
+	it := NewPostingIterator(st, "zz")
+	count := 0
+	for {
+		p, err := it.NextPosition()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.IsMax() {
+			break
+		}
+		count++
+	}
+	if count != n {
+		t.Fatalf("iterated %d positions, want %d", count, n)
+	}
+}
+
+func TestTermStats(t *testing.T) {
+	st, _, _ := buildTiny(t,
+		`<a>xx yy xx</a>`,
+		`<a>xx zz</a>`,
+	)
+	df, err := st.TermDF("xx")
+	if err != nil || df != 2 {
+		t.Fatalf("DF(xx) = %d, %v; want 2", df, err)
+	}
+	cf, err := st.TermCF("xx")
+	if err != nil || cf != 3 {
+		t.Fatalf("CF(xx) = %d, %v; want 3", cf, err)
+	}
+	df, err = st.TermDF("zz")
+	if err != nil || df != 1 {
+		t.Fatalf("DF(zz) = %d, %v; want 1", df, err)
+	}
+	df, err = st.TermDF("absent")
+	if err != nil || df != 0 {
+		t.Fatalf("DF(absent) = %d, %v; want 0", df, err)
+	}
+	sc, err := st.NewScorer([]string{"xx", "zz"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.IDF("zz") <= sc.IDF("xx") {
+		t.Fatal("rarer term must have higher IDF")
+	}
+}
+
+func TestDocTermsMatchElementsContainment(t *testing.T) {
+	// Every posting position must be contained in its document's root
+	// element per the strict containment test.
+	st, sum, col := buildTiny(t,
+		`<article><sec>findme and findme again</sec></article>`,
+	)
+	rootSID := sidOf(t, sum, "article")
+	it := NewElementIterator(st, rootSID)
+	rootElem, err := it.FirstElement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pit := NewPostingIterator(st, "findme")
+	for {
+		p, err := pit.NextPosition()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.IsMax() {
+			break
+		}
+		if !rootElem.Contains(p) {
+			t.Fatalf("root does not contain %v (root span [%d,%d))",
+				p, rootElem.Start(), rootElem.End)
+		}
+	}
+	_ = col
+}

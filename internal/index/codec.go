@@ -1,0 +1,370 @@
+// Package index implements the four TReX index tables over the storage
+// engine, with order-preserving key codecs and the iterators the
+// retrieval algorithms are built on:
+//
+//	Elements(SID, docid, endpos, length)         — one row per element
+//	PostingLists(token, docid, offset, entry)    — fragmented inverted lists
+//	RPLs(token, ir, SID, docid, endpos, entry)   — score-descending lists
+//	ERPLs(token, SID, docid, endpos, ir, entry)  — position-ordered lists
+//
+// Underlined fields of the paper's schemas become big-endian composite
+// keys, so the storage engine's key order reproduces each table's
+// clustered index order. "ir" is the order-inverted relevance score, which
+// makes descending-score order ascend in key space.
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Pos is a term position: a (document, byte offset) pair. Positions order
+// lexicographically, documents first.
+type Pos struct {
+	Doc uint32
+	Off uint32
+}
+
+// MaxPos is the paper's m-pos: a sentinel greater than any real position,
+// appended to the end of every posting list.
+var MaxPos = Pos{Doc: math.MaxUint32, Off: math.MaxUint32}
+
+// Less orders positions by (Doc, Off).
+func (p Pos) Less(q Pos) bool {
+	if p.Doc != q.Doc {
+		return p.Doc < q.Doc
+	}
+	return p.Off < q.Off
+}
+
+// IsMax reports whether p is the m-pos sentinel.
+func (p Pos) IsMax() bool { return p == MaxPos }
+
+func (p Pos) String() string {
+	if p.IsMax() {
+		return "m-pos"
+	}
+	return fmt.Sprintf("(%d,%d)", p.Doc, p.Off)
+}
+
+// Element is one row of the Elements table. An element is identified by
+// (Doc, End); Length recovers its start position.
+type Element struct {
+	SID    uint32
+	Doc    uint32
+	End    uint32
+	Length uint32
+}
+
+// Start returns the byte offset of the element's start tag.
+func (e Element) Start() uint32 { return e.End - e.Length }
+
+// EndPos returns the element's identifying position (Doc, End).
+func (e Element) EndPos() Pos { return Pos{Doc: e.Doc, Off: e.End} }
+
+// Contains reports whether position p falls strictly inside the element
+// (the paper's start(e) < pos < end(e) containment test).
+func (e Element) Contains(p Pos) bool {
+	return p.Doc == e.Doc && e.Start() < p.Off && p.Off < e.End
+}
+
+// ContainsElem reports whether other's span lies strictly inside e.
+func (e Element) ContainsElem(other Element) bool {
+	return e.Doc == other.Doc && e.Start() <= other.Start() && other.End <= e.End &&
+		!(e.Start() == other.Start() && e.End == other.End)
+}
+
+// IsDummy reports whether e is the "no more elements" marker the
+// ERA iterator returns at extent end (end position m-pos, length zero).
+func (e Element) IsDummy() bool { return e.Doc == MaxPos.Doc && e.End == MaxPos.Off }
+
+// DummyElement is the iterator-exhausted marker.
+func DummyElement() Element {
+	return Element{SID: 0, Doc: MaxPos.Doc, End: MaxPos.Off, Length: 0}
+}
+
+// --- Elements table codec: key = SID.Doc.End, value = Length ---
+
+func elementsKey(sid, doc, end uint32) []byte {
+	var k [12]byte
+	binary.BigEndian.PutUint32(k[0:4], sid)
+	binary.BigEndian.PutUint32(k[4:8], doc)
+	binary.BigEndian.PutUint32(k[8:12], end)
+	return k[:]
+}
+
+func decodeElementsKey(k []byte) (sid, doc, end uint32, err error) {
+	if len(k) != 12 {
+		return 0, 0, 0, fmt.Errorf("index: bad Elements key length %d", len(k))
+	}
+	return binary.BigEndian.Uint32(k[0:4]),
+		binary.BigEndian.Uint32(k[4:8]),
+		binary.BigEndian.Uint32(k[8:12]), nil
+}
+
+func elementsValue(length uint32) []byte {
+	var v [4]byte
+	binary.BigEndian.PutUint32(v[:], length)
+	return v[:]
+}
+
+func decodeElementsValue(v []byte) (uint32, error) {
+	if len(v) != 4 {
+		return 0, fmt.Errorf("index: bad Elements value length %d", len(v))
+	}
+	return binary.BigEndian.Uint32(v), nil
+}
+
+// --- term prefix shared by PostingLists, RPLs, ERPLs keys ---
+
+// termPrefix encodes the token with a 0x00 terminator. Tokens are
+// lowercase alphanumeric (see xmlscan.Tokenize), so the terminator cannot
+// collide, and the encoding is prefix-free and order-preserving.
+func termPrefix(term string) []byte {
+	out := make([]byte, 0, len(term)+1)
+	out = append(out, term...)
+	out = append(out, 0)
+	return out
+}
+
+// splitTermPrefix returns the term and the remainder of the key.
+func splitTermPrefix(k []byte) (string, []byte, error) {
+	for i, c := range k {
+		if c == 0 {
+			return string(k[:i]), k[i+1:], nil
+		}
+	}
+	return "", nil, fmt.Errorf("index: key lacks term terminator")
+}
+
+// --- PostingLists codec: key = token.doc.off (first position of the
+// fragment), value = packed positions ---
+
+func postingKey(term string, first Pos) []byte {
+	k := termPrefix(term)
+	var tail [8]byte
+	binary.BigEndian.PutUint32(tail[0:4], first.Doc)
+	binary.BigEndian.PutUint32(tail[4:8], first.Off)
+	return append(k, tail[:]...)
+}
+
+// maxPostingsPerFragment bounds positions per fragment. With delta-varint
+// encoding the worst case (~10 bytes/position for pathological gaps)
+// stays under the storage value limit.
+const maxPostingsPerFragment = 256
+
+// Posting value format tags. v1 (fixed 8-byte pairs) is still decoded for
+// backward compatibility; new fragments are written as v2 (delta-varint).
+const (
+	postingFormatFixed = 0x01
+	postingFormatDelta = 0x02
+)
+
+// postingValue encodes positions with the delta-varint format: positions
+// are sorted, so consecutive entries in the same document store only the
+// offset gap, and document changes store a doc delta plus an absolute
+// offset. Typical English-text gaps fit in one or two bytes — the
+// compression that keeps the PostingLists table (the dominant base-index
+// cost, Section 5.1) manageable.
+func postingValue(positions []Pos) []byte {
+	out := make([]byte, 0, 3+2*len(positions))
+	out = append(out, postingFormatDelta)
+	var lenBuf [2]byte
+	binary.BigEndian.PutUint16(lenBuf[:], uint16(len(positions)))
+	out = append(out, lenBuf[:]...)
+	var prev Pos
+	first := true
+	for _, p := range positions {
+		if first || p.Doc != prev.Doc {
+			docDelta := p.Doc
+			if !first {
+				docDelta = p.Doc - prev.Doc
+			}
+			// docDelta > 0 marks a document switch (or the first entry,
+			// where the absolute doc id is stored with the +1 shift).
+			out = binary.AppendUvarint(out, uint64(docDelta)+1)
+			out = binary.AppendUvarint(out, uint64(p.Off))
+		} else {
+			// Same document: a 0 sentinel then the offset gap.
+			out = binary.AppendUvarint(out, 0)
+			out = binary.AppendUvarint(out, uint64(p.Off-prev.Off))
+		}
+		prev = p
+		first = false
+	}
+	return out
+}
+
+func decodePostingValue(v []byte) ([]Pos, error) {
+	if len(v) < 3 {
+		return nil, fmt.Errorf("index: short posting value")
+	}
+	switch v[0] {
+	case postingFormatDelta:
+		return decodePostingDelta(v[1:])
+	case postingFormatFixed:
+		return decodePostingFixed(v[1:])
+	default:
+		return nil, fmt.Errorf("index: unknown posting format 0x%02x", v[0])
+	}
+}
+
+func decodePostingDelta(v []byte) ([]Pos, error) {
+	n := int(binary.BigEndian.Uint16(v[0:2]))
+	v = v[2:]
+	out := make([]Pos, 0, n)
+	var prev Pos
+	first := true
+	for i := 0; i < n; i++ {
+		marker, k := binary.Uvarint(v)
+		if k <= 0 {
+			return nil, fmt.Errorf("index: truncated posting delta at entry %d", i)
+		}
+		v = v[k:]
+		val, k := binary.Uvarint(v)
+		if k <= 0 {
+			return nil, fmt.Errorf("index: truncated posting offset at entry %d", i)
+		}
+		v = v[k:]
+		var p Pos
+		if marker == 0 {
+			if first {
+				return nil, fmt.Errorf("index: posting delta starts with same-doc marker")
+			}
+			p = Pos{Doc: prev.Doc, Off: prev.Off + uint32(val)}
+		} else {
+			doc := uint32(marker - 1)
+			if !first {
+				doc += prev.Doc
+			}
+			p = Pos{Doc: doc, Off: uint32(val)}
+		}
+		out = append(out, p)
+		prev = p
+		first = false
+	}
+	if len(v) != 0 {
+		return nil, fmt.Errorf("index: %d trailing bytes in posting value", len(v))
+	}
+	return out, nil
+}
+
+func decodePostingFixed(v []byte) ([]Pos, error) {
+	n := int(binary.BigEndian.Uint16(v[0:2]))
+	if len(v) != 2+8*n {
+		return nil, fmt.Errorf("index: posting value length %d for %d entries", len(v), n)
+	}
+	out := make([]Pos, n)
+	for i := 0; i < n; i++ {
+		off := 2 + 8*i
+		out[i] = Pos{
+			Doc: binary.BigEndian.Uint32(v[off : off+4]),
+			Off: binary.BigEndian.Uint32(v[off+4 : off+8]),
+		}
+	}
+	return out, nil
+}
+
+// --- score inversion for RPL keys ---
+
+// invertScore maps a non-negative score to a big-endian-sortable value
+// whose ascending order is descending score order (the "ir" field).
+func invertScore(score float64) uint64 {
+	if score < 0 {
+		score = 0
+	}
+	return ^math.Float64bits(score)
+}
+
+// uninvertScore recovers the score from its inverted form.
+func uninvertScore(ir uint64) float64 {
+	return math.Float64frombits(^ir)
+}
+
+// --- RPLs codec: key = token.ir.sid.doc.end, value = (score, length) ---
+
+// RPLEntry is one scored element in a relevance posting list.
+type RPLEntry struct {
+	Score  float64
+	SID    uint32
+	Doc    uint32
+	End    uint32
+	Length uint32
+}
+
+// Element converts the entry to its Elements-table form.
+func (e RPLEntry) Element() Element {
+	return Element{SID: e.SID, Doc: e.Doc, End: e.End, Length: e.Length}
+}
+
+func rplKey(term string, e RPLEntry) []byte {
+	k := termPrefix(term)
+	var tail [20]byte
+	binary.BigEndian.PutUint64(tail[0:8], invertScore(e.Score))
+	binary.BigEndian.PutUint32(tail[8:12], e.SID)
+	binary.BigEndian.PutUint32(tail[12:16], e.Doc)
+	binary.BigEndian.PutUint32(tail[16:20], e.End)
+	return append(k, tail[:]...)
+}
+
+func rplValue(e RPLEntry) []byte {
+	var v [12]byte
+	binary.BigEndian.PutUint64(v[0:8], math.Float64bits(e.Score))
+	binary.BigEndian.PutUint32(v[8:12], e.Length)
+	return v[:]
+}
+
+func decodeRPL(k, v []byte) (string, RPLEntry, error) {
+	term, rest, err := splitTermPrefix(k)
+	if err != nil {
+		return "", RPLEntry{}, err
+	}
+	if len(rest) != 20 || len(v) != 12 {
+		return "", RPLEntry{}, fmt.Errorf("index: bad RPL row (%d,%d)", len(rest), len(v))
+	}
+	e := RPLEntry{
+		SID:    binary.BigEndian.Uint32(rest[8:12]),
+		Doc:    binary.BigEndian.Uint32(rest[12:16]),
+		End:    binary.BigEndian.Uint32(rest[16:20]),
+		Score:  math.Float64frombits(binary.BigEndian.Uint64(v[0:8])),
+		Length: binary.BigEndian.Uint32(v[8:12]),
+	}
+	return term, e, nil
+}
+
+// --- ERPLs codec: key = token.sid.doc.end, value = (score, length) ---
+
+func erplKey(term string, e RPLEntry) []byte {
+	k := termPrefix(term)
+	var tail [12]byte
+	binary.BigEndian.PutUint32(tail[0:4], e.SID)
+	binary.BigEndian.PutUint32(tail[4:8], e.Doc)
+	binary.BigEndian.PutUint32(tail[8:12], e.End)
+	return append(k, tail[:]...)
+}
+
+func erplSIDPrefix(term string, sid uint32) []byte {
+	k := termPrefix(term)
+	var tail [4]byte
+	binary.BigEndian.PutUint32(tail[:], sid)
+	return append(k, tail[:]...)
+}
+
+func decodeERPL(k, v []byte) (string, RPLEntry, error) {
+	term, rest, err := splitTermPrefix(k)
+	if err != nil {
+		return "", RPLEntry{}, err
+	}
+	if len(rest) != 12 || len(v) != 12 {
+		return "", RPLEntry{}, fmt.Errorf("index: bad ERPL row (%d,%d)", len(rest), len(v))
+	}
+	e := RPLEntry{
+		SID:    binary.BigEndian.Uint32(rest[0:4]),
+		Doc:    binary.BigEndian.Uint32(rest[4:8]),
+		End:    binary.BigEndian.Uint32(rest[8:12]),
+		Score:  math.Float64frombits(binary.BigEndian.Uint64(v[0:8])),
+		Length: binary.BigEndian.Uint32(v[8:12]),
+	}
+	return term, e, nil
+}

@@ -1,0 +1,54 @@
+package index
+
+import "encoding/binary"
+
+// DropList removes every entry of the (kind, term, sid) list and its
+// catalog record, returning the number of entries deleted. The
+// self-managing advisor uses this to reclaim lists that were materialized
+// for measurement but not selected by the plan.
+func (s *Store) DropList(kind ListKind, term string, sid uint32) (int, error) {
+	tree := s.RPLs
+	if kind == KindERPL {
+		tree = s.ERPLs
+	}
+	// Collect matching keys first: deleting while iterating would
+	// invalidate the cursor.
+	var keys [][]byte
+	prefix := termPrefix(term)
+	cur := tree.Cursor()
+	ok, err := cur.SeekPrefix(prefix)
+	if err != nil {
+		return 0, err
+	}
+	for ; ok; ok, err = cur.NextPrefix(prefix) {
+		rest := cur.Key()[len(prefix):]
+		var entrySID uint32
+		switch kind {
+		case KindRPL:
+			if len(rest) != 20 {
+				continue
+			}
+			entrySID = binary.BigEndian.Uint32(rest[8:12])
+		default:
+			if len(rest) != 12 {
+				continue
+			}
+			entrySID = binary.BigEndian.Uint32(rest[0:4])
+		}
+		if entrySID == sid {
+			keys = append(keys, append([]byte(nil), cur.Key()...))
+		}
+	}
+	if err != nil {
+		return 0, err
+	}
+	for _, k := range keys {
+		if _, err := tree.Delete(k); err != nil {
+			return 0, err
+		}
+	}
+	if _, err := s.Catalog.Delete(catalogKey(kind, term, sid)); err != nil {
+		return 0, err
+	}
+	return len(keys), nil
+}

@@ -1,0 +1,329 @@
+package index
+
+import (
+	"container/heap"
+	"math"
+)
+
+// ElementIterator walks the extent of one sid in (doc, endpos) order —
+// the I_s iterator of the ERA algorithm (paper Figure 2). At extent end it
+// returns the dummy element (end position m-pos, length zero).
+type ElementIterator struct {
+	store *Store
+	sid   uint32
+	cur   interface {
+		Seek(key []byte) (bool, error)
+		Key() []byte
+		Value() []byte
+	}
+}
+
+// NewElementIterator creates an iterator over the elements with the given
+// sid.
+func NewElementIterator(s *Store, sid uint32) *ElementIterator {
+	return &ElementIterator{store: s, sid: sid, cur: s.Elements.Cursor()}
+}
+
+// read decodes the row under the cursor, verifying it still belongs to the
+// iterator's sid.
+func (it *ElementIterator) read() (Element, error) {
+	sid, doc, end, err := decodeElementsKey(it.cur.Key())
+	if err != nil {
+		return Element{}, err
+	}
+	if sid != it.sid {
+		return DummyElement(), nil
+	}
+	length, err := decodeElementsValue(it.cur.Value())
+	if err != nil {
+		return Element{}, err
+	}
+	return Element{SID: sid, Doc: doc, End: end, Length: length}, nil
+}
+
+// FirstElement returns the first element of the extent, or the dummy
+// element if the extent is empty.
+func (it *ElementIterator) FirstElement() (Element, error) {
+	ok, err := it.cur.Seek(elementsKey(it.sid, 0, 0))
+	if err != nil {
+		return Element{}, err
+	}
+	if !ok {
+		return DummyElement(), nil
+	}
+	return it.read()
+}
+
+// NextElementAfter returns the extent element with the lowest end position
+// strictly greater than p, or the dummy element. Implemented as an index
+// seek, exactly as the paper describes.
+func (it *ElementIterator) NextElementAfter(p Pos) (Element, error) {
+	doc, off := p.Doc, p.Off
+	// Strictly-greater seek target: increment (doc, off) lexicographically.
+	if off == math.MaxUint32 {
+		if doc == math.MaxUint32 {
+			return DummyElement(), nil
+		}
+		doc, off = doc+1, 0
+	} else {
+		off++
+	}
+	ok, err := it.cur.Seek(elementsKey(it.sid, doc, off))
+	if err != nil {
+		return Element{}, err
+	}
+	if !ok {
+		return DummyElement(), nil
+	}
+	return it.read()
+}
+
+// PostingIterator walks a term's posting list in position order — the I_t
+// iterator of ERA. Every list logically ends with m-pos; iterating past
+// the end keeps returning m-pos, matching the paper's loop condition
+// "until for all the terms, the maximal position m-pos has been reached".
+type PostingIterator struct {
+	store  *Store
+	term   string
+	prefix []byte
+	cur    interface {
+		SeekPrefix(prefix []byte) (bool, error)
+		NextPrefix(prefix []byte) (bool, error)
+		Value() []byte
+	}
+	frag    []Pos
+	i       int
+	started bool
+	done    bool
+}
+
+// NewPostingIterator creates an iterator over term's posting list.
+func NewPostingIterator(s *Store, term string) *PostingIterator {
+	return &PostingIterator{
+		store:  s,
+		term:   term,
+		prefix: termPrefix(term),
+		cur:    s.Postings.Cursor(),
+	}
+}
+
+// NextPosition returns the next position, or m-pos once exhausted.
+func (it *PostingIterator) NextPosition() (Pos, error) {
+	if it.done {
+		return MaxPos, nil
+	}
+	for it.i >= len(it.frag) {
+		var ok bool
+		var err error
+		if !it.started {
+			it.started = true
+			ok, err = it.cur.SeekPrefix(it.prefix)
+		} else {
+			ok, err = it.cur.NextPrefix(it.prefix)
+		}
+		if err != nil {
+			return MaxPos, err
+		}
+		if !ok {
+			it.done = true
+			return MaxPos, nil
+		}
+		frag, err := decodePostingValue(it.cur.Value())
+		if err != nil {
+			return MaxPos, err
+		}
+		it.frag = frag
+		it.i = 0
+	}
+	p := it.frag[it.i]
+	it.i++
+	if p.IsMax() {
+		it.done = true
+	}
+	return p, nil
+}
+
+// RPLIterator walks a term's relevance posting list in descending score
+// order — the sorted access TA performs.
+type RPLIterator struct {
+	store  *Store
+	term   string
+	prefix []byte
+	cur    interface {
+		SeekPrefix(prefix []byte) (bool, error)
+		NextPrefix(prefix []byte) (bool, error)
+		Key() []byte
+		Value() []byte
+	}
+	started bool
+	done    bool
+	// Reads counts entries returned; the experiments use it to measure
+	// how deep TA reads into each list before stopping.
+	Reads int
+}
+
+// NewRPLIterator creates a descending-score iterator over term's RPL.
+func NewRPLIterator(s *Store, term string) *RPLIterator {
+	return &RPLIterator{store: s, term: term, prefix: termPrefix(term), cur: s.RPLs.Cursor()}
+}
+
+// Next returns the next entry; ok is false once the list is exhausted.
+func (it *RPLIterator) Next() (RPLEntry, bool, error) {
+	if it.done {
+		return RPLEntry{}, false, nil
+	}
+	var ok bool
+	var err error
+	if !it.started {
+		it.started = true
+		ok, err = it.cur.SeekPrefix(it.prefix)
+	} else {
+		ok, err = it.cur.NextPrefix(it.prefix)
+	}
+	if err != nil {
+		return RPLEntry{}, false, err
+	}
+	if !ok {
+		it.done = true
+		return RPLEntry{}, false, nil
+	}
+	_, e, err := decodeRPL(it.cur.Key(), it.cur.Value())
+	if err != nil {
+		return RPLEntry{}, false, err
+	}
+	it.Reads++
+	return e, true, nil
+}
+
+// ERPLIterator walks the (term, sid) segment of an ERPL in position order.
+type ERPLIterator struct {
+	prefix []byte
+	cur    interface {
+		SeekPrefix(prefix []byte) (bool, error)
+		NextPrefix(prefix []byte) (bool, error)
+		Key() []byte
+		Value() []byte
+	}
+	started bool
+	done    bool
+}
+
+// NewERPLIterator creates an iterator over the ERPL entries of (term, sid).
+func NewERPLIterator(s *Store, term string, sid uint32) *ERPLIterator {
+	return &ERPLIterator{prefix: erplSIDPrefix(term, sid), cur: s.ERPLs.Cursor()}
+}
+
+// Next returns the next entry in (doc, endpos) order; ok is false at end.
+func (it *ERPLIterator) Next() (RPLEntry, bool, error) {
+	if it.done {
+		return RPLEntry{}, false, nil
+	}
+	var ok bool
+	var err error
+	if !it.started {
+		it.started = true
+		ok, err = it.cur.SeekPrefix(it.prefix)
+	} else {
+		ok, err = it.cur.NextPrefix(it.prefix)
+	}
+	if err != nil {
+		return RPLEntry{}, false, err
+	}
+	if !ok {
+		it.done = true
+		return RPLEntry{}, false, nil
+	}
+	_, e, err := decodeERPL(it.cur.Key(), it.cur.Value())
+	if err != nil {
+		return RPLEntry{}, false, err
+	}
+	return e, true, nil
+}
+
+// TermERPL merges the per-(term, sid) ERPL segments of one term across a
+// sid set into a single position-ordered stream — the first merge step of
+// Section 4's two-step evaluation. It is the per-term list L_i that the
+// Merge algorithm (Figure 3) consumes.
+type TermERPL struct {
+	h erplHeap
+}
+
+// NewTermERPL opens iterators for every sid and primes the merge heap.
+func NewTermERPL(s *Store, term string, sids []uint32) (*TermERPL, error) {
+	m := &TermERPL{}
+	for _, sid := range sids {
+		it := NewERPLIterator(s, term, sid)
+		e, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			m.h = append(m.h, erplStream{head: e, it: it})
+		}
+	}
+	heap.Init(&m.h)
+	return m, nil
+}
+
+// Next returns the next entry across all sids in (doc, endpos) order.
+func (m *TermERPL) Next() (RPLEntry, bool, error) {
+	if m.h.Len() == 0 {
+		return RPLEntry{}, false, nil
+	}
+	top := m.h[0]
+	out := top.head
+	e, ok, err := top.it.Next()
+	if err != nil {
+		return RPLEntry{}, false, err
+	}
+	if ok {
+		m.h[0].head = e
+		heap.Fix(&m.h, 0)
+	} else {
+		heap.Pop(&m.h)
+	}
+	return out, true, nil
+}
+
+type erplStream struct {
+	head RPLEntry
+	it   *ERPLIterator
+}
+
+type erplHeap []erplStream
+
+func (h erplHeap) Len() int { return len(h) }
+func (h erplHeap) Less(i, j int) bool {
+	a, b := h[i].head, h[j].head
+	if a.Doc != b.Doc {
+		return a.Doc < b.Doc
+	}
+	return a.End < b.End
+}
+func (h erplHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *erplHeap) Push(x any)   { *h = append(*h, x.(erplStream)) }
+func (h *erplHeap) Pop() any {
+	old := *h
+	n := len(old)
+	out := old[n-1]
+	*h = old[:n-1]
+	return out
+}
+
+// CompareDocEnd orders two (doc, end) element identities.
+func CompareDocEnd(aDoc, aEnd, bDoc, bEnd uint32) int {
+	switch {
+	case aDoc != bDoc:
+		if aDoc < bDoc {
+			return -1
+		}
+		return 1
+	case aEnd != bEnd:
+		if aEnd < bEnd {
+			return -1
+		}
+		return 1
+	default:
+		return 0
+	}
+}

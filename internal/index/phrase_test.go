@@ -1,0 +1,154 @@
+package index
+
+import (
+	"testing"
+
+	"trex/internal/corpus"
+	"trex/internal/storage"
+	"trex/internal/summary"
+)
+
+func phraseEnv(t *testing.T, docs ...string) (*Store, *summary.Summary) {
+	t.Helper()
+	col := &corpus.Collection{}
+	for i, d := range docs {
+		col.Docs = append(col.Docs, corpus.Document{ID: i, Data: []byte(d)})
+	}
+	sum, err := summary.Build(col, summary.Options{Kind: summary.KindIncoming})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := storage.OpenMemory()
+	t.Cleanup(func() { db.Close() })
+	st, err := Open(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildBase(st, col, sum); err != nil {
+		t.Fatal(err)
+	}
+	return st, sum
+}
+
+func rootElement(t *testing.T, st *Store, sid uint32) Element {
+	t.Helper()
+	it := NewElementIterator(st, sid)
+	e, err := it.FirstElement()
+	if err != nil || e.IsDummy() {
+		t.Fatalf("no element for sid %d: %v", sid, err)
+	}
+	return e
+}
+
+func TestPhraseFreqAdjacent(t *testing.T) {
+	st, _ := phraseEnv(t, `<a>genetic algorithm works, genetic algorithm wins</a>`)
+	e := rootElement(t, st, 1)
+	got, err := PhraseFreqInSpan(st, []string{"genetic", "algorithm"}, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Fatalf("phrase freq = %d, want 2", got)
+	}
+}
+
+func TestPhraseFreqNonAdjacent(t *testing.T) {
+	st, _ := phraseEnv(t, `<a>genetic mutation uses an algorithm</a>`)
+	e := rootElement(t, st, 1)
+	got, err := PhraseFreqInSpan(st, []string{"genetic", "algorithm"}, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("phrase freq = %d, want 0 (words apart)", got)
+	}
+}
+
+func TestPhraseFreqAcrossMarkup(t *testing.T) {
+	// Markup between words exceeds the gap: not a phrase occurrence.
+	st, _ := phraseEnv(t, `<a>genetic<b>algorithm</b></a>`)
+	e := rootElement(t, st, 1)
+	got, err := PhraseFreqInSpan(st, []string{"genetic", "algorithm"}, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("phrase freq across markup = %d, want 0", got)
+	}
+}
+
+func TestPhraseFreqPunctuationGap(t *testing.T) {
+	// A comma plus space still counts as adjacent (gap <= 3 bytes).
+	st, _ := phraseEnv(t, `<a>genetic, algorithm</a>`)
+	e := rootElement(t, st, 1)
+	got, err := PhraseFreqInSpan(st, []string{"genetic", "algorithm"}, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("phrase freq with comma = %d, want 1", got)
+	}
+}
+
+func TestPhraseFreqThreeWords(t *testing.T) {
+	st, _ := phraseEnv(t, `<a>state space explosion and state space but no explosion</a>`)
+	e := rootElement(t, st, 1)
+	got, err := PhraseFreqInSpan(st, []string{"state", "space", "explosion"}, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("3-word phrase freq = %d, want 1", got)
+	}
+}
+
+func TestPhraseFreqSingleWordDelegates(t *testing.T) {
+	st, _ := phraseEnv(t, `<a>solo appears solo twice solo</a>`)
+	e := rootElement(t, st, 1)
+	got, err := PhraseFreqInSpan(st, []string{"solo"}, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Fatalf("single-word phrase = %d, want 3", got)
+	}
+	// Empty phrase.
+	if got, err := PhraseFreqInSpan(st, nil, e); err != nil || got != 0 {
+		t.Fatalf("empty phrase = %d, %v", got, err)
+	}
+	// Missing word short-circuits.
+	if got, err := PhraseFreqInSpan(st, []string{"solo", "absent"}, e); err != nil || got != 0 {
+		t.Fatalf("missing word = %d, %v", got, err)
+	}
+}
+
+func TestPhraseFreqSubElementScope(t *testing.T) {
+	// The phrase occurs in one sibling only; each element sees its own.
+	st, sum := phraseEnv(t, `<a><b>genetic algorithm</b><b>algorithm genetic</b></a>`)
+	var bsid uint32
+	for _, n := range sum.Nodes {
+		if n.Label == "b" {
+			bsid = uint32(n.SID)
+		}
+	}
+	it := NewElementIterator(st, bsid)
+	first, err := it.FirstElement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := it.NextElementAfter(first.EndPos())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := PhraseFreqInSpan(st, []string{"genetic", "algorithm"}, first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := PhraseFreqInSpan(st, []string{"genetic", "algorithm"}, second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 != 1 || f2 != 0 {
+		t.Fatalf("sibling phrase freqs = %d, %d; want 1, 0", f1, f2)
+	}
+}

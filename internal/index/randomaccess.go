@@ -1,0 +1,55 @@
+package index
+
+import "bytes"
+
+// TFInSpan counts the occurrences of term strictly inside the element's
+// byte span — the random access the threshold algorithm uses to complete
+// a candidate's score for lists it has not reached under sorted access.
+// It costs one floor-seek into the fragmented posting list plus a scan of
+// the overlapping fragments.
+func TFInSpan(s *Store, term string, e Element) (int, error) {
+	if e.IsDummy() || e.Length == 0 {
+		return 0, nil
+	}
+	lo := Pos{Doc: e.Doc, Off: e.Start() + 1} // strict containment
+	hi := Pos{Doc: e.Doc, Off: e.End}         // exclusive
+	prefix := termPrefix(term)
+	cur := s.Postings.Cursor()
+
+	// Find the fragment whose first position is the greatest <= lo; it may
+	// hold positions inside the span even though its key precedes lo.
+	ok, err := cur.SeekFloor(postingKey(term, lo))
+	if err != nil {
+		return 0, err
+	}
+	if !ok || !bytes.HasPrefix(cur.Key(), prefix) {
+		// No fragment at or before lo for this term; start at the term's
+		// first fragment (all of its positions are > lo or none exist).
+		ok, err = cur.SeekPrefix(prefix)
+		if err != nil || !ok {
+			return 0, err
+		}
+	}
+	tf := 0
+	for {
+		frag, err := decodePostingValue(cur.Value())
+		if err != nil {
+			return 0, err
+		}
+		for _, p := range frag {
+			if p.IsMax() || !p.Less(hi) {
+				return tf, nil
+			}
+			if !p.Less(lo) { // lo <= p < hi
+				tf++
+			}
+		}
+		ok, err = cur.NextPrefix(prefix)
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			return tf, nil
+		}
+	}
+}

@@ -1,0 +1,212 @@
+// Package nexi parses NEXI (Narrowed Extended XPath I) retrieval queries,
+// the INEX query language TReX evaluates.
+//
+// The supported grammar covers the fragment the paper's workload uses —
+// descendant steps, name tests with wildcard, about() predicates combined
+// with 'and'/'or', quoted phrases and +/- term qualifiers:
+//
+//	Query     = Step { Step } .
+//	Step      = "//" NameTest [ "[" OrExpr "]" ] .
+//	NameTest  = Name | "*" .
+//	OrExpr    = AndExpr { "or" AndExpr } .
+//	AndExpr   = Primary { "and" Primary } .
+//	Primary   = About | "(" OrExpr ")" .
+//	About     = "about" "(" RelPath "," Terms ")" .
+//	RelPath   = "." { "//" NameTest } .
+//	Terms     = Term { Term } .
+//	Term      = [ "+" | "-" ] ( Word | Phrase ) .
+//
+// Example: //article[about(., xml)]//sec[about(., query evaluation)]
+package nexi
+
+import "strings"
+
+// Query is a parsed NEXI query.
+type Query struct {
+	// Steps in order; the last step selects the answer elements.
+	Steps []Step
+	// Raw is the original query text.
+	Raw string
+}
+
+// Step is one //-step with an optional predicate.
+type Step struct {
+	// Name is the element name test; "*" matches any label.
+	Name string
+	// Pred is nil when the step has no predicate.
+	Pred *Expr
+}
+
+// ExprKind discriminates predicate expression nodes.
+type ExprKind int
+
+const (
+	// ExprAbout is an about(path, terms) leaf.
+	ExprAbout ExprKind = iota
+	// ExprAnd is a conjunction of children.
+	ExprAnd
+	// ExprOr is a disjunction of children.
+	ExprOr
+)
+
+// Expr is a predicate expression tree.
+type Expr struct {
+	Kind     ExprKind
+	Children []*Expr // for ExprAnd / ExprOr
+	About    *About  // for ExprAbout
+}
+
+// About is one about(relpath, terms) filter.
+type About struct {
+	// Path is the relative path after ".": zero or more descendant name
+	// tests. Empty means the context element itself.
+	Path []string
+	// Terms is the keyword list.
+	Terms []Term
+}
+
+// Term is one search term within an about().
+type Term struct {
+	// Word is the lowercased term; for phrases it is empty.
+	Word string
+	// Phrase holds the words of a quoted phrase (lowercased), nil for a
+	// plain term.
+	Phrase []string
+	// Minus marks an excluded term (e.g. -french).
+	Minus bool
+	// Plus marks an emphasized term (e.g. +painting).
+	Plus bool
+}
+
+// Words returns the term's word list: the single word or the phrase.
+func (t Term) Words() []string {
+	if len(t.Phrase) > 0 {
+		return t.Phrase
+	}
+	return []string{t.Word}
+}
+
+// String reassembles the term in NEXI syntax.
+func (t Term) String() string {
+	var sb strings.Builder
+	if t.Minus {
+		sb.WriteByte('-')
+	}
+	if t.Plus {
+		sb.WriteByte('+')
+	}
+	if len(t.Phrase) > 0 {
+		sb.WriteByte('"')
+		sb.WriteString(strings.Join(t.Phrase, " "))
+		sb.WriteByte('"')
+	} else {
+		sb.WriteString(t.Word)
+	}
+	return sb.String()
+}
+
+// Abouts returns every about() in the expression tree, left to right.
+func (e *Expr) Abouts() []*About {
+	if e == nil {
+		return nil
+	}
+	if e.Kind == ExprAbout {
+		return []*About{e.About}
+	}
+	var out []*About
+	for _, c := range e.Children {
+		out = append(out, c.Abouts()...)
+	}
+	return out
+}
+
+// Abouts returns every about() in the query, in syntactic order, paired
+// with the index of the step carrying it.
+func (q *Query) Abouts() []QueryAbout {
+	var out []QueryAbout
+	for i := range q.Steps {
+		for _, a := range q.Steps[i].Pred.Abouts() {
+			out = append(out, QueryAbout{StepIndex: i, About: a})
+		}
+	}
+	return out
+}
+
+// QueryAbout locates an about() within its query.
+type QueryAbout struct {
+	StepIndex int
+	About     *About
+}
+
+// AllTerms returns the distinct positive (non-Minus) words across the
+// whole query, in first-appearance order.
+func (q *Query) AllTerms() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, qa := range q.Abouts() {
+		for _, t := range qa.About.Terms {
+			if t.Minus {
+				continue
+			}
+			for _, w := range t.Words() {
+				if !seen[w] {
+					seen[w] = true
+					out = append(out, w)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// String reassembles the query in NEXI syntax.
+func (q *Query) String() string {
+	var sb strings.Builder
+	for _, s := range q.Steps {
+		sb.WriteString("//")
+		sb.WriteString(s.Name)
+		if s.Pred != nil {
+			sb.WriteByte('[')
+			writeExpr(&sb, s.Pred)
+			sb.WriteByte(']')
+		}
+	}
+	return sb.String()
+}
+
+func writeExpr(sb *strings.Builder, e *Expr) {
+	switch e.Kind {
+	case ExprAbout:
+		sb.WriteString("about(.")
+		for _, p := range e.About.Path {
+			sb.WriteString("//")
+			sb.WriteString(p)
+		}
+		sb.WriteString(", ")
+		for i, t := range e.About.Terms {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(t.String())
+		}
+		sb.WriteByte(')')
+	case ExprAnd, ExprOr:
+		op := " and "
+		if e.Kind == ExprOr {
+			op = " or "
+		}
+		for i, c := range e.Children {
+			if i > 0 {
+				sb.WriteString(op)
+			}
+			paren := c.Kind != ExprAbout
+			if paren {
+				sb.WriteByte('(')
+			}
+			writeExpr(sb, c)
+			if paren {
+				sb.WriteByte(')')
+			}
+		}
+	}
+}

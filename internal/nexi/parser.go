@@ -1,0 +1,282 @@
+package nexi
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseError reports a syntax error with its byte position in the query.
+type ParseError struct {
+	Pos int
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("nexi: parse error at %d: %s", e.Pos, e.Msg)
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+// Parse parses a NEXI query.
+func Parse(src string) (*Query, error) {
+	p := &parser{src: src}
+	q := &Query{Raw: src}
+	p.skipSpace()
+	for p.pos < len(p.src) {
+		step, err := p.parseStep()
+		if err != nil {
+			return nil, err
+		}
+		q.Steps = append(q.Steps, step)
+		p.skipSpace()
+	}
+	if len(q.Steps) == 0 {
+		return nil, &ParseError{Pos: 0, Msg: "empty query"}
+	}
+	return q, nil
+}
+
+// MustParse parses or panics; for tests and static query tables.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &ParseError{Pos: p.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *parser) expect(lit string) error {
+	p.skipSpace()
+	if !strings.HasPrefix(p.src[p.pos:], lit) {
+		return p.errf("expected %q", lit)
+	}
+	p.pos += len(lit)
+	return nil
+}
+
+func (p *parser) peek(lit string) bool {
+	p.skipSpace()
+	return strings.HasPrefix(p.src[p.pos:], lit)
+}
+
+func isWordByte(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+// parseName parses an element name test or bare word.
+func (p *parser) parseName() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) && isWordByte(p.src[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", p.errf("expected name")
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *parser) parseStep() (Step, error) {
+	if err := p.expect("//"); err != nil {
+		return Step{}, err
+	}
+	var name string
+	if p.peek("*") {
+		p.pos++
+		name = "*"
+	} else {
+		n, err := p.parseName()
+		if err != nil {
+			return Step{}, err
+		}
+		name = n
+	}
+	step := Step{Name: name}
+	if p.peek("[") {
+		p.pos++
+		expr, err := p.parseOr()
+		if err != nil {
+			return Step{}, err
+		}
+		if err := p.expect("]"); err != nil {
+			return Step{}, err
+		}
+		step.Pred = expr
+	}
+	return step, nil
+}
+
+// peekKeyword reports whether the next token is the given keyword followed
+// by a non-word byte.
+func (p *parser) peekKeyword(kw string) bool {
+	p.skipSpace()
+	if !strings.HasPrefix(p.src[p.pos:], kw) {
+		return false
+	}
+	rest := p.pos + len(kw)
+	return rest >= len(p.src) || !isWordByte(p.src[rest])
+}
+
+func (p *parser) parseOr() (*Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	children := []*Expr{left}
+	for p.peekKeyword("or") {
+		p.pos += len("or")
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, right)
+	}
+	if len(children) == 1 {
+		return left, nil
+	}
+	return &Expr{Kind: ExprOr, Children: children}, nil
+}
+
+func (p *parser) parseAnd() (*Expr, error) {
+	left, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	children := []*Expr{left}
+	for p.peekKeyword("and") {
+		p.pos += len("and")
+		right, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, right)
+	}
+	if len(children) == 1 {
+		return left, nil
+	}
+	return &Expr{Kind: ExprAnd, Children: children}, nil
+}
+
+func (p *parser) parsePrimary() (*Expr, error) {
+	if p.peek("(") {
+		p.pos++
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return p.parseAbout()
+}
+
+func (p *parser) parseAbout() (*Expr, error) {
+	if !p.peekKeyword("about") {
+		return nil, p.errf("expected about(...)")
+	}
+	p.pos += len("about")
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	about := &About{}
+	if err := p.expect("."); err != nil {
+		return nil, err
+	}
+	for p.peek("//") {
+		p.pos += 2
+		if p.peek("*") {
+			p.pos++
+			about.Path = append(about.Path, "*")
+			continue
+		}
+		n, err := p.parseName()
+		if err != nil {
+			return nil, err
+		}
+		about.Path = append(about.Path, n)
+	}
+	if err := p.expect(","); err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			return nil, p.errf("unterminated about()")
+		}
+		if p.src[p.pos] == ')' {
+			break
+		}
+		t, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		about.Terms = append(about.Terms, t)
+	}
+	p.pos++ // ')'
+	if len(about.Terms) == 0 {
+		return nil, p.errf("about() with no terms")
+	}
+	return &Expr{Kind: ExprAbout, About: about}, nil
+}
+
+func (p *parser) parseTerm() (Term, error) {
+	p.skipSpace()
+	var t Term
+	for p.pos < len(p.src) {
+		if p.src[p.pos] == '-' && !t.Minus {
+			t.Minus = true
+			p.pos++
+			continue
+		}
+		if p.src[p.pos] == '+' && !t.Plus {
+			t.Plus = true
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos < len(p.src) && p.src[p.pos] == '"' {
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] != '"' {
+			p.pos++
+		}
+		if p.pos >= len(p.src) {
+			return t, p.errf("unterminated phrase")
+		}
+		phrase := p.src[start:p.pos]
+		p.pos++
+		words := strings.Fields(strings.ToLower(phrase))
+		if len(words) == 0 {
+			return t, p.errf("empty phrase")
+		}
+		t.Phrase = words
+		return t, nil
+	}
+	w, err := p.parseName()
+	if err != nil {
+		return t, p.errf("expected term")
+	}
+	t.Word = strings.ToLower(w)
+	return t, nil
+}

@@ -1,0 +1,213 @@
+package nexi
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseQ202Style(t *testing.T) {
+	q, err := Parse(`//article[about(., XML)]//sec[about(., query evaluation)]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Steps) != 2 {
+		t.Fatalf("steps = %d, want 2", len(q.Steps))
+	}
+	if q.Steps[0].Name != "article" || q.Steps[1].Name != "sec" {
+		t.Fatalf("names = %q, %q", q.Steps[0].Name, q.Steps[1].Name)
+	}
+	abouts := q.Abouts()
+	if len(abouts) != 2 {
+		t.Fatalf("abouts = %d, want 2", len(abouts))
+	}
+	if abouts[0].StepIndex != 0 || abouts[1].StepIndex != 1 {
+		t.Fatalf("about step indexes = %d, %d", abouts[0].StepIndex, abouts[1].StepIndex)
+	}
+	// Terms are lowercased.
+	if abouts[0].About.Terms[0].Word != "xml" {
+		t.Fatalf("term = %q, want xml", abouts[0].About.Terms[0].Word)
+	}
+	if got := q.AllTerms(); !reflect.DeepEqual(got, []string{"xml", "query", "evaluation"}) {
+		t.Fatalf("AllTerms = %v", got)
+	}
+}
+
+func TestParseAndConjunction(t *testing.T) {
+	q, err := Parse(`//article[about(.//bdy, synthesizers) and about(.//bdy, music)]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := q.Steps[0].Pred
+	if pred.Kind != ExprAnd || len(pred.Children) != 2 {
+		t.Fatalf("pred = %+v", pred)
+	}
+	a0 := pred.Children[0].About
+	if !reflect.DeepEqual(a0.Path, []string{"bdy"}) {
+		t.Fatalf("about path = %v", a0.Path)
+	}
+	if a0.Terms[0].Word != "synthesizers" {
+		t.Fatalf("term = %q", a0.Terms[0].Word)
+	}
+}
+
+func TestParseOrAndParens(t *testing.T) {
+	q, err := Parse(`//a[about(., x1) or (about(., y1) and about(., z1))]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := q.Steps[0].Pred
+	if pred.Kind != ExprOr || len(pred.Children) != 2 {
+		t.Fatalf("pred = %+v", pred)
+	}
+	if pred.Children[1].Kind != ExprAnd {
+		t.Fatalf("right child = %+v", pred.Children[1])
+	}
+	if len(q.Abouts()) != 3 {
+		t.Fatalf("abouts = %d", len(q.Abouts()))
+	}
+}
+
+func TestParseWildcardStep(t *testing.T) {
+	q, err := Parse(`//bdy//*[about(., model checking state space explosion)]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Steps) != 2 || q.Steps[0].Name != "bdy" || q.Steps[1].Name != "*" {
+		t.Fatalf("steps = %+v", q.Steps)
+	}
+	if q.Steps[0].Pred != nil {
+		t.Fatal("bdy step must have no predicate")
+	}
+	terms := q.Steps[1].Pred.About.Terms
+	if len(terms) != 5 {
+		t.Fatalf("terms = %d, want 5", len(terms))
+	}
+}
+
+func TestParsePhraseAndQualifiers(t *testing.T) {
+	q, err := Parse(`//article[about(., "genetic algorithm")]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := q.Steps[0].Pred.About.Terms[0]
+	if !reflect.DeepEqual(tm.Phrase, []string{"genetic", "algorithm"}) {
+		t.Fatalf("phrase = %v", tm.Phrase)
+	}
+	if !reflect.DeepEqual(tm.Words(), []string{"genetic", "algorithm"}) {
+		t.Fatalf("Words = %v", tm.Words())
+	}
+
+	q2, err := Parse(`//article//figure[about(., Renaissance painting Italian Flemish -French -German)]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	terms := q2.Steps[1].Pred.About.Terms
+	if len(terms) != 6 {
+		t.Fatalf("terms = %d, want 6", len(terms))
+	}
+	if !terms[4].Minus || terms[4].Word != "french" {
+		t.Fatalf("term[4] = %+v", terms[4])
+	}
+	if !terms[5].Minus || terms[5].Word != "german" {
+		t.Fatalf("term[5] = %+v", terms[5])
+	}
+	// Minus terms are excluded from AllTerms.
+	all := q2.AllTerms()
+	for _, w := range all {
+		if w == "french" || w == "german" {
+			t.Fatalf("AllTerms contains negated %q", w)
+		}
+	}
+	if len(all) != 4 {
+		t.Fatalf("AllTerms = %v", all)
+	}
+}
+
+func TestParsePlusQualifier(t *testing.T) {
+	q, err := Parse(`//a[about(., +must maybe)]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	terms := q.Steps[0].Pred.About.Terms
+	if !terms[0].Plus || terms[0].Word != "must" {
+		t.Fatalf("term[0] = %+v", terms[0])
+	}
+	if terms[1].Plus || terms[1].Word != "maybe" {
+		t.Fatalf("term[1] = %+v", terms[1])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`article`,
+		`//`,
+		`//a[`,
+		`//a[about(, x)]`,
+		`//a[about(. x)]`,
+		`//a[about(., )]`,
+		`//a[about(., "unterminated)]`,
+		`//a[about(., x) and ]`,
+		`//a[notabout(., x)]`,
+		`//a[about(., x) or]`,
+		`//a[(about(., x)]`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		} else if _, ok := err.(*ParseError); !ok {
+			t.Errorf("Parse(%q) error type = %T", src, err)
+		}
+	}
+}
+
+func TestRoundTripString(t *testing.T) {
+	srcs := []string{
+		`//article[about(., xml)]//sec[about(., query evaluation)]`,
+		`//article[about(.//bdy, synthesizers) and about(.//bdy, music)]`,
+		`//bdy//*[about(., model checking)]`,
+		`//article[about(., "genetic algorithm")]`,
+		`//article//figure[about(., renaissance painting -french -german)]`,
+		`//a[about(., x1) or (about(., y2) and about(., z3))]`,
+	}
+	for _, src := range srcs {
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		q2, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("reparse of %q -> %q: %v", src, q.String(), err)
+		}
+		if q.String() != q2.String() {
+			t.Fatalf("unstable round trip: %q -> %q", q.String(), q2.String())
+		}
+	}
+}
+
+func TestKeywordPrefixNamesNotConfused(t *testing.T) {
+	// Element names that start with 'and'/'or'/'about' must parse as names.
+	q, err := Parse(`//android[about(.//orbit, anderson organ aboutness)]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Steps[0].Name != "android" {
+		t.Fatalf("name = %q", q.Steps[0].Name)
+	}
+	a := q.Steps[0].Pred.About
+	if a.Path[0] != "orbit" {
+		t.Fatalf("path = %v", a.Path)
+	}
+	if len(a.Terms) != 3 || a.Terms[0].Word != "anderson" || a.Terms[2].Word != "aboutness" {
+		t.Fatalf("terms = %+v", a.Terms)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse did not panic")
+		}
+	}()
+	MustParse(`not a query`)
+}

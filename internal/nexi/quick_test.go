@@ -1,0 +1,160 @@
+package nexi
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// genQuery builds a random syntactically valid query, returning the AST
+// we expect Parse to produce for it.
+func genQuery(rng *rand.Rand) *Query {
+	names := []string{"article", "sec", "bdy", "fig", "p", "title", "xyz"}
+	words := []string{"xml", "retrieval", "genetic", "ontologies", "music", "space"}
+	q := &Query{}
+	nSteps := 1 + rng.Intn(3)
+	for i := 0; i < nSteps; i++ {
+		step := Step{Name: names[rng.Intn(len(names))]}
+		if rng.Intn(4) == 0 {
+			step.Name = "*"
+		}
+		// Last step always carries a predicate so the query is retrievable;
+		// earlier steps sometimes.
+		if i == nSteps-1 || rng.Intn(2) == 0 {
+			step.Pred = genExpr(rng, names, words, 2)
+		}
+		q.Steps = append(q.Steps, step)
+	}
+	return q
+}
+
+func genExpr(rng *rand.Rand, names, words []string, depth int) *Expr {
+	if depth == 0 || rng.Intn(3) == 0 {
+		about := &About{}
+		for i := rng.Intn(3); i > 0; i-- {
+			about.Path = append(about.Path, names[rng.Intn(len(names))])
+		}
+		nTerms := 1 + rng.Intn(3)
+		for i := 0; i < nTerms; i++ {
+			t := Term{}
+			switch rng.Intn(4) {
+			case 0:
+				t.Phrase = []string{words[rng.Intn(len(words))], words[rng.Intn(len(words))]}
+			case 1:
+				t.Word = words[rng.Intn(len(words))]
+				t.Minus = true
+			case 2:
+				t.Word = words[rng.Intn(len(words))]
+				t.Plus = true
+			default:
+				t.Word = words[rng.Intn(len(words))]
+			}
+			about.Terms = append(about.Terms, t)
+		}
+		return &Expr{Kind: ExprAbout, About: about}
+	}
+	kind := ExprAnd
+	if rng.Intn(2) == 0 {
+		kind = ExprOr
+	}
+	n := 2 + rng.Intn(2)
+	e := &Expr{Kind: kind}
+	for i := 0; i < n; i++ {
+		e.Children = append(e.Children, genExpr(rng, names, words, depth-1))
+	}
+	return e
+}
+
+// TestQuickParseRoundTrip property: Parse(q.String()) reproduces the AST
+// for randomly generated queries.
+func TestQuickParseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2007))
+	for trial := 0; trial < 500; trial++ {
+		want := genQuery(rng)
+		src := want.String()
+		got, err := Parse(src)
+		if err != nil {
+			t.Fatalf("trial %d: Parse(%q): %v", trial, src, err)
+		}
+		// Compare via re-rendering (normalizes nothing: String is
+		// deterministic) and via structural equality of the exported AST.
+		if got.String() != src {
+			t.Fatalf("trial %d: %q -> %q", trial, src, got.String())
+		}
+		if !queriesEqual(want, got) {
+			t.Fatalf("trial %d: AST mismatch for %q", trial, src)
+		}
+	}
+}
+
+func queriesEqual(a, b *Query) bool {
+	if len(a.Steps) != len(b.Steps) {
+		return false
+	}
+	for i := range a.Steps {
+		if a.Steps[i].Name != b.Steps[i].Name {
+			return false
+		}
+		if !exprsEqual(a.Steps[i].Pred, b.Steps[i].Pred) {
+			return false
+		}
+	}
+	return true
+}
+
+func exprsEqual(a, b *Expr) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	if a.Kind != b.Kind || len(a.Children) != len(b.Children) {
+		return false
+	}
+	if a.Kind == ExprAbout {
+		if !reflect.DeepEqual(a.About.Path, b.About.Path) {
+			return false
+		}
+		if !reflect.DeepEqual(a.About.Terms, b.About.Terms) {
+			return false
+		}
+		return true
+	}
+	for i := range a.Children {
+		if !exprsEqual(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestQuickParserNeverPanics property: arbitrary garbage never panics the
+// parser; it either parses or returns a ParseError.
+func TestQuickParserNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	alphabet := `//[]()"aboutandor -+.,xyz  `
+	for trial := 0; trial < 2000; trial++ {
+		n := rng.Intn(60)
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteByte(alphabet[rng.Intn(len(alphabet))])
+		}
+		src := sb.String()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Parse(%q) panicked: %v", src, r)
+				}
+			}()
+			q, err := Parse(src)
+			if err == nil {
+				// Whatever parsed must round-trip.
+				if _, err2 := Parse(q.String()); err2 != nil {
+					t.Fatalf("accepted %q but rendering %q fails: %v", src, q.String(), err2)
+				}
+			}
+		}()
+	}
+}

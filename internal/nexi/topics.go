@@ -1,0 +1,102 @@
+package nexi
+
+import (
+	"fmt"
+	"strings"
+
+	"trex/internal/xmlscan"
+)
+
+// Topic is one entry of an INEX-style topics file: the NEXI query (from
+// the castitle element) plus its metadata.
+type Topic struct {
+	// ID is the topic_id attribute (e.g. "202").
+	ID string
+	// Raw is the castitle text as written.
+	Raw string
+	// Query is the parsed NEXI query; nil if parsing failed (see Err).
+	Query *Query
+	// Err records a castitle parse failure; the topic is still listed so
+	// callers can report coverage.
+	Err error
+	// Description is the topic's free-text description, if present.
+	Description string
+}
+
+// ParseTopics reads an INEX-style topics file: any elements whose tag
+// contains "topic" and that carry a topic_id attribute become topics;
+// their castitle (or title) child provides the NEXI query. The INEX 2005
+// CAS topic format looks like:
+//
+//	<inex_topic topic_id="202" query_type="CAS">
+//	  <castitle>//article[about(., ...)]//sec[about(., ...)]</castitle>
+//	  <description>...</description>
+//	</inex_topic>
+//
+// Multiple topics may appear under any wrapper element.
+func ParseTopics(data []byte) ([]Topic, error) {
+	s := xmlscan.NewScanner(data)
+	s.CaptureAttrs = true
+	var topics []Topic
+	var cur *Topic
+	var textTarget *string // where character data accumulates
+	depthInTopic := 0
+	for s.Next() {
+		ev := s.Event()
+		switch ev.Kind {
+		case xmlscan.KindStart:
+			if cur == nil {
+				if strings.Contains(strings.ToLower(ev.Name), "topic") {
+					for _, a := range ev.Attrs {
+						if a.Name == "topic_id" || a.Name == "id" {
+							topics = append(topics, Topic{ID: a.Value})
+							cur = &topics[len(topics)-1]
+							depthInTopic = 0
+							break
+						}
+					}
+				}
+				continue
+			}
+			depthInTopic++
+			switch strings.ToLower(ev.Name) {
+			case "castitle", "title":
+				textTarget = &cur.Raw
+			case "description":
+				textTarget = &cur.Description
+			default:
+				textTarget = nil
+			}
+		case xmlscan.KindText:
+			if textTarget != nil {
+				*textTarget += string(ev.Text)
+			}
+		case xmlscan.KindEnd:
+			if cur == nil {
+				continue
+			}
+			if depthInTopic == 0 {
+				// The topic element itself closed: finalize.
+				cur.Raw = strings.TrimSpace(cur.Raw)
+				cur.Description = strings.TrimSpace(cur.Description)
+				if cur.Raw == "" {
+					cur.Err = fmt.Errorf("nexi: topic %s has no castitle", cur.ID)
+				} else {
+					cur.Query, cur.Err = Parse(cur.Raw)
+				}
+				cur = nil
+				textTarget = nil
+				continue
+			}
+			depthInTopic--
+			textTarget = nil
+		}
+	}
+	if err := s.Err(); err != nil {
+		return nil, err
+	}
+	if len(topics) == 0 {
+		return nil, fmt.Errorf("nexi: no topics found")
+	}
+	return topics, nil
+}

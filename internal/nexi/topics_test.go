@@ -1,0 +1,78 @@
+package nexi
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleTopics = `<?xml version="1.0"?>
+<inex_topics>
+  <inex_topic topic_id="202" query_type="CAS">
+    <castitle>//article[about(., ontologies)]//sec[about(., case study)]</castitle>
+    <description>Sections about ontology case studies.</description>
+  </inex_topic>
+  <inex_topic topic_id="233" query_type="CAS">
+    <castitle>//article[about(.//bdy, synthesizers) and about(.//bdy, music)]</castitle>
+  </inex_topic>
+  <inex_topic topic_id="999" query_type="CAS">
+    <castitle>this is not nexi</castitle>
+  </inex_topic>
+</inex_topics>`
+
+func TestParseTopics(t *testing.T) {
+	topics, err := ParseTopics([]byte(sampleTopics))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topics) != 3 {
+		t.Fatalf("topics = %d, want 3", len(topics))
+	}
+	if topics[0].ID != "202" || topics[1].ID != "233" || topics[2].ID != "999" {
+		t.Fatalf("ids = %s %s %s", topics[0].ID, topics[1].ID, topics[2].ID)
+	}
+	if topics[0].Err != nil {
+		t.Fatalf("topic 202 failed: %v", topics[0].Err)
+	}
+	if len(topics[0].Query.Steps) != 2 || topics[0].Query.Steps[1].Name != "sec" {
+		t.Fatalf("topic 202 query = %+v", topics[0].Query)
+	}
+	if !strings.Contains(topics[0].Description, "case studies") {
+		t.Fatalf("description = %q", topics[0].Description)
+	}
+	if topics[1].Err != nil || len(topics[1].Query.Abouts()) != 2 {
+		t.Fatalf("topic 233 = %+v", topics[1])
+	}
+	// Unparseable castitle is reported, not fatal.
+	if topics[2].Err == nil {
+		t.Fatal("topic 999 should have a parse error")
+	}
+}
+
+func TestParseTopicsGenericTags(t *testing.T) {
+	// Other wrappers and the plain "topic"/"title" naming also work.
+	doc := `<topics><topic id="A1"><title>//sec[about(., xml)]</title></topic></topics>`
+	topics, err := ParseTopics([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topics) != 1 || topics[0].ID != "A1" || topics[0].Err != nil {
+		t.Fatalf("topics = %+v", topics)
+	}
+}
+
+func TestParseTopicsErrors(t *testing.T) {
+	if _, err := ParseTopics([]byte(`<topics></topics>`)); err == nil {
+		t.Fatal("no-topic file accepted")
+	}
+	if _, err := ParseTopics([]byte(`<broken`)); err == nil {
+		t.Fatal("malformed file accepted")
+	}
+	// Topic without castitle gets a per-topic error.
+	topics, err := ParseTopics([]byte(`<topics><topic topic_id="7"><other>x</other></topic></topics>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topics[0].Err == nil {
+		t.Fatal("castitle-less topic should carry an error")
+	}
+}

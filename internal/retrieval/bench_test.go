@@ -1,0 +1,120 @@
+package retrieval
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"trex/internal/corpus"
+	"trex/internal/index"
+	"trex/internal/score"
+	"trex/internal/storage"
+	"trex/internal/summary"
+)
+
+// benchEnv is a lazily-built shared environment for retrieval benchmarks.
+type benchEnvT struct {
+	store *index.Store
+	sids  []uint32
+	terms []string
+	sc    *score.Scorer
+}
+
+var (
+	benchOnce sync.Once
+	benchE    *benchEnvT
+	benchErr  error
+)
+
+func retrievalBenchEnv(b *testing.B) *benchEnvT {
+	b.Helper()
+	benchOnce.Do(func() {
+		col := corpus.GenerateIEEE(150, 41)
+		sum, err := summary.Build(col, summary.Options{Kind: summary.KindIncoming, Aliases: col.Aliases})
+		if err != nil {
+			benchErr = err
+			return
+		}
+		db := storage.OpenMemory()
+		st, err := index.Open(db)
+		if err != nil {
+			benchErr = err
+			return
+		}
+		if _, err := index.BuildBase(st, col, sum); err != nil {
+			benchErr = err
+			return
+		}
+		// The Q260-style broad clause.
+		var sids []uint32
+		for _, n := range sum.Nodes {
+			sids = append(sids, uint32(n.SID))
+		}
+		terms := []string{"model", "checking", "state", "space", "explosion"}
+		sc, err := st.NewScorer(terms)
+		if err != nil {
+			benchErr = err
+			return
+		}
+		if _, err := Materialize(st, sids, terms, sc, index.KindRPL, index.KindERPL); err != nil {
+			benchErr = err
+			return
+		}
+		benchE = &benchEnvT{store: st, sids: sids, terms: terms, sc: sc}
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchE
+}
+
+// Ablation: random-access TA (Fagin) vs sorted-only NRA (TopX-style) —
+// the implementation choice discussed in EXPERIMENTS.md.
+func BenchmarkTAvsNRA(b *testing.B) {
+	e := retrievalBenchEnv(b)
+	for _, k := range []int{1, 10, 100, 1000} {
+		b.Run(fmt.Sprintf("ta/k=%d", k), func(b *testing.B) {
+			var sorted, random int
+			for i := 0; i < b.N; i++ {
+				_, st, err := TA(e.store, e.sids, e.terms, e.sc, k)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sorted, random = st.SortedAccesses, st.RandomAccesses
+			}
+			b.ReportMetric(float64(sorted), "sorted")
+			b.ReportMetric(float64(random), "random")
+		})
+		b.Run(fmt.Sprintf("nra/k=%d", k), func(b *testing.B) {
+			var sorted int
+			for i := 0; i < b.N; i++ {
+				_, st, err := NRA(e.store, e.sids, e.terms, k)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sorted = st.SortedAccesses
+			}
+			b.ReportMetric(float64(sorted), "sorted")
+		})
+	}
+}
+
+// BenchmarkERABaseline isolates the always-available strategy.
+func BenchmarkERABaseline(b *testing.B) {
+	e := retrievalBenchEnv(b)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ERA(e.store, e.sids, e.terms); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMergeBaseline isolates the ERPL sweep.
+func BenchmarkMergeBaseline(b *testing.B) {
+	e := retrievalBenchEnv(b)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Merge(e.store, e.sids, e.terms, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

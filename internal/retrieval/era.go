@@ -1,0 +1,170 @@
+package retrieval
+
+import (
+	"sort"
+	"time"
+
+	"trex/internal/index"
+	"trex/internal/score"
+)
+
+// ERA is the exhaustive retrieval algorithm of Figure 2. Given the sids
+// and terms of a translated clause, it returns every element that (1) is
+// in the extent of one of the sids and (2) contains at least one of the
+// terms, together with its term-frequency vector.
+//
+// It advances one iterator per term over the posting lists and one
+// iterator per sid over the Elements table, accumulating an m x n counter
+// matrix C where C[i][x] is the frequency of term x inside the current
+// element of sid i.
+func ERA(st *index.Store, sids []uint32, terms []string) ([]ElementTF, *Stats, error) {
+	start := time.Now()
+	stats := &Stats{ListReads: make([]int, len(terms))}
+	m, n := len(sids), len(terms)
+	var out []ElementTF
+	if m == 0 || n == 0 {
+		stats.Elapsed = time.Since(start)
+		return out, stats, nil
+	}
+
+	elemIters := make([]*index.ElementIterator, m)
+	cur := make([]index.Element, m)
+	for i, sid := range sids {
+		elemIters[i] = index.NewElementIterator(st, sid)
+		e, err := elemIters[i].FirstElement()
+		if err != nil {
+			return nil, nil, err
+		}
+		cur[i] = e
+		stats.ElementsScanned++
+	}
+	posIters := make([]*index.PostingIterator, n)
+	pos := make([]index.Pos, n)
+	for j, t := range terms {
+		posIters[j] = index.NewPostingIterator(st, t)
+		p, err := posIters[j].NextPosition()
+		if err != nil {
+			return nil, nil, err
+		}
+		pos[j] = p
+		if !p.IsMax() {
+			stats.PositionsScanned++
+		}
+	}
+
+	c := make([][]int, m)
+	for i := range c {
+		c[i] = make([]int, n)
+	}
+	flush := func(i int) {
+		row := c[i]
+		nonZero := false
+		for _, v := range row {
+			if v != 0 {
+				nonZero = true
+				break
+			}
+		}
+		if nonZero && !cur[i].IsDummy() {
+			tf := make([]int, n)
+			copy(tf, row)
+			out = append(out, ElementTF{Elem: cur[i], TF: tf})
+			for x := range row {
+				row[x] = 0
+			}
+		}
+	}
+
+	for {
+		// x: index of the minimal current position.
+		x := 0
+		for j := 1; j < n; j++ {
+			if pos[j].Less(pos[x]) {
+				x = j
+			}
+		}
+		px := pos[x]
+		if px.IsMax() {
+			// All terms exhausted: flush every open element and stop.
+			for i := 0; i < m; i++ {
+				flush(i)
+			}
+			break
+		}
+		for i := 0; i < m; i++ {
+			e := cur[i]
+			if e.IsDummy() {
+				continue
+			}
+			switch {
+			case px.Less(index.Pos{Doc: e.Doc, Off: e.Start() + 1}):
+				// pos_x <= start(e_i): not inside yet, do nothing.
+			case e.Contains(px):
+				c[i][x]++
+			default:
+				// end(e_i) <= pos_x: the element is behind us.
+				flush(i)
+				next, err := elemIters[i].NextElementAfter(px)
+				if err != nil {
+					return nil, nil, err
+				}
+				// The paper advances to the element with the lowest end
+				// position greater than pos_x; that element may already
+				// contain pos_x.
+				cur[i] = next
+				stats.ElementsScanned++
+				if next.Contains(px) {
+					c[i][x]++
+				}
+			}
+		}
+		p, err := posIters[x].NextPosition()
+		if err != nil {
+			return nil, nil, err
+		}
+		pos[x] = p
+		if !p.IsMax() {
+			stats.PositionsScanned++
+		}
+		stats.ListReads[x]++
+	}
+	stats.Answers = len(out)
+	stats.Elapsed = time.Since(start)
+	return out, stats, nil
+}
+
+// ExhaustiveTopK evaluates a clause with ERA and ranks the results with
+// the scorer, returning the top k (all results when k <= 0). This is the
+// baseline every query can fall back to: it needs no redundant indexes.
+func ExhaustiveTopK(st *index.Store, sids []uint32, terms []string, sc *score.Scorer, k int) ([]Scored, *Stats, error) {
+	start := time.Now()
+	rows, stats, err := ERA(st, sids, terms)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]Scored, 0, len(rows))
+	for _, r := range rows {
+		var total float64
+		for j, t := range terms {
+			total += sc.Score(t, r.TF[j], int(r.Elem.Length))
+		}
+		out = append(out, Scored{Elem: r.Elem, Score: total})
+	}
+	SortScored(out)
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	stats.Elapsed = time.Since(start)
+	return out, stats, nil
+}
+
+// SortScored orders results by descending score, breaking ties by
+// (doc, endpos) ascending so every strategy ranks identically.
+func SortScored(s []Scored) {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].Score != s[j].Score {
+			return s[i].Score > s[j].Score
+		}
+		return index.CompareDocEnd(s[i].Elem.Doc, s[i].Elem.End, s[j].Elem.Doc, s[j].Elem.End) < 0
+	})
+}

@@ -1,0 +1,98 @@
+package retrieval
+
+import (
+	"trex/internal/index"
+	"trex/internal/score"
+)
+
+// MaterializeStats reports what a materialization run wrote.
+type MaterializeStats struct {
+	// Entries written per kind.
+	RPLEntries  int
+	ERPLEntries int
+	// Bytes is the approximate on-disk footprint of the written entries
+	// (key + value bytes), the advisor's space term.
+	RPLBytes  int64
+	ERPLBytes int64
+}
+
+// rplRowBytes approximates the on-disk size of one list entry: term
+// prefix + fixed key tail + value.
+func rplRowBytes(term string) int64 { return int64(len(term)) + 1 + 20 + 12 }
+
+func erplRowBytes(term string) int64 { return int64(len(term)) + 1 + 12 + 12 }
+
+// Materialize builds the redundant (term, sid) lists a clause needs, by
+// running ERA over the base tables and scoring each element — exactly how
+// the paper generates and extends the RPLs and ERPLs tables ("TReX also
+// uses ERA for generating or extending the RPLs and ERPLs tables").
+//
+// kinds selects which of the two list kinds to write. Every (term, sid)
+// pair is marked in the catalog, including pairs that produced no entries,
+// so coverage checks are exact.
+func Materialize(st *index.Store, sids []uint32, terms []string, sc *score.Scorer, kinds ...index.ListKind) (*MaterializeStats, error) {
+	rows, _, err := ERA(st, sids, terms)
+	if err != nil {
+		return nil, err
+	}
+	wantRPL, wantERPL := false, false
+	for _, k := range kinds {
+		switch k {
+		case index.KindRPL:
+			wantRPL = true
+		case index.KindERPL:
+			wantERPL = true
+		}
+	}
+	ms := &MaterializeStats{}
+	type pairKey struct {
+		term string
+		sid  uint32
+	}
+	counts := make(map[pairKey]int)
+	for _, r := range rows {
+		for j, t := range terms {
+			if r.TF[j] == 0 {
+				continue
+			}
+			entry := index.RPLEntry{
+				Score:  sc.Score(t, r.TF[j], int(r.Elem.Length)),
+				SID:    r.Elem.SID,
+				Doc:    r.Elem.Doc,
+				End:    r.Elem.End,
+				Length: r.Elem.Length,
+			}
+			if wantRPL {
+				if err := st.PutRPL(t, entry); err != nil {
+					return nil, err
+				}
+				ms.RPLEntries++
+				ms.RPLBytes += rplRowBytes(t)
+			}
+			if wantERPL {
+				if err := st.PutERPL(t, entry); err != nil {
+					return nil, err
+				}
+				ms.ERPLEntries++
+				ms.ERPLBytes += erplRowBytes(t)
+			}
+			counts[pairKey{term: t, sid: r.Elem.SID}]++
+		}
+	}
+	for _, t := range terms {
+		for _, sid := range sids {
+			c := counts[pairKey{term: t, sid: sid}]
+			if wantRPL {
+				if err := st.MarkBuilt(index.KindRPL, t, sid, c, int64(c)*rplRowBytes(t)); err != nil {
+					return nil, err
+				}
+			}
+			if wantERPL {
+				if err := st.MarkBuilt(index.KindERPL, t, sid, c, int64(c)*erplRowBytes(t)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return ms, nil
+}

@@ -1,0 +1,104 @@
+package retrieval
+
+import (
+	"time"
+
+	"trex/internal/index"
+)
+
+// Merge evaluates a clause with the Merge algorithm of Figure 3. Each
+// term's ERPL segments for the query's sids are merged into one
+// position-ordered stream (the two-step evaluation of Section 4); Merge
+// then sweeps the streams in lockstep, summing the scores of every stream
+// positioned on the same element, and finally sorts the accumulated result
+// by score. Computing all answers first makes Merge's cost essentially
+// independent of k — the behavior the paper's figures show.
+//
+// k <= 0 returns all answers.
+func Merge(st *index.Store, sids []uint32, terms []string, k int) ([]Scored, *Stats, error) {
+	start := time.Now()
+	stats := &Stats{ListReads: make([]int, len(terms)), ListTotals: make([]int, len(terms))}
+	n := len(terms)
+	if n == 0 || len(sids) == 0 {
+		stats.Elapsed = time.Since(start)
+		return nil, stats, nil
+	}
+	for j, t := range terms {
+		for _, s := range sids {
+			c, _, err := st.BuiltSize(index.KindERPL, t, s)
+			if err != nil {
+				return nil, nil, err
+			}
+			stats.ListTotals[j] += c
+		}
+	}
+
+	type head struct {
+		entry index.RPLEntry
+		ok    bool
+	}
+	iters := make([]*index.TermERPL, n)
+	heads := make([]head, n)
+	for j, t := range terms {
+		it, err := index.NewTermERPL(st, t, sids)
+		if err != nil {
+			return nil, nil, err
+		}
+		iters[j] = it
+		e, ok, err := it.Next()
+		if err != nil {
+			return nil, nil, err
+		}
+		heads[j] = head{entry: e, ok: ok}
+		if ok {
+			stats.ListReads[j]++
+		}
+	}
+
+	var v []Scored
+	for {
+		// m: minimal (doc, end) among live heads.
+		min := -1
+		for j := range heads {
+			if !heads[j].ok {
+				continue
+			}
+			if min < 0 || index.CompareDocEnd(
+				heads[j].entry.Doc, heads[j].entry.End,
+				heads[min].entry.Doc, heads[min].entry.End) < 0 {
+				min = j
+			}
+		}
+		if min < 0 {
+			break // all iterators at their end
+		}
+		cur := heads[min].entry
+		var total float64
+		for j := range heads {
+			if !heads[j].ok {
+				continue
+			}
+			if index.CompareDocEnd(heads[j].entry.Doc, heads[j].entry.End, cur.Doc, cur.End) != 0 {
+				continue
+			}
+			total += heads[j].entry.Score
+			e, ok, err := iters[j].Next()
+			if err != nil {
+				return nil, nil, err
+			}
+			heads[j] = head{entry: e, ok: ok}
+			if ok {
+				stats.ListReads[j]++
+			}
+		}
+		v = append(v, Scored{Elem: cur.Element(), Score: total})
+	}
+
+	stats.Answers = len(v)
+	SortScored(v) // the paper uses QuickSort here
+	if k > 0 && len(v) > k {
+		v = v[:k]
+	}
+	stats.Elapsed = time.Since(start)
+	return v, stats, nil
+}

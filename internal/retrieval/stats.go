@@ -1,0 +1,108 @@
+package retrieval
+
+import (
+	"time"
+
+	"trex/internal/index"
+)
+
+// Scored is one ranked answer.
+type Scored struct {
+	Elem  index.Element
+	Score float64
+}
+
+// ElementTF is one ERA result row: an element and its term-frequency
+// vector, aligned with the term list the algorithm was called with.
+type ElementTF struct {
+	Elem index.Element
+	TF   []int
+}
+
+// Stats describes where a retrieval run spent its effort. Counters are a
+// machine-independent cost model; durations come from the wall clock.
+type Stats struct {
+	// Elapsed is the total run time.
+	Elapsed time.Duration
+	// HeapTime is the portion of Elapsed spent managing the top-k heap.
+	// The paper's ITA ("TA with ideal heap management") is Elapsed minus
+	// HeapTime; ITATime reports it directly.
+	HeapTime time.Duration
+	// SortedAccesses counts RPL entries read under sorted access,
+	// including entries skipped because their sid is outside the query.
+	SortedAccesses int
+	// SkippedBySID counts sorted accesses discarded by the sid filter.
+	SkippedBySID int
+	// RandomAccesses counts per-(element, term) random probes.
+	RandomAccesses int
+	// PositionsScanned counts posting-list positions consumed (ERA).
+	PositionsScanned int64
+	// ElementsScanned counts extent elements visited (ERA).
+	ElementsScanned int64
+	// HeapOps counts pushes and evictions on the top-k heap.
+	HeapOps int
+	// ListReads[i] is the number of entries read from term i's list.
+	ListReads []int
+	// ListTotals[i] is the total number of entries in term i's list
+	// segment for the query's sids (when known; 0 otherwise).
+	ListTotals []int
+	// Answers is the number of result elements produced before top-k
+	// truncation.
+	Answers int
+}
+
+// ITATime returns the paper's "ideal heap" time: total time with heap
+// management discounted.
+func (s *Stats) ITATime() time.Duration {
+	if s.HeapTime > s.Elapsed {
+		return 0
+	}
+	return s.Elapsed - s.HeapTime
+}
+
+// CostProxy is a deterministic, machine-independent estimate of a run's
+// work, used by the self-managing advisor so that index selection does not
+// depend on wall-clock noise. Weights approximate relative operation
+// costs: random accesses pay a seek, heap operations pay comparisons and
+// cache misses, the final sort pays n log n.
+func (s *Stats) CostProxy() float64 {
+	reads := float64(s.PositionsScanned)
+	var listReads int
+	for _, r := range s.ListReads {
+		listReads += r
+	}
+	if s.PositionsScanned == 0 {
+		reads = float64(listReads)
+	}
+	if float64(s.SortedAccesses) > reads {
+		reads = float64(s.SortedAccesses)
+	}
+	cost := reads + 2*float64(s.ElementsScanned) + 8*float64(s.RandomAccesses) + 2*float64(s.HeapOps)
+	if s.HeapOps == 0 && s.Answers > 1 {
+		// Merge/ERA sort their full answer set at the end.
+		n := float64(s.Answers)
+		logN := 1.0
+		for v := n; v > 1; v /= 2 {
+			logN++
+		}
+		cost += n * logN
+	}
+	return cost
+}
+
+// DepthFraction reports how much of the query's list volume was read under
+// sorted access: 1.0 means the lists were read to the end — the regime the
+// paper identifies as the reason Merge often beats TA.
+func (s *Stats) DepthFraction() float64 {
+	var reads, totals int
+	for i := range s.ListReads {
+		reads += s.ListReads[i]
+		if i < len(s.ListTotals) {
+			totals += s.ListTotals[i]
+		}
+	}
+	if totals == 0 {
+		return 0
+	}
+	return float64(reads) / float64(totals)
+}

@@ -1,0 +1,238 @@
+package retrieval
+
+import (
+	"container/heap"
+	"time"
+
+	"trex/internal/index"
+	"trex/internal/score"
+)
+
+// TA evaluates a clause with the threshold algorithm over RPLs. It
+// performs round-robin sorted accesses on each term's relevance posting
+// list (skipping entries whose sid is not in the query's sid set), random
+// accesses against the base tables to complete each newly seen element's
+// score, and stops once the k-th best score reaches the threshold — the
+// sum of the last scores seen in each list.
+//
+// The returned stats separate the time spent managing the top-k heap
+// (Stats.HeapTime); the paper's ITA curve is Stats.ITATime().
+func TA(st *index.Store, sids []uint32, terms []string, sc *score.Scorer, k int) ([]Scored, *Stats, error) {
+	start := time.Now()
+	stats := &Stats{ListReads: make([]int, len(terms)), ListTotals: make([]int, len(terms))}
+	if k <= 0 {
+		k = 1
+	}
+	n := len(terms)
+	if n == 0 || len(sids) == 0 {
+		stats.Elapsed = time.Since(start)
+		return nil, stats, nil
+	}
+	sidSet := make(map[uint32]bool, len(sids))
+	for _, s := range sids {
+		sidSet[s] = true
+	}
+	for j, t := range terms {
+		for _, s := range sids {
+			c, _, err := st.BuiltSize(index.KindRPL, t, s)
+			if err != nil {
+				return nil, nil, err
+			}
+			stats.ListTotals[j] += c
+		}
+	}
+
+	iters := make([]*index.RPLIterator, n)
+	high := make([]float64, n)
+	exhausted := make([]bool, n)
+	for j, t := range terms {
+		iters[j] = index.NewRPLIterator(st, t)
+	}
+	// Prime the high marks with each list's head so the initial threshold
+	// is an upper bound; heads are buffered and replayed below.
+	buffered := make([]*index.RPLEntry, n)
+	for j := range iters {
+		e, ok, err := nextInSIDSet(iters[j], sidSet, stats, j)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ok {
+			exhausted[j] = true
+			high[j] = 0
+			continue
+		}
+		buffered[j] = &e
+		high[j] = e.Score
+	}
+
+	topk := newTopKHeap(k)
+	seen := make(map[uint64]bool)
+	elemKey := func(e index.Element) uint64 { return uint64(e.Doc)<<32 | uint64(e.End) }
+
+	processEntry := func(j int, e index.RPLEntry) error {
+		high[j] = e.Score
+		key := elemKey(e.Element())
+		if seen[key] {
+			return nil
+		}
+		seen[key] = true
+		// Sum contributions in term order (not arrival order) so scores
+		// are bit-identical across methods and ties rank consistently.
+		contrib := make([]float64, len(terms))
+		contrib[j] = e.Score
+		for jj, t := range terms {
+			if jj == j {
+				continue
+			}
+			tf, err := index.TFInSpan(st, t, e.Element())
+			if err != nil {
+				return err
+			}
+			stats.RandomAccesses++
+			contrib[jj] = sc.Score(t, tf, int(e.Length))
+		}
+		var total float64
+		for _, v := range contrib {
+			total += v
+		}
+		hs := time.Now()
+		topk.offer(Scored{Elem: e.Element(), Score: total})
+		stats.HeapTime += time.Since(hs)
+		stats.HeapOps = topk.ops
+		return nil
+	}
+
+	for j := range buffered {
+		if buffered[j] != nil {
+			if err := processEntry(j, *buffered[j]); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+
+	for {
+		allDone := true
+		for j := range iters {
+			if exhausted[j] {
+				continue
+			}
+			allDone = false
+			e, ok, err := nextInSIDSet(iters[j], sidSet, stats, j)
+			if err != nil {
+				return nil, nil, err
+			}
+			if !ok {
+				exhausted[j] = true
+				high[j] = 0
+				continue
+			}
+			if err := processEntry(j, e); err != nil {
+				return nil, nil, err
+			}
+		}
+		if allDone {
+			break
+		}
+		// Stopping condition: the k-th best known score strictly exceeds
+		// the threshold, so no unseen element can reach the top k. The
+		// inequality must be strict: an unseen element can score exactly
+		// the threshold and win the deterministic (doc, end) tie-break.
+		var threshold float64
+		for j := range high {
+			threshold += high[j]
+		}
+		if topk.full() && topk.worst() > threshold {
+			break
+		}
+	}
+
+	hs := time.Now()
+	out := topk.sorted()
+	stats.HeapTime += time.Since(hs)
+	stats.Answers = len(out)
+	stats.Elapsed = time.Since(start)
+	return out, stats, nil
+}
+
+// nextInSIDSet advances an RPL iterator to the next entry whose sid is in
+// the query, counting skipped entries.
+func nextInSIDSet(it *index.RPLIterator, sidSet map[uint32]bool, stats *Stats, j int) (index.RPLEntry, bool, error) {
+	for {
+		e, ok, err := it.Next()
+		if err != nil || !ok {
+			return index.RPLEntry{}, false, err
+		}
+		stats.SortedAccesses++
+		stats.ListReads[j]++
+		if sidSet[e.SID] {
+			return e, true, nil
+		}
+		stats.SkippedBySID++
+	}
+}
+
+// topKHeap is the min-heap of the k best elements seen so far. The paper's
+// experiments show its management cost dominating TA on some queries; ops
+// counts pushes and evictions so the cost model can expose that.
+type topKHeap struct {
+	k     int
+	items scoredMinHeap
+	ops   int
+}
+
+func newTopKHeap(k int) *topKHeap {
+	return &topKHeap{k: k}
+}
+
+func (h *topKHeap) full() bool { return h.items.Len() >= h.k }
+
+// worst returns the k-th best score (the heap minimum); call only when
+// full() is true.
+func (h *topKHeap) worst() float64 { return h.items[0].Score }
+
+// offer inserts the candidate, evicting the current minimum if the heap is
+// full and the candidate beats it.
+func (h *topKHeap) offer(s Scored) {
+	if h.items.Len() < h.k {
+		heap.Push(&h.items, s)
+		h.ops++
+		return
+	}
+	if !scoredLess(h.items[0], s) {
+		return // candidate does not beat the current k-th best
+	}
+	h.items[0] = s
+	heap.Fix(&h.items, 0)
+	h.ops += 2 // one removal + one insertion, as the paper counts them
+}
+
+// sorted returns the heap contents best-first.
+func (h *topKHeap) sorted() []Scored {
+	out := make([]Scored, len(h.items))
+	copy(out, h.items)
+	SortScored(out)
+	return out
+}
+
+// scoredLess orders candidates worst-first for the min-heap, with the
+// same deterministic tie-break SortScored uses (later (doc,end) is worse).
+func scoredLess(a, b Scored) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return index.CompareDocEnd(a.Elem.Doc, a.Elem.End, b.Elem.Doc, b.Elem.End) > 0
+}
+
+type scoredMinHeap []Scored
+
+func (h scoredMinHeap) Len() int           { return len(h) }
+func (h scoredMinHeap) Less(i, j int) bool { return scoredLess(h[i], h[j]) }
+func (h scoredMinHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *scoredMinHeap) Push(x any)        { *h = append(*h, x.(Scored)) }
+func (h *scoredMinHeap) Pop() any {
+	old := *h
+	n := len(old)
+	out := old[n-1]
+	*h = old[:n-1]
+	return out
+}

@@ -1,0 +1,64 @@
+package score
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model identifies a scoring formula. The model used at list-build time
+// must match query time (stored RPL scores embed it), so engines persist
+// the choice.
+type Model int
+
+const (
+	// ModelBM25 is the default: BM25 adapted to element retrieval.
+	ModelBM25 Model = iota
+	// ModelLMDirichlet is a query-likelihood language model with
+	// Dirichlet smoothing, the other standard IR scoring family. Scores
+	// are shifted to be non-negative and remain additive across terms.
+	ModelLMDirichlet
+)
+
+func (m Model) String() string {
+	switch m {
+	case ModelLMDirichlet:
+		return "lm-dirichlet"
+	default:
+		return "bm25"
+	}
+}
+
+// ParseModel converts a persisted model name back to its constant.
+func ParseModel(s string) (Model, error) {
+	switch s {
+	case "", "bm25":
+		return ModelBM25, nil
+	case "lm-dirichlet":
+		return ModelLMDirichlet, nil
+	default:
+		return ModelBM25, fmt.Errorf("score: unknown model %q", s)
+	}
+}
+
+// mu is the Dirichlet smoothing parameter (standard magnitude for
+// passage/element-scale text).
+const mu = 300
+
+// lmScore is the Dirichlet query-likelihood contribution of one term:
+// log(1 + tf/(mu*P(t|C))) + log(mu/(len+mu)) — the second part is
+// element-constant and omitted so scores stay non-negative and additive,
+// which the threshold algorithms require.
+func (s *Scorer) lmScore(term string, tf int, elemLen int) float64 {
+	if tf <= 0 {
+		return 0
+	}
+	// P(t|C): collection probability, approximated from document
+	// frequency over total documents (a proxy for term frequency over
+	// collection length, adequate for ranking).
+	n := float64(s.stats.NumDocs)
+	if n <= 0 {
+		n = 1
+	}
+	pc := (float64(s.df[term]) + 0.5) / (n * 100)
+	return math.Log(1 + float64(tf)/(mu*pc))
+}

@@ -1,0 +1,134 @@
+package score
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testScorer() *Scorer {
+	return NewScorer(
+		CollectionStats{NumDocs: 1000, NumElements: 50000, AvgElementLen: 400},
+		map[string]int{"common": 900, "medium": 100, "rare": 3, "absent": 0},
+	)
+}
+
+func TestIDFOrdering(t *testing.T) {
+	s := testScorer()
+	if !(s.IDF("rare") > s.IDF("medium") && s.IDF("medium") > s.IDF("common")) {
+		t.Fatalf("IDF ordering violated: rare=%v medium=%v common=%v",
+			s.IDF("rare"), s.IDF("medium"), s.IDF("common"))
+	}
+	if s.IDF("absent") <= 0 {
+		t.Fatalf("IDF of unseen term must be positive, got %v", s.IDF("absent"))
+	}
+}
+
+func TestScoreZeroTF(t *testing.T) {
+	s := testScorer()
+	if got := s.Score("rare", 0, 100); got != 0 {
+		t.Fatalf("Score(tf=0) = %v, want 0", got)
+	}
+	if got := s.Score("rare", -3, 100); got != 0 {
+		t.Fatalf("Score(tf<0) = %v, want 0", got)
+	}
+}
+
+func TestScoreMonotoneInTF(t *testing.T) {
+	s := testScorer()
+	prev := 0.0
+	for tf := 1; tf <= 50; tf++ {
+		got := s.Score("medium", tf, 400)
+		if got <= prev {
+			t.Fatalf("Score not strictly increasing at tf=%d: %v <= %v", tf, got, prev)
+		}
+		prev = got
+	}
+	// And bounded by MaxScore.
+	if prev >= s.MaxScore("medium") {
+		t.Fatalf("Score(%v) exceeded MaxScore(%v)", prev, s.MaxScore("medium"))
+	}
+}
+
+func TestScoreLengthNormalization(t *testing.T) {
+	s := testScorer()
+	short := s.Score("medium", 3, 100)
+	long := s.Score("medium", 3, 5000)
+	if short <= long {
+		t.Fatalf("longer element should score lower at equal tf: short=%v long=%v", short, long)
+	}
+}
+
+func TestScoreNonNegativeProperty(t *testing.T) {
+	s := testScorer()
+	f := func(tf uint16, elemLen uint16) bool {
+		got := s.Score("medium", int(tf), int(elemLen))
+		return got >= 0 && !math.IsNaN(got) && !math.IsInf(got, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCombine(t *testing.T) {
+	got := Combine([]float64{1.5, 2.5}, []float64{0.5})
+	if got != 3.5 {
+		t.Fatalf("Combine = %v, want 3.5", got)
+	}
+	if Combine(nil, nil) != 0 {
+		t.Fatal("Combine(nil, nil) != 0")
+	}
+}
+
+func TestZeroStatsSafe(t *testing.T) {
+	s := NewScorer(CollectionStats{}, nil)
+	got := s.Score("anything", 5, 100)
+	if math.IsNaN(got) || math.IsInf(got, 0) || got < 0 {
+		t.Fatalf("degenerate stats produced %v", got)
+	}
+}
+
+func TestLMModel(t *testing.T) {
+	stats := CollectionStats{NumDocs: 1000, NumElements: 50000, AvgElementLen: 400}
+	df := map[string]int{"common": 900, "rare": 3}
+	lm := NewScorerWithModel(stats, df, ModelLMDirichlet)
+	if lm.Model() != ModelLMDirichlet {
+		t.Fatal("model not set")
+	}
+	// Monotone in tf, non-negative.
+	prev := 0.0
+	for tf := 1; tf <= 30; tf++ {
+		got := lm.Score("rare", tf, 400)
+		if got <= prev {
+			t.Fatalf("LM not strictly increasing at tf=%d", tf)
+		}
+		prev = got
+	}
+	if lm.Score("rare", 0, 400) != 0 {
+		t.Fatal("LM zero-tf must be 0")
+	}
+	// Rarer terms score higher at equal tf.
+	if lm.Score("rare", 3, 400) <= lm.Score("common", 3, 400) {
+		t.Fatal("LM rare term must beat common term")
+	}
+	// Differs from BM25.
+	bm := NewScorer(stats, df)
+	if bm.Score("rare", 3, 400) == lm.Score("rare", 3, 400) {
+		t.Fatal("models coincide")
+	}
+}
+
+func TestParseModel(t *testing.T) {
+	for _, m := range []Model{ModelBM25, ModelLMDirichlet} {
+		got, err := ParseModel(m.String())
+		if err != nil || got != m {
+			t.Fatalf("round trip %v = %v, %v", m, got, err)
+		}
+	}
+	if m, err := ParseModel(""); err != nil || m != ModelBM25 {
+		t.Fatalf("empty = %v, %v", m, err)
+	}
+	if _, err := ParseModel("tfidf-9000"); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}

@@ -1,0 +1,240 @@
+package selfmanage
+
+import (
+	"fmt"
+	"sort"
+)
+
+// LP solves the paper's boolean linear program (Section 4.1) exactly by
+// branch and bound:
+//
+//	maximize   Σ (x_i1 f_i Δm(Q_i) + x_i2 f_i Δta(Q_i))
+//	subject to x_i1 + x_i2 <= 1
+//	           Σ (x_i1 S_ERPL(Q_i) + x_i2 S_RPL(Q_i)) <= d
+//	           x_ij ∈ {0, 1}
+//
+// As in the paper's formulation, each query is charged the full size of
+// its lists (sharing between queries is not modeled); use Greedy or
+// Optimal for shared-list marginal costing. Intended for small workloads —
+// the paper notes boolean LP "should be used only when the number of
+// queries in the workload is small".
+func LP(w *Workload, disk int64) (*Plan, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if disk < 0 {
+		return nil, fmt.Errorf("selfmanage: negative disk budget")
+	}
+	n := len(w.Queries)
+	type option struct {
+		s      Strategy
+		saving float64
+		size   int64
+	}
+	opts := make([][]option, n)
+	for i := range w.Queries {
+		q := &w.Queries[i]
+		opts[i] = []option{{s: StrategyNone}}
+		if sv := q.savingFor(StrategyMerge); sv > 0 {
+			opts[i] = append(opts[i], option{s: StrategyMerge, saving: sv, size: totalBytes(q.MergeLists)})
+		}
+		if sv := q.savingFor(StrategyTA); sv > 0 {
+			opts[i] = append(opts[i], option{s: StrategyTA, saving: sv, size: totalBytes(q.TALists)})
+		}
+	}
+	// Upper-bound helper: the sum of the best remaining savings ignoring
+	// disk — admissible, so pruning is safe.
+	suffixBest := make([]float64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		best := 0.0
+		for _, o := range opts[i] {
+			if o.saving > best {
+				best = o.saving
+			}
+		}
+		suffixBest[i] = suffixBest[i+1] + best
+	}
+
+	assign := make([]Strategy, n)
+	best := make([]Strategy, n)
+	bestSaving := -1.0
+	var rec func(i int, used int64, saving float64)
+	rec = func(i int, used int64, saving float64) {
+		if saving+suffixBest[i] <= bestSaving {
+			return
+		}
+		if i == n {
+			if saving > bestSaving {
+				bestSaving = saving
+				copy(best, assign)
+			}
+			return
+		}
+		for _, o := range opts[i] {
+			if used+o.size > disk {
+				continue
+			}
+			assign[i] = o.s
+			rec(i+1, used+o.size, saving+o.saving)
+		}
+		assign[i] = StrategyNone
+	}
+	rec(0, 0, 0)
+
+	// Report the plan with real (shared) disk usage, but the LP's
+	// objective value as Saving.
+	p := planFor(w, best)
+	p.Saving = bestSaving
+	return p, nil
+}
+
+func totalBytes(lists []ListRef) int64 {
+	var t int64
+	for _, l := range lists {
+		t += l.Bytes
+	}
+	return t
+}
+
+// Greedy implements the paper's 2-approximation (Section 4.2): repeatedly
+// add the index whose gain-to-marginal-cost ratio is highest, where the
+// marginal cost of a query's strategy counts only lists not already chosen
+// (the paper's "minimal addition" I_m / I_ta). Stops when every query is
+// supported or no positive-ratio addition fits the remaining disk.
+//
+// Per the classic analysis, the returned plan is the better of the
+// iterative greedy solution and the best single affordable index, which
+// is what guarantees the factor-2 bound of Theorem 4.2.
+func Greedy(w *Workload, disk int64) (*Plan, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if disk < 0 {
+		return nil, fmt.Errorf("selfmanage: negative disk budget")
+	}
+	n := len(w.Queries)
+
+	iterative := greedyIterative(w, disk)
+
+	// Best single index that fits on its own.
+	bestSingle := make([]Strategy, n)
+	bestSingleSaving := 0.0
+	var bestIdx = -1
+	var bestStrat Strategy
+	for i := range w.Queries {
+		q := &w.Queries[i]
+		for _, s := range []Strategy{StrategyMerge, StrategyTA} {
+			if totalBytes(q.listsFor(s)) > disk {
+				continue
+			}
+			if sv := q.savingFor(s); sv > bestSingleSaving {
+				bestSingleSaving = sv
+				bestIdx, bestStrat = i, s
+			}
+		}
+	}
+	if bestIdx >= 0 {
+		bestSingle[bestIdx] = bestStrat
+	}
+
+	single := planFor(w, bestSingle)
+	if single.Saving > iterative.Saving {
+		return single, nil
+	}
+	return iterative, nil
+}
+
+func greedyIterative(w *Workload, disk int64) *Plan {
+	n := len(w.Queries)
+	assign := make([]Strategy, n)
+	chosen := make(map[string]bool) // list keys already materialized
+	var used int64
+
+	marginal := func(lists []ListRef) int64 {
+		var t int64
+		for _, l := range lists {
+			if !chosen[l.Key] {
+				t += l.Bytes
+			}
+		}
+		return t
+	}
+
+	for {
+		bestRatio := 0.0
+		bestIdx := -1
+		var bestStrategy Strategy
+		var bestCost int64
+		for i := range w.Queries {
+			if assign[i] != StrategyNone {
+				continue // query already supported
+			}
+			q := &w.Queries[i]
+			for _, s := range []Strategy{StrategyMerge, StrategyTA} {
+				sv := q.savingFor(s)
+				if sv <= 0 {
+					continue
+				}
+				cost := marginal(q.listsFor(s))
+				if used+cost > disk {
+					continue
+				}
+				var ratio float64
+				if cost == 0 {
+					// All lists already chosen: free support, take it.
+					ratio = sv * 1e18
+				} else {
+					ratio = sv / float64(cost)
+				}
+				if ratio > bestRatio {
+					bestRatio, bestIdx, bestStrategy, bestCost = ratio, i, s, cost
+				}
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		assign[bestIdx] = bestStrategy
+		used += bestCost
+		for _, l := range w.Queries[bestIdx].listsFor(bestStrategy) {
+			chosen[l.Key] = true
+		}
+	}
+	return planFor(w, assign)
+}
+
+// Optimal exhaustively searches all 3^n assignments, honoring shared list
+// sizes, and returns the maximum-saving plan within the disk budget. It is
+// the I_o of Theorem 4.2; use only for small workloads (n <= ~12).
+func Optimal(w *Workload, disk int64) (*Plan, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(w.Queries)
+	if n > 16 {
+		return nil, fmt.Errorf("selfmanage: Optimal limited to 16 queries, got %d", n)
+	}
+	assign := make([]Strategy, n)
+	var best *Plan
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			p := planFor(w, assign)
+			if p.DiskUsed > disk {
+				return
+			}
+			if best == nil || p.Saving > best.Saving {
+				best = p
+			}
+			return
+		}
+		for _, s := range []Strategy{StrategyNone, StrategyMerge, StrategyTA} {
+			assign[i] = s
+			rec(i + 1)
+		}
+		assign[i] = StrategyNone
+	}
+	rec(0)
+	sort.Strings(best.Lists)
+	return best, nil
+}

@@ -1,0 +1,314 @@
+package selfmanage
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// uniqueLists builds n single-list refs with distinct keys.
+func uniqueLists(prefix string, bytes ...int64) []ListRef {
+	out := make([]ListRef, len(bytes))
+	for i, b := range bytes {
+		out[i] = ListRef{Key: fmt.Sprintf("%s-%d", prefix, i), Bytes: b}
+	}
+	return out
+}
+
+func simpleWorkload() *Workload {
+	return &Workload{Queries: []QuerySpec{
+		{
+			ID: "q1", Freq: 0.5,
+			TimeERA: 100, TimeMerge: 10, TimeTA: 50,
+			MergeLists: uniqueLists("q1e", 100),
+			TALists:    uniqueLists("q1r", 80),
+		},
+		{
+			ID: "q2", Freq: 0.3,
+			TimeERA: 200, TimeMerge: 150, TimeTA: 20,
+			MergeLists: uniqueLists("q2e", 120),
+			TALists:    uniqueLists("q2r", 90),
+		},
+		{
+			ID: "q3", Freq: 0.2,
+			TimeERA: 50, TimeMerge: 45, TimeTA: 48,
+			MergeLists: uniqueLists("q3e", 500),
+			TALists:    uniqueLists("q3r", 400),
+		},
+	}}
+}
+
+func TestWorkloadValidate(t *testing.T) {
+	w := simpleWorkload()
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Workload{Queries: []QuerySpec{{ID: "x", Freq: 0.4}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("frequencies not summing to 1 accepted")
+	}
+	bad2 := &Workload{Queries: []QuerySpec{{ID: "x", Freq: 0}, {ID: "y", Freq: 1}}}
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("zero frequency accepted")
+	}
+	empty := &Workload{}
+	if err := empty.Validate(); err == nil {
+		t.Fatal("empty workload accepted")
+	}
+	neg := &Workload{Queries: []QuerySpec{{ID: "x", Freq: 1, TimeERA: -1}}}
+	if err := neg.Validate(); err == nil {
+		t.Fatal("negative time accepted")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	w := &Workload{Queries: []QuerySpec{
+		{ID: "a", Freq: 2}, {ID: "b", Freq: 2},
+	}}
+	w.Normalize()
+	if w.Queries[0].Freq != 0.5 || w.Queries[1].Freq != 0.5 {
+		t.Fatalf("Normalize = %v, %v", w.Queries[0].Freq, w.Queries[1].Freq)
+	}
+}
+
+func TestSavings(t *testing.T) {
+	q := &QuerySpec{TimeERA: 100, TimeMerge: 30, TimeTA: 120}
+	if q.SavingMerge() != 70 {
+		t.Fatalf("SavingMerge = %v", q.SavingMerge())
+	}
+	// TA slower than ERA: saving clamps at zero.
+	if q.SavingTA() != 0 {
+		t.Fatalf("SavingTA = %v", q.SavingTA())
+	}
+}
+
+func TestLPUnlimitedDiskPicksBestPerQuery(t *testing.T) {
+	w := simpleWorkload()
+	p, err := LP(w, 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// q1: merge saves 0.5*90=45 vs ta 0.5*50=25 -> merge.
+	// q2: merge 0.3*50=15 vs ta 0.3*180=54 -> ta.
+	// q3: merge 0.2*5=1 vs ta 0.2*2=0.4 -> merge.
+	want := []Strategy{StrategyMerge, StrategyTA, StrategyMerge}
+	for i := range want {
+		if p.Assignments[i] != want[i] {
+			t.Fatalf("assignment = %v, want %v", p.Assignments, want)
+		}
+	}
+	if p.Saving < 60.9 || p.Saving > 61.1 { // 45+54+1 = 61... wait: 45+54+1 = 100? recompute below
+		// 45 + 54 + 1 = 100 is wrong: 45+54=99, +1 = 100. Let the assertion
+		// compute it exactly instead.
+		t.Logf("saving = %v", p.Saving)
+	}
+	wantSaving := 0.5*90 + 0.3*180 + 0.2*5
+	if diff := p.Saving - wantSaving; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("Saving = %v, want %v", p.Saving, wantSaving)
+	}
+}
+
+func TestLPRespectsDiskBudget(t *testing.T) {
+	w := simpleWorkload()
+	// Budget fits only q2's RPL (90) plus q1's RPL (80) = 170, not q1's
+	// ERPL (100) + q2's RPL (90) = 190.
+	p, err := LP(w, 175)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DiskUsed > 175 {
+		t.Fatalf("DiskUsed = %d > budget", p.DiskUsed)
+	}
+	// q2's TA (54) is the most valuable; then q1's TA (25) fits (170).
+	if p.Assignments[1] != StrategyTA {
+		t.Fatalf("assignments = %v", p.Assignments)
+	}
+	if p.Assignments[0] != StrategyTA {
+		t.Fatalf("assignments = %v, expected q1=ta under budget", p.Assignments)
+	}
+	wantSaving := 0.3*180 + 0.5*50
+	if diff := p.Saving - wantSaving; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("Saving = %v, want %v", p.Saving, wantSaving)
+	}
+}
+
+func TestLPZeroBudget(t *testing.T) {
+	w := simpleWorkload()
+	p, err := LP(w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Saving != 0 || p.DiskUsed != 0 {
+		t.Fatalf("zero budget plan = %+v", p)
+	}
+	for _, s := range p.Assignments {
+		if s != StrategyNone {
+			t.Fatalf("zero budget assigned %v", s)
+		}
+	}
+	if _, err := LP(w, -1); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+}
+
+func TestGreedyMatchesLPOnEasyInstance(t *testing.T) {
+	w := simpleWorkload()
+	g, err := Greedy(w, 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, err := LP(w, 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Saving != lp.Saving {
+		t.Fatalf("greedy %v != lp %v with unlimited disk", g.Saving, lp.Saving)
+	}
+}
+
+func TestGreedySharedListsAreFree(t *testing.T) {
+	shared := []ListRef{{Key: "E/xml/7", Bytes: 1000}}
+	w := &Workload{Queries: []QuerySpec{
+		{ID: "a", Freq: 0.5, TimeERA: 100, TimeMerge: 10, TimeTA: 100, MergeLists: shared},
+		{ID: "b", Freq: 0.5, TimeERA: 80, TimeMerge: 8, TimeTA: 80, MergeLists: shared},
+	}}
+	// Budget fits the shared list once; both queries get supported.
+	p, err := Greedy(w, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Assignments[0] != StrategyMerge || p.Assignments[1] != StrategyMerge {
+		t.Fatalf("assignments = %v", p.Assignments)
+	}
+	if p.DiskUsed != 1000 {
+		t.Fatalf("DiskUsed = %d, want 1000 (shared once)", p.DiskUsed)
+	}
+	wantSaving := 0.5*90 + 0.5*72
+	if diff := p.Saving - wantSaving; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("Saving = %v, want %v", p.Saving, wantSaving)
+	}
+}
+
+func TestGreedyBestSingleFallback(t *testing.T) {
+	// Iterative greedy by ratio would pick the small cheap index first
+	// and then lack room for the big valuable one; the best-single rule
+	// rescues the factor-2 bound.
+	w := &Workload{Queries: []QuerySpec{
+		{ID: "cheap", Freq: 0.5, TimeERA: 10, TimeMerge: 0, TimeTA: 10,
+			MergeLists: uniqueLists("c", 10)}, // saving 5, ratio 0.5
+		{ID: "big", Freq: 0.5, TimeERA: 2000, TimeMerge: 0, TimeTA: 2000,
+			MergeLists: uniqueLists("b", 100)}, // saving 1000, ratio 10
+	}}
+	// ratio picks "big" first anyway here; craft the inversion: make cheap
+	// ratio higher but value tiny.
+	w.Queries[0].MergeLists = uniqueLists("c", 1) // ratio 5/1 = 5
+	w.Queries[1].MergeLists = uniqueLists("b", 100)
+	p, err := Greedy(w, 100) // after cheap (1), big (100) no longer fits
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Best single = big alone (saving 1000) beats cheap-only (5).
+	if p.Saving < 1000 {
+		t.Fatalf("Saving = %v, want >= 1000 via best-single fallback", p.Saving)
+	}
+}
+
+func TestOptimalSmall(t *testing.T) {
+	w := simpleWorkload()
+	p, err := Optimal(w, 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, err := LP(w, 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Saving != lp.Saving {
+		t.Fatalf("optimal %v != lp %v with unique lists", p.Saving, lp.Saving)
+	}
+	big := &Workload{Queries: make([]QuerySpec, 17)}
+	for i := range big.Queries {
+		big.Queries[i] = QuerySpec{ID: fmt.Sprintf("q%d", i), Freq: 1.0 / 17}
+	}
+	if _, err := Optimal(big, 100); err == nil {
+		t.Fatal("Optimal accepted 17 queries")
+	}
+}
+
+// TestTheorem42 validates T_o <= 2*T_G on random instances: the greedy
+// saving is at least half the optimal saving.
+func TestTheorem42(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(6)
+		w := &Workload{}
+		sharedPool := []ListRef{
+			{Key: "shared-A", Bytes: int64(1 + rng.Intn(500))},
+			{Key: "shared-B", Bytes: int64(1 + rng.Intn(500))},
+		}
+		for i := 0; i < n; i++ {
+			q := QuerySpec{
+				ID:        fmt.Sprintf("q%d", i),
+				Freq:      1, // normalized below
+				TimeERA:   float64(10 + rng.Intn(1000)),
+				TimeMerge: float64(rng.Intn(500)),
+				TimeTA:    float64(rng.Intn(500)),
+			}
+			q.MergeLists = uniqueLists(fmt.Sprintf("e%d", i), int64(1+rng.Intn(300)))
+			q.TALists = uniqueLists(fmt.Sprintf("r%d", i), int64(1+rng.Intn(300)))
+			if rng.Intn(2) == 0 {
+				q.MergeLists = append(q.MergeLists, sharedPool[rng.Intn(2)])
+			}
+			w.Queries = append(w.Queries, q)
+		}
+		w.Normalize()
+		disk := int64(rng.Intn(1200))
+
+		opt, err := Optimal(w, disk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grd, err := Greedy(w, disk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if grd.DiskUsed > disk {
+			t.Fatalf("trial %d: greedy exceeded budget: %d > %d", trial, grd.DiskUsed, disk)
+		}
+		if opt.DiskUsed > disk {
+			t.Fatalf("trial %d: optimal exceeded budget", trial)
+		}
+		if opt.Saving > 2*grd.Saving+1e-9 {
+			t.Fatalf("trial %d: Theorem 4.2 violated: optimal %v > 2 * greedy %v",
+				trial, opt.Saving, grd.Saving)
+		}
+		if grd.Saving > opt.Saving+1e-9 {
+			t.Fatalf("trial %d: greedy %v beat optimal %v (optimal is broken)",
+				trial, grd.Saving, opt.Saving)
+		}
+	}
+}
+
+func TestEvaluatedTime(t *testing.T) {
+	w := simpleWorkload()
+	noIndex := &Plan{Assignments: []Strategy{StrategyNone, StrategyNone, StrategyNone}}
+	baseline := EvaluatedTime(w, noIndex)
+	wantBase := 0.5*100 + 0.3*200 + 0.2*50
+	if diff := baseline - wantBase; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("baseline = %v, want %v", baseline, wantBase)
+	}
+	p, err := LP(w, 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexed := EvaluatedTime(w, p)
+	if diff := (baseline - indexed) - p.Saving; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("saving mismatch: baseline-indexed = %v, plan says %v", baseline-indexed, p.Saving)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if StrategyNone.String() != "none" || StrategyMerge.String() != "merge" || StrategyTA.String() != "ta" {
+		t.Fatal("strategy strings")
+	}
+}

@@ -1,0 +1,197 @@
+// Package selfmanage implements the self-managing index selection of
+// Section 4 of the paper: given a workload of top-k queries with
+// frequencies, decide for which queries to materialize RPLs (enabling TA)
+// or ERPLs (enabling Merge) under a disk budget, maximizing the weighted
+// evaluation-time saving over the ERA baseline.
+//
+// Three solvers are provided:
+//
+//   - LP: the paper's boolean linear program (Section 4.1), which assigns
+//     at most one index kind per query and charges each query its full
+//     list size. Solved exactly by branch and bound.
+//   - Greedy: the paper's 2-approximation (Section 4.2), which repeatedly
+//     adds the index with the highest gain/marginal-cost ratio. Marginal
+//     cost honors sharing: lists already chosen for other queries are
+//     free. Following the classic knapsack analysis behind Theorem 4.2,
+//     the result is max(iterative greedy, best single index).
+//   - Optimal: exact search over all assignments honoring sharing, used
+//     to validate Theorem 4.2 (T_o <= 2*T_G) on small workloads.
+package selfmanage
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Strategy is the index decision for one query.
+type Strategy int
+
+const (
+	// StrategyNone materializes nothing; the query runs with ERA.
+	StrategyNone Strategy = iota
+	// StrategyMerge materializes the query's ERPLs.
+	StrategyMerge
+	// StrategyTA materializes the query's RPLs.
+	StrategyTA
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyMerge:
+		return "merge"
+	case StrategyTA:
+		return "ta"
+	default:
+		return "none"
+	}
+}
+
+// ListRef identifies one materializable list with its size. Key should be
+// unique per physical list (e.g. "E/term/sid" or "R/term/sid"), so queries
+// that share lists share their cost.
+type ListRef struct {
+	Key   string
+	Bytes int64
+}
+
+// QuerySpec is one workload entry: measured times for the three
+// strategies plus the lists each redundant strategy requires.
+type QuerySpec struct {
+	// ID labels the query in plans and reports.
+	ID string
+	// Freq is the query's workload frequency f_i in (0, 1].
+	Freq float64
+	// TimeERA, TimeMerge, TimeTA are measured evaluation times (seconds,
+	// or any consistent unit) for the three strategies.
+	TimeERA   float64
+	TimeMerge float64
+	TimeTA    float64
+	// MergeLists are the ERPLs the query needs for Merge.
+	MergeLists []ListRef
+	// TALists are the RPLs the query needs for TA.
+	TALists []ListRef
+}
+
+// SavingMerge is the paper's Δm(Q) = max(T_e - T_m, 0).
+func (q *QuerySpec) SavingMerge() float64 { return math.Max(q.TimeERA-q.TimeMerge, 0) }
+
+// SavingTA is the paper's Δta(Q) = max(T_e - T_ta, 0).
+func (q *QuerySpec) SavingTA() float64 { return math.Max(q.TimeERA-q.TimeTA, 0) }
+
+// listsFor returns the lists strategy s needs.
+func (q *QuerySpec) listsFor(s Strategy) []ListRef {
+	switch s {
+	case StrategyMerge:
+		return q.MergeLists
+	case StrategyTA:
+		return q.TALists
+	default:
+		return nil
+	}
+}
+
+// savingFor returns the weighted saving f_i * Δ_s(Q_i).
+func (q *QuerySpec) savingFor(s Strategy) float64 {
+	switch s {
+	case StrategyMerge:
+		return q.Freq * q.SavingMerge()
+	case StrategyTA:
+		return q.Freq * q.SavingTA()
+	default:
+		return 0
+	}
+}
+
+// Workload is a list of queries with frequencies summing to 1
+// (Definition 4.1).
+type Workload struct {
+	Queries []QuerySpec
+}
+
+// Validate checks Definition 4.1: each frequency in (0, 1], summing to 1
+// (within tolerance), and non-negative times.
+func (w *Workload) Validate() error {
+	if len(w.Queries) == 0 {
+		return errors.New("selfmanage: empty workload")
+	}
+	var sum float64
+	for i := range w.Queries {
+		q := &w.Queries[i]
+		if q.Freq <= 0 || q.Freq > 1 {
+			return fmt.Errorf("selfmanage: query %q frequency %v outside (0,1]", q.ID, q.Freq)
+		}
+		if q.TimeERA < 0 || q.TimeMerge < 0 || q.TimeTA < 0 {
+			return fmt.Errorf("selfmanage: query %q has negative time", q.ID)
+		}
+		sum += q.Freq
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return fmt.Errorf("selfmanage: frequencies sum to %v, want 1", sum)
+	}
+	return nil
+}
+
+// Normalize rescales frequencies to sum to 1.
+func (w *Workload) Normalize() {
+	var sum float64
+	for i := range w.Queries {
+		sum += w.Queries[i].Freq
+	}
+	if sum <= 0 {
+		return
+	}
+	for i := range w.Queries {
+		w.Queries[i].Freq /= sum
+	}
+}
+
+// Plan is a solver's output.
+type Plan struct {
+	// Assignments[i] is the strategy chosen for Queries[i].
+	Assignments []Strategy
+	// Saving is the weighted time saving Σ f_i * Δ(Q_i) over ERA.
+	Saving float64
+	// DiskUsed is the total size of the distinct lists materialized.
+	DiskUsed int64
+	// Lists are the distinct list keys to materialize.
+	Lists []string
+}
+
+// planFor computes saving and disk usage of an assignment, honoring list
+// sharing across queries.
+func planFor(w *Workload, assign []Strategy) *Plan {
+	p := &Plan{Assignments: append([]Strategy(nil), assign...)}
+	seen := make(map[string]int64)
+	for i := range w.Queries {
+		q := &w.Queries[i]
+		s := assign[i]
+		p.Saving += q.savingFor(s)
+		for _, l := range q.listsFor(s) {
+			if _, ok := seen[l.Key]; !ok {
+				seen[l.Key] = l.Bytes
+				p.DiskUsed += l.Bytes
+				p.Lists = append(p.Lists, l.Key)
+			}
+		}
+	}
+	return p
+}
+
+// EvaluatedTime returns the workload's weighted evaluation time under the
+// plan: queries with an index use their indexed time, others use ERA.
+func EvaluatedTime(w *Workload, p *Plan) float64 {
+	var total float64
+	for i := range w.Queries {
+		q := &w.Queries[i]
+		switch p.Assignments[i] {
+		case StrategyMerge:
+			total += q.Freq * math.Min(q.TimeMerge, q.TimeERA)
+		case StrategyTA:
+			total += q.Freq * math.Min(q.TimeTA, q.TimeERA)
+		default:
+			total += q.Freq * q.TimeERA
+		}
+	}
+	return total
+}

@@ -1,0 +1,157 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBackupRestores(t *testing.T) {
+	db := OpenMemory()
+	defer db.Close()
+	tr, err := db.CreateTable("data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4000
+	for i := 0; i < n; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("key-%06d", i)), []byte(fmt.Sprintf("val-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "backup.db")
+	if err := db.BackupToFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// A backup opens as a regular database with identical contents.
+	db2, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	tr2, err := db2.OpenTable("data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := tr2.Len(); got != n {
+		t.Fatalf("restored Len = %d, want %d", got, n)
+	}
+	for i := 0; i < n; i += 97 {
+		k := []byte(fmt.Sprintf("key-%06d", i))
+		v, err := tr2.Get(k)
+		if err != nil || string(v) != fmt.Sprintf("val-%d", i) {
+			t.Fatalf("restored Get %s = (%q, %v)", k, v, err)
+		}
+	}
+	// The backup is independent: mutating the original does not affect it.
+	if err := tr.Put([]byte("key-000000"), []byte("mutated")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := tr2.Get([]byte("key-000000"))
+	if err != nil || string(v) != "val-0" {
+		t.Fatalf("backup mutated: (%q, %v)", v, err)
+	}
+}
+
+func TestBackupRefusesExistingFile(t *testing.T) {
+	db := OpenMemory()
+	defer db.Close()
+	path := filepath.Join(t.TempDir(), "exists.db")
+	if err := db.BackupToFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BackupToFile(path); err == nil {
+		t.Fatal("backup clobbered an existing file")
+	}
+}
+
+func TestBackupBytesAreFileFormat(t *testing.T) {
+	db := OpenMemory()
+	defer db.Close()
+	tr, _ := db.CreateTable("t")
+	if err := tr.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := db.Backup(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) || n%PageSize != 0 {
+		t.Fatalf("backup size %d not page-aligned", n)
+	}
+	// First page is a valid meta page.
+	if _, err := decodeMeta(buf.Bytes()[:PageSize]); err != nil {
+		t.Fatalf("backup meta invalid: %v", err)
+	}
+}
+
+func TestBackupClosedDB(t *testing.T) {
+	db := OpenMemory()
+	db.Close()
+	var buf bytes.Buffer
+	if _, err := db.Backup(&buf); err != ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+// TestCorruptionDetected flips a byte in an on-disk page and verifies the
+// damage surfaces as ErrCorrupt rather than wrong data.
+func TestCorruptionDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "victim.db")
+	db, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := db.CreateTable("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("key-%05d", i)), []byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte in the middle of page 3 (a data page).
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[3*PageSize+100] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(path, &Options{CachePages: 9})
+	if err != nil {
+		// Corruption may already surface at catalog load: acceptable.
+		return
+	}
+	defer db2.Close()
+	tr2, err := db2.OpenTable("t")
+	if err != nil {
+		return
+	}
+	sawCorrupt := false
+	for i := 0; i < 2000; i++ {
+		_, err := tr2.Get([]byte(fmt.Sprintf("key-%05d", i)))
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, ErrCorrupt) {
+			sawCorrupt = true
+			break
+		}
+		if err == ErrNotFound {
+			t.Fatal("corruption surfaced as ErrNotFound — silent data loss")
+		}
+	}
+	if !sawCorrupt {
+		t.Fatal("flipped byte never detected")
+	}
+}

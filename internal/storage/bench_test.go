@@ -1,0 +1,155 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Ablation: bulk loading vs random-order Puts — the design choice behind
+// building Elements/PostingLists with the bottom-up loader.
+func BenchmarkBulkLoadVsPut(b *testing.B) {
+	const n = 20000
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%08d", i))
+	}
+	val := []byte("0123456789abcdef")
+
+	b.Run("bulkload", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			db := OpenMemory()
+			tr, err := db.CreateTable("t")
+			if err != nil {
+				b.Fatal(err)
+			}
+			bl, err := tr.NewBulkLoader(0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, k := range keys {
+				if err := bl.Add(k, val); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := bl.Finish(); err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(float64(db.PageCount()), "pages")
+			}
+			db.Close()
+		}
+	})
+	b.Run("sorted-puts", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			db := OpenMemory()
+			tr, err := db.CreateTable("t")
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, k := range keys {
+				if err := tr.Put(k, val); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if i == 0 {
+				b.ReportMetric(float64(db.PageCount()), "pages")
+			}
+			db.Close()
+		}
+	})
+}
+
+// Ablation: page-cache size vs point-lookup cost over an on-disk store.
+func BenchmarkCacheSizeAblation(b *testing.B) {
+	for _, cachePages := range []int{16, 256, 4096} {
+		b.Run(fmt.Sprintf("cache=%d", cachePages), func(b *testing.B) {
+			path := b.TempDir() + "/bench.db"
+			db, err := Open(path, &Options{CachePages: cachePages})
+			if err != nil {
+				b.Fatal(err)
+			}
+			tr, err := db.CreateTable("t")
+			if err != nil {
+				b.Fatal(err)
+			}
+			const n = 30000
+			bl, _ := tr.NewBulkLoader(0)
+			for i := 0; i < n; i++ {
+				if err := bl.Add([]byte(fmt.Sprintf("key-%08d", i)), []byte("value")); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := bl.Finish(); err != nil {
+				b.Fatal(err)
+			}
+			if err := db.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := []byte(fmt.Sprintf("key-%08d", (i*7919)%n))
+				if _, err := tr.Get(k); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			st := db.Stats()
+			b.ReportMetric(float64(st.CacheMisses)/float64(st.CacheHits+st.CacheMisses), "miss-rate")
+			db.Close()
+		})
+	}
+}
+
+// Baseline micro-benchmarks for the storage primitives retrieval leans on.
+func BenchmarkCursorScan(b *testing.B) {
+	db := OpenMemory()
+	defer db.Close()
+	tr, _ := db.CreateTable("t")
+	const n = 50000
+	bl, _ := tr.NewBulkLoader(0)
+	for i := 0; i < n; i++ {
+		if err := bl.Add([]byte(fmt.Sprintf("key-%08d", i)), []byte("v")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := bl.Finish(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cur := tr.Cursor()
+		count := 0
+		ok, err := cur.First()
+		for ; ok; ok, err = cur.Next() {
+			count++
+		}
+		if err != nil || count != n {
+			b.Fatalf("scan = %d, %v", count, err)
+		}
+	}
+}
+
+func BenchmarkSeek(b *testing.B) {
+	db := OpenMemory()
+	defer db.Close()
+	tr, _ := db.CreateTable("t")
+	const n = 50000
+	bl, _ := tr.NewBulkLoader(0)
+	for i := 0; i < n; i++ {
+		if err := bl.Add([]byte(fmt.Sprintf("key-%08d", i)), []byte("v")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := bl.Finish(); err != nil {
+		b.Fatal(err)
+	}
+	cur := tr.Cursor()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := []byte(fmt.Sprintf("key-%08d", (i*6151)%n))
+		if ok, err := cur.Seek(k); !ok || err != nil {
+			b.Fatalf("Seek = %v, %v", ok, err)
+		}
+	}
+}

@@ -1,0 +1,536 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+// Tree is one ordered key space (one TReX table) inside a DB.
+type Tree struct {
+	db   *DB
+	name string
+	root uint32 // nilPage when the tree is empty
+}
+
+// Name returns the table name the tree was created with.
+func (t *Tree) Name() string { return t.name }
+
+func validateKV(key, value []byte) error {
+	if len(key) == 0 {
+		return ErrEmptyKey
+	}
+	if len(key) > MaxKeySize {
+		return ErrKeyTooLarge
+	}
+	if len(value) > MaxValueSize {
+		return ErrValueTooLarge
+	}
+	return nil
+}
+
+// Get returns the value stored at key, or ErrNotFound.
+func (t *Tree) Get(key []byte) ([]byte, error) {
+	if err := validateKV(key, nil); err != nil {
+		return nil, err
+	}
+	t.db.pager.countGet()
+	if t.root == nilPage {
+		return nil, ErrNotFound
+	}
+	leaf, err := t.descend(key)
+	if err != nil {
+		return nil, err
+	}
+	i, found := leaf.search(key)
+	if !found {
+		return nil, ErrNotFound
+	}
+	out := make([]byte, len(leaf.cells[i].val))
+	copy(out, leaf.cells[i].val)
+	return out, nil
+}
+
+// Has reports whether key is present.
+func (t *Tree) Has(key []byte) (bool, error) {
+	_, err := t.Get(key)
+	if err == ErrNotFound {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// descend walks from the root to the leaf that owns key.
+func (t *Tree) descend(key []byte) (*node, error) {
+	n, err := t.db.pager.node(t.root)
+	if err != nil {
+		return nil, err
+	}
+	for !n.isLeaf {
+		child := n.childFor(key)
+		n, err = t.db.pager.node(child)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// search finds key in a leaf: the insertion index and whether it matched.
+func (n *node) search(key []byte) (int, bool) {
+	i := sort.Search(len(n.cells), func(i int) bool {
+		return bytes.Compare(n.cells[i].key, key) >= 0
+	})
+	if i < len(n.cells) && bytes.Equal(n.cells[i].key, key) {
+		return i, true
+	}
+	return i, false
+}
+
+// childIndexFor returns the index of the child to follow for key in a
+// branch node: keys[i] is the smallest key under children[i+1], so we pick
+// the last separator <= key.
+func (n *node) childIndexFor(key []byte) int {
+	return sort.Search(len(n.keys), func(i int) bool {
+		return bytes.Compare(n.keys[i], key) > 0
+	})
+}
+
+// childFor returns the child page to follow for key in a branch node.
+func (n *node) childFor(key []byte) uint32 {
+	return n.children[n.childIndexFor(key)]
+}
+
+// Put inserts or replaces the value at key.
+func (t *Tree) Put(key, value []byte) error {
+	if err := validateKV(key, value); err != nil {
+		return err
+	}
+	if t.name != "\x00catalog" {
+		t.db.pager.countPut()
+	}
+	k := append([]byte(nil), key...)
+	v := append([]byte(nil), value...)
+
+	if t.root == nilPage {
+		leaf, err := t.db.pager.allocNode(true)
+		if err != nil {
+			return err
+		}
+		leaf.cells = []cell{{key: k, val: v}}
+		leaf.next = nilPage
+		t.db.pager.markDirty(leaf)
+		t.root = leaf.id
+		return t.db.saveRoot(t)
+	}
+
+	splits, err := t.insert(t.root, k, v)
+	if err != nil {
+		return err
+	}
+	if len(splits) == 0 {
+		return nil
+	}
+	for len(splits) > 0 {
+		// Root split: grow the tree by one level. The new root may itself
+		// overflow if the split fanned out with large separators; loop
+		// until a root fits.
+		newRoot, err := t.db.pager.allocNode(false)
+		if err != nil {
+			return err
+		}
+		newRoot.children = []uint32{t.root}
+		for _, s := range splits {
+			newRoot.keys = append(newRoot.keys, s.sep)
+			newRoot.children = append(newRoot.children, s.right)
+		}
+		t.db.pager.markDirty(newRoot)
+		t.root = newRoot.id
+		if !newRoot.overfull() {
+			break
+		}
+		splits, err = t.splitBranch(newRoot)
+		if err != nil {
+			return err
+		}
+	}
+	return t.db.saveRoot(t)
+}
+
+// split describes one new right sibling produced by a node split: the
+// separator key and the new page.
+type split struct {
+	sep   []byte
+	right uint32
+}
+
+// insert adds (key,value) under page id. If the page splits, it returns
+// the new right siblings (usually one; more when oversized cells force a
+// multi-way split) with their separators, in order.
+func (t *Tree) insert(id uint32, key, value []byte) ([]split, error) {
+	n, err := t.db.pager.node(id)
+	if err != nil {
+		return nil, err
+	}
+	if n.isLeaf {
+		i, found := n.search(key)
+		if found {
+			n.cells[i].val = value
+		} else {
+			n.cells = append(n.cells, cell{})
+			copy(n.cells[i+1:], n.cells[i:])
+			n.cells[i] = cell{key: key, val: value}
+		}
+		t.db.pager.markDirty(n)
+		if !n.overfull() {
+			return nil, nil
+		}
+		return t.splitLeaf(n)
+	}
+
+	ci := n.childIndexFor(key)
+	childSplits, err := t.insert(n.children[ci], key, value)
+	if err != nil {
+		return nil, err
+	}
+	if len(childSplits) == 0 {
+		return nil, nil
+	}
+	// Insert the separators and new children after position ci.
+	n.keys = append(n.keys, make([][]byte, len(childSplits))...)
+	copy(n.keys[ci+len(childSplits):], n.keys[ci:])
+	n.children = append(n.children, make([]uint32, len(childSplits))...)
+	copy(n.children[ci+1+len(childSplits):], n.children[ci+1:])
+	for j, s := range childSplits {
+		n.keys[ci+j] = s.sep
+		n.children[ci+1+j] = s.right
+	}
+	t.db.pager.markDirty(n)
+	if !n.overfull() {
+		return nil, nil
+	}
+	return t.splitBranch(n)
+}
+
+// splitTarget leaves headroom in split-off nodes for future inserts.
+const splitTarget = PageSize * 3 / 4
+
+// splitLeaf redistributes an overfull leaf into itself plus as many new
+// right siblings as needed so that every node fits in a page. Splitting
+// by bytes (not cell count) is essential: cells range from a few bytes to
+// MaxKeySize+MaxValueSize, and a count-based midpoint can leave one half
+// overfull.
+func (t *Tree) splitLeaf(n *node) ([]split, error) {
+	cells := n.cells
+	groups := packCells(cells)
+	n.cells = cells[:groups[0]:groups[0]]
+	t.db.pager.markDirty(n)
+	var out []split
+	prev := n
+	start := groups[0]
+	for _, g := range groups[1:] {
+		right, err := t.db.pager.allocNode(true)
+		if err != nil {
+			return nil, err
+		}
+		right.cells = append(right.cells, cells[start:start+g]...)
+		right.next = prev.next
+		prev.next = right.id
+		t.db.pager.markDirty(prev)
+		t.db.pager.markDirty(right)
+		out = append(out, split{
+			sep:   append([]byte(nil), right.cells[0].key...),
+			right: right.id,
+		})
+		prev = right
+		start += g
+	}
+	return out, nil
+}
+
+// packCells greedily groups consecutive cells into page-sized nodes,
+// returning the group sizes. Every group fits because a single cell is
+// bounded by MaxKeySize+MaxValueSize, well under the target.
+func packCells(cells []cell) []int {
+	var groups []int
+	size := nodeHeaderSize
+	count := 0
+	for i := range cells {
+		cs := leafCellFixed + len(cells[i].key) + len(cells[i].val)
+		if count > 0 && size+cs > splitTarget {
+			groups = append(groups, count)
+			size = nodeHeaderSize
+			count = 0
+		}
+		size += cs
+		count++
+	}
+	if count > 0 {
+		groups = append(groups, count)
+	}
+	return groups
+}
+
+// splitBranch redistributes an overfull branch into itself plus new right
+// siblings. Keys are packed into byte-bounded groups; the first key of
+// each non-first group is promoted as the separator to the parent, so
+// node j>0 keeps its group's remaining keys. Every non-first group must
+// therefore hold at least two keys; a short final group steals one key
+// from its (always amply filled) predecessor.
+func (t *Tree) splitBranch(n *node) ([]split, error) {
+	keys := n.keys
+	children := n.children
+	var groups []int
+	size := nodeHeaderSize
+	count := 0
+	for i := range keys {
+		ks := branchCellFixed + len(keys[i])
+		if count > 0 && size+ks > splitTarget {
+			groups = append(groups, count)
+			size = nodeHeaderSize
+			count = 0
+		}
+		size += ks
+		count++
+	}
+	if count > 0 {
+		groups = append(groups, count)
+	}
+	if len(groups) == 1 {
+		return nil, fmt.Errorf("storage: branch %d overfull but unsplittable", n.id)
+	}
+	last := len(groups) - 1
+	if groups[last] < 2 {
+		groups[last-1]--
+		groups[last]++
+	}
+	// First group stays in n.
+	g0 := groups[0]
+	n.keys = keys[:g0:g0]
+	n.children = children[: g0+1 : g0+1]
+	t.db.pager.markDirty(n)
+
+	var out []split
+	pos := g0
+	for _, g := range groups[1:] {
+		// keys[pos] is promoted; the node keeps keys[pos+1 : pos+g] and
+		// children[pos+1 : pos+g+1].
+		promoted := keys[pos]
+		right, err := t.db.pager.allocNode(false)
+		if err != nil {
+			return nil, err
+		}
+		right.keys = append(right.keys, keys[pos+1:pos+g]...)
+		right.children = append(right.children, children[pos+1:pos+g+1]...)
+		t.db.pager.markDirty(right)
+		out = append(out, split{sep: promoted, right: right.id})
+		pos += g
+	}
+	return out, nil
+}
+
+// Delete removes key if present. It reports whether a key was removed.
+//
+// Deletion is lazy: leaves may become underfull, and a leaf page is only
+// reclaimed when it becomes entirely empty. Index tables in TReX are
+// rebuilt rather than trimmed in place, so sustained delete-heavy
+// workloads are out of scope; correctness (ordering, linkage) is preserved
+// for any delete pattern.
+func (t *Tree) Delete(key []byte) (bool, error) {
+	if err := validateKV(key, nil); err != nil {
+		return false, err
+	}
+	if t.root == nilPage {
+		return false, nil
+	}
+	removed, err := t.deleteFrom(t.root, key)
+	if err != nil || !removed {
+		return removed, err
+	}
+	// If the root is a branch with a single child, shrink the tree.
+	for {
+		n, err := t.db.pager.node(t.root)
+		if err != nil {
+			return true, err
+		}
+		if n.isLeaf {
+			if len(n.cells) == 0 {
+				if err := t.db.pager.freeNode(n); err != nil {
+					return true, err
+				}
+				t.root = nilPage
+				return true, t.db.saveRoot(t)
+			}
+			return true, nil
+		}
+		if len(n.children) == 0 {
+			// Every child was reclaimed: the tree is empty.
+			if err := t.db.pager.freeNode(n); err != nil {
+				return true, err
+			}
+			t.root = nilPage
+			return true, t.db.saveRoot(t)
+		}
+		if len(n.children) == 1 {
+			child := n.children[0]
+			if err := t.db.pager.freeNode(n); err != nil {
+				return true, err
+			}
+			t.root = child
+			if err := t.db.saveRoot(t); err != nil {
+				return true, err
+			}
+			continue
+		}
+		return true, nil
+	}
+}
+
+// deleteFrom removes key from the subtree rooted at id.
+func (t *Tree) deleteFrom(id uint32, key []byte) (bool, error) {
+	n, err := t.db.pager.node(id)
+	if err != nil {
+		return false, err
+	}
+	if n.isLeaf {
+		i, found := n.search(key)
+		if !found {
+			return false, nil
+		}
+		copy(n.cells[i:], n.cells[i+1:])
+		n.cells = n.cells[:len(n.cells)-1]
+		t.db.pager.markDirty(n)
+		return true, nil
+	}
+	ci := sort.Search(len(n.keys), func(i int) bool {
+		return bytes.Compare(n.keys[i], key) > 0
+	})
+	child := n.children[ci]
+	removed, err := t.deleteFrom(child, key)
+	if err != nil || !removed {
+		return removed, err
+	}
+	// Reclaim an empty child (a leaf with no cells, or a branch whose own
+	// children were all reclaimed) and drop it from this branch.
+	cn, err := t.db.pager.node(child)
+	if err != nil {
+		return true, err
+	}
+	emptyLeaf := cn.isLeaf && len(cn.cells) == 0
+	emptyBranch := !cn.isLeaf && len(cn.children) == 0
+	if emptyLeaf || emptyBranch {
+		if emptyLeaf {
+			if err := t.unlinkLeaf(cn); err != nil {
+				return true, err
+			}
+		}
+		if err := t.db.pager.freeNode(cn); err != nil {
+			return true, err
+		}
+		switch {
+		case len(n.keys) == 0:
+			// n was a pass-through branch (one child, no keys); it is now
+			// empty and will be reclaimed by its own parent (or by the
+			// root loop in Delete).
+			n.children = n.children[:0]
+		case ci == 0:
+			n.keys = n.keys[1:]
+			n.children = n.children[1:]
+		default:
+			n.keys = append(n.keys[:ci-1], n.keys[ci:]...)
+			n.children = append(n.children[:ci], n.children[ci+1:]...)
+		}
+		t.db.pager.markDirty(n)
+	}
+	return true, nil
+}
+
+// unlinkLeaf removes leaf from the left-to-right sibling chain by scanning
+// from the leftmost leaf. Deletes are rare in TReX (tables are rebuilt),
+// so the linear scan is acceptable and keeps the format simple (no prev
+// pointers).
+func (t *Tree) unlinkLeaf(leaf *node) error {
+	first, err := t.firstLeaf()
+	if err != nil || first == nil {
+		return err
+	}
+	if first.id == leaf.id {
+		return nil // no left sibling to fix
+	}
+	cur := first
+	for cur.next != nilPage {
+		if cur.next == leaf.id {
+			cur.next = leaf.next
+			t.db.pager.markDirty(cur)
+			return nil
+		}
+		cur, err = t.db.pager.node(cur.next)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// firstLeaf returns the leftmost leaf, or nil for an empty tree.
+func (t *Tree) firstLeaf() (*node, error) {
+	if t.root == nilPage {
+		return nil, nil
+	}
+	n, err := t.db.pager.node(t.root)
+	if err != nil {
+		return nil, err
+	}
+	for !n.isLeaf {
+		n, err = t.db.pager.node(n.children[0])
+		if err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// Len counts the keys in the tree by walking the leaf chain.
+func (t *Tree) Len() (int, error) {
+	n, err := t.firstLeaf()
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for n != nil {
+		total += len(n.cells)
+		if n.next == nilPage {
+			break
+		}
+		n, err = t.db.pager.node(n.next)
+		if err != nil {
+			return 0, err
+		}
+	}
+	return total, nil
+}
+
+// ApproxBytes estimates the on-disk footprint of the tree in bytes by
+// walking the leaf chain. Branch pages are a small constant factor on top;
+// the self-managing advisor uses this as the S_RPL/S_ERPL size term.
+func (t *Tree) ApproxBytes() (int64, error) {
+	n, err := t.firstLeaf()
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for n != nil {
+		total += PageSize
+		if n.next == nilPage {
+			break
+		}
+		n, err = t.db.pager.node(n.next)
+		if err != nil {
+			return 0, err
+		}
+	}
+	return total, nil
+}

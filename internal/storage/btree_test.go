@@ -1,0 +1,569 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+func newTestTree(t *testing.T) *Tree {
+	t.Helper()
+	db := OpenMemory()
+	t.Cleanup(func() { db.Close() })
+	tr, err := db.CreateTable("t")
+	if err != nil {
+		t.Fatalf("CreateTable: %v", err)
+	}
+	return tr
+}
+
+func TestPutGetSingle(t *testing.T) {
+	tr := newTestTree(t)
+	if err := tr.Put([]byte("hello"), []byte("world")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	v, err := tr.Get([]byte("hello"))
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if string(v) != "world" {
+		t.Fatalf("Get = %q, want %q", v, "world")
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	tr := newTestTree(t)
+	if _, err := tr.Get([]byte("absent")); err != ErrNotFound {
+		t.Fatalf("Get missing = %v, want ErrNotFound", err)
+	}
+	if err := tr.Put([]byte("a"), []byte("1")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if _, err := tr.Get([]byte("b")); err != ErrNotFound {
+		t.Fatalf("Get missing after insert = %v, want ErrNotFound", err)
+	}
+}
+
+func TestPutOverwrite(t *testing.T) {
+	tr := newTestTree(t)
+	key := []byte("k")
+	for i := 0; i < 5; i++ {
+		val := []byte(fmt.Sprintf("v%d", i))
+		if err := tr.Put(key, val); err != nil {
+			t.Fatalf("Put #%d: %v", i, err)
+		}
+		got, err := tr.Get(key)
+		if err != nil {
+			t.Fatalf("Get #%d: %v", i, err)
+		}
+		if !bytes.Equal(got, val) {
+			t.Fatalf("Get #%d = %q, want %q", i, got, val)
+		}
+	}
+	n, err := tr.Len()
+	if err != nil {
+		t.Fatalf("Len: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("Len = %d after overwrites, want 1", n)
+	}
+}
+
+func TestKeyValidation(t *testing.T) {
+	tr := newTestTree(t)
+	if err := tr.Put(nil, []byte("v")); err != ErrEmptyKey {
+		t.Errorf("empty key: err = %v, want ErrEmptyKey", err)
+	}
+	if err := tr.Put(make([]byte, MaxKeySize+1), []byte("v")); err != ErrKeyTooLarge {
+		t.Errorf("big key: err = %v, want ErrKeyTooLarge", err)
+	}
+	if err := tr.Put([]byte("k"), make([]byte, MaxValueSize+1)); err != ErrValueTooLarge {
+		t.Errorf("big value: err = %v, want ErrValueTooLarge", err)
+	}
+	if err := tr.Put(make([]byte, MaxKeySize), make([]byte, MaxValueSize)); err != nil {
+		t.Errorf("max-size pair rejected: %v", err)
+	}
+}
+
+func TestManyInsertsSplitAndOrder(t *testing.T) {
+	tr := newTestTree(t)
+	const n = 5000
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, i := range perm {
+		k := []byte(fmt.Sprintf("key-%06d", i))
+		v := []byte(fmt.Sprintf("val-%d", i*i))
+		if err := tr.Put(k, v); err != nil {
+			t.Fatalf("Put %s: %v", k, err)
+		}
+	}
+	// Every key retrievable.
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key-%06d", i))
+		v, err := tr.Get(k)
+		if err != nil {
+			t.Fatalf("Get %s: %v", k, err)
+		}
+		want := fmt.Sprintf("val-%d", i*i)
+		if string(v) != want {
+			t.Fatalf("Get %s = %q, want %q", k, v, want)
+		}
+	}
+	// Cursor yields all keys in strict order.
+	cur := tr.Cursor()
+	ok, err := cur.First()
+	if err != nil {
+		t.Fatalf("First: %v", err)
+	}
+	count := 0
+	var last []byte
+	for ok {
+		if last != nil && bytes.Compare(cur.Key(), last) <= 0 {
+			t.Fatalf("cursor out of order: %q after %q", cur.Key(), last)
+		}
+		last = append(last[:0], cur.Key()...)
+		count++
+		ok, err = cur.Next()
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+	}
+	if count != n {
+		t.Fatalf("cursor saw %d keys, want %d", count, n)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := newTestTree(t)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key-%05d", i))
+		if err := tr.Put(k, []byte("x")); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	// Delete the even keys.
+	for i := 0; i < n; i += 2 {
+		k := []byte(fmt.Sprintf("key-%05d", i))
+		removed, err := tr.Delete(k)
+		if err != nil {
+			t.Fatalf("Delete %s: %v", k, err)
+		}
+		if !removed {
+			t.Fatalf("Delete %s reported not removed", k)
+		}
+	}
+	// Re-delete reports false.
+	if removed, err := tr.Delete([]byte("key-00000")); err != nil || removed {
+		t.Fatalf("re-Delete = (%v, %v), want (false, nil)", removed, err)
+	}
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key-%05d", i))
+		_, err := tr.Get(k)
+		if i%2 == 0 && err != ErrNotFound {
+			t.Fatalf("deleted key %s still present (err=%v)", k, err)
+		}
+		if i%2 == 1 && err != nil {
+			t.Fatalf("kept key %s lost: %v", k, err)
+		}
+	}
+	got, err := tr.Len()
+	if err != nil {
+		t.Fatalf("Len: %v", err)
+	}
+	if got != n/2 {
+		t.Fatalf("Len = %d, want %d", got, n/2)
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	tr := newTestTree(t)
+	const n = 1200
+	for i := 0; i < n; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("k%05d", i)), []byte("v")); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if _, err := tr.Delete([]byte(fmt.Sprintf("k%05d", i))); err != nil {
+			t.Fatalf("Delete: %v", err)
+		}
+	}
+	if got, _ := tr.Len(); got != 0 {
+		t.Fatalf("Len after delete-all = %d, want 0", got)
+	}
+	// The tree must be reusable after full deletion.
+	if err := tr.Put([]byte("again"), []byte("yes")); err != nil {
+		t.Fatalf("Put after delete-all: %v", err)
+	}
+	v, err := tr.Get([]byte("again"))
+	if err != nil || string(v) != "yes" {
+		t.Fatalf("Get after reuse = (%q, %v)", v, err)
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trex.db")
+	db, err := Open(path, nil)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	tr, err := db.CreateTable("elements")
+	if err != nil {
+		t.Fatalf("CreateTable: %v", err)
+	}
+	const n = 3000
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key-%06d", i))
+		v := []byte(fmt.Sprintf("value-%06d", i))
+		if err := tr.Put(k, v); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	db2, err := Open(path, nil)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer db2.Close()
+	tr2, err := db2.OpenTable("elements")
+	if err != nil {
+		t.Fatalf("OpenTable: %v", err)
+	}
+	for i := 0; i < n; i += 37 {
+		k := []byte(fmt.Sprintf("key-%06d", i))
+		v, err := tr2.Get(k)
+		if err != nil {
+			t.Fatalf("Get %s after reopen: %v", k, err)
+		}
+		want := fmt.Sprintf("value-%06d", i)
+		if string(v) != want {
+			t.Fatalf("Get %s = %q, want %q", k, v, want)
+		}
+	}
+	if got, _ := tr2.Len(); got != n {
+		t.Fatalf("Len after reopen = %d, want %d", got, n)
+	}
+}
+
+func TestMultipleTables(t *testing.T) {
+	db := OpenMemory()
+	defer db.Close()
+	names := []string{"Elements", "PostingLists", "RPLs", "ERPLs"}
+	for _, name := range names {
+		tr, err := db.CreateTable(name)
+		if err != nil {
+			t.Fatalf("CreateTable %s: %v", name, err)
+		}
+		if err := tr.Put([]byte("k"), []byte(name)); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	if _, err := db.CreateTable("Elements"); err != ErrTableExists {
+		t.Fatalf("duplicate CreateTable err = %v, want ErrTableExists", err)
+	}
+	if _, err := db.OpenTable("nope"); err == nil {
+		t.Fatal("OpenTable on missing table succeeded")
+	}
+	for _, name := range names {
+		tr, err := db.OpenTable(name)
+		if err != nil {
+			t.Fatalf("OpenTable %s: %v", name, err)
+		}
+		v, err := tr.Get([]byte("k"))
+		if err != nil || string(v) != name {
+			t.Fatalf("table %s value = (%q, %v)", name, v, err)
+		}
+	}
+	got := db.Tables()
+	want := []string{"ERPLs", "Elements", "PostingLists", "RPLs"}
+	if len(got) != len(want) {
+		t.Fatalf("Tables = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Tables = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSmallCacheCorrectness(t *testing.T) {
+	// A tiny cache forces evictions on every operation; this exercises the
+	// markDirty re-registration path.
+	path := filepath.Join(t.TempDir(), "small.db")
+	db, err := Open(path, &Options{CachePages: 9})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	tr, err := db.CreateTable("t")
+	if err != nil {
+		t.Fatalf("CreateTable: %v", err)
+	}
+	const n = 4000
+	perm := rand.New(rand.NewSource(7)).Perm(n)
+	for _, i := range perm {
+		k := []byte(fmt.Sprintf("key-%06d", i))
+		if err := tr.Put(k, []byte(fmt.Sprintf("val-%d", i))); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	db2, err := Open(path, &Options{CachePages: 9})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer db2.Close()
+	tr2, err := db2.OpenTable("t")
+	if err != nil {
+		t.Fatalf("OpenTable: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key-%06d", i))
+		v, err := tr2.Get(k)
+		if err != nil {
+			t.Fatalf("Get %s: %v", k, err)
+		}
+		if string(v) != fmt.Sprintf("val-%d", i) {
+			t.Fatalf("Get %s = %q", k, v)
+		}
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	tr := newTestTree(t)
+	before := tr.db.Stats()
+	for i := 0; i < 100; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("v")); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := tr.Get([]byte(fmt.Sprintf("k%03d", i))); err != nil {
+			t.Fatalf("Get: %v", err)
+		}
+	}
+	cur := tr.Cursor()
+	ok, _ := cur.First()
+	for ok {
+		ok, _ = cur.Next()
+	}
+	d := tr.db.Stats().Sub(before)
+	if d.Puts != 100 {
+		t.Errorf("Puts = %d, want 100", d.Puts)
+	}
+	if d.Gets != 50 {
+		t.Errorf("Gets = %d, want 50", d.Gets)
+	}
+	if d.Seeks != 1 {
+		t.Errorf("Seeks = %d, want 1", d.Seeks)
+	}
+	if d.Nexts != 100 {
+		t.Errorf("Nexts = %d, want 100", d.Nexts)
+	}
+}
+
+func TestClosedDBErrors(t *testing.T) {
+	db := OpenMemory()
+	tr, err := db.CreateTable("t")
+	if err != nil {
+		t.Fatalf("CreateTable: %v", err)
+	}
+	if err := tr.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := db.CreateTable("u"); err != ErrClosed {
+		t.Errorf("CreateTable after close = %v, want ErrClosed", err)
+	}
+	if err := db.Flush(); err != ErrClosed {
+		t.Errorf("Flush after close = %v, want ErrClosed", err)
+	}
+}
+
+// TestRandomizedAgainstModel compares the tree with a map+sort model under a
+// random mixed workload of puts, deletes and gets.
+func TestRandomizedAgainstModel(t *testing.T) {
+	tr := newTestTree(t)
+	model := make(map[string]string)
+	rng := rand.New(rand.NewSource(42))
+	const ops = 20000
+	keyspace := 3000
+	for op := 0; op < ops; op++ {
+		k := fmt.Sprintf("key-%04d", rng.Intn(keyspace))
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4, 5: // put
+			v := fmt.Sprintf("v-%d", op)
+			if err := tr.Put([]byte(k), []byte(v)); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+			model[k] = v
+		case 6, 7: // delete
+			removed, err := tr.Delete([]byte(k))
+			if err != nil {
+				t.Fatalf("Delete: %v", err)
+			}
+			_, inModel := model[k]
+			if removed != inModel {
+				t.Fatalf("Delete %s = %v, model has=%v", k, removed, inModel)
+			}
+			delete(model, k)
+		default: // get
+			v, err := tr.Get([]byte(k))
+			mv, inModel := model[k]
+			if inModel {
+				if err != nil || string(v) != mv {
+					t.Fatalf("Get %s = (%q, %v), want %q", k, v, err, mv)
+				}
+			} else if err != ErrNotFound {
+				t.Fatalf("Get %s = (%q, %v), want ErrNotFound", k, v, err)
+			}
+		}
+	}
+	// Final sweep: cursor contents must equal the sorted model.
+	var wantKeys []string
+	for k := range model {
+		wantKeys = append(wantKeys, k)
+	}
+	sort.Strings(wantKeys)
+	cur := tr.Cursor()
+	ok, err := cur.First()
+	if err != nil {
+		t.Fatalf("First: %v", err)
+	}
+	i := 0
+	for ok {
+		if i >= len(wantKeys) {
+			t.Fatalf("cursor has extra key %q", cur.Key())
+		}
+		if string(cur.Key()) != wantKeys[i] {
+			t.Fatalf("cursor key[%d] = %q, want %q", i, cur.Key(), wantKeys[i])
+		}
+		if string(cur.Value()) != model[wantKeys[i]] {
+			t.Fatalf("cursor val[%d] = %q, want %q", i, cur.Value(), model[wantKeys[i]])
+		}
+		i++
+		ok, err = cur.Next()
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+	}
+	if i != len(wantKeys) {
+		t.Fatalf("cursor saw %d keys, want %d", i, len(wantKeys))
+	}
+}
+
+// TestDeleteRangeCollapsesSubtrees deletes a contiguous key range large
+// enough to empty whole subtrees (the DropList pattern), exercising
+// pass-through-branch reclamation.
+func TestDeleteRangeCollapsesSubtrees(t *testing.T) {
+	tr := newTestTree(t)
+	const n = 8000
+	for i := 0; i < n; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("key-%06d", i)), []byte("v")); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	// Delete a big contiguous middle range in ascending order.
+	for i := 1000; i < 7000; i++ {
+		removed, err := tr.Delete([]byte(fmt.Sprintf("key-%06d", i)))
+		if err != nil {
+			t.Fatalf("Delete %d: %v", i, err)
+		}
+		if !removed {
+			t.Fatalf("Delete %d reported not removed", i)
+		}
+	}
+	if got, _ := tr.Len(); got != 2000 {
+		t.Fatalf("Len = %d, want 2000", got)
+	}
+	// Scan order intact across the gap.
+	cur := tr.Cursor()
+	ok, err := cur.First()
+	count := 0
+	var last []byte
+	for ; ok; ok, err = cur.Next() {
+		if last != nil && bytes.Compare(cur.Key(), last) <= 0 {
+			t.Fatalf("order violation at %q", cur.Key())
+		}
+		last = append(last[:0], cur.Key()...)
+		count++
+	}
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if count != 2000 {
+		t.Fatalf("scanned %d, want 2000", count)
+	}
+	// Flush works (no orphaned unencodable nodes).
+	if err := tr.db.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	// Deleting everything else empties the tree cleanly.
+	for i := 0; i < 1000; i++ {
+		if _, err := tr.Delete([]byte(fmt.Sprintf("key-%06d", i))); err != nil {
+			t.Fatalf("Delete: %v", err)
+		}
+	}
+	for i := 7000; i < n; i++ {
+		if _, err := tr.Delete([]byte(fmt.Sprintf("key-%06d", i))); err != nil {
+			t.Fatalf("Delete: %v", err)
+		}
+	}
+	if got, _ := tr.Len(); got != 0 {
+		t.Fatalf("Len after full delete = %d", got)
+	}
+	if err := tr.Put([]byte("fresh"), []byte("start")); err != nil {
+		t.Fatalf("Put after full delete: %v", err)
+	}
+}
+
+// TestFreePageReuse verifies that pages reclaimed by deletion are reused
+// by later inserts instead of growing the file — the disk-space story the
+// self-managing advisor depends on when it drops and re-materializes
+// lists.
+func TestFreePageReuse(t *testing.T) {
+	db := OpenMemory()
+	defer db.Close()
+	tr, err := db.CreateTable("lists")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill := func() {
+		for i := 0; i < 5000; i++ {
+			if err := tr.Put([]byte(fmt.Sprintf("k%06d", i)), bytes.Repeat([]byte("v"), 64)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	drain := func() {
+		for i := 0; i < 5000; i++ {
+			if _, err := tr.Delete([]byte(fmt.Sprintf("k%06d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	fill()
+	after1 := db.PageCount()
+	for cycle := 0; cycle < 3; cycle++ {
+		drain()
+		fill()
+	}
+	after4 := db.PageCount()
+	// Some growth is tolerated (freelist ordering), but repeated
+	// drop/rebuild cycles must not multiply the file size.
+	if after4 > after1*2 {
+		t.Fatalf("page count grew from %d to %d over drop/rebuild cycles", after1, after4)
+	}
+}

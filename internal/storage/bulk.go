@@ -1,0 +1,157 @@
+package storage
+
+import "bytes"
+
+// BulkLoader builds a tree bottom-up from a strictly ascending key stream.
+// Index construction in TReX emits keys in sorted order (Elements by
+// (sid,docid,endpos), posting lists by (token,position), RPLs by
+// (token,score desc) — all made ascending by the key codecs), so bulk
+// loading packs leaves near-full and avoids the write amplification of
+// random inserts.
+//
+// Usage: NewBulkLoader, Add for each pair in order, then Finish. The tree
+// must be empty when loading starts.
+type BulkLoader struct {
+	tree    *Tree
+	cur     *node  // leaf being filled
+	lastKey []byte // for order validation
+	// levels[i] is the branch node currently being filled at height i+1.
+	levels   []*node
+	fillFrac float64
+	done     bool
+	err      error
+}
+
+// NewBulkLoader prepares a bulk load into t. fillFrac in (0,1] controls how
+// full leaves are packed; 0 defaults to 0.9 (leave slack for later Puts).
+func (t *Tree) NewBulkLoader(fillFrac float64) (*BulkLoader, error) {
+	if t.root != nilPage {
+		return nil, ErrTableExists
+	}
+	if fillFrac <= 0 || fillFrac > 1 {
+		fillFrac = 0.9
+	}
+	return &BulkLoader{tree: t, fillFrac: fillFrac}, nil
+}
+
+// Add appends a pair. Keys must be strictly ascending.
+func (b *BulkLoader) Add(key, value []byte) error {
+	if b.err != nil {
+		return b.err
+	}
+	if b.done {
+		b.err = ErrClosed
+		return b.err
+	}
+	if err := validateKV(key, value); err != nil {
+		b.err = err
+		return err
+	}
+	if b.lastKey != nil && bytes.Compare(key, b.lastKey) <= 0 {
+		b.err = ErrUnsorted
+		return b.err
+	}
+	b.lastKey = append(b.lastKey[:0], key...)
+
+	k := append([]byte(nil), key...)
+	v := append([]byte(nil), value...)
+
+	if b.cur == nil {
+		leaf, err := b.tree.db.pager.allocNode(true)
+		if err != nil {
+			b.err = err
+			return err
+		}
+		leaf.next = nilPage
+		b.cur = leaf
+	}
+	target := int(float64(pagePayload) * b.fillFrac)
+	addSize := leafCellFixed + len(k) + len(v)
+	if len(b.cur.cells) > 0 && b.cur.encodedSize()+addSize > target {
+		if err := b.sealLeaf(k); err != nil {
+			b.err = err
+			return err
+		}
+	}
+	b.cur.cells = append(b.cur.cells, cell{key: k, val: v})
+	b.tree.db.pager.markDirty(b.cur)
+	return nil
+}
+
+// sealLeaf finishes the current leaf, starts a new one and pushes the new
+// leaf's first key up the branch levels.
+func (b *BulkLoader) sealLeaf(nextFirstKey []byte) error {
+	newLeaf, err := b.tree.db.pager.allocNode(true)
+	if err != nil {
+		return err
+	}
+	newLeaf.next = nilPage
+	b.cur.next = newLeaf.id
+	b.tree.db.pager.markDirty(b.cur)
+	oldID := b.cur.id
+	b.cur = newLeaf
+	return b.pushUp(0, oldID, nextFirstKey, newLeaf.id)
+}
+
+// pushUp records that at branch level lv, child left is followed by child
+// right with separator sep.
+func (b *BulkLoader) pushUp(lv int, left uint32, sep []byte, right uint32) error {
+	if lv == len(b.levels) {
+		br, err := b.tree.db.pager.allocNode(false)
+		if err != nil {
+			return err
+		}
+		br.children = []uint32{left}
+		b.levels = append(b.levels, br)
+	}
+	br := b.levels[lv]
+	sepCopy := append([]byte(nil), sep...)
+	br.keys = append(br.keys, sepCopy)
+	br.children = append(br.children, right)
+	b.tree.db.pager.markDirty(br)
+
+	target := int(float64(pagePayload) * b.fillFrac)
+	if br.encodedSize() <= target {
+		return nil
+	}
+	// Seal this branch: its last key/child move to a fresh branch at the
+	// same level, and the separator is promoted.
+	last := len(br.keys) - 1
+	promoted := br.keys[last]
+	carryChild := br.children[last+1]
+	br.keys = br.keys[:last]
+	br.children = br.children[:last+1]
+	nb, err := b.tree.db.pager.allocNode(false)
+	if err != nil {
+		return err
+	}
+	nb.children = []uint32{carryChild}
+	oldID := br.id
+	b.levels[lv] = nb
+	b.tree.db.pager.markDirty(br)
+	b.tree.db.pager.markDirty(nb)
+	return b.pushUp(lv+1, oldID, promoted, nb.id)
+}
+
+// Finish completes the load and installs the new root. Count reports how
+// many pairs were added.
+func (b *BulkLoader) Finish() error {
+	if b.err != nil {
+		return b.err
+	}
+	if b.done {
+		return nil
+	}
+	b.done = true
+	if b.cur == nil {
+		return nil // empty load: tree stays empty
+	}
+	// The topmost level that exists becomes the root; levels below are
+	// already linked. If no branch level exists the single leaf is root.
+	root := b.cur.id
+	if len(b.levels) > 0 {
+		root = b.levels[len(b.levels)-1].id
+	}
+	b.tree.root = root
+	return b.tree.db.saveRoot(b.tree)
+}

@@ -1,0 +1,202 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestBulkLoadBasic(t *testing.T) {
+	tr := newTestTree(t)
+	bl, err := tr.NewBulkLoader(0)
+	if err != nil {
+		t.Fatalf("NewBulkLoader: %v", err)
+	}
+	const n = 10000
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key-%06d", i))
+		v := []byte(fmt.Sprintf("val-%06d", i))
+		if err := bl.Add(k, v); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	if err := bl.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	// Point lookups.
+	for i := 0; i < n; i += 113 {
+		k := []byte(fmt.Sprintf("key-%06d", i))
+		v, err := tr.Get(k)
+		if err != nil {
+			t.Fatalf("Get %s: %v", k, err)
+		}
+		if string(v) != fmt.Sprintf("val-%06d", i) {
+			t.Fatalf("Get %s = %q", k, v)
+		}
+	}
+	// Full ordered scan.
+	cur := tr.Cursor()
+	ok, err := cur.First()
+	if err != nil {
+		t.Fatalf("First: %v", err)
+	}
+	i := 0
+	for ok {
+		want := fmt.Sprintf("key-%06d", i)
+		if string(cur.Key()) != want {
+			t.Fatalf("key[%d] = %q, want %q", i, cur.Key(), want)
+		}
+		i++
+		ok, err = cur.Next()
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+	}
+	if i != n {
+		t.Fatalf("scanned %d, want %d", i, n)
+	}
+}
+
+func TestBulkLoadEmpty(t *testing.T) {
+	tr := newTestTree(t)
+	bl, err := tr.NewBulkLoader(0)
+	if err != nil {
+		t.Fatalf("NewBulkLoader: %v", err)
+	}
+	if err := bl.Finish(); err != nil {
+		t.Fatalf("Finish on empty: %v", err)
+	}
+	if n, _ := tr.Len(); n != 0 {
+		t.Fatalf("Len = %d, want 0", n)
+	}
+}
+
+func TestBulkLoadSingle(t *testing.T) {
+	tr := newTestTree(t)
+	bl, _ := tr.NewBulkLoader(0)
+	if err := bl.Add([]byte("only"), []byte("one")); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if err := bl.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	v, err := tr.Get([]byte("only"))
+	if err != nil || string(v) != "one" {
+		t.Fatalf("Get = (%q, %v)", v, err)
+	}
+}
+
+func TestBulkLoadRejectsUnsorted(t *testing.T) {
+	tr := newTestTree(t)
+	bl, _ := tr.NewBulkLoader(0)
+	if err := bl.Add([]byte("b"), []byte("1")); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if err := bl.Add([]byte("a"), []byte("2")); err != ErrUnsorted {
+		t.Fatalf("out-of-order Add err = %v, want ErrUnsorted", err)
+	}
+	if err := bl.Add([]byte("b"), []byte("3")); err != ErrUnsorted {
+		t.Fatalf("Add after failure err = %v, want sticky ErrUnsorted", err)
+	}
+	if err := bl.Finish(); err != ErrUnsorted {
+		t.Fatalf("Finish after failure err = %v, want ErrUnsorted", err)
+	}
+}
+
+func TestBulkLoadDuplicateRejected(t *testing.T) {
+	tr := newTestTree(t)
+	bl, _ := tr.NewBulkLoader(0)
+	if err := bl.Add([]byte("a"), []byte("1")); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if err := bl.Add([]byte("a"), []byte("2")); err != ErrUnsorted {
+		t.Fatalf("duplicate Add err = %v, want ErrUnsorted", err)
+	}
+}
+
+func TestBulkLoadOnNonEmptyTree(t *testing.T) {
+	tr := newTestTree(t)
+	if err := tr.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if _, err := tr.NewBulkLoader(0); err != ErrTableExists {
+		t.Fatalf("NewBulkLoader on non-empty err = %v, want ErrTableExists", err)
+	}
+}
+
+func TestBulkLoadThenPut(t *testing.T) {
+	tr := newTestTree(t)
+	bl, _ := tr.NewBulkLoader(0.9)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if err := bl.Add([]byte(fmt.Sprintf("k%06d", i*2)), []byte("bulk")); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	if err := bl.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	// Interleave fresh keys via regular Put; splits must keep everything.
+	for i := 0; i < n; i += 5 {
+		if err := tr.Put([]byte(fmt.Sprintf("k%06d", i*2+1)), []byte("put")); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	want := n + n/5
+	got, err := tr.Len()
+	if err != nil {
+		t.Fatalf("Len: %v", err)
+	}
+	if got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+	cur := tr.Cursor()
+	var last []byte
+	ok, err := cur.First()
+	for ; ok; ok, err = cur.Next() {
+		if last != nil && bytes.Compare(cur.Key(), last) <= 0 {
+			t.Fatalf("order violation: %q after %q", cur.Key(), last)
+		}
+		last = append(last[:0], cur.Key()...)
+	}
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+}
+
+func TestBulkLoadPersists(t *testing.T) {
+	db := OpenMemory()
+	defer db.Close()
+	tr, err := db.CreateTable("bulk")
+	if err != nil {
+		t.Fatalf("CreateTable: %v", err)
+	}
+	bl, _ := tr.NewBulkLoader(0)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		if err := bl.Add([]byte(fmt.Sprintf("key-%08d", i)), []byte("v")); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	if err := bl.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if got, _ := tr.Len(); got != n {
+		t.Fatalf("Len = %d, want %d", got, n)
+	}
+	// Spot-check seeks across the whole range.
+	cur := tr.Cursor()
+	for i := 0; i < n; i += 9973 {
+		k := []byte(fmt.Sprintf("key-%08d", i))
+		ok, err := cur.Seek(k)
+		if err != nil || !ok {
+			t.Fatalf("Seek %s = (%v, %v)", k, ok, err)
+		}
+		if !bytes.Equal(cur.Key(), k) {
+			t.Fatalf("Seek %s landed on %q", k, cur.Key())
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func fillSeq(t *testing.T, tr *Tree, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key-%06d", i))
+		if err := tr.Put(k, []byte(fmt.Sprintf("%d", i))); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+}
+
+func TestCursorEmptyTree(t *testing.T) {
+	tr := newTestTree(t)
+	cur := tr.Cursor()
+	if ok, err := cur.First(); ok || err != nil {
+		t.Fatalf("First on empty = (%v, %v)", ok, err)
+	}
+	if ok, err := cur.Seek([]byte("x")); ok || err != nil {
+		t.Fatalf("Seek on empty = (%v, %v)", ok, err)
+	}
+	if cur.Key() != nil || cur.Value() != nil {
+		t.Fatal("Key/Value non-nil on invalid cursor")
+	}
+	if ok, err := cur.Next(); ok || err != nil {
+		t.Fatalf("Next on invalid = (%v, %v)", ok, err)
+	}
+}
+
+func TestCursorSeekExact(t *testing.T) {
+	tr := newTestTree(t)
+	fillSeq(t, tr, 1000)
+	cur := tr.Cursor()
+	ok, err := cur.Seek([]byte("key-000500"))
+	if err != nil || !ok {
+		t.Fatalf("Seek = (%v, %v)", ok, err)
+	}
+	if string(cur.Key()) != "key-000500" {
+		t.Fatalf("Key = %q", cur.Key())
+	}
+	if string(cur.Value()) != "500" {
+		t.Fatalf("Value = %q", cur.Value())
+	}
+}
+
+func TestCursorSeekBetween(t *testing.T) {
+	tr := newTestTree(t)
+	// Only even keys exist.
+	for i := 0; i < 1000; i += 2 {
+		if err := tr.Put([]byte(fmt.Sprintf("key-%06d", i)), []byte("v")); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	cur := tr.Cursor()
+	ok, err := cur.Seek([]byte("key-000501")) // between 500 and 502
+	if err != nil || !ok {
+		t.Fatalf("Seek = (%v, %v)", ok, err)
+	}
+	if string(cur.Key()) != "key-000502" {
+		t.Fatalf("Key = %q, want key-000502", cur.Key())
+	}
+}
+
+func TestCursorSeekPastEnd(t *testing.T) {
+	tr := newTestTree(t)
+	fillSeq(t, tr, 100)
+	cur := tr.Cursor()
+	ok, err := cur.Seek([]byte("zzz"))
+	if err != nil {
+		t.Fatalf("Seek: %v", err)
+	}
+	if ok || cur.Valid() {
+		t.Fatal("Seek past end reported valid")
+	}
+}
+
+func TestCursorFullScanMatchesInsertOrder(t *testing.T) {
+	tr := newTestTree(t)
+	const n = 2500
+	fillSeq(t, tr, n)
+	cur := tr.Cursor()
+	ok, err := cur.First()
+	if err != nil {
+		t.Fatalf("First: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		if !ok {
+			t.Fatalf("cursor ended at %d, want %d", i, n)
+		}
+		want := fmt.Sprintf("key-%06d", i)
+		if string(cur.Key()) != want {
+			t.Fatalf("key[%d] = %q, want %q", i, cur.Key(), want)
+		}
+		ok, err = cur.Next()
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+	}
+	if ok {
+		t.Fatalf("cursor has extra key %q", cur.Key())
+	}
+}
+
+func TestCursorPrefixScan(t *testing.T) {
+	tr := newTestTree(t)
+	for _, term := range []string{"apple", "apply", "banana", "band", "bandit", "cat"} {
+		for i := 0; i < 3; i++ {
+			k := fmt.Sprintf("%s/%d", term, i)
+			if err := tr.Put([]byte(k), []byte("v")); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+		}
+	}
+	cur := tr.Cursor()
+	prefix := []byte("band")
+	var got []string
+	ok, err := cur.SeekPrefix(prefix)
+	for ; ok; ok, err = cur.NextPrefix(prefix) {
+		got = append(got, string(cur.Key()))
+	}
+	if err != nil {
+		t.Fatalf("prefix scan: %v", err)
+	}
+	want := []string{"band/0", "band/1", "band/2", "bandit/0", "bandit/1", "bandit/2"}
+	if len(got) != len(want) {
+		t.Fatalf("prefix scan = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("prefix scan = %v, want %v", got, want)
+		}
+	}
+	// A prefix with no matches.
+	if ok, err := cur.SeekPrefix([]byte("bang")); ok || err != nil {
+		t.Fatalf("SeekPrefix(bang) = (%v, %v), want (false, nil)", ok, err)
+	}
+}
+
+func TestCursorSeekBeforeFirst(t *testing.T) {
+	tr := newTestTree(t)
+	fillSeq(t, tr, 10)
+	cur := tr.Cursor()
+	ok, err := cur.Seek([]byte("a")) // all keys start with "key-"
+	if err != nil || !ok {
+		t.Fatalf("Seek = (%v, %v)", ok, err)
+	}
+	if string(cur.Key()) != "key-000000" {
+		t.Fatalf("Key = %q, want first key", cur.Key())
+	}
+}
+
+func TestCursorAcrossManyLeaves(t *testing.T) {
+	tr := newTestTree(t)
+	// Large values force frequent leaf splits, exercising sibling links.
+	val := bytes.Repeat([]byte("x"), 1000)
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("k%05d", i)), val); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	cur := tr.Cursor()
+	count := 0
+	ok, err := cur.First()
+	for ; ok; ok, err = cur.Next() {
+		count++
+	}
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if count != n {
+		t.Fatalf("scanned %d, want %d", count, n)
+	}
+}

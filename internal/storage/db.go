@@ -1,0 +1,219 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+)
+
+// DB is a collection of named trees stored in one page file (or in memory).
+type DB struct {
+	mu     sync.Mutex
+	pager  *pager
+	tables map[string]*Tree
+	closed bool
+}
+
+// Options configures DB opening.
+type Options struct {
+	// CachePages bounds the decoded-node cache; 0 means the default
+	// (16384 pages = 64 MiB).
+	CachePages int
+}
+
+// Open opens or creates the database file at path.
+func Open(path string, opts *Options) (*DB, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	be := &fileBackend{f: f}
+	if st.Size() == 0 {
+		return initDB(be, opts)
+	}
+	buf := make([]byte, PageSize)
+	if err := be.readPage(0, buf); err != nil {
+		f.Close()
+		return nil, err
+	}
+	m, err := decodeMeta(buf)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	db := &DB{tables: make(map[string]*Tree)}
+	cache := 0
+	if opts != nil {
+		cache = opts.CachePages
+	}
+	db.pager = newPager(be, *m, cache)
+	if err := db.loadCatalog(); err != nil {
+		_ = be.close()
+		return nil, err
+	}
+	return db, nil
+}
+
+// OpenMemory creates a fresh in-memory database.
+func OpenMemory() *DB {
+	db, err := initDB(&memBackend{}, nil)
+	if err != nil {
+		// The memory backend cannot fail on init.
+		panic("storage: OpenMemory: " + err.Error())
+	}
+	return db
+}
+
+func initDB(be backend, opts *Options) (*DB, error) {
+	m := meta{version: metaVersion, pageCount: 1, freeHead: nilPage, catalogRoot: nilPage}
+	buf := make([]byte, PageSize)
+	m.encode(buf)
+	if err := be.writePage(0, buf); err != nil {
+		_ = be.close()
+		return nil, err
+	}
+	db := &DB{tables: make(map[string]*Tree)}
+	cache := 0
+	if opts != nil {
+		cache = opts.CachePages
+	}
+	db.pager = newPager(be, m, cache)
+	return db, nil
+}
+
+// catalogTree returns a Tree view over the catalog pages (name -> root id).
+func (db *DB) catalogTree() *Tree {
+	return &Tree{db: db, name: "\x00catalog", root: db.pager.meta.catalogRoot}
+}
+
+func (db *DB) loadCatalog() error {
+	cat := db.catalogTree()
+	cur := cat.Cursor()
+	ok, err := cur.First()
+	for ; ok; ok, err = cur.Next() {
+		name := string(cur.Key())
+		v := cur.Value()
+		if len(v) != 4 {
+			return fmt.Errorf("%w: catalog entry %q", ErrCorrupt, name)
+		}
+		root := binary.LittleEndian.Uint32(v)
+		db.tables[name] = &Tree{db: db, name: name, root: root}
+	}
+	return err
+}
+
+// saveRoot persists t's root page id. The catalog itself is a tree whose
+// root lives in the meta page.
+func (db *DB) saveRoot(t *Tree) error {
+	if t.name == "\x00catalog" {
+		db.pager.meta.catalogRoot = t.root
+		return nil
+	}
+	var v [4]byte
+	binary.LittleEndian.PutUint32(v[:], t.root)
+	cat := db.catalogTree()
+	if err := cat.Put([]byte(t.name), v[:]); err != nil {
+		return err
+	}
+	db.pager.meta.catalogRoot = cat.root
+	return nil
+}
+
+// CreateTable creates a new empty table.
+func (db *DB) CreateTable(name string) (*Tree, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	if name == "" || name[0] == 0 {
+		return nil, fmt.Errorf("storage: invalid table name %q", name)
+	}
+	if _, ok := db.tables[name]; ok {
+		return nil, ErrTableExists
+	}
+	t := &Tree{db: db, name: name, root: nilPage}
+	if err := db.saveRoot(t); err != nil {
+		return nil, err
+	}
+	db.tables[name] = t
+	return t, nil
+}
+
+// OpenTable opens an existing table.
+func (db *DB) OpenTable(name string) (*Tree, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, name)
+	}
+	return t, nil
+}
+
+// EnsureTable opens the table, creating it if absent.
+func (db *DB) EnsureTable(name string) (*Tree, error) {
+	t, err := db.OpenTable(name)
+	if err == nil {
+		return t, nil
+	}
+	t, err = db.CreateTable(name)
+	if err == ErrTableExists {
+		return db.OpenTable(name)
+	}
+	return t, err
+}
+
+// Tables lists table names in sorted order.
+func (db *DB) Tables() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Flush writes all dirty pages and the meta page to the backend.
+func (db *DB) Flush() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	return db.pager.flush()
+}
+
+// Close flushes and releases the database.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	return db.pager.close()
+}
+
+// Stats returns a snapshot of the I/O counters.
+func (db *DB) Stats() Stats { return db.pager.statsSnapshot() }
+
+// PageCount returns the number of pages in the file, a direct measure of
+// disk usage (PageCount * PageSize bytes).
+func (db *DB) PageCount() uint32 {
+	db.pager.mu.Lock()
+	defer db.pager.mu.Unlock()
+	return db.pager.meta.pageCount
+}

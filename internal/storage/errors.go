@@ -1,0 +1,26 @@
+package storage
+
+import "errors"
+
+var (
+	// ErrNotFound is returned by Get when the key is absent.
+	ErrNotFound = errors.New("storage: key not found")
+	// ErrKeyTooLarge is returned when a key exceeds MaxKeySize.
+	ErrKeyTooLarge = errors.New("storage: key too large")
+	// ErrValueTooLarge is returned when a value exceeds MaxValueSize.
+	// Callers that need large values (posting lists) fragment them across
+	// multiple keys, exactly as the paper fragments PostingLists tuples.
+	ErrValueTooLarge = errors.New("storage: value too large")
+	// ErrEmptyKey is returned when a key is empty.
+	ErrEmptyKey = errors.New("storage: empty key")
+	// ErrClosed is returned when operating on a closed DB.
+	ErrClosed = errors.New("storage: database closed")
+	// ErrCorrupt is returned when on-disk structures fail validation.
+	ErrCorrupt = errors.New("storage: corrupt database")
+	// ErrTableExists is returned by CreateTable for a duplicate name.
+	ErrTableExists = errors.New("storage: table already exists")
+	// ErrNoSuchTable is returned by OpenTable for an unknown name.
+	ErrNoSuchTable = errors.New("storage: no such table")
+	// ErrUnsorted is returned by the bulk loader when input order is violated.
+	ErrUnsorted = errors.New("storage: bulk load input not strictly ascending")
+)

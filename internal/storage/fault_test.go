@@ -1,0 +1,166 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// faultBackend wraps a backend and fails I/O after a countdown, injecting
+// the kind of partial-failure a full disk or dying device produces.
+type faultBackend struct {
+	inner      backend
+	writesLeft int
+	readsLeft  int
+}
+
+var errInjected = errors.New("injected I/O fault")
+
+func (f *faultBackend) readPage(id uint32, buf []byte) error {
+	if f.readsLeft == 0 {
+		return errInjected
+	}
+	if f.readsLeft > 0 {
+		f.readsLeft--
+	}
+	return f.inner.readPage(id, buf)
+}
+
+func (f *faultBackend) writePage(id uint32, buf []byte) error {
+	if f.writesLeft == 0 {
+		return errInjected
+	}
+	if f.writesLeft > 0 {
+		f.writesLeft--
+	}
+	return f.inner.writePage(id, buf)
+}
+
+func (f *faultBackend) sync() error  { return f.inner.sync() }
+func (f *faultBackend) close() error { return f.inner.close() }
+
+// newFaultDB builds an in-memory DB whose backend fails after the given
+// operation budgets (-1 = unlimited).
+func newFaultDB(t *testing.T, writes, reads int) (*DB, *faultBackend) {
+	t.Helper()
+	fb := &faultBackend{inner: &memBackend{}, writesLeft: writes, readsLeft: reads}
+	db, err := initDB(fb, nil)
+	if err != nil {
+		t.Fatalf("initDB: %v", err)
+	}
+	return db, fb
+}
+
+func TestWriteFaultSurfacesOnFlush(t *testing.T) {
+	db, fb := newFaultDB(t, -1, -1)
+	tr, err := db.CreateTable("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("k%04d", i)), []byte("v")); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	fb.writesLeft = 0 // disk dies now
+	if err := db.Flush(); err == nil {
+		t.Fatal("Flush succeeded despite write faults")
+	}
+	// The DB is still readable in memory.
+	if _, err := tr.Get([]byte("k0001")); err != nil {
+		t.Fatalf("Get after failed flush: %v", err)
+	}
+}
+
+func TestReadFaultSurfacesOnGet(t *testing.T) {
+	// Use a tiny cache so gets must touch the backend.
+	fb := &faultBackend{inner: &memBackend{}, writesLeft: -1, readsLeft: -1}
+	db, err := initDB(fb, &Options{CachePages: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := db.CreateTable("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("k%05d", i)), []byte("v")); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	fb.readsLeft = 0
+	sawErr := false
+	for i := 0; i < 3000; i += 101 {
+		if _, err := tr.Get([]byte(fmt.Sprintf("k%05d", i))); err != nil {
+			if err == ErrNotFound {
+				t.Fatalf("fault surfaced as ErrNotFound — data-loss lie")
+			}
+			sawErr = true
+		}
+	}
+	if !sawErr {
+		t.Fatal("no read ever touched the failing backend (cache too large?)")
+	}
+}
+
+func TestCursorFaultPropagates(t *testing.T) {
+	fb := &faultBackend{inner: &memBackend{}, writesLeft: -1, readsLeft: -1}
+	db, err := initDB(fb, &Options{CachePages: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := db.CreateTable("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("k%05d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	cur := tr.Cursor()
+	ok, err := cur.First()
+	if err != nil || !ok {
+		t.Fatalf("First = %v, %v", ok, err)
+	}
+	fb.readsLeft = 2 // let a couple of leaf loads through, then fail
+	for {
+		ok, err = cur.Next()
+		if err != nil {
+			return // fault surfaced as an error: correct behavior
+		}
+		if !ok {
+			t.Fatal("cursor ended cleanly despite read faults")
+		}
+	}
+}
+
+func TestBulkLoadWriteFault(t *testing.T) {
+	db, fb := newFaultDB(t, -1, -1)
+	tr, err := db.CreateTable("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl, err := tr.NewBulkLoader(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20000; i++ {
+		if err := bl.Add([]byte(fmt.Sprintf("k%08d", i)), []byte("v")); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	if err := bl.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	fb.writesLeft = 3
+	if err := db.Flush(); err == nil {
+		t.Fatal("Flush succeeded despite exhausted write budget")
+	}
+}

@@ -1,0 +1,250 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// PageSize is the unit of disk I/O. All pages are exactly this size on disk.
+const PageSize = 4096
+
+// pagePayload is the space available to node content: the final 4 bytes
+// of every page hold a CRC32 of the rest, so torn writes and bit rot
+// surface as ErrCorrupt instead of silent wrong answers.
+const pagePayload = PageSize - 4
+
+// Size limits derive from the requirement that a leaf page must hold at
+// least two cells and a branch page at least two children.
+const (
+	// MaxKeySize is the largest key the store accepts.
+	MaxKeySize = 512
+	// MaxValueSize is the largest value the store accepts. Larger logical
+	// records (posting lists) are fragmented by the caller.
+	MaxValueSize = 3072
+)
+
+// Page type tags (first byte of an encoded page).
+const (
+	pageMeta   = 0x4D // 'M'
+	pageLeaf   = 0x4C // 'L'
+	pageBranch = 0x42 // 'B'
+	pageFree   = 0x46 // 'F'
+)
+
+const (
+	metaMagic   = "TREXDB01"
+	metaVersion = 1
+	// nilPage marks "no page" (page 0 is the meta page, never a node).
+	nilPage = uint32(0)
+)
+
+// leafHeaderSize and per-cell overheads used for capacity accounting.
+const (
+	nodeHeaderSize  = 1 + 2 + 4 // type + nkeys + next/child0
+	leafCellFixed   = 2 + 2     // klen + vlen
+	branchCellFixed = 2 + 4     // klen + child
+)
+
+// cell is one key/value pair in a leaf.
+type cell struct {
+	key []byte
+	val []byte
+}
+
+// node is the in-memory representation of a leaf or branch page. The pager
+// caches decoded nodes and encodes them back to PageSize buffers on flush.
+type node struct {
+	id     uint32
+	isLeaf bool
+	dirty  bool
+
+	// Leaf fields.
+	cells []cell
+	next  uint32 // right sibling leaf, nilPage at the rightmost leaf
+
+	// Branch fields. len(children) == len(keys)+1. keys[i] is the smallest
+	// key reachable under children[i+1].
+	keys     [][]byte
+	children []uint32
+}
+
+// encodedSize returns the number of bytes the node occupies when encoded.
+func (n *node) encodedSize() int {
+	size := nodeHeaderSize
+	if n.isLeaf {
+		for i := range n.cells {
+			size += leafCellFixed + len(n.cells[i].key) + len(n.cells[i].val)
+		}
+		return size
+	}
+	for i := range n.keys {
+		size += branchCellFixed + len(n.keys[i])
+	}
+	return size
+}
+
+// overfull reports whether the node no longer fits in a page and must split.
+func (n *node) overfull() bool { return n.encodedSize() > pagePayload }
+
+// sealPage writes the payload checksum into buf's trailer.
+func sealPage(buf []byte) {
+	binary.LittleEndian.PutUint32(buf[pagePayload:], crc32.ChecksumIEEE(buf[:pagePayload]))
+}
+
+// verifyPage checks the payload checksum.
+func verifyPage(id uint32, buf []byte) error {
+	want := binary.LittleEndian.Uint32(buf[pagePayload:])
+	if crc32.ChecksumIEEE(buf[:pagePayload]) != want {
+		return fmt.Errorf("%w: page %d checksum mismatch", ErrCorrupt, id)
+	}
+	return nil
+}
+
+// encode serializes the node into buf, which must be PageSize bytes.
+func (n *node) encode(buf []byte) error {
+	if len(buf) != PageSize {
+		return fmt.Errorf("storage: encode buffer must be %d bytes", PageSize)
+	}
+	if n.encodedSize() > pagePayload {
+		return fmt.Errorf("storage: node %d overflows page (%d bytes, leaf=%v, cells=%d, keys=%d)", n.id, n.encodedSize(), n.isLeaf, len(n.cells), len(n.keys))
+	}
+	clear(buf)
+	defer sealPage(buf)
+	if n.isLeaf {
+		buf[0] = pageLeaf
+		binary.LittleEndian.PutUint16(buf[1:3], uint16(len(n.cells)))
+		binary.LittleEndian.PutUint32(buf[3:7], n.next)
+		off := nodeHeaderSize
+		for i := range n.cells {
+			c := &n.cells[i]
+			binary.LittleEndian.PutUint16(buf[off:], uint16(len(c.key)))
+			binary.LittleEndian.PutUint16(buf[off+2:], uint16(len(c.val)))
+			off += leafCellFixed
+			off += copy(buf[off:], c.key)
+			off += copy(buf[off:], c.val)
+		}
+		return nil
+	}
+	buf[0] = pageBranch
+	binary.LittleEndian.PutUint16(buf[1:3], uint16(len(n.keys)))
+	child0 := nilPage
+	if len(n.children) > 0 {
+		// A branch can transiently have zero children while deletions
+		// unwind; such nodes are reclaimed before they are ever read
+		// back, but an eviction may still write them out.
+		child0 = n.children[0]
+	}
+	binary.LittleEndian.PutUint32(buf[3:7], child0)
+	off := nodeHeaderSize
+	for i := range n.keys {
+		binary.LittleEndian.PutUint16(buf[off:], uint16(len(n.keys[i])))
+		binary.LittleEndian.PutUint32(buf[off+2:], n.children[i+1])
+		off += branchCellFixed
+		off += copy(buf[off:], n.keys[i])
+	}
+	return nil
+}
+
+// decodeNode parses a page buffer into a node with the given id.
+func decodeNode(id uint32, buf []byte) (*node, error) {
+	if len(buf) != PageSize {
+		return nil, fmt.Errorf("%w: short page %d", ErrCorrupt, id)
+	}
+	if err := verifyPage(id, buf); err != nil {
+		return nil, err
+	}
+	n := &node{id: id}
+	switch buf[0] {
+	case pageLeaf:
+		n.isLeaf = true
+		nk := int(binary.LittleEndian.Uint16(buf[1:3]))
+		n.next = binary.LittleEndian.Uint32(buf[3:7])
+		n.cells = make([]cell, 0, nk)
+		off := nodeHeaderSize
+		for i := 0; i < nk; i++ {
+			if off+leafCellFixed > PageSize {
+				return nil, fmt.Errorf("%w: leaf %d cell %d header", ErrCorrupt, id, i)
+			}
+			kl := int(binary.LittleEndian.Uint16(buf[off:]))
+			vl := int(binary.LittleEndian.Uint16(buf[off+2:]))
+			off += leafCellFixed
+			if off+kl+vl > PageSize {
+				return nil, fmt.Errorf("%w: leaf %d cell %d body", ErrCorrupt, id, i)
+			}
+			k := make([]byte, kl)
+			copy(k, buf[off:off+kl])
+			off += kl
+			v := make([]byte, vl)
+			copy(v, buf[off:off+vl])
+			off += vl
+			n.cells = append(n.cells, cell{key: k, val: v})
+		}
+		return n, nil
+	case pageBranch:
+		nk := int(binary.LittleEndian.Uint16(buf[1:3]))
+		n.keys = make([][]byte, 0, nk)
+		n.children = make([]uint32, 1, nk+1)
+		n.children[0] = binary.LittleEndian.Uint32(buf[3:7])
+		off := nodeHeaderSize
+		for i := 0; i < nk; i++ {
+			if off+branchCellFixed > PageSize {
+				return nil, fmt.Errorf("%w: branch %d cell %d header", ErrCorrupt, id, i)
+			}
+			kl := int(binary.LittleEndian.Uint16(buf[off:]))
+			child := binary.LittleEndian.Uint32(buf[off+2:])
+			off += branchCellFixed
+			if off+kl > PageSize {
+				return nil, fmt.Errorf("%w: branch %d cell %d body", ErrCorrupt, id, i)
+			}
+			k := make([]byte, kl)
+			copy(k, buf[off:off+kl])
+			off += kl
+			n.keys = append(n.keys, k)
+			n.children = append(n.children, child)
+		}
+		return n, nil
+	default:
+		return nil, fmt.Errorf("%w: page %d has unknown type 0x%02x", ErrCorrupt, id, buf[0])
+	}
+}
+
+// meta is the content of page 0.
+type meta struct {
+	version     uint32
+	pageCount   uint32 // number of pages in the file, including meta
+	freeHead    uint32 // head of the free-page chain, nilPage if empty
+	catalogRoot uint32 // root page of the catalog tree, nilPage if empty
+}
+
+func (m *meta) encode(buf []byte) {
+	clear(buf)
+	buf[0] = pageMeta
+	copy(buf[1:9], metaMagic)
+	binary.LittleEndian.PutUint32(buf[9:13], m.version)
+	binary.LittleEndian.PutUint32(buf[13:17], m.pageCount)
+	binary.LittleEndian.PutUint32(buf[17:21], m.freeHead)
+	binary.LittleEndian.PutUint32(buf[21:25], m.catalogRoot)
+	sum := crc32.ChecksumIEEE(buf[:25])
+	binary.LittleEndian.PutUint32(buf[25:29], sum)
+}
+
+func decodeMeta(buf []byte) (*meta, error) {
+	if len(buf) != PageSize || buf[0] != pageMeta || string(buf[1:9]) != metaMagic {
+		return nil, fmt.Errorf("%w: bad meta page", ErrCorrupt)
+	}
+	want := binary.LittleEndian.Uint32(buf[25:29])
+	if crc32.ChecksumIEEE(buf[:25]) != want {
+		return nil, fmt.Errorf("%w: meta checksum mismatch", ErrCorrupt)
+	}
+	m := &meta{
+		version:     binary.LittleEndian.Uint32(buf[9:13]),
+		pageCount:   binary.LittleEndian.Uint32(buf[13:17]),
+		freeHead:    binary.LittleEndian.Uint32(buf[17:21]),
+		catalogRoot: binary.LittleEndian.Uint32(buf[21:25]),
+	}
+	if m.version != metaVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, m.version)
+	}
+	return m, nil
+}

@@ -1,0 +1,330 @@
+package storage
+
+import (
+	"container/list"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Stats counts physical and logical I/O performed by a DB. The retrieval
+// experiments use these counters as a machine-independent cost model:
+// relative method performance is reported in pages read as well as time.
+type Stats struct {
+	PagesRead    uint64 // pages fetched from the backend
+	PagesWritten uint64 // pages written to the backend
+	CacheHits    uint64 // node lookups served from the page cache
+	CacheMisses  uint64 // node lookups that required a backend read
+	Seeks        uint64 // cursor Seek operations
+	Nexts        uint64 // cursor Next operations
+	Gets         uint64 // point lookups
+	Puts         uint64 // insertions/updates
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.PagesRead += other.PagesRead
+	s.PagesWritten += other.PagesWritten
+	s.CacheHits += other.CacheHits
+	s.CacheMisses += other.CacheMisses
+	s.Seeks += other.Seeks
+	s.Nexts += other.Nexts
+	s.Gets += other.Gets
+	s.Puts += other.Puts
+}
+
+// Sub returns s minus other, for measuring a window of activity.
+func (s Stats) Sub(other Stats) Stats {
+	return Stats{
+		PagesRead:    s.PagesRead - other.PagesRead,
+		PagesWritten: s.PagesWritten - other.PagesWritten,
+		CacheHits:    s.CacheHits - other.CacheHits,
+		CacheMisses:  s.CacheMisses - other.CacheMisses,
+		Seeks:        s.Seeks - other.Seeks,
+		Nexts:        s.Nexts - other.Nexts,
+		Gets:         s.Gets - other.Gets,
+		Puts:         s.Puts - other.Puts,
+	}
+}
+
+// backend is the raw page I/O abstraction under the pager.
+type backend interface {
+	readPage(id uint32, buf []byte) error
+	writePage(id uint32, buf []byte) error
+	sync() error
+	close() error
+}
+
+// fileBackend stores pages in a single OS file at offset id*PageSize.
+type fileBackend struct {
+	f *os.File
+}
+
+func (fb *fileBackend) readPage(id uint32, buf []byte) error {
+	_, err := fb.f.ReadAt(buf, int64(id)*PageSize)
+	if err == io.EOF {
+		return fmt.Errorf("%w: page %d beyond EOF", ErrCorrupt, id)
+	}
+	return err
+}
+
+func (fb *fileBackend) writePage(id uint32, buf []byte) error {
+	_, err := fb.f.WriteAt(buf, int64(id)*PageSize)
+	return err
+}
+
+func (fb *fileBackend) sync() error  { return fb.f.Sync() }
+func (fb *fileBackend) close() error { return fb.f.Close() }
+
+// memBackend stores pages in memory; used for tests and small corpora.
+type memBackend struct {
+	pages [][]byte
+}
+
+func (mb *memBackend) readPage(id uint32, buf []byte) error {
+	if int(id) >= len(mb.pages) || mb.pages[id] == nil {
+		return fmt.Errorf("%w: page %d not written", ErrCorrupt, id)
+	}
+	copy(buf, mb.pages[id])
+	return nil
+}
+
+func (mb *memBackend) writePage(id uint32, buf []byte) error {
+	for int(id) >= len(mb.pages) {
+		mb.pages = append(mb.pages, nil)
+	}
+	p := make([]byte, PageSize)
+	copy(p, buf)
+	mb.pages[id] = p
+	return nil
+}
+
+func (mb *memBackend) sync() error  { return nil }
+func (mb *memBackend) close() error { mb.pages = nil; return nil }
+
+// pager mediates between node-level operations and the page backend. It
+// keeps an LRU cache of decoded nodes, allocates and frees pages, and
+// tracks dirty nodes until flush.
+type pager struct {
+	mu       sync.Mutex
+	be       backend
+	meta     meta
+	cache    map[uint32]*list.Element // id -> element whose Value is *node
+	lru      *list.List               // front = most recently used
+	maxCache int
+	stats    Stats
+	closed   bool
+}
+
+// defaultCachePages bounds the decoded-node cache. At 4 KiB pages this is
+// a 64 MiB working set, comparable to the paper's BDB cache configuration.
+const defaultCachePages = 16384
+
+func newPager(be backend, m meta, maxCache int) *pager {
+	if maxCache <= 8 {
+		maxCache = defaultCachePages
+	}
+	return &pager{
+		be:       be,
+		meta:     m,
+		cache:    make(map[uint32]*list.Element),
+		lru:      list.New(),
+		maxCache: maxCache,
+	}
+}
+
+// node returns the decoded node for id, loading it from the backend on miss.
+func (p *pager) node(id uint32) (*node, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.nodeLocked(id)
+}
+
+func (p *pager) nodeLocked(id uint32) (*node, error) {
+	if p.closed {
+		return nil, ErrClosed
+	}
+	if el, ok := p.cache[id]; ok {
+		p.stats.CacheHits++
+		p.lru.MoveToFront(el)
+		return el.Value.(*node), nil
+	}
+	p.stats.CacheMisses++
+	buf := make([]byte, PageSize)
+	if err := p.be.readPage(id, buf); err != nil {
+		return nil, err
+	}
+	p.stats.PagesRead++
+	n, err := decodeNode(id, buf)
+	if err != nil {
+		return nil, err
+	}
+	p.insertCacheLocked(n)
+	return n, nil
+}
+
+func (p *pager) insertCacheLocked(n *node) {
+	el := p.lru.PushFront(n)
+	p.cache[n.id] = el
+	for p.lru.Len() > p.maxCache {
+		back := p.lru.Back()
+		victim := back.Value.(*node)
+		if victim.dirty {
+			// Never evict dirty nodes silently; write them through.
+			if err := p.writeNodeLocked(victim); err != nil {
+				// Keep the node cached rather than lose data. Growing past
+				// maxCache under write errors is the safe failure mode.
+				return
+			}
+			victim.dirty = false
+		}
+		p.lru.Remove(back)
+		delete(p.cache, victim.id)
+	}
+}
+
+func (p *pager) writeNodeLocked(n *node) error {
+	buf := make([]byte, PageSize)
+	if err := n.encode(buf); err != nil {
+		return err
+	}
+	if err := p.be.writePage(n.id, buf); err != nil {
+		return err
+	}
+	p.stats.PagesWritten++
+	return nil
+}
+
+// allocNode creates a new node backed by a fresh page.
+func (p *pager) allocNode(isLeaf bool) (*node, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, ErrClosed
+	}
+	id, err := p.allocPageLocked()
+	if err != nil {
+		return nil, err
+	}
+	n := &node{id: id, isLeaf: isLeaf, dirty: true}
+	p.insertCacheLocked(n)
+	return n, nil
+}
+
+func (p *pager) allocPageLocked() (uint32, error) {
+	if p.meta.freeHead != nilPage {
+		id := p.meta.freeHead
+		buf := make([]byte, PageSize)
+		if err := p.be.readPage(id, buf); err != nil {
+			return 0, err
+		}
+		p.stats.PagesRead++
+		if err := verifyPage(id, buf); err != nil {
+			return 0, err
+		}
+		if buf[0] != pageFree {
+			return 0, fmt.Errorf("%w: free list points at non-free page %d", ErrCorrupt, id)
+		}
+		p.meta.freeHead = binary.LittleEndian.Uint32(buf[1:5])
+		return id, nil
+	}
+	id := p.meta.pageCount
+	p.meta.pageCount++
+	return id, nil
+}
+
+// freeNode releases the node's page back to the free chain.
+func (p *pager) freeNode(n *node) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	if el, ok := p.cache[n.id]; ok {
+		p.lru.Remove(el)
+		delete(p.cache, n.id)
+	}
+	buf := make([]byte, PageSize)
+	buf[0] = pageFree
+	binary.LittleEndian.PutUint32(buf[1:5], p.meta.freeHead)
+	sealPage(buf)
+	if err := p.be.writePage(n.id, buf); err != nil {
+		return err
+	}
+	p.stats.PagesWritten++
+	p.meta.freeHead = n.id
+	return nil
+}
+
+// markDirty flags a node for write-out at the next flush and (re)registers
+// it in the cache. Re-registration matters: callers hold node pointers
+// across other page loads, and a load may have evicted this node — the
+// mutated copy must be the one the cache serves and the flusher sees.
+func (p *pager) markDirty(n *node) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n.dirty = true
+	if el, ok := p.cache[n.id]; ok {
+		if el.Value.(*node) == n {
+			p.lru.MoveToFront(el)
+			return
+		}
+		// A stale copy was re-read after eviction; ours is the newest.
+		p.lru.Remove(el)
+		delete(p.cache, n.id)
+	}
+	p.insertCacheLocked(n)
+}
+
+// flush writes all dirty nodes and the meta page.
+func (p *pager) flush() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	for el := p.lru.Front(); el != nil; el = el.Next() {
+		n := el.Value.(*node)
+		if !n.dirty {
+			continue
+		}
+		if err := p.writeNodeLocked(n); err != nil {
+			return err
+		}
+		n.dirty = false
+	}
+	buf := make([]byte, PageSize)
+	p.meta.encode(buf)
+	if err := p.be.writePage(0, buf); err != nil {
+		return err
+	}
+	p.stats.PagesWritten++
+	return p.be.sync()
+}
+
+func (p *pager) close() error {
+	if err := p.flush(); err != nil {
+		_ = p.be.close()
+		return err
+	}
+	p.mu.Lock()
+	p.closed = true
+	p.cache = nil
+	p.lru = nil
+	p.mu.Unlock()
+	return p.be.close()
+}
+
+// statsSnapshot returns a copy of the current counters.
+func (p *pager) statsSnapshot() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+func (p *pager) countSeek() { p.mu.Lock(); p.stats.Seeks++; p.mu.Unlock() }
+func (p *pager) countNext() { p.mu.Lock(); p.stats.Nexts++; p.mu.Unlock() }
+func (p *pager) countGet()  { p.mu.Lock(); p.stats.Gets++; p.mu.Unlock() }
+func (p *pager) countPut()  { p.mu.Lock(); p.stats.Puts++; p.mu.Unlock() }

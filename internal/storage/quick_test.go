@@ -1,0 +1,249 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickPutGetRoundTrip property: any batch of (key, value) pairs put
+// into a tree comes back byte-identical, with last-write-wins semantics.
+func TestQuickPutGetRoundTrip(t *testing.T) {
+	f := func(pairs map[string][]byte) bool {
+		db := OpenMemory()
+		defer db.Close()
+		tr, err := db.CreateTable("q")
+		if err != nil {
+			return false
+		}
+		want := make(map[string][]byte)
+		for k, v := range pairs {
+			if len(k) == 0 || len(k) > MaxKeySize || len(v) > MaxValueSize {
+				continue // out-of-contract inputs are rejected; skip them
+			}
+			if err := tr.Put([]byte(k), v); err != nil {
+				return false
+			}
+			want[k] = v
+		}
+		for k, v := range want {
+			got, err := tr.Get([]byte(k))
+			if err != nil || !bytes.Equal(got, v) {
+				return false
+			}
+		}
+		n, err := tr.Len()
+		return err == nil && n == len(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCursorSortedInvariant property: a full cursor scan always yields
+// keys in strictly ascending order equal to the sorted key set.
+func TestQuickCursorSortedInvariant(t *testing.T) {
+	f := func(keys []string) bool {
+		db := OpenMemory()
+		defer db.Close()
+		tr, err := db.CreateTable("q")
+		if err != nil {
+			return false
+		}
+		uniq := make(map[string]bool)
+		for _, k := range keys {
+			if len(k) == 0 || len(k) > MaxKeySize {
+				continue
+			}
+			if err := tr.Put([]byte(k), []byte("v")); err != nil {
+				return false
+			}
+			uniq[k] = true
+		}
+		var want []string
+		for k := range uniq {
+			want = append(want, k)
+		}
+		sort.Strings(want)
+		cur := tr.Cursor()
+		ok, err := cur.First()
+		if err != nil {
+			return false
+		}
+		i := 0
+		for ok {
+			if i >= len(want) || string(cur.Key()) != want[i] {
+				return false
+			}
+			i++
+			ok, err = cur.Next()
+			if err != nil {
+				return false
+			}
+		}
+		return i == len(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSeekLowerBound property: Seek(k) lands on the smallest stored
+// key >= k, for arbitrary stored sets and probe keys.
+func TestQuickSeekLowerBound(t *testing.T) {
+	f := func(keys []string, probes []string) bool {
+		db := OpenMemory()
+		defer db.Close()
+		tr, err := db.CreateTable("q")
+		if err != nil {
+			return false
+		}
+		var stored []string
+		seen := make(map[string]bool)
+		for _, k := range keys {
+			if len(k) == 0 || len(k) > MaxKeySize || seen[k] {
+				continue
+			}
+			seen[k] = true
+			stored = append(stored, k)
+			if err := tr.Put([]byte(k), []byte("v")); err != nil {
+				return false
+			}
+		}
+		sort.Strings(stored)
+		cur := tr.Cursor()
+		for _, p := range probes {
+			if len(p) == 0 || len(p) > MaxKeySize {
+				continue
+			}
+			i := sort.SearchStrings(stored, p)
+			ok, err := cur.Seek([]byte(p))
+			if err != nil {
+				return false
+			}
+			if i == len(stored) {
+				if ok {
+					return false
+				}
+				continue
+			}
+			if !ok || string(cur.Key()) != stored[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDeleteComplement property: deleting an arbitrary subset leaves
+// exactly the complement retrievable.
+func TestQuickDeleteComplement(t *testing.T) {
+	f := func(n uint8, delMask uint64) bool {
+		db := OpenMemory()
+		defer db.Close()
+		tr, err := db.CreateTable("q")
+		if err != nil {
+			return false
+		}
+		total := int(n)%64 + 1
+		for i := 0; i < total; i++ {
+			if err := tr.Put([]byte(fmt.Sprintf("k%02d", i)), []byte{byte(i)}); err != nil {
+				return false
+			}
+		}
+		for i := 0; i < total; i++ {
+			if delMask&(1<<uint(i)) != 0 {
+				removed, err := tr.Delete([]byte(fmt.Sprintf("k%02d", i)))
+				if err != nil || !removed {
+					return false
+				}
+			}
+		}
+		for i := 0; i < total; i++ {
+			_, err := tr.Get([]byte(fmt.Sprintf("k%02d", i)))
+			deleted := delMask&(1<<uint(i)) != 0
+			if deleted && err != ErrNotFound {
+				return false
+			}
+			if !deleted && err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickBulkEqualsPut property: bulk-loading a sorted set produces a
+// tree indistinguishable (by scan) from one built with random-order Puts.
+func TestQuickBulkEqualsPut(t *testing.T) {
+	f := func(keys []string) bool {
+		uniq := make(map[string]bool)
+		var sorted []string
+		for _, k := range keys {
+			if len(k) == 0 || len(k) > MaxKeySize || uniq[k] {
+				continue
+			}
+			uniq[k] = true
+			sorted = append(sorted, k)
+		}
+		sort.Strings(sorted)
+
+		db := OpenMemory()
+		defer db.Close()
+		bt, err := db.CreateTable("bulk")
+		if err != nil {
+			return false
+		}
+		bl, err := bt.NewBulkLoader(0)
+		if err != nil {
+			return false
+		}
+		for _, k := range sorted {
+			if err := bl.Add([]byte(k), []byte(k)); err != nil {
+				return false
+			}
+		}
+		if err := bl.Finish(); err != nil {
+			return false
+		}
+		pt, err := db.CreateTable("put")
+		if err != nil {
+			return false
+		}
+		for _, k := range keys { // original (unsorted, with dups) order
+			if len(k) == 0 || len(k) > MaxKeySize {
+				continue
+			}
+			if err := pt.Put([]byte(k), []byte(k)); err != nil {
+				return false
+			}
+		}
+		bc, pc := bt.Cursor(), pt.Cursor()
+		bok, berr := bc.First()
+		pok, perr := pc.First()
+		for {
+			if berr != nil || perr != nil || bok != pok {
+				return false
+			}
+			if !bok {
+				return true
+			}
+			if !bytes.Equal(bc.Key(), pc.Key()) || !bytes.Equal(bc.Value(), pc.Value()) {
+				return false
+			}
+			bok, berr = bc.Next()
+			pok, perr = pc.Next()
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

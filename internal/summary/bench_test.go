@@ -1,0 +1,76 @@
+package summary
+
+import (
+	"testing"
+
+	"trex/internal/corpus"
+)
+
+// Ablation: summary kind and alias mapping vs node count and build time —
+// the design space of Section 2.1.
+func BenchmarkSummaryKinds(b *testing.B) {
+	col := corpus.GenerateIEEE(150, 31)
+	cases := []struct {
+		name string
+		opts Options
+	}{
+		{"tag", Options{Kind: KindTag}},
+		{"tag-alias", Options{Kind: KindTag, Aliases: col.Aliases}},
+		{"incoming", Options{Kind: KindIncoming}},
+		{"incoming-alias", Options{Kind: KindIncoming, Aliases: col.Aliases}},
+		{"a2", Options{Kind: KindAK, K: 2}},
+		{"a3", Options{Kind: KindAK, K: 3}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			var nodes, safe int
+			for i := 0; i < b.N; i++ {
+				s, err := Build(col, tc.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				nodes = s.NumNodes()
+				if s.SafeForRetrieval() {
+					safe = 1
+				}
+			}
+			b.ReportMetric(float64(nodes), "nodes")
+			b.ReportMetric(float64(safe), "safe")
+		})
+	}
+}
+
+// Ablation: A(k) node counts converge to the incoming summary as k grows.
+func TestAKConvergesToIncoming(t *testing.T) {
+	col := corpus.GenerateIEEE(60, 8)
+	inc, err := Build(col, Options{Kind: KindIncoming, Aliases: col.Aliases})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0
+	for k := 1; k <= 8; k++ {
+		ak, err := Build(col, Options{Kind: KindAK, K: k, Aliases: col.Aliases})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ak.NumNodes() < prev {
+			t.Fatalf("A(%d) nodes %d < A(%d) nodes %d: refinement must be monotone",
+				k, ak.NumNodes(), k-1, prev)
+		}
+		prev = ak.NumNodes()
+		if ak.NumNodes() > inc.NumNodes() {
+			t.Fatalf("A(%d) nodes %d exceed incoming %d", k, ak.NumNodes(), inc.NumNodes())
+		}
+	}
+	// Deep enough k equals the incoming summary (max depth is bounded).
+	deep, err := Build(col, Options{Kind: KindAK, K: 32, Aliases: col.Aliases})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deep.NumNodes() != inc.NumNodes() {
+		t.Fatalf("A(32) nodes = %d, incoming = %d", deep.NumNodes(), inc.NumNodes())
+	}
+	if !deep.SafeForRetrieval() {
+		t.Fatal("A(32) should be safe on this collection")
+	}
+}

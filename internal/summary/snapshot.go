@@ -1,0 +1,76 @@
+package summary
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// snapshot is the serialized form of a Summary, so an engine can reopen a
+// collection from disk without re-parsing the corpus.
+type snapshot struct {
+	Kind    Kind
+	K       int
+	Aliases map[string]string
+	Safe    bool
+	Nodes   []snapshotNode
+}
+
+type snapshotNode struct {
+	Label      string
+	Path       []string
+	Parent     int
+	Children   []int
+	ExtentSize int
+}
+
+// MarshalBinary encodes the summary with encoding/gob.
+func (s *Summary) MarshalBinary() ([]byte, error) {
+	snap := snapshot{
+		Kind:    s.Kind,
+		K:       s.K,
+		Aliases: s.Aliases,
+		Safe:    s.safe,
+	}
+	for _, n := range s.Nodes {
+		snap.Nodes = append(snap.Nodes, snapshotNode{
+			Label:      n.Label,
+			Path:       n.Path,
+			Parent:     n.Parent,
+			Children:   n.Children,
+			ExtentSize: n.ExtentSize,
+		})
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return nil, fmt.Errorf("summary: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary restores a summary encoded by MarshalBinary.
+func (s *Summary) UnmarshalBinary(data []byte) error {
+	var snap snapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		return fmt.Errorf("summary: decode: %w", err)
+	}
+	s.Kind = snap.Kind
+	s.K = snap.K
+	s.Aliases = snap.Aliases
+	s.safe = snap.Safe
+	s.Nodes = nil
+	s.byKey = make(map[string]*Node, len(snap.Nodes))
+	for i, sn := range snap.Nodes {
+		n := &Node{
+			SID:        i + 1,
+			Label:      sn.Label,
+			Path:       sn.Path,
+			Parent:     sn.Parent,
+			Children:   sn.Children,
+			ExtentSize: sn.ExtentSize,
+		}
+		s.Nodes = append(s.Nodes, n)
+		s.byKey[s.key(n.Path)] = n
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package summary
+
+import (
+	"strings"
+	"testing"
+
+	"trex/internal/corpus"
+	"trex/internal/xmlscan"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	col := corpus.GenerateIEEE(10, 4)
+	orig, err := Build(col, Options{Kind: KindIncoming, Aliases: col.Aliases})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored Summary
+	if err := restored.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if restored.NumNodes() != orig.NumNodes() {
+		t.Fatalf("nodes = %d, want %d", restored.NumNodes(), orig.NumNodes())
+	}
+	if restored.SafeForRetrieval() != orig.SafeForRetrieval() {
+		t.Fatal("safety flag lost")
+	}
+	if restored.Kind != orig.Kind {
+		t.Fatal("kind lost")
+	}
+	for i := range orig.Nodes {
+		a, b := orig.Nodes[i], restored.Nodes[i]
+		if a.SID != b.SID || a.Label != b.Label ||
+			strings.Join(a.Path, "/") != strings.Join(b.Path, "/") ||
+			a.Parent != b.Parent || a.ExtentSize != b.ExtentSize {
+			t.Fatalf("node %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+	// The restored summary must assign identical sids to documents.
+	root, err := xmlscan.Parse(col.Docs[0].Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var origSIDs, restSIDs []int
+	if err := orig.AssignDoc(root, func(_ *xmlscan.Node, sid int) {
+		origSIDs = append(origSIDs, sid)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.AssignDoc(root, func(_ *xmlscan.Node, sid int) {
+		restSIDs = append(restSIDs, sid)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(origSIDs) != len(restSIDs) {
+		t.Fatalf("assignment lengths differ")
+	}
+	for i := range origSIDs {
+		if origSIDs[i] != restSIDs[i] {
+			t.Fatalf("sid assignment differs at %d: %d vs %d", i, origSIDs[i], restSIDs[i])
+		}
+	}
+}
+
+func TestSnapshotBadData(t *testing.T) {
+	var s Summary
+	if err := s.UnmarshalBinary([]byte("garbage")); err == nil {
+		t.Fatal("garbage decoded")
+	}
+}

@@ -1,0 +1,297 @@
+// Package summary builds the structural summaries TReX uses to translate
+// path constraints into sets of summary-node identifiers (sids).
+//
+// A structural summary partitions the elements of a collection into
+// extents of structurally indistinguishable elements (Section 2.1 of the
+// paper). This package implements the summaries the paper discusses:
+//
+//   - the tag summary (one extent per label),
+//   - the incoming summary (one extent per root-to-element label path),
+//   - the A(k) family (one extent per length-k path suffix), which
+//     subsumes the two above (A(0)=tag-like, A(inf)=incoming), and
+//   - alias variants of all of the above, using the INEX-style alias
+//     mapping that collapses synonym tags (ss1/ss2 -> sec).
+//
+// TReX retrieval requires that no two elements in the same extent stand in
+// an ancestor/descendant relationship. The incoming summary satisfies this
+// by construction (an ancestor's path is a strict prefix, hence shorter);
+// tag and small-k summaries may violate it, and Build reports whether the
+// built summary is safe for retrieval over the given collection.
+package summary
+
+import (
+	"fmt"
+	"strings"
+
+	"trex/internal/corpus"
+	"trex/internal/xmlscan"
+)
+
+// Kind selects the partitioning criterion.
+type Kind int
+
+const (
+	// KindIncoming partitions by full root-to-element label path.
+	KindIncoming Kind = iota
+	// KindTag partitions by element label only.
+	KindTag
+	// KindAK partitions by the label-path suffix of length K.
+	KindAK
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindIncoming:
+		return "incoming"
+	case KindTag:
+		return "tag"
+	case KindAK:
+		return "a(k)"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Options configures Build.
+type Options struct {
+	Kind Kind
+	// Aliases maps synonym labels to canonical labels before
+	// partitioning; nil builds the no-alias summary.
+	Aliases map[string]string
+	// K is the suffix length for KindAK (must be >= 1).
+	K int
+}
+
+// Node is one summary node (one extent).
+type Node struct {
+	// SID is the summary node identifier, 1-based and dense.
+	SID int
+	// Label is the (alias-resolved) element label.
+	Label string
+	// Path is the alias-resolved label path from the collection root to
+	// this node. For KindTag it is just [Label]; for KindAK it is the
+	// suffix that keys the extent.
+	Path []string
+	// Parent is the sid of the parent summary node in the summary tree,
+	// or 0 for nodes at document-root level. Only meaningful for
+	// KindIncoming, where the summary is a tree.
+	Parent int
+	// Children are child sids in first-seen order (KindIncoming only).
+	Children []int
+	// ExtentSize is the number of collection elements in this extent.
+	ExtentSize int
+}
+
+// XPathExpr describes the extent as an XPath expression, the way TReX
+// describes extents (Section 2.1).
+func (n *Node) XPathExpr() string {
+	return "/" + strings.Join(n.Path, "/")
+}
+
+// Summary is a built structural summary over one collection.
+type Summary struct {
+	Kind    Kind
+	Aliases map[string]string
+	K       int
+	// Nodes indexed by SID-1.
+	Nodes []*Node
+	// safe reports the no-ancestor/descendant-in-extent property over the
+	// collection the summary was built from.
+	safe bool
+
+	byKey map[string]*Node
+}
+
+// NumNodes returns the number of summary nodes (the figure the paper
+// reports for each summary kind in Section 2.1).
+func (s *Summary) NumNodes() int { return len(s.Nodes) }
+
+// SafeForRetrieval reports whether no element and one of its ancestors
+// shared a sid anywhere in the collection the summary was built from.
+// TReX only evaluates queries over safe summaries.
+func (s *Summary) SafeForRetrieval() bool { return s.safe }
+
+// NodeBySID returns the node with the given sid, or nil.
+func (s *Summary) NodeBySID(sid int) *Node {
+	if sid < 1 || sid > len(s.Nodes) {
+		return nil
+	}
+	return s.Nodes[sid-1]
+}
+
+// resolve applies the alias mapping to a label.
+func (s *Summary) resolve(label string) string {
+	if s.Aliases == nil {
+		return label
+	}
+	if a, ok := s.Aliases[label]; ok {
+		return a
+	}
+	return label
+}
+
+// key computes the extent key for an alias-resolved path.
+func (s *Summary) key(path []string) string {
+	switch s.Kind {
+	case KindTag:
+		return path[len(path)-1]
+	case KindAK:
+		k := s.K
+		if k < 1 {
+			k = 1
+		}
+		if len(path) > k {
+			path = path[len(path)-k:]
+		}
+		return strings.Join(path, "/")
+	default:
+		return strings.Join(path, "/")
+	}
+}
+
+// normalizeAliases flattens alias chains (a->b, b->c becomes a->c, b->c)
+// and rejects cycles, so resolve() is a single lookup.
+func normalizeAliases(aliases map[string]string) (map[string]string, error) {
+	if aliases == nil {
+		return nil, nil
+	}
+	out := make(map[string]string, len(aliases))
+	for start := range aliases {
+		cur := start
+		for steps := 0; ; steps++ {
+			next, ok := aliases[cur]
+			if !ok || next == cur {
+				// Identity mappings are harmless no-ops.
+				break
+			}
+			if steps > len(aliases) {
+				return nil, fmt.Errorf("summary: alias cycle involving %q", start)
+			}
+			cur = next
+		}
+		if cur != start {
+			out[start] = cur
+		}
+	}
+	return out, nil
+}
+
+// Build constructs a summary over col.
+func Build(col *corpus.Collection, opts Options) (*Summary, error) {
+	aliases, err := normalizeAliases(opts.Aliases)
+	if err != nil {
+		return nil, err
+	}
+	s := &Summary{
+		Kind:    opts.Kind,
+		Aliases: aliases,
+		K:       opts.K,
+		byKey:   make(map[string]*Node),
+		safe:    true,
+	}
+	if opts.Kind == KindAK && opts.K < 1 {
+		return nil, fmt.Errorf("summary: A(k) requires K >= 1, got %d", opts.K)
+	}
+	for _, d := range col.Docs {
+		root, err := xmlscan.Parse(d.Data)
+		if err != nil {
+			return nil, fmt.Errorf("summary: doc %d: %w", d.ID, err)
+		}
+		s.addTree(root)
+	}
+	return s, nil
+}
+
+// ExtendWith folds one more document tree into the summary: new label
+// paths get fresh sids (appended, so existing sid assignments are
+// stable), extent counts grow, and the retrieval-safety flag is
+// re-verified along the new document's paths. Used by incremental index
+// maintenance.
+func (s *Summary) ExtendWith(root *xmlscan.Node) {
+	s.addTree(root)
+}
+
+// addTree walks one document tree, creating/locating summary nodes and
+// counting extents. It also verifies retrieval safety along each
+// root-to-leaf sid stack.
+func (s *Summary) addTree(root *xmlscan.Node) {
+	var path []string
+	var sidStack []int
+	var walk func(n *xmlscan.Node, parentSID int)
+	walk = func(n *xmlscan.Node, parentSID int) {
+		path = append(path, s.resolve(n.Tag))
+		sn := s.locate(path, parentSID)
+		sn.ExtentSize++
+		for _, anc := range sidStack {
+			if anc == sn.SID {
+				s.safe = false
+			}
+		}
+		sidStack = append(sidStack, sn.SID)
+		for _, c := range n.Children {
+			walk(c, sn.SID)
+		}
+		sidStack = sidStack[:len(sidStack)-1]
+		path = path[:len(path)-1]
+	}
+	walk(root, 0)
+}
+
+// locate finds or creates the summary node for the alias-resolved path.
+func (s *Summary) locate(path []string, parentSID int) *Node {
+	k := s.key(path)
+	if n, ok := s.byKey[k]; ok {
+		return n
+	}
+	n := &Node{
+		SID:    len(s.Nodes) + 1,
+		Label:  path[len(path)-1],
+		Path:   append([]string(nil), path...),
+		Parent: parentSID,
+	}
+	s.Nodes = append(s.Nodes, n)
+	s.byKey[k] = n
+	if s.Kind == KindIncoming && parentSID != 0 {
+		p := s.NodeBySID(parentSID)
+		p.Children = append(p.Children, n.SID)
+	}
+	return n
+}
+
+// AssignFunc receives each element of a document with its sid, in document
+// order. start/end are the element's byte span.
+type AssignFunc func(n *xmlscan.Node, sid int)
+
+// AssignDoc walks a parsed document and reports the sid of every element.
+// It returns an error if the document contains a path the summary has
+// never seen (i.e. it was built over a different collection).
+func (s *Summary) AssignDoc(root *xmlscan.Node, fn AssignFunc) error {
+	var path []string
+	var walk func(n *xmlscan.Node) error
+	walk = func(n *xmlscan.Node) error {
+		path = append(path, s.resolve(n.Tag))
+		defer func() { path = path[:len(path)-1] }()
+		sn, ok := s.byKey[s.key(path)]
+		if !ok {
+			return fmt.Errorf("summary: unknown path %q", strings.Join(path, "/"))
+		}
+		fn(n, sn.SID)
+		for _, c := range n.Children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(root)
+}
+
+// TotalExtent returns the sum of extent sizes (the number of elements in
+// the collection).
+func (s *Summary) TotalExtent() int {
+	total := 0
+	for _, n := range s.Nodes {
+		total += n.ExtentSize
+	}
+	return total
+}

@@ -1,0 +1,318 @@
+package summary
+
+import (
+	"strings"
+	"testing"
+
+	"trex/internal/corpus"
+	"trex/internal/xmlscan"
+)
+
+// tinyCollection builds a hand-written collection for precise assertions.
+func tinyCollection(docs ...string) *corpus.Collection {
+	col := &corpus.Collection{}
+	for i, d := range docs {
+		col.Docs = append(col.Docs, corpus.Document{ID: i, Data: []byte(d)})
+	}
+	return col
+}
+
+func TestIncomingSummaryPaths(t *testing.T) {
+	col := tinyCollection(
+		`<article><bdy><sec><p>x</p></sec><sec><p>y</p><p>z</p></sec></bdy></article>`,
+		`<article><bdy><sec><ss1><p>w</p></ss1></sec></bdy></article>`,
+	)
+	s, err := Build(col, Options{Kind: KindIncoming})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distinct paths: article, article/bdy, article/bdy/sec,
+	// article/bdy/sec/p, article/bdy/sec/ss1, article/bdy/sec/ss1/p = 6.
+	if s.NumNodes() != 6 {
+		t.Fatalf("NumNodes = %d, want 6", s.NumNodes())
+	}
+	if !s.SafeForRetrieval() {
+		t.Fatal("incoming summary must be safe")
+	}
+	// Check extent sizes.
+	byPath := make(map[string]*Node)
+	for _, n := range s.Nodes {
+		byPath[strings.Join(n.Path, "/")] = n
+	}
+	if byPath["article"].ExtentSize != 2 {
+		t.Errorf("article extent = %d, want 2", byPath["article"].ExtentSize)
+	}
+	if byPath["article/bdy/sec"].ExtentSize != 3 {
+		t.Errorf("sec extent = %d, want 3", byPath["article/bdy/sec"].ExtentSize)
+	}
+	if byPath["article/bdy/sec/p"].ExtentSize != 3 {
+		t.Errorf("sec/p extent = %d, want 3", byPath["article/bdy/sec/p"].ExtentSize)
+	}
+	if byPath["article/bdy/sec/ss1/p"].ExtentSize != 1 {
+		t.Errorf("ss1/p extent = %d, want 1", byPath["article/bdy/sec/ss1/p"].ExtentSize)
+	}
+	// Tree structure: sec's parent is bdy.
+	sec := byPath["article/bdy/sec"]
+	if s.NodeBySID(sec.Parent) != byPath["article/bdy"] {
+		t.Errorf("sec parent = %d", sec.Parent)
+	}
+	if got := byPath["article/bdy/sec"].XPathExpr(); got != "/article/bdy/sec" {
+		t.Errorf("XPathExpr = %q", got)
+	}
+}
+
+func TestAliasIncomingCollapsesSynonyms(t *testing.T) {
+	col := tinyCollection(
+		`<article><bdy><sec><p>x</p></sec><ss1><p>y</p></ss1></bdy></article>`,
+	)
+	aliases := map[string]string{"ss1": "sec", "ss2": "sec"}
+	noAlias, err := Build(col, Options{Kind: KindIncoming})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withAlias, err := Build(col, Options{Kind: KindIncoming, Aliases: aliases})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without aliases: article, bdy, sec, sec/p, ss1, ss1/p = 6 nodes.
+	// With aliases ss1 folds into sec: article, bdy, sec, sec/p = 4 nodes.
+	if noAlias.NumNodes() != 6 {
+		t.Fatalf("no-alias nodes = %d, want 6", noAlias.NumNodes())
+	}
+	if withAlias.NumNodes() != 4 {
+		t.Fatalf("alias nodes = %d, want 4", withAlias.NumNodes())
+	}
+	// The collapsed sec extent holds both sec and ss1 elements.
+	var secNode *Node
+	for _, n := range withAlias.Nodes {
+		if strings.Join(n.Path, "/") == "article/bdy/sec" {
+			secNode = n
+		}
+	}
+	if secNode == nil || secNode.ExtentSize != 2 {
+		t.Fatalf("alias sec extent = %+v", secNode)
+	}
+}
+
+func TestTagSummary(t *testing.T) {
+	col := tinyCollection(
+		`<article><bdy><sec><p>x</p><p>y</p></sec></bdy></article>`,
+		`<article><fm><p>z</p></fm></article>`,
+	)
+	s, err := Build(col, Options{Kind: KindTag})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Labels: article, bdy, sec, p, fm = 5.
+	if s.NumNodes() != 5 {
+		t.Fatalf("NumNodes = %d, want 5", s.NumNodes())
+	}
+	var pNode *Node
+	for _, n := range s.Nodes {
+		if n.Label == "p" {
+			pNode = n
+		}
+	}
+	if pNode == nil || pNode.ExtentSize != 3 {
+		t.Fatalf("p extent = %+v", pNode)
+	}
+}
+
+func TestTagSummaryUnsafeOnRecursion(t *testing.T) {
+	col := tinyCollection(`<a><b><a>x</a></b></a>`)
+	s, err := Build(col, Options{Kind: KindTag})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SafeForRetrieval() {
+		t.Fatal("tag summary over recursive structure must be unsafe")
+	}
+	// The incoming summary over the same data is safe: a and a/b/a differ.
+	inc, err := Build(col, Options{Kind: KindIncoming})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inc.SafeForRetrieval() {
+		t.Fatal("incoming summary must be safe even on recursive structure")
+	}
+}
+
+func TestAKSummary(t *testing.T) {
+	col := tinyCollection(
+		`<article><bdy><sec><p>x</p></sec></bdy><fm><p>y</p></fm></article>`,
+	)
+	// A(1) behaves like the tag summary keyed by last label.
+	a1, err := Build(col, Options{Kind: KindAK, K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.NumNodes() != 5 { // article, bdy, sec, p, fm
+		t.Fatalf("A(1) nodes = %d, want 5", a1.NumNodes())
+	}
+	// A(2) distinguishes sec/p from fm/p.
+	a2, err := Build(col, Options{Kind: KindAK, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2.NumNodes() != 6 {
+		t.Fatalf("A(2) nodes = %d, want 6", a2.NumNodes())
+	}
+	if _, err := Build(col, Options{Kind: KindAK}); err == nil {
+		t.Fatal("A(k) with K=0 must error")
+	}
+}
+
+func TestSummaryRefinementHierarchy(t *testing.T) {
+	// The incoming summary refines the tag summary (Section 2.1): it can
+	// never have fewer nodes.
+	col := corpus.GenerateIEEE(40, 17)
+	tag, err := Build(col, Options{Kind: KindTag, Aliases: col.Aliases})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := Build(col, Options{Kind: KindIncoming, Aliases: col.Aliases})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.NumNodes() < tag.NumNodes() {
+		t.Fatalf("incoming (%d) must refine tag (%d)", inc.NumNodes(), tag.NumNodes())
+	}
+	// Aliases can only shrink (or keep) the summary.
+	incNoAlias, err := Build(col, Options{Kind: KindIncoming})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.NumNodes() > incNoAlias.NumNodes() {
+		t.Fatalf("alias incoming (%d) larger than plain incoming (%d)",
+			inc.NumNodes(), incNoAlias.NumNodes())
+	}
+	if incNoAlias.NumNodes() <= tag.NumNodes() {
+		t.Fatalf("plain incoming (%d) should exceed alias tag (%d) on IEEE-style data",
+			incNoAlias.NumNodes(), tag.NumNodes())
+	}
+	// Both count the same total number of elements.
+	if tag.TotalExtent() != inc.TotalExtent() {
+		t.Fatalf("extent totals differ: %d vs %d", tag.TotalExtent(), inc.TotalExtent())
+	}
+}
+
+func TestAssignDoc(t *testing.T) {
+	col := tinyCollection(
+		`<article><bdy><sec><p>x</p></sec></bdy></article>`,
+	)
+	s, err := Build(col, Options{Kind: KindIncoming})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := xmlscan.Parse(col.Docs[0].Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	err = s.AssignDoc(root, func(n *xmlscan.Node, sid int) {
+		sn := s.NodeBySID(sid)
+		got = append(got, n.Tag+"="+strings.Join(sn.Path, "/"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"article=article",
+		"bdy=article/bdy",
+		"sec=article/bdy/sec",
+		"p=article/bdy/sec/p",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("AssignDoc = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AssignDoc[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	// Unknown path errors.
+	alien, err := xmlscan.Parse([]byte(`<unseen><thing>x</thing></unseen>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AssignDoc(alien, func(*xmlscan.Node, int) {}); err == nil {
+		t.Fatal("AssignDoc over unknown structure must error")
+	}
+}
+
+func TestSIDsAreDenseAndStable(t *testing.T) {
+	col := corpus.GenerateIEEE(10, 3)
+	s, err := Build(col, Options{Kind: KindIncoming, Aliases: col.Aliases})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range s.Nodes {
+		if n.SID != i+1 {
+			t.Fatalf("Nodes[%d].SID = %d", i, n.SID)
+		}
+		if s.NodeBySID(n.SID) != n {
+			t.Fatalf("NodeBySID(%d) mismatch", n.SID)
+		}
+	}
+	if s.NodeBySID(0) != nil || s.NodeBySID(s.NumNodes()+1) != nil {
+		t.Fatal("out-of-range NodeBySID must be nil")
+	}
+	// Rebuild gives identical sid assignment.
+	s2, err := Build(col, Options{Kind: KindIncoming, Aliases: col.Aliases})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.NumNodes() != s.NumNodes() {
+		t.Fatalf("rebuild nodes = %d vs %d", s2.NumNodes(), s.NumNodes())
+	}
+	for i := range s.Nodes {
+		if strings.Join(s.Nodes[i].Path, "/") != strings.Join(s2.Nodes[i].Path, "/") {
+			t.Fatalf("rebuild sid %d path differs", i+1)
+		}
+	}
+}
+
+func TestBuildPropagatesParseErrors(t *testing.T) {
+	col := tinyCollection(`<a><broken`)
+	if _, err := Build(col, Options{Kind: KindIncoming}); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestAliasChainNormalization(t *testing.T) {
+	col := tinyCollection(`<a><x>1</x><y>2</y><z>3</z></a>`)
+	// Chain x -> y -> z: both x and y must land in z's extent.
+	s, err := Build(col, Options{Kind: KindIncoming, Aliases: map[string]string{
+		"x": "y", "y": "z",
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var zNode *Node
+	for _, n := range s.Nodes {
+		if n.Label == "z" {
+			zNode = n
+		}
+		if n.Label == "x" || n.Label == "y" {
+			t.Fatalf("unresolved alias label %q survived", n.Label)
+		}
+	}
+	if zNode == nil || zNode.ExtentSize != 3 {
+		t.Fatalf("z extent = %+v, want 3 elements", zNode)
+	}
+}
+
+func TestAliasCycleRejected(t *testing.T) {
+	col := tinyCollection(`<a><x>1</x></a>`)
+	if _, err := Build(col, Options{Kind: KindIncoming, Aliases: map[string]string{
+		"x": "y", "y": "x",
+	}}); err == nil {
+		t.Fatal("alias cycle accepted")
+	}
+	// A self-alias is a harmless no-op.
+	if _, err := Build(col, Options{Kind: KindIncoming, Aliases: map[string]string{
+		"x": "x",
+	}}); err != nil {
+		t.Fatalf("self-alias rejected: %v", err)
+	}
+}

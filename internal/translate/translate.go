@@ -1,0 +1,209 @@
+// Package translate implements the translation phase of TReX query
+// evaluation (Section 3.1 of the paper): each path from the query root to
+// an about() function becomes a set of summary node ids (sids) and a set
+// of terms. The retrieval phase then works purely on (sids, terms) lists.
+//
+// Under the vague interpretation, tag names may be replaced by synonyms;
+// TReX realizes this through the alias mapping, which this package applies
+// to query labels before matching them against the (alias-resolved)
+// summary paths. Under the strict interpretation labels must match the
+// stored paths exactly.
+package translate
+
+import (
+	"fmt"
+	"sort"
+
+	"trex/internal/nexi"
+	"trex/internal/summary"
+)
+
+// Mode selects the NEXI interpretation.
+type Mode int
+
+const (
+	// ModeVague relaxes structural constraints via the alias mapping.
+	ModeVague Mode = iota
+	// ModeStrict requires exact label matches.
+	ModeStrict
+)
+
+func (m Mode) String() string {
+	if m == ModeStrict {
+		return "strict"
+	}
+	return "vague"
+}
+
+// Clause is the translation of one about(): the sids whose extents can
+// hold matching elements, and the terms to search for.
+type Clause struct {
+	// StepIndex is the query step carrying the about().
+	StepIndex int
+	// RelPath is the about's relative path ("." is empty).
+	RelPath []string
+	// Pattern is the absolute descendant-step pattern the sids were
+	// matched with (query steps up to StepIndex plus RelPath).
+	Pattern []string
+	// SIDs are the summary nodes whose extents intersect the pattern's
+	// result, ascending.
+	SIDs []uint32
+	// Terms are the about's keywords (including Minus terms).
+	Terms []nexi.Term
+	// IsTarget marks the clause that scores the answer elements
+	// themselves: an about on the last step with an empty relative path.
+	IsTarget bool
+}
+
+// PositiveTerms returns the clause's non-negated words.
+func (c *Clause) PositiveTerms() []string {
+	var out []string
+	for _, t := range c.Terms {
+		if t.Minus {
+			continue
+		}
+		out = append(out, t.Words()...)
+	}
+	return out
+}
+
+// NegativeTerms returns the clause's negated words.
+func (c *Clause) NegativeTerms() []string {
+	var out []string
+	for _, t := range c.Terms {
+		if !t.Minus {
+			continue
+		}
+		out = append(out, t.Words()...)
+	}
+	return out
+}
+
+// Translation is the full translation of a NEXI query.
+type Translation struct {
+	Query *nexi.Query
+	Mode  Mode
+	// TargetSIDs are the extents of answer elements (the last step).
+	TargetSIDs []uint32
+	// Clauses, one per about() in syntactic order.
+	Clauses []Clause
+}
+
+// NumSIDs returns the total sid count across clauses — the "# sids" column
+// of the paper's Table 1.
+func (tr *Translation) NumSIDs() int {
+	n := 0
+	for i := range tr.Clauses {
+		n += len(tr.Clauses[i].SIDs)
+	}
+	return n
+}
+
+// NumTerms returns the total term count across clauses — the "# terms"
+// column of Table 1.
+func (tr *Translation) NumTerms() int {
+	n := 0
+	for i := range tr.Clauses {
+		for _, t := range tr.Clauses[i].Terms {
+			n += len(t.Words())
+		}
+	}
+	return n
+}
+
+// DistinctTerms returns the union of positive words across clauses.
+func (tr *Translation) DistinctTerms() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for i := range tr.Clauses {
+		for _, w := range tr.Clauses[i].PositiveTerms() {
+			if !seen[w] {
+				seen[w] = true
+				out = append(out, w)
+			}
+		}
+	}
+	return out
+}
+
+// Translate computes the translation of q over sum.
+func Translate(q *nexi.Query, sum *summary.Summary, mode Mode) (*Translation, error) {
+	if len(q.Steps) == 0 {
+		return nil, fmt.Errorf("translate: empty query")
+	}
+	abouts := q.Abouts()
+	if len(abouts) == 0 {
+		return nil, fmt.Errorf("translate: retrieval query needs at least one about()")
+	}
+	tr := &Translation{Query: q, Mode: mode}
+
+	stepNames := make([]string, len(q.Steps))
+	for i, s := range q.Steps {
+		stepNames[i] = s.Name
+	}
+	tr.TargetSIDs = matchSIDs(sum, stepNames, mode)
+
+	last := len(q.Steps) - 1
+	for _, qa := range abouts {
+		pattern := append([]string(nil), stepNames[:qa.StepIndex+1]...)
+		pattern = append(pattern, qa.About.Path...)
+		c := Clause{
+			StepIndex: qa.StepIndex,
+			RelPath:   qa.About.Path,
+			Pattern:   pattern,
+			SIDs:      matchSIDs(sum, pattern, mode),
+			Terms:     qa.About.Terms,
+			IsTarget:  qa.StepIndex == last && len(qa.About.Path) == 0,
+		}
+		tr.Clauses = append(tr.Clauses, c)
+	}
+	return tr, nil
+}
+
+// matchSIDs returns the sids of all summary nodes whose path matches the
+// descendant-step pattern, ascending.
+func matchSIDs(sum *summary.Summary, pattern []string, mode Mode) []uint32 {
+	resolved := make([]string, len(pattern))
+	for i, lbl := range pattern {
+		resolved[i] = lbl
+		if mode == ModeVague && lbl != "*" && sum.Aliases != nil {
+			if a, ok := sum.Aliases[lbl]; ok {
+				resolved[i] = a
+			}
+		}
+	}
+	var sids []uint32
+	for _, n := range sum.Nodes {
+		if matchPath(resolved, n.Path) {
+			sids = append(sids, uint32(n.SID))
+		}
+	}
+	sort.Slice(sids, func(i, j int) bool { return sids[i] < sids[j] })
+	return sids
+}
+
+// matchPath reports whether a descendant-axis pattern matches a label
+// path. The last pattern step must match the path's final label; the
+// preceding steps must appear in order among the path's proper ancestors.
+// "*" matches any label.
+func matchPath(pattern, path []string) bool {
+	m, n := len(pattern), len(path)
+	if m == 0 || n == 0 {
+		return false
+	}
+	if !stepMatches(pattern[m-1], path[n-1]) {
+		return false
+	}
+	// Subsequence match of pattern[:m-1] within path[:n-1].
+	i := 0
+	for j := 0; j < n-1 && i < m-1; j++ {
+		if stepMatches(pattern[i], path[j]) {
+			i++
+		}
+	}
+	return i == m-1
+}
+
+func stepMatches(step, label string) bool {
+	return step == "*" || step == label
+}

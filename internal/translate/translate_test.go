@@ -1,0 +1,229 @@
+package translate
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"trex/internal/corpus"
+	"trex/internal/nexi"
+	"trex/internal/summary"
+)
+
+func buildSummary(t *testing.T, aliases map[string]string, docs ...string) *summary.Summary {
+	t.Helper()
+	col := &corpus.Collection{Aliases: aliases}
+	for i, d := range docs {
+		col.Docs = append(col.Docs, corpus.Document{ID: i, Data: []byte(d)})
+	}
+	s, err := summary.Build(col, summary.Options{Kind: summary.KindIncoming, Aliases: aliases})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func pathSID(t *testing.T, s *summary.Summary, path string) uint32 {
+	t.Helper()
+	for _, n := range s.Nodes {
+		if strings.Join(n.Path, "/") == path {
+			return uint32(n.SID)
+		}
+	}
+	t.Fatalf("no node for %q", path)
+	return 0
+}
+
+func TestMatchPath(t *testing.T) {
+	cases := []struct {
+		pattern, path string
+		want          bool
+	}{
+		{"article", "article", true},
+		{"article", "article/bdy", false}, // last step must match final label
+		{"sec", "article/bdy/sec", true},
+		{"article sec", "article/bdy/sec", true},
+		{"article sec", "article/bdy/sec/p", false},
+		{"article bdy sec", "article/bdy/sec", true},
+		{"article sec p", "article/bdy/sec/p", true},
+		{"bdy article sec", "article/bdy/sec", false}, // order matters
+		{"* sec", "article/bdy/sec", true},
+		{"*", "anything/at/all", true},
+		{"article * p", "article/bdy/sec/p", true},
+		{"sec sec", "article/bdy/sec", false},
+		{"sec sec", "article/bdy/sec/sec", true},
+	}
+	for _, tc := range cases {
+		pattern := strings.Fields(tc.pattern)
+		path := strings.Split(tc.path, "/")
+		if got := matchPath(pattern, path); got != tc.want {
+			t.Errorf("matchPath(%v, %v) = %v, want %v", pattern, path, got, tc.want)
+		}
+	}
+}
+
+func TestTranslateSimple(t *testing.T) {
+	s := buildSummary(t, nil,
+		`<article><bdy><sec><p>x</p></sec></bdy><fm><p>t</p></fm></article>`,
+	)
+	q := nexi.MustParse(`//article[about(., xml)]//sec[about(., query evaluation)]`)
+	tr, err := Translate(q, s, ModeVague)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Clauses) != 2 {
+		t.Fatalf("clauses = %d", len(tr.Clauses))
+	}
+	artSID := pathSID(t, s, "article")
+	secSID := pathSID(t, s, "article/bdy/sec")
+	if !reflect.DeepEqual(tr.Clauses[0].SIDs, []uint32{artSID}) {
+		t.Fatalf("article clause sids = %v, want [%d]", tr.Clauses[0].SIDs, artSID)
+	}
+	if !reflect.DeepEqual(tr.Clauses[1].SIDs, []uint32{secSID}) {
+		t.Fatalf("sec clause sids = %v, want [%d]", tr.Clauses[1].SIDs, secSID)
+	}
+	if !reflect.DeepEqual(tr.TargetSIDs, []uint32{secSID}) {
+		t.Fatalf("target sids = %v", tr.TargetSIDs)
+	}
+	if tr.Clauses[0].IsTarget || !tr.Clauses[1].IsTarget {
+		t.Fatalf("IsTarget flags = %v, %v", tr.Clauses[0].IsTarget, tr.Clauses[1].IsTarget)
+	}
+	if tr.NumSIDs() != 2 || tr.NumTerms() != 3 {
+		t.Fatalf("NumSIDs=%d NumTerms=%d", tr.NumSIDs(), tr.NumTerms())
+	}
+	if got := tr.DistinctTerms(); !reflect.DeepEqual(got, []string{"xml", "query", "evaluation"}) {
+		t.Fatalf("DistinctTerms = %v", got)
+	}
+}
+
+func TestTranslateVagueUsesAliases(t *testing.T) {
+	aliases := map[string]string{"ss1": "sec", "ss2": "sec"}
+	s := buildSummary(t, aliases,
+		`<article><bdy><sec><p>x</p></sec><ss1><p>y</p></ss1></bdy></article>`,
+	)
+	// In the aliased summary ss1 is folded into sec paths.
+	q := nexi.MustParse(`//article//ss1[about(., foo)]`)
+	vague, err := Translate(q, s, ModeVague)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vague: ss1 -> sec matches both article/bdy/sec extents.
+	if len(vague.TargetSIDs) == 0 {
+		t.Fatal("vague translation found no sids for aliased tag")
+	}
+	strict, err := Translate(q, s, ModeStrict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strict: the aliased summary contains no literal "ss1" labels.
+	if len(strict.TargetSIDs) != 0 {
+		t.Fatalf("strict translation matched %v", strict.TargetSIDs)
+	}
+}
+
+func TestTranslateWildcardStep(t *testing.T) {
+	s := buildSummary(t, nil,
+		`<article><bdy><sec><p>x</p></sec><fig><fgc>c</fgc></fig></bdy></article>`,
+	)
+	q := nexi.MustParse(`//bdy//*[about(., anything)]`)
+	tr, err := Translate(q, s, ModeVague)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All strict descendants of bdy: sec, sec/p, fig, fig/fgc = 4.
+	if len(tr.TargetSIDs) != 4 {
+		t.Fatalf("wildcard target sids = %v, want 4 nodes", tr.TargetSIDs)
+	}
+}
+
+func TestTranslateRelativePathAbout(t *testing.T) {
+	s := buildSummary(t, nil,
+		`<article><bdy><sec><p>x</p></sec></bdy></article>`,
+	)
+	q := nexi.MustParse(`//article[about(.//bdy, synthesizers) and about(.//bdy, music)]`)
+	tr, err := Translate(q, s, ModeVague)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Clauses) != 2 {
+		t.Fatalf("clauses = %d", len(tr.Clauses))
+	}
+	bdySID := pathSID(t, s, "article/bdy")
+	for i, c := range tr.Clauses {
+		if !reflect.DeepEqual(c.SIDs, []uint32{bdySID}) {
+			t.Fatalf("clause %d sids = %v", i, c.SIDs)
+		}
+		if c.IsTarget {
+			t.Fatalf("clause %d should not be target (relative path)", i)
+		}
+	}
+	// Answers are article elements.
+	artSID := pathSID(t, s, "article")
+	if !reflect.DeepEqual(tr.TargetSIDs, []uint32{artSID}) {
+		t.Fatalf("target sids = %v", tr.TargetSIDs)
+	}
+}
+
+func TestTranslateNegatedTerms(t *testing.T) {
+	s := buildSummary(t, nil,
+		`<article><figure><caption>x</caption></figure></article>`,
+	)
+	q := nexi.MustParse(`//article//figure[about(., renaissance painting -french -german)]`)
+	tr, err := Translate(q, s, ModeVague)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := tr.Clauses[0]
+	if got := c.PositiveTerms(); !reflect.DeepEqual(got, []string{"renaissance", "painting"}) {
+		t.Fatalf("positive = %v", got)
+	}
+	if got := c.NegativeTerms(); !reflect.DeepEqual(got, []string{"french", "german"}) {
+		t.Fatalf("negative = %v", got)
+	}
+	// NumTerms counts all words, including negated ones.
+	if tr.NumTerms() != 4 {
+		t.Fatalf("NumTerms = %d", tr.NumTerms())
+	}
+}
+
+func TestTranslateNoAboutFails(t *testing.T) {
+	s := buildSummary(t, nil, `<a><b>x</b></a>`)
+	q := &nexi.Query{Steps: []nexi.Step{{Name: "a"}}}
+	if _, err := Translate(q, s, ModeVague); err == nil {
+		t.Fatal("expected error for query without about()")
+	}
+	empty := &nexi.Query{}
+	if _, err := Translate(empty, s, ModeVague); err == nil {
+		t.Fatal("expected error for empty query")
+	}
+}
+
+func TestTranslateNoMatchesIsEmptyNotError(t *testing.T) {
+	s := buildSummary(t, nil, `<a><b>x</b></a>`)
+	q := nexi.MustParse(`//nonexistent[about(., foo)]`)
+	tr, err := Translate(q, s, ModeVague)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.TargetSIDs) != 0 || len(tr.Clauses[0].SIDs) != 0 {
+		t.Fatalf("expected empty translation, got %v / %v", tr.TargetSIDs, tr.Clauses[0].SIDs)
+	}
+	if ModeVague.String() != "vague" || ModeStrict.String() != "strict" {
+		t.Fatal("mode strings")
+	}
+}
+
+func TestTranslatePhraseTermsCounted(t *testing.T) {
+	s := buildSummary(t, nil, `<article><p>x</p></article>`)
+	q := nexi.MustParse(`//article[about(., "genetic algorithm")]`)
+	tr, err := Translate(q, s, ModeVague)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumTerms() != 2 {
+		t.Fatalf("NumTerms = %d, want 2 (phrase words)", tr.NumTerms())
+	}
+	if got := tr.Clauses[0].PositiveTerms(); !reflect.DeepEqual(got, []string{"genetic", "algorithm"}) {
+		t.Fatalf("positive = %v", got)
+	}
+}

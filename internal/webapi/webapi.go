@@ -1,0 +1,279 @@
+// Package webapi exposes a TReX engine over HTTP with a small JSON API —
+// the shape of service an XML retrieval system is deployed behind.
+//
+// Endpoints:
+//
+//	GET  /search?q=<nexi>&k=10&method=auto|era|ta|nra|merge|race&snippets=1
+//	GET  /explain?q=<nexi>
+//	POST /materialize?q=<nexi>&kinds=rpl,erpl
+//	GET  /stats
+//	GET  /            (a minimal HTML search page)
+//
+// Errors are returned as {"error": "..."} with a 4xx/5xx status.
+package webapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"trex"
+	"trex/internal/index"
+)
+
+// Server wires an engine into an http.Handler.
+type Server struct {
+	eng *trex.Engine
+	mux *http.ServeMux
+	// AllowWrites enables the /materialize endpoint (a write operation);
+	// off by default so a public read replica cannot be mutated.
+	AllowWrites bool
+}
+
+// New creates a server over the engine.
+func New(eng *trex.Engine, allowWrites bool) *Server {
+	s := &Server{eng: eng, AllowWrites: allowWrites}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /search", s.handleSearch)
+	mux.HandleFunc("GET /explain", s.handleExplain)
+	mux.HandleFunc("POST /materialize", s.handleMaterialize)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /{$}", s.handleIndex)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// SearchHit is one JSON answer row.
+type SearchHit struct {
+	Rank    int     `json:"rank"`
+	Score   float64 `json:"score"`
+	Doc     uint32  `json:"doc"`
+	Start   uint32  `json:"start"`
+	End     uint32  `json:"end"`
+	Path    string  `json:"path"`
+	Snippet string  `json:"snippet,omitempty"`
+}
+
+// SearchResponse is the /search payload.
+type SearchResponse struct {
+	Query        string      `json:"query"`
+	Method       string      `json:"method"`
+	K            int         `json:"k"`
+	TotalAnswers int         `json:"totalAnswers"`
+	ElapsedMS    float64     `json:"elapsedMs"`
+	NumSIDs      int         `json:"numSids"`
+	NumTerms     int         `json:"numTerms"`
+	Hits         []SearchHit `json:"hits"`
+}
+
+func parseMethod(s string) (trex.Method, error) {
+	switch s {
+	case "", "auto":
+		return trex.MethodAuto, nil
+	case "era":
+		return trex.MethodERA, nil
+	case "ta":
+		return trex.MethodTA, nil
+	case "nra":
+		return trex.MethodNRA, nil
+	case "merge":
+		return trex.MethodMerge, nil
+	case "race":
+		return trex.MethodRace, nil
+	default:
+		return trex.MethodAuto, fmt.Errorf("unknown method %q", s)
+	}
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing q parameter"))
+		return
+	}
+	k := 10
+	if ks := r.URL.Query().Get("k"); ks != "" {
+		v, err := strconv.Atoi(ks)
+		if err != nil || v < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad k %q", ks))
+			return
+		}
+		k = v
+	}
+	method, err := parseMethod(r.URL.Query().Get("method"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	start := time.Now()
+	res, err := s.eng.Query(q, k, method)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := SearchResponse{
+		Query:        q,
+		Method:       res.Method.String(),
+		K:            k,
+		TotalAnswers: res.TotalAnswers,
+		ElapsedMS:    float64(time.Since(start).Microseconds()) / 1000,
+		NumSIDs:      res.Translation.NumSIDs(),
+		NumTerms:     res.Translation.NumTerms(),
+	}
+	wantSnippets := r.URL.Query().Get("snippets") == "1"
+	terms := res.Translation.DistinctTerms()
+	for i, a := range res.Answers {
+		hit := SearchHit{
+			Rank:  i + 1,
+			Score: a.Score,
+			Doc:   a.Doc,
+			Start: a.Start,
+			End:   a.End,
+			Path:  a.Path,
+		}
+		if wantSnippets {
+			if snip, err := s.eng.Snippet(a, terms, 160); err == nil {
+				hit.Snippet = snip
+			}
+		}
+		resp.Hits = append(resp.Hits, hit)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing q parameter"))
+		return
+	}
+	ex, err := s.eng.Explain(q)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"query":          ex.Query,
+		"numSids":        ex.NumSIDs,
+		"numTerms":       ex.NumTerms,
+		"clauses":        ex.Clauses,
+		"targetPaths":    ex.TargetPaths,
+		"rplCovered":     ex.RPLCovered,
+		"erplCovered":    ex.ERPLCovered,
+		"methodAtSmallK": ex.MethodAtSmallK.String(),
+		"methodAtLargeK": ex.MethodAtLargeK.String(),
+		"listVolume":     ex.ListVolume,
+	})
+}
+
+func (s *Server) handleMaterialize(w http.ResponseWriter, r *http.Request) {
+	if !s.AllowWrites {
+		writeErr(w, http.StatusForbidden, fmt.Errorf("writes disabled on this server"))
+		return
+	}
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing q parameter"))
+		return
+	}
+	kinds := []index.ListKind{index.KindRPL, index.KindERPL}
+	if ks := r.URL.Query().Get("kinds"); ks != "" {
+		kinds = nil
+		for _, part := range strings.Split(ks, ",") {
+			switch strings.TrimSpace(part) {
+			case "rpl":
+				kinds = append(kinds, index.KindRPL)
+			case "erpl":
+				kinds = append(kinds, index.KindERPL)
+			default:
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown kind %q", part))
+				return
+			}
+		}
+	}
+	ms, err := s.eng.Materialize(q, kinds...)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"rplEntries":  ms.RPLEntries,
+		"erplEntries": ms.ERPLEntries,
+		"rplBytes":    ms.RPLBytes,
+		"erplBytes":   ms.ERPLBytes,
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	cs, err := s.eng.Store().CollectionStats()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"numDocs":       cs.NumDocs,
+		"numElements":   cs.NumElements,
+		"avgElementLen": cs.AvgElementLen,
+		"summaryNodes":  s.eng.Summary().NumNodes(),
+		"pages":         s.eng.DB().PageCount(),
+	})
+}
+
+const indexHTML = `<!doctype html>
+<meta charset="utf-8">
+<title>TReX search</title>
+<style>
+ body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto; max-width: 52rem; }
+ input[type=text] { width: 36rem; } pre { background: #f4f4f4; padding: .5rem; }
+ .hit { margin: .75rem 0; } .path { color: #667; } .score { color: #286; }
+</style>
+<h1>TReX</h1>
+<form onsubmit="run(event)">
+ <input id="q" type="text" placeholder="//article[about(., xml)]//sec[about(., retrieval)]">
+ k <input id="k" type="number" value="10" style="width:4rem">
+ <select id="m"><option>auto</option><option>era</option><option>ta</option>
+ <option>nra</option><option>merge</option><option>race</option></select>
+ <button>search</button>
+</form>
+<div id="out"></div>
+<script>
+async function run(ev) {
+  ev.preventDefault();
+  const q = document.getElementById('q').value;
+  const k = document.getElementById('k').value;
+  const m = document.getElementById('m').value;
+  const r = await fetch('/search?snippets=1&q=' + encodeURIComponent(q) + '&k=' + k + '&method=' + m);
+  const data = await r.json();
+  const out = document.getElementById('out');
+  if (data.error) { out.textContent = data.error; return; }
+  out.innerHTML = '<p>' + data.totalAnswers + ' answers via <b>' + data.method +
+    '</b> in ' + data.elapsedMs + ' ms</p>' +
+    (data.hits || []).map(h =>
+      '<div class="hit"><span class="score">' + h.score.toFixed(3) + '</span> ' +
+      '<span class="path">doc ' + h.doc + ' ' + h.path + '</span><br>' +
+      (h.snippet || '')  + '</div>').join('');
+}
+</script>`
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(indexHTML))
+}

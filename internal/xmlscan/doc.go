@@ -1,0 +1,15 @@
+// Package xmlscan is a byte-position-aware XML scanner and tree builder.
+//
+// TReX identifies every element by the byte position where it ends inside
+// its document (docid, endpos) and locates term occurrences by byte offset
+// (docid, offset) — the same containment test ERA performs in the paper
+// ("start(e) < pos < end(e)"). The standard library's encoding/xml does
+// not expose stable byte offsets for both start and end tags, so this
+// package implements a small scanner that does.
+//
+// The scanner handles the XML subset the INEX-style collections use:
+// elements with attributes, character data, entity references, CDATA
+// sections, comments, processing instructions and DOCTYPE declarations.
+// It is not a validating parser; malformed input yields an error rather
+// than a guess.
+package xmlscan

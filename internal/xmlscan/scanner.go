@@ -1,0 +1,322 @@
+package xmlscan
+
+import (
+	"fmt"
+)
+
+// Kind identifies the type of a scanner event.
+type Kind int
+
+const (
+	// KindStart is an element start tag. Offset is the position of '<';
+	// the element's start position in the TReX sense.
+	KindStart Kind = iota
+	// KindEnd is an element end tag (or the implicit end of a self-closing
+	// tag). Offset is the position one past the closing '>'; the element's
+	// end position in the TReX sense.
+	KindEnd
+	// KindText is character data between tags. Offset is the position of
+	// the first byte of the run.
+	KindText
+)
+
+// Attr is one attribute of a start tag, captured only when the scanner's
+// CaptureAttrs flag is set.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Event is one scanner step.
+type Event struct {
+	Kind Kind
+	// Name is the tag name for KindStart/KindEnd.
+	Name string
+	// Text is the raw character data for KindText (entities not expanded;
+	// term tokenization treats them as separators).
+	Text []byte
+	// Offset is the byte position of the event within the document.
+	Offset int
+	// Attrs holds the start tag's attributes when CaptureAttrs is on.
+	Attrs []Attr
+}
+
+// Scanner walks an XML document, producing events with byte offsets.
+type Scanner struct {
+	data []byte
+	pos  int
+	// stack of open element names for well-formedness checking
+	stack []string
+	ev    Event
+	err   error
+	done  bool
+	// pendingEnd holds the synthetic end event of a self-closing tag,
+	// emitted on the Next call after its start event.
+	pendingEnd *Event
+	// CaptureAttrs makes start events carry their attributes. Off by
+	// default: the indexing paths don't need them, and skipping the
+	// allocations keeps document scans lean.
+	CaptureAttrs bool
+}
+
+// NewScanner returns a scanner over data. The slice is not copied.
+func NewScanner(data []byte) *Scanner {
+	return &Scanner{data: data}
+}
+
+// Err returns the first error encountered, if any.
+func (s *Scanner) Err() error { return s.err }
+
+// Event returns the current event. Valid after Next reports true.
+func (s *Scanner) Event() Event { return s.ev }
+
+// Depth returns the number of currently open elements.
+func (s *Scanner) Depth() int { return len(s.stack) }
+
+func (s *Scanner) fail(format string, args ...any) bool {
+	s.err = fmt.Errorf("xmlscan: at byte %d: %s", s.pos, fmt.Sprintf(format, args...))
+	s.done = true
+	return false
+}
+
+// Next advances to the next event. It reports false at end of input or on
+// error (check Err).
+func (s *Scanner) Next() bool {
+	if s.done || s.err != nil {
+		return false
+	}
+	if s.pendingEnd != nil {
+		s.ev = *s.pendingEnd
+		s.pendingEnd = nil
+		return true
+	}
+	for s.pos < len(s.data) {
+		if s.data[s.pos] != '<' {
+			return s.scanText()
+		}
+		if s.pos+1 >= len(s.data) {
+			return s.fail("unexpected EOF after '<'")
+		}
+		switch s.data[s.pos+1] {
+		case '/':
+			return s.scanEndTag()
+		case '!':
+			produced, ok := s.scanBangConstruct()
+			if !ok {
+				return false
+			}
+			if produced {
+				return true
+			}
+		case '?':
+			if !s.skipPI() {
+				return false
+			}
+		default:
+			return s.scanStartTag()
+		}
+	}
+	if len(s.stack) > 0 {
+		return s.fail("unexpected EOF: %d elements still open (innermost %q)",
+			len(s.stack), s.stack[len(s.stack)-1])
+	}
+	s.done = true
+	return false
+}
+
+func (s *Scanner) scanText() bool {
+	start := s.pos
+	for s.pos < len(s.data) && s.data[s.pos] != '<' {
+		s.pos++
+	}
+	s.ev = Event{Kind: KindText, Text: s.data[start:s.pos], Offset: start}
+	return true
+}
+
+func isNameStart(c byte) bool {
+	return c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isNameChar(c byte) bool {
+	return isNameStart(c) || c == '-' || c == '.' || (c >= '0' && c <= '9')
+}
+
+// scanName parses a tag/attribute name starting at s.pos.
+func (s *Scanner) scanName() (string, bool) {
+	start := s.pos
+	if s.pos >= len(s.data) || !isNameStart(s.data[s.pos]) {
+		return "", s.fail("expected name")
+	}
+	s.pos++
+	for s.pos < len(s.data) && isNameChar(s.data[s.pos]) {
+		s.pos++
+	}
+	return string(s.data[start:s.pos]), true
+}
+
+func (s *Scanner) skipSpace() {
+	for s.pos < len(s.data) {
+		switch s.data[s.pos] {
+		case ' ', '\t', '\n', '\r':
+			s.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (s *Scanner) scanStartTag() bool {
+	tagStart := s.pos
+	s.pos++ // '<'
+	name, ok := s.scanName()
+	if !ok {
+		return false
+	}
+	var attrs []Attr
+	for {
+		s.skipSpace()
+		if s.pos >= len(s.data) {
+			return s.fail("unexpected EOF in tag %q", name)
+		}
+		switch s.data[s.pos] {
+		case '>':
+			s.pos++
+			s.stack = append(s.stack, name)
+			s.ev = Event{Kind: KindStart, Name: name, Offset: tagStart, Attrs: attrs}
+			return true
+		case '/':
+			if s.pos+1 >= len(s.data) || s.data[s.pos+1] != '>' {
+				return s.fail("expected '/>' in tag %q", name)
+			}
+			s.pos += 2
+			// Self-closing: emit Start now, queue End via a tiny state
+			// machine — we emit Start and remember to emit End next call.
+			s.ev = Event{Kind: KindStart, Name: name, Offset: tagStart, Attrs: attrs}
+			s.pendingEnd = &Event{Kind: KindEnd, Name: name, Offset: s.pos}
+			return true
+		default:
+			attrName, ok := s.scanName()
+			if !ok {
+				return false
+			}
+			s.skipSpace()
+			if s.pos >= len(s.data) || s.data[s.pos] != '=' {
+				return s.fail("expected '=' after attribute name in tag %q", name)
+			}
+			s.pos++
+			s.skipSpace()
+			if s.pos >= len(s.data) || (s.data[s.pos] != '"' && s.data[s.pos] != '\'') {
+				return s.fail("expected quoted attribute value in tag %q", name)
+			}
+			quote := s.data[s.pos]
+			s.pos++
+			valStart := s.pos
+			for s.pos < len(s.data) && s.data[s.pos] != quote {
+				s.pos++
+			}
+			if s.pos >= len(s.data) {
+				return s.fail("unterminated attribute value in tag %q", name)
+			}
+			if s.CaptureAttrs {
+				attrs = append(attrs, Attr{
+					Name:  attrName,
+					Value: string(s.data[valStart:s.pos]),
+				})
+			}
+			s.pos++ // closing quote
+		}
+	}
+}
+
+func (s *Scanner) scanEndTag() bool {
+	s.pos += 2 // '</'
+	name, ok := s.scanName()
+	if !ok {
+		return false
+	}
+	s.skipSpace()
+	if s.pos >= len(s.data) || s.data[s.pos] != '>' {
+		return s.fail("expected '>' in end tag %q", name)
+	}
+	s.pos++
+	if len(s.stack) == 0 {
+		return s.fail("end tag %q with no open element", name)
+	}
+	top := s.stack[len(s.stack)-1]
+	if top != name {
+		return s.fail("end tag %q does not match open element %q", name, top)
+	}
+	s.stack = s.stack[:len(s.stack)-1]
+	s.ev = Event{Kind: KindEnd, Name: name, Offset: s.pos}
+	return true
+}
+
+// scanBangConstruct handles comments, CDATA and DOCTYPE. It returns
+// (produced, ok): produced is true when an event was emitted (CDATA text),
+// ok is false on error.
+func (s *Scanner) scanBangConstruct() (bool, bool) {
+	if hasPrefixAt(s.data, s.pos, "<!--") {
+		end := indexFrom(s.data, s.pos+4, "-->")
+		if end < 0 {
+			return false, s.fail("unterminated comment")
+		}
+		s.pos = end + 3
+		return false, true
+	}
+	if hasPrefixAt(s.data, s.pos, "<![CDATA[") {
+		start := s.pos + 9
+		end := indexFrom(s.data, start, "]]>")
+		if end < 0 {
+			return false, s.fail("unterminated CDATA section")
+		}
+		s.ev = Event{Kind: KindText, Text: s.data[start:end], Offset: start}
+		s.pos = end + 3
+		return true, true
+	}
+	if hasPrefixAt(s.data, s.pos, "<!DOCTYPE") {
+		// Skip to matching '>' (internal subsets with brackets supported).
+		depth := 0
+		i := s.pos
+		for i < len(s.data) {
+			switch s.data[i] {
+			case '[':
+				depth++
+			case ']':
+				depth--
+			case '>':
+				if depth == 0 {
+					s.pos = i + 1
+					return false, true
+				}
+			}
+			i++
+		}
+		return false, s.fail("unterminated DOCTYPE")
+	}
+	return false, s.fail("unsupported '<!' construct")
+}
+
+func (s *Scanner) skipPI() bool {
+	end := indexFrom(s.data, s.pos+2, "?>")
+	if end < 0 {
+		return s.fail("unterminated processing instruction")
+	}
+	s.pos = end + 2
+	return true
+}
+
+func hasPrefixAt(data []byte, pos int, prefix string) bool {
+	if pos+len(prefix) > len(data) {
+		return false
+	}
+	return string(data[pos:pos+len(prefix)]) == prefix
+}
+
+func indexFrom(data []byte, from int, sub string) int {
+	for i := from; i+len(sub) <= len(data); i++ {
+		if string(data[i:i+len(sub)]) == sub {
+			return i
+		}
+	}
+	return -1
+}

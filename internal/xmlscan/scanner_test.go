@@ -1,0 +1,265 @@
+package xmlscan
+
+import (
+	"strings"
+	"testing"
+)
+
+// collect runs the scanner to completion, failing the test on scan error.
+func collect(t *testing.T, doc string) []Event {
+	t.Helper()
+	s := NewScanner([]byte(doc))
+	var evs []Event
+	for s.Next() {
+		evs = append(evs, s.Event())
+	}
+	if err := s.Err(); err != nil {
+		t.Fatalf("scan error: %v", err)
+	}
+	return evs
+}
+
+func TestScannerSimpleDoc(t *testing.T) {
+	doc := `<a><b>hello</b></a>`
+	evs := collect(t, doc)
+	want := []struct {
+		kind Kind
+		name string
+		text string
+	}{
+		{KindStart, "a", ""},
+		{KindStart, "b", ""},
+		{KindText, "", "hello"},
+		{KindEnd, "b", ""},
+		{KindEnd, "a", ""},
+	}
+	if len(evs) != len(want) {
+		t.Fatalf("got %d events, want %d: %+v", len(evs), len(want), evs)
+	}
+	for i, w := range want {
+		if evs[i].Kind != w.kind || evs[i].Name != w.name || string(evs[i].Text) != w.text {
+			t.Errorf("event %d = %+v, want %+v", i, evs[i], w)
+		}
+	}
+}
+
+func TestScannerOffsets(t *testing.T) {
+	doc := `<a><b>xy</b></a>`
+	//      0123456789...
+	evs := collect(t, doc)
+	// <a> starts at 0, <b> at 3, text at 6, </b> ends at 12, </a> ends at 16.
+	if evs[0].Offset != 0 {
+		t.Errorf("a start offset = %d, want 0", evs[0].Offset)
+	}
+	if evs[1].Offset != 3 {
+		t.Errorf("b start offset = %d, want 3", evs[1].Offset)
+	}
+	if evs[2].Offset != 6 {
+		t.Errorf("text offset = %d, want 6", evs[2].Offset)
+	}
+	if evs[3].Offset != 12 {
+		t.Errorf("b end offset = %d, want 12", evs[3].Offset)
+	}
+	if evs[4].Offset != 16 {
+		t.Errorf("a end offset = %d, want 16", evs[4].Offset)
+	}
+}
+
+func TestScannerAttributes(t *testing.T) {
+	doc := `<article id="7" lang='en'><sec n="1">t</sec></article>`
+	evs := collect(t, doc)
+	if evs[0].Name != "article" || evs[1].Name != "sec" {
+		t.Fatalf("names = %q, %q", evs[0].Name, evs[1].Name)
+	}
+	if string(evs[2].Text) != "t" {
+		t.Fatalf("text = %q", evs[2].Text)
+	}
+}
+
+func TestScannerSelfClosing(t *testing.T) {
+	doc := `<a><img/><b x="1"/></a>`
+	evs := collect(t, doc)
+	var kinds []string
+	for _, e := range evs {
+		kinds = append(kinds, e.Name+":"+map[Kind]string{KindStart: "s", KindEnd: "e", KindText: "t"}[e.Kind])
+	}
+	got := strings.Join(kinds, " ")
+	want := "a:s img:s img:e b:s b:e a:e"
+	if got != want {
+		t.Fatalf("events = %q, want %q", got, want)
+	}
+	// End offset of <img/> is one past '>' (position 9).
+	if evs[2].Offset != 9 {
+		t.Errorf("img end offset = %d, want 9", evs[2].Offset)
+	}
+}
+
+func TestScannerCommentsPIsDoctype(t *testing.T) {
+	doc := `<?xml version="1.0"?><!DOCTYPE article [<!ENTITY x "y">]><!-- c --><a>ok<!-- mid --></a>`
+	evs := collect(t, doc)
+	if len(evs) != 3 {
+		t.Fatalf("got %d events: %+v", len(evs), evs)
+	}
+	if string(evs[1].Text) != "ok" {
+		t.Fatalf("text = %q", evs[1].Text)
+	}
+}
+
+func TestScannerCDATA(t *testing.T) {
+	doc := `<a><![CDATA[raw <stuff> here]]></a>`
+	evs := collect(t, doc)
+	if len(evs) != 3 {
+		t.Fatalf("got %d events: %+v", len(evs), evs)
+	}
+	if evs[1].Kind != KindText || string(evs[1].Text) != "raw <stuff> here" {
+		t.Fatalf("CDATA event = %+v", evs[1])
+	}
+}
+
+func TestScannerErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"mismatched", `<a><b></a></b>`},
+		{"unclosed", `<a><b>`},
+		{"stray end", `</a>`},
+		{"eof in tag", `<a`},
+		{"bad attr", `<a b></a>`},
+		{"unterminated comment", `<a><!-- oops</a>`},
+		{"unterminated cdata", `<a><![CDATA[x</a>`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := NewScanner([]byte(tc.doc))
+			for s.Next() {
+			}
+			if s.Err() == nil {
+				t.Fatalf("no error for %q", tc.doc)
+			}
+		})
+	}
+}
+
+func TestScannerNestedDepth(t *testing.T) {
+	doc := `<a><b><c><d>x</d></c></b></a>`
+	s := NewScanner([]byte(doc))
+	maxDepth := 0
+	for s.Next() {
+		if d := s.Depth(); d > maxDepth {
+			maxDepth = d
+		}
+	}
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if maxDepth != 4 {
+		t.Fatalf("max depth = %d, want 4", maxDepth)
+	}
+}
+
+func TestParseTree(t *testing.T) {
+	doc := `<article><fm><atl>Title</atl></fm><bdy><sec><p>one</p><p>two</p></sec></bdy></article>`
+	root, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Tag != "article" {
+		t.Fatalf("root = %q", root.Tag)
+	}
+	if len(root.Children) != 2 {
+		t.Fatalf("root children = %d", len(root.Children))
+	}
+	if root.Count() != 7 {
+		t.Fatalf("Count = %d, want 7", root.Count())
+	}
+	sec := root.Children[1].Children[0]
+	if sec.Tag != "sec" || len(sec.Children) != 2 {
+		t.Fatalf("sec = %+v", sec)
+	}
+	path := sec.Children[1].Path()
+	want := "article/bdy/sec/p"
+	if strings.Join(path, "/") != want {
+		t.Fatalf("path = %v, want %s", path, want)
+	}
+	// Positions: root spans the whole document.
+	if root.Start != 0 || root.End != len(doc) {
+		t.Fatalf("root span = [%d,%d), want [0,%d)", root.Start, root.End, len(doc))
+	}
+	if root.Length() != len(doc) {
+		t.Fatalf("root length = %d", root.Length())
+	}
+	// Every child is strictly inside its parent.
+	root.Walk(func(n *Node) bool {
+		for _, c := range n.Children {
+			if c.Start <= n.Start || c.End >= n.End {
+				t.Errorf("child %q [%d,%d) not inside parent %q [%d,%d)",
+					c.Tag, c.Start, c.End, n.Tag, n.Start, n.End)
+			}
+		}
+		return true
+	})
+}
+
+func TestParseMultipleRootsFails(t *testing.T) {
+	if _, err := Parse([]byte(`<a></a><b></b>`)); err == nil {
+		t.Fatal("expected error for multiple roots")
+	}
+}
+
+func TestParseEmptyFails(t *testing.T) {
+	if _, err := Parse([]byte(``)); err == nil {
+		t.Fatal("expected error for empty document")
+	}
+	if _, err := Parse([]byte(`   <!-- only a comment -->`)); err == nil {
+		t.Fatal("expected error for commentless document")
+	}
+}
+
+func TestWalkPrune(t *testing.T) {
+	doc := `<a><b><c>x</c></b><d>y</d></a>`
+	root, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var visited []string
+	root.Walk(func(n *Node) bool {
+		visited = append(visited, n.Tag)
+		return n.Tag != "b" // prune under b
+	})
+	got := strings.Join(visited, " ")
+	if got != "a b d" {
+		t.Fatalf("visited = %q, want %q", got, "a b d")
+	}
+}
+
+func TestCaptureAttrs(t *testing.T) {
+	doc := `<topic topic_id="202" type='CAS'><title x="1"/></topic>`
+	s := NewScanner([]byte(doc))
+	s.CaptureAttrs = true
+	var got [][]Attr
+	for s.Next() {
+		if s.Event().Kind == KindStart {
+			got = append(got, s.Event().Attrs)
+		}
+	}
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("start events = %d", len(got))
+	}
+	if len(got[0]) != 2 || got[0][0] != (Attr{"topic_id", "202"}) || got[0][1] != (Attr{"type", "CAS"}) {
+		t.Fatalf("attrs[0] = %+v", got[0])
+	}
+	if len(got[1]) != 1 || got[1][0] != (Attr{"x", "1"}) {
+		t.Fatalf("attrs[1] = %+v", got[1])
+	}
+	// Off by default: no attrs captured.
+	s2 := NewScanner([]byte(doc))
+	for s2.Next() {
+		if s2.Event().Kind == KindStart && s2.Event().Attrs != nil {
+			t.Fatal("attrs captured without opt-in")
+		}
+	}
+}

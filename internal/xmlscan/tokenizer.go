@@ -1,0 +1,81 @@
+package xmlscan
+
+// Term is one word occurrence inside a document.
+type Term struct {
+	// Text is the lowercased token.
+	Text string
+	// Offset is the byte position of the token's first character in the
+	// document — the "offset" field of the PostingLists table.
+	Offset int
+}
+
+// minTermLen drops one-character noise tokens.
+const minTermLen = 2
+
+// isTermByte reports whether c participates in a token. Tokens are ASCII
+// alphanumeric runs; everything else (punctuation, entities, markup,
+// non-ASCII bytes) separates tokens. INEX-era engines used comparable
+// ASCII folding.
+func isTermByte(c byte) bool {
+	return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+func lowerByte(c byte) byte {
+	if c >= 'A' && c <= 'Z' {
+		return c + ('a' - 'A')
+	}
+	return c
+}
+
+// Tokenize extracts terms from a text run. base is the byte offset of
+// text[0] within the document, so emitted offsets are document-global.
+// The callback is invoked once per token in order; it must copy Text if it
+// retains it (it is freshly allocated, so retention is safe, but offsets
+// into text are not).
+func Tokenize(text []byte, base int, fn func(Term)) {
+	i := 0
+	for i < len(text) {
+		if !isTermByte(text[i]) {
+			i++
+			continue
+		}
+		start := i
+		for i < len(text) && isTermByte(text[i]) {
+			i++
+		}
+		if i-start < minTermLen {
+			continue
+		}
+		buf := make([]byte, i-start)
+		for j := start; j < i; j++ {
+			buf[j-start] = lowerByte(text[j])
+		}
+		fn(Term{Text: string(buf), Offset: base + start})
+	}
+}
+
+// TokenizeString is Tokenize over a query string; offsets are relative to
+// the string and usually ignored by callers.
+func TokenizeString(s string) []string {
+	var out []string
+	Tokenize([]byte(s), 0, func(t Term) { out = append(out, t.Text) })
+	return out
+}
+
+// DocTerms scans a whole document and returns every term occurrence with
+// its document-global offset, in position order.
+func DocTerms(data []byte) ([]Term, error) {
+	s := NewScanner(data)
+	var terms []Term
+	for s.Next() {
+		ev := s.Event()
+		if ev.Kind != KindText {
+			continue
+		}
+		Tokenize(ev.Text, ev.Offset, func(t Term) { terms = append(terms, t) })
+	}
+	if err := s.Err(); err != nil {
+		return nil, err
+	}
+	return terms, nil
+}

@@ -1,0 +1,125 @@
+package xmlscan
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenizeBasic(t *testing.T) {
+	var got []Term
+	Tokenize([]byte("Hello, XML world!"), 0, func(tm Term) { got = append(got, tm) })
+	want := []Term{
+		{Text: "hello", Offset: 0},
+		{Text: "xml", Offset: 7},
+		{Text: "world", Offset: 11},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokenize = %+v, want %+v", got, want)
+	}
+}
+
+func TestTokenizeBaseOffset(t *testing.T) {
+	var got []Term
+	Tokenize([]byte("ab cd"), 100, func(tm Term) { got = append(got, tm) })
+	if got[0].Offset != 100 || got[1].Offset != 103 {
+		t.Fatalf("offsets = %d, %d; want 100, 103", got[0].Offset, got[1].Offset)
+	}
+}
+
+func TestTokenizeDropsShortTokens(t *testing.T) {
+	got := TokenizeString("a b cd e fg")
+	want := []string{"cd", "fg"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("TokenizeString = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeNumbersAndMixed(t *testing.T) {
+	got := TokenizeString("IEEE 2005 top-k  x86_64")
+	// '-' and '_' split tokens; single chars dropped ("k").
+	want := []string{"ieee", "2005", "top", "x86", "64"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("TokenizeString = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeEmpty(t *testing.T) {
+	if got := TokenizeString(""); got != nil {
+		t.Fatalf("TokenizeString(\"\") = %v, want nil", got)
+	}
+	if got := TokenizeString("!!! ... ???"); got != nil {
+		t.Fatalf("punctuation only = %v, want nil", got)
+	}
+}
+
+func TestDocTerms(t *testing.T) {
+	doc := `<a>alpha <b>beta gamma</b> delta</a>`
+	terms, err := DocTerms([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tm := range terms {
+		texts = append(texts, tm.Text)
+	}
+	want := []string{"alpha", "beta", "gamma", "delta"}
+	if !reflect.DeepEqual(texts, want) {
+		t.Fatalf("DocTerms = %v, want %v", texts, want)
+	}
+	// Offsets must point at the exact byte of each token.
+	for _, tm := range terms {
+		end := tm.Offset + len(tm.Text)
+		if got := string(doc[tm.Offset:end]); got != tm.Text {
+			t.Errorf("term %q offset %d points at %q", tm.Text, tm.Offset, got)
+		}
+	}
+	// Offsets strictly increase.
+	for i := 1; i < len(terms); i++ {
+		if terms[i].Offset <= terms[i-1].Offset {
+			t.Errorf("offset order violated: %d after %d", terms[i].Offset, terms[i-1].Offset)
+		}
+	}
+}
+
+func TestDocTermsErrorPropagates(t *testing.T) {
+	if _, err := DocTerms([]byte(`<a>oops`)); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+// Property: every token Tokenize emits is lowercase alphanumeric, at least
+// minTermLen long, and its offset points at a matching region of the input
+// (case-insensitively).
+func TestQuickTokenizeInvariants(t *testing.T) {
+	f := func(text []byte) bool {
+		ok := true
+		Tokenize(text, 0, func(tm Term) {
+			if len(tm.Text) < minTermLen {
+				ok = false
+				return
+			}
+			for i := 0; i < len(tm.Text); i++ {
+				c := tm.Text[i]
+				if !(c >= 'a' && c <= 'z' || c >= '0' && c <= '9') {
+					ok = false
+					return
+				}
+			}
+			if tm.Offset < 0 || tm.Offset+len(tm.Text) > len(text) {
+				ok = false
+				return
+			}
+			for i := 0; i < len(tm.Text); i++ {
+				if lowerByte(text[tm.Offset+i]) != tm.Text[i] {
+					ok = false
+					return
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,64 @@
+package trex
+
+import (
+	"fmt"
+
+	"trex/internal/corpus"
+	"trex/internal/index"
+)
+
+// AddStats reports what AddDocuments changed.
+type AddStats struct {
+	// Docs and Elements added; Postings is new term occurrences.
+	Docs     int
+	Elements int
+	Postings int64
+	// NewSIDs counts summary nodes created for previously unseen paths.
+	NewSIDs int
+	// DroppedListEntries counts stale RPL/ERPL entries reclaimed (all
+	// materialized lists are invalidated by a collection change, because
+	// stored scores depend on collection statistics).
+	DroppedListEntries int
+}
+
+// AddDocuments appends documents to the collection and updates the base
+// indexes incrementally: the structural summary grows for unseen paths,
+// element rows and posting fragments are inserted, and term/collection
+// statistics are merged. Document ids must continue the existing dense
+// sequence (the collection is append-only).
+//
+// All materialized RPL/ERPL lists are dropped, since their stored scores
+// are computed from collection statistics that just changed; re-run
+// Materialize or SelfManage afterwards. AddDocuments is a write
+// operation: do not run it concurrently with queries.
+func (e *Engine) AddDocuments(docs []corpus.Document) (*AddStats, error) {
+	if len(docs) == 0 {
+		return &AddStats{}, nil
+	}
+	as, err := index.AppendDocuments(e.store, docs, e.sum)
+	if err != nil {
+		return nil, err
+	}
+	e.invalidateTranslations()
+	if err := e.saveSummary(); err != nil {
+		return nil, fmt.Errorf("trex: persist extended summary: %w", err)
+	}
+	dropped, err := index.DropAllLists(e.store)
+	if err != nil {
+		return nil, err
+	}
+	if e.docs != nil {
+		for _, d := range docs {
+			if err := e.docs.Put(d.ID, d.Data); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &AddStats{
+		Docs:               as.Docs,
+		Elements:           as.Elements,
+		Postings:           as.Postings,
+		NewSIDs:            as.NewSIDs,
+		DroppedListEntries: dropped,
+	}, nil
+}

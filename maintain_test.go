@@ -1,0 +1,237 @@
+package trex
+
+import (
+	"testing"
+
+	"trex/internal/corpus"
+	"trex/internal/index"
+)
+
+// TestAddDocumentsEquivalentToFullBuild is the central maintenance
+// invariant: building 30 docs then appending 10 must answer queries
+// identically to building all 40 at once.
+func TestAddDocumentsEquivalentToFullBuild(t *testing.T) {
+	full := corpus.GenerateIEEE(40, 55)
+
+	partial := &corpus.Collection{
+		Style:   full.Style,
+		Aliases: full.Aliases,
+		Docs:    full.Docs[:30],
+	}
+	incr, err := CreateMemory(partial, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer incr.Close()
+	as, err := incr.AddDocuments(full.Docs[30:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if as.Docs != 10 || as.Elements == 0 || as.Postings == 0 {
+		t.Fatalf("AddStats = %+v", as)
+	}
+
+	whole, err := CreateMemory(full, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer whole.Close()
+
+	queries := []string{
+		`//article//sec[about(., ontologies case study)]`,
+		`//article[about(., xml query evaluation)]`,
+		`//bdy//*[about(., model checking state space explosion)]`,
+		`//article[about(.//bdy, synthesizers) and about(.//bdy, music)]`,
+	}
+	for _, q := range queries {
+		a, err := incr.Query(q, 0, MethodERA)
+		if err != nil {
+			t.Fatalf("%s incremental: %v", q, err)
+		}
+		b, err := whole.Query(q, 0, MethodERA)
+		if err != nil {
+			t.Fatalf("%s full: %v", q, err)
+		}
+		if a.TotalAnswers != b.TotalAnswers {
+			t.Fatalf("%s: incremental %d answers, full %d", q, a.TotalAnswers, b.TotalAnswers)
+		}
+		for i := range b.Answers {
+			// Paths/sids can differ in numbering when new paths appear in
+			// a different order, so compare by (doc, span, score).
+			ai, bi := a.Answers[i], b.Answers[i]
+			if ai.Doc != bi.Doc || ai.Start != bi.Start || ai.End != bi.End {
+				t.Fatalf("%s answer %d: incremental %+v vs full %+v", q, i, ai, bi)
+			}
+			if diff := ai.Score - bi.Score; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("%s answer %d score: %v vs %v", q, i, ai.Score, bi.Score)
+			}
+		}
+	}
+
+	// Statistics converged too.
+	ia, err := incr.Store().CollectionStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wa, err := whole.Store().CollectionStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ia.NumDocs != wa.NumDocs || ia.NumElements != wa.NumElements {
+		t.Fatalf("stats differ: %+v vs %+v", ia, wa)
+	}
+	if diff := ia.AvgElementLen - wa.AvgElementLen; diff > 0.001 || diff < -0.001 {
+		t.Fatalf("avg length differs: %v vs %v", ia.AvgElementLen, wa.AvgElementLen)
+	}
+}
+
+func TestAddDocumentsInvalidatesLists(t *testing.T) {
+	col := corpus.GenerateIEEE(20, 66)
+	eng, err := CreateMemory(&corpus.Collection{
+		Style: col.Style, Aliases: col.Aliases, Docs: col.Docs[:15],
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	const q = `//article//sec[about(., ontologies case study)]`
+	if _, err := eng.Materialize(q, index.KindRPL, index.KindERPL); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := eng.CanUse(q, MethodMerge)
+	if err != nil || !ok {
+		t.Fatalf("merge unavailable after materialize: %v %v", ok, err)
+	}
+	as, err := eng.AddDocuments(col.Docs[15:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if as.DroppedListEntries == 0 {
+		t.Fatal("stale lists were not dropped")
+	}
+	ok, err = eng.CanUse(q, MethodMerge)
+	if err != nil || ok {
+		t.Fatalf("merge still claimed available after append: %v %v", ok, err)
+	}
+	// Re-materializing restores Merge, with scores reflecting new stats.
+	if _, err := eng.Materialize(q, index.KindRPL, index.KindERPL); err != nil {
+		t.Fatal(err)
+	}
+	era, err := eng.Query(q, 10, MethodERA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mrg, err := eng.Query(q, 10, MethodMerge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range era.Answers {
+		if era.Answers[i] != mrg.Answers[i] {
+			t.Fatalf("post-append answers differ at %d", i)
+		}
+	}
+}
+
+func TestAddDocumentsNewPathsGetNewSIDs(t *testing.T) {
+	col := &corpus.Collection{Docs: []corpus.Document{
+		{ID: 0, Data: []byte(`<article><sec>alpha beta</sec></article>`)},
+	}}
+	eng, err := CreateMemory(col, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	before := eng.Summary().NumNodes()
+	as, err := eng.AddDocuments([]corpus.Document{
+		{ID: 1, Data: []byte(`<article><appendix><sec>alpha gamma</sec></appendix></article>`)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if as.NewSIDs != 2 { // appendix and appendix/sec
+		t.Fatalf("NewSIDs = %d, want 2", as.NewSIDs)
+	}
+	if eng.Summary().NumNodes() != before+2 {
+		t.Fatalf("summary nodes = %d, want %d", eng.Summary().NumNodes(), before+2)
+	}
+	// Querying the new structure works.
+	res, err := eng.Query(`//appendix//sec[about(., alpha)]`, 10, MethodERA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 1 || res.Answers[0].Doc != 1 {
+		t.Fatalf("answers = %+v", res.Answers)
+	}
+	// Old structure still answers.
+	res, err = eng.Query(`//article//sec[about(., alpha)]`, 10, MethodERA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalAnswers != 2 {
+		t.Fatalf("combined answers = %d, want 2", res.TotalAnswers)
+	}
+}
+
+func TestAddDocumentsIDValidation(t *testing.T) {
+	col := corpus.GenerateIEEE(5, 1)
+	eng, err := CreateMemory(col, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	// Gap in ids.
+	if _, err := eng.AddDocuments([]corpus.Document{{ID: 7, Data: []byte(`<a>x</a>`)}}); err == nil {
+		t.Fatal("gap id accepted")
+	}
+	// Reused id.
+	if _, err := eng.AddDocuments([]corpus.Document{{ID: 2, Data: []byte(`<a>x</a>`)}}); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+	// Empty append is a no-op.
+	as, err := eng.AddDocuments(nil)
+	if err != nil || as.Docs != 0 {
+		t.Fatalf("empty append = %+v, %v", as, err)
+	}
+	// Malformed document rejected, engine still usable.
+	if _, err := eng.AddDocuments([]corpus.Document{{ID: 5, Data: []byte(`<broken`)}}); err == nil {
+		t.Fatal("malformed doc accepted")
+	}
+	if _, err := eng.Query(`//article[about(., ontologies)]`, 5, MethodERA); err != nil {
+		t.Fatalf("engine unusable after failed append: %v", err)
+	}
+}
+
+func TestAddDocumentsPersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/trex.db"
+	col := corpus.GenerateIEEE(12, 77)
+	eng, err := Create(path, &corpus.Collection{
+		Style: col.Style, Aliases: col.Aliases, Docs: col.Docs[:8],
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.AddDocuments(col.Docs[8:]); err != nil {
+		t.Fatal(err)
+	}
+	const q = `//article//sec[about(., ontologies case study)]`
+	want, err := eng.Query(q, 0, MethodERA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	eng2, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng2.Close()
+	got, err := eng2.Query(q, 0, MethodERA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalAnswers != want.TotalAnswers {
+		t.Fatalf("answers after reopen = %d, want %d", got.TotalAnswers, want.TotalAnswers)
+	}
+}

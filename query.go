@@ -1,0 +1,521 @@
+package trex
+
+import (
+	"fmt"
+	"sort"
+
+	"trex/internal/index"
+	"trex/internal/nexi"
+	"trex/internal/retrieval"
+	"trex/internal/score"
+	"trex/internal/translate"
+)
+
+// Method selects a retrieval strategy.
+type Method int
+
+const (
+	// MethodAuto lets the engine pick based on which redundant lists are
+	// materialized and on k.
+	MethodAuto Method = iota
+	// MethodERA forces the exhaustive algorithm (always available).
+	MethodERA
+	// MethodTA forces the threshold algorithm (requires RPL coverage for
+	// meaningful results).
+	MethodTA
+	// MethodMerge forces the Merge algorithm (requires ERPL coverage).
+	MethodMerge
+	// MethodRace runs TA and Merge concurrently and returns the result of
+	// whichever finishes first — the parallel evaluation Section 4 of the
+	// paper describes for systems that store both an RPL and an ERPL.
+	// Requires both coverages.
+	MethodRace
+	// MethodNRA is the sorted-access-only threshold algorithm (the
+	// TopX-style variant the paper's TA implementation follows): no
+	// random accesses, candidate score bounds instead. Requires RPL
+	// coverage.
+	MethodNRA
+)
+
+func (m Method) String() string {
+	switch m {
+	case MethodERA:
+		return "era"
+	case MethodTA:
+		return "ta"
+	case MethodMerge:
+		return "merge"
+	case MethodRace:
+		return "race"
+	case MethodNRA:
+		return "nra"
+	default:
+		return "auto"
+	}
+}
+
+// taPreferredK is the k at or below which TA is preferred over Merge when
+// both are available — the paper's figures show TA winning only at very
+// small k.
+const taPreferredK = 10
+
+// Answer is one ranked query result.
+type Answer struct {
+	// Doc is the document id; Start/End the element's byte span.
+	Doc   uint32
+	Start uint32
+	End   uint32
+	// SID is the element's summary node; Path its label path expression.
+	SID  uint32
+	Path string
+	// Score is the combined relevance score.
+	Score float64
+}
+
+// Result is a query evaluation outcome.
+type Result struct {
+	Query  string
+	Method Method
+	K      int
+	// Answers, best first, at most K (all when K <= 0).
+	Answers []Answer
+	// TotalAnswers counts matches before the final top-k cut. For
+	// single-clause queries the retrieval phase itself may be truncated
+	// at k (that is the point of top-k evaluation), in which case
+	// TotalAnswers equals len(Answers); query with k <= 0 to count all
+	// matches.
+	TotalAnswers int
+	// Translation exposes the (sids, terms) the query mapped to.
+	Translation *translate.Translation
+	// Stats describes the retrieval phase (the part the paper times).
+	Stats *retrieval.Stats
+}
+
+// flatten returns the union of clause sids (plus the target extents, so
+// answer elements are retrieved even when every about() uses a relative
+// path) and the distinct positive terms — the "lists sid_1..sid_m and
+// t_1..t_n" of the paper's retrieval phase.
+func flatten(tr *translate.Translation) (sids []uint32, terms []string) {
+	seen := make(map[uint32]bool)
+	add := func(list []uint32) {
+		for _, s := range list {
+			if !seen[s] {
+				seen[s] = true
+				sids = append(sids, s)
+			}
+		}
+	}
+	for i := range tr.Clauses {
+		add(tr.Clauses[i].SIDs)
+	}
+	add(tr.TargetSIDs)
+	sort.Slice(sids, func(i, j int) bool { return sids[i] < sids[j] })
+	return sids, tr.DistinctTerms()
+}
+
+func negativeTerms(tr *translate.Translation) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for i := range tr.Clauses {
+		for _, w := range tr.Clauses[i].NegativeTerms() {
+			if !seen[w] {
+				seen[w] = true
+				out = append(out, w)
+			}
+		}
+	}
+	return out
+}
+
+// Translate parses and translates a NEXI query without evaluating it,
+// under the vague interpretation (the TReX default).
+func (e *Engine) Translate(src string) (*translate.Translation, error) {
+	return e.TranslateMode(src, translate.ModeVague)
+}
+
+// translationCacheSize bounds the per-engine translation cache. Workload
+// evaluation re-runs the same few queries constantly; translation scans
+// every summary node, so caching it matters at high query rates.
+const translationCacheSize = 256
+
+// TranslateMode translates under an explicit interpretation. ModeStrict
+// requires exact label matches; over an alias-built summary it therefore
+// only matches canonical labels. Results are cached per (query, mode);
+// AddDocuments invalidates the cache (the summary may have grown).
+func (e *Engine) TranslateMode(src string, mode translate.Mode) (*translate.Translation, error) {
+	key := mode.String() + "\x00" + src
+	e.trMu.Lock()
+	if tr, ok := e.trCache[key]; ok {
+		e.trMu.Unlock()
+		return tr, nil
+	}
+	e.trMu.Unlock()
+
+	q, err := nexi.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := translate.Translate(q, e.sum, mode)
+	if err != nil {
+		return nil, err
+	}
+	e.trMu.Lock()
+	if e.trCache == nil || len(e.trCache) >= translationCacheSize {
+		e.trCache = make(map[string]*translate.Translation, translationCacheSize)
+	}
+	e.trCache[key] = tr
+	e.trMu.Unlock()
+	return tr, nil
+}
+
+// invalidateTranslations drops the cache after a summary change.
+func (e *Engine) invalidateTranslations() {
+	e.trMu.Lock()
+	e.trCache = nil
+	e.trMu.Unlock()
+}
+
+// Materialize builds the redundant lists (RPLs and/or ERPLs) the query
+// needs, enabling TA and/or Merge for it.
+func (e *Engine) Materialize(src string, kinds ...index.ListKind) (*retrieval.MaterializeStats, error) {
+	tr, err := e.Translate(src)
+	if err != nil {
+		return nil, err
+	}
+	sids, terms := flatten(tr)
+	sc, err := e.store.NewScorer(terms)
+	if err != nil {
+		return nil, err
+	}
+	return retrieval.Materialize(e.store, sids, terms, sc, kinds...)
+}
+
+// CanUse reports whether the given method's required lists are fully
+// materialized for the query.
+func (e *Engine) CanUse(src string, m Method) (bool, error) {
+	tr, err := e.Translate(src)
+	if err != nil {
+		return false, err
+	}
+	sids, terms := flatten(tr)
+	switch m {
+	case MethodERA, MethodAuto:
+		return true, nil
+	case MethodTA, MethodNRA:
+		return e.store.Covered(index.KindRPL, terms, sids)
+	case MethodMerge:
+		return e.store.Covered(index.KindERPL, terms, sids)
+	case MethodRace:
+		rpl, err := e.store.Covered(index.KindRPL, terms, sids)
+		if err != nil || !rpl {
+			return false, err
+		}
+		return e.store.Covered(index.KindERPL, terms, sids)
+	default:
+		return false, fmt.Errorf("trex: unknown method %d", int(m))
+	}
+}
+
+// QueryOptions controls evaluation beyond the basic (k, method) pair.
+type QueryOptions struct {
+	// K is the number of answers (0 = all).
+	K int
+	// Method defaults to MethodAuto.
+	Method Method
+	// Mode selects the NEXI interpretation (default vague).
+	Mode translate.Mode
+	// PhraseBonus scales the proximity bonus quoted phrases earn when
+	// their words occur adjacently in an answer (0 disables; 1 is a
+	// sensible default weight).
+	PhraseBonus float64
+	// Offset skips the first Offset answers (pagination). The retrieval
+	// phase computes Offset+K answers, so deep pages cost accordingly.
+	Offset int
+}
+
+// Query evaluates a NEXI query, returning the top k answers (all answers
+// when k <= 0) using the requested method. MethodAuto picks Merge or TA
+// when their lists are materialized (TA for k <= 10), falling back to ERA.
+func (e *Engine) Query(src string, k int, m Method) (*Result, error) {
+	return e.QueryOpts(src, QueryOptions{K: k, Method: m})
+}
+
+// QueryOpts evaluates with full options.
+func (e *Engine) QueryOpts(src string, opts QueryOptions) (*Result, error) {
+	k, m := opts.K, opts.Method
+	tr, err := e.TranslateMode(src, opts.Mode)
+	if err != nil {
+		return nil, err
+	}
+	sids, terms := flatten(tr)
+	negs := negativeTerms(tr)
+	// Stopworded query terms carry no signal: the index has no postings
+	// for them, so drop them up front (a stopword-only query matches
+	// nothing, mirroring classic IR engines).
+	if terms, err = e.store.FilterStopwords(terms); err != nil {
+		return nil, err
+	}
+	if negs, err = e.store.FilterStopwords(negs); err != nil {
+		return nil, err
+	}
+	sc, err := e.store.NewScorer(append(append([]string{}, terms...), negs...))
+	if err != nil {
+		return nil, err
+	}
+
+	if m == MethodAuto {
+		m, err = e.pick(sids, terms, k)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Multi-clause queries combine scores across elements (support
+	// clauses contribute containment bonuses), so their retrieval phase
+	// must produce all matches. A single target-clause query ranks purely
+	// by per-element scores — support bonuses cannot apply (every
+	// retrieved element is an answer) — so k (plus any pagination offset)
+	// pushes down into the strategy, which is the whole point of top-k
+	// evaluation.
+	kEval := 0
+	if len(tr.Clauses) == 1 && tr.Clauses[0].IsTarget && len(negs) == 0 {
+		kEval = k
+		if k > 0 && opts.Offset > 0 {
+			kEval = k + opts.Offset
+		}
+	}
+
+	scored, stats, m, err := e.retrieve(m, sids, terms, sc, kEval)
+	if err != nil {
+		return nil, err
+	}
+
+	answers, err := e.combine(tr, scored, negs, sc, opts.PhraseBonus)
+	if err != nil {
+		return nil, err
+	}
+	total := len(answers)
+	if opts.Offset > 0 {
+		if opts.Offset >= len(answers) {
+			answers = nil
+		} else {
+			answers = answers[opts.Offset:]
+		}
+	}
+	if k > 0 && len(answers) > k {
+		answers = answers[:k]
+	}
+	return &Result{
+		Query:        src,
+		Method:       m,
+		K:            k,
+		Answers:      answers,
+		TotalAnswers: total,
+		Translation:  tr,
+		Stats:        stats,
+	}, nil
+}
+
+// retrieve runs the requested strategy's retrieval phase. For MethodRace
+// it runs TA and Merge concurrently and returns whichever finishes first
+// (with Method rewritten to the winner).
+func (e *Engine) retrieve(m Method, sids []uint32, terms []string, sc *score.Scorer, kEval int) ([]retrieval.Scored, *retrieval.Stats, Method, error) {
+	kTA := kEval
+	if kTA <= 0 {
+		// TA needs a concrete k; for full evaluation use a bound no
+		// answer set can exceed.
+		kTA = 1 << 30
+	}
+	switch m {
+	case MethodERA:
+		scored, stats, err := retrieval.ExhaustiveTopK(e.store, sids, terms, sc, kEval)
+		return scored, stats, m, err
+	case MethodTA:
+		scored, stats, err := retrieval.TA(e.store, sids, terms, sc, kTA)
+		return scored, stats, m, err
+	case MethodNRA:
+		scored, stats, err := retrieval.NRA(e.store, sids, terms, kTA)
+		return scored, stats, m, err
+	case MethodMerge:
+		scored, stats, err := retrieval.Merge(e.store, sids, terms, kEval)
+		return scored, stats, m, err
+	case MethodRace:
+		type outcome struct {
+			scored []retrieval.Scored
+			stats  *retrieval.Stats
+			m      Method
+			err    error
+		}
+		ch := make(chan outcome, 2)
+		e.inflight.Add(2)
+		go func() {
+			defer e.inflight.Done()
+			s, st, err := retrieval.TA(e.store, sids, terms, sc, kTA)
+			ch <- outcome{s, st, MethodTA, err}
+		}()
+		go func() {
+			defer e.inflight.Done()
+			s, st, err := retrieval.Merge(e.store, sids, terms, kEval)
+			ch <- outcome{s, st, MethodMerge, err}
+		}()
+		first := <-ch
+		if first.err != nil {
+			// Fall back to the other racer rather than failing the query.
+			second := <-ch
+			if second.err != nil {
+				return nil, nil, m, fmt.Errorf("trex: race failed: %v / %v", first.err, second.err)
+			}
+			return second.scored, second.stats, second.m, nil
+		}
+		return first.scored, first.stats, first.m, nil
+	default:
+		return nil, nil, m, fmt.Errorf("trex: unknown method %d", int(m))
+	}
+}
+
+func (e *Engine) pick(sids []uint32, terms []string, k int) (Method, error) {
+	rplOK, err := e.store.Covered(index.KindRPL, terms, sids)
+	if err != nil {
+		return MethodERA, err
+	}
+	erplOK, err := e.store.Covered(index.KindERPL, terms, sids)
+	if err != nil {
+		return MethodERA, err
+	}
+	switch {
+	case rplOK && k > 0 && k <= taPreferredK:
+		return MethodTA, nil
+	case erplOK:
+		return MethodMerge, nil
+	case rplOK:
+		return MethodTA, nil
+	default:
+		return MethodERA, nil
+	}
+}
+
+// phrases returns the positive quoted phrases of the query.
+func phrases(tr *translate.Translation) [][]string {
+	var out [][]string
+	for i := range tr.Clauses {
+		for _, t := range tr.Clauses[i].Terms {
+			if !t.Minus && len(t.Phrase) > 1 {
+				out = append(out, t.Phrase)
+			}
+		}
+	}
+	return out
+}
+
+// combine turns the flattened retrieval result into ranked answers:
+// elements in the target extents, with the scores of containing (ancestor)
+// and contained (descendant) result elements folded in, negated-term
+// penalties subtracted, and an optional proximity bonus for quoted
+// phrases. A single containment sweep over the results, sorted by
+// (doc, start), attributes both support directions.
+func (e *Engine) combine(tr *translate.Translation, scored []retrieval.Scored, negs []string, sc interface {
+	Score(term string, tf int, elemLen int) float64
+}, phraseBonus float64,
+) ([]Answer, error) {
+	targetSet := make(map[uint32]bool, len(tr.TargetSIDs))
+	for _, s := range tr.TargetSIDs {
+		targetSet[s] = true
+	}
+	type item struct {
+		elem   index.Element
+		score  float64
+		target bool
+		bonus  float64
+	}
+	items := make([]*item, 0, len(scored))
+	for _, s := range scored {
+		items = append(items, &item{elem: s.Elem, score: s.Score, target: targetSet[s.Elem.SID]})
+	}
+	sort.Slice(items, func(i, j int) bool {
+		a, b := items[i].elem, items[j].elem
+		if a.Doc != b.Doc {
+			return a.Doc < b.Doc
+		}
+		return a.Start() < b.Start()
+	})
+
+	// Sweep with an ancestor stack: when visiting x, the stack holds
+	// exactly the result elements that contain x. Bonuses flow only
+	// between support (non-target) elements and answers: a support
+	// ancestor boosts the answers inside it, and a support descendant
+	// boosts the answer containing it. Answers never boost each other —
+	// a containing answer's own score already counts every term inside
+	// its span, so that would double-count.
+	var stack []*item
+	for _, x := range items {
+		for len(stack) > 0 {
+			top := stack[len(stack)-1]
+			if top.elem.Doc == x.elem.Doc && x.elem.End <= top.elem.End {
+				break // top contains x
+			}
+			stack = stack[:len(stack)-1]
+		}
+		if x.target {
+			for _, anc := range stack {
+				if !anc.target {
+					x.bonus += anc.score // ancestor support
+				}
+			}
+		} else {
+			for _, anc := range stack {
+				if anc.target {
+					anc.bonus += x.score // descendant support
+				}
+			}
+		}
+		stack = append(stack, x)
+	}
+
+	queryPhrases := phrases(tr)
+	var answers []Answer
+	for _, it := range items {
+		if !it.target {
+			continue
+		}
+		total := it.score + it.bonus
+		for _, w := range negs {
+			tf, err := index.TFInSpan(e.store, w, it.elem)
+			if err != nil {
+				return nil, err
+			}
+			total -= sc.Score(w, tf, int(it.elem.Length))
+		}
+		if phraseBonus > 0 {
+			for _, ph := range queryPhrases {
+				pf, err := index.PhraseFreqInSpan(e.store, ph, it.elem)
+				if err != nil {
+					return nil, err
+				}
+				if pf > 0 {
+					// Reward exact phrase hits with the phrase-as-a-unit
+					// score, scaled by the caller's weight.
+					total += phraseBonus * sc.Score(ph[0], pf, int(it.elem.Length))
+				}
+			}
+		}
+		path := ""
+		if n := e.sum.NodeBySID(int(it.elem.SID)); n != nil {
+			path = n.XPathExpr()
+		}
+		answers = append(answers, Answer{
+			Doc:   it.elem.Doc,
+			Start: it.elem.Start(),
+			End:   it.elem.End,
+			SID:   it.elem.SID,
+			Path:  path,
+			Score: total,
+		})
+	}
+	sort.Slice(answers, func(i, j int) bool {
+		if answers[i].Score != answers[j].Score {
+			return answers[i].Score > answers[j].Score
+		}
+		return index.CompareDocEnd(answers[i].Doc, answers[i].End, answers[j].Doc, answers[j].End) < 0
+	})
+	return answers, nil
+}

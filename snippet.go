@@ -1,0 +1,98 @@
+package trex
+
+import (
+	"strings"
+
+	"trex/internal/xmlscan"
+)
+
+// Snippet renders a plain-text excerpt of an answer centered on the first
+// occurrence of any of the given terms, with XML markup stripped. width
+// bounds the excerpt length in bytes (0 = 160). Requires the engine to
+// have been built with Options.StoreDocuments (or reopened from such a
+// database).
+func (e *Engine) Snippet(a Answer, terms []string, width int) (string, error) {
+	if width <= 0 {
+		width = 160
+	}
+	data, err := e.Document(int(a.Doc))
+	if err != nil {
+		return "", err
+	}
+	if int(a.End) > len(data) || a.Start >= a.End {
+		return "", errBadSpan(a)
+	}
+	span := data[a.Start:a.End]
+
+	// Find the earliest occurrence of any term within the span.
+	focus := -1
+	s := xmlscan.NewScanner(span)
+	for s.Next() && focus < 0 {
+		ev := s.Event()
+		if ev.Kind != xmlscan.KindText {
+			continue
+		}
+		xmlscan.Tokenize(ev.Text, ev.Offset, func(tm xmlscan.Term) {
+			if focus >= 0 {
+				return
+			}
+			for _, q := range terms {
+				if tm.Text == q {
+					focus = tm.Offset
+					return
+				}
+			}
+		})
+	}
+	// Scanner errors cannot occur on a well-formed stored document slice
+	// that starts at an element boundary; if the span is a fragment the
+	// scan may stop early, which is fine for snippet purposes.
+	if focus < 0 {
+		focus = 0
+	}
+
+	lo := focus - width/2
+	if lo < 0 {
+		lo = 0
+	}
+	hi := lo + width
+	if hi > len(span) {
+		hi = len(span)
+	}
+	text := stripTags(span[lo:hi])
+	text = strings.Join(strings.Fields(text), " ")
+	var sb strings.Builder
+	if lo > 0 {
+		sb.WriteString("…")
+	}
+	sb.WriteString(text)
+	if hi < len(span) {
+		sb.WriteString("…")
+	}
+	return sb.String(), nil
+}
+
+// stripTags removes XML markup, keeping character data separated by
+// spaces. It tolerates truncated markup at the window edges.
+func stripTags(b []byte) string {
+	var sb strings.Builder
+	inTag := false
+	for _, c := range b {
+		switch {
+		case c == '<':
+			inTag = true
+			sb.WriteByte(' ')
+		case c == '>':
+			inTag = false
+		case !inTag:
+			sb.WriteByte(c)
+		}
+	}
+	return sb.String()
+}
+
+type errBadSpan Answer
+
+func (e errBadSpan) Error() string {
+	return "trex: answer span out of document bounds"
+}
