@@ -1,0 +1,37 @@
+# TReX build/test targets. `make build test` is the tier-1 verification
+# flow; `make race` is part of the documented pre-merge checks now that
+# the storage read path serves concurrent readers lock-free.
+
+GO ?= go
+
+.PHONY: all build test race vet bench bench-parallel ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the full suite under the race detector, including the
+# multi-goroutine query stress tests (concurrency_test.go) and the
+# storage-level concurrent cursor tests.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# bench regenerates the paper's tables/figures plus the parallel QPS
+# suite; see EXPERIMENTS.md for recorded results.
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+# bench-parallel runs just the concurrency-scaling benchmarks (aggregate
+# QPS + cache hit ratio) at several GOMAXPROCS values.
+bench-parallel:
+	$(GO) test -run xxx -bench 'Parallel|ShardCount' -cpu 1,4 ./internal/storage/ .
+
+# ci is the full pre-merge gate: build, vet, plain tests, race tests.
+ci: build vet test race

@@ -13,11 +13,13 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"trex"
 	"trex/internal/bench"
 	"trex/internal/corpus"
+	"trex/internal/index"
 	"trex/internal/selfmanage"
 	"trex/internal/summary"
 )
@@ -130,6 +132,57 @@ func BenchmarkFigure5Q270(b *testing.B) { benchFigure(b, "270") }
 func BenchmarkFigure6Q233(b *testing.B) { benchFigure(b, "233") }
 func BenchmarkFigure6Q290(b *testing.B) { benchFigure(b, "290") }
 func BenchmarkFigure6Q292(b *testing.B) { benchFigure(b, "292") }
+
+// BenchmarkParallelQueries measures aggregate served-query throughput
+// with all CPUs querying one shared engine — the web-API serving pattern
+// the sharded storage read path exists for. Each method runs under
+// b.RunParallel; qps is the aggregate across goroutines, and the page
+// cache hit ratio over the run is reported alongside (parallel QPS only
+// scales if hits stay lock-free). MethodRace doubles as a two-extra-
+// goroutines-per-query stress (TA and Merge race inside each call).
+func BenchmarkParallelQueries(b *testing.B) {
+	col := corpus.GenerateIEEE(60, 7)
+	eng, err := trex.CreateMemory(col, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	queries := []string{
+		`//article//sec[about(., ontologies case study)]`,
+		`//article[about(., xml query evaluation)]`,
+		`//bdy//*[about(., model checking)]`,
+	}
+	for _, q := range queries {
+		if _, err := eng.Materialize(q, index.KindRPL, index.KindERPL); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, m := range []trex.Method{trex.MethodERA, trex.MethodTA, trex.MethodMerge, trex.MethodRace} {
+		m := m
+		b.Run(m.String(), func(b *testing.B) {
+			before := eng.DB().Stats()
+			var worker atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				w := int(worker.Add(1))
+				i := 0
+				for pb.Next() {
+					q := queries[(w+i)%len(queries)]
+					i++
+					if _, err := eng.Query(q, 10, m); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
+			d := eng.DB().Stats().Sub(before)
+			if d.CacheHits+d.CacheMisses > 0 {
+				b.ReportMetric(float64(d.CacheHits)/float64(d.CacheHits+d.CacheMisses), "hit-ratio")
+			}
+		})
+	}
+}
 
 // BenchmarkMaterialize measures redundant-list construction (the paper's
 // "TReX uses ERA for generating the RPLs and ERPLs tables").

@@ -26,6 +26,7 @@
 package trex
 
 import (
+	"container/list"
 	"fmt"
 	"sync"
 
@@ -34,7 +35,6 @@ import (
 	"trex/internal/score"
 	"trex/internal/storage"
 	"trex/internal/summary"
-	"trex/internal/translate"
 )
 
 // Options configures collection building.
@@ -47,6 +47,10 @@ type Options struct {
 	Aliases map[string]string
 	// CachePages bounds the storage page cache (0 = default).
 	CachePages int
+	// CacheShards splits the storage page cache into independently
+	// locked shards so concurrent readers on different pages never
+	// contend (0 = default, 16 shards; rounded up to a power of two).
+	CacheShards int
 	// StoreDocuments also persists raw documents into the DB (needed only
 	// if you want Engine.Document to work after reopening).
 	StoreDocuments bool
@@ -71,10 +75,12 @@ type Engine struct {
 	// inflight tracks racing retrieval goroutines (MethodRace) so Close
 	// does not pull the storage out from under a losing racer.
 	inflight sync.WaitGroup
-	// trCache memoizes query translations (guarded by trMu; invalidated
-	// when the summary changes).
+	// trCache memoizes query translations with LRU eviction (guarded by
+	// trMu; invalidated when the summary changes). trLRU's front is the
+	// most recently used entry; element values are *trCacheEntry.
 	trMu    sync.Mutex
-	trCache map[string]*translate.Translation
+	trCache map[string]*list.Element
+	trLRU   *list.List
 }
 
 // metaSummaryChunk prefixes the serialized summary chunks in IndexMeta.
@@ -85,7 +91,7 @@ func Create(path string, col *corpus.Collection, opts *Options) (*Engine, error)
 	if opts == nil {
 		opts = &Options{}
 	}
-	db, err := storage.Open(path, &storage.Options{CachePages: opts.CachePages})
+	db, err := storage.Open(path, &storage.Options{CachePages: opts.CachePages, CacheShards: opts.CacheShards})
 	if err != nil {
 		return nil, err
 	}
@@ -170,7 +176,7 @@ func Open(path string, opts *Options) (*Engine, error) {
 	if opts == nil {
 		opts = &Options{}
 	}
-	db, err := storage.Open(path, &storage.Options{CachePages: opts.CachePages})
+	db, err := storage.Open(path, &storage.Options{CachePages: opts.CachePages, CacheShards: opts.CacheShards})
 	if err != nil {
 		return nil, err
 	}

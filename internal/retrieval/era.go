@@ -56,6 +56,11 @@ func ERA(st *index.Store, sids []uint32, terms []string) ([]ElementTF, *Stats, e
 	for i := range c {
 		c[i] = make([]int, n)
 	}
+	// TF rows are carved out of slab allocations instead of one make per
+	// emitted element: ERA emits one row per answer, and per-row slices
+	// dominated its allocation profile on broad queries.
+	const tfSlabRows = 256
+	var tfSlab []int
 	flush := func(i int) {
 		row := c[i]
 		nonZero := false
@@ -66,7 +71,11 @@ func ERA(st *index.Store, sids []uint32, terms []string) ([]ElementTF, *Stats, e
 			}
 		}
 		if nonZero && !cur[i].IsDummy() {
-			tf := make([]int, n)
+			if len(tfSlab) < n {
+				tfSlab = make([]int, n*tfSlabRows)
+			}
+			tf := tfSlab[:n:n]
+			tfSlab = tfSlab[n:]
 			copy(tf, row)
 			out = append(out, ElementTF{Elem: cur[i], TF: tf})
 			for x := range row {
@@ -142,11 +151,20 @@ func ExhaustiveTopK(st *index.Store, sids []uint32, terms []string, sc *score.Sc
 	if err != nil {
 		return nil, nil, err
 	}
+	// Hoist the per-term scoring constants (IDF map lookup + log) out of
+	// the per-row loop; TermScorer.Score is arithmetically identical to
+	// sc.Score, so all strategies keep ranking elements the same way.
+	ts := make([]score.TermScorer, len(terms))
+	for j, t := range terms {
+		ts[j] = sc.TermScorer(t)
+	}
 	out := make([]Scored, 0, len(rows))
 	for _, r := range rows {
 		var total float64
-		for j, t := range terms {
-			total += sc.Score(t, r.TF[j], int(r.Elem.Length))
+		for j := range ts {
+			if r.TF[j] != 0 {
+				total += ts[j].Score(r.TF[j], int(r.Elem.Length))
+			}
 		}
 		out = append(out, Scored{Elem: r.Elem, Score: total})
 	}

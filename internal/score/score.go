@@ -82,6 +82,43 @@ func (s *Scorer) Score(term string, tf int, elemLen int) float64 {
 	return s.IDF(term) * t * (k1 + 1) / (t + norm)
 }
 
+// TermScorer carries the per-term constants of Score, hoisted out of hot
+// loops that score many elements against a fixed term (one map lookup and
+// one log instead of per-element). Its Score performs bit-identical
+// arithmetic to Scorer.Score, so rankings cannot diverge between paths.
+type TermScorer struct {
+	lm     bool
+	idf    float64 // BM25: precomputed IDF(term)
+	avgLen float64 // BM25: collection average element length
+	muPC   float64 // LM: mu * P(term|C)
+}
+
+// TermScorer returns the hoisted form of Score for term.
+func (s *Scorer) TermScorer(term string) TermScorer {
+	if s.model == ModelLMDirichlet {
+		n := float64(s.stats.NumDocs)
+		if n <= 0 {
+			n = 1
+		}
+		pc := (float64(s.df[term]) + 0.5) / (n * 100)
+		return TermScorer{lm: true, muPC: mu * pc}
+	}
+	return TermScorer{idf: s.IDF(term), avgLen: s.stats.AvgElementLen}
+}
+
+// Score is Scorer.Score with the term fixed.
+func (ts TermScorer) Score(tf int, elemLen int) float64 {
+	if tf <= 0 {
+		return 0
+	}
+	if ts.lm {
+		return math.Log(1 + float64(tf)/ts.muPC)
+	}
+	t := float64(tf)
+	norm := k1 * (1 - b + b*float64(elemLen)/ts.avgLen)
+	return ts.idf * t * (k1 + 1) / (t + norm)
+}
+
 // MaxScore bounds Score for any tf at the given element length; the TA
 // threshold uses per-list upper bounds derived from actual list heads, but
 // tests use this to sanity-check monotonicity.

@@ -19,10 +19,14 @@ func (db *DB) Backup(w io.Writer) (int64, error) {
 	if err := db.pager.flush(); err != nil {
 		return 0, err
 	}
-	db.pager.mu.Lock()
-	defer db.pager.mu.Unlock()
+	// Holding metaMu for the whole copy keeps the free chain and page
+	// count frozen; readers remain unaffected (they never take metaMu).
+	db.pager.metaMu.Lock()
+	defer db.pager.metaMu.Unlock()
 	count := db.pager.meta.pageCount
-	buf := make([]byte, PageSize)
+	bufp := getPageBuf()
+	defer putPageBuf(bufp)
+	buf := *bufp
 	var written int64
 	for id := uint32(0); id < count; id++ {
 		if err := db.pager.be.readPage(id, buf); err != nil {

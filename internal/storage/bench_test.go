@@ -2,6 +2,8 @@ package storage
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -127,6 +129,144 @@ func BenchmarkCursorScan(b *testing.B) {
 		if err != nil || count != n {
 			b.Fatalf("scan = %d, %v", count, err)
 		}
+	}
+}
+
+// buildParallelBenchTable loads n sequential keys into an on-disk store.
+func buildParallelBenchTable(b *testing.B, cachePages, shards, n int) (*DB, *Tree) {
+	b.Helper()
+	path := b.TempDir() + "/parallel.db"
+	db, err := Open(path, &Options{CachePages: cachePages, CacheShards: shards})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := db.CreateTable("t")
+	if err != nil {
+		b.Fatal(err)
+	}
+	bl, _ := tr.NewBulkLoader(0)
+	for i := 0; i < n; i++ {
+		if err := bl.Add([]byte(fmt.Sprintf("key-%08d", i)), []byte("0123456789abcdef")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := bl.Finish(); err != nil {
+		b.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	return db, tr
+}
+
+// BenchmarkParallelPointGet measures aggregate point-lookup throughput
+// with all CPUs issuing Gets at once. The "global-mutex" variant
+// serializes every Get behind one lock — the locking regime the sharded
+// cache replaced — so the sharded/global qps ratio is the read-path
+// scalability win at the current GOMAXPROCS.
+func BenchmarkParallelPointGet(b *testing.B) {
+	const n = 30000
+	for _, mode := range []string{"sharded", "global-mutex"} {
+		mode := mode
+		b.Run(mode, func(b *testing.B) {
+			db, tr := buildParallelBenchTable(b, 4096, 0, n)
+			defer db.Close()
+			var gmu sync.Mutex
+			var worker atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				w := int(worker.Add(1))
+				i := w * 1013
+				for pb.Next() {
+					k := []byte(fmt.Sprintf("key-%08d", (i*7919+w)%n))
+					i++
+					if mode == "global-mutex" {
+						gmu.Lock()
+					}
+					_, err := tr.Get(k)
+					if mode == "global-mutex" {
+						gmu.Unlock()
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
+			st := db.Stats()
+			if st.CacheHits+st.CacheMisses > 0 {
+				b.ReportMetric(float64(st.CacheHits)/float64(st.CacheHits+st.CacheMisses), "hit-ratio")
+			}
+		})
+	}
+}
+
+// BenchmarkParallelCursorScan measures concurrent range scans (the ERA /
+// Merge access pattern): every goroutine seeks to a random point and
+// reads a 100-key run, all against the same tree.
+func BenchmarkParallelCursorScan(b *testing.B) {
+	const n = 30000
+	for _, mode := range []string{"sharded", "global-mutex"} {
+		mode := mode
+		b.Run(mode, func(b *testing.B) {
+			db, tr := buildParallelBenchTable(b, 4096, 0, n)
+			defer db.Close()
+			var gmu sync.Mutex
+			var worker atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				w := int(worker.Add(1))
+				cur := tr.Cursor()
+				i := w * 977
+				for pb.Next() {
+					k := []byte(fmt.Sprintf("key-%08d", (i*6151+w)%n))
+					i++
+					if mode == "global-mutex" {
+						gmu.Lock()
+					}
+					ok, err := cur.Seek(k)
+					for s := 0; ok && err == nil && s < 100; s++ {
+						ok, err = cur.Next()
+					}
+					if mode == "global-mutex" {
+						gmu.Unlock()
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "scans/s")
+		})
+	}
+}
+
+// BenchmarkShardCountAblation sweeps the CacheShards knob under parallel
+// point gets, exposing where shard-mutex contention stops mattering.
+func BenchmarkShardCountAblation(b *testing.B) {
+	const n = 30000
+	for _, shards := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			db, tr := buildParallelBenchTable(b, 4096, shards, n)
+			defer db.Close()
+			var worker atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				w := int(worker.Add(1))
+				i := w * 1013
+				for pb.Next() {
+					k := []byte(fmt.Sprintf("key-%08d", (i*7919+w)%n))
+					i++
+					if _, err := tr.Get(k); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
+		})
 	}
 }
 

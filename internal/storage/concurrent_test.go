@@ -1,0 +1,252 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// buildRangedTable fills a table with groups keys per of nGroups prefixes
+// ("g<i>-<j>") and returns the tree. Values encode their own key so
+// readers can verify what they got.
+func buildRangedTable(t testing.TB, db *DB, nGroups, groupSize int) *Tree {
+	t.Helper()
+	tr, err := db.CreateTable("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl, err := tr.NewBulkLoader(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < nGroups; g++ {
+		for j := 0; j < groupSize; j++ {
+			k := []byte(fmt.Sprintf("g%02d-%06d", g, j))
+			if err := bl.Add(k, append([]byte("v:"), k...)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := bl.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestConcurrentCursorsDisjoint runs one cursor per goroutine over
+// disjoint key ranges of the same tree. Run with -race: this is the
+// access pattern parallel ERA/Merge queries produce (different posting
+// ranges, shared pages near the root).
+func TestConcurrentCursorsDisjoint(t *testing.T) {
+	db := OpenMemory()
+	defer db.Close()
+	const nGroups, groupSize = 8, 2000
+	tr := buildRangedTable(t, db, nGroups, groupSize)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, nGroups)
+	for g := 0; g < nGroups; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			prefix := []byte(fmt.Sprintf("g%02d-", g))
+			cur := tr.Cursor()
+			count := 0
+			var last []byte
+			ok, err := cur.SeekPrefix(prefix)
+			for ; ok; ok, err = cur.NextPrefix(prefix) {
+				if last != nil && bytes.Compare(cur.Key(), last) <= 0 {
+					errs <- fmt.Errorf("group %d: keys out of order", g)
+					return
+				}
+				last = append(last[:0], cur.Key()...)
+				if !bytes.Equal(cur.Value(), append([]byte("v:"), cur.Key()...)) {
+					errs <- fmt.Errorf("group %d: value mismatch at %q", g, cur.Key())
+					return
+				}
+				count++
+			}
+			if err != nil {
+				errs <- err
+				return
+			}
+			if count != groupSize {
+				errs <- fmt.Errorf("group %d: scanned %d keys, want %d", g, count, groupSize)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentCursorsOverlapping runs full scans, point gets and seeks
+// over the same key range from many goroutines, against an on-disk store
+// with a cache far smaller than the data so readers constantly miss,
+// evict, and re-load the same pages (the stampede path: two goroutines
+// decoding the same page concurrently must converge on one cached copy).
+func TestConcurrentCursorsOverlapping(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "concurrent.db")
+	db, err := Open(path, &Options{CachePages: 64, CacheShards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	const nGroups, groupSize = 4, 3000
+	tr := buildRangedTable(t, db, nGroups, groupSize)
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	total := nGroups * groupSize
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			switch w % 3 {
+			case 0: // full scan
+				cur := tr.Cursor()
+				count := 0
+				ok, err := cur.First()
+				for ; ok; ok, err = cur.Next() {
+					count++
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+				if count != total {
+					errs <- fmt.Errorf("worker %d: scanned %d, want %d", w, count, total)
+				}
+			case 1: // strided point gets
+				for i := 0; i < 2000; i++ {
+					j := (i*7919 + w*131) % groupSize
+					g := (i + w) % nGroups
+					k := []byte(fmt.Sprintf("g%02d-%06d", g, j))
+					v, err := tr.Get(k)
+					if err != nil {
+						errs <- fmt.Errorf("worker %d: Get(%q): %v", w, k, err)
+						return
+					}
+					if !bytes.Equal(v, append([]byte("v:"), k...)) {
+						errs <- fmt.Errorf("worker %d: value mismatch at %q", w, k)
+						return
+					}
+				}
+			case 2: // seek + short range read
+				cur := tr.Cursor()
+				for i := 0; i < 500; i++ {
+					j := (i*6151 + w*17) % groupSize
+					g := (i + w) % nGroups
+					k := []byte(fmt.Sprintf("g%02d-%06d", g, j))
+					ok, err := cur.Seek(k)
+					if err != nil || !ok {
+						errs <- fmt.Errorf("worker %d: Seek(%q) = %v, %v", w, k, ok, err)
+						return
+					}
+					for s := 0; s < 10; s++ {
+						if ok, err = cur.Next(); err != nil {
+							errs <- err
+							return
+						} else if !ok {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentStatsSnapshot checks that snapshots taken while readers
+// hammer the store are untorn and monotone: every counter in a later
+// snapshot is >= the same counter in an earlier one.
+func TestConcurrentStatsSnapshot(t *testing.T) {
+	db := OpenMemory()
+	defer db.Close()
+	tr := buildRangedTable(t, db, 4, 1000)
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cur := tr.Cursor()
+			i := 0
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				k := []byte(fmt.Sprintf("g%02d-%06d", (i+w)%4, (i*7919)%1000))
+				if _, err := tr.Get(k); err != nil {
+					t.Error(err)
+					return
+				}
+				if ok, _ := cur.Seek(k); ok {
+					cur.Next()
+				}
+				i++
+			}
+		}()
+	}
+	prev := db.Stats()
+	for i := 0; i < 5000; i++ {
+		st := db.Stats()
+		d := st.Sub(prev)
+		// Sub of a later snapshot minus an earlier one must not wrap:
+		// wrapping would mean a counter appeared to decrease (a torn or
+		// non-monotone read).
+		const wrapped = uint64(1) << 63
+		if d.Gets >= wrapped || d.Seeks >= wrapped || d.Nexts >= wrapped ||
+			d.CacheHits >= wrapped || d.CacheMisses >= wrapped || d.PagesRead >= wrapped {
+			t.Fatalf("non-monotone stats window: %+v", d)
+		}
+		prev = st
+	}
+	close(done)
+	wg.Wait()
+}
+
+// TestShardSizing pins the shard-count derivation: tiny caches collapse
+// to fewer shards rather than degenerate per-shard LRUs, and requested
+// counts round up to powers of two.
+func TestShardSizing(t *testing.T) {
+	cases := []struct {
+		cache, shards int
+		wantShards    int
+	}{
+		{0, 0, defaultCacheShards}, // defaults
+		{16, 0, 2},                 // 16 pages -> 2 shards of 8
+		{16, 64, 2},                // request capped by cache size
+		{4096, 3, 4},               // rounds up to power of two
+		{defaultCachePages, 0, defaultCacheShards},
+	}
+	for _, c := range cases {
+		p := newPager(&memBackend{}, meta{}, c.cache, c.shards)
+		if len(p.shards) != c.wantShards {
+			t.Errorf("newPager(cache=%d, shards=%d): got %d shards, want %d",
+				c.cache, c.shards, len(p.shards), c.wantShards)
+		}
+		if int(p.mask) != len(p.shards)-1 {
+			t.Errorf("mask %d inconsistent with %d shards", p.mask, len(p.shards))
+		}
+	}
+}

@@ -10,6 +10,11 @@ import "bytes"
 // Cursors observe a live tree. Mutating the tree while iterating
 // invalidates the cursor (it must be re-Seeked); TReX never mutates tables
 // during retrieval.
+//
+// A Cursor is not safe for concurrent use, but any number of cursors may
+// iterate the same tree from different goroutines concurrently (the page
+// cache under them is sharded and their stat counting is atomic): give
+// each goroutine its own Cursor.
 type Cursor struct {
 	tree  *Tree
 	leaf  *node

@@ -21,6 +21,11 @@ type Options struct {
 	// CachePages bounds the decoded-node cache; 0 means the default
 	// (16384 pages = 64 MiB).
 	CachePages int
+	// CacheShards sets how many independently locked shards the node
+	// cache is split into (rounded up to a power of two, capped at 256);
+	// 0 means the default (16). More shards reduce reader contention;
+	// each shard runs its own LRU over CachePages/CacheShards pages.
+	CacheShards int
 }
 
 // Open opens or creates the database file at path.
@@ -49,11 +54,11 @@ func Open(path string, opts *Options) (*DB, error) {
 		return nil, err
 	}
 	db := &DB{tables: make(map[string]*Tree)}
-	cache := 0
+	cache, shards := 0, 0
 	if opts != nil {
-		cache = opts.CachePages
+		cache, shards = opts.CachePages, opts.CacheShards
 	}
-	db.pager = newPager(be, *m, cache)
+	db.pager = newPager(be, *m, cache, shards)
 	if err := db.loadCatalog(); err != nil {
 		_ = be.close()
 		return nil, err
@@ -80,17 +85,20 @@ func initDB(be backend, opts *Options) (*DB, error) {
 		return nil, err
 	}
 	db := &DB{tables: make(map[string]*Tree)}
-	cache := 0
+	cache, shards := 0, 0
 	if opts != nil {
-		cache = opts.CachePages
+		cache, shards = opts.CachePages, opts.CacheShards
 	}
-	db.pager = newPager(be, m, cache)
+	db.pager = newPager(be, m, cache, shards)
 	return db, nil
 }
 
 // catalogTree returns a Tree view over the catalog pages (name -> root id).
 func (db *DB) catalogTree() *Tree {
-	return &Tree{db: db, name: "\x00catalog", root: db.pager.meta.catalogRoot}
+	db.pager.metaMu.Lock()
+	root := db.pager.meta.catalogRoot
+	db.pager.metaMu.Unlock()
+	return &Tree{db: db, name: "\x00catalog", root: root}
 }
 
 func (db *DB) loadCatalog() error {
@@ -113,7 +121,7 @@ func (db *DB) loadCatalog() error {
 // root lives in the meta page.
 func (db *DB) saveRoot(t *Tree) error {
 	if t.name == "\x00catalog" {
-		db.pager.meta.catalogRoot = t.root
+		db.pager.setCatalogRoot(t.root)
 		return nil
 	}
 	var v [4]byte
@@ -122,7 +130,7 @@ func (db *DB) saveRoot(t *Tree) error {
 	if err := cat.Put([]byte(t.name), v[:]); err != nil {
 		return err
 	}
-	db.pager.meta.catalogRoot = cat.root
+	db.pager.setCatalogRoot(cat.root)
 	return nil
 }
 
@@ -213,7 +221,7 @@ func (db *DB) Stats() Stats { return db.pager.statsSnapshot() }
 // PageCount returns the number of pages in the file, a direct measure of
 // disk usage (PageCount * PageSize bytes).
 func (db *DB) PageCount() uint32 {
-	db.pager.mu.Lock()
-	defer db.pager.mu.Unlock()
+	db.pager.metaMu.Lock()
+	defer db.pager.metaMu.Unlock()
 	return db.pager.meta.pageCount
 }

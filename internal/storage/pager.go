@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 )
 
 // Stats counts physical and logical I/O performed by a DB. The retrieval
@@ -49,7 +50,39 @@ func (s Stats) Sub(other Stats) Stats {
 	}
 }
 
-// backend is the raw page I/O abstraction under the pager.
+// pagerStats is the live, concurrently-updated form of Stats. Each counter
+// is independently atomic, so hot paths (one cursor step touches up to
+// four counters) never serialize on a lock; statsSnapshot assembles a
+// Stats from atomic loads, so no individual field is ever torn, though a
+// snapshot taken mid-operation may be skewed by the operations in flight
+// (a miss may be counted before its PagesRead, never the reverse).
+type pagerStats struct {
+	pagesRead    atomic.Uint64
+	pagesWritten atomic.Uint64
+	cacheHits    atomic.Uint64
+	cacheMisses  atomic.Uint64
+	seeks        atomic.Uint64
+	nexts        atomic.Uint64
+	gets         atomic.Uint64
+	puts         atomic.Uint64
+}
+
+func (ps *pagerStats) snapshot() Stats {
+	return Stats{
+		PagesRead:    ps.pagesRead.Load(),
+		PagesWritten: ps.pagesWritten.Load(),
+		CacheHits:    ps.cacheHits.Load(),
+		CacheMisses:  ps.cacheMisses.Load(),
+		Seeks:        ps.seeks.Load(),
+		Nexts:        ps.nexts.Load(),
+		Gets:         ps.gets.Load(),
+		Puts:         ps.puts.Load(),
+	}
+}
+
+// backend is the raw page I/O abstraction under the pager. readPage and
+// writePage may be called concurrently (reads with reads, and reads with
+// writes to other pages); implementations must tolerate that.
 type backend interface {
 	readPage(id uint32, buf []byte) error
 	writePage(id uint32, buf []byte) error
@@ -58,6 +91,7 @@ type backend interface {
 }
 
 // fileBackend stores pages in a single OS file at offset id*PageSize.
+// ReadAt/WriteAt are safe for concurrent use by the os package contract.
 type fileBackend struct {
 	f *os.File
 }
@@ -79,11 +113,17 @@ func (fb *fileBackend) sync() error  { return fb.f.Sync() }
 func (fb *fileBackend) close() error { return fb.f.Close() }
 
 // memBackend stores pages in memory; used for tests and small corpora.
+// The RWMutex makes concurrent readers safe against the slice growth a
+// concurrent writePage can trigger (readers no longer serialize behind a
+// single pager lock, so the backend must provide its own safety).
 type memBackend struct {
+	mu    sync.RWMutex
 	pages [][]byte
 }
 
 func (mb *memBackend) readPage(id uint32, buf []byte) error {
+	mb.mu.RLock()
+	defer mb.mu.RUnlock()
 	if int(id) >= len(mb.pages) || mb.pages[id] == nil {
 		return fmt.Errorf("%w: page %d not written", ErrCorrupt, id)
 	}
@@ -92,6 +132,8 @@ func (mb *memBackend) readPage(id uint32, buf []byte) error {
 }
 
 func (mb *memBackend) writePage(id uint32, buf []byte) error {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
 	for int(id) >= len(mb.pages) {
 		mb.pages = append(mb.pages, nil)
 	}
@@ -101,126 +143,216 @@ func (mb *memBackend) writePage(id uint32, buf []byte) error {
 	return nil
 }
 
-func (mb *memBackend) sync() error  { return nil }
-func (mb *memBackend) close() error { mb.pages = nil; return nil }
+func (mb *memBackend) sync() error { return nil }
+
+func (mb *memBackend) close() error {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	mb.pages = nil
+	return nil
+}
+
+// pageBufPool recycles PageSize scratch buffers for backend reads and
+// node encoding, which previously allocated a fresh 4 KiB slice per page
+// touched on a cache miss, flush, or free.
+var pageBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, PageSize)
+		return &b
+	},
+}
+
+func getPageBuf() *[]byte  { return pageBufPool.Get().(*[]byte) }
+func putPageBuf(b *[]byte) { pageBufPool.Put(b) }
+
+// cacheShard is one independently locked slice of the decoded-node cache.
+type cacheShard struct {
+	mu    sync.Mutex
+	nodes map[uint32]*list.Element // id -> element whose Value is *node
+	lru   *list.List               // front = most recently used
+	max   int
+}
 
 // pager mediates between node-level operations and the page backend. It
 // keeps an LRU cache of decoded nodes, allocates and frees pages, and
 // tracks dirty nodes until flush.
+//
+// The cache is sharded by page id so concurrent readers on different
+// pages never contend: a node lookup takes only its shard's mutex, I/O
+// counters are atomic, and page allocation/free (write path only) takes
+// metaMu. Lock ordering: a shard mutex and metaMu are never held at the
+// same time.
 type pager struct {
-	mu       sync.Mutex
-	be       backend
-	meta     meta
-	cache    map[uint32]*list.Element // id -> element whose Value is *node
-	lru      *list.List               // front = most recently used
-	maxCache int
-	stats    Stats
-	closed   bool
+	be     backend
+	shards []cacheShard
+	mask   uint32 // len(shards)-1; shard count is a power of two
+
+	metaMu sync.Mutex // guards meta (pageCount, freeHead, catalogRoot)
+	meta   meta
+
+	stats  pagerStats
+	closed atomic.Bool
 }
 
 // defaultCachePages bounds the decoded-node cache. At 4 KiB pages this is
 // a 64 MiB working set, comparable to the paper's BDB cache configuration.
 const defaultCachePages = 16384
 
-func newPager(be backend, m meta, maxCache int) *pager {
+// defaultCacheShards is the shard count for default-sized caches: enough
+// that a handful of CPUs rarely collide on a shard mutex, small enough
+// that per-shard LRU capacity stays meaningful.
+const defaultCacheShards = 16
+
+// minShardPages keeps each shard's LRU large enough to be useful; tiny
+// caches get fewer shards rather than degenerate one-page LRUs.
+const minShardPages = 8
+
+func newPager(be backend, m meta, maxCache, shardCount int) *pager {
 	if maxCache <= 8 {
 		maxCache = defaultCachePages
 	}
-	return &pager{
-		be:       be,
-		meta:     m,
-		cache:    make(map[uint32]*list.Element),
-		lru:      list.New(),
-		maxCache: maxCache,
+	if shardCount <= 0 {
+		shardCount = defaultCacheShards
 	}
+	// Round up to a power of two so shard selection is a mask, and shrink
+	// until every shard holds at least minShardPages.
+	n := 1
+	for n < shardCount && n < 256 {
+		n <<= 1
+	}
+	for n > 1 && maxCache/n < minShardPages {
+		n >>= 1
+	}
+	perShard := (maxCache + n - 1) / n
+	p := &pager{
+		be:     be,
+		meta:   m,
+		shards: make([]cacheShard, n),
+		mask:   uint32(n - 1),
+	}
+	for i := range p.shards {
+		p.shards[i] = cacheShard{
+			nodes: make(map[uint32]*list.Element),
+			lru:   list.New(),
+			max:   perShard,
+		}
+	}
+	return p
 }
 
-// node returns the decoded node for id, loading it from the backend on miss.
+func (p *pager) shard(id uint32) *cacheShard {
+	// Consecutive pages land in different shards, which spreads the
+	// sequential leaf chains cursors walk across all shard mutexes.
+	return &p.shards[id&p.mask]
+}
+
+// node returns the decoded node for id, loading it from the backend on
+// miss. Safe for any number of concurrent callers; the backend read and
+// decode happen outside the shard lock, so misses on different pages
+// proceed in parallel.
 func (p *pager) node(id uint32) (*node, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.nodeLocked(id)
-}
-
-func (p *pager) nodeLocked(id uint32) (*node, error) {
-	if p.closed {
+	if p.closed.Load() {
 		return nil, ErrClosed
 	}
-	if el, ok := p.cache[id]; ok {
-		p.stats.CacheHits++
-		p.lru.MoveToFront(el)
-		return el.Value.(*node), nil
+	sh := p.shard(id)
+	sh.mu.Lock()
+	if el, ok := sh.nodes[id]; ok {
+		sh.lru.MoveToFront(el)
+		n := el.Value.(*node)
+		sh.mu.Unlock()
+		p.stats.cacheHits.Add(1)
+		return n, nil
 	}
-	p.stats.CacheMisses++
-	buf := make([]byte, PageSize)
-	if err := p.be.readPage(id, buf); err != nil {
+	sh.mu.Unlock()
+
+	p.stats.cacheMisses.Add(1)
+	bufp := getPageBuf()
+	err := p.be.readPage(id, *bufp)
+	if err != nil {
+		putPageBuf(bufp)
 		return nil, err
 	}
-	p.stats.PagesRead++
-	n, err := decodeNode(id, buf)
+	p.stats.pagesRead.Add(1)
+	n, err := decodeNode(id, *bufp)
+	putPageBuf(bufp)
 	if err != nil {
 		return nil, err
 	}
-	p.insertCacheLocked(n)
+
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.nodes[id]; ok {
+		// Another reader missed on the same page and inserted first; the
+		// cached copy is canonical (it may have been dirtied since).
+		sh.lru.MoveToFront(el)
+		return el.Value.(*node), nil
+	}
+	p.insertShardLocked(sh, n)
 	return n, nil
 }
 
-func (p *pager) insertCacheLocked(n *node) {
-	el := p.lru.PushFront(n)
-	p.cache[n.id] = el
-	for p.lru.Len() > p.maxCache {
-		back := p.lru.Back()
+func (p *pager) insertShardLocked(sh *cacheShard, n *node) {
+	el := sh.lru.PushFront(n)
+	sh.nodes[n.id] = el
+	for sh.lru.Len() > sh.max {
+		back := sh.lru.Back()
 		victim := back.Value.(*node)
 		if victim.dirty {
 			// Never evict dirty nodes silently; write them through.
-			if err := p.writeNodeLocked(victim); err != nil {
+			if err := p.writeNode(victim); err != nil {
 				// Keep the node cached rather than lose data. Growing past
-				// maxCache under write errors is the safe failure mode.
+				// max under write errors is the safe failure mode.
 				return
 			}
 			victim.dirty = false
 		}
-		p.lru.Remove(back)
-		delete(p.cache, victim.id)
+		sh.lru.Remove(back)
+		delete(sh.nodes, victim.id)
 	}
 }
 
-func (p *pager) writeNodeLocked(n *node) error {
-	buf := make([]byte, PageSize)
-	if err := n.encode(buf); err != nil {
+func (p *pager) writeNode(n *node) error {
+	bufp := getPageBuf()
+	defer putPageBuf(bufp)
+	if err := n.encode(*bufp); err != nil {
 		return err
 	}
-	if err := p.be.writePage(n.id, buf); err != nil {
+	if err := p.be.writePage(n.id, *bufp); err != nil {
 		return err
 	}
-	p.stats.PagesWritten++
+	p.stats.pagesWritten.Add(1)
 	return nil
 }
 
 // allocNode creates a new node backed by a fresh page.
 func (p *pager) allocNode(isLeaf bool) (*node, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed {
+	if p.closed.Load() {
 		return nil, ErrClosed
 	}
+	p.metaMu.Lock()
 	id, err := p.allocPageLocked()
+	p.metaMu.Unlock()
 	if err != nil {
 		return nil, err
 	}
 	n := &node{id: id, isLeaf: isLeaf, dirty: true}
-	p.insertCacheLocked(n)
+	sh := p.shard(id)
+	sh.mu.Lock()
+	p.insertShardLocked(sh, n)
+	sh.mu.Unlock()
 	return n, nil
 }
 
 func (p *pager) allocPageLocked() (uint32, error) {
 	if p.meta.freeHead != nilPage {
 		id := p.meta.freeHead
-		buf := make([]byte, PageSize)
+		bufp := getPageBuf()
+		defer putPageBuf(bufp)
+		buf := *bufp
 		if err := p.be.readPage(id, buf); err != nil {
 			return 0, err
 		}
-		p.stats.PagesRead++
+		p.stats.pagesRead.Add(1)
 		if err := verifyPage(id, buf); err != nil {
 			return 0, err
 		}
@@ -237,23 +369,30 @@ func (p *pager) allocPageLocked() (uint32, error) {
 
 // freeNode releases the node's page back to the free chain.
 func (p *pager) freeNode(n *node) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed {
+	if p.closed.Load() {
 		return ErrClosed
 	}
-	if el, ok := p.cache[n.id]; ok {
-		p.lru.Remove(el)
-		delete(p.cache, n.id)
+	sh := p.shard(n.id)
+	sh.mu.Lock()
+	if el, ok := sh.nodes[n.id]; ok {
+		sh.lru.Remove(el)
+		delete(sh.nodes, n.id)
 	}
-	buf := make([]byte, PageSize)
+	sh.mu.Unlock()
+
+	p.metaMu.Lock()
+	defer p.metaMu.Unlock()
+	bufp := getPageBuf()
+	defer putPageBuf(bufp)
+	buf := *bufp
+	clear(buf)
 	buf[0] = pageFree
 	binary.LittleEndian.PutUint32(buf[1:5], p.meta.freeHead)
 	sealPage(buf)
 	if err := p.be.writePage(n.id, buf); err != nil {
 		return err
 	}
-	p.stats.PagesWritten++
+	p.stats.pagesWritten.Add(1)
 	p.meta.freeHead = n.id
 	return nil
 }
@@ -263,44 +402,55 @@ func (p *pager) freeNode(n *node) error {
 // across other page loads, and a load may have evicted this node — the
 // mutated copy must be the one the cache serves and the flusher sees.
 func (p *pager) markDirty(n *node) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	sh := p.shard(n.id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	n.dirty = true
-	if el, ok := p.cache[n.id]; ok {
+	if el, ok := sh.nodes[n.id]; ok {
 		if el.Value.(*node) == n {
-			p.lru.MoveToFront(el)
+			sh.lru.MoveToFront(el)
 			return
 		}
 		// A stale copy was re-read after eviction; ours is the newest.
-		p.lru.Remove(el)
-		delete(p.cache, n.id)
+		sh.lru.Remove(el)
+		delete(sh.nodes, n.id)
 	}
-	p.insertCacheLocked(n)
+	p.insertShardLocked(sh, n)
 }
 
-// flush writes all dirty nodes and the meta page.
+// flush writes all dirty nodes and the meta page. Like all write-path
+// operations it must not run concurrently with other writes; concurrent
+// readers are safe (each shard is locked while scanned).
 func (p *pager) flush() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed {
+	if p.closed.Load() {
 		return ErrClosed
 	}
-	for el := p.lru.Front(); el != nil; el = el.Next() {
-		n := el.Value.(*node)
-		if !n.dirty {
-			continue
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for el := sh.lru.Front(); el != nil; el = el.Next() {
+			n := el.Value.(*node)
+			if !n.dirty {
+				continue
+			}
+			if err := p.writeNode(n); err != nil {
+				sh.mu.Unlock()
+				return err
+			}
+			n.dirty = false
 		}
-		if err := p.writeNodeLocked(n); err != nil {
-			return err
-		}
-		n.dirty = false
+		sh.mu.Unlock()
 	}
-	buf := make([]byte, PageSize)
-	p.meta.encode(buf)
-	if err := p.be.writePage(0, buf); err != nil {
+	p.metaMu.Lock()
+	bufp := getPageBuf()
+	p.meta.encode(*bufp)
+	err := p.be.writePage(0, *bufp)
+	putPageBuf(bufp)
+	p.metaMu.Unlock()
+	if err != nil {
 		return err
 	}
-	p.stats.PagesWritten++
+	p.stats.pagesWritten.Add(1)
 	return p.be.sync()
 }
 
@@ -309,22 +459,30 @@ func (p *pager) close() error {
 		_ = p.be.close()
 		return err
 	}
-	p.mu.Lock()
-	p.closed = true
-	p.cache = nil
-	p.lru = nil
-	p.mu.Unlock()
+	p.closed.Store(true)
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		sh.nodes = nil
+		sh.lru = list.New()
+		sh.mu.Unlock()
+	}
 	return p.be.close()
 }
 
-// statsSnapshot returns a copy of the current counters.
-func (p *pager) statsSnapshot() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+// setCatalogRoot records the catalog tree's root page in the meta page.
+func (p *pager) setCatalogRoot(root uint32) {
+	p.metaMu.Lock()
+	p.meta.catalogRoot = root
+	p.metaMu.Unlock()
 }
 
-func (p *pager) countSeek() { p.mu.Lock(); p.stats.Seeks++; p.mu.Unlock() }
-func (p *pager) countNext() { p.mu.Lock(); p.stats.Nexts++; p.mu.Unlock() }
-func (p *pager) countGet()  { p.mu.Lock(); p.stats.Gets++; p.mu.Unlock() }
-func (p *pager) countPut()  { p.mu.Lock(); p.stats.Puts++; p.mu.Unlock() }
+// statsSnapshot returns a copy of the current counters. Every field is an
+// untorn atomic load; see pagerStats for the (bounded) cross-field skew a
+// snapshot taken during concurrent activity can show.
+func (p *pager) statsSnapshot() Stats { return p.stats.snapshot() }
+
+func (p *pager) countSeek() { p.stats.seeks.Add(1) }
+func (p *pager) countNext() { p.stats.nexts.Add(1) }
+func (p *pager) countGet()  { p.stats.gets.Add(1) }
+func (p *pager) countPut()  { p.stats.puts.Add(1) }

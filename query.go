@@ -1,6 +1,7 @@
 package trex
 
 import (
+	"container/list"
 	"fmt"
 	"sort"
 
@@ -138,14 +139,26 @@ func (e *Engine) Translate(src string) (*translate.Translation, error) {
 // every summary node, so caching it matters at high query rates.
 const translationCacheSize = 256
 
+// trCacheEntry is one LRU-tracked translation (the key is kept alongside
+// the value so eviction can delete its map entry).
+type trCacheEntry struct {
+	key string
+	tr  *translate.Translation
+}
+
 // TranslateMode translates under an explicit interpretation. ModeStrict
 // requires exact label matches; over an alias-built summary it therefore
-// only matches canonical labels. Results are cached per (query, mode);
-// AddDocuments invalidates the cache (the summary may have grown).
+// only matches canonical labels. Results are cached per (query, mode)
+// with LRU eviction — a full cache evicts only the least recently used
+// entry, so a steady workload larger than the cache degrades gradually
+// instead of periodically retranslating everything. AddDocuments
+// invalidates the cache (the summary may have grown).
 func (e *Engine) TranslateMode(src string, mode translate.Mode) (*translate.Translation, error) {
 	key := mode.String() + "\x00" + src
 	e.trMu.Lock()
-	if tr, ok := e.trCache[key]; ok {
+	if el, ok := e.trCache[key]; ok {
+		e.trLRU.MoveToFront(el)
+		tr := el.Value.(*trCacheEntry).tr
 		e.trMu.Unlock()
 		return tr, nil
 	}
@@ -160,11 +173,23 @@ func (e *Engine) TranslateMode(src string, mode translate.Mode) (*translate.Tran
 		return nil, err
 	}
 	e.trMu.Lock()
-	if e.trCache == nil || len(e.trCache) >= translationCacheSize {
-		e.trCache = make(map[string]*translate.Translation, translationCacheSize)
+	defer e.trMu.Unlock()
+	if e.trCache == nil {
+		e.trCache = make(map[string]*list.Element, translationCacheSize)
+		e.trLRU = list.New()
 	}
-	e.trCache[key] = tr
-	e.trMu.Unlock()
+	if el, ok := e.trCache[key]; ok {
+		// Another goroutine translated the same query concurrently; keep
+		// the cached copy canonical.
+		e.trLRU.MoveToFront(el)
+		return el.Value.(*trCacheEntry).tr, nil
+	}
+	for len(e.trCache) >= translationCacheSize {
+		back := e.trLRU.Back()
+		e.trLRU.Remove(back)
+		delete(e.trCache, back.Value.(*trCacheEntry).key)
+	}
+	e.trCache[key] = e.trLRU.PushFront(&trCacheEntry{key: key, tr: tr})
 	return tr, nil
 }
 
@@ -172,6 +197,7 @@ func (e *Engine) TranslateMode(src string, mode translate.Mode) (*translate.Tran
 func (e *Engine) invalidateTranslations() {
 	e.trMu.Lock()
 	e.trCache = nil
+	e.trLRU = nil
 	e.trMu.Unlock()
 }
 
