@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-parallel ci
+.PHONY: all build test race vet bench bench-parallel ci run-serve-autopilot
 
 all: build test
 
@@ -35,3 +35,10 @@ bench-parallel:
 
 # ci is the full pre-merge gate: build, vet, plain tests, race tests.
 ci: build vet test race
+
+# run-serve-autopilot is an end-to-end smoke test of the online
+# self-management daemon: generate a small corpus, load it, serve it
+# with the autopilot on an aggressive interval, push queries through
+# /search, and check /autopilot reports a live tracker.
+run-serve-autopilot:
+	./scripts/serve-autopilot-smoke.sh

@@ -1,17 +1,27 @@
 package trex
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"trex/internal/index"
 	"trex/internal/retrieval"
 	"trex/internal/selfmanage"
+	"trex/internal/translate"
 )
+
+// DefaultK is the k assumed when a top-k request does not specify one:
+// workload entries with K <= 0 handed to SelfManage, queries issued with
+// k <= 0 ("all answers") entering the autopilot's workload tracker, and
+// the web API's default page size all share this constant, so offline
+// plans and online snapshots describe the same workload.
+const DefaultK = 10
 
 // WorkloadQuery is one entry of a self-management workload
 // (Definition 4.1 in the paper): a NEXI query with its frequency and the
-// k its users typically ask for.
+// k its users typically ask for (DefaultK when K <= 0).
 type WorkloadQuery struct {
 	NEXI string
 	Freq float64
@@ -57,6 +67,11 @@ type AdvisorReport struct {
 	DroppedLists []string
 	// DroppedEntries counts entries deleted during reclamation.
 	DroppedEntries int
+	// SkippedQueries are workload entries dropped before planning
+	// because they no longer translate (only with skipUntranslatable,
+	// i.e. autopilot runs — tracked queries can go stale when the
+	// summary changes).
+	SkippedQueries []string
 }
 
 type listInfo struct {
@@ -65,8 +80,31 @@ type listInfo struct {
 	sid  uint32
 }
 
+// listKey is the physical list identity used in the solver's sharing
+// model and in reports. The sid (fixed-format decimal) comes before the
+// term and the term is the final field, so a term containing '/' — or
+// any other byte — can never make two distinct (kind, term, sid) triples
+// collide: the first two '/'-separated fields fully determine where the
+// term begins.
 func listKey(kind index.ListKind, term string, sid uint32) string {
-	return fmt.Sprintf("%c/%s/%d", byte(kind), term, sid)
+	return fmt.Sprintf("%c/%d/%s", byte(kind), sid, term)
+}
+
+// selfManageConfig tunes the internal self-management cycle beyond the
+// public one-shot API.
+type selfManageConfig struct {
+	// dropUnreferenced also reclaims materialized lists the workload does
+	// not reference. The autopilot sets it: its plan owns the whole list
+	// set, so stale lists from earlier workloads must not leak disk
+	// budget. The offline API keeps the paper's behavior (untouched).
+	dropUnreferenced bool
+	// skipUntranslatable drops workload entries whose NEXI no longer
+	// parses or translates instead of failing the run.
+	skipUntranslatable bool
+	// pause rate-limits maintenance: it is slept between per-query
+	// measurement steps and between per-list drop steps, with the engine
+	// write lock released, so foreground queries are never starved.
+	pause time.Duration
 }
 
 // SelfManage measures the workload's queries under all three strategies,
@@ -81,69 +119,43 @@ func listKey(kind index.ListKind, term string, sid uint32) string {
 // so plans are reproducible. Lists the plan does not keep are dropped,
 // including previously existing lists the workload references; lists
 // never referenced by the workload are left untouched.
+//
+// SelfManage is a maintenance operation: it may run while queries are
+// served (each materialize/drop step briefly holds the engine write
+// lock) but is exclusive with other maintenance operations.
 func (e *Engine) SelfManage(queries []WorkloadQuery, disk int64, solver Solver) (*AdvisorReport, error) {
+	return e.selfManage(context.Background(), queries, disk, solver, selfManageConfig{})
+}
+
+func (e *Engine) selfManage(ctx context.Context, queries []WorkloadQuery, disk int64, solver Solver, cfg selfManageConfig) (*AdvisorReport, error) {
 	if len(queries) == 0 {
 		return nil, fmt.Errorf("trex: empty workload")
 	}
+	e.maintMu.Lock()
+	defer e.maintMu.Unlock()
+
+	report := &AdvisorReport{DiskBudget: disk}
 	w := &selfmanage.Workload{}
 	lists := make(map[string]listInfo)
-
 	for _, wq := range queries {
-		tr, err := e.Translate(wq.NEXI)
-		if err != nil {
-			return nil, fmt.Errorf("trex: workload query %q: %w", wq.NEXI, err)
-		}
-		sids, terms := flatten(tr)
-		sc, err := e.store.NewScorer(terms)
-		if err != nil {
+		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		if _, err := retrieval.Materialize(e.store, sids, terms, sc, index.KindRPL, index.KindERPL); err != nil {
-			return nil, err
-		}
-		k := wq.K
-		if k <= 0 {
-			k = 10
-		}
-		_, eraStats, err := retrieval.ExhaustiveTopK(e.store, sids, terms, sc, k)
+		spec, err := e.measureWorkloadQuery(wq, lists)
 		if err != nil {
-			return nil, err
-		}
-		_, taStats, err := retrieval.TA(e.store, sids, terms, sc, k)
-		if err != nil {
-			return nil, err
-		}
-		_, mergeStats, err := retrieval.Merge(e.store, sids, terms, k)
-		if err != nil {
-			return nil, err
-		}
-
-		spec := selfmanage.QuerySpec{
-			ID:        wq.NEXI,
-			Freq:      wq.Freq,
-			TimeERA:   eraStats.CostProxy(),
-			TimeTA:    taStats.CostProxy(),
-			TimeMerge: mergeStats.CostProxy(),
-		}
-		for _, term := range terms {
-			for _, sid := range sids {
-				for _, kind := range []index.ListKind{index.KindRPL, index.KindERPL} {
-					_, bytes, err := e.store.BuiltSize(kind, term, sid)
-					if err != nil {
-						return nil, err
-					}
-					key := listKey(kind, term, sid)
-					lists[key] = listInfo{kind: kind, term: term, sid: sid}
-					ref := selfmanage.ListRef{Key: key, Bytes: bytes}
-					if kind == index.KindRPL {
-						spec.TALists = append(spec.TALists, ref)
-					} else {
-						spec.MergeLists = append(spec.MergeLists, ref)
-					}
-				}
+			if cfg.skipUntranslatable && spec == nil {
+				report.SkippedQueries = append(report.SkippedQueries, wq.NEXI)
+				continue
 			}
+			return nil, err
 		}
-		w.Queries = append(w.Queries, spec)
+		w.Queries = append(w.Queries, *spec)
+		if err := maintSleep(ctx, cfg.pause); err != nil {
+			return nil, err
+		}
+	}
+	if len(w.Queries) == 0 {
+		return nil, fmt.Errorf("trex: no usable workload queries (%d skipped)", len(report.SkippedQueries))
 	}
 	w.Normalize()
 
@@ -160,12 +172,13 @@ func (e *Engine) SelfManage(queries []WorkloadQuery, disk int64, solver Solver) 
 	if err != nil {
 		return nil, err
 	}
+	report.Workload = w
+	report.Plan = plan
 
 	keep := make(map[string]bool, len(plan.Lists))
 	for _, k := range plan.Lists {
 		keep[k] = true
 	}
-	report := &AdvisorReport{Workload: w, Plan: plan, DiskBudget: disk}
 	var dropKeys []string
 	for key := range lists {
 		if keep[key] {
@@ -174,16 +187,150 @@ func (e *Engine) SelfManage(queries []WorkloadQuery, disk int64, solver Solver) 
 			dropKeys = append(dropKeys, key)
 		}
 	}
+	if cfg.dropUnreferenced {
+		extra, err := e.unreferencedLists(keep, lists)
+		if err != nil {
+			return nil, err
+		}
+		for key, info := range extra {
+			lists[key] = info
+			dropKeys = append(dropKeys, key)
+		}
+	}
 	sort.Strings(report.KeptLists)
 	sort.Strings(dropKeys)
 	for _, key := range dropKeys {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		info := lists[key]
+		e.beginWrite()
 		n, err := e.store.DropList(info.kind, info.term, info.sid)
+		e.endWrite()
 		if err != nil {
 			return nil, err
 		}
 		report.DroppedEntries += n
 		report.DroppedLists = append(report.DroppedLists, key)
+		if err := maintSleep(ctx, cfg.pause); err != nil {
+			return nil, err
+		}
 	}
 	return report, nil
+}
+
+// measureWorkloadQuery materializes the query's candidate lists (unless
+// already fully built) under the engine write lock, then measures the
+// three strategies under the read lock, so queries keep flowing between
+// the two phases. A (nil, err) return means the query failed to
+// translate; (non-nil spec, err) is an internal error.
+func (e *Engine) measureWorkloadQuery(wq WorkloadQuery, lists map[string]listInfo) (*selfmanage.QuerySpec, error) {
+	e.beginWrite()
+	tr, err := e.translateMode(wq.NEXI, translate.ModeVague)
+	if err != nil {
+		e.endWrite()
+		return nil, fmt.Errorf("trex: workload query %q: %w", wq.NEXI, err)
+	}
+	sids, terms := flatten(tr)
+	sc, err := e.store.NewScorer(terms)
+	if err == nil {
+		// Steady-state autopilot runs re-measure a workload whose lists
+		// are already materialized; skip the ERA rebuild then.
+		var rpl, erpl bool
+		if rpl, err = e.store.Covered(index.KindRPL, terms, sids); err == nil {
+			erpl, err = e.store.Covered(index.KindERPL, terms, sids)
+		}
+		if err == nil && !(rpl && erpl) {
+			_, err = retrieval.Materialize(e.store, sids, terms, sc, index.KindRPL, index.KindERPL)
+		}
+	}
+	e.endWrite()
+	if err != nil {
+		return &selfmanage.QuerySpec{}, err
+	}
+
+	e.beginRead()
+	defer e.endRead()
+	k := wq.K
+	if k <= 0 {
+		k = DefaultK
+	}
+	_, eraStats, err := retrieval.ExhaustiveTopK(e.store, sids, terms, sc, k)
+	if err != nil {
+		return &selfmanage.QuerySpec{}, err
+	}
+	_, taStats, err := retrieval.TA(e.store, sids, terms, sc, k)
+	if err != nil {
+		return &selfmanage.QuerySpec{}, err
+	}
+	_, mergeStats, err := retrieval.Merge(e.store, sids, terms, k)
+	if err != nil {
+		return &selfmanage.QuerySpec{}, err
+	}
+
+	spec := &selfmanage.QuerySpec{
+		ID:        wq.NEXI,
+		Freq:      wq.Freq,
+		TimeERA:   eraStats.CostProxy(),
+		TimeTA:    taStats.CostProxy(),
+		TimeMerge: mergeStats.CostProxy(),
+	}
+	for _, term := range terms {
+		for _, sid := range sids {
+			for _, kind := range []index.ListKind{index.KindRPL, index.KindERPL} {
+				_, bytes, err := e.store.BuiltSize(kind, term, sid)
+				if err != nil {
+					return &selfmanage.QuerySpec{}, err
+				}
+				key := listKey(kind, term, sid)
+				lists[key] = listInfo{kind: kind, term: term, sid: sid}
+				ref := selfmanage.ListRef{Key: key, Bytes: bytes}
+				if kind == index.KindRPL {
+					spec.TALists = append(spec.TALists, ref)
+				} else {
+					spec.MergeLists = append(spec.MergeLists, ref)
+				}
+			}
+		}
+	}
+	return spec, nil
+}
+
+// unreferencedLists returns every materialized list that neither the
+// plan keeps nor the measured workload references (those are in lists
+// already and handled by the normal drop path).
+func (e *Engine) unreferencedLists(keep map[string]bool, lists map[string]listInfo) (map[string]listInfo, error) {
+	e.beginRead()
+	entries, err := e.store.CatalogEntries()
+	e.endRead()
+	if err != nil {
+		return nil, err
+	}
+	extra := make(map[string]listInfo)
+	for _, ce := range entries {
+		key := listKey(ce.Kind, ce.Term, ce.SID)
+		if keep[key] {
+			continue
+		}
+		if _, known := lists[key]; known {
+			continue
+		}
+		extra[key] = listInfo{kind: ce.Kind, term: ce.Term, sid: ce.SID}
+	}
+	return extra, nil
+}
+
+// maintSleep pauses between maintenance steps, honoring cancellation.
+func maintSleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }

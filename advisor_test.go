@@ -1,11 +1,39 @@
 package trex
 
 import (
+	"fmt"
 	"testing"
 
 	"trex/internal/corpus"
 	"trex/internal/index"
 )
+
+// TestListKeyUnambiguous pins the physical-list key encoding: no two
+// distinct (kind, term, sid) triples may share a key, or the solver's
+// sharing model would treat distinct lists as one (undercounting disk
+// and cross-crediting savings). Terms containing '/' and digits are the
+// adversarial cases: the sid field is placed before the term so the term
+// (the only free-form field) is always last.
+func TestListKeyUnambiguous(t *testing.T) {
+	if got := listKey(index.KindRPL, "xml", 7); got != "R/7/xml" {
+		t.Fatalf("listKey format changed: %q", got)
+	}
+	terms := []string{"", "a", "a/1", "a/1/2", "1", "1/a", "/", "a/", "/a", "12/3"}
+	sids := []uint32{0, 1, 2, 12, 123, 1234}
+	seen := make(map[string]string)
+	for _, kind := range []index.ListKind{index.KindRPL, index.KindERPL} {
+		for _, term := range terms {
+			for _, sid := range sids {
+				key := listKey(kind, term, sid)
+				id := fmt.Sprintf("(%c,%q,%d)", byte(kind), term, sid)
+				if prev, ok := seen[key]; ok {
+					t.Fatalf("key collision: %s and %s both map to %q", prev, id, key)
+				}
+				seen[key] = id
+			}
+		}
+	}
+}
 
 func TestSelfManageGreedy(t *testing.T) {
 	eng := testEngine(t, 30, 11)

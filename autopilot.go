@@ -1,0 +1,217 @@
+package trex
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"trex/internal/autopilot"
+)
+
+// AutopilotOptions configures online self-management: a bounded workload
+// tracker fed by the query path plus a background controller that
+// periodically re-runs the Section 4 index selection over the observed
+// workload and applies the delta (materialize new lists, drop evicted
+// ones) while queries keep being served.
+type AutopilotOptions struct {
+	// Interval between planning runs (default 30s).
+	Interval time.Duration
+	// DriftQueries triggers an early run once this many queries arrived
+	// since the last run (0 = timer only).
+	DriftQueries int
+	// DiskBudget bounds the materialized redundant lists, in bytes
+	// (default 1 GiB).
+	DiskBudget int64
+	// TrackerCapacity bounds the workload tracker's distinct (NEXI, k)
+	// entries — memory stays O(capacity) under any query volume
+	// (default 512).
+	TrackerCapacity int
+	// TopQueries is how many tracked queries form the workload snapshot
+	// handed to the solver (default 16).
+	TopQueries int
+	// MinQueries is the minimum observed query count before the first
+	// run fires (default 1).
+	MinQueries int
+	// Solver selects the index-selection algorithm (default greedy).
+	Solver Solver
+	// Decay is the multiplicative tracker decay applied after each run,
+	// in (0, 1]; lower forgets old traffic faster (default 0.5; 1
+	// disables decay).
+	Decay float64
+	// Pause is slept between maintenance steps (per-query measurement,
+	// per-list drop) with the engine write lock released, rate-limiting
+	// maintenance so it never starves foreground queries (default 0).
+	Pause time.Duration
+}
+
+func (o *AutopilotOptions) setDefaults() {
+	if o.Interval <= 0 {
+		o.Interval = 30 * time.Second
+	}
+	if o.DiskBudget <= 0 {
+		o.DiskBudget = 1 << 30
+	}
+	if o.TrackerCapacity <= 0 {
+		o.TrackerCapacity = 512
+	}
+	if o.TopQueries <= 0 {
+		o.TopQueries = 16
+	}
+	if o.MinQueries <= 0 {
+		o.MinQueries = 1
+	}
+	if o.Decay <= 0 || o.Decay > 1 {
+		o.Decay = 0.5
+	}
+}
+
+// StartAutopilot launches the online self-management daemon on the
+// engine. From then on every successful Query feeds the workload
+// tracker, and a controller goroutine re-plans the materialized list set
+// on each Interval tick (or after DriftQueries new queries), applying
+// the plan while queries continue. The daemon stops when ctx is
+// cancelled, StopAutopilot is called, or the engine is closed.
+func (e *Engine) StartAutopilot(ctx context.Context, opts AutopilotOptions) error {
+	opts.setDefaults()
+	e.pilotMu.Lock()
+	defer e.pilotMu.Unlock()
+	if e.pilot.Load() != nil {
+		return fmt.Errorf("trex: autopilot already running")
+	}
+	run := func(ctx context.Context, workload []autopilot.TrackedQuery) (*autopilot.RunReport, error) {
+		return e.autopilotRun(ctx, workload, opts)
+	}
+	ctl := autopilot.New(autopilot.Config{
+		Interval:     opts.Interval,
+		DriftQueries: opts.DriftQueries,
+		TopQueries:   opts.TopQueries,
+		MinQueries:   opts.MinQueries,
+		Decay:        opts.Decay,
+	}, autopilot.NewTracker(opts.TrackerCapacity), run)
+	ctx, cancel := context.WithCancel(ctx)
+	e.pilotCancel = cancel
+	e.pilotOpts = opts
+	ctl.Start(ctx)
+	e.pilot.Store(ctl)
+	return nil
+}
+
+// StopAutopilot stops the daemon and waits for any in-progress planning
+// run to wind down. No-op when the autopilot is not running.
+func (e *Engine) StopAutopilot() {
+	e.pilotMu.Lock()
+	defer e.pilotMu.Unlock()
+	ctl := e.pilot.Load()
+	if ctl == nil {
+		return
+	}
+	e.pilotCancel()
+	ctl.Wait()
+	e.pilot.Store(nil)
+	e.pilotCancel = nil
+}
+
+// autopilotRun is the controller's RunFunc: it converts the workload
+// snapshot to the advisor's shape and runs the incremental
+// self-management cycle. Tracked queries that no longer translate (the
+// summary may have changed since they were observed) are skipped, and
+// materialized lists the new plan does not own are reclaimed so the
+// footprint stays within budget as the workload shifts.
+func (e *Engine) autopilotRun(ctx context.Context, workload []autopilot.TrackedQuery, opts AutopilotOptions) (*autopilot.RunReport, error) {
+	queries := make([]WorkloadQuery, 0, len(workload))
+	for _, tq := range workload {
+		queries = append(queries, WorkloadQuery{NEXI: tq.NEXI, Freq: tq.Freq, K: tq.K})
+	}
+	rep, err := e.selfManage(ctx, queries, opts.DiskBudget, opts.Solver, selfManageConfig{
+		dropUnreferenced:   true,
+		skipUntranslatable: true,
+		pause:              opts.Pause,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &autopilot.RunReport{
+		Workload:   workload,
+		Kept:       rep.KeptLists,
+		Dropped:    rep.DroppedLists,
+		DiskUsed:   rep.Plan.DiskUsed,
+		DiskBudget: opts.DiskBudget,
+		Saving:     rep.Plan.Saving,
+	}, nil
+}
+
+// AutopilotWorkloadEntry is one workload-snapshot row in a status.
+type AutopilotWorkloadEntry struct {
+	NEXI string  `json:"nexi"`
+	K    int     `json:"k"`
+	Freq float64 `json:"freq"`
+}
+
+// AutopilotPlan summarizes the last applied planning run.
+type AutopilotPlan struct {
+	Workload     []AutopilotWorkloadEntry `json:"workload"`
+	KeptLists    []string                 `json:"keptLists"`
+	DroppedLists []string                 `json:"droppedLists"`
+	DiskUsed     int64                    `json:"diskUsed"`
+	DiskBudget   int64                    `json:"diskBudget"`
+	Saving       float64                  `json:"saving"`
+}
+
+// AutopilotStatus is a point-in-time view of the daemon, served by the
+// web API's GET /autopilot.
+type AutopilotStatus struct {
+	Enabled        bool           `json:"enabled"`
+	Runs           uint64         `json:"runs"`
+	Failures       uint64         `json:"failures"`
+	LastError      string         `json:"lastError,omitempty"`
+	LastRunStart   time.Time      `json:"lastRunStart,omitzero"`
+	LastRunEnd     time.Time      `json:"lastRunEnd,omitzero"`
+	TrackedQueries int            `json:"trackedQueries"`
+	TotalObserved  uint64         `json:"totalObserved"`
+	SinceLastRun   uint64         `json:"sinceLastRun"`
+	DiskBudget     int64          `json:"diskBudget"`
+	Interval       string         `json:"interval,omitempty"`
+	Solver         string         `json:"solver,omitempty"`
+	LastPlan       *AutopilotPlan `json:"lastPlan,omitempty"`
+}
+
+// AutopilotStatus reports the daemon's state; Enabled is false when no
+// autopilot is running.
+func (e *Engine) AutopilotStatus() AutopilotStatus {
+	ctl := e.pilot.Load()
+	if ctl == nil {
+		return AutopilotStatus{}
+	}
+	e.pilotMu.Lock()
+	opts := e.pilotOpts
+	e.pilotMu.Unlock()
+	st := ctl.Status()
+	out := AutopilotStatus{
+		Enabled:        true,
+		Runs:           st.Runs,
+		Failures:       st.Failures,
+		LastError:      st.LastError,
+		LastRunStart:   st.LastRunStart,
+		LastRunEnd:     st.LastRunEnd,
+		TrackedQueries: st.TrackedQueries,
+		TotalObserved:  st.TotalObserved,
+		SinceLastRun:   st.SinceLastRun,
+		DiskBudget:     opts.DiskBudget,
+		Interval:       opts.Interval.String(),
+		Solver:         opts.Solver.String(),
+	}
+	if st.LastReport != nil {
+		plan := &AutopilotPlan{
+			KeptLists:    st.LastReport.Kept,
+			DroppedLists: st.LastReport.Dropped,
+			DiskUsed:     st.LastReport.DiskUsed,
+			DiskBudget:   st.LastReport.DiskBudget,
+			Saving:       st.LastReport.Saving,
+		}
+		for _, tq := range st.LastReport.Workload {
+			plan.Workload = append(plan.Workload, AutopilotWorkloadEntry{NEXI: tq.NEXI, K: tq.K, Freq: tq.Freq})
+		}
+		out.LastPlan = plan
+	}
+	return out
+}

@@ -10,16 +10,24 @@
 // Usage:
 //
 //	trexadvisor -db ./ieee.trexdb -workload queries.txt -disk 10000000 -solver greedy
+//
+// With -watch the advisor keeps running: it re-reads the workload file
+// and re-plans every -interval, so edits to the file (a shifted
+// workload) are picked up on the next cycle. Stop with Ctrl-C.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"trex"
 )
@@ -63,14 +71,12 @@ func main() {
 	workloadPath := flag.String("workload", "", "workload file (required)")
 	disk := flag.Int64("disk", 1<<30, "disk budget in bytes for redundant lists")
 	solver := flag.String("solver", "greedy", "solver: greedy, lp, optimal")
+	watch := flag.Bool("watch", false, "keep running: re-read the workload file and re-plan every -interval")
+	interval := flag.Duration("interval", 30*time.Second, "re-plan interval with -watch")
 	flag.Parse()
 	if *dbPath == "" || *workloadPath == "" {
 		flag.Usage()
 		os.Exit(2)
-	}
-	workload, err := parseWorkload(*workloadPath)
-	if err != nil {
-		log.Fatal(err)
 	}
 	var sv trex.Solver
 	switch *solver {
@@ -89,11 +95,42 @@ func main() {
 	}
 	defer eng.Close()
 
-	report, err := eng.SelfManage(workload, *disk, sv)
-	if err != nil {
-		log.Fatal(err)
+	if !*watch {
+		if err := planOnce(eng, *workloadPath, *disk, sv); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
-	fmt.Printf("solver=%s budget=%d bytes\n", sv, *disk)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	for cycle := 1; ; cycle++ {
+		fmt.Printf("--- watch cycle %d (%s) ---\n", cycle, time.Now().Format(time.RFC3339))
+		if err := planOnce(eng, *workloadPath, *disk, sv); err != nil {
+			// A transient problem (e.g. the workload file mid-edit)
+			// should not kill the watcher.
+			log.Printf("cycle %d: %v", cycle, err)
+		}
+		select {
+		case <-ctx.Done():
+			fmt.Println("watch stopped")
+			return
+		case <-time.After(*interval):
+		}
+	}
+}
+
+// planOnce re-reads the workload file, runs the self-management cycle,
+// and prints the plan.
+func planOnce(eng *trex.Engine, workloadPath string, disk int64, sv trex.Solver) error {
+	workload, err := parseWorkload(workloadPath)
+	if err != nil {
+		return err
+	}
+	report, err := eng.SelfManage(workload, disk, sv)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("solver=%s budget=%d bytes\n", sv, disk)
 	fmt.Printf("plan: saving=%.1f (cost units), disk used=%d bytes\n",
 		report.Plan.Saving, report.Plan.DiskUsed)
 	for i, q := range workload {
@@ -102,4 +139,5 @@ func main() {
 	}
 	fmt.Printf("kept %d lists, dropped %d lists (%d entries reclaimed)\n",
 		len(report.KeptLists), len(report.DroppedLists), report.DroppedEntries)
+	return nil
 }

@@ -1,23 +1,48 @@
 // Command trexserve serves a TReX database over HTTP: a JSON search API
-// plus a minimal HTML page.
+// plus a minimal HTML page. With -autopilot it also runs the online
+// self-management daemon, which observes the live query stream and keeps
+// the materialized RPL/ERPL set tuned to it under a disk budget while
+// the server keeps answering queries.
 //
 // Usage:
 //
 //	trexserve -db ./ieee.trexdb -addr :8080 [-writes]
+//	    [-autopilot -autopilot-interval 30s -autopilot-budget 1000000000
+//	     -autopilot-drift 500 -autopilot-capacity 512 -autopilot-top 16
+//	     -autopilot-solver greedy -autopilot-pause 5ms]
 //
-// Endpoints: /search, /explain, /stats, /materialize (with -writes), /.
+// Endpoints: /search, /explain, /stats, /autopilot, /materialize (with
+// -writes), /.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"trex"
 	"trex/internal/webapi"
 )
+
+func parseSolver(s string) (trex.Solver, error) {
+	switch s {
+	case "greedy":
+		return trex.SolverGreedy, nil
+	case "lp":
+		return trex.SolverLP, nil
+	case "optimal":
+		return trex.SolverOptimal, nil
+	default:
+		return trex.SolverGreedy, fmt.Errorf("unknown solver %q (want greedy, lp or optimal)", s)
+	}
+}
 
 func main() {
 	log.SetFlags(0)
@@ -25,6 +50,14 @@ func main() {
 	dbPath := flag.String("db", "", "TReX database file (required)")
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
 	writes := flag.Bool("writes", false, "enable the /materialize endpoint")
+	auto := flag.Bool("autopilot", false, "enable online self-management (workload tracker + re-planning daemon)")
+	autoInterval := flag.Duration("autopilot-interval", 30*time.Second, "time between autopilot planning runs")
+	autoDrift := flag.Int("autopilot-drift", 0, "re-plan early after this many queries since the last run (0 = timer only)")
+	autoBudget := flag.Int64("autopilot-budget", 1<<30, "disk budget in bytes for materialized redundant lists")
+	autoCapacity := flag.Int("autopilot-capacity", 512, "workload tracker capacity (distinct queries)")
+	autoTop := flag.Int("autopilot-top", 16, "workload snapshot size handed to the solver")
+	autoSolver := flag.String("autopilot-solver", "greedy", "index-selection solver: greedy, lp, optimal")
+	autoPause := flag.Duration("autopilot-pause", 5*time.Millisecond, "pause between autopilot maintenance steps (rate limit)")
 	flag.Parse()
 	if *dbPath == "" {
 		flag.Usage()
@@ -36,9 +69,43 @@ func main() {
 	}
 	defer eng.Close()
 
-	srv := webapi.New(eng, *writes)
-	fmt.Printf("serving %s on http://%s (writes=%v)\n", *dbPath, *addr, *writes)
-	if err := http.ListenAndServe(*addr, srv); err != nil {
+	if *auto {
+		solver, err := parseSolver(*autoSolver)
+		if err != nil {
+			log.Fatal(err)
+		}
+		err = eng.StartAutopilot(context.Background(), trex.AutopilotOptions{
+			Interval:        *autoInterval,
+			DriftQueries:    *autoDrift,
+			DiskBudget:      *autoBudget,
+			TrackerCapacity: *autoCapacity,
+			TopQueries:      *autoTop,
+			Solver:          solver,
+			Pause:           *autoPause,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Shut down cleanly on SIGINT/SIGTERM. With the autopilot enabled the
+	// server *writes* (materialize/drop during maintenance); dying
+	// mid-write without stopping the daemon and flushing would leave torn
+	// pages in the database, so the signal path stops the HTTP listener,
+	// waits out any in-flight autopilot run, and closes the engine.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := &http.Server{Addr: *addr, Handler: webapi.New(eng, *writes)}
+	go func() {
+		<-ctx.Done()
+		srv.Shutdown(context.Background())
+	}()
+	fmt.Printf("serving %s on http://%s (writes=%v autopilot=%v)\n", *dbPath, *addr, *writes, *auto)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
+	if err := eng.Close(); err != nil {
+		log.Fatalf("close: %v", err)
+	}
+	fmt.Println("shut down cleanly")
 }

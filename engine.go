@@ -27,9 +27,12 @@ package trex
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
+	"trex/internal/autopilot"
 	"trex/internal/corpus"
 	"trex/internal/index"
 	"trex/internal/score"
@@ -63,6 +66,12 @@ type Options struct {
 	// score.ModelLMDirichlet). Persisted, since materialized list scores
 	// embed it.
 	Scoring score.Model
+	// Autopilot, when non-nil, starts the online self-management daemon
+	// on the opened engine (see Engine.StartAutopilot): the query path
+	// feeds a workload tracker and a background controller keeps the
+	// materialized list set tuned to observed traffic under the disk
+	// budget. Engine.Close stops it.
+	Autopilot *AutopilotOptions
 }
 
 // Engine is an opened TReX collection: storage, index tables and the
@@ -81,7 +90,41 @@ type Engine struct {
 	trMu    sync.Mutex
 	trCache map[string]*list.Element
 	trLRU   *list.List
+	// rw coordinates readers and writers at the engine level: queries
+	// and other read-only operations hold it shared, while maintenance
+	// steps (materializing a list, dropping a list, appending documents)
+	// hold it exclusively. The B+tree mutates nodes in place, so a write
+	// step must exclude all readers; holding the exclusive lock only per
+	// step keeps maintenance from starving foreground queries.
+	rw sync.RWMutex
+	// maintMu serializes whole maintenance operations (AddDocuments,
+	// Materialize, SelfManage, autopilot runs, Backup): each is a
+	// sequence of rw-locked steps that must not interleave with another
+	// operation's sequence. Lock order is always maintMu before rw.
+	maintMu sync.Mutex
+	// pilot is the running autopilot controller, nil when disabled.
+	// Atomic so the query hot path can feed it without a lock; pilotMu
+	// serializes Start/Stop, and pilotCancel stops the loop.
+	pilot       atomic.Pointer[autopilot.Controller]
+	pilotMu     sync.Mutex
+	pilotCancel context.CancelFunc
+	pilotOpts   AutopilotOptions
 }
+
+// beginRead / endRead bracket a read-only operation (queries,
+// translation, explain, snippets). Any number may run concurrently.
+func (e *Engine) beginRead() { e.rw.RLock() }
+func (e *Engine) endRead()   { e.rw.RUnlock() }
+
+// beginWrite / endWrite bracket one exclusive maintenance step. After
+// the exclusive lock is held no new reader can start, but a losing
+// MethodRace goroutine from an earlier query may still be reading
+// storage, so writers also drain inflight before mutating.
+func (e *Engine) beginWrite() {
+	e.rw.Lock()
+	e.inflight.Wait()
+}
+func (e *Engine) endWrite() { e.rw.Unlock() }
 
 // metaSummaryChunk prefixes the serialized summary chunks in IndexMeta.
 const metaSummaryPrefix = "summary-chunk-"
@@ -104,6 +147,10 @@ func Create(path string, col *corpus.Collection, opts *Options) (*Engine, error)
 		db.Close()
 		return nil, err
 	}
+	if err := eng.startConfiguredAutopilot(opts); err != nil {
+		db.Close()
+		return nil, err
+	}
 	return eng, nil
 }
 
@@ -118,7 +165,19 @@ func CreateMemory(col *corpus.Collection, opts *Options) (*Engine, error) {
 		db.Close()
 		return nil, err
 	}
+	if err := eng.startConfiguredAutopilot(opts); err != nil {
+		db.Close()
+		return nil, err
+	}
 	return eng, nil
+}
+
+// startConfiguredAutopilot starts the daemon when Options requested it.
+func (e *Engine) startConfiguredAutopilot(opts *Options) error {
+	if opts.Autopilot == nil {
+		return nil
+	}
+	return e.StartAutopilot(context.Background(), *opts.Autopilot)
 }
 
 func build(db *storage.DB, col *corpus.Collection, opts *Options) (*Engine, error) {
@@ -193,13 +252,21 @@ func Open(path string, opts *Options) (*Engine, error) {
 	if ds, err := corpus.OpenDocStore(db); err == nil {
 		eng.docs = ds
 	}
+	if err := eng.startConfiguredAutopilot(opts); err != nil {
+		db.Close()
+		return nil, err
+	}
 	return eng, nil
 }
 
-// Close waits for any in-flight racers, then flushes and closes the
-// underlying database.
+// Close stops the autopilot (if running), waits for in-flight queries
+// and racers, then flushes and closes the underlying database.
 func (e *Engine) Close() error {
-	e.inflight.Wait()
+	e.StopAutopilot()
+	e.maintMu.Lock()
+	defer e.maintMu.Unlock()
+	e.beginWrite()
+	defer e.endWrite()
 	return e.db.Close()
 }
 
@@ -214,14 +281,24 @@ func (e *Engine) DB() *storage.DB { return e.db }
 
 // Backup writes a consistent copy of the whole database (all tables, the
 // summary, any materialized lists) to a new file at path; the copy opens
-// directly with trex.Open. Do not run writes concurrently.
+// directly with trex.Open. Safe to run concurrently with queries; it
+// excludes maintenance operations (AddDocuments, Materialize,
+// SelfManage, autopilot runs) for its duration.
 func (e *Engine) Backup(path string) error {
+	e.maintMu.Lock()
+	defer e.maintMu.Unlock()
 	return e.db.BackupToFile(path)
 }
 
 // Document returns the raw bytes of a stored document; only available
 // when the engine was built with StoreDocuments.
 func (e *Engine) Document(id int) ([]byte, error) {
+	e.beginRead()
+	defer e.endRead()
+	return e.document(id)
+}
+
+func (e *Engine) document(id int) ([]byte, error) {
 	if e.docs == nil {
 		return nil, fmt.Errorf("trex: documents were not stored (Options.StoreDocuments)")
 	}

@@ -11,9 +11,13 @@ import (
 )
 
 func testEngine(t *testing.T, docs, seed int) *Engine {
+	return testEngineOpts(t, docs, seed, nil)
+}
+
+func testEngineOpts(t *testing.T, docs, seed int, opts *Options) *Engine {
 	t.Helper()
 	col := corpus.GenerateIEEE(docs, int64(seed))
-	eng, err := CreateMemory(col, nil)
+	eng, err := CreateMemory(col, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

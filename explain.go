@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"trex/internal/index"
+	"trex/internal/translate"
 )
 
 // Explanation describes how the engine would evaluate a query, without
@@ -32,7 +33,9 @@ type Explanation struct {
 
 // Explain analyzes a query without evaluating it.
 func (e *Engine) Explain(src string) (*Explanation, error) {
-	tr, err := e.Translate(src)
+	e.beginRead()
+	defer e.endRead()
+	tr, err := e.translateMode(src, translate.ModeVague)
 	if err != nil {
 		return nil, err
 	}

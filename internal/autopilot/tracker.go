@@ -1,0 +1,169 @@
+// Package autopilot turns the paper's one-shot self-management cycle
+// (Section 4) into an online loop: a bounded workload tracker observes
+// the live query stream, and a controller periodically snapshots it,
+// re-plans the redundant-list set under the disk budget, and applies the
+// delta while the engine keeps serving queries.
+//
+// The package is engine-agnostic: the tracker and controller know nothing
+// about TReX storage. The engine wires itself in through a RunFunc that
+// measures, solves, and applies a plan for a workload snapshot.
+package autopilot
+
+import (
+	"sort"
+	"sync"
+)
+
+// TrackedQuery is one entry of a workload snapshot: an observed
+// (NEXI, k) pair with its decayed observation weight and its frequency
+// normalized over the snapshot (the paper's f_i, Definition 4.1).
+type TrackedQuery struct {
+	NEXI  string
+	K     int
+	Count float64
+	Freq  float64
+}
+
+// qkey identifies a tracked query; distinct k values are distinct
+// workload entries because k changes every strategy's measured cost.
+type qkey struct {
+	nexi string
+	k    int
+}
+
+type entry struct {
+	key qkey
+	// count is the decayed observation weight. Under space-saving
+	// eviction it may overestimate the true count by up to overestimate.
+	count        float64
+	overestimate float64
+}
+
+// Tracker is a concurrency-safe bounded heavy-hitters sketch over the
+// query stream: the space-saving algorithm (Metwally et al.) keeps at
+// most capacity distinct (NEXI, k) pairs, so memory stays O(capacity)
+// under millions of queries, while the per-entry error is bounded by the
+// evicted minimum count. Multiplicative decay (applied by the controller
+// after each planning run) makes the sketch track the recent workload
+// rather than all history, so the autopilot follows traffic shifts.
+type Tracker struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[qkey]*entry
+	total    uint64
+}
+
+// NewTracker creates a tracker bounded at capacity distinct queries
+// (<= 0 selects a default of 256).
+func NewTracker(capacity int) *Tracker {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &Tracker{
+		capacity: capacity,
+		entries:  make(map[qkey]*entry, capacity),
+	}
+}
+
+// Observe records one occurrence of the (nexi, k) query. When the
+// tracker is full and the query is unseen, the minimum-count entry is
+// evicted and the newcomer inherits its count plus one — the space-saving
+// update, which guarantees any query with true frequency above total/capacity
+// is present. Ties among eviction victims break deterministically.
+func (t *Tracker) Observe(nexi string, k int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.total++
+	key := qkey{nexi: nexi, k: k}
+	if e, ok := t.entries[key]; ok {
+		e.count++
+		return
+	}
+	if len(t.entries) < t.capacity {
+		t.entries[key] = &entry{key: key, count: 1}
+		return
+	}
+	var victim *entry
+	for _, e := range t.entries {
+		if victim == nil || e.count < victim.count ||
+			(e.count == victim.count && keyLess(e.key, victim.key)) {
+			victim = e
+		}
+	}
+	delete(t.entries, victim.key)
+	t.entries[key] = &entry{key: key, count: victim.count + 1, overestimate: victim.count}
+}
+
+func keyLess(a, b qkey) bool {
+	if a.nexi != b.nexi {
+		return a.nexi < b.nexi
+	}
+	return a.k < b.k
+}
+
+// Decay multiplies every count by factor in (0, 1], dropping entries
+// whose weight has decayed to noise. The controller calls this after each
+// planning run so queries that stop arriving fade out of future
+// snapshots instead of pinning their lists forever.
+func (t *Tracker) Decay(factor float64) {
+	if factor <= 0 || factor >= 1 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for key, e := range t.entries {
+		e.count *= factor
+		e.overestimate *= factor
+		if e.count < 1e-3 {
+			delete(t.entries, key)
+		}
+	}
+}
+
+// Snapshot returns the top-N tracked queries by decayed weight, with
+// frequencies normalized over the selection. Ordering is deterministic:
+// weight descending, then (NEXI, k) ascending. topN <= 0 returns all.
+func (t *Tracker) Snapshot(topN int) []TrackedQuery {
+	t.mu.Lock()
+	out := make([]TrackedQuery, 0, len(t.entries))
+	for _, e := range t.entries {
+		out = append(out, TrackedQuery{NEXI: e.key.nexi, K: e.key.k, Count: e.count})
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].NEXI != out[j].NEXI {
+			return out[i].NEXI < out[j].NEXI
+		}
+		return out[i].K < out[j].K
+	})
+	if topN > 0 && len(out) > topN {
+		out = out[:topN]
+	}
+	var sum float64
+	for i := range out {
+		sum += out[i].Count
+	}
+	if sum > 0 {
+		for i := range out {
+			out[i].Freq = out[i].Count / sum
+		}
+	}
+	return out
+}
+
+// Len reports the number of distinct tracked queries.
+func (t *Tracker) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries)
+}
+
+// Total reports the lifetime number of observations.
+func (t *Tracker) Total() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}

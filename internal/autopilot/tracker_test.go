@@ -1,0 +1,163 @@
+package autopilot
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTrackerCountsAndSnapshot(t *testing.T) {
+	tr := NewTracker(8)
+	for i := 0; i < 30; i++ {
+		tr.Observe("q1", 10)
+	}
+	for i := 0; i < 10; i++ {
+		tr.Observe("q2", 10)
+	}
+	tr.Observe("q2", 5) // distinct k => distinct entry
+
+	if got := tr.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	if got := tr.Total(); got != 41 {
+		t.Fatalf("Total = %d, want 41", got)
+	}
+	ws := tr.Snapshot(0)
+	if len(ws) != 3 || ws[0].NEXI != "q1" || ws[1].NEXI != "q2" || ws[1].K != 10 {
+		t.Fatalf("snapshot order wrong: %+v", ws)
+	}
+	if ws[0].Freq != 30.0/41 {
+		t.Fatalf("freq = %v, want %v", ws[0].Freq, 30.0/41)
+	}
+	// topN truncation re-normalizes over the selection.
+	top := tr.Snapshot(2)
+	if len(top) != 2 {
+		t.Fatalf("topN = %d entries", len(top))
+	}
+	if got := top[0].Freq + top[1].Freq; got < 0.999 || got > 1.001 {
+		t.Fatalf("truncated freqs sum to %v, want 1", got)
+	}
+}
+
+func TestTrackerBoundedBySpaceSaving(t *testing.T) {
+	tr := NewTracker(4)
+	// A heavy hitter plus a long tail of singletons.
+	for i := 0; i < 100; i++ {
+		tr.Observe("heavy", 10)
+		tr.Observe(fmt.Sprintf("tail%d", i), 10)
+	}
+	if got := tr.Len(); got > 4 {
+		t.Fatalf("tracker grew to %d entries (capacity 4)", got)
+	}
+	ws := tr.Snapshot(1)
+	if ws[0].NEXI != "heavy" {
+		t.Fatalf("heavy hitter evicted: top = %+v", ws[0])
+	}
+}
+
+func TestTrackerDecayFadesOldWorkload(t *testing.T) {
+	tr := NewTracker(16)
+	for i := 0; i < 8; i++ {
+		tr.Observe("old", 10)
+	}
+	for i := 0; i < 20; i++ {
+		tr.Decay(0.25)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("fully decayed entries not dropped: %+v", tr.Snapshot(0))
+	}
+	// New traffic after decay dominates immediately.
+	tr.Observe("new", 10)
+	ws := tr.Snapshot(0)
+	if len(ws) != 1 || ws[0].NEXI != "new" || ws[0].Freq != 1 {
+		t.Fatalf("post-decay snapshot = %+v", ws)
+	}
+}
+
+func TestTrackerConcurrentObserve(t *testing.T) {
+	tr := NewTracker(32)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.Observe(fmt.Sprintf("q%d", (w+i)%40), 10)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.Total(); got != 4000 {
+		t.Fatalf("Total = %d, want 4000", got)
+	}
+	if got := tr.Len(); got > 32 {
+		t.Fatalf("tracker exceeded capacity: %d", got)
+	}
+}
+
+func TestControllerDriftKickAndTimer(t *testing.T) {
+	var mu sync.Mutex
+	var runs int
+	run := func(ctx context.Context, ws []TrackedQuery) (*RunReport, error) {
+		mu.Lock()
+		runs++
+		mu.Unlock()
+		return &RunReport{Workload: ws}, nil
+	}
+	c := New(Config{Interval: time.Hour, DriftQueries: 5, Decay: 1}, NewTracker(8), run)
+	ctx, cancel := context.WithCancel(context.Background())
+	c.Start(ctx)
+	for i := 0; i < 5; i++ {
+		c.Observe("q", 10)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := runs
+		mu.Unlock()
+		if n >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("drift kick never triggered a run")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	c.Wait()
+	st := c.Status()
+	if st.Runs < 1 || st.LastReport == nil || len(st.LastReport.Workload) != 1 {
+		t.Fatalf("status after drift run = %+v", st)
+	}
+	if st.SinceLastRun != 0 {
+		t.Fatalf("SinceLastRun = %d after run", st.SinceLastRun)
+	}
+}
+
+func TestControllerRunNowSkipsEmptyTracker(t *testing.T) {
+	c := New(Config{}, NewTracker(8), func(ctx context.Context, ws []TrackedQuery) (*RunReport, error) {
+		t.Fatal("run fired on an empty tracker")
+		return nil, nil
+	})
+	if rep, err := c.RunNow(context.Background()); rep != nil || err != nil {
+		t.Fatalf("RunNow on empty tracker = %v, %v", rep, err)
+	}
+}
+
+func TestControllerRecordsFailures(t *testing.T) {
+	boom := fmt.Errorf("solver exploded")
+	c := New(Config{}, NewTracker(8), func(ctx context.Context, ws []TrackedQuery) (*RunReport, error) {
+		return nil, boom
+	})
+	c.Observe("q", 10)
+	if _, err := c.RunNow(context.Background()); err == nil {
+		t.Fatal("expected run error")
+	}
+	st := c.Status()
+	if st.Failures != 1 || st.Runs != 0 || st.LastError == "" {
+		t.Fatalf("failure not recorded: %+v", st)
+	}
+}

@@ -7,6 +7,7 @@
 //	GET  /explain?q=<nexi>
 //	POST /materialize?q=<nexi>&kinds=rpl,erpl
 //	GET  /stats
+//	GET  /autopilot   (online self-management status: last run, plan, budget)
 //	GET  /            (a minimal HTML search page)
 //
 // Errors are returned as {"error": "..."} with a 4xx/5xx status.
@@ -41,6 +42,7 @@ func New(eng *trex.Engine, allowWrites bool) *Server {
 	mux.HandleFunc("GET /explain", s.handleExplain)
 	mux.HandleFunc("POST /materialize", s.handleMaterialize)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /autopilot", s.handleAutopilot)
 	mux.HandleFunc("GET /{$}", s.handleIndex)
 	s.mux = mux
 	return s
@@ -109,7 +111,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing q parameter"))
 		return
 	}
-	k := 10
+	k := trex.DefaultK
 	if ks := r.URL.Query().Get("k"); ks != "" {
 		v, err := strconv.Atoi(ks)
 		if err != nil || v < 0 {
@@ -235,6 +237,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"summaryNodes":  s.eng.Summary().NumNodes(),
 		"pages":         s.eng.DB().PageCount(),
 	})
+}
+
+// handleAutopilot reports the online self-management daemon's state:
+// run counters, the last applied plan (kept/dropped lists, bytes vs.
+// budget), and the workload tracker's counters. enabled=false when the
+// server runs without the autopilot.
+func (s *Server) handleAutopilot(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.eng.AutopilotStatus())
 }
 
 const indexHTML = `<!doctype html>

@@ -7,6 +7,7 @@ import (
 	"net/url"
 	"strings"
 	"testing"
+	"time"
 
 	"trex"
 	"trex/internal/corpus"
@@ -177,5 +178,43 @@ func TestIndexPage(t *testing.T) {
 	resp2.Body.Close()
 	if resp2.StatusCode != http.StatusNotFound {
 		t.Fatalf("unknown path status = %d", resp2.StatusCode)
+	}
+}
+
+func TestAutopilotEndpoint(t *testing.T) {
+	// Without the daemon the endpoint still answers, flagged disabled.
+	ts := newTestServer(t, false)
+	var off map[string]any
+	if code := getJSON(t, ts, "/autopilot", &off); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if off["enabled"].(bool) {
+		t.Fatal("autopilot reported enabled on a plain server")
+	}
+
+	// With Options.Autopilot the status reflects live tracker counters.
+	col := corpus.GenerateIEEE(10, 303)
+	eng, err := trex.CreateMemory(col, &trex.Options{
+		StoreDocuments: true,
+		Autopilot:      &trex.AutopilotOptions{Interval: time.Hour},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	ts2 := httptest.NewServer(New(eng, false))
+	t.Cleanup(ts2.Close)
+	var on map[string]any
+	if code := getJSON(t, ts2, "/search?q="+url.QueryEscape(testQuery), &on); code != http.StatusOK {
+		t.Fatalf("search status = %d", code)
+	}
+	if code := getJSON(t, ts2, "/autopilot", &on); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if !on["enabled"].(bool) {
+		t.Fatal("autopilot reported disabled")
+	}
+	if on["totalObserved"].(float64) != 1 {
+		t.Fatalf("totalObserved = %v, want 1 (the /search call)", on["totalObserved"])
 	}
 }

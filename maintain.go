@@ -29,28 +29,43 @@ type AddStats struct {
 //
 // All materialized RPL/ERPL lists are dropped, since their stored scores
 // are computed from collection statistics that just changed; re-run
-// Materialize or SelfManage afterwards. AddDocuments is a write
-// operation: do not run it concurrently with queries.
+// Materialize or SelfManage afterwards. AddDocuments is a maintenance
+// operation: it may run while queries are served (it holds the engine
+// write lock for its duration) but is exclusive with other maintenance
+// operations.
+//
+// The phases run in sequence: append base rows and merge statistics,
+// persist the extended summary, drop all materialized lists, then store
+// raw documents (when StoreDocuments is on). There is no rollback;
+// errors say which phase failed. In particular, an error in or after the
+// drop-lists phase leaves the engine with statistics already merged and
+// materialized lists partially (or fully) dropped — queries stay correct
+// because every strategy falls back to the base tables, but redundant
+// lists must be rebuilt via Materialize or SelfManage.
 func (e *Engine) AddDocuments(docs []corpus.Document) (*AddStats, error) {
 	if len(docs) == 0 {
 		return &AddStats{}, nil
 	}
+	e.maintMu.Lock()
+	defer e.maintMu.Unlock()
+	e.beginWrite()
+	defer e.endWrite()
 	as, err := index.AppendDocuments(e.store, docs, e.sum)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("trex: add documents (append phase): %w", err)
 	}
 	e.invalidateTranslations()
 	if err := e.saveSummary(); err != nil {
-		return nil, fmt.Errorf("trex: persist extended summary: %w", err)
+		return nil, fmt.Errorf("trex: add documents (persist-summary phase, base rows and stats already written): %w", err)
 	}
 	dropped, err := index.DropAllLists(e.store)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("trex: add documents (drop-lists phase, stats already merged, lists partially dropped): %w", err)
 	}
 	if e.docs != nil {
 		for _, d := range docs {
 			if err := e.docs.Put(d.ID, d.Data); err != nil {
-				return nil, err
+				return nil, fmt.Errorf("trex: add documents (store-documents phase, index already updated): %w", err)
 			}
 		}
 	}

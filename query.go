@@ -134,6 +134,19 @@ func (e *Engine) Translate(src string) (*translate.Translation, error) {
 	return e.TranslateMode(src, translate.ModeVague)
 }
 
+// TranslateMode translates under an explicit interpretation. ModeStrict
+// requires exact label matches; over an alias-built summary it therefore
+// only matches canonical labels. Results are cached per (query, mode)
+// with LRU eviction — a full cache evicts only the least recently used
+// entry, so a steady workload larger than the cache degrades gradually
+// instead of periodically retranslating everything. AddDocuments
+// invalidates the cache (the summary may have grown).
+func (e *Engine) TranslateMode(src string, mode translate.Mode) (*translate.Translation, error) {
+	e.beginRead()
+	defer e.endRead()
+	return e.translateMode(src, mode)
+}
+
 // translationCacheSize bounds the per-engine translation cache. Workload
 // evaluation re-runs the same few queries constantly; translation scans
 // every summary node, so caching it matters at high query rates.
@@ -146,14 +159,9 @@ type trCacheEntry struct {
 	tr  *translate.Translation
 }
 
-// TranslateMode translates under an explicit interpretation. ModeStrict
-// requires exact label matches; over an alias-built summary it therefore
-// only matches canonical labels. Results are cached per (query, mode)
-// with LRU eviction — a full cache evicts only the least recently used
-// entry, so a steady workload larger than the cache degrades gradually
-// instead of periodically retranslating everything. AddDocuments
-// invalidates the cache (the summary may have grown).
-func (e *Engine) TranslateMode(src string, mode translate.Mode) (*translate.Translation, error) {
+// translateMode is TranslateMode without engine-level locking; callers
+// hold the read or write side of e.rw.
+func (e *Engine) translateMode(src string, mode translate.Mode) (*translate.Translation, error) {
 	key := mode.String() + "\x00" + src
 	e.trMu.Lock()
 	if el, ok := e.trCache[key]; ok {
@@ -202,9 +210,15 @@ func (e *Engine) invalidateTranslations() {
 }
 
 // Materialize builds the redundant lists (RPLs and/or ERPLs) the query
-// needs, enabling TA and/or Merge for it.
+// needs, enabling TA and/or Merge for it. It is a maintenance operation:
+// safe to run while queries are served (it takes the engine write lock
+// for the build), exclusive with other maintenance operations.
 func (e *Engine) Materialize(src string, kinds ...index.ListKind) (*retrieval.MaterializeStats, error) {
-	tr, err := e.Translate(src)
+	e.maintMu.Lock()
+	defer e.maintMu.Unlock()
+	e.beginWrite()
+	defer e.endWrite()
+	tr, err := e.translateMode(src, translate.ModeVague)
 	if err != nil {
 		return nil, err
 	}
@@ -219,7 +233,9 @@ func (e *Engine) Materialize(src string, kinds ...index.ListKind) (*retrieval.Ma
 // CanUse reports whether the given method's required lists are fully
 // materialized for the query.
 func (e *Engine) CanUse(src string, m Method) (bool, error) {
-	tr, err := e.Translate(src)
+	e.beginRead()
+	defer e.endRead()
+	tr, err := e.translateMode(src, translate.ModeVague)
 	if err != nil {
 		return false, err
 	}
@@ -266,10 +282,30 @@ func (e *Engine) Query(src string, k int, m Method) (*Result, error) {
 	return e.QueryOpts(src, QueryOptions{K: k, Method: m})
 }
 
-// QueryOpts evaluates with full options.
+// QueryOpts evaluates with full options. Successful queries are fed to
+// the autopilot's workload tracker (when enabled) so index selection
+// follows observed traffic.
 func (e *Engine) QueryOpts(src string, opts QueryOptions) (*Result, error) {
+	e.beginRead()
+	res, err := e.queryOpts(src, opts)
+	e.endRead()
+	if err == nil {
+		if p := e.pilot.Load(); p != nil {
+			k := opts.K
+			if k <= 0 {
+				// Track "all answers" queries at the shared default k —
+				// the workload model (Definition 4.1) needs a concrete k.
+				k = DefaultK
+			}
+			p.Observe(src, k)
+		}
+	}
+	return res, err
+}
+
+func (e *Engine) queryOpts(src string, opts QueryOptions) (*Result, error) {
 	k, m := opts.K, opts.Method
-	tr, err := e.TranslateMode(src, opts.Mode)
+	tr, err := e.translateMode(src, opts.Mode)
 	if err != nil {
 		return nil, err
 	}

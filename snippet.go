@@ -12,10 +12,12 @@ import (
 // have been built with Options.StoreDocuments (or reopened from such a
 // database).
 func (e *Engine) Snippet(a Answer, terms []string, width int) (string, error) {
+	e.beginRead()
+	defer e.endRead()
 	if width <= 0 {
 		width = 160
 	}
-	data, err := e.Document(int(a.Doc))
+	data, err := e.document(int(a.Doc))
 	if err != nil {
 		return "", err
 	}
