@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-parallel ci run-serve-autopilot
+.PHONY: all build test race vet bench bench-parallel bench-pr3 fuzz ci run-serve-autopilot
 
 all: build test
 
@@ -24,8 +24,9 @@ vet:
 	$(GO) vet ./...
 
 # bench regenerates the paper's tables/figures plus the parallel QPS
-# suite; see EXPERIMENTS.md for recorded results.
-bench:
+# suite, and refreshes BENCH_PR3.json; see EXPERIMENTS.md for recorded
+# results.
+bench: bench-pr3
 	$(GO) test -bench . -benchmem ./...
 
 # bench-parallel runs just the concurrency-scaling benchmarks (aggregate
@@ -33,8 +34,24 @@ bench:
 bench-parallel:
 	$(GO) test -run xxx -bench 'Parallel|ShardCount' -cpu 1,4 ./internal/storage/ .
 
-# ci is the full pre-merge gate: build, vet, plain tests, race tests.
-ci: build vet test race
+# bench-pr3 regenerates BENCH_PR3.json: block-encoded (v2) vs
+# row-per-entry (v1) list storage — bytes per table, pages per query,
+# ns/op for TA/Merge/ERA. The committed file records the results.
+bench-pr3:
+	$(GO) run ./cmd/trexbench -exp pr3 -pr3out BENCH_PR3.json
+
+# fuzz gives each codec fuzz target a short bounded run — long enough to
+# catch a decode panic regression, short enough for CI.
+FUZZTIME ?= 5s
+fuzz:
+	$(GO) test ./internal/index -run '^$$' -fuzz '^FuzzDecodePostingValue$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/index -run '^$$' -fuzz '^FuzzDecodeRPLRow$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/index -run '^$$' -fuzz '^FuzzDecodeERPLRow$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/index -run '^$$' -fuzz '^FuzzBlockRoundTrip$$' -fuzztime $(FUZZTIME)
+
+# ci is the full pre-merge gate: build, vet, plain tests, race tests,
+# short codec fuzz runs.
+ci: build vet test race fuzz
 
 # run-serve-autopilot is an end-to-end smoke test of the online
 # self-management daemon: generate a small corpus, load it, serve it

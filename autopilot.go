@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"trex/internal/autopilot"
+	"trex/internal/storage"
 )
 
 // AutopilotOptions configures online self-management: a bounded workload
@@ -157,30 +158,50 @@ type AutopilotPlan struct {
 	Saving       float64                  `json:"saving"`
 }
 
+// AutopilotStorage reports the engine's cumulative storage I/O counters,
+// so an operator watching GET /autopilot can see the page traffic the
+// current list configuration costs (and how a re-plan changes it).
+type AutopilotStorage struct {
+	PagesRead    uint64 `json:"pagesRead"`
+	PagesWritten uint64 `json:"pagesWritten"`
+	CacheHits    uint64 `json:"cacheHits"`
+	CacheMisses  uint64 `json:"cacheMisses"`
+	BytesRead    uint64 `json:"bytesRead"`
+}
+
 // AutopilotStatus is a point-in-time view of the daemon, served by the
 // web API's GET /autopilot.
 type AutopilotStatus struct {
-	Enabled        bool           `json:"enabled"`
-	Runs           uint64         `json:"runs"`
-	Failures       uint64         `json:"failures"`
-	LastError      string         `json:"lastError,omitempty"`
-	LastRunStart   time.Time      `json:"lastRunStart,omitzero"`
-	LastRunEnd     time.Time      `json:"lastRunEnd,omitzero"`
-	TrackedQueries int            `json:"trackedQueries"`
-	TotalObserved  uint64         `json:"totalObserved"`
-	SinceLastRun   uint64         `json:"sinceLastRun"`
-	DiskBudget     int64          `json:"diskBudget"`
-	Interval       string         `json:"interval,omitempty"`
-	Solver         string         `json:"solver,omitempty"`
-	LastPlan       *AutopilotPlan `json:"lastPlan,omitempty"`
+	Enabled        bool             `json:"enabled"`
+	Runs           uint64           `json:"runs"`
+	Failures       uint64           `json:"failures"`
+	LastError      string           `json:"lastError,omitempty"`
+	LastRunStart   time.Time        `json:"lastRunStart,omitzero"`
+	LastRunEnd     time.Time        `json:"lastRunEnd,omitzero"`
+	TrackedQueries int              `json:"trackedQueries"`
+	TotalObserved  uint64           `json:"totalObserved"`
+	SinceLastRun   uint64           `json:"sinceLastRun"`
+	DiskBudget     int64            `json:"diskBudget"`
+	Interval       string           `json:"interval,omitempty"`
+	Solver         string           `json:"solver,omitempty"`
+	Storage        AutopilotStorage `json:"storage"`
+	LastPlan       *AutopilotPlan   `json:"lastPlan,omitempty"`
 }
 
 // AutopilotStatus reports the daemon's state; Enabled is false when no
 // autopilot is running.
 func (e *Engine) AutopilotStatus() AutopilotStatus {
+	ds := e.db.Stats()
+	stor := AutopilotStorage{
+		PagesRead:    ds.PagesRead,
+		PagesWritten: ds.PagesWritten,
+		CacheHits:    ds.CacheHits,
+		CacheMisses:  ds.CacheMisses,
+		BytesRead:    ds.PagesRead * storage.PageSize,
+	}
 	ctl := e.pilot.Load()
 	if ctl == nil {
-		return AutopilotStatus{}
+		return AutopilotStatus{Storage: stor}
 	}
 	e.pilotMu.Lock()
 	opts := e.pilotOpts
@@ -199,6 +220,7 @@ func (e *Engine) AutopilotStatus() AutopilotStatus {
 		DiskBudget:     opts.DiskBudget,
 		Interval:       opts.Interval.String(),
 		Solver:         opts.Solver.String(),
+		Storage:        stor,
 	}
 	if st.LastReport != nil {
 		plan := &AutopilotPlan{

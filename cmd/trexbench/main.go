@@ -14,6 +14,7 @@
 //	drift      workload drift: re-planning recovers efficiency (Section 4)
 //	winners    which method wins per query at small and large k
 //	effectiveness  precision@10 vs planted topics (extension)
+//	pr3        block-encoded vs row-per-entry list storage (see -pr3out)
 //	all        everything above
 //
 // Usage:
@@ -23,6 +24,7 @@ package main
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -40,6 +42,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run (see doc comment)")
 	scale := flag.Float64("scale", 1.0, "corpus scale factor (1.0 = 400 IEEE / 900 wiki docs)")
 	csvDir := flag.String("csv", "", "also write figure series as CSV files into this directory")
+	pr3Out := flag.String("pr3out", "", "write the pr3 storage comparison as JSON to this file")
 	flag.Parse()
 	csvOut = *csvDir
 	if csvOut != "" {
@@ -108,6 +111,10 @@ func main() {
 	if run("effectiveness") {
 		ok = true
 		effectiveness(pair)
+	}
+	if run("pr3") {
+		ok = true
+		pr3(*scale, *pr3Out)
 	}
 	if !ok {
 		log.Fatalf("unknown experiment %q", *exp)
@@ -303,6 +310,49 @@ func winners(pair *bench.EnvPair) {
 	for _, r := range rows {
 		fmt.Printf("%-4s %12s %12s %20s %10v\n",
 			r.ID, r.SmallKWinner, r.LargeKWinner, strings.Join(r.ERABeatenBy, "+"), r.CrossoverPresent)
+	}
+	fmt.Println()
+}
+
+func pr3(scale float64, outPath string) {
+	fmt.Println("## Block-encoded list storage vs row-per-entry (PR 3)")
+	rep, err := bench.PR3(scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-8s %14s %14s %10s %10s\n", "layout", "RPL-bytes", "ERPL-bytes", "RPL-rows", "ERPL-rows")
+	fmt.Printf("%-8s %14d %14d %10d %10d\n", "v1",
+		rep.V1.RPLPayloadBytes, rep.V1.ERPLPayloadBytes, rep.V1.RPLRows, rep.V1.ERPLRows)
+	fmt.Printf("%-8s %14d %14d %10d %10d\n", "v2",
+		rep.V2.RPLPayloadBytes, rep.V2.ERPLPayloadBytes, rep.V2.RPLRows, rep.V2.ERPLRows)
+	fmt.Printf("combined payload reduction: %.1f%%\n", rep.Reduction*100)
+	fmt.Printf("%-4s %-6s | %10s %10s %10s | %10s %10s %10s\n",
+		"id", "method", "v1-ns", "v2-ns", "speedup", "v1-pages", "v2-pages", "v2-steps")
+	for _, q := range rep.Queries {
+		for _, m := range []string{"ta", "merge", "era"} {
+			a, b := q.V1[m], q.V2[m]
+			sp := 0.0
+			if b.NsOp > 0 {
+				sp = float64(a.NsOp) / float64(b.NsOp)
+			}
+			fmt.Printf("%-4s %-6s | %10d %10d %9.2fx | %10d %10d %10d\n",
+				q.ID, m, a.NsOp, b.NsOp, sp, a.PageReads, b.PageReads, b.CursorSteps)
+		}
+	}
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("# wrote %s\n", outPath)
 	}
 	fmt.Println()
 }

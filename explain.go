@@ -29,6 +29,10 @@ type Explanation struct {
 	// ListVolume is the total number of materialized RPL entries the
 	// query's (term, sid) lists hold (TA's maximum read depth).
 	ListVolume int
+	// ListBytes is the on-disk footprint (key+value bytes) of those RPL
+	// lists plus the clause's ERPL lists — exact for block-encoded lists,
+	// since the catalog records real encoded sizes.
+	ListBytes int64
 }
 
 // Explain analyzes a query without evaluating it.
@@ -73,14 +77,24 @@ func (e *Engine) Explain(src string) (*Explanation, error) {
 	if ex.MethodAtLargeK, err = e.pick(sids, terms, 1_000_000); err != nil {
 		return nil, err
 	}
-	if ex.RPLCovered {
+	for _, kind := range []index.ListKind{index.KindRPL, index.KindERPL} {
+		covered := ex.RPLCovered
+		if kind == index.KindERPL {
+			covered = ex.ERPLCovered
+		}
+		if !covered {
+			continue
+		}
 		for _, t := range terms {
 			for _, sid := range sids {
-				n, _, err := e.store.BuiltSize(index.KindRPL, t, sid)
+				n, b, err := e.store.BuiltSize(kind, t, sid)
 				if err != nil {
 					return nil, err
 				}
-				ex.ListVolume += n
+				if kind == index.KindRPL {
+					ex.ListVolume += n
+				}
+				ex.ListBytes += b
 			}
 		}
 	}
@@ -104,8 +118,8 @@ func (ex *Explanation) String() string {
 		fmt.Fprintf(&sb, "  %s\n", c)
 	}
 	fmt.Fprintf(&sb, "targets: %s\n", strings.Join(ex.TargetPaths, ", "))
-	fmt.Fprintf(&sb, "lists: RPL covered=%v ERPL covered=%v volume=%d entries\n",
-		ex.RPLCovered, ex.ERPLCovered, ex.ListVolume)
+	fmt.Fprintf(&sb, "lists: RPL covered=%v ERPL covered=%v volume=%d entries, %d bytes on disk\n",
+		ex.RPLCovered, ex.ERPLCovered, ex.ListVolume, ex.ListBytes)
 	fmt.Fprintf(&sb, "auto method: k small -> %s, k large -> %s\n",
 		ex.MethodAtSmallK, ex.MethodAtLargeK)
 	return sb.String()

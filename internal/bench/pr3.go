@@ -1,0 +1,243 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"trex"
+	"trex/internal/corpus"
+	"trex/internal/index"
+	"trex/internal/retrieval"
+	"trex/internal/storage"
+	"trex/internal/translate"
+)
+
+// PR3 measures the block-encoded (v2) list storage against the
+// row-per-entry (v1) layout it replaced: on-disk bytes per table, pages
+// touched per query, and ns/op for TA, Merge and ERA over the standard
+// IEEE synthetic corpus. `make bench-pr3` serializes the report to
+// BENCH_PR3.json.
+
+// PR3TableStats is one store's redundant-list footprint.
+type PR3TableStats struct {
+	// Payload bytes are exact key+value sums; PageBytes counts whole
+	// B+tree pages (what the disk budget actually pays).
+	RPLPayloadBytes  int64 `json:"rplPayloadBytes"`
+	ERPLPayloadBytes int64 `json:"erplPayloadBytes"`
+	RPLPageBytes     int64 `json:"rplPageBytes"`
+	ERPLPageBytes    int64 `json:"erplPageBytes"`
+	RPLRows          int   `json:"rplRows"`
+	ERPLRows         int   `json:"erplRows"`
+}
+
+// PR3MethodStats is one (query, method, store) measurement.
+type PR3MethodStats struct {
+	NsOp        int64  `json:"nsOp"`
+	PageReads   uint64 `json:"pageReads"`
+	CursorSteps int    `json:"cursorSteps"`
+	BlockSkips  int    `json:"blockSkips"`
+	ListReads   int    `json:"listReads"`
+	Answers     int    `json:"answers"`
+}
+
+// PR3QueryResult compares the two layouts on one paper query.
+type PR3QueryResult struct {
+	ID   string                    `json:"id"`
+	NEXI string                    `json:"nexi"`
+	K    int                       `json:"k"`
+	V1   map[string]PR3MethodStats `json:"v1"`
+	V2   map[string]PR3MethodStats `json:"v2"`
+}
+
+// PR3Report is the full before/after comparison.
+type PR3Report struct {
+	Corpus struct {
+		Style string `json:"style"`
+		Docs  int    `json:"docs"`
+		Seed  int64  `json:"seed"`
+	} `json:"corpus"`
+	V1 PR3TableStats `json:"v1"`
+	V2 PR3TableStats `json:"v2"`
+	// Reduction is 1 - v2/v1 over the combined RPL+ERPL payload bytes
+	// (the PR's acceptance criterion asks for >= 0.40).
+	Reduction float64          `json:"reduction"`
+	Queries   []PR3QueryResult `json:"queries"`
+}
+
+// pr3Methods are the strategies the report times.
+var pr3Methods = map[string]trex.Method{
+	"ta":    trex.MethodTA,
+	"merge": trex.MethodMerge,
+	"era":   trex.MethodERA,
+}
+
+// PR3 builds two engines over the identical corpus — one with v1 lists,
+// one with v2 blocks — and measures both.
+func PR3(scale float64) (*PR3Report, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	docs := int(float64(DefaultIEEEDocs) * scale)
+	rep := &PR3Report{}
+	rep.Corpus.Style = corpus.StyleIEEE.String()
+	rep.Corpus.Docs = docs
+	rep.Corpus.Seed = DefaultSeed
+
+	v2, err := NewEnv(corpus.StyleIEEE, docs, DefaultSeed)
+	if err != nil {
+		return nil, err
+	}
+	defer v2.Close()
+	v1, err := NewEnv(corpus.StyleIEEE, docs, DefaultSeed)
+	if err != nil {
+		return nil, err
+	}
+	defer v1.Close()
+
+	var queries []*QueryDef
+	for i := range PaperQueries {
+		if PaperQueries[i].Style == corpus.StyleIEEE {
+			queries = append(queries, &PaperQueries[i])
+		}
+	}
+
+	for _, q := range queries {
+		// v2: the engine's normal (block-encoded) materialization path.
+		if err := v2.Ensure(q.NEXI); err != nil {
+			return nil, err
+		}
+		// v1: the legacy row-per-entry writer, driven through the same
+		// translation so both stores hold lists for identical clauses.
+		tr, err := v1.Engine.Translate(q.NEXI)
+		if err != nil {
+			return nil, err
+		}
+		sids, terms := pr3Flatten(tr)
+		st := v1.Engine.Store()
+		sc, err := st.NewScorer(terms)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := retrieval.MaterializeV1(st, sids, terms, sc, index.KindRPL, index.KindERPL); err != nil {
+			return nil, err
+		}
+	}
+
+	if rep.V1, err = pr3Tables(v1.Engine.Store()); err != nil {
+		return nil, err
+	}
+	if rep.V2, err = pr3Tables(v2.Engine.Store()); err != nil {
+		return nil, err
+	}
+	v1Total := rep.V1.RPLPayloadBytes + rep.V1.ERPLPayloadBytes
+	v2Total := rep.V2.RPLPayloadBytes + rep.V2.ERPLPayloadBytes
+	if v1Total > 0 {
+		rep.Reduction = 1 - float64(v2Total)/float64(v1Total)
+	}
+
+	const k = 10
+	for _, q := range queries {
+		qr := PR3QueryResult{ID: q.ID, NEXI: q.NEXI, K: k,
+			V1: make(map[string]PR3MethodStats), V2: make(map[string]PR3MethodStats)}
+		for name, m := range pr3Methods {
+			s1, err := pr3Measure(v1.Engine, q.NEXI, k, m)
+			if err != nil {
+				return nil, fmt.Errorf("bench: pr3 %s/%s v1: %w", q.ID, name, err)
+			}
+			qr.V1[name] = s1
+			s2, err := pr3Measure(v2.Engine, q.NEXI, k, m)
+			if err != nil {
+				return nil, fmt.Errorf("bench: pr3 %s/%s v2: %w", q.ID, name, err)
+			}
+			qr.V2[name] = s2
+		}
+		rep.Queries = append(rep.Queries, qr)
+	}
+	return rep, nil
+}
+
+// pr3Measure runs one (query, method) a few times and reports the fastest
+// run's wall clock with the (deterministic) counters of the final run.
+func pr3Measure(eng *trex.Engine, nexi string, k int, m trex.Method) (PR3MethodStats, error) {
+	const runs = 3
+	var out PR3MethodStats
+	best := time.Duration(1<<62 - 1)
+	for i := 0; i < runs; i++ {
+		res, err := eng.Query(nexi, k, m)
+		if err != nil {
+			return out, err
+		}
+		st := res.Stats
+		if st.Elapsed < best {
+			best = st.Elapsed
+		}
+		listReads := 0
+		for _, r := range st.ListReads {
+			listReads += r
+		}
+		out = PR3MethodStats{
+			PageReads:   st.PageReads,
+			CursorSteps: st.CursorSteps,
+			BlockSkips:  st.BlockSkips,
+			ListReads:   listReads,
+			Answers:     st.Answers,
+		}
+	}
+	out.NsOp = best.Nanoseconds()
+	return out, nil
+}
+
+// pr3Tables sums the redundant-list trees' exact payload and page
+// footprints.
+func pr3Tables(st *index.Store) (PR3TableStats, error) {
+	var out PR3TableStats
+	var err error
+	if out.RPLPayloadBytes, out.RPLRows, err = pr3Payload(st.RPLs); err != nil {
+		return out, err
+	}
+	if out.ERPLPayloadBytes, out.ERPLRows, err = pr3Payload(st.ERPLs); err != nil {
+		return out, err
+	}
+	if out.RPLPageBytes, err = st.RPLs.ApproxBytes(); err != nil {
+		return out, err
+	}
+	if out.ERPLPageBytes, err = st.ERPLs.ApproxBytes(); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+func pr3Payload(tree *storage.Tree) (int64, int, error) {
+	var bytes int64
+	rows := 0
+	c := tree.Cursor()
+	ok, err := c.First()
+	for ok && err == nil {
+		bytes += int64(len(c.Key()) + len(c.Value()))
+		rows++
+		ok, err = c.Next()
+	}
+	return bytes, rows, err
+}
+
+// pr3Flatten mirrors the engine's clause flattening: the distinct sids of
+// all clauses plus targets, sorted, with the translation's distinct terms.
+func pr3Flatten(tr *translate.Translation) ([]uint32, []string) {
+	seen := make(map[uint32]bool)
+	var sids []uint32
+	add := func(list []uint32) {
+		for _, s := range list {
+			if !seen[s] {
+				seen[s] = true
+				sids = append(sids, s)
+			}
+		}
+	}
+	for i := range tr.Clauses {
+		add(tr.Clauses[i].SIDs)
+	}
+	add(tr.TargetSIDs)
+	sort.Slice(sids, func(i, j int) bool { return sids[i] < sids[j] })
+	return sids, tr.DistinctTerms()
+}

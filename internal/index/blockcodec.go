@@ -1,0 +1,424 @@
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Block-encoded (v2) RPL/ERPL rows. The seed stored one B+tree row per
+// list entry — a ~20-byte composite key plus a 12-byte value — so key
+// overhead dominated both the on-disk footprint (the budget Section 4's
+// self-management optimizes against) and query I/O. v2 packs a run of
+// entries into a single row, delta-varint encoded, with a small header
+// carrying the entry count and a score/position bound that lets readers
+// reason about a whole block without decoding it.
+//
+// Version discrimination does not need a new key format: a v1 value is
+// exactly rplV1ValueLen bytes, while a v2 block value begins with
+// listFormatBlock and is never that length (its minimum sizes are 15
+// bytes for RPL and 16 for ERPL blocks). Mixed stores therefore keep
+// working — iterators decide per row.
+//
+// Layouts (all varints are unsigned LEB128, multi-byte integers
+// big-endian):
+//
+//	RPL block value:
+//	  0x02 | count uvarint | maxScoreBits 8B
+//	  per entry: irDelta uvarint | sid uvarint | doc uvarint |
+//	             end uvarint | length uvarint
+//	Entries are in key order — (ir, sid, doc, end) ascending, i.e. score
+//	descending — and irDelta is relative to invertScore(maxScore), so the
+//	first delta is 0 and deltas are exact integer arithmetic (scores
+//	round-trip bit-for-bit). RPL blocks may mix sids, exactly as v1 rows
+//	interleave in key space.
+//
+//	ERPL block value:
+//	  0x02 | count uvarint | sid uvarint | maxDoc uvarint | maxEnd uvarint
+//	  first entry:  doc uvarint | end uvarint | scoreBits 8B | length uvarint
+//	  later entries: docDelta uvarint | (endDelta if docDelta==0, else
+//	                 absolute end) uvarint | scoreBits 8B | length uvarint
+//	ERPL blocks are sealed at sid boundaries, so a block holds a single
+//	sid: erplSIDPrefix seeks and key-based sid extraction stay valid, and
+//	(maxDoc, maxEnd) with the key's first entry give the block's position
+//	range. Scores are stored raw: position order makes score deltas noise.
+//
+// The block key is the ordinary v1 key of the block's first entry, so key
+// order still clusters blocks exactly where their entries would sit.
+const listFormatBlock = 0x02
+
+// rplV1ValueLen is the length of a v1 RPL/ERPL value; any other length
+// must be a block.
+const rplV1ValueLen = 12
+
+// BlockTargetEntries is how many entries the encoder packs per block
+// before sealing. 128 keeps worst-case encoded blocks well under the
+// storage value limit while amortizing the key to a fraction of a byte
+// per entry.
+const BlockTargetEntries = 128
+
+// blockSoftMaxBytes seals a block early if its encoded value would grow
+// past this, keeping pathological-delta blocks under MaxValueSize.
+const blockSoftMaxBytes = 2048
+
+// ListRow is one encoded storage row of a materialized list, with the
+// per-entry byte attribution the catalog needs: EntryBytes[i] is entry
+// i's share of len(Key)+len(Value) (header and key bytes are attributed
+// to the first entry), so per-(term, sid) sizes sum exactly to the
+// encoded footprint.
+type ListRow struct {
+	Key        []byte
+	Value      []byte
+	Entries    []RPLEntry
+	EntryBytes []int
+}
+
+// rplEntryLess orders entries as the RPLs key does: (ir, sid, doc, end)
+// ascending, i.e. score descending.
+func rplEntryLess(a, b RPLEntry) bool {
+	ia, ib := invertScore(a.Score), invertScore(b.Score)
+	if ia != ib {
+		return ia < ib
+	}
+	if a.SID != b.SID {
+		return a.SID < b.SID
+	}
+	if a.Doc != b.Doc {
+		return a.Doc < b.Doc
+	}
+	return a.End < b.End
+}
+
+// erplEntryLess orders entries as the ERPLs key does: (sid, doc, end).
+func erplEntryLess(a, b RPLEntry) bool {
+	if a.SID != b.SID {
+		return a.SID < b.SID
+	}
+	if a.Doc != b.Doc {
+		return a.Doc < b.Doc
+	}
+	return a.End < b.End
+}
+
+// SortRPLEntriesScoreOrder sorts entries into RPL key order (score
+// descending with (sid, doc, end) tie-break).
+func SortRPLEntriesScoreOrder(entries []RPLEntry) {
+	sort.Slice(entries, func(i, j int) bool { return rplEntryLess(entries[i], entries[j]) })
+}
+
+// SortRPLEntriesPositionOrder sorts entries into ERPL key order
+// ((sid, doc, end) ascending).
+func SortRPLEntriesPositionOrder(entries []RPLEntry) {
+	sort.Slice(entries, func(i, j int) bool { return erplEntryLess(entries[i], entries[j]) })
+}
+
+// EncodeRPLBlocks encodes a term's entries into v2 block rows. It sorts
+// entries into score order in place; the returned rows carry ascending,
+// non-overlapping keys suitable for the bulk loader.
+func EncodeRPLBlocks(term string, entries []RPLEntry) []ListRow {
+	SortRPLEntriesScoreOrder(entries)
+	var rows []ListRow
+	for len(entries) > 0 {
+		maxIR := invertScore(entries[0].Score)
+		payload := make([]byte, 0, 8*BlockTargetEntries)
+		sizes := make([]int, 0, BlockTargetEntries)
+		n := 0
+		for n < len(entries) && n < BlockTargetEntries && len(payload) < blockSoftMaxBytes {
+			e := entries[n]
+			before := len(payload)
+			payload = binary.AppendUvarint(payload, invertScore(e.Score)-maxIR)
+			payload = binary.AppendUvarint(payload, uint64(e.SID))
+			payload = binary.AppendUvarint(payload, uint64(e.Doc))
+			payload = binary.AppendUvarint(payload, uint64(e.End))
+			payload = binary.AppendUvarint(payload, uint64(e.Length))
+			sizes = append(sizes, len(payload)-before)
+			n++
+		}
+		key := rplKey(term, entries[0])
+		val := make([]byte, 0, 10+len(payload))
+		val = append(val, listFormatBlock)
+		val = binary.AppendUvarint(val, uint64(n))
+		val = binary.BigEndian.AppendUint64(val, math.Float64bits(entries[0].Score))
+		header := len(key) + len(val)
+		val = append(val, payload...)
+		sizes[0] += header
+		rows = append(rows, ListRow{
+			Key:        key,
+			Value:      val,
+			Entries:    append([]RPLEntry(nil), entries[:n]...),
+			EntryBytes: sizes,
+		})
+		entries = entries[n:]
+	}
+	return rows
+}
+
+// EncodeERPLBlocks encodes a term's entries into v2 ERPL block rows. It
+// sorts entries into position order in place and seals blocks at sid
+// boundaries, so every block holds a single sid.
+func EncodeERPLBlocks(term string, entries []RPLEntry) []ListRow {
+	SortRPLEntriesPositionOrder(entries)
+	var rows []ListRow
+	for len(entries) > 0 {
+		sid := entries[0].SID
+		payload := make([]byte, 0, 16*BlockTargetEntries)
+		sizes := make([]int, 0, BlockTargetEntries)
+		n := 0
+		var prev RPLEntry
+		for n < len(entries) && n < BlockTargetEntries && len(payload) < blockSoftMaxBytes {
+			e := entries[n]
+			if e.SID != sid {
+				break
+			}
+			before := len(payload)
+			if n == 0 {
+				payload = binary.AppendUvarint(payload, uint64(e.Doc))
+				payload = binary.AppendUvarint(payload, uint64(e.End))
+			} else if e.Doc == prev.Doc {
+				payload = binary.AppendUvarint(payload, 0)
+				payload = binary.AppendUvarint(payload, uint64(e.End-prev.End))
+			} else {
+				payload = binary.AppendUvarint(payload, uint64(e.Doc-prev.Doc))
+				payload = binary.AppendUvarint(payload, uint64(e.End))
+			}
+			payload = binary.BigEndian.AppendUint64(payload, math.Float64bits(e.Score))
+			payload = binary.AppendUvarint(payload, uint64(e.Length))
+			sizes = append(sizes, len(payload)-before)
+			prev = e
+			n++
+		}
+		last := entries[n-1]
+		key := erplKey(term, entries[0])
+		val := make([]byte, 0, 12+len(payload))
+		val = append(val, listFormatBlock)
+		val = binary.AppendUvarint(val, uint64(n))
+		val = binary.AppendUvarint(val, uint64(sid))
+		val = binary.AppendUvarint(val, uint64(last.Doc))
+		val = binary.AppendUvarint(val, uint64(last.End))
+		header := len(key) + len(val)
+		val = append(val, payload...)
+		sizes[0] += header
+		rows = append(rows, ListRow{
+			Key:        key,
+			Value:      val,
+			Entries:    append([]RPLEntry(nil), entries[:n]...),
+			EntryBytes: sizes,
+		})
+		entries = entries[n:]
+	}
+	return rows
+}
+
+// beUint32 / beUint64 are shorthand for the big-endian field reads the
+// key-tail comparators perform.
+func beUint32(b []byte) uint32 { return binary.BigEndian.Uint32(b) }
+func beUint64(b []byte) uint64 { return binary.BigEndian.Uint64(b) }
+
+// uvReader is a bounds-checked varint reader; decoders built on it fail
+// with an error instead of panicking on truncated or corrupt input.
+type uvReader struct {
+	b   []byte
+	bad bool
+}
+
+func (r *uvReader) uvarint() uint64 {
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		r.bad = true
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *uvReader) uint64() uint64 {
+	if len(r.b) < 8 {
+		r.bad = true
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.b[:8])
+	r.b = r.b[8:]
+	return v
+}
+
+// blockCount validates a decoded count against the bytes that remain,
+// assuming each entry takes at least minEntryBytes, so corrupt headers
+// cannot trigger huge allocations.
+func (r *uvReader) blockCount(minEntryBytes int) (int, error) {
+	c := r.uvarint()
+	if r.bad {
+		return 0, fmt.Errorf("index: truncated block header")
+	}
+	if c == 0 || c > uint64(len(r.b)) {
+		return 0, fmt.Errorf("index: implausible block count %d (%d bytes left)", c, len(r.b))
+	}
+	if int(c)*minEntryBytes > len(r.b)+minEntryBytes+16 {
+		return 0, fmt.Errorf("index: block count %d exceeds payload", c)
+	}
+	return int(c), nil
+}
+
+// decodeRPLBlock decodes a v2 RPL block value (including the leading
+// format byte) into its entries.
+func decodeRPLBlock(v []byte) ([]RPLEntry, error) {
+	if len(v) < 1 || v[0] != listFormatBlock {
+		return nil, fmt.Errorf("index: bad RPL block format")
+	}
+	r := &uvReader{b: v[1:]}
+	count, err := r.blockCount(5)
+	if err != nil {
+		return nil, err
+	}
+	maxIR := invertScore(math.Float64frombits(r.uint64()))
+	out := make([]RPLEntry, 0, count)
+	for i := 0; i < count; i++ {
+		irDelta := r.uvarint()
+		sid := r.uvarint()
+		doc := r.uvarint()
+		end := r.uvarint()
+		length := r.uvarint()
+		if r.bad {
+			return nil, fmt.Errorf("index: truncated RPL block at entry %d", i)
+		}
+		out = append(out, RPLEntry{
+			Score:  uninvertScore(maxIR + irDelta),
+			SID:    uint32(sid),
+			Doc:    uint32(doc),
+			End:    uint32(end),
+			Length: uint32(length),
+		})
+	}
+	if len(r.b) != 0 {
+		return nil, fmt.Errorf("index: %d trailing bytes in RPL block", len(r.b))
+	}
+	return out, nil
+}
+
+// rplBlockMaxScore reads an RPL block header's max score without
+// decoding the entries.
+func rplBlockMaxScore(v []byte) (float64, error) {
+	if len(v) < 1 || v[0] != listFormatBlock {
+		return 0, fmt.Errorf("index: bad RPL block format")
+	}
+	r := &uvReader{b: v[1:]}
+	r.uvarint() // count
+	s := math.Float64frombits(r.uint64())
+	if r.bad {
+		return 0, fmt.Errorf("index: truncated RPL block header")
+	}
+	return s, nil
+}
+
+// decodeERPLBlock decodes a v2 ERPL block value (including the leading
+// format byte) into its entries.
+func decodeERPLBlock(v []byte) ([]RPLEntry, error) {
+	if len(v) < 1 || v[0] != listFormatBlock {
+		return nil, fmt.Errorf("index: bad ERPL block format")
+	}
+	r := &uvReader{b: v[1:]}
+	count, err := r.blockCount(11)
+	if err != nil {
+		return nil, err
+	}
+	sid := r.uvarint()
+	r.uvarint() // maxDoc (skip metadata, not needed to decode)
+	r.uvarint() // maxEnd
+	if r.bad {
+		return nil, fmt.Errorf("index: truncated ERPL block header")
+	}
+	out := make([]RPLEntry, 0, count)
+	var prev RPLEntry
+	for i := 0; i < count; i++ {
+		var doc, end uint64
+		if i == 0 {
+			doc = r.uvarint()
+			end = r.uvarint()
+		} else {
+			docDelta := r.uvarint()
+			val := r.uvarint()
+			if docDelta == 0 {
+				doc = uint64(prev.Doc)
+				end = uint64(prev.End) + val
+			} else {
+				doc = uint64(prev.Doc) + docDelta
+				end = val
+			}
+		}
+		scoreBits := r.uint64()
+		length := r.uvarint()
+		if r.bad {
+			return nil, fmt.Errorf("index: truncated ERPL block at entry %d", i)
+		}
+		e := RPLEntry{
+			Score:  math.Float64frombits(scoreBits),
+			SID:    uint32(sid),
+			Doc:    uint32(doc),
+			End:    uint32(end),
+			Length: uint32(length),
+		}
+		out = append(out, e)
+		prev = e
+	}
+	if len(r.b) != 0 {
+		return nil, fmt.Errorf("index: %d trailing bytes in ERPL block", len(r.b))
+	}
+	return out, nil
+}
+
+// erplBlockBounds reads an ERPL block header's entry count and max
+// (doc, end) without decoding the entries — the skip metadata Merge's
+// bulk drain and lazy list totals are built on.
+func erplBlockBounds(v []byte) (count int, maxDoc, maxEnd uint32, err error) {
+	if len(v) < 1 || v[0] != listFormatBlock {
+		return 0, 0, 0, fmt.Errorf("index: bad ERPL block format")
+	}
+	r := &uvReader{b: v[1:]}
+	c := r.uvarint()
+	r.uvarint() // sid
+	d := r.uvarint()
+	e := r.uvarint()
+	if r.bad {
+		return 0, 0, 0, fmt.Errorf("index: truncated ERPL block header")
+	}
+	return int(c), uint32(d), uint32(e), nil
+}
+
+// decodeRPLRow decodes a row of the RPLs tree, v1 or v2 — the per-row
+// version decision every reader makes.
+func decodeRPLRow(k, v []byte) ([]RPLEntry, error) {
+	if len(v) == rplV1ValueLen {
+		_, e, err := decodeRPL(k, v)
+		if err != nil {
+			return nil, err
+		}
+		return []RPLEntry{e}, nil
+	}
+	return decodeRPLBlock(v)
+}
+
+// decodeERPLRow decodes a row of the ERPLs tree, v1 or v2.
+func decodeERPLRow(k, v []byte) ([]RPLEntry, error) {
+	if len(v) == rplV1ValueLen {
+		_, e, err := decodeERPL(k, v)
+		if err != nil {
+			return nil, err
+		}
+		return []RPLEntry{e}, nil
+	}
+	return decodeERPLBlock(v)
+}
+
+// erplRowStats returns the entry count and max (doc, end) of an ERPL row
+// without decoding block entries. The key supplies the identity for v1
+// rows (single entry: bounds are the entry itself).
+func erplRowStats(k, v []byte) (count int, maxDoc, maxEnd uint32, err error) {
+	if len(v) == rplV1ValueLen {
+		_, e, err := decodeERPL(k, v)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		return 1, e.Doc, e.End, nil
+	}
+	return erplBlockBounds(v)
+}

@@ -1,0 +1,463 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randEntries builds a deterministic entry set spanning several sids and
+// documents, with duplicate scores to exercise tie-breaks.
+func randEntries(n int, seed int64) []RPLEntry {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]RPLEntry, 0, n)
+	seen := make(map[[2]uint32]bool)
+	for len(out) < n {
+		doc := uint32(rng.Intn(50))
+		end := uint32(rng.Intn(5000) + 1)
+		id := [2]uint32{doc, end}
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		out = append(out, RPLEntry{
+			Score:  float64(rng.Intn(40)) / 4, // duplicates on purpose
+			SID:    uint32(rng.Intn(4) + 1),
+			Doc:    doc,
+			End:    end,
+			Length: uint32(rng.Intn(300) + 1),
+		})
+	}
+	return out
+}
+
+func entriesEqual(a, b []RPLEntry) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("length %d != %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Errorf("entry %d: %+v != %+v", i, a[i], b[i])
+		}
+	}
+	return nil
+}
+
+func TestRPLBlockRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 2, 127, 128, 129, 300, 1000} {
+		entries := randEntries(n, int64(n))
+		want := append([]RPLEntry(nil), entries...)
+		SortRPLEntriesScoreOrder(want)
+		rows := EncodeRPLBlocks("term", entries)
+		var got []RPLEntry
+		for _, r := range rows {
+			if len(r.Value) == rplV1ValueLen {
+				t.Fatalf("block value of ambiguous v1 length %d", len(r.Value))
+			}
+			dec, err := decodeRPLRow(r.Key, r.Value)
+			if err != nil {
+				t.Fatalf("n=%d: decode: %v", n, err)
+			}
+			if err := entriesEqual(dec, r.Entries); err != nil {
+				t.Fatalf("n=%d: row entries mismatch: %v", n, err)
+			}
+			got = append(got, dec...)
+		}
+		if err := entriesEqual(got, want); err != nil {
+			t.Fatalf("n=%d: round trip: %v", n, err)
+		}
+	}
+}
+
+func TestERPLBlockRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 2, 128, 129, 500} {
+		entries := randEntries(n, int64(1000+n))
+		want := append([]RPLEntry(nil), entries...)
+		SortRPLEntriesPositionOrder(want)
+		rows := EncodeERPLBlocks("term", entries)
+		var got []RPLEntry
+		for _, r := range rows {
+			sid := r.Entries[0].SID
+			for _, e := range r.Entries {
+				if e.SID != sid {
+					t.Fatalf("n=%d: ERPL block mixes sids %d and %d", n, sid, e.SID)
+				}
+			}
+			dec, err := decodeERPLRow(r.Key, r.Value)
+			if err != nil {
+				t.Fatalf("n=%d: decode: %v", n, err)
+			}
+			if err := entriesEqual(dec, r.Entries); err != nil {
+				t.Fatalf("n=%d: row entries mismatch: %v", n, err)
+			}
+			got = append(got, dec...)
+		}
+		if err := entriesEqual(got, want); err != nil {
+			t.Fatalf("n=%d: round trip: %v", n, err)
+		}
+	}
+}
+
+// TestBlockByteAttribution checks that per-entry byte shares sum exactly
+// to the row footprint — the invariant the catalog's (and therefore the
+// advisor's) size accounting relies on.
+func TestBlockByteAttribution(t *testing.T) {
+	entries := randEntries(400, 7)
+	for _, tc := range []struct {
+		name string
+		rows []ListRow
+	}{
+		{"rpl", EncodeRPLBlocks("sometoken", append([]RPLEntry(nil), entries...))},
+		{"erpl", EncodeERPLBlocks("sometoken", append([]RPLEntry(nil), entries...))},
+	} {
+		total := 0
+		for _, r := range tc.rows {
+			if len(r.EntryBytes) != len(r.Entries) {
+				t.Fatalf("%s: %d sizes for %d entries", tc.name, len(r.EntryBytes), len(r.Entries))
+			}
+			rowSum := 0
+			for _, b := range r.EntryBytes {
+				rowSum += b
+			}
+			if rowSum != len(r.Key)+len(r.Value) {
+				t.Fatalf("%s: attribution sum %d != row footprint %d", tc.name, rowSum, len(r.Key)+len(r.Value))
+			}
+			total += rowSum
+		}
+		// Sanity: the encoding actually compresses vs 32-byte v1 rows.
+		v1 := len(entries) * (len("sometoken") + 1 + 20 + 12)
+		if total >= v1 {
+			t.Fatalf("%s: encoded %d bytes >= v1 %d", tc.name, total, v1)
+		}
+	}
+}
+
+func TestERPLBlockBounds(t *testing.T) {
+	entries := randEntries(300, 11)
+	rows := EncodeERPLBlocks("t", entries)
+	for i, r := range rows {
+		count, maxDoc, maxEnd, err := erplRowStats(r.Key, r.Value)
+		if err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+		if count != len(r.Entries) {
+			t.Fatalf("row %d: header count %d, want %d", i, count, len(r.Entries))
+		}
+		last := r.Entries[len(r.Entries)-1]
+		if maxDoc != last.Doc || maxEnd != last.End {
+			t.Fatalf("row %d: bounds (%d,%d), want (%d,%d)", i, maxDoc, maxEnd, last.Doc, last.End)
+		}
+	}
+}
+
+// writeBlocks writes entries as v2 blocks straight into the store.
+func writeBlocks(t *testing.T, st *Store, kind ListKind, term string, entries []RPLEntry) {
+	t.Helper()
+	var rows []ListRow
+	if kind == KindRPL {
+		rows = EncodeRPLBlocks(term, entries)
+	} else {
+		rows = EncodeERPLBlocks(term, entries)
+	}
+	if err := st.WriteListRows(kind, rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func collectRPL(t *testing.T, st *Store, term string) []RPLEntry {
+	t.Helper()
+	it := NewRPLIterator(st, term)
+	var got []RPLEntry
+	for {
+		e, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			return got
+		}
+		got = append(got, e)
+	}
+}
+
+func TestRPLIteratorOverBlocks(t *testing.T) {
+	st := openEmptyStore(t)
+	entries := randEntries(500, 21)
+	writeBlocks(t, st, KindRPL, "xml", append([]RPLEntry(nil), entries...))
+	want := append([]RPLEntry(nil), entries...)
+	SortRPLEntriesScoreOrder(want)
+	it := NewRPLIterator(st, "xml")
+	var got []RPLEntry
+	for {
+		e, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		got = append(got, e)
+	}
+	if err := entriesEqual(got, want); err != nil {
+		t.Fatal(err)
+	}
+	if it.Reads != len(entries) {
+		t.Fatalf("Reads = %d, want %d", it.Reads, len(entries))
+	}
+	wantRows := (len(entries) + BlockTargetEntries - 1) / BlockTargetEntries
+	if it.RowsRead != wantRows {
+		t.Fatalf("RowsRead = %d, want %d", it.RowsRead, wantRows)
+	}
+}
+
+// TestRPLIteratorMixedRows interleaves v1 rows with overlapping v2 blocks
+// (two materialization generations) and checks the merged emission order.
+func TestRPLIteratorMixedRows(t *testing.T) {
+	st := openEmptyStore(t)
+	entries := randEntries(260, 33)
+	// First half as blocks, second half as v1 rows: score ranges overlap,
+	// so rows of both formats interleave in key space.
+	writeBlocks(t, st, KindRPL, "xml", append([]RPLEntry(nil), entries[:130]...))
+	for _, e := range entries[130:] {
+		if err := st.PutRPL("xml", e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := append([]RPLEntry(nil), entries...)
+	SortRPLEntriesScoreOrder(want)
+	if err := entriesEqual(collectRPL(t, st, "xml"), want); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRPLIteratorOverlappingBlocks writes two block generations whose key
+// ranges interleave — the shape a partial rebuild could produce — and
+// checks the pending-merge still emits globally sorted entries.
+func TestRPLIteratorOverlappingBlocks(t *testing.T) {
+	st := openEmptyStore(t)
+	entries := randEntries(300, 55)
+	var genA, genB []RPLEntry
+	for i, e := range entries {
+		if i%2 == 0 {
+			genA = append(genA, e)
+		} else {
+			genB = append(genB, e)
+		}
+	}
+	writeBlocks(t, st, KindRPL, "xml", genA)
+	writeBlocks(t, st, KindRPL, "xml", genB)
+	want := append([]RPLEntry(nil), entries...)
+	SortRPLEntriesScoreOrder(want)
+	if err := entriesEqual(collectRPL(t, st, "xml"), want); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestERPLIteratorOverBlocksAndMixed(t *testing.T) {
+	st := openEmptyStore(t)
+	entries := randEntries(400, 77)
+	writeBlocks(t, st, KindERPL, "q", append([]RPLEntry(nil), entries[:200]...))
+	for _, e := range entries[200:] {
+		if err := st.PutERPL("q", e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for sid := uint32(1); sid <= 4; sid++ {
+		var want []RPLEntry
+		for _, e := range entries {
+			if e.SID == sid {
+				want = append(want, e)
+			}
+		}
+		SortRPLEntriesPositionOrder(want)
+		it := NewERPLIterator(st, "q", sid)
+		var got []RPLEntry
+		for {
+			e, ok, err := it.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			got = append(got, e)
+		}
+		if err := entriesEqual(got, want); err != nil {
+			t.Fatalf("sid %d: %v", sid, err)
+		}
+	}
+}
+
+func TestBlockMaxScoreTracksPeek(t *testing.T) {
+	st := openEmptyStore(t)
+	entries := randEntries(200, 91)
+	writeBlocks(t, st, KindRPL, "xml", append([]RPLEntry(nil), entries...))
+	it := NewRPLIterator(st, "xml")
+	prev := -1.0
+	for {
+		bound, ok, err := it.BlockMaxScore()
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, ok2, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok != ok2 {
+			t.Fatalf("BlockMaxScore ok=%v but Next ok=%v", ok, ok2)
+		}
+		if !ok {
+			break
+		}
+		if bound != e.Score {
+			t.Fatalf("bound %v != next score %v", bound, e.Score)
+		}
+		if prev >= 0 && e.Score > prev {
+			t.Fatalf("score ascended: %v after %v", e.Score, prev)
+		}
+		prev = e.Score
+	}
+}
+
+func TestERPLSkipToPrunesBlocks(t *testing.T) {
+	st := openEmptyStore(t)
+	// Single sid, ascending docs: many whole blocks precede the target.
+	var entries []RPLEntry
+	for i := 0; i < 1000; i++ {
+		entries = append(entries, RPLEntry{
+			Score: float64(i%7) + 1, SID: 1, Doc: uint32(i / 10), End: uint32(100 + i%10), Length: 5,
+		})
+	}
+	writeBlocks(t, st, KindERPL, "q", append([]RPLEntry(nil), entries...))
+	it := NewERPLIterator(st, "q", 1)
+	skipped, err := it.SkipTo(80, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped == 0 {
+		t.Fatal("SkipTo decoded every block it passed")
+	}
+	e, ok, err := it.Next()
+	if err != nil || !ok {
+		t.Fatalf("Next after SkipTo = %v, %v", ok, err)
+	}
+	if e.Doc != 80 || e.End != 100 {
+		t.Fatalf("landed on (%d,%d), want (80,100)", e.Doc, e.End)
+	}
+	// `skipped` counts only entries in rows pruned via the header bounds
+	// (never decoded); the straddling row's leading entries are decoded and
+	// dropped without being counted. 800 entries precede doc 80, and 6 full
+	// 128-entry blocks (768 entries) fit wholly below it.
+	if skipped != 768 {
+		t.Fatalf("skipped = %d, want 768", skipped)
+	}
+	rest := 0
+	for {
+		_, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		rest++
+	}
+	if rest+1 != 200 { // docs 80..99, 10 entries each
+		t.Fatalf("read %d entries at/after target, want 200", rest+1)
+	}
+}
+
+func TestTermERPLSkipToAndDrainBelow(t *testing.T) {
+	st := openEmptyStore(t)
+	var entries []RPLEntry
+	for i := 0; i < 600; i++ {
+		entries = append(entries, RPLEntry{
+			Score: 1, SID: uint32(i%3 + 1), Doc: uint32(i / 3), End: uint32(50 + i%3), Length: 5,
+		})
+	}
+	writeBlocks(t, st, KindERPL, "q", append([]RPLEntry(nil), entries...))
+	m, err := NewTermERPL(st, "q", []uint32{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SkipTo(150, 0); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := m.Peek()
+	if !ok || e.Doc != 150 {
+		t.Fatalf("Peek after SkipTo = %+v, %v", e, ok)
+	}
+	out, err := m.DrainBelow(170, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 60 { // docs 150..169, 3 sids each
+		t.Fatalf("drained %d entries, want 60", len(out))
+	}
+	for i := 1; i < len(out); i++ {
+		if CompareDocEnd(out[i-1].Doc, out[i-1].End, out[i].Doc, out[i].End) >= 0 {
+			t.Fatalf("drain out of order at %d: %+v then %+v", i, out[i-1], out[i])
+		}
+	}
+}
+
+func TestDropListOverBlocks(t *testing.T) {
+	st := openEmptyStore(t)
+	entries := randEntries(400, 13)
+	perSID := make(map[uint32]int)
+	for _, e := range entries {
+		perSID[e.SID]++
+	}
+	for _, kind := range []ListKind{KindRPL, KindERPL} {
+		writeBlocks(t, st, kind, "xml", append([]RPLEntry(nil), entries...))
+		for sid := range perSID {
+			if err := st.MarkBuilt(kind, "xml", sid, perSID[sid], 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, kind := range []ListKind{KindRPL, KindERPL} {
+		n, err := st.DropList(kind, "xml", 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != perSID[2] {
+			t.Fatalf("%v: dropped %d, want %d", kind, n, perSID[2])
+		}
+		if built, _ := st.IsBuilt(kind, "xml", 2); built {
+			t.Fatalf("%v: still marked built", kind)
+		}
+	}
+	// Survivors intact, in order, with sid 2 gone.
+	var want []RPLEntry
+	for _, e := range entries {
+		if e.SID != 2 {
+			want = append(want, e)
+		}
+	}
+	SortRPLEntriesScoreOrder(want)
+	if err := entriesEqual(collectRPL(t, st, "xml"), want); err != nil {
+		t.Fatalf("RPL survivors: %v", err)
+	}
+	for sid := uint32(1); sid <= 4; sid++ {
+		it := NewERPLIterator(st, "xml", sid)
+		count := 0
+		for {
+			_, ok, err := it.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			count++
+		}
+		wantN := perSID[sid]
+		if sid == 2 {
+			wantN = 0
+		}
+		if count != wantN {
+			t.Fatalf("ERPL sid %d: %d entries, want %d", sid, count, wantN)
+		}
+	}
+}

@@ -211,6 +211,9 @@ func decodePostingValue(v []byte) ([]Pos, error) {
 }
 
 func decodePostingDelta(v []byte) ([]Pos, error) {
+	if len(v) < 2 {
+		return nil, fmt.Errorf("index: truncated posting delta header")
+	}
 	n := int(binary.BigEndian.Uint16(v[0:2]))
 	v = v[2:]
 	out := make([]Pos, 0, n)
@@ -251,6 +254,9 @@ func decodePostingDelta(v []byte) ([]Pos, error) {
 }
 
 func decodePostingFixed(v []byte) ([]Pos, error) {
+	if len(v) < 2 {
+		return nil, fmt.Errorf("index: truncated posting header")
+	}
 	n := int(binary.BigEndian.Uint16(v[0:2]))
 	if len(v) != 2+8*n {
 		return nil, fmt.Errorf("index: posting value length %d for %d entries", len(v), n)

@@ -5,50 +5,126 @@ import "encoding/binary"
 // DropList removes every entry of the (kind, term, sid) list and its
 // catalog record, returning the number of entries deleted. The
 // self-managing advisor uses this to reclaim lists that were materialized
-// for measurement but not selected by the plan.
+// for measurement but not selected by the plan, and Materialize uses it
+// to clear a stale list before rebuilding it.
+//
+// ERPL rows — v1 and block alike — hold a single sid, recoverable from
+// the key, so they are deleted whole. RPL blocks may mix sids (score
+// order interleaves them); a block containing the target sid is deleted
+// and its surviving entries are re-encoded into fresh blocks.
 func (s *Store) DropList(kind ListKind, term string, sid uint32) (int, error) {
-	tree := s.RPLs
 	if kind == KindERPL {
-		tree = s.ERPLs
+		return s.dropERPL(term, sid)
 	}
+	return s.dropRPL(term, sid)
+}
+
+func (s *Store) dropERPL(term string, sid uint32) (int, error) {
 	// Collect matching keys first: deleting while iterating would
 	// invalidate the cursor.
 	var keys [][]byte
+	dropped := 0
 	prefix := termPrefix(term)
-	cur := tree.Cursor()
+	cur := s.ERPLs.Cursor()
 	ok, err := cur.SeekPrefix(prefix)
 	if err != nil {
 		return 0, err
 	}
 	for ; ok; ok, err = cur.NextPrefix(prefix) {
 		rest := cur.Key()[len(prefix):]
-		var entrySID uint32
-		switch kind {
-		case KindRPL:
-			if len(rest) != 20 {
-				continue
-			}
-			entrySID = binary.BigEndian.Uint32(rest[8:12])
-		default:
-			if len(rest) != 12 {
-				continue
-			}
-			entrySID = binary.BigEndian.Uint32(rest[0:4])
+		if len(rest) != 12 {
+			continue
 		}
-		if entrySID == sid {
-			keys = append(keys, append([]byte(nil), cur.Key()...))
+		if binary.BigEndian.Uint32(rest[0:4]) != sid {
+			continue
+		}
+		n, _, _, err := erplRowStats(cur.Key(), cur.Value())
+		if err != nil {
+			return 0, err
+		}
+		dropped += n
+		keys = append(keys, append([]byte(nil), cur.Key()...))
+	}
+	if err != nil {
+		return 0, err
+	}
+	for _, k := range keys {
+		if _, err := s.ERPLs.Delete(k); err != nil {
+			return 0, err
+		}
+	}
+	if _, err := s.Catalog.Delete(catalogKey(KindERPL, term, sid)); err != nil {
+		return 0, err
+	}
+	return dropped, nil
+}
+
+func (s *Store) dropRPL(term string, sid uint32) (int, error) {
+	var keys [][]byte
+	var leftovers []RPLEntry
+	dropped := 0
+	prefix := termPrefix(term)
+	cur := s.RPLs.Cursor()
+	ok, err := cur.SeekPrefix(prefix)
+	if err != nil {
+		return 0, err
+	}
+	for ; ok; ok, err = cur.NextPrefix(prefix) {
+		rest := cur.Key()[len(prefix):]
+		if len(rest) != 20 {
+			continue
+		}
+		if len(cur.Value()) == rplV1ValueLen {
+			if binary.BigEndian.Uint32(rest[8:12]) == sid {
+				dropped++
+				keys = append(keys, append([]byte(nil), cur.Key()...))
+			}
+			continue
+		}
+		entries, err := decodeRPLRow(cur.Key(), cur.Value())
+		if err != nil {
+			return 0, err
+		}
+		hit := false
+		for _, e := range entries {
+			if e.SID == sid {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			continue
+		}
+		keys = append(keys, append([]byte(nil), cur.Key()...))
+		for _, e := range entries {
+			if e.SID == sid {
+				dropped++
+			} else {
+				leftovers = append(leftovers, e)
+			}
 		}
 	}
 	if err != nil {
 		return 0, err
 	}
 	for _, k := range keys {
-		if _, err := tree.Delete(k); err != nil {
+		if _, err := s.RPLs.Delete(k); err != nil {
 			return 0, err
 		}
 	}
-	if _, err := s.Catalog.Delete(catalogKey(kind, term, sid)); err != nil {
+	if len(leftovers) > 0 {
+		// Surviving entries from deleted blocks go back as fresh blocks.
+		// Their keys cannot collide with remaining rows: a first-entry key
+		// equal to a surviving row's key would mean the entry was stored
+		// twice.
+		for _, r := range EncodeRPLBlocks(term, leftovers) {
+			if err := s.RPLs.Put(r.Key, r.Value); err != nil {
+				return 0, err
+			}
+		}
+	}
+	if _, err := s.Catalog.Delete(catalogKey(KindRPL, term, sid)); err != nil {
 		return 0, err
 	}
-	return len(keys), nil
+	return dropped, nil
 }

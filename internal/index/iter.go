@@ -2,6 +2,7 @@ package index
 
 import (
 	"container/heap"
+	"fmt"
 	"math"
 )
 
@@ -143,23 +144,40 @@ func (it *PostingIterator) NextPosition() (Pos, error) {
 	return p, nil
 }
 
+// listCursor is the cursor surface the list iterators need.
+type listCursor interface {
+	SeekPrefix(prefix []byte) (bool, error)
+	NextPrefix(prefix []byte) (bool, error)
+	Key() []byte
+	Value() []byte
+}
+
 // RPLIterator walks a term's relevance posting list in descending score
 // order — the sorted access TA performs.
+//
+// Rows may be v1 (one entry) or v2 blocks (up to BlockTargetEntries), and
+// rows written by different materialization runs may interleave in key
+// space, so the iterator merges a buffer of decoded-but-unreturned
+// entries against the cursor stream: an entry is only emitted once the
+// next undecoded row is known to start at or after it. The lookahead is
+// one row; each row is decoded exactly once.
 type RPLIterator struct {
-	store  *Store
-	term   string
-	prefix []byte
-	cur    interface {
-		SeekPrefix(prefix []byte) (bool, error)
-		NextPrefix(prefix []byte) (bool, error)
-		Key() []byte
-		Value() []byte
-	}
+	store   *Store
+	term    string
+	prefix  []byte
+	cur     listCursor
 	started bool
-	done    bool
+	// curValid marks an un-consumed row under the cursor.
+	curValid bool
+	done     bool
+	pending  []RPLEntry
+	pi       int
 	// Reads counts entries returned; the experiments use it to measure
 	// how deep TA reads into each list before stopping.
 	Reads int
+	// RowsRead counts storage rows fetched — with block rows this is the
+	// cursor-step cost, a fraction of Reads.
+	RowsRead int
 }
 
 // NewRPLIterator creates a descending-score iterator over term's RPL.
@@ -167,45 +185,145 @@ func NewRPLIterator(s *Store, term string) *RPLIterator {
 	return &RPLIterator{store: s, term: term, prefix: termPrefix(term), cur: s.RPLs.Cursor()}
 }
 
+// rplKeyTailLess reports whether the 20-byte RPL key tail orders before
+// entry p's (ir, sid, doc, end) tuple.
+func rplKeyTailLess(rest []byte, p RPLEntry) bool {
+	ir := beUint64(rest[0:8])
+	pir := invertScore(p.Score)
+	if ir != pir {
+		return ir < pir
+	}
+	sid := beUint32(rest[8:12])
+	if sid != p.SID {
+		return sid < p.SID
+	}
+	doc := beUint32(rest[12:16])
+	if doc != p.Doc {
+		return doc < p.Doc
+	}
+	return beUint32(rest[16:20]) < p.End
+}
+
+// fill establishes the emit invariant: either the iterator is exhausted,
+// or pending[pi] is the globally next entry (no unread row can start
+// before it).
+func (it *RPLIterator) fill() error {
+	for {
+		if it.pi >= len(it.pending) {
+			it.pending = it.pending[:0]
+			it.pi = 0
+		}
+		if !it.curValid {
+			if it.done {
+				return nil
+			}
+			var ok bool
+			var err error
+			if !it.started {
+				it.started = true
+				ok, err = it.cur.SeekPrefix(it.prefix)
+			} else {
+				ok, err = it.cur.NextPrefix(it.prefix)
+			}
+			if err != nil {
+				return err
+			}
+			if !ok {
+				it.done = true
+				return nil
+			}
+			it.curValid = true
+			it.RowsRead++
+		}
+		rest := it.cur.Key()[len(it.prefix):]
+		if len(rest) != 20 {
+			return fmt.Errorf("index: bad RPL key tail length %d", len(rest))
+		}
+		if it.pi < len(it.pending) && !rplKeyTailLess(rest, it.pending[it.pi]) {
+			return nil // buffered minimum precedes the next row: safe to emit
+		}
+		entries, err := decodeRPLRow(it.cur.Key(), it.cur.Value())
+		if err != nil {
+			return err
+		}
+		it.curValid = false
+		it.mergePending(entries, rplEntryLess)
+	}
+}
+
+func (it *RPLIterator) mergePending(es []RPLEntry, less func(a, b RPLEntry) bool) {
+	it.pending, it.pi = mergeRuns(it.pending, it.pi, es, less)
+}
+
+// mergeRuns merges the unconsumed tail of a sorted pending buffer with a
+// freshly decoded sorted run. The common case — empty buffer — reuses the
+// decoded slice outright.
+func mergeRuns(pending []RPLEntry, pi int, es []RPLEntry, less func(a, b RPLEntry) bool) ([]RPLEntry, int) {
+	if pi >= len(pending) {
+		return es, 0
+	}
+	rem := pending[pi:]
+	merged := make([]RPLEntry, 0, len(rem)+len(es))
+	i, j := 0, 0
+	for i < len(rem) && j < len(es) {
+		if less(es[j], rem[i]) {
+			merged = append(merged, es[j])
+			j++
+		} else {
+			merged = append(merged, rem[i])
+			i++
+		}
+	}
+	merged = append(merged, rem[i:]...)
+	merged = append(merged, es[j:]...)
+	return merged, 0
+}
+
+// Peek returns the next entry without consuming it.
+func (it *RPLIterator) Peek() (RPLEntry, bool, error) {
+	if err := it.fill(); err != nil {
+		return RPLEntry{}, false, err
+	}
+	if it.pi < len(it.pending) {
+		return it.pending[it.pi], true, nil
+	}
+	return RPLEntry{}, false, nil
+}
+
 // Next returns the next entry; ok is false once the list is exhausted.
 func (it *RPLIterator) Next() (RPLEntry, bool, error) {
-	if it.done {
-		return RPLEntry{}, false, nil
-	}
-	var ok bool
-	var err error
-	if !it.started {
-		it.started = true
-		ok, err = it.cur.SeekPrefix(it.prefix)
-	} else {
-		ok, err = it.cur.NextPrefix(it.prefix)
-	}
-	if err != nil {
+	e, ok, err := it.Peek()
+	if err != nil || !ok {
 		return RPLEntry{}, false, err
 	}
-	if !ok {
-		it.done = true
-		return RPLEntry{}, false, nil
-	}
-	_, e, err := decodeRPL(it.cur.Key(), it.cur.Value())
-	if err != nil {
-		return RPLEntry{}, false, err
-	}
+	it.pi++
 	it.Reads++
 	return e, true, nil
 }
 
-// ERPLIterator walks the (term, sid) segment of an ERPL in position order.
+// BlockMaxScore bounds every unreturned entry's score: emission is
+// score-descending, so the next entry's score is the maximum of the rest.
+// Mid-block this is tighter than the block header's max; ok is false once
+// the list is exhausted (bound 0). TA and NRA tighten their thresholds
+// with it.
+func (it *RPLIterator) BlockMaxScore() (float64, bool, error) {
+	e, ok, err := it.Peek()
+	return e.Score, ok, err
+}
+
+// ERPLIterator walks the (term, sid) segment of an ERPL in position
+// order, with the same one-row-lookahead merge as RPLIterator (v1 rows
+// and v2 blocks may interleave).
 type ERPLIterator struct {
-	prefix []byte
-	cur    interface {
-		SeekPrefix(prefix []byte) (bool, error)
-		NextPrefix(prefix []byte) (bool, error)
-		Key() []byte
-		Value() []byte
-	}
-	started bool
-	done    bool
+	prefix   []byte
+	cur      listCursor
+	started  bool
+	curValid bool
+	done     bool
+	pending  []RPLEntry
+	pi       int
+	// RowsRead counts storage rows fetched.
+	RowsRead int
 }
 
 // NewERPLIterator creates an iterator over the ERPL entries of (term, sid).
@@ -213,31 +331,176 @@ func NewERPLIterator(s *Store, term string, sid uint32) *ERPLIterator {
 	return &ERPLIterator{prefix: erplSIDPrefix(term, sid), cur: s.ERPLs.Cursor()}
 }
 
+// erplKeyTailLess reports whether the 8-byte (doc, end) key tail orders
+// before entry p.
+func erplKeyTailLess(rest []byte, p RPLEntry) bool {
+	doc := beUint32(rest[0:4])
+	if doc != p.Doc {
+		return doc < p.Doc
+	}
+	return beUint32(rest[4:8]) < p.End
+}
+
+func (it *ERPLIterator) fill() error {
+	for {
+		if it.pi >= len(it.pending) {
+			it.pending = it.pending[:0]
+			it.pi = 0
+		}
+		if !it.curValid {
+			if it.done {
+				return nil
+			}
+			var ok bool
+			var err error
+			if !it.started {
+				it.started = true
+				ok, err = it.cur.SeekPrefix(it.prefix)
+			} else {
+				ok, err = it.cur.NextPrefix(it.prefix)
+			}
+			if err != nil {
+				return err
+			}
+			if !ok {
+				it.done = true
+				return nil
+			}
+			it.curValid = true
+			it.RowsRead++
+		}
+		rest := it.cur.Key()[len(it.prefix):]
+		if len(rest) != 8 {
+			return fmt.Errorf("index: bad ERPL key tail length %d", len(rest))
+		}
+		if it.pi < len(it.pending) && !erplKeyTailLess(rest, it.pending[it.pi]) {
+			return nil
+		}
+		entries, err := decodeERPLRow(it.cur.Key(), it.cur.Value())
+		if err != nil {
+			return err
+		}
+		it.curValid = false
+		it.pending, it.pi = mergeRuns(it.pending, it.pi, entries, erplEntryLess)
+	}
+}
+
+// Peek returns the next entry without consuming it.
+func (it *ERPLIterator) Peek() (RPLEntry, bool, error) {
+	if err := it.fill(); err != nil {
+		return RPLEntry{}, false, err
+	}
+	if it.pi < len(it.pending) {
+		return it.pending[it.pi], true, nil
+	}
+	return RPLEntry{}, false, nil
+}
+
 // Next returns the next entry in (doc, endpos) order; ok is false at end.
 func (it *ERPLIterator) Next() (RPLEntry, bool, error) {
-	if it.done {
-		return RPLEntry{}, false, nil
-	}
-	var ok bool
-	var err error
-	if !it.started {
-		it.started = true
-		ok, err = it.cur.SeekPrefix(it.prefix)
-	} else {
-		ok, err = it.cur.NextPrefix(it.prefix)
-	}
-	if err != nil {
+	e, ok, err := it.Peek()
+	if err != nil || !ok {
 		return RPLEntry{}, false, err
 	}
-	if !ok {
-		it.done = true
-		return RPLEntry{}, false, nil
-	}
-	_, e, err := decodeERPL(it.cur.Key(), it.cur.Value())
-	if err != nil {
-		return RPLEntry{}, false, err
-	}
+	it.pi++
 	return e, true, nil
+}
+
+// DrainBelow appends to out every remaining entry whose (doc, end)
+// orders strictly before the bound, consuming them. Entries inside an
+// already-decoded block cost neither a cursor step nor a heap operation —
+// the bulk path Merge's frontier skipping is built on.
+func (it *ERPLIterator) DrainBelow(doc, end uint32, out []RPLEntry) ([]RPLEntry, error) {
+	for {
+		if err := it.fill(); err != nil {
+			return out, err
+		}
+		if it.pi >= len(it.pending) {
+			return out, nil
+		}
+		e := it.pending[it.pi]
+		if CompareDocEnd(e.Doc, e.End, doc, end) >= 0 {
+			return out, nil
+		}
+		out = append(out, e)
+		it.pi++
+	}
+}
+
+// SkipTo fast-forwards the iterator so the next entry is the first with
+// (doc, end) at or after the target, without decoding fully skipped
+// blocks: buffered entries are dropped in place, and when the buffer
+// empties the remaining rows are pruned by their header bounds (the max
+// (doc, end) an ERPL block advertises). It returns the number of entries
+// skipped without being decoded.
+func (it *ERPLIterator) SkipTo(doc, end uint32) (int, error) {
+	skipped := 0
+	target := RPLEntry{Doc: doc, End: end}
+	for {
+		// Drop already-decoded entries below the target.
+		for it.pi < len(it.pending) &&
+			CompareDocEnd(it.pending[it.pi].Doc, it.pending[it.pi].End, doc, end) < 0 {
+			it.pi++
+		}
+		if !it.curValid {
+			if it.done {
+				return skipped, nil
+			}
+			var ok bool
+			var err error
+			if !it.started {
+				it.started = true
+				ok, err = it.cur.SeekPrefix(it.prefix)
+			} else {
+				ok, err = it.cur.NextPrefix(it.prefix)
+			}
+			if err != nil {
+				return skipped, err
+			}
+			if !ok {
+				it.done = true
+				return skipped, nil
+			}
+			it.curValid = true
+			it.RowsRead++
+		}
+		rest := it.cur.Key()[len(it.prefix):]
+		if len(rest) != 8 {
+			return skipped, fmt.Errorf("index: bad ERPL key tail length %d", len(rest))
+		}
+		if !erplKeyTailLess(rest, target) {
+			// This row (and every later one) starts at or after the
+			// target; Next's fill takes over from here.
+			return skipped, nil
+		}
+		// The row starts below the target: its header bounds decide
+		// whether it can be skipped whole.
+		n, maxDoc, maxEnd, err := erplRowStats(it.cur.Key(), it.cur.Value())
+		if err != nil {
+			return skipped, err
+		}
+		if CompareDocEnd(maxDoc, maxEnd, doc, end) < 0 {
+			skipped += n
+			it.curValid = false
+			continue
+		}
+		// The row straddles the target: decode it and let the drop loop
+		// discard its leading entries.
+		if err := it.fillRow(); err != nil {
+			return skipped, err
+		}
+	}
+}
+
+// fillRow decodes the row under the cursor into the pending buffer.
+func (it *ERPLIterator) fillRow() error {
+	entries, err := decodeERPLRow(it.cur.Key(), it.cur.Value())
+	if err != nil {
+		return err
+	}
+	it.curValid = false
+	it.pending, it.pi = mergeRuns(it.pending, it.pi, entries, erplEntryLess)
+	return nil
 }
 
 // TermERPL merges the per-(term, sid) ERPL segments of one term across a
@@ -245,7 +508,8 @@ func (it *ERPLIterator) Next() (RPLEntry, bool, error) {
 // Section 4's two-step evaluation. It is the per-term list L_i that the
 // Merge algorithm (Figure 3) consumes.
 type TermERPL struct {
-	h erplHeap
+	h     erplHeap
+	iters []*ERPLIterator
 }
 
 // NewTermERPL opens iterators for every sid and primes the merge heap.
@@ -253,6 +517,7 @@ func NewTermERPL(s *Store, term string, sids []uint32) (*TermERPL, error) {
 	m := &TermERPL{}
 	for _, sid := range sids {
 		it := NewERPLIterator(s, term, sid)
+		m.iters = append(m.iters, it)
 		e, ok, err := it.Next()
 		if err != nil {
 			return nil, err
@@ -283,6 +548,112 @@ func (m *TermERPL) Next() (RPLEntry, bool, error) {
 		heap.Pop(&m.h)
 	}
 	return out, true, nil
+}
+
+// Peek returns the next entry without consuming it.
+func (m *TermERPL) Peek() (RPLEntry, bool) {
+	if m.h.Len() == 0 {
+		return RPLEntry{}, false
+	}
+	return m.h[0].head, true
+}
+
+// secondHead returns the smallest head excluding the heap top — the point
+// up to which the top stream can be drained without consulting the heap.
+func (m *TermERPL) secondHead() (RPLEntry, bool) {
+	switch m.h.Len() {
+	case 0, 1:
+		return RPLEntry{}, false
+	case 2:
+		return m.h[1].head, true
+	default:
+		a, b := m.h[1].head, m.h[2].head
+		if CompareDocEnd(b.Doc, b.End, a.Doc, a.End) < 0 {
+			return b, true
+		}
+		return a, true
+	}
+}
+
+// DrainBelow appends to out every remaining entry whose (doc, end)
+// orders strictly before the bound, in stream order, consuming them. The
+// top stream is drained in bulk up to min(bound, second head), costing
+// one heap fix per drained run instead of one per entry.
+func (m *TermERPL) DrainBelow(doc, end uint32, out []RPLEntry) ([]RPLEntry, error) {
+	for m.h.Len() > 0 {
+		top := m.h[0]
+		if CompareDocEnd(top.head.Doc, top.head.End, doc, end) >= 0 {
+			break
+		}
+		bd, be := doc, end
+		if s, ok := m.secondHead(); ok && CompareDocEnd(s.Doc, s.End, bd, be) < 0 {
+			bd, be = s.Doc, s.End
+		}
+		out = append(out, top.head)
+		var err error
+		out, err = top.it.DrainBelow(bd, be, out)
+		if err != nil {
+			return out, err
+		}
+		e, ok, err := top.it.Next()
+		if err != nil {
+			return out, err
+		}
+		if ok {
+			m.h[0].head = e
+			heap.Fix(&m.h, 0)
+		} else {
+			heap.Pop(&m.h)
+		}
+	}
+	return out, nil
+}
+
+// SkipTo fast-forwards every sid stream to the first entry at or after
+// the target (doc, end), pruning whole blocks by their header bounds. It
+// returns the number of entries skipped without being decoded.
+func (m *TermERPL) SkipTo(doc, end uint32) (int, error) {
+	skipped := 0
+	for i := range m.h {
+		s := &m.h[i]
+		if CompareDocEnd(s.head.Doc, s.head.End, doc, end) >= 0 {
+			continue
+		}
+		n, err := s.it.SkipTo(doc, end)
+		if err != nil {
+			return skipped, err
+		}
+		skipped += n
+	}
+	// Refresh heads that were passed by the skip and drop exhausted
+	// streams, then restore the heap order.
+	live := m.h[:0]
+	for _, s := range m.h {
+		if CompareDocEnd(s.head.Doc, s.head.End, doc, end) >= 0 {
+			live = append(live, s)
+			continue
+		}
+		e, ok, err := s.it.Next()
+		if err != nil {
+			return skipped, err
+		}
+		if ok {
+			live = append(live, erplStream{head: e, it: s.it})
+		}
+	}
+	m.h = live
+	heap.Init(&m.h)
+	return skipped, nil
+}
+
+// RowsRead sums the storage rows fetched across every sid stream — the
+// cursor-step cost the block encoding amortizes.
+func (m *TermERPL) RowsRead() int {
+	total := 0
+	for _, it := range m.iters {
+		total += it.RowsRead
+	}
+	return total
 }
 
 type erplStream struct {

@@ -1,8 +1,10 @@
 package index
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"trex/internal/score"
 	"trex/internal/storage"
@@ -187,6 +189,38 @@ func (s *Store) PutRPL(term string, e RPLEntry) error {
 // list (position order).
 func (s *Store) PutERPL(term string, e RPLEntry) error {
 	return s.ERPLs.Put(erplKey(term, e), rplValue(e))
+}
+
+// WriteListRows writes encoded block rows (from EncodeRPLBlocks /
+// EncodeERPLBlocks, possibly spanning several terms) into the kind's
+// tree. An empty tree is built through the storage bulk loader — leaves
+// packed near-full, no random-insert write amplification; a non-empty
+// tree takes ordinary Puts. Rows are sorted by key first, which both the
+// bulk loader and Put locality want.
+func (s *Store) WriteListRows(kind ListKind, rows []ListRow) error {
+	tree := s.RPLs
+	if kind == KindERPL {
+		tree = s.ERPLs
+	}
+	sort.Slice(rows, func(i, j int) bool { return bytes.Compare(rows[i].Key, rows[j].Key) < 0 })
+	bl, err := tree.NewBulkLoader(0)
+	if err == nil {
+		for _, r := range rows {
+			if err := bl.Add(r.Key, r.Value); err != nil {
+				return err
+			}
+		}
+		return bl.Finish()
+	}
+	if err != storage.ErrTableExists {
+		return err
+	}
+	for _, r := range rows {
+		if err := tree.Put(r.Key, r.Value); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // --- materialization catalog ---

@@ -19,6 +19,7 @@ import (
 // element of sid i.
 func ERA(st *index.Store, sids []uint32, terms []string) ([]ElementTF, *Stats, error) {
 	start := time.Now()
+	io := st.DB.Stats()
 	stats := &Stats{ListReads: make([]int, len(terms))}
 	m, n := len(sids), len(terms)
 	var out []ElementTF
@@ -138,6 +139,7 @@ func ERA(st *index.Store, sids []uint32, terms []string) ([]ElementTF, *Stats, e
 		stats.ListReads[x]++
 	}
 	stats.Answers = len(out)
+	stats.captureIO(st, io)
 	stats.Elapsed = time.Since(start)
 	return out, stats, nil
 }

@@ -10,14 +10,18 @@ type MaterializeStats struct {
 	// Entries written per kind.
 	RPLEntries  int
 	ERPLEntries int
-	// Bytes is the approximate on-disk footprint of the written entries
-	// (key + value bytes), the advisor's space term.
+	// Bytes is the exact on-disk footprint of the written rows (key +
+	// value bytes), the advisor's space term.
 	RPLBytes  int64
 	ERPLBytes int64
+	// Rows written per kind; with block encoding a row holds up to
+	// index.BlockTargetEntries entries.
+	RPLRows  int
+	ERPLRows int
 }
 
-// rplRowBytes approximates the on-disk size of one list entry: term
-// prefix + fixed key tail + value.
+// rplRowBytes is the on-disk size of one v1 list entry: term prefix +
+// fixed key tail + value. (The v2 paths account real encoded bytes.)
 func rplRowBytes(term string) int64 { return int64(len(term)) + 1 + 20 + 12 }
 
 func erplRowBytes(term string) int64 { return int64(len(term)) + 1 + 12 + 12 }
@@ -27,23 +31,160 @@ func erplRowBytes(term string) int64 { return int64(len(term)) + 1 + 12 + 12 }
 // the paper generates and extends the RPLs and ERPLs tables ("TReX also
 // uses ERA for generating or extending the RPLs and ERPLs tables").
 //
+// Lists are written in the v2 block encoding (see internal/index's block
+// codec): entries are sorted into key order, packed ~128 per row, and
+// loaded through the storage bulk loader when the tree is still empty.
+// Any (term, sid) list that is already marked built for a requested kind
+// is dropped first, so a rebuild can never leave stale rows behind
+// (block row keys do not overwrite v1 rows key-for-key). The catalog
+// records each list's exact encoded byte share, which is what the
+// self-management advisor budgets against.
+//
 // kinds selects which of the two list kinds to write. Every (term, sid)
 // pair is marked in the catalog, including pairs that produced no entries,
 // so coverage checks are exact.
 func Materialize(st *index.Store, sids []uint32, terms []string, sc *score.Scorer, kinds ...index.ListKind) (*MaterializeStats, error) {
+	wantRPL, wantERPL := wantKinds(kinds)
+	for _, t := range terms {
+		for _, sid := range sids {
+			for _, kind := range kinds {
+				built, err := st.IsBuilt(kind, t, sid)
+				if err != nil {
+					return nil, err
+				}
+				if built {
+					if _, err := st.DropList(kind, t, sid); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+
 	rows, _, err := ERA(st, sids, terms)
 	if err != nil {
 		return nil, err
 	}
-	wantRPL, wantERPL := false, false
+	entries := make([][]index.RPLEntry, len(terms))
+	for _, r := range rows {
+		for j, t := range terms {
+			if r.TF[j] == 0 {
+				continue
+			}
+			entries[j] = append(entries[j], index.RPLEntry{
+				Score:  sc.Score(t, r.TF[j], int(r.Elem.Length)),
+				SID:    r.Elem.SID,
+				Doc:    r.Elem.Doc,
+				End:    r.Elem.End,
+				Length: r.Elem.Length,
+			})
+		}
+	}
+
+	ms := &MaterializeStats{}
+	type pairKey struct {
+		term string
+		sid  uint32
+	}
+	// Per-kind, per-(term, sid) entry counts and exact encoded byte
+	// shares, from the encoder's per-entry attribution; each pair's
+	// shares sum exactly to its rows' key+value footprint.
+	counts := map[index.ListKind]map[pairKey]int{
+		index.KindRPL:  make(map[pairKey]int),
+		index.KindERPL: make(map[pairKey]int),
+	}
+	sizes := map[index.ListKind]map[pairKey]int64{
+		index.KindRPL:  make(map[pairKey]int64),
+		index.KindERPL: make(map[pairKey]int64),
+	}
+	account := func(kind index.ListKind, term string, encoded []index.ListRow) {
+		for _, row := range encoded {
+			for i, e := range row.Entries {
+				pk := pairKey{term: term, sid: e.SID}
+				counts[kind][pk]++
+				sizes[kind][pk] += int64(row.EntryBytes[i])
+			}
+		}
+	}
+	var rplRows, erplRows []index.ListRow
+	for j, t := range terms {
+		// The two encoders sort the shared entry slice in place, each
+		// into its own key order; RPL first, ERPL re-sorts after.
+		if wantRPL {
+			encoded := index.EncodeRPLBlocks(t, entries[j])
+			account(index.KindRPL, t, encoded)
+			rplRows = append(rplRows, encoded...)
+		}
+		if wantERPL {
+			encoded := index.EncodeERPLBlocks(t, entries[j])
+			account(index.KindERPL, t, encoded)
+			erplRows = append(erplRows, encoded...)
+		}
+	}
+	if wantRPL {
+		if err := st.WriteListRows(index.KindRPL, rplRows); err != nil {
+			return nil, err
+		}
+		for _, r := range rplRows {
+			ms.RPLRows++
+			ms.RPLEntries += len(r.Entries)
+			ms.RPLBytes += int64(len(r.Key) + len(r.Value))
+		}
+	}
+	if wantERPL {
+		if err := st.WriteListRows(index.KindERPL, erplRows); err != nil {
+			return nil, err
+		}
+		for _, r := range erplRows {
+			ms.ERPLRows++
+			ms.ERPLEntries += len(r.Entries)
+			ms.ERPLBytes += int64(len(r.Key) + len(r.Value))
+		}
+	}
+	for _, t := range terms {
+		for _, sid := range sids {
+			pk := pairKey{term: t, sid: sid}
+			for _, kind := range []index.ListKind{index.KindRPL, index.KindERPL} {
+				switch kind {
+				case index.KindRPL:
+					if !wantRPL {
+						continue
+					}
+				case index.KindERPL:
+					if !wantERPL {
+						continue
+					}
+				}
+				if err := st.MarkBuilt(kind, t, sid, counts[kind][pk], sizes[kind][pk]); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return ms, nil
+}
+
+func wantKinds(kinds []index.ListKind) (rpl, erpl bool) {
 	for _, k := range kinds {
 		switch k {
 		case index.KindRPL:
-			wantRPL = true
+			rpl = true
 		case index.KindERPL:
-			wantERPL = true
+			erpl = true
 		}
 	}
+	return
+}
+
+// MaterializeV1 writes row-per-entry (v1) lists — the seed's format. It
+// remains for cross-version testing and for the before/after index-size
+// comparison in the bench suite; production paths use Materialize.
+func MaterializeV1(st *index.Store, sids []uint32, terms []string, sc *score.Scorer, kinds ...index.ListKind) (*MaterializeStats, error) {
+	rows, _, err := ERA(st, sids, terms)
+	if err != nil {
+		return nil, err
+	}
+	wantRPL, wantERPL := wantKinds(kinds)
 	ms := &MaterializeStats{}
 	type pairKey struct {
 		term string
@@ -67,6 +208,7 @@ func Materialize(st *index.Store, sids []uint32, terms []string, sc *score.Score
 					return nil, err
 				}
 				ms.RPLEntries++
+				ms.RPLRows++
 				ms.RPLBytes += rplRowBytes(t)
 			}
 			if wantERPL {
@@ -74,6 +216,7 @@ func Materialize(st *index.Store, sids []uint32, terms []string, sc *score.Score
 					return nil, err
 				}
 				ms.ERPLEntries++
+				ms.ERPLRows++
 				ms.ERPLBytes += erplRowBytes(t)
 			}
 			counts[pairKey{term: t, sid: r.Elem.SID}]++

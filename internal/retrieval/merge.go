@@ -1,6 +1,7 @@
 package retrieval
 
 import (
+	"math"
 	"time"
 
 	"trex/internal/index"
@@ -14,23 +15,24 @@ import (
 // by score. Computing all answers first makes Merge's cost essentially
 // independent of k — the behavior the paper's figures show.
 //
+// When exactly one stream holds the minimal element, every entry it can
+// produce below the other streams' heads is a single-term answer; those
+// runs are pulled through TermERPL.DrainBelow in bulk — entries inside an
+// already-decoded block cost neither a cursor step nor a per-entry
+// frontier scan (Stats.BlockSkips counts them). List totals are not
+// probed from the catalog up front: Merge always reads its lists to the
+// end, so ListTotals is just ListReads — stats collection costs no seeks
+// before retrieval starts.
+//
 // k <= 0 returns all answers.
 func Merge(st *index.Store, sids []uint32, terms []string, k int) ([]Scored, *Stats, error) {
 	start := time.Now()
+	io := st.DB.Stats()
 	stats := &Stats{ListReads: make([]int, len(terms)), ListTotals: make([]int, len(terms))}
 	n := len(terms)
 	if n == 0 || len(sids) == 0 {
 		stats.Elapsed = time.Since(start)
 		return nil, stats, nil
-	}
-	for j, t := range terms {
-		for _, s := range sids {
-			c, _, err := st.BuiltSize(index.KindERPL, t, s)
-			if err != nil {
-				return nil, nil, err
-			}
-			stats.ListTotals[j] += c
-		}
 	}
 
 	type head struct {
@@ -56,6 +58,7 @@ func Merge(st *index.Store, sids []uint32, terms []string, k int) ([]Scored, *St
 	}
 
 	var v []Scored
+	var drainBuf []index.RPLEntry
 	for {
 		// m: minimal (doc, end) among live heads.
 		min := -1
@@ -73,6 +76,46 @@ func Merge(st *index.Store, sids []uint32, terms []string, k int) ([]Scored, *St
 			break // all iterators at their end
 		}
 		cur := heads[min].entry
+		// solo: no other live head sits on the same element; bound: the
+		// smallest other live head, up to which the min stream's entries
+		// are all single-term answers.
+		solo := true
+		boundDoc, boundEnd := uint32(math.MaxUint32), uint32(math.MaxUint32)
+		for j := range heads {
+			if j == min || !heads[j].ok {
+				continue
+			}
+			e := heads[j].entry
+			if index.CompareDocEnd(e.Doc, e.End, cur.Doc, cur.End) == 0 {
+				solo = false
+			}
+			if index.CompareDocEnd(e.Doc, e.End, boundDoc, boundEnd) < 0 {
+				boundDoc, boundEnd = e.Doc, e.End
+			}
+		}
+		if solo {
+			v = append(v, Scored{Elem: cur.Element(), Score: cur.Score})
+			drainBuf = drainBuf[:0]
+			var err error
+			drainBuf, err = iters[min].DrainBelow(boundDoc, boundEnd, drainBuf)
+			if err != nil {
+				return nil, nil, err
+			}
+			for _, e := range drainBuf {
+				v = append(v, Scored{Elem: e.Element(), Score: e.Score})
+			}
+			stats.ListReads[min] += len(drainBuf)
+			stats.BlockSkips += len(drainBuf)
+			e, ok, err := iters[min].Next()
+			if err != nil {
+				return nil, nil, err
+			}
+			heads[min] = head{entry: e, ok: ok}
+			if ok {
+				stats.ListReads[min]++
+			}
+			continue
+		}
 		var total float64
 		for j := range heads {
 			if !heads[j].ok {
@@ -94,11 +137,18 @@ func Merge(st *index.Store, sids []uint32, terms []string, k int) ([]Scored, *St
 		v = append(v, Scored{Elem: cur.Element(), Score: total})
 	}
 
+	for j := range iters {
+		// Merge is exhaustive, so what was read is the total — no
+		// up-front catalog probes needed (DepthFraction stays 1).
+		stats.ListTotals[j] = stats.ListReads[j]
+		stats.CursorSteps += iters[j].RowsRead()
+	}
 	stats.Answers = len(v)
 	SortScored(v) // the paper uses QuickSort here
 	if k > 0 && len(v) > k {
 		v = v[:k]
 	}
+	stats.captureIO(st, io)
 	stats.Elapsed = time.Since(start)
 	return v, stats, nil
 }

@@ -41,6 +41,7 @@ func (c *nraCand) exactScore() float64 {
 // are limited to 64 terms (far beyond NEXI practice).
 func NRA(st *index.Store, sids []uint32, terms []string, k int) ([]Scored, *Stats, error) {
 	start := time.Now()
+	io := st.DB.Stats()
 	stats := &Stats{ListReads: make([]int, len(terms)), ListTotals: make([]int, len(terms))}
 	if k <= 0 {
 		k = 1
@@ -70,6 +71,7 @@ func NRA(st *index.Store, sids []uint32, terms []string, k int) ([]Scored, *Stat
 
 	iters := make([]*index.RPLIterator, n)
 	high := make([]float64, n)
+	bounds := make([]float64, n)
 	exhausted := make([]bool, n)
 	for j, t := range terms {
 		iters[j] = index.NewRPLIterator(st, t)
@@ -130,8 +132,28 @@ func NRA(st *index.Store, sids []uint32, terms []string, k int) ([]Scored, *Stat
 		if round%8 != 0 {
 			continue // amortize the stop test, as TopX batches it
 		}
+		// Tighten each list's bound to its next unreturned entry's score
+		// (BlockMaxScore): at least as tight as the last value returned
+		// (high), and identical for v1 and block-encoded lists, so stop
+		// decisions — and rankings — do not depend on the row format.
+		for j := range iters {
+			bounds[j] = 0
+			if exhausted[j] {
+				continue
+			}
+			s, ok, err := iters[j].BlockMaxScore()
+			if err != nil {
+				return nil, nil, err
+			}
+			if ok {
+				bounds[j] = s
+			}
+			if bounds[j] > high[j] {
+				bounds[j] = high[j]
+			}
+		}
 		hs := time.Now()
-		stop := nraStop(cands, high, exhausted, k, n, stats)
+		stop := nraStop(cands, bounds, exhausted, k, n, stats)
 		stats.HeapTime += time.Since(hs)
 		if stop {
 			break
@@ -151,7 +173,11 @@ func NRA(st *index.Store, sids []uint32, terms []string, k int) ([]Scored, *Stat
 	if len(out) > k {
 		out = out[:k]
 	}
+	for j := range iters {
+		stats.CursorSteps += iters[j].RowsRead
+	}
 	stats.Answers = len(out)
+	stats.captureIO(st, io)
 	stats.Elapsed = time.Since(start)
 	return out, stats, nil
 }

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"trex/internal/index"
+	"trex/internal/storage"
 )
 
 // Scored is one ranked answer.
@@ -49,6 +50,34 @@ type Stats struct {
 	// Answers is the number of result elements produced before top-k
 	// truncation.
 	Answers int
+	// CursorSteps counts storage rows fetched by the RPL/ERPL list
+	// iterators. With v1 row-per-entry lists this tracks ListReads; with
+	// v2 block rows it is a fraction of it — the cursor-step saving the
+	// block encoding buys.
+	CursorSteps int
+	// BlockSkips counts entries Merge consumed through the bulk drain
+	// fast path — entries that never paid a per-entry frontier scan.
+	BlockSkips int
+	// PageReads is the number of storage pages the run touched — cache
+	// hits plus backend fetches (delta of db.Stats() around it). Counting
+	// logical touches keeps the number a machine-independent cost model:
+	// it does not collapse to zero when the working set is cached.
+	// BytesRead is the physical backend traffic in bytes (misses only),
+	// so a fully cached run legitimately reports BytesRead == 0 with a
+	// large PageReads.
+	PageReads uint64
+	BytesRead uint64
+}
+
+// captureIO fills the I/O counters from the delta of the DB's stats since
+// `before` (snapshotted when the run started). The counters are
+// engine-global, so concurrent queries bleed into each other's deltas;
+// for the single-query measurement paths that feed Explain, the bench
+// suite and the cost tables this is exact.
+func (s *Stats) captureIO(st *index.Store, before storage.Stats) {
+	d := st.DB.Stats().Sub(before)
+	s.PageReads = d.CacheHits + d.CacheMisses
+	s.BytesRead = d.PagesRead * storage.PageSize
 }
 
 // ITATime returns the paper's "ideal heap" time: total time with heap

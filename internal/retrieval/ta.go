@@ -19,6 +19,7 @@ import (
 // (Stats.HeapTime); the paper's ITA curve is Stats.ITATime().
 func TA(st *index.Store, sids []uint32, terms []string, sc *score.Scorer, k int) ([]Scored, *Stats, error) {
 	start := time.Now()
+	io := st.DB.Stats()
 	stats := &Stats{ListReads: make([]int, len(terms)), ListTotals: make([]int, len(terms))}
 	if k <= 0 {
 		k = 1
@@ -43,13 +44,12 @@ func TA(st *index.Store, sids []uint32, terms []string, sc *score.Scorer, k int)
 	}
 
 	iters := make([]*index.RPLIterator, n)
-	high := make([]float64, n)
 	exhausted := make([]bool, n)
 	for j, t := range terms {
 		iters[j] = index.NewRPLIterator(st, t)
 	}
-	// Prime the high marks with each list's head so the initial threshold
-	// is an upper bound; heads are buffered and replayed below.
+	// Pull each list's head so the first threshold check has data; heads
+	// are buffered and replayed below.
 	buffered := make([]*index.RPLEntry, n)
 	for j := range iters {
 		e, ok, err := nextInSIDSet(iters[j], sidSet, stats, j)
@@ -58,11 +58,9 @@ func TA(st *index.Store, sids []uint32, terms []string, sc *score.Scorer, k int)
 		}
 		if !ok {
 			exhausted[j] = true
-			high[j] = 0
 			continue
 		}
 		buffered[j] = &e
-		high[j] = e.Score
 	}
 
 	topk := newTopKHeap(k)
@@ -70,7 +68,6 @@ func TA(st *index.Store, sids []uint32, terms []string, sc *score.Scorer, k int)
 	elemKey := func(e index.Element) uint64 { return uint64(e.Doc)<<32 | uint64(e.End) }
 
 	processEntry := func(j int, e index.RPLEntry) error {
-		high[j] = e.Score
 		key := elemKey(e.Element())
 		if seen[key] {
 			return nil
@@ -123,7 +120,6 @@ func TA(st *index.Store, sids []uint32, terms []string, sc *score.Scorer, k int)
 			}
 			if !ok {
 				exhausted[j] = true
-				high[j] = 0
 				continue
 			}
 			if err := processEntry(j, e); err != nil {
@@ -137,9 +133,24 @@ func TA(st *index.Store, sids []uint32, terms []string, sc *score.Scorer, k int)
 		// the threshold, so no unseen element can reach the top k. The
 		// inequality must be strict: an unseen element can score exactly
 		// the threshold and win the deterministic (doc, end) tie-break.
+		//
+		// Each list's bound is its next unreturned entry's score
+		// (BlockMaxScore): emission is score-descending, so this bounds
+		// everything still unread — block-encoded and v1 lists report the
+		// identical value, and mid-block it is at least as tight as the
+		// last value returned, so the threshold can only drop.
 		var threshold float64
-		for j := range high {
-			threshold += high[j]
+		for j := range iters {
+			if exhausted[j] {
+				continue
+			}
+			s, ok, err := iters[j].BlockMaxScore()
+			if err != nil {
+				return nil, nil, err
+			}
+			if ok {
+				threshold += s
+			}
 		}
 		if topk.full() && topk.worst() > threshold {
 			break
@@ -149,7 +160,11 @@ func TA(st *index.Store, sids []uint32, terms []string, sc *score.Scorer, k int)
 	hs := time.Now()
 	out := topk.sorted()
 	stats.HeapTime += time.Since(hs)
+	for j := range iters {
+		stats.CursorSteps += iters[j].RowsRead
+	}
 	stats.Answers = len(out)
+	stats.captureIO(st, io)
 	stats.Elapsed = time.Since(start)
 	return out, stats, nil
 }

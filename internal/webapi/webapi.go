@@ -76,14 +76,18 @@ type SearchHit struct {
 
 // SearchResponse is the /search payload.
 type SearchResponse struct {
-	Query        string      `json:"query"`
-	Method       string      `json:"method"`
-	K            int         `json:"k"`
-	TotalAnswers int         `json:"totalAnswers"`
-	ElapsedMS    float64     `json:"elapsedMs"`
-	NumSIDs      int         `json:"numSids"`
-	NumTerms     int         `json:"numTerms"`
-	Hits         []SearchHit `json:"hits"`
+	Query        string  `json:"query"`
+	Method       string  `json:"method"`
+	K            int     `json:"k"`
+	TotalAnswers int     `json:"totalAnswers"`
+	ElapsedMS    float64 `json:"elapsedMs"`
+	NumSIDs      int     `json:"numSids"`
+	NumTerms     int     `json:"numTerms"`
+	// PageReads / BytesRead are the retrieval run's storage I/O: pages
+	// touched (cache hits + misses) and physical bytes fetched.
+	PageReads uint64      `json:"pageReads"`
+	BytesRead uint64      `json:"bytesRead"`
+	Hits      []SearchHit `json:"hits"`
 }
 
 func parseMethod(s string) (trex.Method, error) {
@@ -140,6 +144,10 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		NumSIDs:      res.Translation.NumSIDs(),
 		NumTerms:     res.Translation.NumTerms(),
 	}
+	if res.Stats != nil {
+		resp.PageReads = res.Stats.PageReads
+		resp.BytesRead = res.Stats.BytesRead
+	}
 	wantSnippets := r.URL.Query().Get("snippets") == "1"
 	terms := res.Translation.DistinctTerms()
 	for i, a := range res.Answers {
@@ -183,6 +191,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		"methodAtSmallK": ex.MethodAtSmallK.String(),
 		"methodAtLargeK": ex.MethodAtLargeK.String(),
 		"listVolume":     ex.ListVolume,
+		"listBytes":      ex.ListBytes,
 	})
 }
 
