@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-parallel bench-pr3 fuzz ci run-serve-autopilot
+.PHONY: all build test race vet bench bench-parallel bench-pr3 fuzz soak ci run-serve-autopilot
 
 all: build test
 
@@ -41,13 +41,27 @@ bench-pr3:
 	$(GO) run ./cmd/trexbench -exp pr3 -pr3out BENCH_PR3.json
 
 # fuzz gives each codec fuzz target a short bounded run — long enough to
-# catch a decode panic regression, short enough for CI.
+# catch a decode panic regression, short enough for CI. The loop fails
+# fast: the first red target stops the run instead of burning the
+# remaining fuzz budget on a build that is already broken.
 FUZZTIME ?= 5s
+FUZZ_TARGETS = FuzzDecodePostingValue FuzzDecodeRPLRow FuzzDecodeERPLRow FuzzBlockRoundTrip
 fuzz:
-	$(GO) test ./internal/index -run '^$$' -fuzz '^FuzzDecodePostingValue$$' -fuzztime $(FUZZTIME)
-	$(GO) test ./internal/index -run '^$$' -fuzz '^FuzzDecodeRPLRow$$' -fuzztime $(FUZZTIME)
-	$(GO) test ./internal/index -run '^$$' -fuzz '^FuzzDecodeERPLRow$$' -fuzztime $(FUZZTIME)
-	$(GO) test ./internal/index -run '^$$' -fuzz '^FuzzBlockRoundTrip$$' -fuzztime $(FUZZTIME)
+	@set -e; for t in $(FUZZ_TARGETS); do \
+		echo "fuzz $$t"; \
+		$(GO) test ./internal/index -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) || exit 1; \
+	done
+
+# soak is the nightly differential-oracle long run: thousands of seeded
+# random cases asserting byte-identical rankings across every strategy
+# and list format. SEED=0 picks a fresh wall-clock seed (the test logs
+# it); replay a red run with `make soak SEED=<logged seed>`. CASES
+# overrides the case count.
+SEED ?= 0
+CASES ?= 3000
+soak:
+	TREX_SOAK=1 TREX_SOAK_SEED=$(SEED) TREX_SOAK_CASES=$(CASES) \
+		$(GO) test ./internal/oracle -run '^TestSoak$$' -count=1 -v -timeout 120m
 
 # ci is the full pre-merge gate: build, vet, plain tests, race tests,
 # short codec fuzz runs.

@@ -1,0 +1,157 @@
+package trex
+
+// Engine-level autopilot failure paths over an instrumented disk: a
+// planning run whose plan application hits an I/O fault must be recorded
+// as a failure without corrupting the store or disturbing query results,
+// and the next run after the fault clears must succeed. Plus
+// StopAutopilot racing triggered runs (meaningful under -race).
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"trex/internal/corpus"
+	"trex/internal/faultinject"
+	"trex/internal/storage"
+)
+
+// faultEngine builds an engine over a fault-injection disk.
+func faultEngine(t *testing.T, docs, seed int) (*Engine, *faultinject.Disk) {
+	t.Helper()
+	d := faultinject.NewDisk(int64(seed))
+	db, err := storage.NewDB(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := CreateOnDB(db, corpus.GenerateIEEE(docs, int64(seed)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	return eng, d
+}
+
+func TestAutopilotRunFailsMidPlanThenRecovers(t *testing.T) {
+	eng, d := faultEngine(t, 20, 7)
+	q := `//article//sec[about(., ontologies case study)]`
+	want, err := eng.Query(q, 10, MethodERA)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := eng.StartAutopilot(context.Background(), AutopilotOptions{
+		Interval: time.Hour, // runs are driven by the test
+	}); err != nil {
+		t.Fatal(err)
+	}
+	pilot := eng.pilot.Load()
+	for i := 0; i < 5; i++ {
+		if _, err := eng.Query(q, 10, MethodAuto); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The disk dies while the run applies its plan (materializing lists
+	// commits through Flush, which must hit the backend).
+	d.FailWritesAfter(0)
+	if _, err := pilot.RunNow(context.Background()); err == nil {
+		t.Fatal("planning run succeeded on a dead disk")
+	}
+	st := eng.AutopilotStatus()
+	if st.Failures != 1 || st.Runs != 0 {
+		t.Fatalf("after failed run: %+v", st)
+	}
+	if st.LastError == "" {
+		t.Fatal("failed run left no LastError")
+	}
+
+	// The engine must keep serving exact results off the failed run.
+	got, err := eng.Query(q, 10, MethodERA)
+	if err != nil {
+		t.Fatalf("query after failed run: %v", err)
+	}
+	if len(got.Answers) != len(want.Answers) {
+		t.Fatalf("%d answers after failed run, want %d", len(got.Answers), len(want.Answers))
+	}
+	for i := range want.Answers {
+		if got.Answers[i] != want.Answers[i] {
+			t.Fatalf("answer %d drifted after failed run: %+v, want %+v", i, got.Answers[i], want.Answers[i])
+		}
+	}
+
+	// Fault clears; the next run must succeed and its lists must serve.
+	d.Heal()
+	for i := 0; i < 5; i++ {
+		if _, err := eng.Query(q, 10, MethodAuto); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := pilot.RunNow(context.Background()); err != nil {
+		t.Fatalf("recovery run: %v", err)
+	}
+	st = eng.AutopilotStatus()
+	if st.Runs != 1 || st.Failures != 1 {
+		t.Fatalf("after recovery run: %+v", st)
+	}
+	got, err = eng.Query(q, 10, MethodAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Answers {
+		if got.Answers[i] != want.Answers[i] {
+			t.Fatalf("answer %d drifted after recovery (method %v): %+v, want %+v",
+				i, got.Method, got.Answers[i], want.Answers[i])
+		}
+	}
+}
+
+// TestStopAutopilotRacesTriggeredRun stops the daemon while drift kicks
+// from concurrent query goroutines are firing planning runs. Under
+// -race this exercises Stop against Observe, the run loop, and the
+// query read path all at once.
+func TestStopAutopilotRacesTriggeredRun(t *testing.T) {
+	eng := testEngine(t, 15, 11)
+	queries := []string{
+		`//article//sec[about(., ontologies case study)]`,
+		`//article[about(., xml query evaluation)]`,
+	}
+	for trial := 0; trial < 5; trial++ {
+		if err := eng.StartAutopilot(context.Background(), AutopilotOptions{
+			Interval:     time.Millisecond,
+			DriftQueries: 1,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if _, err := eng.Query(queries[(g+i)%len(queries)], 10, MethodAuto); err != nil {
+						t.Errorf("query during autopilot race: %v", err)
+						return
+					}
+				}
+			}(g)
+		}
+		time.Sleep(5 * time.Millisecond)
+		eng.StopAutopilot()
+		if st := eng.AutopilotStatus(); st.Enabled {
+			t.Fatal("autopilot still enabled after Stop")
+		}
+		close(stop)
+		wg.Wait()
+		if st := eng.AutopilotStatus(); st.Failures != 0 {
+			t.Fatalf("trial %d: autopilot recorded failures under race: %s", trial, st.LastError)
+		}
+	}
+}

@@ -154,6 +154,27 @@ func Create(path string, col *corpus.Collection, opts *Options) (*Engine, error)
 	return eng, nil
 }
 
+// CreateOnDB builds a TReX collection over a caller-supplied storage
+// database (e.g. one opened over an instrumented storage.Backend for
+// fault testing). The engine takes ownership: Close closes db. On error
+// the db is left open for the caller to inspect.
+func CreateOnDB(db *storage.DB, col *corpus.Collection, opts *Options) (*Engine, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	eng, err := build(db, col, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.Flush(); err != nil {
+		return nil, err
+	}
+	if err := eng.startConfiguredAutopilot(opts); err != nil {
+		return nil, err
+	}
+	return eng, nil
+}
+
 // CreateMemory builds an in-memory TReX database from the collection.
 func CreateMemory(col *corpus.Collection, opts *Options) (*Engine, error) {
 	if opts == nil {

@@ -1,0 +1,131 @@
+package autopilot
+
+// Failure-path tests for the controller: cancellation vs. failure
+// accounting, recovery after a failed run, and shutdown racing a
+// triggered run (meaningful under -race).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCancelledRunIsShutdownNotFailure(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	c := New(Config{}, NewTracker(8), func(ctx context.Context, ws []TrackedQuery) (*RunReport, error) {
+		cancel() // the engine shuts down while the run is in flight
+		return nil, fmt.Errorf("apply plan: %w", ctx.Err())
+	})
+	c.Observe("q", 10)
+	if _, err := c.RunNow(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunNow = %v, want context.Canceled", err)
+	}
+	st := c.Status()
+	if st.Failures != 0 || st.Runs != 0 || st.LastError != "" {
+		t.Fatalf("cancelled run recorded as failure: %+v", st)
+	}
+}
+
+func TestDeadlineExceededRunIsShutdownNotFailure(t *testing.T) {
+	c := New(Config{}, NewTracker(8), func(ctx context.Context, ws []TrackedQuery) (*RunReport, error) {
+		return nil, fmt.Errorf("measure: %w", context.DeadlineExceeded)
+	})
+	c.Observe("q", 10)
+	if _, err := c.RunNow(context.Background()); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("RunNow = %v, want DeadlineExceeded", err)
+	}
+	if st := c.Status(); st.Failures != 0 {
+		t.Fatalf("timed-out run recorded as failure: %+v", st)
+	}
+}
+
+// TestFailedRunThenRecovery mirrors a transient I/O fault mid-plan: the
+// first run fails and is recorded, the next one succeeds and clears
+// nothing retroactively (Failures is a lifetime counter), and LastReport
+// reflects the successful run.
+func TestFailedRunThenRecovery(t *testing.T) {
+	calls := 0
+	c := New(Config{}, NewTracker(8), func(ctx context.Context, ws []TrackedQuery) (*RunReport, error) {
+		calls++
+		if calls == 1 {
+			return nil, fmt.Errorf("disk died mid-apply")
+		}
+		return &RunReport{Kept: []string{"k"}}, nil
+	})
+	c.Observe("q", 10)
+	if _, err := c.RunNow(context.Background()); err == nil {
+		t.Fatal("first run should fail")
+	}
+	if st := c.Status(); st.LastError != "disk died mid-apply" {
+		t.Fatalf("LastError after failed run = %q", st.LastError)
+	}
+	rep, err := c.RunNow(context.Background())
+	if err != nil || rep == nil {
+		t.Fatalf("recovery run = %v, %v", rep, err)
+	}
+	st := c.Status()
+	if st.Failures != 1 || st.Runs != 1 {
+		t.Fatalf("after fail+recover: %+v", st)
+	}
+	if st.LastError != "" {
+		t.Fatalf("successful run did not clear LastError: %q", st.LastError)
+	}
+	if st.LastReport == nil || len(st.LastReport.Kept) != 1 {
+		t.Fatalf("LastReport = %+v", st.LastReport)
+	}
+}
+
+// TestStopRacesTriggeredRuns cancels the loop while drift kicks are
+// firing runs as fast as they can, from several observer goroutines.
+// Run under -race this checks the shutdown path against the run path:
+// Wait must return, and no run may start after Wait has returned.
+func TestStopRacesTriggeredRuns(t *testing.T) {
+	var running sync.WaitGroup
+	var stopped sync.WaitGroup
+	for trial := 0; trial < 20; trial++ {
+		var afterWait atomic.Bool
+		tr := NewTracker(8)
+		c := New(Config{Interval: time.Microsecond, DriftQueries: 1}, tr,
+			func(ctx context.Context, ws []TrackedQuery) (*RunReport, error) {
+				if afterWait.Load() {
+					t.Error("run started after Wait returned")
+				}
+				return &RunReport{}, nil
+			})
+		ctx, cancel := context.WithCancel(context.Background())
+		c.Start(ctx)
+		stop := make(chan struct{})
+		for g := 0; g < 4; g++ {
+			running.Add(1)
+			go func(g int) {
+				defer running.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					c.Observe(fmt.Sprintf("q%d-%d", g, i%3), 10)
+				}
+			}(g)
+		}
+		stopped.Add(1)
+		go func() {
+			defer stopped.Done()
+			time.Sleep(time.Duration(trial%5) * 100 * time.Microsecond)
+			cancel()
+			c.Wait()
+			// RunNow may still be invoked directly after Wait (that is
+			// allowed); the loop itself must be done. Mark the epoch so
+			// the RunFunc can detect a loop-driven run after Wait.
+			afterWait.Store(true)
+		}()
+		stopped.Wait()
+		close(stop)
+		running.Wait()
+	}
+}

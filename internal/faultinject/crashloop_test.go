@@ -1,0 +1,306 @@
+package faultinject_test
+
+// The crash-recovery loop: kill the store at EVERY write boundary during
+// each maintenance operation (Materialize, DropList, AppendDocuments),
+// reopen the surviving image, and assert the store is at exactly the
+// pre-op or post-op logical state — never corrupt, never in between.
+// This is the acceptance test for the pager's journaled atomic commit.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"trex/internal/corpus"
+	"trex/internal/faultinject"
+	"trex/internal/index"
+	"trex/internal/retrieval"
+	"trex/internal/storage"
+	"trex/internal/summary"
+)
+
+var (
+	crashSIDs  = []uint32{1, 2, 3}
+	crashTerms = []string{"ax", "bx"}
+)
+
+// genDocs generates documents [lo, hi) with per-document seeding: doc d
+// depends only on (seed, d), so the same ids always carry the same
+// content no matter which other documents are generated alongside.
+func genDocs(seed int64, lo, hi int) []corpus.Document {
+	tags := []string{"r", "s", "t", "u"}
+	words := []string{"ax", "bx", "cx", "dx", "ex"}
+	var docs []corpus.Document
+	for d := lo; d < hi; d++ {
+		rng := rand.New(rand.NewSource(seed ^ int64(d)*0x9E3779B9))
+		var sb strings.Builder
+		var emit func(depth int)
+		emit = func(depth int) {
+			tag := tags[rng.Intn(len(tags))]
+			sb.WriteString("<" + tag + ">")
+			for i := 1 + rng.Intn(4); i > 0; i-- {
+				sb.WriteString(words[rng.Intn(len(words))] + " ")
+			}
+			if depth < 3 {
+				for i := rng.Intn(3); i > 0; i-- {
+					emit(depth + 1)
+					sb.WriteString(words[rng.Intn(len(words))] + " ")
+				}
+			}
+			sb.WriteString("</" + tag + ">")
+		}
+		sb.WriteString("<doc>")
+		emit(0)
+		sb.WriteString("</doc>")
+		docs = append(docs, corpus.Document{ID: d, Data: []byte(sb.String())})
+	}
+	return docs
+}
+
+// dumpDB renders the full logical content of every table — the unit of
+// pre-op/post-op comparison. Identical strings == identical stores.
+func dumpDB(t *testing.T, db *storage.DB) string {
+	t.Helper()
+	var sb strings.Builder
+	for _, name := range db.Tables() {
+		tr, err := db.OpenTable(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&sb, "== %s\n", name)
+		cur := tr.Cursor()
+		ok, err := cur.First()
+		for ; ok; ok, err = cur.Next() {
+			fmt.Fprintf(&sb, "%x %x\n", cur.Key(), cur.Value())
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sb.String()
+}
+
+// dumpImage opens a snapshot of d read-only and dumps it.
+func dumpImage(t *testing.T, d *faultinject.Disk) string {
+	t.Helper()
+	db, err := storage.OpenBackend(d.Snapshot(), nil)
+	if err != nil {
+		t.Fatalf("open image for dump: %v", err)
+	}
+	return dumpDB(t, db)
+}
+
+// buildBaseImage commits a base index over 24 deterministic documents and
+// returns the disk image.
+func buildBaseImage(t *testing.T) *faultinject.Disk {
+	t.Helper()
+	col := &corpus.Collection{Docs: genDocs(42, 0, 24)}
+	sum, err := summary.Build(col, summary.Options{Kind: summary.KindIncoming})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := faultinject.NewDisk(1)
+	db, err := storage.NewDB(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := index.Open(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := index.BuildBase(st, col, sum); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func opMaterialize(db *storage.DB) error {
+	st, err := index.Open(db)
+	if err != nil {
+		return err
+	}
+	sc, err := st.NewScorer(crashTerms)
+	if err != nil {
+		return err
+	}
+	if _, err := retrieval.Materialize(st, crashSIDs, crashTerms, sc, index.KindRPL, index.KindERPL); err != nil {
+		return err
+	}
+	return db.Flush()
+}
+
+func opDropLists(db *storage.DB) error {
+	st, err := index.Open(db)
+	if err != nil {
+		return err
+	}
+	for _, term := range crashTerms {
+		for _, sid := range crashSIDs {
+			if _, err := st.DropList(index.KindRPL, term, sid); err != nil {
+				return err
+			}
+			if _, err := st.DropList(index.KindERPL, term, sid); err != nil {
+				return err
+			}
+		}
+	}
+	return db.Flush()
+}
+
+func opAppendDocuments(db *storage.DB) error {
+	st, err := index.Open(db)
+	if err != nil {
+		return err
+	}
+	// Rebuild the summary from the base collection each attempt:
+	// AppendDocuments extends it in place, so it cannot be shared across
+	// crash iterations.
+	col := &corpus.Collection{Docs: genDocs(42, 0, 24)}
+	sum, err := summary.Build(col, summary.Options{Kind: summary.KindIncoming})
+	if err != nil {
+		return err
+	}
+	if _, err := index.AppendDocuments(st, genDocs(42, 24, 28), sum); err != nil {
+		return err
+	}
+	return db.Flush()
+}
+
+// runCrashLoop measures the op's total write count with a clean run, then
+// replays it from the same pre-image with a crash armed at every write
+// boundary k = 0..total, reopening and comparing after each crash.
+func runCrashLoop(t *testing.T, pre *faultinject.Disk, op func(*storage.DB) error) {
+	t.Helper()
+	preDump := dumpImage(t, pre)
+
+	clean := pre.Snapshot()
+	db, err := storage.OpenBackend(clean, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := op(db); err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	total := clean.Writes()
+	postDump := dumpImage(t, clean)
+	if postDump == preDump {
+		t.Fatal("op is a no-op — the crash loop would prove nothing")
+	}
+	if total == 0 {
+		t.Fatal("op performed no writes")
+	}
+
+	crashed, recoveredPre, recoveredPost := 0, 0, 0
+	for k := 0; k <= total; k++ {
+		img := pre.Snapshot()
+		db, err := storage.OpenBackend(img, nil)
+		if err != nil {
+			t.Fatalf("k=%d: open pre-image: %v", k, err)
+		}
+		img.CrashAfterWrites(k)
+		opErr := op(db) // the process "dies" here: no Close, no cleanup
+		if k < total && opErr == nil {
+			t.Fatalf("k=%d/%d: op succeeded with a crash armed mid-run", k, total)
+		}
+		if k == total && opErr != nil {
+			t.Fatalf("k=%d/%d: op failed with the full write budget: %v", k, total, opErr)
+		}
+		if opErr != nil {
+			crashed++
+		}
+
+		surv := img.Snapshot()
+		rdb, err := storage.OpenBackend(surv, nil)
+		if err != nil {
+			t.Fatalf("k=%d/%d: reopen after crash: %v", k, total, err)
+		}
+		got := dumpDB(t, rdb)
+		switch got {
+		case preDump:
+			recoveredPre++
+		case postDump:
+			recoveredPost++
+		default:
+			t.Fatalf("k=%d/%d: reopened store is neither pre-op nor post-op state", k, total)
+		}
+		if k == total && got != postDump {
+			t.Fatalf("k=%d: full write budget must yield the post-op state", k)
+		}
+	}
+	if recoveredPost == 0 {
+		t.Fatal("no crash point ever recovered to post-op: commit never became durable early enough")
+	}
+	t.Logf("%d boundaries: %d crashes, %d recovered pre-op, %d post-op",
+		total+1, crashed, recoveredPre, recoveredPost)
+}
+
+func TestCrashLoopMaterialize(t *testing.T) {
+	runCrashLoop(t, buildBaseImage(t), opMaterialize)
+}
+
+func TestCrashLoopDropList(t *testing.T) {
+	// Pre-image for the drop is the committed post-materialize store.
+	pre := buildBaseImage(t)
+	db, err := storage.OpenBackend(pre, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := opMaterialize(db); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	runCrashLoop(t, pre, opDropLists)
+}
+
+func TestCrashLoopAppendDocuments(t *testing.T) {
+	runCrashLoop(t, buildBaseImage(t), opAppendDocuments)
+}
+
+// TestCrashLoopStorageOps exercises the journal machinery directly at
+// the storage layer: overwrite and delete committed keys (live-page
+// rewrites plus deferred frees) in one flush, crashing at every write
+// boundary.
+func TestCrashLoopStorageOps(t *testing.T) {
+	d := faultinject.NewDisk(3)
+	db, err := storage.NewDB(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := db.CreateTable("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("k%05d", i)), []byte("v0")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	op := func(db *storage.DB) error {
+		tr, err := db.OpenTable("t")
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 2000; i += 3 { // rewrite committed pages in place
+			if err := tr.Put([]byte(fmt.Sprintf("k%05d", i)), []byte("v1")); err != nil {
+				return err
+			}
+		}
+		for i := 1; i < 2000; i += 3 { // shrink the tree: deferred frees
+			if _, err := tr.Delete([]byte(fmt.Sprintf("k%05d", i))); err != nil {
+				return err
+			}
+		}
+		return db.Flush()
+	}
+	runCrashLoop(t, d, op)
+}

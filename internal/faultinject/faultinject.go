@@ -1,0 +1,258 @@
+// Package faultinject provides a deterministic, programmable page-store
+// backend for crash-consistency and fault-path testing. A Disk
+// implements storage.Backend over an in-memory page image and executes
+// a seed-driven fault schedule: fail-the-Nth-write, torn (partial) page
+// writes, ENOSPC, fsync errors, and crash points that freeze the image
+// exactly as a dying process would leave it. Snapshot clones the
+// surviving image with a clean schedule, which is how tests model "the
+// machine comes back up and a new process opens the file".
+//
+// All schedule ordinals are deterministic counts of operations on this
+// Disk, so a given (seed, schedule, workload) triple always produces
+// the same surviving image — failures found by randomized tests replay
+// exactly.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"trex/internal/storage"
+)
+
+var (
+	// ErrInjected is returned by reads, writes, and syncs the schedule
+	// marks as failing. The disk keeps operating afterwards.
+	ErrInjected = errors.New("faultinject: injected I/O error")
+	// ErrCrashed is returned by every operation once a crash point has
+	// fired; nothing is persisted past it. A crashed Disk never
+	// recovers — Snapshot the image and open that instead.
+	ErrCrashed = errors.New("faultinject: disk crashed")
+	// ErrNoSpace is returned by writes that would allocate a page past
+	// the configured quota, modelling ENOSPC (overwrites still succeed).
+	ErrNoSpace = errors.New("faultinject: no space left on device (injected)")
+)
+
+// Disk is a deterministic in-memory page store with a programmable
+// fault schedule. The zero schedule injects nothing; use the setters to
+// arm faults, which may also be re-armed mid-run.
+type Disk struct {
+	mu    sync.Mutex
+	seed  int64
+	rng   *rand.Rand
+	pages map[uint32][]byte
+
+	writes int // successful (including torn) page writes
+	reads  int // successful page reads
+	syncs  int // Sync calls, successful or not
+
+	failWritesAfter int // >= 0: writes beyond this many fail; -1 off
+	failReadsAfter  int // >= 0: reads beyond this many fail; -1 off
+	crashAfter      int // >= 0: the write after this many crashes; -1 off
+	failSyncAt      int // > 0: that sync ordinal (1-based) fails; 0 off
+	tornWriteAt     int // > 0: that write ordinal (1-based) is torn; 0 off
+	limitPages      int // >= 0: max distinct pages; -1 unlimited
+	crashed         bool
+}
+
+var _ storage.Backend = (*Disk)(nil)
+
+// NewDisk returns an empty disk with no faults armed. The seed drives
+// only the randomized parts of the schedule (torn-write prefix length).
+func NewDisk(seed int64) *Disk {
+	return &Disk{
+		seed:            seed,
+		rng:             rand.New(rand.NewSource(seed)),
+		pages:           make(map[uint32][]byte),
+		failWritesAfter: -1,
+		failReadsAfter:  -1,
+		crashAfter:      -1,
+		limitPages:      -1,
+	}
+}
+
+// FailWritesAfter lets the next n writes succeed and fails every later
+// one with ErrInjected (n=0 fails all writes; n<0 disarms).
+func (d *Disk) FailWritesAfter(n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if n < 0 {
+		d.failWritesAfter = -1
+		return
+	}
+	d.failWritesAfter = d.writes + n
+}
+
+// FailReadsAfter lets the next n reads succeed and fails every later
+// one with ErrInjected (n=0 fails all reads; n<0 disarms).
+func (d *Disk) FailReadsAfter(n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if n < 0 {
+		d.failReadsAfter = -1
+		return
+	}
+	d.failReadsAfter = d.reads + n
+}
+
+// CrashAfterWrites freezes the disk after n more successful writes:
+// the (n+1)th write and every operation after it return ErrCrashed and
+// persist nothing, leaving the image exactly as a crash would.
+func (d *Disk) CrashAfterWrites(n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if n < 0 {
+		d.crashAfter = -1
+		return
+	}
+	d.crashAfter = d.writes + n
+}
+
+// FailSyncAt fails the nth Sync call from now (1-based) with
+// ErrInjected; other syncs succeed. n<=0 disarms.
+func (d *Disk) FailSyncAt(n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if n <= 0 {
+		d.failSyncAt = 0
+		return
+	}
+	d.failSyncAt = d.syncs + n
+}
+
+// TornWriteAt makes the nth write from now (1-based) persist only a
+// seeded-length prefix of the page while reporting success — the
+// classic torn sector. The page CRC makes later reads of that page
+// surface storage.ErrCorrupt. n<=0 disarms.
+func (d *Disk) TornWriteAt(n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if n <= 0 {
+		d.tornWriteAt = 0
+		return
+	}
+	d.tornWriteAt = d.writes + n
+}
+
+// LimitPages caps the number of distinct pages; writes that would
+// allocate past the cap fail with ErrNoSpace. n<0 removes the cap.
+func (d *Disk) LimitPages(n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.limitPages = n
+}
+
+// Heal disarms every injected fault (counters keep running). It does
+// not revive a crashed disk: a crash is terminal by design, model
+// recovery by opening a Snapshot instead.
+func (d *Disk) Heal() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.failWritesAfter = -1
+	d.failReadsAfter = -1
+	d.crashAfter = -1
+	d.failSyncAt = 0
+	d.tornWriteAt = 0
+	d.limitPages = -1
+}
+
+// Writes returns the number of successful page writes so far.
+func (d *Disk) Writes() int { d.mu.Lock(); defer d.mu.Unlock(); return d.writes }
+
+// Reads returns the number of successful page reads so far.
+func (d *Disk) Reads() int { d.mu.Lock(); defer d.mu.Unlock(); return d.reads }
+
+// Syncs returns the number of Sync calls so far.
+func (d *Disk) Syncs() int { d.mu.Lock(); defer d.mu.Unlock(); return d.syncs }
+
+// Pages returns the number of distinct pages ever written.
+func (d *Disk) Pages() int { d.mu.Lock(); defer d.mu.Unlock(); return len(d.pages) }
+
+// Crashed reports whether a crash point has fired.
+func (d *Disk) Crashed() bool { d.mu.Lock(); defer d.mu.Unlock(); return d.crashed }
+
+// Snapshot returns an independent copy of the surviving disk image with
+// a clean schedule and zeroed counters — what a fresh process sees when
+// it opens the file after the old one died.
+func (d *Disk) Snapshot() *Disk {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	nd := NewDisk(d.seed)
+	for id, p := range d.pages {
+		cp := make([]byte, len(p))
+		copy(cp, p)
+		nd.pages[id] = cp
+	}
+	return nd
+}
+
+// ReadPage implements storage.Backend.
+func (d *Disk) ReadPage(id uint32, buf []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return ErrCrashed
+	}
+	if d.failReadsAfter >= 0 && d.reads >= d.failReadsAfter {
+		return ErrInjected
+	}
+	p, ok := d.pages[id]
+	if !ok {
+		return fmt.Errorf("%w: page %d not written", storage.ErrCorrupt, id)
+	}
+	d.reads++
+	copy(buf, p)
+	return nil
+}
+
+// WritePage implements storage.Backend.
+func (d *Disk) WritePage(id uint32, buf []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return ErrCrashed
+	}
+	if d.crashAfter >= 0 && d.writes >= d.crashAfter {
+		d.crashed = true
+		return ErrCrashed
+	}
+	if d.failWritesAfter >= 0 && d.writes >= d.failWritesAfter {
+		return ErrInjected
+	}
+	p, ok := d.pages[id]
+	if !ok {
+		if d.limitPages >= 0 && len(d.pages) >= d.limitPages {
+			return ErrNoSpace
+		}
+		p = make([]byte, storage.PageSize)
+		d.pages[id] = p
+	}
+	d.writes++
+	if d.tornWriteAt > 0 && d.writes == d.tornWriteAt {
+		n := 1 + d.rng.Intn(storage.PageSize-1)
+		copy(p[:n], buf[:n])
+		return nil
+	}
+	copy(p, buf)
+	return nil
+}
+
+// Sync implements storage.Backend.
+func (d *Disk) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return ErrCrashed
+	}
+	d.syncs++
+	if d.failSyncAt > 0 && d.syncs == d.failSyncAt {
+		return ErrInjected
+	}
+	return nil
+}
+
+// Close implements storage.Backend. The image stays inspectable (and
+// snapshottable) after Close so post-mortem assertions keep working.
+func (d *Disk) Close() error { return nil }

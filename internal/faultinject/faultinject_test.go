@@ -1,0 +1,159 @@
+package faultinject_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"trex/internal/faultinject"
+	"trex/internal/storage"
+)
+
+func page(b byte) []byte {
+	p := make([]byte, storage.PageSize)
+	for i := range p {
+		p[i] = b
+	}
+	return p
+}
+
+func TestWriteFailAndCrashSchedules(t *testing.T) {
+	d := faultinject.NewDisk(7)
+	for i := 0; i < 5; i++ {
+		if err := d.WritePage(uint32(i), page(byte(i))); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	d.FailWritesAfter(2)
+	if err := d.WritePage(10, page(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WritePage(11, page(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WritePage(12, page(1)); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("3rd write after FailWritesAfter(2) = %v, want ErrInjected", err)
+	}
+	// Reads keep working after an injected write failure.
+	buf := make([]byte, storage.PageSize)
+	if err := d.ReadPage(0, buf); err != nil {
+		t.Fatalf("read after injected write fail: %v", err)
+	}
+
+	d.Heal()
+	d.CrashAfterWrites(1)
+	if err := d.WritePage(13, page(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WritePage(14, page(2)); !errors.Is(err, faultinject.ErrCrashed) {
+		t.Fatalf("write past crash point = %v, want ErrCrashed", err)
+	}
+	if err := d.ReadPage(0, buf); !errors.Is(err, faultinject.ErrCrashed) {
+		t.Fatalf("read after crash = %v, want ErrCrashed", err)
+	}
+	if err := d.Sync(); !errors.Is(err, faultinject.ErrCrashed) {
+		t.Fatalf("sync after crash = %v, want ErrCrashed", err)
+	}
+	if !d.Crashed() {
+		t.Fatal("Crashed() = false after crash point fired")
+	}
+	// Heal must not revive a crashed disk.
+	d.Heal()
+	if err := d.ReadPage(0, buf); !errors.Is(err, faultinject.ErrCrashed) {
+		t.Fatalf("read after Heal on crashed disk = %v, want ErrCrashed", err)
+	}
+	// The snapshot survives: page 13 was written before the crash, 14 not.
+	s := d.Snapshot()
+	if err := s.ReadPage(13, buf); err != nil {
+		t.Fatalf("snapshot read of pre-crash write: %v", err)
+	}
+	if err := s.ReadPage(14, buf); !errors.Is(err, storage.ErrCorrupt) {
+		t.Fatalf("snapshot read of never-written page = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestSnapshotIsIndependent(t *testing.T) {
+	d := faultinject.NewDisk(1)
+	if err := d.WritePage(3, page(0xAA)); err != nil {
+		t.Fatal(err)
+	}
+	s := d.Snapshot()
+	if err := d.WritePage(3, page(0xBB)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, storage.PageSize)
+	if err := s.ReadPage(3, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, page(0xAA)) {
+		t.Fatal("snapshot page mutated by a later write to the original")
+	}
+	if s.Writes() != 0 || s.Reads() != 1 {
+		t.Fatalf("snapshot counters = %d writes / %d reads, want 0/1", s.Writes(), s.Reads())
+	}
+}
+
+func TestLimitPagesAllowsOverwrites(t *testing.T) {
+	d := faultinject.NewDisk(1)
+	for i := 0; i < 4; i++ {
+		if err := d.WritePage(uint32(i), page(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.LimitPages(4)
+	if err := d.WritePage(2, page(9)); err != nil {
+		t.Fatalf("overwrite at quota: %v", err)
+	}
+	if err := d.WritePage(9, page(9)); !errors.Is(err, faultinject.ErrNoSpace) {
+		t.Fatalf("new page past quota = %v, want ErrNoSpace", err)
+	}
+	d.LimitPages(-1)
+	if err := d.WritePage(9, page(9)); err != nil {
+		t.Fatalf("new page after lifting quota: %v", err)
+	}
+}
+
+func TestFailSyncAtOrdinal(t *testing.T) {
+	d := faultinject.NewDisk(1)
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	d.FailSyncAt(2)
+	if err := d.Sync(); err != nil {
+		t.Fatalf("1st armed sync: %v", err)
+	}
+	if err := d.Sync(); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("2nd armed sync = %v, want ErrInjected", err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatalf("sync after the armed ordinal: %v", err)
+	}
+}
+
+func TestTornWriteIsDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) []byte {
+		d := faultinject.NewDisk(seed)
+		if err := d.WritePage(1, page(0x11)); err != nil {
+			t.Fatal(err)
+		}
+		d.TornWriteAt(1)
+		if err := d.WritePage(1, page(0x22)); err != nil {
+			t.Fatalf("torn write must report success: %v", err)
+		}
+		buf := make([]byte, storage.PageSize)
+		if err := d.ReadPage(1, buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf
+	}
+	a, b := run(5), run(5)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different torn images")
+	}
+	if bytes.Equal(a, page(0x22)) || bytes.Equal(a, page(0x11)) {
+		t.Fatal("torn write left a fully-old or fully-new page")
+	}
+	if !bytes.Equal(run(6), run(6)) {
+		t.Fatal("same seed produced different torn images")
+	}
+}

@@ -381,6 +381,12 @@ func erplBlockBounds(v []byte) (count int, maxDoc, maxEnd uint32, err error) {
 	if r.bad {
 		return 0, 0, 0, fmt.Errorf("index: truncated ERPL block header")
 	}
+	// The encoder never seals an empty block; a count of 0 is corruption,
+	// and rejecting it here keeps header-only pruning (SkipTo, DropList)
+	// consistent with what a full decode of the row would report.
+	if c == 0 {
+		return 0, 0, 0, fmt.Errorf("index: implausible block count 0")
+	}
 	return int(c), uint32(d), uint32(e), nil
 }
 

@@ -1,0 +1,426 @@
+package index
+
+// Block-boundary edge tests for ERPLIterator.SkipTo / DrainBelow and
+// their multi-sid TermERPL counterparts: skip targets exactly at a block
+// header's (maxDoc, maxEnd) bound, one past it, a one-entry trailing
+// block, mixed v1/v2 row interleaves, and the count-0 "empty block" a
+// well-formed encoder can never emit (it must decode as corrupt, not as
+// silently empty).
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"trex/internal/storage"
+)
+
+func skipDrainStore(t *testing.T) *Store {
+	t.Helper()
+	db := storage.OpenMemory()
+	t.Cleanup(func() { db.Close() })
+	s, err := Open(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// sdEnt builds a deterministic entry; End is Doc+2 so (doc, end) targets
+// between entries exist on both sides of every stored pair.
+func sdEnt(sid, doc uint32) RPLEntry {
+	return RPLEntry{Score: 1 + float64(doc)/7, SID: sid, Doc: doc, End: doc + 2, Length: doc%9 + 1}
+}
+
+// writeBlocked encodes the entries as v2 block rows and asserts the
+// block layout the boundary cases below rely on.
+func writeBlocked(t *testing.T, s *Store, term string, entries []RPLEntry, wantBlocks []int) {
+	t.Helper()
+	rows := EncodeERPLBlocks(term, entries)
+	if len(rows) != len(wantBlocks) {
+		t.Fatalf("%q encoded into %d blocks, want %d (BlockTargetEntries changed?)", term, len(rows), len(wantBlocks))
+	}
+	for i, want := range wantBlocks {
+		if len(rows[i].Entries) != want {
+			t.Fatalf("%q block %d holds %d entries, want %d", term, i, len(rows[i].Entries), want)
+		}
+	}
+	if err := s.WriteListRows(KindERPL, rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestERPLIteratorSkipToBlockBounds drives SkipTo over a 257-entry
+// single-sid list: two full 128-entry blocks plus a one-entry trailing
+// block, with targets pinned to every boundary flavor.
+func TestERPLIteratorSkipToBlockBounds(t *testing.T) {
+	s := skipDrainStore(t)
+	var entries []RPLEntry
+	for doc := uint32(0); doc < 257; doc++ {
+		entries = append(entries, sdEnt(1, doc))
+	}
+	writeBlocked(t, s, "tm", entries, []int{128, 128, 1})
+
+	cases := []struct {
+		name        string
+		doc, end    uint32
+		wantSkipped int
+		wantDoc     uint32 // next doc after the skip
+		exhausted   bool
+	}{
+		{name: "at first entry", doc: 0, end: 0, wantSkipped: 0, wantDoc: 0},
+		// Block 0's header bound is its last entry (127, 129): a target
+		// equal to the bound straddles the block (the bound entry itself
+		// must still be returned), so nothing skips undecoded.
+		{name: "exactly at block 0 header bound", doc: 127, end: 129, wantSkipped: 0, wantDoc: 127},
+		// One past the bound: block 0 skips whole without decoding.
+		{name: "one past block 0 header bound", doc: 127, end: 130, wantSkipped: 128, wantDoc: 128},
+		{name: "exactly at block 1 first entry", doc: 128, end: 130, wantSkipped: 128, wantDoc: 128},
+		{name: "between block 1 and trailing block", doc: 256, end: 0, wantSkipped: 256, wantDoc: 256},
+		// The trailing block holds a single entry (256, 258); a target
+		// equal to it straddles, one past it skips the block whole.
+		{name: "exactly at trailing single-entry block", doc: 256, end: 258, wantSkipped: 256, wantDoc: 256},
+		{name: "one past trailing block", doc: 256, end: 259, wantSkipped: 257, exhausted: true},
+		{name: "far past the list", doc: 1000, end: 0, wantSkipped: 257, exhausted: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			it := NewERPLIterator(s, "tm", 1)
+			skipped, err := it.SkipTo(tc.doc, tc.end)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if skipped != tc.wantSkipped {
+				t.Fatalf("skipped %d entries undecoded, want %d", skipped, tc.wantSkipped)
+			}
+			e, ok, err := it.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.exhausted {
+				if ok {
+					t.Fatalf("iterator yielded %+v past the end", e)
+				}
+				return
+			}
+			if !ok || e != sdEnt(1, tc.wantDoc) {
+				t.Fatalf("next after skip = %+v ok=%v, want entry for doc %d", e, ok, tc.wantDoc)
+			}
+		})
+	}
+
+	t.Run("skip within already-decoded block", func(t *testing.T) {
+		it := NewERPLIterator(s, "tm", 1)
+		for i := 0; i < 3; i++ {
+			if _, ok, err := it.Next(); err != nil || !ok {
+				t.Fatalf("prime Next %d: %v %v", i, ok, err)
+			}
+		}
+		// Block 0 is decoded; the target sits inside it, so the skip is
+		// a pure buffered drop: nothing skips undecoded.
+		skipped, err := it.SkipTo(100, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if skipped != 0 {
+			t.Fatalf("buffered drop reported %d undecoded skips", skipped)
+		}
+		if e, ok, err := it.Next(); err != nil || !ok || e != sdEnt(1, 100) {
+			t.Fatalf("next = %+v ok=%v err=%v, want doc 100", e, ok, err)
+		}
+	})
+}
+
+// TestERPLIteratorDrainBelowBlockBounds checks the strict-bound contract
+// across block boundaries on the same 257-entry layout.
+func TestERPLIteratorDrainBelowBlockBounds(t *testing.T) {
+	s := skipDrainStore(t)
+	var entries []RPLEntry
+	for doc := uint32(0); doc < 257; doc++ {
+		entries = append(entries, sdEnt(1, doc))
+	}
+	writeBlocked(t, s, "tm", entries, []int{128, 128, 1})
+
+	cases := []struct {
+		name      string
+		doc, end  uint32
+		wantN     int
+		wantPeek  uint32
+		exhausted bool
+	}{
+		{name: "mid block", doc: 5, end: 0, wantN: 5, wantPeek: 5},
+		// The bound is exclusive: an entry equal to it stays.
+		{name: "exactly at an entry", doc: 2, end: 4, wantN: 2, wantPeek: 2},
+		{name: "across a block boundary", doc: 129, end: 0, wantN: 129, wantPeek: 129},
+		{name: "exactly at block 1 first entry", doc: 128, end: 130, wantN: 128, wantPeek: 128},
+		{name: "past the trailing block", doc: 1000, end: 0, wantN: 257, exhausted: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			it := NewERPLIterator(s, "tm", 1)
+			out, err := it.DrainBelow(tc.doc, tc.end, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(out) != tc.wantN {
+				t.Fatalf("drained %d entries, want %d", len(out), tc.wantN)
+			}
+			for i, e := range out {
+				if e != sdEnt(1, uint32(i)) {
+					t.Fatalf("drained entry %d = %+v, want doc %d", i, e, i)
+				}
+			}
+			e, ok, err := it.Peek()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.exhausted {
+				if ok {
+					t.Fatalf("peek past full drain = %+v", e)
+				}
+				return
+			}
+			if !ok || e.Doc != tc.wantPeek {
+				t.Fatalf("peek after drain = %+v ok=%v, want doc %d", e, ok, tc.wantPeek)
+			}
+		})
+	}
+}
+
+// TestERPLIteratorMixedFormats interleaves v2 blocks (even docs) with v1
+// row-per-entry rows (odd docs) in one (term, sid) segment: iteration
+// order, skip accounting, and drains must be format-blind.
+func TestERPLIteratorMixedFormats(t *testing.T) {
+	s := skipDrainStore(t)
+	var blocked []RPLEntry
+	for doc := uint32(0); doc < 200; doc += 2 {
+		blocked = append(blocked, sdEnt(1, doc))
+	}
+	writeBlocked(t, s, "mx", blocked, []int{100})
+	for doc := uint32(1); doc < 200; doc += 2 {
+		if err := s.PutERPL("mx", sdEnt(1, doc)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	t.Run("full iteration is position-ordered", func(t *testing.T) {
+		it := NewERPLIterator(s, "mx", 1)
+		for doc := uint32(0); doc < 200; doc++ {
+			e, ok, err := it.Next()
+			if err != nil || !ok || e != sdEnt(1, doc) {
+				t.Fatalf("entry %d = %+v ok=%v err=%v", doc, e, ok, err)
+			}
+		}
+		if _, ok, _ := it.Next(); ok {
+			t.Fatal("iterator did not end after 200 entries")
+		}
+	})
+
+	t.Run("skip counts only undecoded rows", func(t *testing.T) {
+		it := NewERPLIterator(s, "mx", 1)
+		// The single v2 block (docs 0..198) straddles any mid-list
+		// target and decodes; only the 25 one-entry v1 rows with doc <
+		// 50 skip undecoded.
+		skipped, err := it.SkipTo(50, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if skipped != 25 {
+			t.Fatalf("skipped %d entries undecoded, want 25 v1 rows", skipped)
+		}
+		for doc := uint32(50); doc < 200; doc++ {
+			e, ok, err := it.Next()
+			if err != nil || !ok || e != sdEnt(1, doc) {
+				t.Fatalf("after skip, entry %d = %+v ok=%v err=%v", doc, e, ok, err)
+			}
+		}
+	})
+
+	t.Run("drain crosses formats in order", func(t *testing.T) {
+		it := NewERPLIterator(s, "mx", 1)
+		out, err := it.DrainBelow(100, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 100 {
+			t.Fatalf("drained %d entries, want 100", len(out))
+		}
+		for i, e := range out {
+			if e != sdEnt(1, uint32(i)) {
+				t.Fatalf("drained entry %d = %+v", i, e)
+			}
+		}
+	})
+}
+
+// TestTermERPLSkipDrainAcrossSIDs merges three sid streams (sid 2 stored
+// as v1 rows, the others as two v2 blocks each) and checks SkipTo /
+// DrainBelow against a brute-force reference.
+func TestTermERPLSkipDrainAcrossSIDs(t *testing.T) {
+	s := skipDrainStore(t)
+	var all []RPLEntry
+	for _, sid := range []uint32{1, 2, 3} {
+		var stream []RPLEntry
+		for i := uint32(0); i < 300; i++ {
+			stream = append(stream, sdEnt(sid, sid-1+3*i))
+		}
+		all = append(all, stream...)
+		if sid == 2 {
+			for _, e := range stream {
+				if err := s.PutERPL("tt", e); err != nil {
+					t.Fatal(err)
+				}
+			}
+		} else {
+			writeBlocked(t, s, "tt", stream, []int{128, 128, 44})
+		}
+	}
+	// The merged stream is (doc, end)-ordered across sids — unlike a
+	// single segment's (sid, doc, end) key order.
+	sort.Slice(all, func(i, j int) bool {
+		return CompareDocEnd(all[i].Doc, all[i].End, all[j].Doc, all[j].End) < 0
+	})
+
+	expectFrom := func(doc, end uint32) []RPLEntry {
+		var out []RPLEntry
+		for _, e := range all {
+			if CompareDocEnd(e.Doc, e.End, doc, end) >= 0 {
+				out = append(out, e)
+			}
+		}
+		return out
+	}
+
+	t.Run("drain below then next", func(t *testing.T) {
+		m, err := NewTermERPL(s, "tt", []uint32{1, 2, 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := m.DrainBelow(75, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := len(all) - len(expectFrom(75, 0))
+		if len(out) != want {
+			t.Fatalf("drained %d entries, want %d", len(out), want)
+		}
+		for i, e := range out {
+			if e != all[i] {
+				t.Fatalf("drained entry %d = %+v, want %+v", i, e, all[i])
+			}
+		}
+		for _, wantE := range expectFrom(75, 0) {
+			e, ok, err := m.Next()
+			if err != nil || !ok || e != wantE {
+				t.Fatalf("after drain, next = %+v ok=%v err=%v, want %+v", e, ok, err, wantE)
+			}
+		}
+	})
+
+	t.Run("skip prunes whole blocks per stream", func(t *testing.T) {
+		m, err := NewTermERPL(s, "tt", []uint32{1, 2, 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Priming the heads decoded each stream's first block, so those
+		// entries drop buffered. Block 1 of streams 1 and 3 (docs up to
+		// sid-1+765) lies wholly below doc 800 and must skip undecoded
+		// — 128 entries each — while stream 2's v1 rows prune one
+		// undecoded row at a time.
+		skipped, err := m.SkipTo(800, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := expectFrom(800, 0)
+		remaining := 0
+		for ok := true; ok; {
+			var e RPLEntry
+			var err error
+			e, ok, err = m.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				if e != want[remaining] {
+					t.Fatalf("entry %d after skip = %+v, want %+v", remaining, e, want[remaining])
+				}
+				remaining++
+			}
+		}
+		if remaining != len(want) {
+			t.Fatalf("%d entries after skip, want %d", remaining, len(want))
+		}
+		undecodable := len(all) - len(want) - 3 // minus the primed heads
+		if skipped < 128*2 || skipped > undecodable {
+			t.Fatalf("skipped %d entries undecoded, want within [256, %d]", skipped, undecodable)
+		}
+	})
+
+	t.Run("skip past every stream exhausts the merge", func(t *testing.T) {
+		m, err := NewTermERPL(s, "tt", []uint32{1, 2, 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.SkipTo(10000, 0); err != nil {
+			t.Fatal(err)
+		}
+		if e, ok := m.Peek(); ok {
+			t.Fatalf("peek after full skip = %+v", e)
+		}
+		out, err := m.DrainBelow(20000, 0, nil)
+		if err != nil || len(out) != 0 {
+			t.Fatalf("drain after full skip = %d entries, err %v", len(out), err)
+		}
+	})
+}
+
+// TestEmptyTrailingBlockIsCorrupt pins down the count-0 block contract:
+// the encoder can never produce one, so the decoder must reject it as
+// corrupt instead of treating it as a silently empty trailing block.
+func TestEmptyTrailingBlockIsCorrupt(t *testing.T) {
+	s := skipDrainStore(t)
+	for doc := uint32(0); doc < 4; doc++ {
+		if err := s.PutERPL("zz", sdEnt(1, doc)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A hand-built trailing block row: valid header shape, zero entries.
+	tail := sdEnt(1, 9)
+	val := []byte{listFormatBlock}
+	val = binary.AppendUvarint(val, 0)               // count — invalid
+	val = binary.AppendUvarint(val, uint64(tail.SID))
+	val = binary.AppendUvarint(val, uint64(tail.Doc))
+	val = binary.AppendUvarint(val, uint64(tail.End))
+	if err := s.ERPLs.Put(erplKey("zz", tail), val); err != nil {
+		t.Fatal(err)
+	}
+
+	it := NewERPLIterator(s, "zz", 1)
+	sawErr := false
+	for i := 0; i < 10; i++ {
+		_, ok, err := it.Next()
+		if err != nil {
+			if !strings.Contains(err.Error(), "block count") {
+				t.Fatalf("error %q does not name the block count", err)
+			}
+			sawErr = true
+			break
+		}
+		if !ok {
+			break
+		}
+	}
+	if !sawErr {
+		t.Fatal("count-0 block iterated cleanly — corrupt row treated as empty")
+	}
+
+	// SkipTo prunes by header stats, which must reject the row too.
+	it2 := NewERPLIterator(s, "zz", 1)
+	if _, err := it2.SkipTo(tail.Doc+1, 0); err == nil {
+		t.Fatal("SkipTo read a count-0 block header without error")
+	} else if !strings.Contains(fmt.Sprint(err), "block count") {
+		t.Fatalf("SkipTo error %q does not name the block count", err)
+	}
+}

@@ -1,0 +1,10 @@
+package oracle
+
+import "trex/internal/retrieval"
+
+// CheckPerturbed exposes the perturbation hook to the harness's own
+// tests: corrupting one strategy's output proves the oracle detects
+// drift and that Shrink/Repro converge on it.
+func CheckPerturbed(c Case, perturb func(store, strategy string, res []retrieval.Scored) []retrieval.Scored) (*Mismatch, error) {
+	return check(c, perturb)
+}

@@ -1,0 +1,303 @@
+// Package oracle is a randomized differential-testing harness for the
+// retrieval strategies. Every case generates a seeded corpus plus a
+// (sids, terms, k) clause, builds three stores — v1 row-per-entry lists,
+// v2 block-encoded lists, and a store mixing both formats — and asserts
+// that TA, NRA, and Merge return rankings byte-identical to the
+// exhaustive baseline on all of them. No tolerance: the codecs
+// round-trip scores exactly, so any drift is a bug.
+//
+// Failures shrink to a minimal (corpus, query) pair and print as a
+// ready-to-paste regression test (Mismatch.Repro); because documents are
+// seeded per-id (see GenDoc), a shrunk case replays deterministically.
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"trex/internal/index"
+	"trex/internal/retrieval"
+	"trex/internal/storage"
+	"trex/internal/summary"
+)
+
+// Case is one differential trial, fully determined by its fields: the
+// corpus is GenCollection(Seed, DocIDs) and the clause is (SIDs, Terms)
+// evaluated at top-K (K <= 0 means all answers).
+type Case struct {
+	Seed   int64
+	DocIDs []int
+	SIDs   []uint32
+	Terms  []string
+	K      int
+}
+
+// NewCase draws a random case from rng, stamping it with seed. The sid
+// range deliberately overshoots small summaries: out-of-extent sids must
+// be a no-op for every strategy, and the oracle checks exactly that.
+func NewCase(rng *rand.Rand, seed int64) Case {
+	perm := rng.Perm(64)
+	c := Case{Seed: seed, DocIDs: append([]int(nil), perm[:4+rng.Intn(8)]...)}
+	sidPerm := rng.Perm(8)
+	for _, s := range sidPerm[:1+rng.Intn(5)] {
+		c.SIDs = append(c.SIDs, uint32(s+1))
+	}
+	wordPerm := rng.Perm(len(genWords))
+	for _, w := range wordPerm[:1+rng.Intn(3)] {
+		c.Terms = append(c.Terms, genWords[w])
+	}
+	c.K = []int{1, 2, 3, 10, 0}[rng.Intn(5)]
+	return c
+}
+
+// Mismatch describes one strategy disagreeing with the exhaustive
+// baseline on one store.
+type Mismatch struct {
+	Case     Case
+	Store    string // "v1", "v2", or "mixed"
+	Strategy string // "TA", "NRA", or "Merge"
+	Detail   string
+}
+
+func (m *Mismatch) String() string {
+	return fmt.Sprintf("%s on %s store: %s (case %+v)", m.Strategy, m.Store, m.Detail, m.Case)
+}
+
+// Repro renders the mismatch as a paste-ready regression test pinned to
+// the exact failing case.
+func (m *Mismatch) Repro() string {
+	c := m.Case
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// Regression: %s on %s store — %s\n", m.Strategy, m.Store, m.Detail)
+	fmt.Fprintf(&sb, "// Paste into a _test.go file (package oracle_test) under internal/oracle.\n")
+	fmt.Fprintf(&sb, "func TestOracleRegressionSeed%d(t *testing.T) {\n", c.Seed)
+	fmt.Fprintf(&sb, "\tc := oracle.Case{\n")
+	fmt.Fprintf(&sb, "\t\tSeed:   %d,\n", c.Seed)
+	fmt.Fprintf(&sb, "\t\tDocIDs: %#v,\n", c.DocIDs)
+	fmt.Fprintf(&sb, "\t\tSIDs:   %#v,\n", c.SIDs)
+	fmt.Fprintf(&sb, "\t\tTerms:  %#v,\n", c.Terms)
+	fmt.Fprintf(&sb, "\t\tK:      %d,\n", c.K)
+	fmt.Fprintf(&sb, "\t}\n")
+	sb.WriteString("\tm, err := oracle.Check(c)\n")
+	sb.WriteString("\tif err != nil {\n\t\tt.Fatal(err)\n\t}\n")
+	sb.WriteString("\tif m != nil {\n\t\tt.Fatalf(\"strategies disagree: %s\", m)\n\t}\n}\n")
+	return sb.String()
+}
+
+// Check runs one differential case. A nil *Mismatch means every strategy
+// agreed with the exhaustive baseline on every store; a non-nil error
+// means the harness itself failed (build or retrieval error), which is a
+// bug too but not a ranking divergence.
+func Check(c Case) (*Mismatch, error) {
+	return check(c, nil)
+}
+
+// perturbFunc lets harness tests corrupt one strategy's output before
+// comparison, to prove the shrink/repro machinery catches real drift.
+type perturbFunc func(store, strategy string, res []retrieval.Scored) []retrieval.Scored
+
+func check(c Case, perturb perturbFunc) (*Mismatch, error) {
+	if len(c.DocIDs) == 0 || len(c.SIDs) == 0 || len(c.Terms) == 0 {
+		return nil, fmt.Errorf("oracle: degenerate case %+v", c)
+	}
+	v1, closeV1, err := buildCaseStore(c, "v1")
+	if err != nil {
+		return nil, err
+	}
+	defer closeV1()
+	v2, closeV2, err := buildCaseStore(c, "v2")
+	if err != nil {
+		return nil, err
+	}
+	defer closeV2()
+	mixed, closeMixed, err := buildCaseStore(c, "mixed")
+	if err != nil {
+		return nil, err
+	}
+	defer closeMixed()
+
+	scv1, err := v1.NewScorer(c.Terms)
+	if err != nil {
+		return nil, err
+	}
+	base, _, err := retrieval.ExhaustiveTopK(v1, c.SIDs, c.Terms, scv1, c.K)
+	if err != nil {
+		return nil, err
+	}
+
+	kk := c.K
+	if kk <= 0 {
+		kk = 1 << 20
+	}
+	stores := []struct {
+		name string
+		st   *index.Store
+	}{{"v1", v1}, {"v2", v2}, {"mixed", mixed}}
+	for _, s := range stores {
+		sc, err := s.st.NewScorer(c.Terms)
+		if err != nil {
+			return nil, err
+		}
+		runs := []struct {
+			name string
+			run  func() ([]retrieval.Scored, error)
+		}{
+			{"TA", func() ([]retrieval.Scored, error) {
+				r, _, err := retrieval.TA(s.st, c.SIDs, c.Terms, sc, kk)
+				return r, err
+			}},
+			{"NRA", func() ([]retrieval.Scored, error) {
+				r, _, err := retrieval.NRA(s.st, c.SIDs, c.Terms, kk)
+				return r, err
+			}},
+			{"Merge", func() ([]retrieval.Scored, error) {
+				r, _, err := retrieval.Merge(s.st, c.SIDs, c.Terms, kk)
+				return r, err
+			}},
+		}
+		for _, strat := range runs {
+			got, err := strat.run()
+			if err != nil {
+				return nil, fmt.Errorf("oracle: %s on %s store: %w", strat.name, s.name, err)
+			}
+			if perturb != nil {
+				got = perturb(s.name, strat.name, got)
+			}
+			if d := diffRankings(base, got); d != "" {
+				return &Mismatch{Case: c, Store: s.name, Strategy: strat.name, Detail: d}, nil
+			}
+		}
+	}
+	return nil, nil
+}
+
+// buildCaseStore parses the case's collection into a fresh in-memory
+// store and materializes its lists in the requested format: "v1"
+// row-per-entry, "v2" block-encoded, or "mixed" (alternating format per
+// term, so both row kinds interleave in the same trees).
+func buildCaseStore(c Case, format string) (*index.Store, func(), error) {
+	col := GenCollection(c.Seed, c.DocIDs)
+	sum, err := summary.Build(col, summary.Options{Kind: summary.KindIncoming})
+	if err != nil {
+		return nil, nil, err
+	}
+	db := storage.OpenMemory()
+	fail := func(err error) (*index.Store, func(), error) {
+		db.Close()
+		return nil, nil, err
+	}
+	st, err := index.Open(db)
+	if err != nil {
+		return fail(err)
+	}
+	if _, err := index.BuildBase(st, col, sum); err != nil {
+		return fail(err)
+	}
+	sc, err := st.NewScorer(c.Terms)
+	if err != nil {
+		return fail(err)
+	}
+	switch format {
+	case "v1":
+		_, err = retrieval.MaterializeV1(st, c.SIDs, c.Terms, sc, index.KindRPL, index.KindERPL)
+	case "v2":
+		_, err = retrieval.Materialize(st, c.SIDs, c.Terms, sc, index.KindRPL, index.KindERPL)
+	case "mixed":
+		for j, term := range c.Terms {
+			if j%2 == 0 {
+				_, err = retrieval.MaterializeV1(st, c.SIDs, []string{term}, sc, index.KindRPL, index.KindERPL)
+			} else {
+				_, err = retrieval.Materialize(st, c.SIDs, []string{term}, sc, index.KindRPL, index.KindERPL)
+			}
+			if err != nil {
+				break
+			}
+		}
+	default:
+		err = fmt.Errorf("oracle: unknown store format %q", format)
+	}
+	if err != nil {
+		return fail(err)
+	}
+	return st, func() { db.Close() }, nil
+}
+
+// diffRankings reports the first divergence between two rankings, or ""
+// when they are identical in length, elements, and exact scores.
+func diffRankings(want, got []retrieval.Scored) string {
+	if len(want) != len(got) {
+		return fmt.Sprintf("%d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i].Elem != got[i].Elem || want[i].Score != got[i].Score {
+			return fmt.Sprintf("rank %d: %v score %v, want %v score %v",
+				i, got[i].Elem, got[i].Score, want[i].Elem, want[i].Score)
+		}
+	}
+	return ""
+}
+
+// Shrink greedily minimizes a failing case: it repeatedly tries removing
+// one document, term, or sid and keeps any removal under which failing
+// still reports true, looping to a fixpoint. The result is 1-minimal —
+// removing any single remaining component makes the failure vanish.
+// failing must be deterministic (Check is, for a fixed Case).
+func Shrink(c Case, failing func(Case) bool) Case {
+	for changed := true; changed; {
+		changed = false
+		c, changed = shrinkDocs(c, failing, changed)
+		c, changed = shrinkTerms(c, failing, changed)
+		c, changed = shrinkSIDs(c, failing, changed)
+	}
+	return c
+}
+
+func shrinkDocs(c Case, failing func(Case) bool, changed bool) (Case, bool) {
+	for i := 0; i < len(c.DocIDs) && len(c.DocIDs) > 1; {
+		cand := c
+		cand.DocIDs = without(c.DocIDs, i)
+		if failing(cand) {
+			c = cand
+			changed = true
+		} else {
+			i++
+		}
+	}
+	return c, changed
+}
+
+func shrinkTerms(c Case, failing func(Case) bool, changed bool) (Case, bool) {
+	for i := 0; i < len(c.Terms) && len(c.Terms) > 1; {
+		cand := c
+		cand.Terms = without(c.Terms, i)
+		if failing(cand) {
+			c = cand
+			changed = true
+		} else {
+			i++
+		}
+	}
+	return c, changed
+}
+
+func shrinkSIDs(c Case, failing func(Case) bool, changed bool) (Case, bool) {
+	for i := 0; i < len(c.SIDs) && len(c.SIDs) > 1; {
+		cand := c
+		cand.SIDs = without(c.SIDs, i)
+		if failing(cand) {
+			c = cand
+			changed = true
+		} else {
+			i++
+		}
+	}
+	return c, changed
+}
+
+// without returns s minus the element at i, as a fresh slice.
+func without[T any](s []T, i int) []T {
+	out := make([]T, 0, len(s)-1)
+	out = append(out, s[:i]...)
+	return append(out, s[i+1:]...)
+}

@@ -1,0 +1,56 @@
+package oracle_test
+
+import (
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"trex/internal/oracle"
+)
+
+// TestSoak is the nightly long-run oracle: thousands of randomized
+// differential cases from a wall-clock seed. Gated behind TREX_SOAK so
+// `go test ./...` stays fast; run it via `make soak`, and replay a red
+// run with `make soak SEED=<the seed the log printed>`.
+func TestSoak(t *testing.T) {
+	if os.Getenv("TREX_SOAK") == "" {
+		t.Skip("soak disabled: set TREX_SOAK=1 (or run `make soak`)")
+	}
+	seed := time.Now().UnixNano()
+	if s := os.Getenv("TREX_SOAK_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("TREX_SOAK_SEED=%q: %v", s, err)
+		}
+		if v != 0 { // 0 = "pick one", the Makefile default
+			seed = v
+		}
+	}
+	cases := 3000
+	if s := os.Getenv("TREX_SOAK_CASES"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v <= 0 {
+			t.Fatalf("TREX_SOAK_CASES=%q: want a positive integer", s)
+		}
+		cases = v
+	}
+	t.Logf("soak seed %d over %d cases — replay with: make soak SEED=%d", seed, cases, seed)
+
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < cases; i++ {
+		caseSeed := seed + int64(i)
+		c := oracle.NewCase(rng, caseSeed)
+		m, err := oracle.Check(c)
+		if err != nil {
+			t.Fatalf("case %d (seed %d): harness error: %v\ncase: %+v", i, caseSeed, err, c)
+		}
+		if m != nil {
+			t.Fatalf("case %d (seed %d): %s\n\nminimal repro:\n%s", i, caseSeed, m, shrunkRepro(m.Case))
+		}
+		if i > 0 && i%500 == 0 {
+			t.Logf("%d/%d cases green", i, cases)
+		}
+	}
+}

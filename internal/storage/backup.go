@@ -29,7 +29,7 @@ func (db *DB) Backup(w io.Writer) (int64, error) {
 	buf := *bufp
 	var written int64
 	for id := uint32(0); id < count; id++ {
-		if err := db.pager.be.readPage(id, buf); err != nil {
+		if err := db.pager.be.ReadPage(id, buf); err != nil {
 			return written, fmt.Errorf("storage: backup page %d: %w", id, err)
 		}
 		n, err := w.Write(buf)

@@ -43,24 +43,11 @@ func Open(path string, opts *Options) (*DB, error) {
 	if st.Size() == 0 {
 		return initDB(be, opts)
 	}
-	buf := make([]byte, PageSize)
-	if err := be.readPage(0, buf); err != nil {
-		f.Close()
-		return nil, err
-	}
-	m, err := decodeMeta(buf)
+	db, err := OpenBackend(be, opts)
 	if err != nil {
+		// OpenBackend does not close the backend on failure (the caller
+		// may want to inspect it); the file handle is ours to release.
 		f.Close()
-		return nil, err
-	}
-	db := &DB{tables: make(map[string]*Tree)}
-	cache, shards := 0, 0
-	if opts != nil {
-		cache, shards = opts.CachePages, opts.CacheShards
-	}
-	db.pager = newPager(be, *m, cache, shards)
-	if err := db.loadCatalog(); err != nil {
-		_ = be.close()
 		return nil, err
 	}
 	return db, nil
@@ -76,12 +63,48 @@ func OpenMemory() *DB {
 	return db
 }
 
-func initDB(be backend, opts *Options) (*DB, error) {
+// NewDB initializes a fresh database on an externally supplied backend
+// (for example a fault-injecting page store). The backend must be
+// empty; its page 0 is overwritten with a fresh meta page. On error the
+// backend is closed.
+func NewDB(be Backend, opts *Options) (*DB, error) {
+	return initDB(be, opts)
+}
+
+// OpenBackend opens an existing database image on an externally
+// supplied backend: it decodes the meta page, replays any redo journal
+// a crashed flush left behind, and loads the catalog. Unlike NewDB it
+// leaves the backend open on failure so callers can inspect the image.
+func OpenBackend(be Backend, opts *Options) (*DB, error) {
+	buf := make([]byte, PageSize)
+	if err := be.ReadPage(0, buf); err != nil {
+		return nil, err
+	}
+	m, err := decodeMeta(buf)
+	if err != nil {
+		return nil, err
+	}
+	if err := replayJournal(be, m); err != nil {
+		return nil, fmt.Errorf("storage: journal replay: %w", err)
+	}
+	db := &DB{tables: make(map[string]*Tree)}
+	cache, shards := 0, 0
+	if opts != nil {
+		cache, shards = opts.CachePages, opts.CacheShards
+	}
+	db.pager = newPager(be, *m, cache, shards)
+	if err := db.loadCatalog(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+func initDB(be Backend, opts *Options) (*DB, error) {
 	m := meta{version: metaVersion, pageCount: 1, freeHead: nilPage, catalogRoot: nilPage}
 	buf := make([]byte, PageSize)
 	m.encode(buf)
-	if err := be.writePage(0, buf); err != nil {
-		_ = be.close()
+	if err := be.WritePage(0, buf); err != nil {
+		_ = be.Close()
 		return nil, err
 	}
 	db := &DB{tables: make(map[string]*Tree)}

@@ -1,58 +1,44 @@
-package storage
+package storage_test
+
+// Fault-path tests for the storage layer, driven by the shared
+// internal/faultinject backend (one injection implementation for the
+// whole repo). They live outside the package because faultinject
+// imports storage; the exported NewDB/OpenBackend surface is what any
+// external instrumented backend goes through.
 
 import (
 	"errors"
 	"fmt"
 	"testing"
+
+	"trex/internal/faultinject"
+	"trex/internal/storage"
 )
 
-// faultBackend wraps a backend and fails I/O after a countdown, injecting
-// the kind of partial-failure a full disk or dying device produces.
-type faultBackend struct {
-	inner      backend
-	writesLeft int
-	readsLeft  int
-}
-
-var errInjected = errors.New("injected I/O fault")
-
-func (f *faultBackend) readPage(id uint32, buf []byte) error {
-	if f.readsLeft == 0 {
-		return errInjected
-	}
-	if f.readsLeft > 0 {
-		f.readsLeft--
-	}
-	return f.inner.readPage(id, buf)
-}
-
-func (f *faultBackend) writePage(id uint32, buf []byte) error {
-	if f.writesLeft == 0 {
-		return errInjected
-	}
-	if f.writesLeft > 0 {
-		f.writesLeft--
-	}
-	return f.inner.writePage(id, buf)
-}
-
-func (f *faultBackend) sync() error  { return f.inner.sync() }
-func (f *faultBackend) close() error { return f.inner.close() }
-
-// newFaultDB builds an in-memory DB whose backend fails after the given
-// operation budgets (-1 = unlimited).
-func newFaultDB(t *testing.T, writes, reads int) (*DB, *faultBackend) {
+// newFaultDB builds a DB over a fresh fault-injection disk.
+func newFaultDB(t *testing.T, opts *storage.Options) (*storage.DB, *faultinject.Disk) {
 	t.Helper()
-	fb := &faultBackend{inner: &memBackend{}, writesLeft: writes, readsLeft: reads}
-	db, err := initDB(fb, nil)
+	d := faultinject.NewDisk(1)
+	db, err := storage.NewDB(d, opts)
 	if err != nil {
-		t.Fatalf("initDB: %v", err)
+		t.Fatalf("NewDB: %v", err)
 	}
-	return db, fb
+	return db, d
+}
+
+// reopen opens the surviving image of d as a fresh process would.
+func reopen(t *testing.T, d *faultinject.Disk) (*storage.DB, *faultinject.Disk) {
+	t.Helper()
+	nd := d.Snapshot()
+	db, err := storage.OpenBackend(nd, nil)
+	if err != nil {
+		t.Fatalf("OpenBackend: %v", err)
+	}
+	return db, nd
 }
 
 func TestWriteFaultSurfacesOnFlush(t *testing.T) {
-	db, fb := newFaultDB(t, -1, -1)
+	db, d := newFaultDB(t, nil)
 	tr, err := db.CreateTable("t")
 	if err != nil {
 		t.Fatal(err)
@@ -62,7 +48,7 @@ func TestWriteFaultSurfacesOnFlush(t *testing.T) {
 			t.Fatalf("Put: %v", err)
 		}
 	}
-	fb.writesLeft = 0 // disk dies now
+	d.FailWritesAfter(0) // disk dies now
 	if err := db.Flush(); err == nil {
 		t.Fatal("Flush succeeded despite write faults")
 	}
@@ -70,15 +56,28 @@ func TestWriteFaultSurfacesOnFlush(t *testing.T) {
 	if _, err := tr.Get([]byte("k0001")); err != nil {
 		t.Fatalf("Get after failed flush: %v", err)
 	}
+	// A failed flush must be retryable: heal the disk, flush again, and
+	// the reopened image must hold everything.
+	d.Heal()
+	if err := db.Flush(); err != nil {
+		t.Fatalf("retried Flush: %v", err)
+	}
+	db2, _ := reopen(t, d)
+	defer db2.Close()
+	tr2, err := db2.OpenTable("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i += 7 {
+		if _, err := tr2.Get([]byte(fmt.Sprintf("k%04d", i))); err != nil {
+			t.Fatalf("Get k%04d after retry+reopen: %v", i, err)
+		}
+	}
 }
 
 func TestReadFaultSurfacesOnGet(t *testing.T) {
 	// Use a tiny cache so gets must touch the backend.
-	fb := &faultBackend{inner: &memBackend{}, writesLeft: -1, readsLeft: -1}
-	db, err := initDB(fb, &Options{CachePages: 9})
-	if err != nil {
-		t.Fatal(err)
-	}
+	db, d := newFaultDB(t, &storage.Options{CachePages: 9})
 	tr, err := db.CreateTable("t")
 	if err != nil {
 		t.Fatal(err)
@@ -91,11 +90,11 @@ func TestReadFaultSurfacesOnGet(t *testing.T) {
 	if err := db.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	fb.readsLeft = 0
+	d.FailReadsAfter(0)
 	sawErr := false
 	for i := 0; i < 3000; i += 101 {
 		if _, err := tr.Get([]byte(fmt.Sprintf("k%05d", i))); err != nil {
-			if err == ErrNotFound {
+			if errors.Is(err, storage.ErrNotFound) {
 				t.Fatalf("fault surfaced as ErrNotFound — data-loss lie")
 			}
 			sawErr = true
@@ -107,11 +106,7 @@ func TestReadFaultSurfacesOnGet(t *testing.T) {
 }
 
 func TestCursorFaultPropagates(t *testing.T) {
-	fb := &faultBackend{inner: &memBackend{}, writesLeft: -1, readsLeft: -1}
-	db, err := initDB(fb, &Options{CachePages: 9})
-	if err != nil {
-		t.Fatal(err)
-	}
+	db, d := newFaultDB(t, &storage.Options{CachePages: 9})
 	tr, err := db.CreateTable("t")
 	if err != nil {
 		t.Fatal(err)
@@ -129,7 +124,7 @@ func TestCursorFaultPropagates(t *testing.T) {
 	if err != nil || !ok {
 		t.Fatalf("First = %v, %v", ok, err)
 	}
-	fb.readsLeft = 2 // let a couple of leaf loads through, then fail
+	d.FailReadsAfter(2) // let a couple of leaf loads through, then fail
 	for {
 		ok, err = cur.Next()
 		if err != nil {
@@ -142,7 +137,7 @@ func TestCursorFaultPropagates(t *testing.T) {
 }
 
 func TestBulkLoadWriteFault(t *testing.T) {
-	db, fb := newFaultDB(t, -1, -1)
+	db, d := newFaultDB(t, nil)
 	tr, err := db.CreateTable("t")
 	if err != nil {
 		t.Fatal(err)
@@ -159,8 +154,160 @@ func TestBulkLoadWriteFault(t *testing.T) {
 	if err := bl.Finish(); err != nil {
 		t.Fatal(err)
 	}
-	fb.writesLeft = 3
+	d.FailWritesAfter(3)
 	if err := db.Flush(); err == nil {
 		t.Fatal("Flush succeeded despite exhausted write budget")
+	}
+	// The latent gap the old ad-hoc backend never covered: after a write
+	// fault mid-bulk-flush, the load must still be recoverable — heal,
+	// re-flush, reopen, and every bulk-loaded key must be there.
+	d.Heal()
+	if err := db.Flush(); err != nil {
+		t.Fatalf("retried Flush after bulk-load fault: %v", err)
+	}
+	db2, _ := reopen(t, d)
+	defer db2.Close()
+	tr2, err := db2.OpenTable("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20000; i += 997 {
+		if _, err := tr2.Get([]byte(fmt.Sprintf("k%08d", i))); err != nil {
+			t.Fatalf("Get k%08d after bulk-load retry: %v", i, err)
+		}
+	}
+	if n, err := tr2.Len(); err != nil || n != 20000 {
+		t.Fatalf("reopened bulk-loaded table has %d keys, want 20000", n)
+	}
+}
+
+func TestENOSPCSurfacesAndRetries(t *testing.T) {
+	db, d := newFaultDB(t, nil)
+	tr, err := db.CreateTable("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("k%05d", i)), []byte("vvvvvvvv")); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	d.LimitPages(d.Pages() + 2) // room for a couple more pages, not all
+	err = db.Flush()
+	if err == nil {
+		t.Fatal("Flush succeeded past the page quota")
+	}
+	if !errors.Is(err, faultinject.ErrNoSpace) {
+		t.Fatalf("Flush error = %v, want ErrNoSpace", err)
+	}
+	// The operator frees disk space; the same flush must now commit.
+	d.LimitPages(-1)
+	if err := db.Flush(); err != nil {
+		t.Fatalf("Flush after freeing space: %v", err)
+	}
+	db2, _ := reopen(t, d)
+	defer db2.Close()
+	tr2, err := db2.OpenTable("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := tr2.Len(); err != nil || n != 2000 {
+		t.Fatalf("reopened table has %d keys, want 2000", n)
+	}
+}
+
+func TestSyncFaultSurfacesOnFlush(t *testing.T) {
+	db, d := newFaultDB(t, nil)
+	tr, err := db.CreateTable("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("k%04d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.FailSyncAt(1)
+	if err := db.Flush(); err == nil {
+		t.Fatal("Flush succeeded despite fsync failure")
+	}
+	// fsync failures must not poison the in-memory state either.
+	if err := db.Flush(); err != nil {
+		t.Fatalf("retried Flush after fsync failure: %v", err)
+	}
+	db2, _ := reopen(t, d)
+	defer db2.Close()
+	tr2, err := db2.OpenTable("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := tr2.Len(); err != nil || n != 200 {
+		t.Fatalf("reopened table has %d keys, want 200", n)
+	}
+}
+
+// TestTornWriteNeverLiesSilently tears one page write per trial and
+// asserts the reopened store either still serves exactly the committed
+// data (the tear landed on a page the committed state does not read) or
+// fails with ErrCorrupt — never a silent wrong answer. The page CRC is
+// what turns a torn sector into a detectable error.
+func TestTornWriteNeverLiesSilently(t *testing.T) {
+	const keys = 800
+	detected := 0
+	for k := 1; k <= 12; k++ {
+		d := faultinject.NewDisk(int64(k))
+		db, err := storage.NewDB(d, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := db.CreateTable("t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < keys; i++ {
+			if err := tr.Put([]byte(fmt.Sprintf("k%05d", i)), []byte("v")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		d.TornWriteAt(k)
+		_ = db.Flush() // the disk lies: the torn write reports success
+
+		nd := d.Snapshot()
+		db2, err := storage.OpenBackend(nd, nil)
+		if err != nil {
+			if !errors.Is(err, storage.ErrCorrupt) {
+				t.Fatalf("k=%d: open error %v, want ErrCorrupt", k, err)
+			}
+			detected++
+			continue
+		}
+		tr2, err := db2.OpenTable("t")
+		if err != nil {
+			if !errors.Is(err, storage.ErrCorrupt) {
+				t.Fatalf("k=%d: OpenTable error %v, want ErrCorrupt", k, err)
+			}
+			detected++
+			continue
+		}
+		seen := 0
+		cur := tr2.Cursor()
+		ok, err := cur.First()
+		for ok && err == nil {
+			seen++
+			ok, err = cur.Next()
+		}
+		if err != nil {
+			if !errors.Is(err, storage.ErrCorrupt) {
+				t.Fatalf("k=%d: scan error %v, want ErrCorrupt", k, err)
+			}
+			detected++
+			continue
+		}
+		if seen != keys {
+			t.Fatalf("k=%d: torn write silently dropped data: %d keys, want %d", k, seen, keys)
+		}
+	}
+	if detected == 0 {
+		t.Fatal("no torn write was ever detected — CRC trailer not doing its job")
 	}
 }

@@ -26,17 +26,33 @@ const (
 
 // Page type tags (first byte of an encoded page).
 const (
-	pageMeta   = 0x4D // 'M'
-	pageLeaf   = 0x4C // 'L'
-	pageBranch = 0x42 // 'B'
-	pageFree   = 0x46 // 'F'
+	pageMeta    = 0x4D // 'M'
+	pageLeaf    = 0x4C // 'L'
+	pageBranch  = 0x42 // 'B'
+	pageFree    = 0x46 // 'F'
+	pageJournal = 0x4A // 'J' — redo-journal header (see pager.flush)
 )
 
 const (
-	metaMagic   = "TREXDB01"
-	metaVersion = 1
+	metaMagic = "TREXDB01"
+	// metaVersion 2 added journalHead to the meta page (the redo journal
+	// that makes flush an atomic commit). There are no persisted v1 files
+	// to migrate; v1 images are rejected as unsupported.
+	metaVersion = 2
 	// nilPage marks "no page" (page 0 is the meta page, never a node).
 	nilPage = uint32(0)
+)
+
+// Journal header layout: [0] pageJournal, [1:5] next header page
+// (nilPage terminates the chain), [5:9] entry count, then count entries
+// of (targetPage uint32, contentPage uint32) — replay copies the raw
+// page image at contentPage over targetPage. The page CRC does not
+// cover the page id, so a sealed image is position-independent and can
+// be staged at one id and applied at another.
+const (
+	journalHeaderSize = 1 + 4 + 4
+	journalEntrySize  = 8
+	journalMaxEntries = (pagePayload - journalHeaderSize) / journalEntrySize
 )
 
 // leafHeaderSize and per-cell overheads used for capacity accounting.
@@ -209,12 +225,15 @@ func decodeNode(id uint32, buf []byte) (*node, error) {
 	}
 }
 
-// meta is the content of page 0.
+// meta is the content of page 0. Writing page 0 is the commit point of
+// every flush: all state a reopened DB trusts is reachable from here.
 type meta struct {
 	version     uint32
 	pageCount   uint32 // number of pages in the file, including meta
 	freeHead    uint32 // head of the free-page chain, nilPage if empty
 	catalogRoot uint32 // root page of the catalog tree, nilPage if empty
+	journalHead uint32 // first redo-journal header page, nilPage when no
+	// replay is pending; always beyond pageCount when set
 }
 
 func (m *meta) encode(buf []byte) {
@@ -225,16 +244,17 @@ func (m *meta) encode(buf []byte) {
 	binary.LittleEndian.PutUint32(buf[13:17], m.pageCount)
 	binary.LittleEndian.PutUint32(buf[17:21], m.freeHead)
 	binary.LittleEndian.PutUint32(buf[21:25], m.catalogRoot)
-	sum := crc32.ChecksumIEEE(buf[:25])
-	binary.LittleEndian.PutUint32(buf[25:29], sum)
+	binary.LittleEndian.PutUint32(buf[25:29], m.journalHead)
+	sum := crc32.ChecksumIEEE(buf[:29])
+	binary.LittleEndian.PutUint32(buf[29:33], sum)
 }
 
 func decodeMeta(buf []byte) (*meta, error) {
 	if len(buf) != PageSize || buf[0] != pageMeta || string(buf[1:9]) != metaMagic {
 		return nil, fmt.Errorf("%w: bad meta page", ErrCorrupt)
 	}
-	want := binary.LittleEndian.Uint32(buf[25:29])
-	if crc32.ChecksumIEEE(buf[:25]) != want {
+	want := binary.LittleEndian.Uint32(buf[29:33])
+	if crc32.ChecksumIEEE(buf[:29]) != want {
 		return nil, fmt.Errorf("%w: meta checksum mismatch", ErrCorrupt)
 	}
 	m := &meta{
@@ -242,6 +262,7 @@ func decodeMeta(buf []byte) (*meta, error) {
 		pageCount:   binary.LittleEndian.Uint32(buf[13:17]),
 		freeHead:    binary.LittleEndian.Uint32(buf[17:21]),
 		catalogRoot: binary.LittleEndian.Uint32(buf[21:25]),
+		journalHead: binary.LittleEndian.Uint32(buf[25:29]),
 	}
 	if m.version != metaVersion {
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, m.version)

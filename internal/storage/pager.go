@@ -80,14 +80,21 @@ func (ps *pagerStats) snapshot() Stats {
 	}
 }
 
-// backend is the raw page I/O abstraction under the pager. readPage and
-// writePage may be called concurrently (reads with reads, and reads with
-// writes to other pages); implementations must tolerate that.
-type backend interface {
-	readPage(id uint32, buf []byte) error
-	writePage(id uint32, buf []byte) error
-	sync() error
-	close() error
+// Backend is the raw page I/O abstraction under the pager. ReadPage and
+// WritePage may be called concurrently (reads with reads, and reads with
+// writes to other pages); implementations must tolerate that. It is
+// exported so external packages (notably internal/faultinject) can
+// supply instrumented backends to NewDB/OpenBackend.
+type Backend interface {
+	// ReadPage fills buf (PageSize bytes) with the content of page id.
+	ReadPage(id uint32, buf []byte) error
+	// WritePage persists buf (PageSize bytes) as the content of page id.
+	WritePage(id uint32, buf []byte) error
+	// Sync makes all preceding writes durable; flush ordering (data
+	// before journal before meta) relies on it as a write barrier.
+	Sync() error
+	// Close releases the backend.
+	Close() error
 }
 
 // fileBackend stores pages in a single OS file at offset id*PageSize.
@@ -96,7 +103,7 @@ type fileBackend struct {
 	f *os.File
 }
 
-func (fb *fileBackend) readPage(id uint32, buf []byte) error {
+func (fb *fileBackend) ReadPage(id uint32, buf []byte) error {
 	_, err := fb.f.ReadAt(buf, int64(id)*PageSize)
 	if err == io.EOF {
 		return fmt.Errorf("%w: page %d beyond EOF", ErrCorrupt, id)
@@ -104,24 +111,24 @@ func (fb *fileBackend) readPage(id uint32, buf []byte) error {
 	return err
 }
 
-func (fb *fileBackend) writePage(id uint32, buf []byte) error {
+func (fb *fileBackend) WritePage(id uint32, buf []byte) error {
 	_, err := fb.f.WriteAt(buf, int64(id)*PageSize)
 	return err
 }
 
-func (fb *fileBackend) sync() error  { return fb.f.Sync() }
-func (fb *fileBackend) close() error { return fb.f.Close() }
+func (fb *fileBackend) Sync() error  { return fb.f.Sync() }
+func (fb *fileBackend) Close() error { return fb.f.Close() }
 
 // memBackend stores pages in memory; used for tests and small corpora.
 // The RWMutex makes concurrent readers safe against the slice growth a
-// concurrent writePage can trigger (readers no longer serialize behind a
+// concurrent WritePage can trigger (readers no longer serialize behind a
 // single pager lock, so the backend must provide its own safety).
 type memBackend struct {
 	mu    sync.RWMutex
 	pages [][]byte
 }
 
-func (mb *memBackend) readPage(id uint32, buf []byte) error {
+func (mb *memBackend) ReadPage(id uint32, buf []byte) error {
 	mb.mu.RLock()
 	defer mb.mu.RUnlock()
 	if int(id) >= len(mb.pages) || mb.pages[id] == nil {
@@ -131,7 +138,7 @@ func (mb *memBackend) readPage(id uint32, buf []byte) error {
 	return nil
 }
 
-func (mb *memBackend) writePage(id uint32, buf []byte) error {
+func (mb *memBackend) WritePage(id uint32, buf []byte) error {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	for int(id) >= len(mb.pages) {
@@ -143,9 +150,9 @@ func (mb *memBackend) writePage(id uint32, buf []byte) error {
 	return nil
 }
 
-func (mb *memBackend) sync() error { return nil }
+func (mb *memBackend) Sync() error { return nil }
 
-func (mb *memBackend) close() error {
+func (mb *memBackend) Close() error {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	mb.pages = nil
@@ -182,13 +189,34 @@ type cacheShard struct {
 // counters are atomic, and page allocation/free (write path only) takes
 // metaMu. Lock ordering: a shard mutex and metaMu are never held at the
 // same time.
+//
+// Crash consistency: flush is an atomic commit. Pages that were part of
+// the last committed state ("live", id < commitBase) are never
+// overwritten in place before the commit point — they are staged in a
+// redo journal beyond the logical end of the file, the meta page is
+// written with journalHead set (the commit point), and only then are
+// they applied in place. Open replays a pending journal, so a crash at
+// any page-write boundary leaves the store at exactly the pre-flush or
+// post-flush state. Pages allocated since the last commit ("fresh",
+// id >= commitBase) are invisible to the committed state and may be
+// written directly at any time.
 type pager struct {
-	be     backend
+	be     Backend
 	shards []cacheShard
 	mask   uint32 // len(shards)-1; shard count is a power of two
 
 	metaMu sync.Mutex // guards meta (pageCount, freeHead, catalogRoot)
 	meta   meta
+	// pendingFree holds pages released since the last commit. Freeing a
+	// live page in place would corrupt the committed tree on crash, so
+	// frees are deferred: the pages are reusable immediately in memory
+	// (allocPageLocked pops them first) and join the durable free chain
+	// at the next flush. Guarded by metaMu.
+	pendingFree []uint32
+	// commitBase is meta.pageCount as of the last successful commit (or
+	// open). Read on the eviction path under a shard lock, so it is
+	// atomic rather than metaMu-guarded.
+	commitBase atomic.Uint32
 
 	stats  pagerStats
 	closed atomic.Bool
@@ -207,7 +235,7 @@ const defaultCacheShards = 16
 // caches get fewer shards rather than degenerate one-page LRUs.
 const minShardPages = 8
 
-func newPager(be backend, m meta, maxCache, shardCount int) *pager {
+func newPager(be Backend, m meta, maxCache, shardCount int) *pager {
 	if maxCache <= 8 {
 		maxCache = defaultCachePages
 	}
@@ -237,6 +265,7 @@ func newPager(be backend, m meta, maxCache, shardCount int) *pager {
 			max:   perShard,
 		}
 	}
+	p.commitBase.Store(m.pageCount)
 	return p
 }
 
@@ -267,7 +296,7 @@ func (p *pager) node(id uint32) (*node, error) {
 
 	p.stats.cacheMisses.Add(1)
 	bufp := getPageBuf()
-	err := p.be.readPage(id, *bufp)
+	err := p.be.ReadPage(id, *bufp)
 	if err != nil {
 		putPageBuf(bufp)
 		return nil, err
@@ -294,11 +323,26 @@ func (p *pager) node(id uint32) (*node, error) {
 func (p *pager) insertShardLocked(sh *cacheShard, n *node) {
 	el := sh.lru.PushFront(n)
 	sh.nodes[n.id] = el
-	for sh.lru.Len() > sh.max {
-		back := sh.lru.Back()
-		victim := back.Value.(*node)
+	base := p.commitBase.Load()
+	scan := sh.lru.Back()
+	// Bound the eviction scan so a shard full of pinned pages degrades to
+	// cache growth (the safe failure mode) instead of an O(n) walk per
+	// insert.
+	for attempts := 0; sh.lru.Len() > sh.max && scan != nil && attempts < 32; attempts++ {
+		victim := scan.Value.(*node)
+		prev := scan.Prev()
 		if victim.dirty {
-			// Never evict dirty nodes silently; write them through.
+			if victim.id < base {
+				// A dirty live page is pinned until the next flush commits
+				// it via the journal: writing it through here would
+				// overwrite committed state in place, and concurrent
+				// readers rely on the cache holding the newest copy while
+				// the flush applies the journal to the backend.
+				scan = prev
+				continue
+			}
+			// Dirty fresh pages are invisible to the committed state, so
+			// write-through eviction is always safe.
 			if err := p.writeNode(victim); err != nil {
 				// Keep the node cached rather than lose data. Growing past
 				// max under write errors is the safe failure mode.
@@ -306,8 +350,9 @@ func (p *pager) insertShardLocked(sh *cacheShard, n *node) {
 			}
 			victim.dirty = false
 		}
-		sh.lru.Remove(back)
+		sh.lru.Remove(scan)
 		delete(sh.nodes, victim.id)
+		scan = prev
 	}
 }
 
@@ -317,7 +362,7 @@ func (p *pager) writeNode(n *node) error {
 	if err := n.encode(*bufp); err != nil {
 		return err
 	}
-	if err := p.be.writePage(n.id, *bufp); err != nil {
+	if err := p.be.WritePage(n.id, *bufp); err != nil {
 		return err
 	}
 	p.stats.pagesWritten.Add(1)
@@ -344,12 +389,21 @@ func (p *pager) allocNode(isLeaf bool) (*node, error) {
 }
 
 func (p *pager) allocPageLocked() (uint32, error) {
+	// Reuse pages freed since the last commit first: they are free in
+	// memory but not yet on the durable chain, so popping them here keeps
+	// page-count growth bounded across drop/rebuild cycles even when the
+	// caller never flushes in between.
+	if n := len(p.pendingFree); n > 0 {
+		id := p.pendingFree[n-1]
+		p.pendingFree = p.pendingFree[:n-1]
+		return id, nil
+	}
 	if p.meta.freeHead != nilPage {
 		id := p.meta.freeHead
 		bufp := getPageBuf()
 		defer putPageBuf(bufp)
 		buf := *bufp
-		if err := p.be.readPage(id, buf); err != nil {
+		if err := p.be.ReadPage(id, buf); err != nil {
 			return 0, err
 		}
 		p.stats.pagesRead.Add(1)
@@ -367,7 +421,11 @@ func (p *pager) allocPageLocked() (uint32, error) {
 	return id, nil
 }
 
-// freeNode releases the node's page back to the free chain.
+// freeNode releases the node's page. The free is deferred: writing the
+// free-chain link in place here would clobber committed state if the
+// process died before the enclosing operation's flush, so the page only
+// joins the durable chain when flush commits. Until then it is reusable
+// through pendingFree.
 func (p *pager) freeNode(n *node) error {
 	if p.closed.Load() {
 		return ErrClosed
@@ -382,18 +440,7 @@ func (p *pager) freeNode(n *node) error {
 
 	p.metaMu.Lock()
 	defer p.metaMu.Unlock()
-	bufp := getPageBuf()
-	defer putPageBuf(bufp)
-	buf := *bufp
-	clear(buf)
-	buf[0] = pageFree
-	binary.LittleEndian.PutUint32(buf[1:5], p.meta.freeHead)
-	sealPage(buf)
-	if err := p.be.writePage(n.id, buf); err != nil {
-		return err
-	}
-	p.stats.pagesWritten.Add(1)
-	p.meta.freeHead = n.id
+	p.pendingFree = append(p.pendingFree, n.id)
 	return nil
 }
 
@@ -418,13 +465,40 @@ func (p *pager) markDirty(n *node) {
 	p.insertShardLocked(sh, n)
 }
 
-// flush writes all dirty nodes and the meta page. Like all write-path
+// pageImage is a sealed page staged for the journaled part of a flush.
+type pageImage struct {
+	id  uint32
+	buf []byte
+}
+
+// flush commits all dirty state atomically. Like all write-path
 // operations it must not run concurrently with other writes; concurrent
-// readers are safe (each shard is locked while scanned).
+// readers are safe (each shard is locked while scanned, and dirty live
+// pages stay pinned in the cache until the commit completes, so readers
+// never observe the backend mid-apply).
+//
+// Commit protocol:
+//  1. write fresh pages (id >= commitBase) in place — invisible to the
+//     committed state until the meta page references them;
+//  2. stage every live page (id < commitBase) in a redo journal beyond
+//     the logical end of file; sync;
+//  3. write the meta page with journalHead set and sync — the commit
+//     point: the new state is now durable, reachable via replay;
+//  4. apply the journaled pages in place, sync, clear journalHead.
+//
+// Any failure before step 3 leaves the committed state untouched and
+// the in-memory dirty state intact, so flush can simply be retried; a
+// failure after it leaves a journal that Open (or a retry) replays.
 func (p *pager) flush() error {
 	if p.closed.Load() {
 		return ErrClosed
 	}
+	base := p.commitBase.Load()
+
+	// Phase 1: fresh dirty pages go straight to the backend; live dirty
+	// pages are encoded and staged for the journal.
+	var live []pageImage
+	var dirty []*node
 	for i := range p.shards {
 		sh := &p.shards[i]
 		sh.mu.Lock()
@@ -433,30 +507,216 @@ func (p *pager) flush() error {
 			if !n.dirty {
 				continue
 			}
+			dirty = append(dirty, n)
+			if n.id < base {
+				buf := make([]byte, PageSize)
+				if err := n.encode(buf); err != nil {
+					sh.mu.Unlock()
+					return err
+				}
+				live = append(live, pageImage{id: n.id, buf: buf})
+				continue
+			}
 			if err := p.writeNode(n); err != nil {
 				sh.mu.Unlock()
 				return err
 			}
-			n.dirty = false
 		}
 		sh.mu.Unlock()
 	}
+
+	// Phase 2: chain the deferred frees onto the free list. Free-page
+	// links for fresh ids can be written now; live ids are journaled
+	// like any other committed-state overwrite.
 	p.metaMu.Lock()
-	bufp := getPageBuf()
-	p.meta.encode(*bufp)
-	err := p.be.writePage(0, *bufp)
-	putPageBuf(bufp)
+	newMeta := p.meta
+	pending := p.pendingFree
 	p.metaMu.Unlock()
-	if err != nil {
+	for i := len(pending) - 1; i >= 0; i-- {
+		id := pending[i]
+		buf := make([]byte, PageSize)
+		buf[0] = pageFree
+		binary.LittleEndian.PutUint32(buf[1:5], newMeta.freeHead)
+		sealPage(buf)
+		if id < base {
+			live = append(live, pageImage{id: id, buf: buf})
+		} else {
+			if err := p.be.WritePage(id, buf); err != nil {
+				return err
+			}
+			p.stats.pagesWritten.Add(1)
+		}
+		newMeta.freeHead = id
+	}
+
+	// Phase 3: stage the journal, then commit via the meta page.
+	newMeta.journalHead = nilPage
+	if len(live) > 0 {
+		head, err := p.writeJournal(newMeta.pageCount, live)
+		if err != nil {
+			return err
+		}
+		newMeta.journalHead = head
+	}
+	if err := p.be.Sync(); err != nil { // barrier: data + journal before meta
+		return err
+	}
+	if err := p.writeMeta(&newMeta); err != nil {
+		return err
+	}
+	if err := p.be.Sync(); err != nil { // commit point
+		return err
+	}
+
+	// Phase 4: apply the journal in place and retire it.
+	if len(live) > 0 {
+		for i := range live {
+			if err := p.be.WritePage(live[i].id, live[i].buf); err != nil {
+				return err
+			}
+			p.stats.pagesWritten.Add(1)
+		}
+		if err := p.be.Sync(); err != nil {
+			return err
+		}
+		newMeta.journalHead = nilPage
+		if err := p.writeMeta(&newMeta); err != nil {
+			return err
+		}
+		if err := p.be.Sync(); err != nil {
+			return err
+		}
+	}
+
+	// Success: only now clear the in-memory dirty state, so any earlier
+	// failure leaves flush fully retryable.
+	for _, n := range dirty {
+		sh := p.shard(n.id)
+		sh.mu.Lock()
+		n.dirty = false
+		sh.mu.Unlock()
+	}
+	p.metaMu.Lock()
+	p.meta = newMeta
+	p.pendingFree = nil
+	p.metaMu.Unlock()
+	p.commitBase.Store(newMeta.pageCount)
+	return nil
+}
+
+func (p *pager) writeMeta(m *meta) error {
+	bufp := getPageBuf()
+	defer putPageBuf(bufp)
+	m.encode(*bufp)
+	if err := p.be.WritePage(0, *bufp); err != nil {
 		return err
 	}
 	p.stats.pagesWritten.Add(1)
-	return p.be.sync()
+	return nil
+}
+
+// writeJournal stages the live page images starting at jstart (the
+// first page beyond the logical end of file): all content pages first,
+// then the chained header pages. Returns the first header's page id.
+func (p *pager) writeJournal(jstart uint32, live []pageImage) (uint32, error) {
+	next := jstart
+	entries := make([][2]uint32, 0, len(live))
+	for i := range live {
+		if err := p.be.WritePage(next, live[i].buf); err != nil {
+			return nilPage, err
+		}
+		p.stats.pagesWritten.Add(1)
+		entries = append(entries, [2]uint32{live[i].id, next})
+		next++
+	}
+	headerStart := next
+	nHeaders := (len(entries) + journalMaxEntries - 1) / journalMaxEntries
+	bufp := getPageBuf()
+	defer putPageBuf(bufp)
+	buf := *bufp
+	for h := 0; h < nHeaders; h++ {
+		lo := h * journalMaxEntries
+		hi := min(lo+journalMaxEntries, len(entries))
+		clear(buf)
+		buf[0] = pageJournal
+		nextHdr := nilPage
+		if h+1 < nHeaders {
+			nextHdr = headerStart + uint32(h) + 1
+		}
+		binary.LittleEndian.PutUint32(buf[1:5], nextHdr)
+		binary.LittleEndian.PutUint32(buf[5:9], uint32(hi-lo))
+		off := journalHeaderSize
+		for _, e := range entries[lo:hi] {
+			binary.LittleEndian.PutUint32(buf[off:], e[0])
+			binary.LittleEndian.PutUint32(buf[off+4:], e[1])
+			off += journalEntrySize
+		}
+		sealPage(buf)
+		if err := p.be.WritePage(headerStart+uint32(h), buf); err != nil {
+			return nilPage, err
+		}
+		p.stats.pagesWritten.Add(1)
+	}
+	return headerStart, nil
+}
+
+// replayJournal applies a pending redo journal left by a flush that was
+// interrupted after its commit point, then clears journalHead. It is
+// idempotent: dying mid-replay leaves the journal in place and the next
+// open replays it again.
+func replayJournal(be Backend, m *meta) error {
+	if m.journalHead == nilPage {
+		return nil
+	}
+	hbuf := make([]byte, PageSize)
+	cbuf := make([]byte, PageSize)
+	for head := m.journalHead; head != nilPage; {
+		if err := be.ReadPage(head, hbuf); err != nil {
+			return err
+		}
+		if err := verifyPage(head, hbuf); err != nil {
+			return err
+		}
+		if hbuf[0] != pageJournal {
+			return fmt.Errorf("%w: journal header %d has type 0x%02x", ErrCorrupt, head, hbuf[0])
+		}
+		next := binary.LittleEndian.Uint32(hbuf[1:5])
+		count := int(binary.LittleEndian.Uint32(hbuf[5:9]))
+		if count < 0 || count > journalMaxEntries {
+			return fmt.Errorf("%w: journal header %d entry count %d", ErrCorrupt, head, count)
+		}
+		off := journalHeaderSize
+		for i := 0; i < count; i++ {
+			target := binary.LittleEndian.Uint32(hbuf[off:])
+			content := binary.LittleEndian.Uint32(hbuf[off+4:])
+			off += journalEntrySize
+			if err := be.ReadPage(content, cbuf); err != nil {
+				return err
+			}
+			if err := verifyPage(content, cbuf); err != nil {
+				return err
+			}
+			if err := be.WritePage(target, cbuf); err != nil {
+				return err
+			}
+		}
+		head = next
+	}
+	if err := be.Sync(); err != nil {
+		return err
+	}
+	m.journalHead = nilPage
+	mbuf := make([]byte, PageSize)
+	m.encode(mbuf)
+	if err := be.WritePage(0, mbuf); err != nil {
+		return err
+	}
+	return be.Sync()
 }
 
 func (p *pager) close() error {
 	if err := p.flush(); err != nil {
-		_ = p.be.close()
+		_ = p.be.Close()
 		return err
 	}
 	p.closed.Store(true)
@@ -467,7 +727,7 @@ func (p *pager) close() error {
 		sh.lru = list.New()
 		sh.mu.Unlock()
 	}
-	return p.be.close()
+	return p.be.Close()
 }
 
 // setCatalogRoot records the catalog tree's root page in the meta page.

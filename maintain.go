@@ -69,6 +69,9 @@ func (e *Engine) AddDocuments(docs []corpus.Document) (*AddStats, error) {
 			}
 		}
 	}
+	if err := e.db.Flush(); err != nil {
+		return nil, fmt.Errorf("trex: add documents (commit phase, index updated in memory): %w", err)
+	}
 	return &AddStats{
 		Docs:               as.Docs,
 		Elements:           as.Elements,

@@ -227,7 +227,14 @@ func (e *Engine) Materialize(src string, kinds ...index.ListKind) (*retrieval.Ma
 	if err != nil {
 		return nil, err
 	}
-	return retrieval.Materialize(e.store, sids, terms, sc, kinds...)
+	ms, err := retrieval.Materialize(e.store, sids, terms, sc, kinds...)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.db.Flush(); err != nil {
+		return nil, fmt.Errorf("trex: materialize (commit phase, lists built in memory): %w", err)
+	}
+	return ms, nil
 }
 
 // CanUse reports whether the given method's required lists are fully
