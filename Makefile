@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-parallel bench-pr3 fuzz soak ci run-serve-autopilot
+.PHONY: all build test race vet bench bench-parallel bench-pr3 bench-pr5 test-telemetry fuzz soak ci run-serve-autopilot
 
 all: build test
 
@@ -40,6 +40,23 @@ bench-parallel:
 bench-pr3:
 	$(GO) run ./cmd/trexbench -exp pr3 -pr3out BENCH_PR3.json
 
+# bench-pr5 regenerates BENCH_PR5.json: the observability layer's cost —
+# paper queries with telemetry on vs off (ns/op, allocs/op; budget is
+# <= 2 extra allocs per query) plus the price of a /metrics scrape.
+bench-pr5:
+	$(GO) run ./cmd/trexbench -exp pr5 -pr5out BENCH_PR5.json
+
+# test-telemetry is the observability gate: the telemetry package's unit
+# suite (histogram edges, exposition format, guard semantics) plus the
+# engine-level conformance tests that assert the reported numbers equal
+# the engine's own counters, the mixed query/materialize race regression,
+# and the per-query allocation budget.
+test-telemetry:
+	$(GO) test ./internal/telemetry -count=1
+	$(GO) test . -run 'TestTrace|TestShardCountersSumToGlobal|TestSlowLogCapturesExactly|TestMetricsMatchQueryTraffic|TestExplainTrace|TestQueryTelemetryAllocGuard' -count=1
+	$(GO) test . -run TestTelemetryMixedQueryMaterializeRace -race -count=1
+	$(GO) test ./internal/webapi -run 'TestMetrics|TestSlowlog|TestSearchResponseTrace' -count=1
+
 # fuzz gives each codec fuzz target a short bounded run — long enough to
 # catch a decode panic regression, short enough for CI. The loop fails
 # fast: the first red target stops the run instead of burning the
@@ -64,8 +81,8 @@ soak:
 		$(GO) test ./internal/oracle -run '^TestSoak$$' -count=1 -v -timeout 120m
 
 # ci is the full pre-merge gate: build, vet, plain tests, race tests,
-# short codec fuzz runs.
-ci: build vet test race fuzz
+# the telemetry conformance gate, short codec fuzz runs.
+ci: build vet test race test-telemetry fuzz
 
 # run-serve-autopilot is an end-to-end smoke test of the online
 # self-management daemon: generate a small corpus, load it, serve it

@@ -129,7 +129,16 @@ func (e *Engine) autopilotRun(ctx context.Context, workload []autopilot.TrackedQ
 		pause:              opts.Pause,
 	})
 	if err != nil {
+		if m := e.met; m != nil {
+			m.autopilotFailures.Inc()
+		}
 		return nil, err
+	}
+	if m := e.met; m != nil {
+		m.autopilotRuns.Inc()
+		m.autopilotDropped.Add(uint64(len(rep.DroppedLists)))
+		m.autopilotKept.Set(float64(len(rep.KeptLists)))
+		m.autopilotDisk.Set(float64(rep.Plan.DiskUsed))
 	}
 	return &autopilot.RunReport{
 		Workload:   workload,

@@ -15,6 +15,7 @@
 //	winners    which method wins per query at small and large k
 //	effectiveness  precision@10 vs planted topics (extension)
 //	pr3        block-encoded vs row-per-entry list storage (see -pr3out)
+//	pr5        telemetry overhead: traces/metrics on vs off (see -pr5out)
 //	all        everything above
 //
 // Usage:
@@ -43,6 +44,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "corpus scale factor (1.0 = 400 IEEE / 900 wiki docs)")
 	csvDir := flag.String("csv", "", "also write figure series as CSV files into this directory")
 	pr3Out := flag.String("pr3out", "", "write the pr3 storage comparison as JSON to this file")
+	pr5Out := flag.String("pr5out", "", "write the pr5 telemetry overhead report as JSON to this file")
 	flag.Parse()
 	csvOut = *csvDir
 	if csvOut != "" {
@@ -115,6 +117,10 @@ func main() {
 	if run("pr3") {
 		ok = true
 		pr3(*scale, *pr3Out)
+	}
+	if run("pr5") {
+		ok = true
+		pr5(*scale, *pr5Out)
 	}
 	if !ok {
 		log.Fatalf("unknown experiment %q", *exp)
@@ -339,6 +345,46 @@ func pr3(scale float64, outPath string) {
 				q.ID, m, a.NsOp, b.NsOp, sp, a.PageReads, b.PageReads, b.CursorSteps)
 		}
 	}
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("# wrote %s\n", outPath)
+	}
+	fmt.Println()
+}
+
+func pr5(scale float64, outPath string) {
+	fmt.Println("## Telemetry overhead: traces + metrics + slow log on vs off (PR 5)")
+	rep, err := bench.PR5(scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-4s %-6s | %10s %10s %9s | %8s %8s %7s\n",
+		"id", "method", "off-ns", "on-ns", "overhead", "off-alloc", "on-alloc", "delta")
+	for _, q := range rep.Queries {
+		fmt.Printf("%-4s %-6s | %10d %10d %8.2f%% | %8d %8d %7d\n",
+			q.ID, q.Enabled.Method, q.Disabled.NsOp, q.Enabled.NsOp, q.OverheadPct,
+			q.Disabled.AllocsOp, q.Enabled.AllocsOp, q.AllocDelta)
+	}
+	status := "ok"
+	if rep.MaxAllocDelta > 2 {
+		status = "FAIL"
+	}
+	fmt.Printf("max alloc delta: %d (budget 2: trace + span slice) %s\n", rep.MaxAllocDelta, status)
+	fmt.Printf("mean wall overhead: %.2f%%\n", rep.MeanOverheadPct)
+	fmt.Printf("scrape: %d families, %d exposition bytes, %d ns/op, %d allocs/op\n",
+		rep.Scrape.Families, rep.Scrape.ExpositionBytes, rep.Scrape.NsOp, rep.Scrape.AllocsOp)
+	fmt.Printf("slow log recorded %d/%d queries at 1ns threshold\n", rep.SlowLogRecorded, len(rep.Queries))
 	if outPath != "" {
 		f, err := os.Create(outPath)
 		if err != nil {

@@ -11,8 +11,10 @@
 //	     -autopilot-drift 500 -autopilot-capacity 512 -autopilot-top 16
 //	     -autopilot-solver greedy -autopilot-pause 5ms]
 //
-// Endpoints: /search, /explain, /stats, /autopilot, /materialize (with
-// -writes), /.
+// Endpoints: /search, /explain, /stats, /autopilot, /metrics, /slowlog,
+// /materialize (with -writes), /. Telemetry (the /metrics registry,
+// per-query traces and the slow-query log) is on by default; disable it
+// with -metrics=false, tune the slow log with -slowlog-threshold.
 package main
 
 import (
@@ -58,14 +60,28 @@ func main() {
 	autoTop := flag.Int("autopilot-top", 16, "workload snapshot size handed to the solver")
 	autoSolver := flag.String("autopilot-solver", "greedy", "index-selection solver: greedy, lp, optimal")
 	autoPause := flag.Duration("autopilot-pause", 5*time.Millisecond, "pause between autopilot maintenance steps (rate limit)")
+	metrics := flag.Bool("metrics", true, "enable telemetry: /metrics registry, per-query traces, /slowlog")
+	slowThreshold := flag.Duration("slowlog-threshold", trex.DefaultSlowQueryThreshold, "wall-time budget at or above which a query lands in /slowlog (0 disables recording)")
+	slowCapacity := flag.Int("slowlog-capacity", 128, "slow-query ring buffer size")
 	flag.Parse()
 	if *dbPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	eng, err := trex.Open(*dbPath, nil)
+	eng, err := trex.Open(*dbPath, &trex.Options{Telemetry: &trex.TelemetryOptions{
+		Disabled:           !*metrics,
+		SlowQueryThreshold: *slowThreshold,
+		SlowLogCapacity:    *slowCapacity,
+	}})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if !*metrics {
+		log.Print("telemetry disabled (-metrics=false): /metrics and /slowlog return 404")
+	} else if *slowThreshold <= 0 {
+		// TelemetryOptions treats <= 0 as "use the default"; an explicit
+		// zero flag means "keep the registry but record nothing".
+		eng.SlowLog().SetThreshold(0)
 	}
 	defer eng.Close()
 

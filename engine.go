@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"trex/internal/autopilot"
 	"trex/internal/corpus"
@@ -72,6 +73,10 @@ type Options struct {
 	// materialized list set tuned to observed traffic under the disk
 	// budget. Engine.Close stops it.
 	Autopilot *AutopilotOptions
+	// Telemetry configures the observability layer (metrics registry,
+	// per-query trace spans, slow-query log). Nil enables it with
+	// defaults; see TelemetryOptions.Disabled to opt out.
+	Telemetry *TelemetryOptions
 }
 
 // Engine is an opened TReX collection: storage, index tables and the
@@ -109,6 +114,10 @@ type Engine struct {
 	pilotMu     sync.Mutex
 	pilotCancel context.CancelFunc
 	pilotOpts   AutopilotOptions
+	// met is the observability layer (metrics registry, slow-query log,
+	// I/O-attribution guard); nil when TelemetryOptions.Disabled. Set
+	// once before the engine is shared, then read-only.
+	met *engineMetrics
 }
 
 // beginRead / endRead bracket a read-only operation (queries,
@@ -121,7 +130,16 @@ func (e *Engine) endRead()   { e.rw.RUnlock() }
 // MethodRace goroutine from an earlier query may still be reading
 // storage, so writers also drain inflight before mutating.
 func (e *Engine) beginWrite() {
-	e.rw.Lock()
+	if m := e.met; m != nil {
+		t0 := time.Now()
+		e.rw.Lock()
+		m.writeLockWait.Observe(time.Since(t0).Seconds())
+		// Any exclusive step may dirty the shared I/O counters: taint
+		// overlapping query measurement windows (see telemetry.Guard).
+		m.guard.NoteWrite()
+	} else {
+		e.rw.Lock()
+	}
 	e.inflight.Wait()
 }
 func (e *Engine) endWrite() { e.rw.Unlock() }
@@ -235,6 +253,7 @@ func build(db *storage.DB, col *corpus.Collection, opts *Options) (*Engine, erro
 		return nil, err
 	}
 	eng := &Engine{db: db, store: store, sum: sum}
+	eng.initTelemetry(opts.Telemetry)
 	if err := eng.saveSummary(); err != nil {
 		return nil, err
 	}
@@ -266,6 +285,7 @@ func Open(path string, opts *Options) (*Engine, error) {
 		return nil, err
 	}
 	eng := &Engine{db: db, store: store}
+	eng.initTelemetry(opts.Telemetry)
 	if err := eng.loadSummary(); err != nil {
 		db.Close()
 		return nil, fmt.Errorf("trex: %s is not a TReX database: %w", path, err)

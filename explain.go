@@ -5,6 +5,8 @@ import (
 	"strings"
 
 	"trex/internal/index"
+	"trex/internal/storage"
+	"trex/internal/telemetry"
 	"trex/internal/translate"
 )
 
@@ -33,13 +35,31 @@ type Explanation struct {
 	// lists plus the clause's ERPL lists — exact for block-encoded lists,
 	// since the catalog records real encoded sizes.
 	ListBytes int64
+	// Trace breaks the analysis into timed spans with I/O attribution
+	// (nil when telemetry is disabled).
+	Trace *telemetry.Trace
 }
 
 // Explain analyzes a query without evaluating it.
 func (e *Engine) Explain(src string) (*Explanation, error) {
 	e.beginRead()
 	defer e.endRead()
-	tr, err := e.translateMode(src, translate.ModeVague)
+
+	var trc *telemetry.Trace
+	var ioPrev storage.Stats
+	span := -1
+	if e.met != nil {
+		trc = telemetry.NewTrace(src, 0)
+		ioPrev = e.db.Stats()
+		span = trc.StartSpan("translate")
+	}
+	tr, hit, err := e.translateModeHit(src, translate.ModeVague)
+	if trc != nil {
+		sp, now := e.endSpanIO(trc, span, ioPrev)
+		sp.Cached = hit
+		ioPrev = now
+		span = trc.StartSpan("analyze")
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -97,6 +117,11 @@ func (e *Engine) Explain(src string) (*Explanation, error) {
 				ex.ListBytes += b
 			}
 		}
+	}
+	if trc != nil {
+		e.endSpanIO(trc, span, ioPrev)
+		trc.Finish()
+		ex.Trace = trc
 	}
 	return ex, nil
 }

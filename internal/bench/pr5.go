@@ -1,0 +1,199 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"trex"
+	"trex/internal/corpus"
+	"trex/internal/index"
+)
+
+// PR5 measures what the observability layer costs: paper queries run on
+// two engines over the identical corpus — one with telemetry disabled,
+// one with traces, metrics and the slow log armed — plus the price of a
+// /metrics scrape itself. `make bench-pr5` serializes the report to
+// BENCH_PR5.json; the acceptance bar is <= 2 extra allocs per query.
+
+// PR5QueryStats is one (query, mode) measurement from testing.Benchmark.
+type PR5QueryStats struct {
+	NsOp     int64   `json:"nsOp"`
+	AllocsOp int64   `json:"allocsOp"`
+	BytesOp  int64   `json:"bytesOp"`
+	Answers  int     `json:"answers"`
+	Method   string  `json:"method"`
+	WallMS   float64 `json:"wallMs"` // single representative run, for the slow log cross-check
+}
+
+// PR5QueryResult compares the two modes on one paper query.
+type PR5QueryResult struct {
+	ID          string        `json:"id"`
+	NEXI        string        `json:"nexi"`
+	K           int           `json:"k"`
+	Disabled    PR5QueryStats `json:"disabled"`
+	Enabled     PR5QueryStats `json:"enabled"`
+	AllocDelta  int64         `json:"allocDelta"`  // enabled - disabled, budget <= 2
+	OverheadPct float64       `json:"overheadPct"` // (enabledNs/disabledNs - 1) * 100
+}
+
+// PR5ScrapeStats prices the exposition endpoint.
+type PR5ScrapeStats struct {
+	Families        int   `json:"families"`
+	ExpositionBytes int   `json:"expositionBytes"`
+	NsOp            int64 `json:"nsOp"`
+	AllocsOp        int64 `json:"allocsOp"`
+}
+
+// PR5Report is the full overhead comparison.
+type PR5Report struct {
+	Corpus struct {
+		Style string `json:"style"`
+		Docs  int    `json:"docs"`
+		Seed  int64  `json:"seed"`
+	} `json:"corpus"`
+	Queries []PR5QueryResult `json:"queries"`
+	// MaxAllocDelta is the worst per-query allocation overhead observed;
+	// the telemetry budget caps it at 2 (trace struct + span slice).
+	MaxAllocDelta int64 `json:"maxAllocDelta"`
+	// MeanOverheadPct averages the per-query wall overhead.
+	MeanOverheadPct float64        `json:"meanOverheadPct"`
+	Scrape          PR5ScrapeStats `json:"scrape"`
+	// SlowLogRecorded counts entries after re-running each query once with
+	// a 1ns threshold — it must equal len(Queries).
+	SlowLogRecorded uint64 `json:"slowLogRecorded"`
+}
+
+// PR5 builds the two engines and measures both modes on the IEEE paper
+// queries.
+func PR5(scale float64) (*PR5Report, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	docs := int(float64(DefaultIEEEDocs) * scale)
+	rep := &PR5Report{}
+	rep.Corpus.Style = corpus.StyleIEEE.String()
+	rep.Corpus.Docs = docs
+	rep.Corpus.Seed = DefaultSeed
+
+	col := corpus.GenerateIEEE(docs, DefaultSeed)
+	bare, err := trex.CreateMemory(col, &trex.Options{
+		Telemetry: &trex.TelemetryOptions{Disabled: true},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench: pr5 bare engine: %w", err)
+	}
+	defer bare.Close()
+	inst, err := trex.CreateMemory(col, &trex.Options{
+		Telemetry: &trex.TelemetryOptions{SlowQueryThreshold: time.Hour},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench: pr5 instrumented engine: %w", err)
+	}
+	defer inst.Close()
+
+	var queries []*QueryDef
+	for i := range PaperQueries {
+		if PaperQueries[i].Style == corpus.StyleIEEE {
+			queries = append(queries, &PaperQueries[i])
+		}
+	}
+
+	const k = 10
+	var deltaMax int64
+	var overheadSum float64
+	for _, q := range queries {
+		for _, eng := range []*trex.Engine{bare, inst} {
+			if _, err := eng.Materialize(q.NEXI, index.KindRPL, index.KindERPL); err != nil {
+				return nil, fmt.Errorf("bench: pr5 materialize %s: %w", q.ID, err)
+			}
+		}
+		d, err := pr5Measure(bare, q.NEXI, k)
+		if err != nil {
+			return nil, fmt.Errorf("bench: pr5 %s disabled: %w", q.ID, err)
+		}
+		e, err := pr5Measure(inst, q.NEXI, k)
+		if err != nil {
+			return nil, fmt.Errorf("bench: pr5 %s enabled: %w", q.ID, err)
+		}
+		qr := PR5QueryResult{ID: q.ID, NEXI: q.NEXI, K: k, Disabled: d, Enabled: e,
+			AllocDelta: e.AllocsOp - d.AllocsOp}
+		if d.NsOp > 0 {
+			qr.OverheadPct = (float64(e.NsOp)/float64(d.NsOp) - 1) * 100
+		}
+		if qr.AllocDelta > deltaMax {
+			deltaMax = qr.AllocDelta
+		}
+		overheadSum += qr.OverheadPct
+		rep.Queries = append(rep.Queries, qr)
+	}
+	rep.MaxAllocDelta = deltaMax
+	if len(rep.Queries) > 0 {
+		rep.MeanOverheadPct = overheadSum / float64(len(rep.Queries))
+	}
+
+	// Price one /metrics scrape against the now-populated registry.
+	reg := inst.MetricsRegistry()
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		return nil, fmt.Errorf("bench: pr5 exposition: %w", err)
+	}
+	rep.Scrape.ExpositionBytes = sb.Len()
+	rep.Scrape.Families = len(reg.Snapshot().Entries)
+	sr := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var w strings.Builder
+			if err := reg.WritePrometheus(&w); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rep.Scrape.NsOp = sr.NsPerOp()
+	rep.Scrape.AllocsOp = sr.AllocsPerOp()
+
+	// Arm the slow log and confirm it records exactly one entry per query.
+	log := inst.SlowLog()
+	before := log.Total()
+	log.SetThreshold(time.Nanosecond)
+	for _, q := range queries {
+		if _, err := inst.Query(q.NEXI, k, trex.MethodAuto); err != nil {
+			return nil, fmt.Errorf("bench: pr5 slowlog %s: %w", q.ID, err)
+		}
+	}
+	rep.SlowLogRecorded = log.Total() - before
+	return rep, nil
+}
+
+// pr5Measure times one query on one engine via testing.Benchmark, which
+// gives stable ns/op plus exact allocs/op — the quantity the PR budget
+// constrains.
+func pr5Measure(eng *trex.Engine, nexi string, k int) (PR5QueryStats, error) {
+	var out PR5QueryStats
+	// Warm caches so both modes measure the steady state.
+	res, err := eng.Query(nexi, k, trex.MethodAuto)
+	if err != nil {
+		return out, err
+	}
+	out.Answers = res.Stats.Answers
+	out.Method = res.Method.String()
+	out.WallMS = float64(res.Stats.Elapsed) / float64(time.Millisecond)
+	var benchErr error
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Query(nexi, k, trex.MethodAuto); err != nil {
+				benchErr = err
+				b.Fatal(err)
+			}
+		}
+	})
+	if benchErr != nil {
+		return out, benchErr
+	}
+	out.NsOp = br.NsPerOp()
+	out.AllocsOp = br.AllocsPerOp()
+	out.BytesOp = br.AllocedBytesPerOp()
+	return out, nil
+}

@@ -156,6 +156,7 @@ func NRA(st *index.Store, sids []uint32, terms []string, k int) ([]Scored, *Stat
 		stop := nraStop(cands, bounds, exhausted, k, n, stats)
 		stats.HeapTime += time.Since(hs)
 		if stop {
+			stats.ThresholdStop = true
 			break
 		}
 	}

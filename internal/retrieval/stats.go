@@ -67,17 +67,32 @@ type Stats struct {
 	// large PageReads.
 	PageReads uint64
 	BytesRead uint64
+	// IOExact reports whether PageReads/BytesRead can be attributed to
+	// this run alone. captureIO clears it when the measurement window saw
+	// writer traffic (a maintenance flush mid-query dirties the shared
+	// counters); the engine additionally clears it when another query's
+	// window overlapped. When false the counts are still safe totals —
+	// they just cover more than one operation.
+	IOExact bool
+	// ThresholdStop reports that TA terminated via its threshold test
+	// (top-k worst score above the aggregate frontier bound) rather than
+	// by exhausting the lists.
+	ThresholdStop bool
 }
 
 // captureIO fills the I/O counters from the delta of the DB's stats since
 // `before` (snapshotted when the run started). The counters are
-// engine-global, so concurrent queries bleed into each other's deltas;
-// for the single-query measurement paths that feed Explain, the bench
-// suite and the cost tables this is exact.
+// engine-global, so concurrent operations bleed into each other's deltas;
+// IOExact records whether the window was provably free of writer traffic.
+// (Reader overlap is invisible at this level — the engine's telemetry
+// guard detects it and ANDs into IOExact.) For the single-query
+// measurement paths that feed Explain, the bench suite and the cost
+// tables the delta is exact.
 func (s *Stats) captureIO(st *index.Store, before storage.Stats) {
 	d := st.DB.Stats().Sub(before)
 	s.PageReads = d.CacheHits + d.CacheMisses
 	s.BytesRead = d.PagesRead * storage.PageSize
+	s.IOExact = d.Puts == 0 && d.PagesWritten == 0 && d.Flushes == 0
 }
 
 // ITATime returns the paper's "ideal heap" time: total time with heap

@@ -153,6 +153,7 @@ func TA(st *index.Store, sids []uint32, terms []string, sc *score.Scorer, k int)
 			}
 		}
 		if topk.full() && topk.worst() > threshold {
+			stats.ThresholdStop = true
 			break
 		}
 	}

@@ -84,6 +84,7 @@ func OpenBackend(be Backend, opts *Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
+	replayed := m.journalHead != nilPage
 	if err := replayJournal(be, m); err != nil {
 		return nil, fmt.Errorf("storage: journal replay: %w", err)
 	}
@@ -93,6 +94,9 @@ func OpenBackend(be Backend, opts *Options) (*DB, error) {
 		cache, shards = opts.CachePages, opts.CacheShards
 	}
 	db.pager = newPager(be, *m, cache, shards)
+	if replayed {
+		db.pager.stats.journalReplays.Add(1)
+	}
 	if err := db.loadCatalog(); err != nil {
 		return nil, err
 	}
@@ -240,6 +244,17 @@ func (db *DB) Close() error {
 
 // Stats returns a snapshot of the I/O counters.
 func (db *DB) Stats() Stats { return db.pager.statsSnapshot() }
+
+// CacheShardStats returns per-shard node-cache counters in shard order,
+// for telemetry on cache balance and occupancy.
+func (db *DB) CacheShardStats() []ShardStats { return db.pager.shardStatsSnapshot() }
+
+// CacheShardCount returns how many shards the node cache is split into.
+func (db *DB) CacheShardCount() int { return len(db.pager.shards) }
+
+// CacheShardStat returns shard i's counters without snapshotting every
+// shard (the per-shard scrape path).
+func (db *DB) CacheShardStat(i int) ShardStats { return db.pager.shardStat(i) }
 
 // PageCount returns the number of pages in the file, a direct measure of
 // disk usage (PageCount * PageSize bytes).

@@ -22,6 +22,10 @@ type Stats struct {
 	Nexts        uint64 // cursor Next operations
 	Gets         uint64 // point lookups
 	Puts         uint64 // insertions/updates
+
+	Flushes        uint64 // successful atomic commits
+	JournalPages   uint64 // live pages staged through the redo journal
+	JournalReplays uint64 // pending journals replayed at open
 }
 
 // Add accumulates other into s.
@@ -34,19 +38,25 @@ func (s *Stats) Add(other Stats) {
 	s.Nexts += other.Nexts
 	s.Gets += other.Gets
 	s.Puts += other.Puts
+	s.Flushes += other.Flushes
+	s.JournalPages += other.JournalPages
+	s.JournalReplays += other.JournalReplays
 }
 
 // Sub returns s minus other, for measuring a window of activity.
 func (s Stats) Sub(other Stats) Stats {
 	return Stats{
-		PagesRead:    s.PagesRead - other.PagesRead,
-		PagesWritten: s.PagesWritten - other.PagesWritten,
-		CacheHits:    s.CacheHits - other.CacheHits,
-		CacheMisses:  s.CacheMisses - other.CacheMisses,
-		Seeks:        s.Seeks - other.Seeks,
-		Nexts:        s.Nexts - other.Nexts,
-		Gets:         s.Gets - other.Gets,
-		Puts:         s.Puts - other.Puts,
+		PagesRead:      s.PagesRead - other.PagesRead,
+		PagesWritten:   s.PagesWritten - other.PagesWritten,
+		CacheHits:      s.CacheHits - other.CacheHits,
+		CacheMisses:    s.CacheMisses - other.CacheMisses,
+		Seeks:          s.Seeks - other.Seeks,
+		Nexts:          s.Nexts - other.Nexts,
+		Gets:           s.Gets - other.Gets,
+		Puts:           s.Puts - other.Puts,
+		Flushes:        s.Flushes - other.Flushes,
+		JournalPages:   s.JournalPages - other.JournalPages,
+		JournalReplays: s.JournalReplays - other.JournalReplays,
 	}
 }
 
@@ -57,26 +67,32 @@ func (s Stats) Sub(other Stats) Stats {
 // snapshot taken mid-operation may be skewed by the operations in flight
 // (a miss may be counted before its PagesRead, never the reverse).
 type pagerStats struct {
-	pagesRead    atomic.Uint64
-	pagesWritten atomic.Uint64
-	cacheHits    atomic.Uint64
-	cacheMisses  atomic.Uint64
-	seeks        atomic.Uint64
-	nexts        atomic.Uint64
-	gets         atomic.Uint64
-	puts         atomic.Uint64
+	pagesRead      atomic.Uint64
+	pagesWritten   atomic.Uint64
+	cacheHits      atomic.Uint64
+	cacheMisses    atomic.Uint64
+	seeks          atomic.Uint64
+	nexts          atomic.Uint64
+	gets           atomic.Uint64
+	puts           atomic.Uint64
+	flushes        atomic.Uint64
+	journalPages   atomic.Uint64
+	journalReplays atomic.Uint64
 }
 
 func (ps *pagerStats) snapshot() Stats {
 	return Stats{
-		PagesRead:    ps.pagesRead.Load(),
-		PagesWritten: ps.pagesWritten.Load(),
-		CacheHits:    ps.cacheHits.Load(),
-		CacheMisses:  ps.cacheMisses.Load(),
-		Seeks:        ps.seeks.Load(),
-		Nexts:        ps.nexts.Load(),
-		Gets:         ps.gets.Load(),
-		Puts:         ps.puts.Load(),
+		PagesRead:      ps.pagesRead.Load(),
+		PagesWritten:   ps.pagesWritten.Load(),
+		CacheHits:      ps.cacheHits.Load(),
+		CacheMisses:    ps.cacheMisses.Load(),
+		Seeks:          ps.seeks.Load(),
+		Nexts:          ps.nexts.Load(),
+		Gets:           ps.gets.Load(),
+		Puts:           ps.puts.Load(),
+		Flushes:        ps.flushes.Load(),
+		JournalPages:   ps.journalPages.Load(),
+		JournalReplays: ps.journalReplays.Load(),
 	}
 }
 
@@ -178,6 +194,20 @@ type cacheShard struct {
 	nodes map[uint32]*list.Element // id -> element whose Value is *node
 	lru   *list.List               // front = most recently used
 	max   int
+
+	// Per-shard lookup counters, maintained alongside the global ones so
+	// telemetry can expose shard balance (a hot shard means the id→shard
+	// spread is degenerate for the workload). Atomic: bumped outside mu.
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// ShardStats reports one cache shard's lookup traffic and occupancy.
+type ShardStats struct {
+	Hits   uint64 // lookups served from this shard
+	Misses uint64 // lookups that went to the backend
+	Len    int    // decoded nodes currently resident
+	Max    int    // shard LRU capacity
 }
 
 // pager mediates between node-level operations and the page backend. It
@@ -290,11 +320,13 @@ func (p *pager) node(id uint32) (*node, error) {
 		n := el.Value.(*node)
 		sh.mu.Unlock()
 		p.stats.cacheHits.Add(1)
+		sh.hits.Add(1)
 		return n, nil
 	}
 	sh.mu.Unlock()
 
 	p.stats.cacheMisses.Add(1)
+	sh.misses.Add(1)
 	bufp := getPageBuf()
 	err := p.be.ReadPage(id, *bufp)
 	if err != nil {
@@ -601,6 +633,8 @@ func (p *pager) flush() error {
 	p.pendingFree = nil
 	p.metaMu.Unlock()
 	p.commitBase.Store(newMeta.pageCount)
+	p.stats.flushes.Add(1)
+	p.stats.journalPages.Add(uint64(len(live)))
 	return nil
 }
 
@@ -741,6 +775,32 @@ func (p *pager) setCatalogRoot(root uint32) {
 // untorn atomic load; see pagerStats for the (bounded) cross-field skew a
 // snapshot taken during concurrent activity can show.
 func (p *pager) statsSnapshot() Stats { return p.stats.snapshot() }
+
+// shardStatsSnapshot returns per-shard cache counters in shard order.
+func (p *pager) shardStatsSnapshot() []ShardStats {
+	out := make([]ShardStats, len(p.shards))
+	for i := range p.shards {
+		out[i] = p.shardStat(i)
+	}
+	return out
+}
+
+// shardStat returns one shard's counters.
+func (p *pager) shardStat(i int) ShardStats {
+	sh := &p.shards[i]
+	sh.mu.Lock()
+	n := 0
+	if sh.lru != nil {
+		n = sh.lru.Len()
+	}
+	sh.mu.Unlock()
+	return ShardStats{
+		Hits:   sh.hits.Load(),
+		Misses: sh.misses.Load(),
+		Len:    n,
+		Max:    sh.max,
+	}
+}
 
 func (p *pager) countSeek() { p.stats.seeks.Add(1) }
 func (p *pager) countNext() { p.stats.nexts.Add(1) }

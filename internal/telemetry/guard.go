@@ -1,0 +1,60 @@
+package telemetry
+
+import "sync/atomic"
+
+// Guard detects whether a measurement window had the engine's shared
+// I/O counters to itself. The storage pager's stats are engine-global:
+// a query that snapshots them before and after its run reads the delta
+// of *everything* that happened in between, so a concurrent query — or
+// a maintenance flush — silently inflates the numbers. Threading
+// per-query counters through every cursor operation would put a
+// parameter on the entire storage read path; instead, readers enter
+// the guard around their window and writers note their mutations, and
+// Exclusive() reports after the fact whether the window was clean.
+// Counts from a non-exclusive window are still safe to read (every
+// underlying counter is atomic and monotonic) — they are just
+// attributed to more than one operation, and the trace flags that via
+// Trace.IOExact.
+type Guard struct {
+	active  atomic.Int64  // readers currently inside a window
+	entries atomic.Uint64 // readers that ever entered
+	writes  atomic.Uint64 // writer mutations noted
+}
+
+// Window is one reader's open measurement window.
+type Window struct {
+	g       *Guard
+	entries uint64
+	writes  uint64
+	solo    bool
+}
+
+// Enter opens a window. Call Exit when the measurement is done.
+func (g *Guard) Enter() Window {
+	g.active.Add(1)
+	e := g.entries.Add(1)
+	// solo: no other reader was mid-window when we entered. A reader
+	// that enters *after* us is caught by the entries check instead.
+	return Window{g: g, entries: e, writes: g.writes.Load(), solo: g.active.Load() == 1}
+}
+
+// Exclusive reports whether the window has been free of concurrent
+// readers and writer mutations so far. Valid before or after Exit.
+func (w Window) Exclusive() bool {
+	if w.g == nil {
+		return false
+	}
+	return w.solo && w.g.entries.Load() == w.entries && w.g.writes.Load() == w.writes
+}
+
+// Exit closes the window.
+func (w Window) Exit() {
+	if w.g != nil {
+		w.g.active.Add(-1)
+	}
+}
+
+// NoteWrite marks a writer mutation (a maintenance step that dirties
+// the shared counters); any overlapping reader window stops being
+// exclusive.
+func (g *Guard) NoteWrite() { g.writes.Add(1) }

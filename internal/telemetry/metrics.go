@@ -1,0 +1,432 @@
+// Package telemetry is the engine's observability substrate: a
+// lock-cheap metrics registry (counters, gauges, bounded histograms)
+// exposed in the Prometheus text exposition format, per-query trace
+// spans, and a slow-query ring log.
+//
+// The design splits the hot path from the scrape path. Recording a
+// sample is one or two atomic operations and never allocates — queries
+// pay for observability in nanoseconds, not locks. Scraping walks the
+// registry under a mutex, reads every counter with atomic loads, and
+// materializes an immutable Snapshot; mutations after the snapshot do
+// not change what it exports. Metrics whose source of truth lives
+// elsewhere (the storage pager's I/O counters, the autopilot
+// controller's run totals) register as func metrics, read at snapshot
+// time, so the same counter is never maintained twice.
+//
+// Label sets are baked in at registration ("trex_storage_shard_cache_
+// hits_total" with shard="3" is one metric object), so the hot path
+// never hashes label values. That fits this engine: every label
+// combination (shards, strategies, phases) is known when the engine
+// opens.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind discriminates metric behavior in the exposition output.
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// Labels name one metric instance within a family. They are rendered
+// (sorted, escaped) once at registration; the hot path never sees them.
+type Labels map[string]string
+
+// Counter is a monotonically increasing value. All methods are safe for
+// concurrent use and allocation-free.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down. It stores float64 bits in
+// one atomic word; Set is a plain store, Add is a CAS loop.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta (possibly negative).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram. Bounds are upper bounds of
+// non-cumulative buckets; an implicit +Inf bucket catches the rest.
+// Observe is two atomic adds plus a short linear scan — no locks, no
+// allocation — so it is safe on the query hot path.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sumBits atomic.Uint64   // float64 bits, CAS-accumulated
+	count   atomic.Uint64
+}
+
+// DefDurationBuckets covers query latencies from 50µs to 10s, the range
+// the paper's experiments and the web API both live in. Values are
+// seconds (the Prometheus base unit for time).
+var DefDurationBuckets = []float64{
+	0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 10,
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("telemetry: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram bounds not strictly increasing at %d: %v", i, bounds))
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Sum returns the total of all observed samples.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Count returns the number of observed samples.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Bounds returns the bucket upper bounds (excluding +Inf).
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// BucketCounts returns the per-bucket (non-cumulative) counts; the last
+// element is the +Inf bucket. Loads are individually atomic; a snapshot
+// taken during concurrent Observes may be skewed by in-flight samples.
+func (h *Histogram) BucketCounts() []uint64 {
+	out := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// entry is one registered metric instance.
+type entry struct {
+	name   string
+	help   string
+	kind   Kind
+	labels string // pre-rendered `key="value",...` (sorted), or ""
+
+	c  *Counter
+	g  *Gauge
+	h  *Histogram
+	cf func() uint64  // counter func (scrape-time read)
+	gf func() float64 // gauge func (scrape-time read)
+}
+
+// Registry holds metrics. Registration takes a mutex (engine-open time);
+// recording goes straight to the metric's atomics.
+type Registry struct {
+	mu      sync.Mutex
+	byKey   map[string]*entry
+	entries []*entry
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]*entry)}
+}
+
+func renderLabels(labels Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(k)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabelValue(labels[k]))
+		sb.WriteByte('"')
+	}
+	return sb.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func (r *Registry) register(e *entry) {
+	key := e.name + "{" + e.labels + "}"
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.byKey[key]; ok {
+		panic(fmt.Sprintf("telemetry: duplicate metric %s (kind %v vs %v)", key, prev.kind, e.kind))
+	}
+	r.byKey[key] = e
+	r.entries = append(r.entries, e)
+}
+
+// Counter registers and returns a new counter.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	c := &Counter{}
+	r.register(&entry{name: name, help: help, kind: KindCounter, labels: renderLabels(labels), c: c})
+	return c
+}
+
+// Gauge registers and returns a new gauge.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	g := &Gauge{}
+	r.register(&entry{name: name, help: help, kind: KindGauge, labels: renderLabels(labels), g: g})
+	return g
+}
+
+// Histogram registers and returns a new histogram with the given bucket
+// upper bounds (strictly increasing; +Inf is implicit). Nil bounds use
+// DefDurationBuckets.
+func (r *Registry) Histogram(name, help string, labels Labels, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefDurationBuckets
+	}
+	h := newHistogram(bounds)
+	r.register(&entry{name: name, help: help, kind: KindHistogram, labels: renderLabels(labels), h: h})
+	return h
+}
+
+// CounterFunc registers a counter whose value is read from fn at
+// snapshot time — for counters whose source of truth already exists
+// (e.g. the storage pager's atomic I/O stats), so the same event is
+// never counted twice.
+func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() uint64) {
+	r.register(&entry{name: name, help: help, kind: KindCounter, labels: renderLabels(labels), cf: fn})
+}
+
+// GaugeFunc registers a gauge read from fn at snapshot time.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+	r.register(&entry{name: name, help: help, kind: KindGauge, labels: renderLabels(labels), gf: fn})
+}
+
+// SnapEntry is one metric's frozen value.
+type SnapEntry struct {
+	Name   string
+	Help   string
+	Labels string
+	Kind   Kind
+	// Value holds counter/gauge values (counters as exact floats: the
+	// exposition format is float-typed).
+	Value float64
+	// Histogram-only fields. Counts are per-bucket (non-cumulative),
+	// aligned with Bounds plus a final +Inf bucket.
+	Bounds []float64
+	Counts []uint64
+	Sum    float64
+	Count  uint64
+}
+
+// Snapshot is an immutable point-in-time copy of a registry: mutating
+// the registry's metrics after Snapshot returns does not change what
+// the snapshot exports.
+type Snapshot struct {
+	Entries []SnapEntry
+}
+
+// Snapshot freezes every registered metric. Func metrics are invoked
+// here, on the scraper's goroutine, never on the hot path.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.Lock()
+	entries := make([]*entry, len(r.entries))
+	copy(entries, r.entries)
+	r.mu.Unlock()
+
+	s := &Snapshot{Entries: make([]SnapEntry, 0, len(entries))}
+	for _, e := range entries {
+		se := SnapEntry{Name: e.name, Help: e.help, Labels: e.labels, Kind: e.kind}
+		switch {
+		case e.c != nil:
+			se.Value = float64(e.c.Value())
+		case e.g != nil:
+			se.Value = e.g.Value()
+		case e.cf != nil:
+			se.Value = float64(e.cf())
+		case e.gf != nil:
+			se.Value = e.gf()
+		case e.h != nil:
+			se.Bounds = e.h.Bounds()
+			se.Counts = e.h.BucketCounts()
+			se.Sum = e.h.Sum()
+			var n uint64
+			for _, c := range se.Counts {
+				n += c
+			}
+			// Derive the count from the bucket loads themselves so the
+			// cumulative buckets and _count always agree within one
+			// exposition, even under concurrent Observes.
+			se.Count = n
+		}
+		s.Entries = append(s.Entries, se)
+	}
+	sort.SliceStable(s.Entries, func(i, j int) bool {
+		if s.Entries[i].Name != s.Entries[j].Name {
+			return s.Entries[i].Name < s.Entries[j].Name
+		}
+		return s.Entries[i].Labels < s.Entries[j].Labels
+	})
+	return s
+}
+
+// Get returns the frozen entry for (name, labels), if present.
+func (s *Snapshot) Get(name string, labels Labels) (SnapEntry, bool) {
+	rendered := renderLabels(labels)
+	for i := range s.Entries {
+		if s.Entries[i].Name == name && s.Entries[i].Labels == rendered {
+			return s.Entries[i], true
+		}
+	}
+	return SnapEntry{}, false
+}
+
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(h string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(h)
+}
+
+// WriteText renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): HELP/TYPE headers once per family, samples
+// sorted by (name, labels), histogram buckets cumulative with le labels.
+func (s *Snapshot) WriteText(w io.Writer) error {
+	lastName := ""
+	for i := range s.Entries {
+		e := &s.Entries[i]
+		if e.Name != lastName {
+			if e.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", e.Name, escapeHelp(e.Help)); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", e.Name, e.Kind); err != nil {
+				return err
+			}
+			lastName = e.Name
+		}
+		if e.Kind != KindHistogram {
+			if err := writeSample(w, e.Name, e.Labels, "", formatValue(e.Value)); err != nil {
+				return err
+			}
+			continue
+		}
+		var cum uint64
+		for b := range e.Counts {
+			cum += e.Counts[b]
+			le := "+Inf"
+			if b < len(e.Bounds) {
+				le = strconv.FormatFloat(e.Bounds[b], 'g', -1, 64)
+			}
+			if err := writeSample(w, e.Name+"_bucket", e.Labels, `le="`+le+`"`, strconv.FormatUint(cum, 10)); err != nil {
+				return err
+			}
+		}
+		if err := writeSample(w, e.Name+"_sum", e.Labels, "", formatValue(e.Sum)); err != nil {
+			return err
+		}
+		if err := writeSample(w, e.Name+"_count", e.Labels, "", strconv.FormatUint(e.Count, 10)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeSample(w io.Writer, name, labels, extraLabel, value string) error {
+	all := labels
+	if extraLabel != "" {
+		if all != "" {
+			all += ","
+		}
+		all += extraLabel
+	}
+	var err error
+	if all == "" {
+		_, err = fmt.Fprintf(w, "%s %s\n", name, value)
+	} else {
+		_, err = fmt.Fprintf(w, "%s{%s} %s\n", name, all, value)
+	}
+	return err
+}
+
+// WritePrometheus is Snapshot().WriteText in one call — what the
+// /metrics handler serves.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.Snapshot().WriteText(w)
+}

@@ -1,0 +1,230 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries pins the le semantics: a sample equal
+// to a bound lands in that bound's bucket (Prometheus le is <=), one
+// epsilon above lands in the next, and everything past the last bound
+// lands in +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := newHistogram([]float64{1, 2.5, 5})
+	samples := []struct {
+		v      float64
+		bucket int
+	}{
+		{0, 0}, {0.5, 0}, {1, 0}, // <= 1
+		{1.0000001, 1}, {2.5, 1}, // <= 2.5
+		{3, 2}, {5, 2}, // <= 5
+		{5.0001, 3}, {1e12, 3}, // +Inf
+	}
+	want := make([]uint64, 4)
+	var wantSum float64
+	for _, s := range samples {
+		h.Observe(s.v)
+		want[s.bucket]++
+		wantSum += s.v
+	}
+	got := h.BucketCounts()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if h.Count() != uint64(len(samples)) {
+		t.Errorf("count = %d, want %d", h.Count(), len(samples))
+	}
+	if math.Abs(h.Sum()-wantSum) > 1e-6 {
+		t.Errorf("sum = %g, want %g", h.Sum(), wantSum)
+	}
+}
+
+func TestHistogramRejectsBadBounds(t *testing.T) {
+	for _, bounds := range [][]float64{{}, {1, 1}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bounds %v did not panic", bounds)
+				}
+			}()
+			newHistogram(bounds)
+		}()
+	}
+}
+
+// TestConcurrentWriters hammers one counter, one gauge and one
+// histogram from 64 goroutines; run under -race this is the atomicity
+// regression test, and the totals prove no increment was lost.
+func TestConcurrentWriters(t *testing.T) {
+	const writers = 64
+	const perWriter = 1000
+	r := NewRegistry()
+	c := r.Counter("t_counter", "", nil)
+	g := r.Gauge("t_gauge", "", nil)
+	h := r.Histogram("t_hist", "", nil, []float64{0.5, 1.5, 2.5})
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 3)) // buckets 0, 1, 2
+				if i%10 == 0 {
+					_ = r.Snapshot() // concurrent scrapes must be safe too
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	const total = writers * perWriter
+	if c.Value() != total {
+		t.Errorf("counter = %d, want %d", c.Value(), total)
+	}
+	if g.Value() != float64(total) {
+		t.Errorf("gauge = %g, want %d", g.Value(), total)
+	}
+	if h.Count() != total {
+		t.Errorf("histogram count = %d, want %d", h.Count(), total)
+	}
+	var wantSum float64
+	for i := 0; i < perWriter; i++ {
+		wantSum += float64(i % 3)
+	}
+	if h.Sum() != wantSum*writers {
+		t.Errorf("histogram sum = %g, want %g", h.Sum(), wantSum*writers)
+	}
+	counts := h.BucketCounts()
+	var n uint64
+	for _, b := range counts {
+		n += b
+	}
+	if n != total {
+		t.Errorf("bucket total = %d, want %d", n, total)
+	}
+}
+
+// TestSnapshotIsolation: mutating metrics after Snapshot must not
+// change what the snapshot exports.
+func TestSnapshotIsolation(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("iso_counter", "", nil)
+	g := r.Gauge("iso_gauge", "", nil)
+	h := r.Histogram("iso_hist", "", nil, []float64{1, 2})
+	c.Add(5)
+	g.Set(7)
+	h.Observe(0.5)
+	h.Observe(1.5)
+
+	snap := r.Snapshot()
+	var before strings.Builder
+	if err := snap.WriteText(&before); err != nil {
+		t.Fatal(err)
+	}
+
+	c.Add(100)
+	g.Set(-3)
+	for i := 0; i < 50; i++ {
+		h.Observe(9)
+	}
+
+	var after strings.Builder
+	if err := snap.WriteText(&after); err != nil {
+		t.Fatal(err)
+	}
+	if before.String() != after.String() {
+		t.Fatalf("snapshot changed after mutation:\nbefore:\n%safter:\n%s", before.String(), after.String())
+	}
+	if e, ok := snap.Get("iso_counter", nil); !ok || e.Value != 5 {
+		t.Fatalf("iso_counter = %v, %v; want 5", e.Value, ok)
+	}
+	if e, ok := snap.Get("iso_hist", nil); !ok || e.Count != 2 {
+		t.Fatalf("iso_hist count = %v; want 2", e.Count)
+	}
+}
+
+// TestExpositionGolden pins the exposition format byte-for-byte: family
+// headers, sorted samples, escaped labels, cumulative buckets with
+// +Inf, _sum and _count.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("trex_requests_total", "Requests served.", Labels{"method": "ta"}).Add(3)
+	r.Counter("trex_requests_total", "Requests served.", Labels{"method": "era"}).Add(1)
+	r.Gauge("trex_temperature", "Current\nvalue with \"quotes\" and \\.", Labels{"room": `a"b\c`}).Set(36.5)
+	h := r.Histogram("trex_latency_seconds", "Latency.", nil, []float64{0.1, 0.5})
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(0.3)
+	h.Observe(2)
+	r.CounterFunc("trex_pages_total", "Pages.", nil, func() uint64 { return 42 })
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP trex_latency_seconds Latency.
+# TYPE trex_latency_seconds histogram
+trex_latency_seconds_bucket{le="0.1"} 2
+trex_latency_seconds_bucket{le="0.5"} 3
+trex_latency_seconds_bucket{le="+Inf"} 4
+trex_latency_seconds_sum 2.4
+trex_latency_seconds_count 4
+# HELP trex_pages_total Pages.
+# TYPE trex_pages_total counter
+trex_pages_total 42
+# HELP trex_requests_total Requests served.
+# TYPE trex_requests_total counter
+trex_requests_total{method="era"} 1
+trex_requests_total{method="ta"} 3
+# HELP trex_temperature Current\nvalue with "quotes" and \\.
+# TYPE trex_temperature gauge
+trex_temperature{room="a\"b\\c"} 36.5
+`
+	if sb.String() != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+	}
+}
+
+// TestExpositionEmptyRegistry: an empty registry exposes zero bytes
+// without error — the /metrics handler still answers 200.
+func TestExpositionEmptyRegistry(t *testing.T) {
+	var sb strings.Builder
+	if err := NewRegistry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() != 0 {
+		t.Fatalf("empty registry wrote %q", sb.String())
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "", Labels{"a": "b"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("dup_total", "", Labels{"a": "b"})
+}
+
+func TestFuncMetricsReadAtSnapshotTime(t *testing.T) {
+	r := NewRegistry()
+	v := uint64(1)
+	r.CounterFunc("fn_total", "", nil, func() uint64 { return v })
+	s1 := r.Snapshot()
+	v = 9
+	s2 := r.Snapshot()
+	e1, _ := s1.Get("fn_total", nil)
+	e2, _ := s2.Get("fn_total", nil)
+	if e1.Value != 1 || e2.Value != 9 {
+		t.Fatalf("func metric values = %v, %v; want 1, 9", e1.Value, e2.Value)
+	}
+}

@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SlowLogEntry is one over-budget query.
+type SlowLogEntry struct {
+	Time   time.Time     `json:"time"`
+	Query  string        `json:"query"`
+	Method string        `json:"method"`
+	K      int           `json:"k"`
+	Wall   time.Duration `json:"-"`
+	WallMS float64       `json:"wallMs"`
+	Trace  *Trace        `json:"trace,omitempty"`
+}
+
+// SlowLog is a bounded ring buffer of the most recent queries whose
+// wall time met the threshold. The hot path pays one atomic load (the
+// threshold check); only queries that are already slow take the mutex.
+// A threshold <= 0 disables recording entirely.
+type SlowLog struct {
+	threshold atomic.Int64 // nanoseconds; <= 0 disables
+
+	mu    sync.Mutex
+	ring  []SlowLogEntry
+	next  int    // ring index the next entry lands in
+	total uint64 // entries ever recorded (so wraparound is observable)
+}
+
+// NewSlowLog creates a log holding the last capacity slow queries.
+func NewSlowLog(capacity int, threshold time.Duration) *SlowLog {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	l := &SlowLog{ring: make([]SlowLogEntry, 0, capacity)}
+	l.threshold.Store(int64(threshold))
+	return l
+}
+
+// Threshold returns the current slow-query budget.
+func (l *SlowLog) Threshold() time.Duration { return time.Duration(l.threshold.Load()) }
+
+// SetThreshold replaces the budget; <= 0 disables recording.
+func (l *SlowLog) SetThreshold(d time.Duration) { l.threshold.Store(int64(d)) }
+
+// Capacity returns the ring size.
+func (l *SlowLog) Capacity() int { return cap(l.ring) }
+
+// Maybe records the entry iff its wall time meets the threshold,
+// reporting whether it did. This is the query-path entry point: the
+// fast (not-slow) case is a single atomic load.
+func (l *SlowLog) Maybe(e SlowLogEntry) bool {
+	t := l.threshold.Load()
+	if t <= 0 || int64(e.Wall) < t {
+		return false
+	}
+	l.Record(e)
+	return true
+}
+
+// Record unconditionally appends the entry, evicting the oldest once
+// the ring is full.
+func (l *SlowLog) Record(e SlowLogEntry) {
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	e.WallMS = float64(e.Wall.Nanoseconds()) / 1e6
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.ring) < cap(l.ring) {
+		l.ring = append(l.ring, e)
+	} else {
+		l.ring[l.next] = e
+	}
+	l.next = (l.next + 1) % cap(l.ring)
+	l.total++
+}
+
+// Entries returns the recorded entries, newest first.
+func (l *SlowLog) Entries() []SlowLogEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowLogEntry, 0, len(l.ring))
+	// l.next-1 is the newest slot; walk backwards through the ring.
+	for i := 0; i < len(l.ring); i++ {
+		idx := (l.next - 1 - i + len(l.ring)) % len(l.ring)
+		out = append(out, l.ring[idx])
+	}
+	return out
+}
+
+// Total returns how many entries were ever recorded (>= len(Entries())
+// once the ring has wrapped).
+func (l *SlowLog) Total() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}

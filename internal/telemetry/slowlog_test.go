@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSlowLogThresholdFilter(t *testing.T) {
+	l := NewSlowLog(8, 10*time.Millisecond)
+	if l.Maybe(SlowLogEntry{Query: "fast", Wall: 9 * time.Millisecond}) {
+		t.Fatal("under-threshold query recorded")
+	}
+	if !l.Maybe(SlowLogEntry{Query: "exact", Wall: 10 * time.Millisecond}) {
+		t.Fatal("at-threshold query not recorded (threshold is inclusive)")
+	}
+	if !l.Maybe(SlowLogEntry{Query: "slow", Wall: time.Second}) {
+		t.Fatal("slow query not recorded")
+	}
+	if got := len(l.Entries()); got != 2 {
+		t.Fatalf("entries = %d, want 2", got)
+	}
+
+	l.SetThreshold(0)
+	if l.Maybe(SlowLogEntry{Query: "any", Wall: time.Hour}) {
+		t.Fatal("disabled log recorded an entry")
+	}
+	if l.Threshold() != 0 {
+		t.Fatalf("threshold = %v", l.Threshold())
+	}
+}
+
+// TestSlowLogWraparound fills the ring past capacity and checks the
+// survivors are exactly the newest entries, newest first, with Total
+// still counting everything ever recorded.
+func TestSlowLogWraparound(t *testing.T) {
+	const capacity = 4
+	l := NewSlowLog(capacity, 1)
+	for i := 0; i < 11; i++ {
+		l.Record(SlowLogEntry{Query: fmt.Sprintf("q%d", i), Wall: time.Duration(i+1) * time.Millisecond})
+	}
+	if l.Total() != 11 {
+		t.Fatalf("total = %d, want 11", l.Total())
+	}
+	got := l.Entries()
+	if len(got) != capacity {
+		t.Fatalf("entries = %d, want %d", len(got), capacity)
+	}
+	for i, want := range []string{"q10", "q9", "q8", "q7"} {
+		if got[i].Query != want {
+			t.Fatalf("entries[%d] = %q, want %q (newest first)", i, got[i].Query, want)
+		}
+	}
+	if got[0].WallMS != 11 {
+		t.Fatalf("wallMs = %v, want 11", got[0].WallMS)
+	}
+}
+
+func TestSlowLogPartialRingNewestFirst(t *testing.T) {
+	l := NewSlowLog(8, 1)
+	l.Record(SlowLogEntry{Query: "a", Wall: time.Millisecond})
+	l.Record(SlowLogEntry{Query: "b", Wall: time.Millisecond})
+	got := l.Entries()
+	if len(got) != 2 || got[0].Query != "b" || got[1].Query != "a" {
+		t.Fatalf("entries = %v", got)
+	}
+}
+
+func TestSlowLogConcurrent(t *testing.T) {
+	l := NewSlowLog(16, 1)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				l.Maybe(SlowLogEntry{Query: "q", Wall: time.Millisecond})
+				if i%20 == 0 {
+					_ = l.Entries()
+					_ = l.Total()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Total() != 8*200 {
+		t.Fatalf("total = %d, want %d", l.Total(), 8*200)
+	}
+}

@@ -1,0 +1,221 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// Trace records where one query spent its time: a two-level span tree
+// whose root is the query itself and whose children are the evaluation
+// phases (translate, plan, retrieve, combine). A nested phase (the
+// top-k heap work inside retrieval) is named with a "/" path
+// ("retrieve/heap") and its duration is contained in — not additional
+// to — its parent's, so summing the top-level spans never exceeds Wall.
+//
+// Construction is hot-path code: a trace is exactly two allocations
+// (the struct and the span backing array) for any query with at most
+// maxInlineSpans phases, and span counters are plain struct fields, not
+// maps. The trace escapes into the query Result, so it cannot be
+// pooled; two allocations is the budget the telemetry overhead
+// benchmark holds the query path to.
+type Trace struct {
+	Query  string
+	Method string
+	K      int
+	Start  time.Time
+	Wall   time.Duration
+	// IOExact reports whether the trace's I/O counters describe this
+	// query alone: true only when no other query overlapped the
+	// measurement window and no maintenance write touched storage
+	// during it (the pager's counters are engine-global, so an
+	// overlapped window counts the neighbor's pages too).
+	IOExact bool
+	Spans   []Span
+}
+
+// maxInlineSpans is the span capacity preallocated per trace; the query
+// path produces at most 5 (translate, plan, retrieve, retrieve/heap,
+// combine).
+const maxInlineSpans = 8
+
+// Span is one timed phase. Counter fields are zero unless the phase
+// produced them; JSON encoding omits zeroes.
+type Span struct {
+	Name  string
+	Start time.Duration // offset from Trace.Start
+	Dur   time.Duration
+	// Cached marks a translate phase served from the translation cache
+	// (no parse, no summary scan).
+	Cached bool
+	// Method is the strategy the plan phase selected / the retrieve
+	// phase ran.
+	Method string
+	// PageReads / BytesRead are the phase's storage I/O delta: logical
+	// page touches (cache hits + misses) and physical backend bytes.
+	PageReads uint64
+	BytesRead uint64
+	// Retrieval-phase counters, copied from retrieval.Stats.
+	CursorSteps    int
+	SortedAccesses int
+	RandomAccesses int
+	HeapOps        int
+	BlockSkips     int
+	// ListReads[i] is the number of entries read from term i's list.
+	ListReads []int
+	// Items is what the phase produced (retrieval answers before
+	// truncation, combined answers, ...).
+	Items int
+}
+
+// NewTrace starts a trace for one query. The clock starts here.
+func NewTrace(query string, k int) *Trace {
+	return &Trace{
+		Query: query,
+		K:     k,
+		Start: time.Now(),
+		Spans: make([]Span, 0, maxInlineSpans),
+	}
+}
+
+// StartSpan opens a phase and returns its index (not a pointer: the
+// backing array may move if a query somehow exceeds the preallocated
+// capacity).
+func (t *Trace) StartSpan(name string) int {
+	t.Spans = append(t.Spans, Span{Name: name, Start: time.Since(t.Start)})
+	return len(t.Spans) - 1
+}
+
+// EndSpan closes the phase and returns it for counter attribution.
+func (t *Trace) EndSpan(i int) *Span {
+	sp := &t.Spans[i]
+	sp.Dur = time.Since(t.Start) - sp.Start
+	return sp
+}
+
+// AddSpan records an already-measured span (used for nested phases
+// whose duration was accumulated elsewhere, like retrieve/heap).
+func (t *Trace) AddSpan(s Span) *Span {
+	t.Spans = append(t.Spans, s)
+	return &t.Spans[len(t.Spans)-1]
+}
+
+// Finish stamps the total wall time.
+func (t *Trace) Finish() { t.Wall = time.Since(t.Start) }
+
+// TopLevelDur sums the durations of non-nested spans (names without
+// "/"). The conformance suite asserts this never exceeds Wall.
+func (t *Trace) TopLevelDur() time.Duration {
+	var sum time.Duration
+	for i := range t.Spans {
+		if !isNested(t.Spans[i].Name) {
+			sum += t.Spans[i].Dur
+		}
+	}
+	return sum
+}
+
+// PageReads sums the page-read attribution over non-nested spans: the
+// whole query's logical page touches.
+func (t *Trace) PageReads() uint64 {
+	var sum uint64
+	for i := range t.Spans {
+		if !isNested(t.Spans[i].Name) {
+			sum += t.Spans[i].PageReads
+		}
+	}
+	return sum
+}
+
+// BytesRead sums the physical byte attribution over non-nested spans.
+func (t *Trace) BytesRead() uint64 {
+	var sum uint64
+	for i := range t.Spans {
+		if !isNested(t.Spans[i].Name) {
+			sum += t.Spans[i].BytesRead
+		}
+	}
+	return sum
+}
+
+func isNested(name string) bool {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '/' {
+			return true
+		}
+	}
+	return false
+}
+
+// FindSpan returns the first span with the given name.
+func (t *Trace) FindSpan(name string) *Span {
+	for i := range t.Spans {
+		if t.Spans[i].Name == name {
+			return &t.Spans[i]
+		}
+	}
+	return nil
+}
+
+// spanJSON / traceJSON are the wire shapes: durations in microseconds
+// (floats — queries at this scale are sub-millisecond), zero counters
+// omitted. JSON encoding runs on the scrape/response path, where
+// allocation is fine.
+type spanJSON struct {
+	Name           string  `json:"name"`
+	StartUS        float64 `json:"startUs"`
+	US             float64 `json:"us"`
+	Cached         bool    `json:"cached,omitempty"`
+	Method         string  `json:"method,omitempty"`
+	PageReads      uint64  `json:"pageReads,omitempty"`
+	BytesRead      uint64  `json:"bytesRead,omitempty"`
+	CursorSteps    int     `json:"cursorSteps,omitempty"`
+	SortedAccesses int     `json:"sortedAccesses,omitempty"`
+	RandomAccesses int     `json:"randomAccesses,omitempty"`
+	HeapOps        int     `json:"heapOps,omitempty"`
+	BlockSkips     int     `json:"blockSkips,omitempty"`
+	ListReads      []int   `json:"listReads,omitempty"`
+	Items          int     `json:"items,omitempty"`
+}
+
+type traceJSON struct {
+	Query   string     `json:"query"`
+	Method  string     `json:"method"`
+	K       int        `json:"k"`
+	WallUS  float64    `json:"wallUs"`
+	IOExact bool       `json:"ioExact"`
+	Spans   []spanJSON `json:"spans"`
+}
+
+func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1000 }
+
+// MarshalJSON implements json.Marshaler.
+func (t *Trace) MarshalJSON() ([]byte, error) {
+	out := traceJSON{
+		Query:   t.Query,
+		Method:  t.Method,
+		K:       t.K,
+		WallUS:  us(t.Wall),
+		IOExact: t.IOExact,
+		Spans:   make([]spanJSON, len(t.Spans)),
+	}
+	for i := range t.Spans {
+		sp := &t.Spans[i]
+		out.Spans[i] = spanJSON{
+			Name:           sp.Name,
+			StartUS:        us(sp.Start),
+			US:             us(sp.Dur),
+			Cached:         sp.Cached,
+			Method:         sp.Method,
+			PageReads:      sp.PageReads,
+			BytesRead:      sp.BytesRead,
+			CursorSteps:    sp.CursorSteps,
+			SortedAccesses: sp.SortedAccesses,
+			RandomAccesses: sp.RandomAccesses,
+			HeapOps:        sp.HeapOps,
+			BlockSkips:     sp.BlockSkips,
+			ListReads:      sp.ListReads,
+			Items:          sp.Items,
+		}
+	}
+	return json.Marshal(out)
+}

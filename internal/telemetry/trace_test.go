@@ -1,0 +1,158 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceSpans(t *testing.T) {
+	tr := NewTrace("//a[about(., x)]", 10)
+	i := tr.StartSpan("translate")
+	time.Sleep(time.Millisecond)
+	tr.EndSpan(i).Cached = true
+
+	j := tr.StartSpan("retrieve")
+	time.Sleep(time.Millisecond)
+	sp := tr.EndSpan(j)
+	sp.Method = "ta"
+	sp.PageReads = 7
+	sp.BytesRead = 4096
+	tr.AddSpan(Span{Name: "retrieve/heap", Start: sp.Start, Dur: sp.Dur / 2})
+	tr.Finish()
+
+	if tr.Wall <= 0 {
+		t.Fatal("wall not stamped")
+	}
+	if got := tr.TopLevelDur(); got > tr.Wall {
+		t.Fatalf("top-level span sum %v exceeds wall %v", got, tr.Wall)
+	}
+	// Nested spans (name contains "/") must not count toward the
+	// aggregate I/O or duration sums.
+	if tr.PageReads() != 7 || tr.BytesRead() != 4096 {
+		t.Fatalf("aggregates = %d pages / %d bytes", tr.PageReads(), tr.BytesRead())
+	}
+	if tr.FindSpan("retrieve/heap") == nil || tr.FindSpan("nope") != nil {
+		t.Fatal("FindSpan misbehaved")
+	}
+	if tr.FindSpan("translate").Dur <= 0 {
+		t.Fatal("translate span has no duration")
+	}
+}
+
+// TestTraceAllocs pins the hot-path budget: building a trace with the
+// usual phase count costs exactly two allocations (the struct and the
+// span array).
+func TestTraceAllocs(t *testing.T) {
+	allocs := testing.AllocsPerRun(100, func() {
+		tr := NewTrace("q", 5)
+		a := tr.StartSpan("translate")
+		tr.EndSpan(a)
+		b := tr.StartSpan("plan")
+		tr.EndSpan(b).Method = "era"
+		c := tr.StartSpan("retrieve")
+		sp := tr.EndSpan(c)
+		sp.PageReads = 1
+		tr.AddSpan(Span{Name: "retrieve/heap"})
+		d := tr.StartSpan("combine")
+		tr.EndSpan(d)
+		tr.Finish()
+	})
+	if allocs > 2 {
+		t.Fatalf("trace construction = %.1f allocs, want <= 2", allocs)
+	}
+}
+
+func TestTraceJSON(t *testing.T) {
+	tr := NewTrace("q", 3)
+	i := tr.StartSpan("retrieve")
+	sp := tr.EndSpan(i)
+	sp.Method = "merge"
+	sp.BlockSkips = 9
+	tr.Finish()
+	tr.Method = "merge"
+	tr.IOExact = true
+
+	data, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["query"] != "q" || out["method"] != "merge" || out["ioExact"] != true {
+		t.Fatalf("trace json = %s", data)
+	}
+	spans := out["spans"].([]any)
+	if len(spans) != 1 {
+		t.Fatalf("spans = %v", spans)
+	}
+	s0 := spans[0].(map[string]any)
+	if s0["name"] != "retrieve" || s0["blockSkips"] != float64(9) {
+		t.Fatalf("span json = %v", s0)
+	}
+	if _, ok := s0["pageReads"]; ok {
+		t.Fatal("zero counter not omitted from span json")
+	}
+}
+
+func TestGuardExclusivity(t *testing.T) {
+	var g Guard
+
+	// A lone window is exclusive.
+	w := g.Enter()
+	if !w.Exclusive() {
+		t.Fatal("lone window not exclusive")
+	}
+	w.Exit()
+
+	// A write during the window taints it.
+	w = g.Enter()
+	g.NoteWrite()
+	if w.Exclusive() {
+		t.Fatal("window exclusive despite write")
+	}
+	w.Exit()
+
+	// An overlapping reader taints both: the one that was inside first
+	// (entries moved) and the one that entered second (not solo).
+	w1 := g.Enter()
+	w2 := g.Enter()
+	if w1.Exclusive() || w2.Exclusive() {
+		t.Fatal("overlapping windows reported exclusive")
+	}
+	w1.Exit()
+	w2.Exit()
+
+	// Sequential windows are independent.
+	w = g.Enter()
+	if !w.Exclusive() {
+		t.Fatal("fresh window tainted by past traffic")
+	}
+	w.Exit()
+}
+
+func TestGuardConcurrent(t *testing.T) {
+	var g Guard
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				w := g.Enter()
+				_ = w.Exclusive()
+				w.Exit()
+				if j%50 == 0 {
+					g.NoteWrite()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if g.active.Load() != 0 {
+		t.Fatalf("active = %d after all exits", g.active.Load())
+	}
+}

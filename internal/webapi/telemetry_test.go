@@ -1,0 +1,237 @@
+package webapi
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"trex"
+	"trex/internal/corpus"
+)
+
+// newTelemetryServer builds a server whose engine has a tiny slow log
+// with a zero-ish threshold, so every query is recorded and wraparound
+// is exercisable with few requests.
+func newTelemetryServer(t *testing.T, slowCap int, threshold time.Duration) *httptest.Server {
+	t.Helper()
+	col := corpus.GenerateIEEE(25, 202)
+	eng, err := trex.CreateMemory(col, &trex.Options{
+		Telemetry: &trex.TelemetryOptions{
+			SlowQueryThreshold: threshold,
+			SlowLogCapacity:    slowCap,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	ts := httptest.NewServer(New(eng, false))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts := newTestServer(t, false)
+
+	// Drive one query so the method/latency families have samples.
+	var sr SearchResponse
+	if code := getJSON(t, ts, "/search?k=5&q="+url.QueryEscape(testQuery), &sr); code != http.StatusOK {
+		t.Fatalf("search status = %d", code)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content-type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+
+	// Every line must parse as a comment or a `name{labels} value` sample
+	// with a numeric value.
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("unparseable sample line %q", line)
+		}
+		if _, err := strconv.ParseFloat(line[sp+1:], 64); err != nil {
+			t.Fatalf("non-numeric value in %q: %v", line, err)
+		}
+	}
+
+	// The acceptance families: storage, retrieval/query, engine, autopilot.
+	for _, want := range []string{
+		"trex_storage_pages_read_total",
+		"trex_storage_cache_hits_total",
+		"trex_storage_shard_cache_hits_total{shard=\"0\"}",
+		"trex_storage_journal_commits_total",
+		"trex_queries_total{method=\"era\"}",
+		"trex_query_duration_seconds_bucket",
+		"trex_query_phase_seconds",
+		"trex_retrieval_duration_seconds",
+		"trex_engine_write_lock_wait_seconds",
+		"trex_translate_cache_misses_total",
+		"trex_autopilot_runs_total",
+		"trex_slow_queries_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// The query we just ran must be visible in the era counter.
+	if !strings.Contains(text, "trex_queries_total{method=\"era\"} 1") {
+		t.Errorf("era query count not exported:\n%s", text)
+	}
+}
+
+func TestMetricsDisabled(t *testing.T) {
+	col := corpus.GenerateIEEE(5, 7)
+	eng, err := trex.CreateMemory(col, &trex.Options{
+		Telemetry: &trex.TelemetryOptions{Disabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	ts := httptest.NewServer(New(eng, false))
+	t.Cleanup(ts.Close)
+
+	var e map[string]string
+	if code := getJSON(t, ts, "/slowlog", &e); code != http.StatusNotFound {
+		t.Fatalf("slowlog status = %d, want 404", code)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("metrics status = %d, want 404", resp.StatusCode)
+	}
+	// Queries still work without telemetry; the response has no trace.
+	var sr SearchResponse
+	if code := getJSON(t, ts, "/search?k=3&q="+url.QueryEscape(testQuery), &sr); code != http.StatusOK {
+		t.Fatalf("search status = %d", code)
+	}
+	if sr.Trace != nil {
+		t.Fatal("trace present with telemetry disabled")
+	}
+}
+
+func TestSearchResponseTrace(t *testing.T) {
+	ts := newTestServer(t, false)
+	var sr SearchResponse
+	if code := getJSON(t, ts, "/search?k=5&q="+url.QueryEscape(testQuery), &sr); code != http.StatusOK {
+		t.Fatalf("search status = %d", code)
+	}
+	if sr.Trace == nil {
+		t.Fatal("search response missing trace")
+	}
+	if sr.Trace.Method != sr.Method {
+		t.Fatalf("trace method %q != response method %q", sr.Trace.Method, sr.Method)
+	}
+	var names []string
+	for i := range sr.Trace.Spans {
+		names = append(names, sr.Trace.Spans[i].Name)
+	}
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"translate", "plan", "retrieve", "combine"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("trace spans %v missing %q", names, want)
+		}
+	}
+}
+
+type slowlogResponse struct {
+	Threshold string `json:"threshold"`
+	Capacity  int    `json:"capacity"`
+	Total     uint64 `json:"total"`
+	Entries   []struct {
+		Query  string  `json:"query"`
+		Method string  `json:"method"`
+		WallMS float64 `json:"wallMs"`
+	} `json:"entries"`
+}
+
+func TestSlowlogEndpoint(t *testing.T) {
+	// Threshold of 1ns records every query; capacity 2 forces the ring to
+	// wrap within three requests.
+	ts := newTelemetryServer(t, 2, time.Nanosecond)
+
+	var sl slowlogResponse
+	if code := getJSON(t, ts, "/slowlog", &sl); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if sl.Total != 0 || len(sl.Entries) != 0 {
+		t.Fatalf("fresh slowlog not empty: %+v", sl)
+	}
+	if sl.Capacity != 2 {
+		t.Fatalf("capacity = %d", sl.Capacity)
+	}
+
+	queries := []string{
+		`//article//sec[about(., ontologies)]`,
+		`//article//sec[about(., case)]`,
+		`//article//sec[about(., study)]`,
+	}
+	for _, q := range queries {
+		var sr SearchResponse
+		if code := getJSON(t, ts, "/search?k=3&q="+url.QueryEscape(q), &sr); code != http.StatusOK {
+			t.Fatalf("search %q status = %d", q, code)
+		}
+	}
+
+	if code := getJSON(t, ts, "/slowlog", &sl); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if sl.Total != 3 {
+		t.Fatalf("total = %d, want 3 (every query over the 1ns budget)", sl.Total)
+	}
+	if len(sl.Entries) != 2 {
+		t.Fatalf("entries = %d, want capacity 2 after wraparound", len(sl.Entries))
+	}
+	// Newest first: the last two queries survive, the first was evicted.
+	if sl.Entries[0].Query != queries[2] || sl.Entries[1].Query != queries[1] {
+		t.Fatalf("ring order wrong: %+v", sl.Entries)
+	}
+
+	// Runtime retuning via the threshold parameter: a huge budget stops
+	// recording but keeps history.
+	if code := getJSON(t, ts, "/slowlog?threshold=1h", &sl); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if sl.Threshold != "1h0m0s" {
+		t.Fatalf("threshold = %q", sl.Threshold)
+	}
+	var sr SearchResponse
+	if code := getJSON(t, ts, "/search?k=3&q="+url.QueryEscape(queries[0]), &sr); code != http.StatusOK {
+		t.Fatalf("search status = %d", code)
+	}
+	if code := getJSON(t, ts, "/slowlog", &sl); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if sl.Total != 3 {
+		t.Fatalf("total = %d after raising threshold, want still 3", sl.Total)
+	}
+
+	if code := getJSON(t, ts, "/slowlog?threshold=bogus", &sl); code != http.StatusBadRequest {
+		t.Fatalf("bad threshold status = %d", code)
+	}
+}

@@ -8,6 +8,8 @@
 //	POST /materialize?q=<nexi>&kinds=rpl,erpl
 //	GET  /stats
 //	GET  /autopilot   (online self-management status: last run, plan, budget)
+//	GET  /metrics     (Prometheus text exposition of the engine's registry)
+//	GET  /slowlog     (recent over-threshold queries with their traces)
 //	GET  /            (a minimal HTML search page)
 //
 // Errors are returned as {"error": "..."} with a 4xx/5xx status.
@@ -23,6 +25,7 @@ import (
 
 	"trex"
 	"trex/internal/index"
+	"trex/internal/telemetry"
 )
 
 // Server wires an engine into an http.Handler.
@@ -43,6 +46,8 @@ func New(eng *trex.Engine, allowWrites bool) *Server {
 	mux.HandleFunc("POST /materialize", s.handleMaterialize)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /autopilot", s.handleAutopilot)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /slowlog", s.handleSlowlog)
 	mux.HandleFunc("GET /{$}", s.handleIndex)
 	s.mux = mux
 	return s
@@ -88,6 +93,9 @@ type SearchResponse struct {
 	PageReads uint64      `json:"pageReads"`
 	BytesRead uint64      `json:"bytesRead"`
 	Hits      []SearchHit `json:"hits"`
+	// Trace is the per-query span breakdown (absent when the engine runs
+	// with telemetry disabled).
+	Trace *telemetry.Trace `json:"trace,omitempty"`
 }
 
 func parseMethod(s string) (trex.Method, error) {
@@ -148,6 +156,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		resp.PageReads = res.Stats.PageReads
 		resp.BytesRead = res.Stats.BytesRead
 	}
+	resp.Trace = res.Trace
 	wantSnippets := r.URL.Query().Get("snippets") == "1"
 	terms := res.Translation.DistinctTerms()
 	for i, a := range res.Answers {
@@ -245,6 +254,46 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"avgElementLen": cs.AvgElementLen,
 		"summaryNodes":  s.eng.Summary().NumNodes(),
 		"pages":         s.eng.DB().PageCount(),
+	})
+}
+
+// handleMetrics serves the engine's metric registry in the Prometheus
+// text exposition format (version 0.0.4). 404 when the engine was
+// opened with telemetry disabled.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	reg := s.eng.MetricsRegistry()
+	if reg == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("telemetry disabled"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_ = reg.WritePrometheus(w)
+}
+
+// handleSlowlog serves the slow-query ring buffer, newest first, with
+// each entry's trace. The optional threshold query parameter (a Go
+// duration, e.g. 100ms) retunes the budget at runtime.
+func (s *Server) handleSlowlog(w http.ResponseWriter, r *http.Request) {
+	log := s.eng.SlowLog()
+	if log == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("telemetry disabled"))
+		return
+	}
+	if ts := r.URL.Query().Get("threshold"); ts != "" {
+		d, err := time.ParseDuration(ts)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad threshold %q: %v", ts, err))
+			return
+		}
+		log.SetThreshold(d)
+	}
+	entries := log.Entries()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"threshold": log.Threshold().String(),
+		"capacity":  log.Capacity(),
+		"total":     log.Total(),
+		"entries":   entries,
 	})
 }
 

@@ -9,6 +9,8 @@ import (
 	"trex/internal/nexi"
 	"trex/internal/retrieval"
 	"trex/internal/score"
+	"trex/internal/storage"
+	"trex/internal/telemetry"
 	"trex/internal/translate"
 )
 
@@ -90,6 +92,9 @@ type Result struct {
 	Translation *translate.Translation
 	// Stats describes the retrieval phase (the part the paper times).
 	Stats *retrieval.Stats
+	// Trace is the per-query span breakdown (nil when telemetry is
+	// disabled): timed phases with page/byte counts attributed per span.
+	Trace *telemetry.Trace
 }
 
 // flatten returns the union of clause sids (plus the target extents, so
@@ -162,23 +167,36 @@ type trCacheEntry struct {
 // translateMode is TranslateMode without engine-level locking; callers
 // hold the read or write side of e.rw.
 func (e *Engine) translateMode(src string, mode translate.Mode) (*translate.Translation, error) {
+	tr, _, err := e.translateModeHit(src, mode)
+	return tr, err
+}
+
+// translateModeHit is translateMode plus a cache-hit report, so the
+// query trace can mark its translate span as served from cache.
+func (e *Engine) translateModeHit(src string, mode translate.Mode) (*translate.Translation, bool, error) {
 	key := mode.String() + "\x00" + src
 	e.trMu.Lock()
 	if el, ok := e.trCache[key]; ok {
 		e.trLRU.MoveToFront(el)
 		tr := el.Value.(*trCacheEntry).tr
 		e.trMu.Unlock()
-		return tr, nil
+		if m := e.met; m != nil {
+			m.translateHits.Inc()
+		}
+		return tr, true, nil
 	}
 	e.trMu.Unlock()
+	if m := e.met; m != nil {
+		m.translateMisses.Inc()
+	}
 
 	q, err := nexi.Parse(src)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	tr, err := translate.Translate(q, e.sum, mode)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	e.trMu.Lock()
 	defer e.trMu.Unlock()
@@ -190,7 +208,7 @@ func (e *Engine) translateMode(src string, mode translate.Mode) (*translate.Tran
 		// Another goroutine translated the same query concurrently; keep
 		// the cached copy canonical.
 		e.trLRU.MoveToFront(el)
-		return el.Value.(*trCacheEntry).tr, nil
+		return el.Value.(*trCacheEntry).tr, false, nil
 	}
 	for len(e.trCache) >= translationCacheSize {
 		back := e.trLRU.Back()
@@ -198,7 +216,7 @@ func (e *Engine) translateMode(src string, mode translate.Mode) (*translate.Tran
 		delete(e.trCache, back.Value.(*trCacheEntry).key)
 	}
 	e.trCache[key] = e.trLRU.PushFront(&trCacheEntry{key: key, tr: tr})
-	return tr, nil
+	return tr, false, nil
 }
 
 // invalidateTranslations drops the cache after a summary change.
@@ -310,11 +328,99 @@ func (e *Engine) QueryOpts(src string, opts QueryOptions) (*Result, error) {
 	return res, err
 }
 
+// queryOpts runs the query pipeline, wrapped in telemetry when enabled:
+// a per-query trace (spans with I/O attribution), per-method counters
+// and latency histograms, retrieval effort counters, and the slow-query
+// log. With telemetry disabled it is exactly the bare pipeline.
 func (e *Engine) queryOpts(src string, opts QueryOptions) (*Result, error) {
+	met := e.met
+	if met == nil {
+		return e.queryCore(src, opts, nil)
+	}
+
+	trc := telemetry.NewTrace(src, opts.K)
+	win := met.guard.Enter()
+	res, err := e.queryCore(src, opts, trc)
+	win.Exit()
+	trc.Finish()
+	if err != nil {
+		met.queryErrors.Inc()
+		return nil, err
+	}
+
+	trc.Method = res.Method.String()
+	// The per-query I/O deltas are exact only when the measurement
+	// window had the shared counters to itself: no overlapping query
+	// window, no writer traffic (captureIO's view), and no MethodRace
+	// loser still draining I/O into later spans. (res.Method is the race
+	// winner, so the race check must look at the requested method.)
+	exact := win.Exclusive() && opts.Method != MethodRace
+	if st := res.Stats; st != nil {
+		st.IOExact = st.IOExact && exact
+		trc.IOExact = st.IOExact
+	} else {
+		trc.IOExact = exact
+	}
+	res.Trace = trc
+
+	mi := methodIndex(res.Method)
+	met.queries[mi].Inc()
+	met.queryDur.Observe(trc.Wall.Seconds())
+	for i := 0; i < numPhases; i++ {
+		if sp := trc.FindSpan(phaseNames[i]); sp != nil {
+			met.phaseDur[i].Observe(sp.Dur.Seconds())
+			if i == phaseRetrieve {
+				met.retrievalDur[mi].Observe(sp.Dur.Seconds())
+			}
+		}
+	}
+	if st := res.Stats; st != nil {
+		met.blockSkips.Add(uint64(st.BlockSkips))
+		met.sortedAccesses.Add(uint64(st.SortedAccesses))
+		met.randomAccesses.Add(uint64(st.RandomAccesses))
+		met.heapOps.Add(uint64(st.HeapOps))
+		met.cursorSteps.Add(uint64(st.CursorSteps))
+		if st.ThresholdStop {
+			met.thresholdStops.Inc()
+		}
+	}
+	if met.slow.Maybe(telemetry.SlowLogEntry{
+		Query:  src,
+		Method: trc.Method,
+		K:      opts.K,
+		Wall:   trc.Wall,
+		Trace:  trc,
+	}) {
+		met.slowQueries.Inc()
+	}
+	return res, nil
+}
+
+// queryCore is the bare query pipeline. When trc is non-nil it brackets
+// each phase in a trace span and attributes the engine's shared I/O
+// counter deltas to it; every instrumentation step is alloc-free so the
+// telemetry overhead stays at the trace's own two allocations.
+func (e *Engine) queryCore(src string, opts QueryOptions, trc *telemetry.Trace) (*Result, error) {
 	k, m := opts.K, opts.Method
-	tr, err := e.translateMode(src, opts.Mode)
+
+	var ioPrev storage.Stats
+	span := -1
+	if trc != nil {
+		ioPrev = e.db.Stats()
+		span = trc.StartSpan("translate")
+	}
+	tr, hit, err := e.translateModeHit(src, opts.Mode)
+	if trc != nil {
+		sp, now := e.endSpanIO(trc, span, ioPrev)
+		sp.Cached = hit
+		ioPrev = now
+	}
 	if err != nil {
 		return nil, err
+	}
+
+	if trc != nil {
+		span = trc.StartSpan("plan")
 	}
 	sids, terms := flatten(tr)
 	negs := negativeTerms(tr)
@@ -338,6 +444,11 @@ func (e *Engine) queryOpts(src string, opts QueryOptions) (*Result, error) {
 			return nil, err
 		}
 	}
+	if trc != nil {
+		sp, now := e.endSpanIO(trc, span, ioPrev)
+		sp.Method = m.String()
+		ioPrev = now
+	}
 
 	// Multi-clause queries combine scores across elements (support
 	// clauses contribute containment bonuses), so their retrieval phase
@@ -354,11 +465,33 @@ func (e *Engine) queryOpts(src string, opts QueryOptions) (*Result, error) {
 		}
 	}
 
+	if trc != nil {
+		span = trc.StartSpan("retrieve")
+	}
 	scored, stats, m, err := e.retrieve(m, sids, terms, sc, kEval)
+	if trc != nil {
+		sp, now := e.endSpanIO(trc, span, ioPrev)
+		ioPrev = now
+		sp.Method = m.String()
+		if stats != nil {
+			sp.CursorSteps = stats.CursorSteps
+			sp.SortedAccesses = stats.SortedAccesses
+			sp.RandomAccesses = stats.RandomAccesses
+			sp.HeapOps = stats.HeapOps
+			sp.BlockSkips = stats.BlockSkips
+			sp.ListReads = stats.ListReads
+			sp.Items = stats.Answers
+			// The heap share of retrieval, pre-measured by the strategy.
+			trc.AddSpan(telemetry.Span{Name: "retrieve/heap", Start: sp.Start, Dur: stats.HeapTime})
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
 
+	if trc != nil {
+		span = trc.StartSpan("combine")
+	}
 	answers, err := e.combine(tr, scored, negs, sc, opts.PhraseBonus)
 	if err != nil {
 		return nil, err
@@ -373,6 +506,10 @@ func (e *Engine) queryOpts(src string, opts QueryOptions) (*Result, error) {
 	}
 	if k > 0 && len(answers) > k {
 		answers = answers[:k]
+	}
+	if trc != nil {
+		sp, _ := e.endSpanIO(trc, span, ioPrev)
+		sp.Items = len(answers)
 	}
 	return &Result{
 		Query:        src,
@@ -419,11 +556,22 @@ func (e *Engine) retrieve(m Method, sids []uint32, terms []string, sc *score.Sco
 		e.inflight.Add(2)
 		go func() {
 			defer e.inflight.Done()
+			// Each racer holds its own guard window so a loser that keeps
+			// reading after the query returns taints any query window it
+			// overlaps (their I/O deltas would include the loser's reads).
+			if m := e.met; m != nil {
+				w := m.guard.Enter()
+				defer w.Exit()
+			}
 			s, st, err := retrieval.TA(e.store, sids, terms, sc, kTA)
 			ch <- outcome{s, st, MethodTA, err}
 		}()
 		go func() {
 			defer e.inflight.Done()
+			if m := e.met; m != nil {
+				w := m.guard.Enter()
+				defer w.Exit()
+			}
 			s, st, err := retrieval.Merge(e.store, sids, terms, kEval)
 			ch <- outcome{s, st, MethodMerge, err}
 		}()

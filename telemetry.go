@@ -1,0 +1,254 @@
+package trex
+
+import (
+	"strconv"
+	"time"
+
+	"trex/internal/storage"
+	"trex/internal/telemetry"
+)
+
+// TelemetryOptions configures the engine's observability layer: the
+// metrics registry behind /metrics, per-query trace spans, and the
+// slow-query log. The zero value (and a nil pointer in Options) enables
+// telemetry with defaults; set Disabled to opt out entirely, which
+// removes even the per-query trace allocations from the hot path.
+type TelemetryOptions struct {
+	// Disabled turns the whole layer off: no registry, no traces, no
+	// slow log. MetricsRegistry and SlowLog return nil.
+	Disabled bool
+	// SlowQueryThreshold is the wall-time budget at or above which a
+	// query is recorded in the slow log (default 250ms; <= 0 keeps the
+	// default — use SlowLog().SetThreshold(0) to disable recording).
+	SlowQueryThreshold time.Duration
+	// SlowLogCapacity bounds the slow-query ring (default 128).
+	SlowLogCapacity int
+}
+
+// DefaultSlowQueryThreshold is the slow-log budget when none is given.
+const DefaultSlowQueryThreshold = 250 * time.Millisecond
+
+// queryPhase indexes the fixed per-phase latency histograms; the order
+// matches the trace span sequence.
+const (
+	phaseTranslate = iota
+	phasePlan
+	phaseRetrieve
+	phaseCombine
+	numPhases
+)
+
+var phaseNames = [numPhases]string{"translate", "plan", "retrieve", "combine"}
+
+// numMethods covers MethodAuto..MethodNRA for the per-method arrays.
+const numMethods = int(MethodNRA) + 1
+
+// methodIndex maps a Method to its slot in the per-method metric
+// arrays, clamping unknown values to MethodAuto's slot.
+func methodIndex(m Method) int {
+	if m < 0 || int(m) >= numMethods {
+		return 0
+	}
+	return int(m)
+}
+
+// engineMetrics holds every pre-registered instrument the engine
+// touches. All hot-path fields are resolved to concrete metric pointers
+// at construction (per-method and per-phase arrays instead of label
+// lookups), so recording a query is pure atomic arithmetic.
+type engineMetrics struct {
+	reg  *telemetry.Registry
+	slow *telemetry.SlowLog
+	// guard detects overlapping query measurement windows and writer
+	// traffic, so per-query I/O deltas can be flagged exact or shared
+	// (see telemetry.Guard and retrieval.Stats.IOExact).
+	guard telemetry.Guard
+
+	queries      [numMethods]*telemetry.Counter
+	queryErrors  *telemetry.Counter
+	queryDur     *telemetry.Histogram
+	phaseDur     [numPhases]*telemetry.Histogram
+	retrievalDur [numMethods]*telemetry.Histogram
+
+	blockSkips     *telemetry.Counter
+	sortedAccesses *telemetry.Counter
+	randomAccesses *telemetry.Counter
+	heapOps        *telemetry.Counter
+	cursorSteps    *telemetry.Counter
+	thresholdStops *telemetry.Counter
+
+	translateHits   *telemetry.Counter
+	translateMisses *telemetry.Counter
+	writeLockWait   *telemetry.Histogram
+	slowQueries     *telemetry.Counter
+
+	autopilotRuns     *telemetry.Counter
+	autopilotFailures *telemetry.Counter
+	autopilotDropped  *telemetry.Counter
+	autopilotKept     *telemetry.Gauge
+	autopilotDisk     *telemetry.Gauge
+}
+
+// initTelemetry builds the registry and wires the storage counters as
+// func metrics (read at scrape time from the pager's own atomics, so
+// nothing is double-maintained). Called once from build/Open before the
+// engine is shared.
+func (e *Engine) initTelemetry(opts *TelemetryOptions) {
+	var o TelemetryOptions
+	if opts != nil {
+		o = *opts
+	}
+	if o.Disabled {
+		return
+	}
+	if o.SlowQueryThreshold <= 0 {
+		o.SlowQueryThreshold = DefaultSlowQueryThreshold
+	}
+	if o.SlowLogCapacity <= 0 {
+		o.SlowLogCapacity = 128
+	}
+
+	reg := telemetry.NewRegistry()
+	m := &engineMetrics{
+		reg:  reg,
+		slow: telemetry.NewSlowLog(o.SlowLogCapacity, o.SlowQueryThreshold),
+	}
+
+	db := e.db
+	registerStorageMetrics(reg, db)
+
+	for i := 0; i < numMethods; i++ {
+		lbl := telemetry.Labels{"method": Method(i).String()}
+		m.queries[i] = reg.Counter("trex_queries_total",
+			"Queries evaluated, by requested-or-chosen retrieval method.", lbl)
+		m.retrievalDur[i] = reg.Histogram("trex_retrieval_duration_seconds",
+			"Retrieval-phase latency by executed method.", lbl, nil)
+	}
+	m.queryErrors = reg.Counter("trex_query_errors_total",
+		"Queries that returned an error.", nil)
+	m.queryDur = reg.Histogram("trex_query_duration_seconds",
+		"End-to-end query latency.", nil, nil)
+	for i := 0; i < numPhases; i++ {
+		m.phaseDur[i] = reg.Histogram("trex_query_phase_seconds",
+			"Query latency by pipeline phase.", telemetry.Labels{"phase": phaseNames[i]}, nil)
+	}
+
+	m.blockSkips = reg.Counter("trex_retrieval_block_skips_total",
+		"Entries consumed through Merge's bulk drain fast path.", nil)
+	m.sortedAccesses = reg.Counter("trex_retrieval_sorted_accesses_total",
+		"RPL entries read under sorted access.", nil)
+	m.randomAccesses = reg.Counter("trex_retrieval_random_accesses_total",
+		"Per-(element, term) random probes.", nil)
+	m.heapOps = reg.Counter("trex_retrieval_heap_ops_total",
+		"Top-k heap pushes and evictions.", nil)
+	m.cursorSteps = reg.Counter("trex_retrieval_cursor_steps_total",
+		"Storage rows fetched by list iterators.", nil)
+	m.thresholdStops = reg.Counter("trex_retrieval_threshold_stops_total",
+		"TA/NRA runs that stopped via the threshold test instead of list exhaustion.", nil)
+
+	m.translateHits = reg.Counter("trex_translate_cache_hits_total",
+		"Query translations served from the LRU cache.", nil)
+	m.translateMisses = reg.Counter("trex_translate_cache_misses_total",
+		"Query translations computed from scratch.", nil)
+	m.writeLockWait = reg.Histogram("trex_engine_write_lock_wait_seconds",
+		"Time maintenance steps waited for the exclusive engine lock.", nil, nil)
+	m.slowQueries = reg.Counter("trex_slow_queries_total",
+		"Queries recorded in the slow-query log.", nil)
+
+	m.autopilotRuns = reg.Counter("trex_autopilot_runs_total",
+		"Completed autopilot re-optimization runs.", nil)
+	m.autopilotFailures = reg.Counter("trex_autopilot_failures_total",
+		"Autopilot runs that failed.", nil)
+	m.autopilotDropped = reg.Counter("trex_autopilot_lists_dropped_total",
+		"Materialized lists dropped by autopilot runs (plan drift).", nil)
+	m.autopilotKept = reg.Gauge("trex_autopilot_lists_kept",
+		"Materialized lists kept by the last autopilot run.", nil)
+	m.autopilotDisk = reg.Gauge("trex_autopilot_disk_used_bytes",
+		"Disk used by the materialized list set after the last autopilot run.", nil)
+
+	e.met = m
+}
+
+// registerStorageMetrics exposes the pager's counters as func metrics:
+// the pager already maintains them atomically for the cost model, so
+// the scrape path reads them instead of mirroring every increment.
+func registerStorageMetrics(reg *telemetry.Registry, db *storage.DB) {
+	reg.CounterFunc("trex_storage_pages_read_total",
+		"Pages fetched from the storage backend.", nil,
+		func() uint64 { return db.Stats().PagesRead })
+	reg.CounterFunc("trex_storage_pages_written_total",
+		"Pages written to the storage backend.", nil,
+		func() uint64 { return db.Stats().PagesWritten })
+	reg.CounterFunc("trex_storage_cache_hits_total",
+		"Node lookups served from the page cache.", nil,
+		func() uint64 { return db.Stats().CacheHits })
+	reg.CounterFunc("trex_storage_cache_misses_total",
+		"Node lookups that required a backend read.", nil,
+		func() uint64 { return db.Stats().CacheMisses })
+	reg.CounterFunc("trex_storage_cursor_seeks_total",
+		"Cursor Seek operations.", nil,
+		func() uint64 { return db.Stats().Seeks })
+	reg.CounterFunc("trex_storage_cursor_nexts_total",
+		"Cursor Next operations.", nil,
+		func() uint64 { return db.Stats().Nexts })
+	reg.CounterFunc("trex_storage_gets_total",
+		"Point lookups.", nil,
+		func() uint64 { return db.Stats().Gets })
+	reg.CounterFunc("trex_storage_puts_total",
+		"Insertions and updates.", nil,
+		func() uint64 { return db.Stats().Puts })
+	reg.CounterFunc("trex_storage_journal_commits_total",
+		"Successful atomic flush commits.", nil,
+		func() uint64 { return db.Stats().Flushes })
+	reg.CounterFunc("trex_storage_journal_pages_total",
+		"Live pages staged through the redo journal.", nil,
+		func() uint64 { return db.Stats().JournalPages })
+	reg.CounterFunc("trex_storage_journal_replays_total",
+		"Pending redo journals replayed at open.", nil,
+		func() uint64 { return db.Stats().JournalReplays })
+	reg.GaugeFunc("trex_storage_pages",
+		"Pages in the database file (disk usage = pages * 4096).", nil,
+		func() float64 { return float64(db.PageCount()) })
+
+	for i := 0; i < db.CacheShardCount(); i++ {
+		shard := i
+		lbl := telemetry.Labels{"shard": strconv.Itoa(i)}
+		reg.CounterFunc("trex_storage_shard_cache_hits_total",
+			"Page-cache hits by cache shard.", lbl,
+			func() uint64 { return db.CacheShardStat(shard).Hits })
+		reg.CounterFunc("trex_storage_shard_cache_misses_total",
+			"Page-cache misses by cache shard.", lbl,
+			func() uint64 { return db.CacheShardStat(shard).Misses })
+	}
+}
+
+// MetricsRegistry exposes the engine's metric registry, or nil when
+// telemetry is disabled.
+func (e *Engine) MetricsRegistry() *telemetry.Registry {
+	if e.met == nil {
+		return nil
+	}
+	return e.met.reg
+}
+
+// SlowLog exposes the slow-query log, or nil when telemetry is
+// disabled. The threshold can be tuned at runtime via SetThreshold.
+func (e *Engine) SlowLog() *telemetry.SlowLog {
+	if e.met == nil {
+		return nil
+	}
+	return e.met.slow
+}
+
+// endSpanIO closes trace span idx, attributes the I/O the engine's
+// shared counters saw since prev to it, and returns the new snapshot
+// for the next span. A method (not a closure) so the query hot path
+// stays allocation-free.
+func (e *Engine) endSpanIO(trc *telemetry.Trace, idx int, prev storage.Stats) (*telemetry.Span, storage.Stats) {
+	now := e.db.Stats()
+	d := now.Sub(prev)
+	sp := trc.EndSpan(idx)
+	sp.PageReads = d.CacheHits + d.CacheMisses
+	sp.BytesRead = d.PagesRead * storage.PageSize
+	return sp, now
+}

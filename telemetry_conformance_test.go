@@ -1,0 +1,339 @@
+package trex
+
+import (
+	"testing"
+	"time"
+
+	"trex/internal/index"
+	"trex/internal/oracle"
+	"trex/internal/storage"
+)
+
+// Telemetry conformance: the numbers the observability layer reports
+// must equal the numbers the engine actually did. Each test drives the
+// engine single-threaded over oracle-generated corpora and cross-checks
+// traces, metrics and the slow log against independently captured
+// engine state.
+
+func conformanceEngine(t *testing.T) *Engine {
+	t.Helper()
+	col := oracle.GenCollection(11, []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13})
+	eng, err := CreateMemory(col, &Options{
+		Telemetry: &TelemetryOptions{SlowQueryThreshold: time.Hour},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	return eng
+}
+
+var conformanceQueries = []string{
+	`//r[about(., ax)]`,
+	`//s[about(., bx cx)]`,
+	`//t[about(., dx)]//u[about(., ex)]`,
+	`//u[about(., ax ex)]`,
+	`//doc//r[about(., ax bx)]`,
+}
+
+// TestTraceIOMatchesEngineStats: with no concurrency, the sum of the
+// trace's top-level span page/byte counts must equal the engine-global
+// Stats delta across the query — the trace accounts for every page the
+// engine touched, no more, no less.
+func TestTraceIOMatchesEngineStats(t *testing.T) {
+	eng := conformanceEngine(t)
+	for _, m := range []Method{MethodERA, MethodTA, MethodMerge, MethodNRA} {
+		if m != MethodERA {
+			for _, q := range conformanceQueries {
+				if _, err := eng.Materialize(q, index.KindRPL, index.KindERPL); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		for _, q := range conformanceQueries {
+			before := eng.DB().Stats()
+			res, err := eng.Query(q, 5, m)
+			after := eng.DB().Stats()
+			if err != nil {
+				t.Fatalf("%v %q: %v", m, q, err)
+			}
+			trc := res.Trace
+			if trc == nil {
+				t.Fatalf("%v %q: no trace", m, q)
+			}
+			d := after.Sub(before)
+			wantPages := d.CacheHits + d.CacheMisses
+			wantBytes := d.PagesRead * storage.PageSize
+			if got := trc.PageReads(); got != wantPages {
+				t.Errorf("%v %q: trace pages = %d, engine delta = %d", m, q, got, wantPages)
+			}
+			if got := trc.BytesRead(); got != wantBytes {
+				t.Errorf("%v %q: trace bytes = %d, engine delta = %d", m, q, got, wantBytes)
+			}
+			if !trc.IOExact {
+				t.Errorf("%v %q: single-threaded query not IOExact", m, q)
+			}
+			if res.Stats != nil && !res.Stats.IOExact {
+				t.Errorf("%v %q: stats not IOExact", m, q)
+			}
+		}
+	}
+}
+
+// TestTraceRetrieveSpanMatchesStats: the retrieve span must carry the
+// exact counters the retrieval phase reported, and its I/O delta must
+// equal the captureIO window (both bracket the same work).
+func TestTraceRetrieveSpanMatchesStats(t *testing.T) {
+	eng := conformanceEngine(t)
+	for _, q := range conformanceQueries {
+		if _, err := eng.Materialize(q, index.KindRPL, index.KindERPL); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, m := range []Method{MethodERA, MethodTA, MethodMerge, MethodNRA} {
+		for _, q := range conformanceQueries {
+			res, err := eng.Query(q, 3, m)
+			if err != nil {
+				t.Fatalf("%v %q: %v", m, q, err)
+			}
+			sp := res.Trace.FindSpan("retrieve")
+			if sp == nil {
+				t.Fatalf("%v %q: no retrieve span", m, q)
+			}
+			st := res.Stats
+			if st == nil {
+				t.Fatalf("%v %q: no stats", m, q)
+			}
+			if sp.Method != m.String() {
+				t.Errorf("%v %q: span method = %q", m, q, sp.Method)
+			}
+			if sp.CursorSteps != st.CursorSteps || sp.SortedAccesses != st.SortedAccesses ||
+				sp.RandomAccesses != st.RandomAccesses || sp.HeapOps != st.HeapOps ||
+				sp.BlockSkips != st.BlockSkips || sp.Items != st.Answers {
+				t.Errorf("%v %q: span counters diverge from stats:\nspan  %+v\nstats %+v", m, q, *sp, *st)
+			}
+			if sp.PageReads != st.PageReads || sp.BytesRead != st.BytesRead {
+				t.Errorf("%v %q: span I/O (%d pages, %d bytes) != captureIO (%d, %d)",
+					m, q, sp.PageReads, sp.BytesRead, st.PageReads, st.BytesRead)
+			}
+			hp := res.Trace.FindSpan("retrieve/heap")
+			if hp == nil {
+				t.Fatalf("%v %q: no retrieve/heap span", m, q)
+			}
+			if hp.Dur != st.HeapTime {
+				t.Errorf("%v %q: heap span %v != stats.HeapTime %v", m, q, hp.Dur, st.HeapTime)
+			}
+		}
+	}
+}
+
+// TestTracePhaseDurationsWithinWall: span durations are measured inside
+// the query wall window, so top-level spans can never sum past it.
+func TestTracePhaseDurationsWithinWall(t *testing.T) {
+	eng := conformanceEngine(t)
+	for _, q := range conformanceQueries {
+		res, err := eng.Query(q, 5, MethodAuto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trc := res.Trace
+		if sum := trc.TopLevelDur(); sum > trc.Wall {
+			t.Errorf("%q: span sum %v exceeds wall %v", q, sum, trc.Wall)
+		}
+		if hp := trc.FindSpan("retrieve/heap"); hp != nil {
+			if rp := trc.FindSpan("retrieve"); rp != nil && hp.Dur > rp.Dur {
+				t.Errorf("%q: nested heap %v exceeds retrieve %v", q, hp.Dur, rp.Dur)
+			}
+		}
+	}
+}
+
+// TestShardCountersSumToGlobal: every cache lookup increments exactly
+// one shard counter and the matching global counter, so on a quiescent
+// engine the shard sums must equal the global hit/miss totals — and
+// hits+misses must equal the pages the traces reported touched.
+func TestShardCountersSumToGlobal(t *testing.T) {
+	eng := conformanceEngine(t)
+	var tracedPages uint64
+	for i := 0; i < 3; i++ {
+		for _, q := range conformanceQueries {
+			res, err := eng.Query(q, 5, MethodERA)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tracedPages += res.Trace.PageReads()
+		}
+	}
+	g := eng.DB().Stats()
+	var hits, misses uint64
+	for _, sh := range eng.DB().CacheShardStats() {
+		hits += sh.Hits
+		misses += sh.Misses
+	}
+	if hits != g.CacheHits || misses != g.CacheMisses {
+		t.Fatalf("shard sums (%d hits, %d misses) != global (%d, %d)",
+			hits, misses, g.CacheHits, g.CacheMisses)
+	}
+	// Total lookups = hits + misses. Everything this engine ever looked
+	// up happened during the build or inside traced queries, so the
+	// traced total can never exceed the global lookup count.
+	if tracedPages > g.CacheHits+g.CacheMisses {
+		t.Fatalf("traces claim %d page touches, engine only saw %d lookups",
+			tracedPages, g.CacheHits+g.CacheMisses)
+	}
+}
+
+// TestSlowLogCapturesExactly: the slow log must record exactly the
+// queries whose wall time met the threshold — all of them under an
+// always-trip threshold, none under an unreachable one, and none while
+// disabled — with each entry carrying the query's own trace.
+func TestSlowLogCapturesExactly(t *testing.T) {
+	eng := conformanceEngine(t)
+	log := eng.SlowLog()
+	if log == nil {
+		t.Fatal("telemetry enabled but no slow log")
+	}
+	if log.Total() != 0 {
+		t.Fatalf("fresh log total = %d", log.Total())
+	}
+
+	// Unreachable threshold (set at engine creation): nothing records.
+	for _, q := range conformanceQueries {
+		if _, err := eng.Query(q, 5, MethodAuto); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if log.Total() != 0 {
+		t.Fatalf("total = %d under 1h threshold", log.Total())
+	}
+
+	// Always-trip threshold: every query records, entries carry traces.
+	log.SetThreshold(time.Nanosecond)
+	for _, q := range conformanceQueries {
+		if _, err := eng.Query(q, 5, MethodAuto); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := log.Total(); got != uint64(len(conformanceQueries)) {
+		t.Fatalf("total = %d, want %d (every query over 1ns)", got, len(conformanceQueries))
+	}
+	entries := log.Entries()
+	// Newest first: entries[0] is the last query issued.
+	if entries[0].Query != conformanceQueries[len(conformanceQueries)-1] {
+		t.Fatalf("newest entry = %q", entries[0].Query)
+	}
+	for _, e := range entries {
+		if e.Trace == nil {
+			t.Fatalf("entry %q has no trace", e.Query)
+		}
+		if e.Wall != e.Trace.Wall {
+			t.Fatalf("entry %q wall %v != trace wall %v", e.Query, e.Wall, e.Trace.Wall)
+		}
+		if e.Wall < time.Nanosecond {
+			t.Fatalf("entry %q under threshold", e.Query)
+		}
+	}
+
+	// Disabled: nothing records, history stays.
+	log.SetThreshold(0)
+	for _, q := range conformanceQueries {
+		if _, err := eng.Query(q, 5, MethodAuto); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := log.Total(); got != uint64(len(conformanceQueries)) {
+		t.Fatalf("total moved to %d while disabled", got)
+	}
+
+	// The slow-query counter in the registry agrees with the log.
+	snap := eng.MetricsRegistry().Snapshot()
+	if e, ok := snap.Get("trex_slow_queries_total", nil); !ok || e.Value != float64(len(conformanceQueries)) {
+		t.Fatalf("trex_slow_queries_total = %v, %v; want %d", e.Value, ok, len(conformanceQueries))
+	}
+}
+
+// TestMetricsMatchQueryTraffic: per-method query counters and retrieval
+// effort counters must equal what the issued queries' own stats sum to.
+func TestMetricsMatchQueryTraffic(t *testing.T) {
+	eng := conformanceEngine(t)
+	for _, q := range conformanceQueries {
+		if _, err := eng.Materialize(q, index.KindRPL, index.KindERPL); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts := map[Method]float64{}
+	var heapOps, cursorSteps, thresholdStops float64
+	for _, m := range []Method{MethodERA, MethodTA, MethodMerge, MethodNRA} {
+		for _, q := range conformanceQueries {
+			res, err := eng.Query(q, 2, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts[m]++
+			if st := res.Stats; st != nil {
+				heapOps += float64(st.HeapOps)
+				cursorSteps += float64(st.CursorSteps)
+				if st.ThresholdStop {
+					thresholdStops++
+				}
+			}
+		}
+	}
+	snap := eng.MetricsRegistry().Snapshot()
+	for m, want := range counts {
+		e, ok := snap.Get("trex_queries_total", map[string]string{"method": m.String()})
+		if !ok || e.Value != want {
+			t.Errorf("trex_queries_total{method=%q} = %v, %v; want %v", m.String(), e.Value, ok, want)
+		}
+	}
+	if e, ok := snap.Get("trex_retrieval_heap_ops_total", nil); !ok || e.Value != heapOps {
+		t.Errorf("heap ops metric = %v, want %v", e.Value, heapOps)
+	}
+	if e, ok := snap.Get("trex_retrieval_cursor_steps_total", nil); !ok || e.Value != cursorSteps {
+		t.Errorf("cursor steps metric = %v, want %v", e.Value, cursorSteps)
+	}
+	if e, ok := snap.Get("trex_retrieval_threshold_stops_total", nil); !ok || e.Value != thresholdStops {
+		t.Errorf("threshold stops metric = %v, want %v", e.Value, thresholdStops)
+	}
+	if thresholdStops == 0 {
+		t.Log("note: no TA/NRA run stopped via threshold on this corpus")
+	}
+	// The storage func metrics read the same atomics DB.Stats() does.
+	g := eng.DB().Stats()
+	if e, ok := snap.Get("trex_storage_cache_hits_total", nil); !ok || e.Value != float64(g.CacheHits) {
+		t.Errorf("storage cache hits metric = %v, want %d", e.Value, g.CacheHits)
+	}
+	if e, ok := snap.Get("trex_storage_journal_commits_total", nil); !ok || e.Value != float64(g.Flushes) {
+		t.Errorf("journal commits metric = %v, want %d", e.Value, g.Flushes)
+	}
+	if g.Flushes == 0 {
+		t.Error("materialize traffic produced no flush commits")
+	}
+}
+
+// TestExplainTrace: Explain carries its own trace with the translate
+// and analyze phases.
+func TestExplainTrace(t *testing.T) {
+	eng := conformanceEngine(t)
+	ex, err := eng.Explain(conformanceQueries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Trace == nil {
+		t.Fatal("no explain trace")
+	}
+	if ex.Trace.FindSpan("translate") == nil || ex.Trace.FindSpan("analyze") == nil {
+		t.Fatalf("explain spans = %+v", ex.Trace.Spans)
+	}
+	if ex.Trace.Wall <= 0 {
+		t.Fatal("explain wall not stamped")
+	}
+	// Second explain hits the translation cache and the trace says so.
+	ex2, err := eng.Explain(conformanceQueries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ex2.Trace.FindSpan("translate").Cached {
+		t.Fatal("second explain's translate span not marked cached")
+	}
+}
