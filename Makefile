@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-parallel bench-pr3 bench-pr5 test-telemetry fuzz soak ci run-serve-autopilot
+.PHONY: all build test race vet bench bench-parallel bench-pr3 bench-pr5 bench-pr6 bench-suite-log test-telemetry test-segment fuzz soak ci run-serve-autopilot
 
 all: build test
 
@@ -46,6 +46,29 @@ bench-pr3:
 bench-pr5:
 	$(GO) run ./cmd/trexbench -exp pr5 -pr5out BENCH_PR5.json
 
+# bench-pr6 regenerates BENCH_PR6.json: the immutable mmap'd segment
+# read path vs the sharded-LRU pager — cursor scans, point gets and
+# TA/Merge end-to-end latency with allocs/op, plus the zero-allocation
+# assertion on the segment Reader's Get/Seek/Range.
+bench-pr6:
+	$(GO) run ./cmd/trexbench -exp pr6 -pr6out BENCH_PR6.json
+
+# bench-suite-log re-runs the full `go test -bench` sweep and captures
+# the raw tool output for local inspection. The log is generated on
+# demand and not committed; recorded results live in the BENCH_*.json
+# files and EXPERIMENTS.md.
+bench-suite-log:
+	$(GO) test -bench . -benchmem ./... | tee bench_output_suite.txt
+
+# test-segment is the segment-backend gate: the format/reader unit suite
+# (including the mmap lifecycle and zero-alloc assertions), the engine
+# integration tests (pager/segment ranking equivalence, read-your-writes,
+# reopen, crash-before-swap), and the crash-recovery oracle sweep.
+test-segment:
+	$(GO) test ./internal/segment -count=1
+	$(GO) test . -run 'TestSegment' -count=1
+	$(GO) test ./internal/oracle -run 'TestCrashRecoverySweep' -count=1
+
 # test-telemetry is the observability gate: the telemetry package's unit
 # suite (histogram edges, exposition format, guard semantics) plus the
 # engine-level conformance tests that assert the reported numbers equal
@@ -63,10 +86,15 @@ test-telemetry:
 # remaining fuzz budget on a build that is already broken.
 FUZZTIME ?= 5s
 FUZZ_TARGETS = FuzzDecodePostingValue FuzzDecodeRPLRow FuzzDecodeERPLRow FuzzBlockRoundTrip
+SEGMENT_FUZZ_TARGETS = FuzzReader
 fuzz:
 	@set -e; for t in $(FUZZ_TARGETS); do \
 		echo "fuzz $$t"; \
 		$(GO) test ./internal/index -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) || exit 1; \
+	done; \
+	for t in $(SEGMENT_FUZZ_TARGETS); do \
+		echo "fuzz $$t"; \
+		$(GO) test ./internal/segment -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) || exit 1; \
 	done
 
 # soak is the nightly differential-oracle long run: thousands of seeded
@@ -81,8 +109,9 @@ soak:
 		$(GO) test ./internal/oracle -run '^TestSoak$$' -count=1 -v -timeout 120m
 
 # ci is the full pre-merge gate: build, vet, plain tests, race tests,
-# the telemetry conformance gate, short codec fuzz runs.
-ci: build vet test race test-telemetry fuzz
+# the segment-backend gate, the telemetry conformance gate, short codec
+# and segment-format fuzz runs.
+ci: build vet test race test-segment test-telemetry fuzz
 
 # run-serve-autopilot is an end-to-end smoke test of the online
 # self-management daemon: generate a small corpus, load it, serve it

@@ -216,6 +216,9 @@ func (e *Engine) selfManage(ctx context.Context, queries []WorkloadQuery, disk i
 			return nil, err
 		}
 	}
+	if err := e.store.CommitLists(); err != nil {
+		return nil, fmt.Errorf("trex: self-manage (segment commit phase, plan applied in memory): %w", err)
+	}
 	if err := e.db.Flush(); err != nil {
 		return nil, fmt.Errorf("trex: self-manage (commit phase, plan applied in memory): %w", err)
 	}

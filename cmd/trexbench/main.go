@@ -16,6 +16,7 @@
 //	effectiveness  precision@10 vs planted topics (extension)
 //	pr3        block-encoded vs row-per-entry list storage (see -pr3out)
 //	pr5        telemetry overhead: traces/metrics on vs off (see -pr5out)
+//	pr6        mmap'd segment read path vs the pager (see -pr6out)
 //	all        everything above
 //
 // Usage:
@@ -45,6 +46,7 @@ func main() {
 	csvDir := flag.String("csv", "", "also write figure series as CSV files into this directory")
 	pr3Out := flag.String("pr3out", "", "write the pr3 storage comparison as JSON to this file")
 	pr5Out := flag.String("pr5out", "", "write the pr5 telemetry overhead report as JSON to this file")
+	pr6Out := flag.String("pr6out", "", "write the pr6 segment read-path report as JSON to this file")
 	flag.Parse()
 	csvOut = *csvDir
 	if csvOut != "" {
@@ -121,6 +123,10 @@ func main() {
 	if run("pr5") {
 		ok = true
 		pr5(*scale, *pr5Out)
+	}
+	if run("pr6") {
+		ok = true
+		pr6(*scale, *pr6Out)
 	}
 	if !ok {
 		log.Fatalf("unknown experiment %q", *exp)
@@ -385,6 +391,56 @@ func pr5(scale float64, outPath string) {
 	fmt.Printf("scrape: %d families, %d exposition bytes, %d ns/op, %d allocs/op\n",
 		rep.Scrape.Families, rep.Scrape.ExpositionBytes, rep.Scrape.NsOp, rep.Scrape.AllocsOp)
 	fmt.Printf("slow log recorded %d/%d queries at 1ns threshold\n", rep.SlowLogRecorded, len(rep.Queries))
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("# wrote %s\n", outPath)
+	}
+	fmt.Println()
+}
+
+func pr6(scale float64, outPath string) {
+	fmt.Println("## Immutable mmap'd segment read path vs the pager (PR 6)")
+	rep, err := bench.PR6(scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cursor-scan (%d rows):  pager %10d ns (%.1f allocs)   segment %10d ns (%.1f allocs)   %.2fx\n",
+		rep.CursorScan.Rows, rep.CursorScan.Pager.NsOp, rep.CursorScan.Pager.AllocsOp,
+		rep.CursorScan.Segment.NsOp, rep.CursorScan.Segment.AllocsOp, rep.CursorScan.Speedup)
+	fmt.Printf("point-get   (%d keys):  pager %10d ns (%.1f allocs)   segment %10d ns (%.1f allocs)   %.2fx\n",
+		rep.PointGet.Probes, rep.PointGet.Pager.NsOp, rep.PointGet.Pager.AllocsOp,
+		rep.PointGet.Segment.NsOp, rep.PointGet.Segment.AllocsOp, rep.PointGet.Speedup)
+	raStatus := "ok"
+	if rep.ReaderAllocs.Get != 0 || rep.ReaderAllocs.Seek != 0 || rep.ReaderAllocs.Range != 0 {
+		raStatus = "FAIL"
+	}
+	fmt.Printf("reader allocs/op: get=%.1f seek=%.1f range=%.1f (budget 0) %s\n",
+		rep.ReaderAllocs.Get, rep.ReaderAllocs.Seek, rep.ReaderAllocs.Range, raStatus)
+	fmt.Printf("%-4s %-6s | %10s %10s %9s | %9s %9s | %12s %9s\n",
+		"id", "method", "pager-ns", "seg-ns", "speedup", "pg-alloc", "seg-alloc", "seg-bytes", "seg-rows")
+	for _, q := range rep.Queries {
+		for _, m := range []string{"ta", "merge"} {
+			a, b := q.Pager[m], q.Segment[m]
+			sp := 0.0
+			if b.NsOp > 0 {
+				sp = float64(a.NsOp) / float64(b.NsOp)
+			}
+			fmt.Printf("%-4s %-6s | %10d %10d %8.2fx | %9.0f %9.0f | %12d %9d\n",
+				q.ID, m, a.NsOp, b.NsOp, sp, a.AllocsOp, b.AllocsOp, b.BytesRead, b.SegmentRows)
+		}
+	}
+	fmt.Printf("mean TA speedup (pager/segment): %.2fx\n", rep.TASpeedupMean)
 	if outPath != "" {
 		f, err := os.Create(outPath)
 		if err != nil {

@@ -60,6 +60,7 @@ func main() {
 	autoTop := flag.Int("autopilot-top", 16, "workload snapshot size handed to the solver")
 	autoSolver := flag.String("autopilot-solver", "greedy", "index-selection solver: greedy, lp, optimal")
 	autoPause := flag.Duration("autopilot-pause", 5*time.Millisecond, "pause between autopilot maintenance steps (rate limit)")
+	segments := flag.Bool("segments", false, "serve materialized lists from an immutable mmap'd segment (<db>.seg directory; persisted, so later opens keep it)")
 	metrics := flag.Bool("metrics", true, "enable telemetry: /metrics registry, per-query traces, /slowlog")
 	slowThreshold := flag.Duration("slowlog-threshold", trex.DefaultSlowQueryThreshold, "wall-time budget at or above which a query lands in /slowlog (0 disables recording)")
 	slowCapacity := flag.Int("slowlog-capacity", 128, "slow-query ring buffer size")
@@ -68,11 +69,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	eng, err := trex.Open(*dbPath, &trex.Options{Telemetry: &trex.TelemetryOptions{
-		Disabled:           !*metrics,
-		SlowQueryThreshold: *slowThreshold,
-		SlowLogCapacity:    *slowCapacity,
-	}})
+	eng, err := trex.Open(*dbPath, &trex.Options{
+		SegmentLists: *segments,
+		Telemetry: &trex.TelemetryOptions{
+			Disabled:           !*metrics,
+			SlowQueryThreshold: *slowThreshold,
+			SlowLogCapacity:    *slowCapacity,
+		}})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -37,6 +37,7 @@ import (
 	"trex/internal/corpus"
 	"trex/internal/index"
 	"trex/internal/score"
+	"trex/internal/segment"
 	"trex/internal/storage"
 	"trex/internal/summary"
 )
@@ -77,6 +78,15 @@ type Options struct {
 	// per-query trace spans, slow-query log). Nil enables it with
 	// defaults; see TelemetryOptions.Disabled to opt out.
 	Telemetry *TelemetryOptions
+	// SegmentLists serves committed RPL/ERPL reads from an immutable
+	// memory-mapped segment file (rebuilt at each maintenance commit)
+	// instead of the pager's B+trees: decode-free zero-copy cursors for
+	// TA/NRA/Merge, at the cost of rewriting the segment on commit. The
+	// choice is persisted, so Open re-attaches automatically; for a
+	// database at path the segment lives in the path+".seg" directory.
+	// Writes keep the pager path; uncommitted list changes are served
+	// from the trees until the next commit.
+	SegmentLists bool
 }
 
 // Engine is an opened TReX collection: storage, index tables and the
@@ -121,9 +131,19 @@ type Engine struct {
 }
 
 // beginRead / endRead bracket a read-only operation (queries,
-// translation, explain, snippets). Any number may run concurrently.
-func (e *Engine) beginRead() { e.rw.RLock() }
-func (e *Engine) endRead()   { e.rw.RUnlock() }
+// translation, explain, snippets). Any number may run concurrently. A
+// reader also pins the segment store (when attached) so the generation
+// it started on stays mapped until it is done, even if a commit flips
+// the manifest mid-query.
+func (e *Engine) beginRead() {
+	e.rw.RLock()
+	e.store.PinLists()
+}
+
+func (e *Engine) endRead() {
+	e.store.UnpinLists()
+	e.rw.RUnlock()
+}
 
 // beginWrite / endWrite bracket one exclusive maintenance step. After
 // the exclusive lock is held no new reader can start, but a losing
@@ -161,6 +181,12 @@ func Create(path string, col *corpus.Collection, opts *Options) (*Engine, error)
 		db.Close()
 		return nil, err
 	}
+	if opts.SegmentLists {
+		if err := eng.enableSegments(segmentDir(path)); err != nil {
+			db.Close()
+			return nil, err
+		}
+	}
 	if err := db.Flush(); err != nil {
 		db.Close()
 		return nil, err
@@ -184,6 +210,11 @@ func CreateOnDB(db *storage.DB, col *corpus.Collection, opts *Options) (*Engine,
 	if err != nil {
 		return nil, err
 	}
+	if opts.SegmentLists {
+		if err := eng.enableSegments(""); err != nil {
+			return nil, err
+		}
+	}
 	if err := db.Flush(); err != nil {
 		return nil, err
 	}
@@ -204,11 +235,51 @@ func CreateMemory(col *corpus.Collection, opts *Options) (*Engine, error) {
 		db.Close()
 		return nil, err
 	}
+	if opts.SegmentLists {
+		if err := eng.enableSegments(""); err != nil {
+			db.Close()
+			return nil, err
+		}
+	}
 	if err := eng.startConfiguredAutopilot(opts); err != nil {
 		db.Close()
 		return nil, err
 	}
 	return eng, nil
+}
+
+// segmentDir is where a database at path keeps its segment generations.
+func segmentDir(path string) string { return path + ".seg" }
+
+// enableSegments attaches the mmap'd segment list backend: persist the
+// marker (so Open re-attaches), open the generation store (dir == "" for
+// the in-memory mode) and hand it to the index layer, which serves the
+// existing generation or rebuilds one from the trees. Registers the
+// trex_segment_* metric family when telemetry is up.
+func (e *Engine) enableSegments(dir string) error {
+	if e.store.Segments() != nil {
+		return nil
+	}
+	if err := e.store.PutListBackend(index.ListBackendSegment); err != nil {
+		return err
+	}
+	var ss *segment.Store
+	if dir == "" {
+		ss = segment.OpenMemory()
+	} else {
+		var err error
+		if ss, err = segment.Open(dir); err != nil {
+			return err
+		}
+	}
+	if err := e.store.AttachSegments(ss); err != nil {
+		ss.Close()
+		return err
+	}
+	if m := e.met; m != nil {
+		registerSegmentMetrics(m.reg, ss)
+	}
+	return nil
 }
 
 // startConfiguredAutopilot starts the daemon when Options requested it.
@@ -290,6 +361,17 @@ func Open(path string, opts *Options) (*Engine, error) {
 		db.Close()
 		return nil, fmt.Errorf("trex: %s is not a TReX database: %w", path, err)
 	}
+	backend, err := store.ListBackend()
+	if err != nil {
+		db.Close()
+		return nil, err
+	}
+	if backend == index.ListBackendSegment || opts.SegmentLists {
+		if err := eng.enableSegments(segmentDir(path)); err != nil {
+			db.Close()
+			return nil, err
+		}
+	}
 	if ds, err := corpus.OpenDocStore(db); err == nil {
 		eng.docs = ds
 	}
@@ -308,7 +390,11 @@ func (e *Engine) Close() error {
 	defer e.maintMu.Unlock()
 	e.beginWrite()
 	defer e.endWrite()
-	return e.db.Close()
+	err := e.db.Close()
+	if serr := e.store.CloseSegments(); err == nil {
+		err = serr
+	}
+	return err
 }
 
 // Summary exposes the collection's structural summary.
@@ -325,6 +411,12 @@ func (e *Engine) DB() *storage.DB { return e.db }
 // directly with trex.Open. Safe to run concurrently with queries; it
 // excludes maintenance operations (AddDocuments, Materialize,
 // SelfManage, autopilot runs) for its duration.
+//
+// Only the pager database is copied: the segment (when the engine runs
+// with Options.SegmentLists) is a derived replica of the trees, and
+// opening the copy rebuilds it — the persisted backend marker triggers
+// the rebuild, and the list epoch makes any stale segment directory
+// detectable.
 func (e *Engine) Backup(path string) error {
 	e.maintMu.Lock()
 	defer e.maintMu.Unlock()

@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"trex/internal/index"
-	"trex/internal/storage"
 	"trex/internal/telemetry"
 	"trex/internal/translate"
 )
@@ -46,11 +45,11 @@ func (e *Engine) Explain(src string) (*Explanation, error) {
 	defer e.endRead()
 
 	var trc *telemetry.Trace
-	var ioPrev storage.Stats
+	var ioPrev index.IOStat
 	span := -1
 	if e.met != nil {
 		trc = telemetry.NewTrace(src, 0)
-		ioPrev = e.db.Stats()
+		ioPrev = e.store.IOStats()
 		span = trc.StartSpan("translate")
 	}
 	tr, hit, err := e.translateModeHit(src, translate.ModeVague)

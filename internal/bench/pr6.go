@@ -1,0 +1,398 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"trex"
+	"trex/internal/corpus"
+	"trex/internal/index"
+)
+
+// PR6 measures the immutable mmap'd segment read path against the
+// sharded-LRU pager it sits beside: full-list cursor scans, point gets,
+// and TA/Merge end-to-end latency with allocations per query, over two
+// on-disk engines built from the identical IEEE corpus. It also asserts
+// the segment Reader's contract directly — Get, Seek and Range must run
+// allocation-free. `make bench-pr6` serializes the report to
+// BENCH_PR6.json.
+
+// PR6MicroStats is one micro-benchmark measurement on one backend.
+type PR6MicroStats struct {
+	NsOp     int64   `json:"nsOp"`
+	AllocsOp float64 `json:"allocsOp"`
+}
+
+// PR6MethodStats is one (query, method, backend) end-to-end measurement.
+type PR6MethodStats struct {
+	NsOp int64 `json:"nsOp"`
+	// AllocsOp is the steady-state allocation count of Engine.Query.
+	AllocsOp float64 `json:"allocsOp"`
+	// BytesRead is the run's attributed physical traffic: backend page
+	// bytes on the pager, mapped bytes covered on the segment.
+	BytesRead uint64 `json:"bytesRead"`
+	// SegmentRows is rows served from segment cursors (0 on the pager).
+	SegmentRows uint64 `json:"segmentRows"`
+}
+
+// PR6QueryResult compares the two backends on one paper query.
+type PR6QueryResult struct {
+	ID      string                    `json:"id"`
+	NEXI    string                    `json:"nexi"`
+	K       int                       `json:"k"`
+	Pager   map[string]PR6MethodStats `json:"pager"`
+	Segment map[string]PR6MethodStats `json:"segment"`
+}
+
+// PR6Report is the full pager-vs-segment comparison.
+type PR6Report struct {
+	Corpus struct {
+		Style string `json:"style"`
+		Docs  int    `json:"docs"`
+		Seed  int64  `json:"seed"`
+	} `json:"corpus"`
+	// CursorScan iterates every materialized RPL row in key order.
+	CursorScan struct {
+		Rows    int           `json:"rows"`
+		Pager   PR6MicroStats `json:"pager"`
+		Segment PR6MicroStats `json:"segment"`
+		Speedup float64       `json:"speedup"`
+	} `json:"cursorScan"`
+	// PointGet probes a sample of existing RPL keys.
+	PointGet struct {
+		Probes  int           `json:"probes"`
+		Pager   PR6MicroStats `json:"pager"`
+		Segment PR6MicroStats `json:"segment"`
+		Speedup float64       `json:"speedup"`
+	} `json:"pointGet"`
+	// ReaderAllocs are the segment Reader's steady-state allocations per
+	// operation; the PR's acceptance criterion demands all three are 0.
+	ReaderAllocs struct {
+		Get   float64 `json:"get"`
+		Seek  float64 `json:"seek"`
+		Range float64 `json:"range"`
+	} `json:"readerAllocs"`
+	Queries []PR6QueryResult `json:"queries"`
+	// TASpeedupMean is the geometric-free arithmetic mean of per-query
+	// pager/segment TA latency ratios (> 1 means the segment wins).
+	TASpeedupMean float64 `json:"taSpeedupMean"`
+}
+
+// pr6Methods are the end-to-end strategies the report times.
+var pr6Methods = map[string]trex.Method{
+	"ta":    trex.MethodTA,
+	"merge": trex.MethodMerge,
+}
+
+// PR6 builds two on-disk engines over the identical corpus — one serving
+// lists from the pager's B+trees, one from an mmap'd segment — and
+// measures both.
+func PR6(scale float64) (*PR6Report, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	docs := int(float64(DefaultIEEEDocs) * scale)
+	rep := &PR6Report{}
+	rep.Corpus.Style = corpus.StyleIEEE.String()
+	rep.Corpus.Docs = docs
+	rep.Corpus.Seed = DefaultSeed
+
+	dir, err := os.MkdirTemp("", "trex-pr6-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	col := corpus.GenerateIEEE(docs, DefaultSeed)
+	pager, err := trex.Create(filepath.Join(dir, "pager.trex"), col, nil)
+	if err != nil {
+		return nil, fmt.Errorf("bench: pr6 pager engine: %w", err)
+	}
+	defer pager.Close()
+	seg, err := trex.Create(filepath.Join(dir, "segment.trex"), col,
+		&trex.Options{SegmentLists: true})
+	if err != nil {
+		return nil, fmt.Errorf("bench: pr6 segment engine: %w", err)
+	}
+	defer seg.Close()
+
+	var queries []*QueryDef
+	for i := range PaperQueries {
+		if PaperQueries[i].Style == corpus.StyleIEEE {
+			queries = append(queries, &PaperQueries[i])
+		}
+	}
+	for _, q := range queries {
+		if _, err := pager.Materialize(q.NEXI, index.KindRPL, index.KindERPL); err != nil {
+			return nil, err
+		}
+		if _, err := seg.Materialize(q.NEXI, index.KindRPL, index.KindERPL); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := pr6CursorScan(rep, pager, seg); err != nil {
+		return nil, err
+	}
+	if err := pr6PointGet(rep, pager, seg); err != nil {
+		return nil, err
+	}
+	if err := pr6ReaderAllocs(rep, seg); err != nil {
+		return nil, err
+	}
+
+	const k = 10
+	var ratios []float64
+	for _, q := range queries {
+		qr := PR6QueryResult{ID: q.ID, NEXI: q.NEXI, K: k,
+			Pager: make(map[string]PR6MethodStats), Segment: make(map[string]PR6MethodStats)}
+		for name, m := range pr6Methods {
+			sp, err := pr6Measure(pager, q.NEXI, k, m)
+			if err != nil {
+				return nil, fmt.Errorf("bench: pr6 %s/%s pager: %w", q.ID, name, err)
+			}
+			qr.Pager[name] = sp
+			ss, err := pr6Measure(seg, q.NEXI, k, m)
+			if err != nil {
+				return nil, fmt.Errorf("bench: pr6 %s/%s segment: %w", q.ID, name, err)
+			}
+			qr.Segment[name] = ss
+			if name == "ta" && ss.NsOp > 0 {
+				ratios = append(ratios, float64(sp.NsOp)/float64(ss.NsOp))
+			}
+		}
+		rep.Queries = append(rep.Queries, qr)
+	}
+	for _, r := range ratios {
+		rep.TASpeedupMean += r
+	}
+	if len(ratios) > 0 {
+		rep.TASpeedupMean /= float64(len(ratios))
+	}
+	return rep, nil
+}
+
+// pr6Measure runs one (query, method) end to end: best-of-N wall clock,
+// steady-state allocations, and the final run's I/O attribution.
+func pr6Measure(eng *trex.Engine, nexi string, k int, m trex.Method) (PR6MethodStats, error) {
+	var out PR6MethodStats
+	// Warm the cache and surface errors before the alloc loop (whose
+	// closure cannot return them).
+	res, err := eng.Query(nexi, k, m)
+	if err != nil {
+		return out, err
+	}
+	out.AllocsOp = testing.AllocsPerRun(10, func() {
+		r, qerr := eng.Query(nexi, k, m)
+		if qerr != nil {
+			err = qerr
+		}
+		res = r
+	})
+	if err != nil {
+		return out, err
+	}
+	best := res.Stats.Elapsed
+	for i := 0; i < 7; i++ {
+		r, qerr := eng.Query(nexi, k, m)
+		if qerr != nil {
+			return out, qerr
+		}
+		res = r
+		if r.Stats.Elapsed < best {
+			best = r.Stats.Elapsed
+		}
+	}
+	out.NsOp = best.Nanoseconds()
+	out.BytesRead = res.Stats.BytesRead
+	out.SegmentRows = res.Stats.SegmentRows
+	return out, nil
+}
+
+// pr6CursorScan times a full key-order scan of the materialized RPL
+// rows through each backend's list read path.
+func pr6CursorScan(rep *PR6Report, pager, seg *trex.Engine) error {
+	scanPager := func() (int, error) {
+		n := 0
+		c := pager.Store().RPLs.Cursor()
+		ok, err := c.First()
+		for ok && err == nil {
+			_ = c.Value()
+			n++
+			ok, err = c.Next()
+		}
+		return n, err
+	}
+	scanSeg := func() (int, error) {
+		n := 0
+		c := seg.Store().Segments().ListCursor(index.TableRPLs)
+		if c == nil {
+			return 0, fmt.Errorf("bench: pr6: no segment generation to scan")
+		}
+		ok, err := c.First()
+		for ok && err == nil {
+			_ = c.Value()
+			n++
+			ok, err = c.Next()
+		}
+		return n, err
+	}
+	rows, err := scanPager()
+	if err != nil {
+		return err
+	}
+	segRows, err := scanSeg()
+	if err != nil {
+		return err
+	}
+	if rows != segRows {
+		return fmt.Errorf("bench: pr6 cursor-scan row mismatch: pager %d, segment %d", rows, segRows)
+	}
+	rep.CursorScan.Rows = rows
+	if rep.CursorScan.Pager, err = pr6Micro(func() error { _, e := scanPager(); return e }); err != nil {
+		return err
+	}
+	if rep.CursorScan.Segment, err = pr6Micro(func() error { _, e := scanSeg(); return e }); err != nil {
+		return err
+	}
+	if rep.CursorScan.Segment.NsOp > 0 {
+		rep.CursorScan.Speedup = float64(rep.CursorScan.Pager.NsOp) / float64(rep.CursorScan.Segment.NsOp)
+	}
+	return nil
+}
+
+// pr6PointGet probes a uniform sample of existing RPL keys on both
+// backends.
+func pr6PointGet(rep *PR6Report, pager, seg *trex.Engine) error {
+	const maxProbes = 512
+	var keys [][]byte
+	c := pager.Store().RPLs.Cursor()
+	ok, err := c.First()
+	for ok && err == nil {
+		keys = append(keys, append([]byte(nil), c.Key()...))
+		ok, err = c.Next()
+	}
+	if err != nil {
+		return err
+	}
+	if len(keys) == 0 {
+		return fmt.Errorf("bench: pr6: no RPL rows to probe")
+	}
+	if len(keys) > maxProbes {
+		stride := len(keys) / maxProbes
+		sampled := make([][]byte, 0, maxProbes)
+		for i := 0; i < len(keys) && len(sampled) < maxProbes; i += stride {
+			sampled = append(sampled, keys[i])
+		}
+		keys = sampled
+	}
+	rep.PointGet.Probes = len(keys)
+
+	tree := pager.Store().RPLs
+	ss := seg.Store().Segments()
+	probePager := func() error {
+		for _, k := range keys {
+			if v, err := tree.Get(k); err != nil {
+				return err
+			} else if v == nil {
+				return fmt.Errorf("bench: pr6: pager lost key %q", k)
+			}
+		}
+		return nil
+	}
+	probeSeg := func() error {
+		for _, k := range keys {
+			if _, ok := ss.Get(index.TableRPLs, k); !ok {
+				return fmt.Errorf("bench: pr6: segment lost key %q", k)
+			}
+		}
+		return nil
+	}
+	if rep.PointGet.Pager, err = pr6Micro(probePager); err != nil {
+		return err
+	}
+	if rep.PointGet.Segment, err = pr6Micro(probeSeg); err != nil {
+		return err
+	}
+	if rep.PointGet.Segment.NsOp > 0 {
+		rep.PointGet.Speedup = float64(rep.PointGet.Pager.NsOp) / float64(rep.PointGet.Segment.NsOp)
+	}
+	return nil
+}
+
+// pr6ReaderAllocs asserts the segment Reader's zero-allocation contract
+// on the mapped generation the engine is actually serving.
+func pr6ReaderAllocs(rep *PR6Report, seg *trex.Engine) error {
+	ss := seg.Store().Segments()
+	ss.Pin()
+	defer ss.Unpin()
+	r := ss.Current()
+	if r == nil {
+		return fmt.Errorf("bench: pr6: no committed generation")
+	}
+	tbl := r.Table(index.TableRPLs)
+	if tbl == nil || tbl.Rows() == 0 {
+		return fmt.Errorf("bench: pr6: empty RPL table in segment")
+	}
+	cur := tbl.Cursor()
+	if _, err := cur.First(); err != nil {
+		return err
+	}
+	key := append([]byte(nil), cur.Key()...)
+
+	rep.ReaderAllocs.Get = testing.AllocsPerRun(100, func() {
+		if _, ok := tbl.Get(key); !ok {
+			panic("bench: pr6: Get lost a key mid-run")
+		}
+	})
+	rep.ReaderAllocs.Seek = testing.AllocsPerRun(100, func() {
+		if ok, err := cur.Seek(key); err != nil || !ok {
+			panic("bench: pr6: Seek lost a key mid-run")
+		}
+	})
+	rows := 0
+	rep.ReaderAllocs.Range = testing.AllocsPerRun(100, func() {
+		rows = 0
+		tbl.Range(nil, nil, func(k, v []byte) bool {
+			rows++
+			return true
+		})
+	})
+	if rows != tbl.Rows() {
+		return fmt.Errorf("bench: pr6: Range covered %d of %d rows", rows, tbl.Rows())
+	}
+	return nil
+}
+
+// pr6Micro times fn (best of a few runs after one warm-up) and measures
+// its steady-state allocations.
+func pr6Micro(fn func() error) (PR6MicroStats, error) {
+	var out PR6MicroStats
+	if err := fn(); err != nil {
+		return out, err
+	}
+	var err error
+	out.AllocsOp = testing.AllocsPerRun(5, func() {
+		if e := fn(); e != nil {
+			err = e
+		}
+	})
+	if err != nil {
+		return out, err
+	}
+	best := time.Duration(1<<62 - 1)
+	for i := 0; i < 5; i++ {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return out, err
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	out.NsOp = best.Nanoseconds()
+	return out, nil
+}

@@ -13,6 +13,9 @@ import "encoding/binary"
 // order interleaves them); a block containing the target sid is deleted
 // and its surviving entries are re-encoded into fresh blocks.
 func (s *Store) DropList(kind ListKind, term string, sid uint32) (int, error) {
+	if err := s.noteListChange(); err != nil {
+		return 0, err
+	}
 	if kind == KindERPL {
 		return s.dropERPL(term, sid)
 	}

@@ -182,7 +182,7 @@ type RPLIterator struct {
 
 // NewRPLIterator creates a descending-score iterator over term's RPL.
 func NewRPLIterator(s *Store, term string) *RPLIterator {
-	return &RPLIterator{store: s, term: term, prefix: termPrefix(term), cur: s.RPLs.Cursor()}
+	return &RPLIterator{store: s, term: term, prefix: termPrefix(term), cur: s.rplCursor()}
 }
 
 // rplKeyTailLess reports whether the 20-byte RPL key tail orders before
@@ -328,7 +328,7 @@ type ERPLIterator struct {
 
 // NewERPLIterator creates an iterator over the ERPL entries of (term, sid).
 func NewERPLIterator(s *Store, term string, sid uint32) *ERPLIterator {
-	return &ERPLIterator{prefix: erplSIDPrefix(term, sid), cur: s.ERPLs.Cursor()}
+	return &ERPLIterator{prefix: erplSIDPrefix(term, sid), cur: s.erplCursor()}
 }
 
 // erplKeyTailLess reports whether the 8-byte (doc, end) key tail orders

@@ -5,8 +5,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"trex/internal/score"
+	"trex/internal/segment"
 	"trex/internal/storage"
 )
 
@@ -34,6 +36,12 @@ type Store struct {
 
 	// stopSet caches the persisted stopword set (nil until loaded).
 	stopSet map[string]bool
+
+	// seg, when attached, serves committed RPL/ERPL reads from an
+	// immutable mmap'd segment; segClean reports whether it reflects the
+	// trees (see segment.go). Nil seg = pager backend.
+	seg      *segment.Store
+	segClean atomic.Bool
 }
 
 // Open ensures all TReX tables exist in db and returns the store.
@@ -182,12 +190,18 @@ func (s *Store) NewScorer(terms []string) (*score.Scorer, error) {
 
 // PutRPL inserts one scored element into term's relevance posting list.
 func (s *Store) PutRPL(term string, e RPLEntry) error {
+	if err := s.noteListChange(); err != nil {
+		return err
+	}
 	return s.RPLs.Put(rplKey(term, e), rplValue(e))
 }
 
 // PutERPL inserts one scored element into term's element-relevance posting
 // list (position order).
 func (s *Store) PutERPL(term string, e RPLEntry) error {
+	if err := s.noteListChange(); err != nil {
+		return err
+	}
 	return s.ERPLs.Put(erplKey(term, e), rplValue(e))
 }
 
@@ -198,6 +212,9 @@ func (s *Store) PutERPL(term string, e RPLEntry) error {
 // tree takes ordinary Puts. Rows are sorted by key first, which both the
 // bulk loader and Put locality want.
 func (s *Store) WriteListRows(kind ListKind, rows []ListRow) error {
+	if err := s.noteListChange(); err != nil {
+		return err
+	}
 	tree := s.RPLs
 	if kind == KindERPL {
 		tree = s.ERPLs

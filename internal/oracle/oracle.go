@@ -1,10 +1,16 @@
 // Package oracle is a randomized differential-testing harness for the
 // retrieval strategies. Every case generates a seeded corpus plus a
-// (sids, terms, k) clause, builds three stores — v1 row-per-entry lists,
-// v2 block-encoded lists, and a store mixing both formats — and asserts
-// that TA, NRA, and Merge return rankings byte-identical to the
-// exhaustive baseline on all of them. No tolerance: the codecs
-// round-trip scores exactly, so any drift is a bug.
+// (sids, terms, k) clause, builds four stores — v1 row-per-entry lists,
+// v2 block-encoded lists, a store mixing both formats, and a store
+// serving v2 lists from an immutable mmap'd segment instead of the
+// pager — and asserts that TA, NRA, and Merge return rankings
+// byte-identical to the exhaustive baseline on all of them. No
+// tolerance: the codecs round-trip scores exactly, so any drift is a
+// bug.
+//
+// CheckCrashRecovery additionally loops each case through a crash that
+// dies between the segment fsync and the manifest swap, asserting the
+// old generation serves intact after recovery.
 //
 // Failures shrink to a minimal (corpus, query) pair and print as a
 // ready-to-paste regression test (Mismatch.Repro); because documents are
@@ -16,8 +22,10 @@ import (
 	"math/rand"
 	"strings"
 
+	"trex/internal/faultinject"
 	"trex/internal/index"
 	"trex/internal/retrieval"
+	"trex/internal/segment"
 	"trex/internal/storage"
 	"trex/internal/summary"
 )
@@ -116,6 +124,11 @@ func check(c Case, perturb perturbFunc) (*Mismatch, error) {
 		return nil, err
 	}
 	defer closeMixed()
+	seg, closeSeg, err := buildCaseStore(c, "segment")
+	if err != nil {
+		return nil, err
+	}
+	defer closeSeg()
 
 	scv1, err := v1.NewScorer(c.Terms)
 	if err != nil {
@@ -133,7 +146,7 @@ func check(c Case, perturb perturbFunc) (*Mismatch, error) {
 	stores := []struct {
 		name string
 		st   *index.Store
-	}{{"v1", v1}, {"v2", v2}, {"mixed", mixed}}
+	}{{"v1", v1}, {"v2", v2}, {"mixed", mixed}, {"segment", seg}}
 	for _, s := range stores {
 		sc, err := s.st.NewScorer(c.Terms)
 		if err != nil {
@@ -174,8 +187,10 @@ func check(c Case, perturb perturbFunc) (*Mismatch, error) {
 
 // buildCaseStore parses the case's collection into a fresh in-memory
 // store and materializes its lists in the requested format: "v1"
-// row-per-entry, "v2" block-encoded, or "mixed" (alternating format per
-// term, so both row kinds interleave in the same trees).
+// row-per-entry, "v2" block-encoded, "mixed" (alternating format per
+// term, so both row kinds interleave in the same trees), or "segment"
+// (v2 lists committed to and served from an in-memory segment
+// generation instead of the pager trees).
 func buildCaseStore(c Case, format string) (*index.Store, func(), error) {
 	col := GenCollection(c.Seed, c.DocIDs)
 	sum, err := summary.Build(col, summary.Options{Kind: summary.KindIncoming})
@@ -203,6 +218,12 @@ func buildCaseStore(c Case, format string) (*index.Store, func(), error) {
 		_, err = retrieval.MaterializeV1(st, c.SIDs, c.Terms, sc, index.KindRPL, index.KindERPL)
 	case "v2":
 		_, err = retrieval.Materialize(st, c.SIDs, c.Terms, sc, index.KindRPL, index.KindERPL)
+	case "segment":
+		if _, err = retrieval.Materialize(st, c.SIDs, c.Terms, sc, index.KindRPL, index.KindERPL); err == nil {
+			// Attaching after the build publishes the lists as the first
+			// generation; reads now come off the segment image.
+			err = st.AttachSegments(segment.OpenMemory())
+		}
 	case "mixed":
 		for j, term := range c.Terms {
 			if j%2 == 0 {
@@ -221,6 +242,139 @@ func buildCaseStore(c Case, format string) (*index.Store, func(), error) {
 		return fail(err)
 	}
 	return st, func() { db.Close() }, nil
+}
+
+// CheckCrashRecovery runs one case through repeated segment-commit
+// crashes: the store (fault-injected pager + file-backed segment in dir)
+// is built and committed once, then each round stages a list rewrite and
+// dies between the new segment's fsync and the manifest swap. Recovery —
+// a pager snapshot reopened as a fresh process plus a fresh segment.Open
+// over dir — must come back on the old generation with rankings
+// byte-identical to the exhaustive baseline; a rebuilt or drifted store
+// is reported as a Mismatch. dir must be an empty scratch directory.
+func CheckCrashRecovery(c Case, rounds int, dir string) (*Mismatch, error) {
+	if len(c.DocIDs) == 0 || len(c.SIDs) == 0 || len(c.Terms) == 0 {
+		return nil, fmt.Errorf("oracle: degenerate case %+v", c)
+	}
+	col := GenCollection(c.Seed, c.DocIDs)
+	sum, err := summary.Build(col, summary.Options{Kind: summary.KindIncoming})
+	if err != nil {
+		return nil, err
+	}
+	disk := faultinject.NewDisk(c.Seed)
+	db, err := storage.NewDB(disk, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	st, err := index.Open(db)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := index.BuildBase(st, col, sum); err != nil {
+		return nil, err
+	}
+	sc, err := st.NewScorer(c.Terms)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := retrieval.Materialize(st, c.SIDs, c.Terms, sc, index.KindRPL, index.KindERPL); err != nil {
+		return nil, err
+	}
+	base, _, err := retrieval.ExhaustiveTopK(st, c.SIDs, c.Terms, sc, c.K)
+	if err != nil {
+		return nil, err
+	}
+	ss, err := segment.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	defer ss.Close()
+	if err := st.AttachSegments(ss); err != nil {
+		return nil, err
+	}
+	if err := db.Flush(); err != nil {
+		return nil, err
+	}
+	gen := ss.Generation()
+
+	for round := 0; round < rounds; round++ {
+		// Stage a rewrite (Materialize drops built lists first, so the
+		// trees mutate and the epoch bumps), then die mid-commit.
+		ss.CrashBeforeSwap = func() error {
+			return fmt.Errorf("oracle: simulated crash before manifest swap")
+		}
+		if _, err := retrieval.Materialize(st, c.SIDs, c.Terms, sc, index.KindRPL, index.KindERPL); err != nil {
+			return nil, err
+		}
+		if err := st.CommitLists(); err == nil {
+			return nil, fmt.Errorf("oracle: round %d: commit survived the crash hook", round)
+		}
+
+		// Recover: the pager snapshot is the on-disk state the crashed
+		// process left (no flush since the staged rewrite), the segment
+		// directory is reopened as a new process would.
+		db2, err := storage.OpenBackend(disk.Snapshot(), nil)
+		if err != nil {
+			return nil, fmt.Errorf("oracle: round %d reopen: %w", round, err)
+		}
+		m, err := checkRecovered(c, base, db2, dir, gen, round)
+		db2.Close()
+		if m != nil || err != nil {
+			return m, err
+		}
+	}
+	return nil, nil
+}
+
+// checkRecovered opens the index over a recovered pager db, re-attaches
+// the segment directory and asserts the old generation serves rankings
+// byte-identical to base.
+func checkRecovered(c Case, base []retrieval.Scored, db *storage.DB, dir string, gen uint64, round int) (*Mismatch, error) {
+	st, err := index.Open(db)
+	if err != nil {
+		return nil, err
+	}
+	ss, err := segment.Open(dir)
+	if err != nil {
+		return nil, fmt.Errorf("oracle: round %d segment reopen: %w", round, err)
+	}
+	defer ss.Close()
+	if err := st.AttachSegments(ss); err != nil {
+		return nil, err
+	}
+	detail := func(d string) *Mismatch {
+		return &Mismatch{Case: c, Store: "segment-crash", Strategy: fmt.Sprintf("round %d", round), Detail: d}
+	}
+	if g := ss.Generation(); g != gen {
+		return detail(fmt.Sprintf("generation %d after crash, want old %d intact", g, gen)), nil
+	}
+	sc, err := st.NewScorer(c.Terms)
+	if err != nil {
+		return nil, err
+	}
+	kk := c.K
+	if kk <= 0 {
+		kk = 1 << 20
+	}
+	ta, _, err := retrieval.TA(st, c.SIDs, c.Terms, sc, kk)
+	if err != nil {
+		return nil, err
+	}
+	if d := diffRankings(base, ta); d != "" {
+		return detail("TA after recovery: " + d), nil
+	}
+	mg, _, err := retrieval.Merge(st, c.SIDs, c.Terms, kk)
+	if err != nil {
+		return nil, err
+	}
+	if d := diffRankings(base, mg); d != "" {
+		return detail("Merge after recovery: " + d), nil
+	}
+	if ss.RowsRead() == 0 && len(base) > 0 {
+		return detail("recovered store served no rows from the segment"), nil
+	}
+	return nil, nil
 }
 
 // diffRankings reports the first divergence between two rankings, or ""

@@ -19,7 +19,7 @@ import (
 // element of sid i.
 func ERA(st *index.Store, sids []uint32, terms []string) ([]ElementTF, *Stats, error) {
 	start := time.Now()
-	io := st.DB.Stats()
+	io := st.IOStats()
 	stats := &Stats{ListReads: make([]int, len(terms))}
 	m, n := len(sids), len(terms)
 	var out []ElementTF

@@ -27,7 +27,7 @@ import (
 // k <= 0 returns all answers.
 func Merge(st *index.Store, sids []uint32, terms []string, k int) ([]Scored, *Stats, error) {
 	start := time.Now()
-	io := st.DB.Stats()
+	io := st.IOStats()
 	stats := &Stats{ListReads: make([]int, len(terms)), ListTotals: make([]int, len(terms))}
 	n := len(terms)
 	if n == 0 || len(sids) == 0 {

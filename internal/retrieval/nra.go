@@ -41,7 +41,7 @@ func (c *nraCand) exactScore() float64 {
 // are limited to 64 terms (far beyond NEXI practice).
 func NRA(st *index.Store, sids []uint32, terms []string, k int) ([]Scored, *Stats, error) {
 	start := time.Now()
-	io := st.DB.Stats()
+	io := st.IOStats()
 	stats := &Stats{ListReads: make([]int, len(terms)), ListTotals: make([]int, len(terms))}
 	if k <= 0 {
 		k = 1

@@ -62,11 +62,17 @@ type Stats struct {
 	// hits plus backend fetches (delta of db.Stats() around it). Counting
 	// logical touches keeps the number a machine-independent cost model:
 	// it does not collapse to zero when the working set is cached.
-	// BytesRead is the physical backend traffic in bytes (misses only),
-	// so a fully cached run legitimately reports BytesRead == 0 with a
-	// large PageReads.
+	// BytesRead is the physical backend traffic in bytes (misses only)
+	// plus the key/value bytes served from the mmap'd segment (when the
+	// engine runs with the segment list backend), so a fully cached
+	// pager run legitimately reports BytesRead == 0 with a large
+	// PageReads while a segment run reports exactly the mapped bytes its
+	// cursors covered.
 	PageReads uint64
 	BytesRead uint64
+	// SegmentRows counts rows served from segment cursors during the
+	// run (0 on the pager backend).
+	SegmentRows uint64
 	// IOExact reports whether PageReads/BytesRead can be attributed to
 	// this run alone. captureIO clears it when the measurement window saw
 	// writer traffic (a maintenance flush mid-query dirties the shared
@@ -80,19 +86,22 @@ type Stats struct {
 	ThresholdStop bool
 }
 
-// captureIO fills the I/O counters from the delta of the DB's stats since
-// `before` (snapshotted when the run started). The counters are
-// engine-global, so concurrent operations bleed into each other's deltas;
-// IOExact records whether the window was provably free of writer traffic.
-// (Reader overlap is invisible at this level — the engine's telemetry
-// guard detects it and ANDs into IOExact.) For the single-query
-// measurement paths that feed Explain, the bench suite and the cost
-// tables the delta is exact.
-func (s *Stats) captureIO(st *index.Store, before storage.Stats) {
-	d := st.DB.Stats().Sub(before)
-	s.PageReads = d.CacheHits + d.CacheMisses
-	s.BytesRead = d.PagesRead * storage.PageSize
-	s.IOExact = d.Puts == 0 && d.PagesWritten == 0 && d.Flushes == 0
+// captureIO fills the I/O counters from the delta of the store's
+// combined stats since `before` (snapshotted when the run started). The
+// counters are engine-global, so concurrent operations bleed into each
+// other's deltas; IOExact records whether the window was provably free
+// of writer traffic — pager writes or a segment generation swap, either
+// of which dirties the shared counters mid-window. (Reader overlap is
+// invisible at this level — the engine's telemetry guard detects it and
+// ANDs into IOExact.) For the single-query measurement paths that feed
+// Explain, the bench suite and the cost tables the delta is exact.
+func (s *Stats) captureIO(st *index.Store, before index.IOStat) {
+	d := st.IOStats().Sub(before)
+	s.PageReads = d.Storage.CacheHits + d.Storage.CacheMisses
+	s.BytesRead = d.Storage.PagesRead*storage.PageSize + d.SegmentBytes
+	s.SegmentRows = d.SegmentRows
+	s.IOExact = d.Storage.Puts == 0 && d.Storage.PagesWritten == 0 &&
+		d.Storage.Flushes == 0 && d.SegmentSwaps == 0
 }
 
 // ITATime returns the paper's "ideal heap" time: total time with heap

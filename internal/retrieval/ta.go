@@ -19,7 +19,7 @@ import (
 // (Stats.HeapTime); the paper's ITA curve is Stats.ITATime().
 func TA(st *index.Store, sids []uint32, terms []string, sc *score.Scorer, k int) ([]Scored, *Stats, error) {
 	start := time.Now()
-	io := st.DB.Stats()
+	io := st.IOStats()
 	stats := &Stats{ListReads: make([]int, len(terms)), ListTotals: make([]int, len(terms))}
 	if k <= 0 {
 		k = 1

@@ -1,0 +1,21 @@
+//go:build !linux && !darwin
+
+package segment
+
+import (
+	"io"
+	"os"
+)
+
+// mmapFile falls back to reading the whole file into the heap on
+// platforms without a wired mmap path; the reader works identically over
+// the copy, it just is not shared with the page cache.
+func mmapFile(f *os.File, size int64) (data []byte, mapped bool, err error) {
+	b := make([]byte, size)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, size), b); err != nil {
+		return nil, false, err
+	}
+	return b, false, nil
+}
+
+func munmapBytes(data []byte) error { return nil }

@@ -1,0 +1,29 @@
+//go:build linux || darwin
+
+package segment
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the file read-only. The returned slice is released with
+// munmapBytes; mapped is true so callers can tell a real mapping from
+// the heap fallback.
+func mmapFile(f *os.File, size int64) (data []byte, mapped bool, err error) {
+	if size == 0 {
+		return nil, false, nil
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, err
+	}
+	return b, true, nil
+}
+
+func munmapBytes(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	return syscall.Munmap(data)
+}

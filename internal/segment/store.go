@@ -1,0 +1,460 @@
+package segment
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	manifestName  = "MANIFEST"
+	manifestMagic = "TRXMAN1"
+	segPrefix     = "SEG-"
+	segSuffix     = ".trexseg"
+)
+
+// Store manages the generations of one segment directory: an atomic
+// pointer to the current generation, a MANIFEST file naming it, and the
+// commit protocol that replaces it — write the next segment to the side,
+// fsync it, then flip the manifest with an atomic rename. Readers that
+// Pin the store keep retired generations mapped until they Unpin, so a
+// commit never invalidates an in-flight cursor.
+//
+// With an empty dir the store runs in memory mode: generations are plain
+// byte slices, commits swap the pointer, and there is no manifest — the
+// mode in-memory engines and the differential oracle use.
+type Store struct {
+	dir string
+
+	// mu serializes commits (and close); the current pointer is atomic
+	// so readers never take it.
+	mu  sync.Mutex
+	cur atomic.Pointer[generation]
+
+	// pinMu guards the reader pin count and the retire queue: a retired
+	// generation is unmapped (and its file removed) only once no reader
+	// pin is outstanding.
+	pinMu   sync.Mutex
+	pins    int64
+	retired []*generation
+
+	closed atomic.Bool
+
+	// CrashBeforeSwap, when set, is called after the new segment file is
+	// written and fsynced but before the manifest swap. Returning an
+	// error aborts the commit at exactly the crash point the recovery
+	// path must survive: segment durable, manifest still naming the old
+	// generation. Test hook; nil in production.
+	CrashBeforeSwap func() error
+
+	// io feeds per-row read accounting from every cursor the store hands
+	// out (scraped by the trex_segment_* telemetry family).
+	io          ioCounters
+	swaps       atomic.Uint64
+	gensRetired atomic.Uint64
+	pinsGauge   atomic.Int64
+	mappedBytes atomic.Int64
+	gensLive    atomic.Int64
+}
+
+// generation is one immutable segment image plus its lifecycle state.
+type generation struct {
+	num    uint64
+	r      *Reader
+	data   []byte
+	mapped bool
+	path   string // "" in memory mode
+}
+
+// Open opens (or initializes) a segment directory. A manifest naming a
+// segment loads and maps it; a missing manifest yields an empty store
+// (Current returns nil) ready for its first Commit. Orphan segment files
+// left by crashed commits are removed.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("segment: empty dir (use OpenMemory)")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir}
+	name, err := readManifest(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, err
+	}
+	if name != "" {
+		path := filepath.Join(dir, name)
+		g, err := openGeneration(path)
+		if err != nil {
+			return nil, fmt.Errorf("segment: open %s: %w", name, err)
+		}
+		s.install(g)
+	}
+	s.gcOrphans(name)
+	return s, nil
+}
+
+// OpenMemory returns a store whose generations live on the heap; used by
+// in-memory engines. Commit swaps the pointer with no files involved.
+func OpenMemory() *Store { return &Store{} }
+
+// readManifest returns the segment file the manifest names, or "" when
+// there is no (or an unreadable/torn) manifest — the caller treats that
+// as an empty store, which the index layer repairs by rebuilding.
+func readManifest(path string) (string, error) {
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return "", nil
+	}
+	if err != nil {
+		return "", err
+	}
+	fields := strings.Fields(string(b))
+	if len(fields) != 2 || fields[0] != manifestMagic {
+		return "", nil
+	}
+	name := fields[1]
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) ||
+		strings.ContainsAny(name, "/\\") {
+		return "", nil
+	}
+	return name, nil
+}
+
+// openGeneration maps one segment file and validates it.
+func openGeneration(path string) (*generation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	data, mapped, err := mmapFile(f, fi.Size())
+	if err != nil {
+		return nil, err
+	}
+	r, err := OpenBytes(data)
+	if err != nil {
+		if mapped {
+			_ = munmapBytes(data)
+		}
+		return nil, err
+	}
+	num, err := genNumber(filepath.Base(path))
+	if err != nil {
+		if mapped {
+			_ = munmapBytes(data)
+		}
+		return nil, err
+	}
+	return &generation{num: num, r: r, data: data, mapped: mapped, path: path}, nil
+}
+
+func genName(num uint64) string { return fmt.Sprintf("%s%08d%s", segPrefix, num, segSuffix) }
+
+func genNumber(name string) (uint64, error) {
+	var num uint64
+	if _, err := fmt.Sscanf(name, segPrefix+"%08d"+segSuffix, &num); err != nil {
+		return 0, fmt.Errorf("segment: bad segment file name %q", name)
+	}
+	return num, nil
+}
+
+// gcOrphans removes segment files the manifest does not name — debris of
+// commits that died between fsync and swap.
+func (s *Store) gcOrphans(keep string) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if strings.HasPrefix(n, segPrefix) && strings.HasSuffix(n, segSuffix) && n != keep {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		_ = os.Remove(filepath.Join(s.dir, n))
+	}
+}
+
+// install publishes g as the current generation and updates the gauges.
+func (s *Store) install(g *generation) {
+	old := s.cur.Swap(g)
+	if g != nil {
+		s.gensLive.Add(1)
+		s.mappedBytes.Add(int64(len(g.data)))
+	}
+	if old != nil {
+		s.retire(old)
+	}
+}
+
+// retire queues an old generation for release, releasing immediately
+// when no reader pin is outstanding.
+func (s *Store) retire(g *generation) {
+	s.gensRetired.Add(1)
+	s.pinMu.Lock()
+	if s.pins == 0 {
+		s.pinMu.Unlock()
+		s.release(g)
+		return
+	}
+	s.retired = append(s.retired, g)
+	s.pinMu.Unlock()
+}
+
+// release unmaps a generation and deletes its superseded file.
+func (s *Store) release(g *generation) {
+	s.gensLive.Add(-1)
+	s.mappedBytes.Add(-int64(len(g.data)))
+	if g.mapped {
+		_ = munmapBytes(g.data)
+	}
+	g.r = nil
+	g.data = nil
+	if g.path != "" {
+		_ = os.Remove(g.path)
+	}
+}
+
+// Pin marks a reader active: until the matching Unpin, no generation is
+// unmapped, so cursors handed out before a commit stay valid. Pins are
+// store-wide (a counter, not a per-generation handle) because the engine
+// only swaps generations while it holds its exclusive write lock — the
+// pin exists to keep the old mapping alive for stragglers, not to order
+// swaps.
+func (s *Store) Pin() {
+	s.pinMu.Lock()
+	s.pins++
+	s.pinMu.Unlock()
+	s.pinsGauge.Add(1)
+}
+
+// Unpin releases a Pin; the last reader out releases every retired
+// generation.
+func (s *Store) Unpin() {
+	s.pinsGauge.Add(-1)
+	s.pinMu.Lock()
+	s.pins--
+	var drain []*generation
+	if s.pins == 0 && len(s.retired) > 0 {
+		drain = s.retired
+		s.retired = nil
+	}
+	s.pinMu.Unlock()
+	for _, g := range drain {
+		s.release(g)
+	}
+}
+
+// Current returns the reader of the current generation, or nil when
+// nothing has been committed yet.
+func (s *Store) Current() *Reader {
+	g := s.cur.Load()
+	if g == nil {
+		return nil
+	}
+	return g.r
+}
+
+// Generation returns the current generation number (0 when empty).
+func (s *Store) Generation() uint64 {
+	g := s.cur.Load()
+	if g == nil {
+		return 0
+	}
+	return g.num
+}
+
+// ListCursor returns a read-accounted cursor over the named table of the
+// current generation, or nil when there is no generation or no such
+// table — the caller falls back to its non-segment path.
+func (s *Store) ListCursor(table string) *Cursor {
+	g := s.cur.Load()
+	if g == nil {
+		return nil
+	}
+	t := g.r.Table(table)
+	if t == nil {
+		return nil
+	}
+	c := t.Cursor()
+	c.io = &s.io
+	return c
+}
+
+// Get probes the named table of the current generation, accounting the
+// read. ok is false when the store is empty or the key is absent.
+func (s *Store) Get(table string, key []byte) ([]byte, bool) {
+	g := s.cur.Load()
+	if g == nil {
+		return nil, false
+	}
+	t := g.r.Table(table)
+	if t == nil {
+		return nil, false
+	}
+	v, ok := t.Get(key)
+	if ok {
+		s.io.rows.Add(1)
+		s.io.bytes.Add(uint64(len(key) + len(v)))
+	}
+	return v, ok
+}
+
+// Commit writes the next generation: build receives a fresh writer and
+// streams the tables into it; the image is stamped with epoch, made
+// durable, and published with a manifest flip. On any error the current
+// generation is untouched.
+func (s *Store) Commit(epoch uint64, build func(w *Writer) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed.Load() {
+		return fmt.Errorf("segment: store closed")
+	}
+	w := NewWriter()
+	if err := build(w); err != nil {
+		return err
+	}
+	img, err := w.Finish(epoch)
+	if err != nil {
+		return err
+	}
+	num := uint64(1)
+	if g := s.cur.Load(); g != nil {
+		num = g.num + 1
+	}
+
+	if s.dir == "" {
+		r, err := OpenBytes(img)
+		if err != nil {
+			return err
+		}
+		s.install(&generation{num: num, r: r, data: img})
+		s.swaps.Add(1)
+		return nil
+	}
+
+	name := genName(num)
+	path := filepath.Join(s.dir, name)
+	if err := writeFileSync(path, img); err != nil {
+		return err
+	}
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
+	if hook := s.CrashBeforeSwap; hook != nil {
+		if err := hook(); err != nil {
+			return err
+		}
+	}
+	if err := s.swapManifest(name); err != nil {
+		return err
+	}
+	g, err := openGeneration(path)
+	if err != nil {
+		return err
+	}
+	s.install(g)
+	s.swaps.Add(1)
+	return nil
+}
+
+// swapManifest atomically repoints the manifest at name.
+func (s *Store) swapManifest(name string) error {
+	tmp := filepath.Join(s.dir, manifestName+".tmp")
+	if err := writeFileSync(tmp, []byte(manifestMagic+" "+name+"\n")); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, manifestName)); err != nil {
+		return err
+	}
+	return syncDir(s.dir)
+}
+
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Close releases the current and any retired generations. Outstanding
+// cursors must be done.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	if g := s.cur.Swap(nil); g != nil {
+		s.gensLive.Add(-1)
+		s.mappedBytes.Add(-int64(len(g.data)))
+		if g.mapped {
+			_ = munmapBytes(g.data)
+		}
+	}
+	s.pinMu.Lock()
+	retired := s.retired
+	s.retired = nil
+	s.pinMu.Unlock()
+	for _, g := range retired {
+		s.release(g)
+	}
+	return nil
+}
+
+// --- telemetry accessors (scrape-time reads of the store's atomics) ---
+
+// RowsRead counts rows served from segment cursors and gets.
+func (s *Store) RowsRead() uint64 { return s.io.rows.Load() }
+
+// BytesRead counts key+value bytes those rows covered — the mmap-read
+// analogue of the pager's PagesRead*PageSize.
+func (s *Store) BytesRead() uint64 { return s.io.bytes.Load() }
+
+// Swaps counts manifest flips (commits published).
+func (s *Store) Swaps() uint64 { return s.swaps.Load() }
+
+// GensRetired counts generations replaced by a newer commit.
+func (s *Store) GensRetired() uint64 { return s.gensRetired.Load() }
+
+// GensLive gauges generations currently mapped (current + pinned-old).
+func (s *Store) GensLive() int64 { return s.gensLive.Load() }
+
+// MappedBytes gauges the bytes of all live generation images.
+func (s *Store) MappedBytes() int64 { return s.mappedBytes.Load() }
+
+// PinsActive gauges outstanding reader pins.
+func (s *Store) PinsActive() int64 { return s.pinsGauge.Load() }

@@ -69,6 +69,9 @@ func (e *Engine) AddDocuments(docs []corpus.Document) (*AddStats, error) {
 			}
 		}
 	}
+	if err := e.store.CommitLists(); err != nil {
+		return nil, fmt.Errorf("trex: add documents (segment commit phase, index updated in memory): %w", err)
+	}
 	if err := e.db.Flush(); err != nil {
 		return nil, fmt.Errorf("trex: add documents (commit phase, index updated in memory): %w", err)
 	}

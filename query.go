@@ -9,7 +9,6 @@ import (
 	"trex/internal/nexi"
 	"trex/internal/retrieval"
 	"trex/internal/score"
-	"trex/internal/storage"
 	"trex/internal/telemetry"
 	"trex/internal/translate"
 )
@@ -249,6 +248,12 @@ func (e *Engine) Materialize(src string, kinds ...index.ListKind) (*retrieval.Ma
 	if err != nil {
 		return nil, err
 	}
+	// Publish the new lists to the segment replica before the pager
+	// flush: if we die between the two, the reopened pager is still on
+	// the old epoch and the index layer rebuilds the segment from it.
+	if err := e.store.CommitLists(); err != nil {
+		return nil, fmt.Errorf("trex: materialize (segment commit phase, lists built in memory): %w", err)
+	}
 	if err := e.db.Flush(); err != nil {
 		return nil, fmt.Errorf("trex: materialize (commit phase, lists built in memory): %w", err)
 	}
@@ -403,10 +408,10 @@ func (e *Engine) queryOpts(src string, opts QueryOptions) (*Result, error) {
 func (e *Engine) queryCore(src string, opts QueryOptions, trc *telemetry.Trace) (*Result, error) {
 	k, m := opts.K, opts.Method
 
-	var ioPrev storage.Stats
+	var ioPrev index.IOStat
 	span := -1
 	if trc != nil {
-		ioPrev = e.db.Stats()
+		ioPrev = e.store.IOStats()
 		span = trc.StartSpan("translate")
 	}
 	tr, hit, err := e.translateModeHit(src, opts.Mode)

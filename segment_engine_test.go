@@ -1,0 +1,260 @@
+package trex
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"trex/internal/corpus"
+	"trex/internal/index"
+)
+
+// answersEqual demands byte-identical rankings: same order, same spans,
+// same scores.
+func answersEqual(a, b []Answer) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSegmentBackendMatchesPager runs the same queries on a pager-backed
+// and a segment-backed engine and requires identical rankings from every
+// strategy, before and after materialization.
+func TestSegmentBackendMatchesPager(t *testing.T) {
+	col := corpus.GenerateIEEE(40, 7)
+	pager, err := CreateMemory(col, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pager.Close()
+	seg, err := CreateMemory(col, &Options{SegmentLists: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seg.Close()
+	if seg.Store().Segments() == nil {
+		t.Fatal("segment store not attached")
+	}
+
+	queries := []string{
+		`//article//sec[about(., ontologies case study)]`,
+		`//article[about(., clustering)]//sec[about(., retrieval evaluation)]`,
+	}
+	for _, q := range queries {
+		if _, err := pager.Materialize(q, index.KindRPL, index.KindERPL); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := seg.Materialize(q, index.KindRPL, index.KindERPL); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, q := range queries {
+		for _, m := range []Method{MethodERA, MethodTA, MethodNRA, MethodMerge} {
+			rp, err := pager.Query(q, 10, m)
+			if err != nil {
+				t.Fatalf("pager %v %s: %v", m, q, err)
+			}
+			rs, err := seg.Query(q, 10, m)
+			if err != nil {
+				t.Fatalf("segment %v %s: %v", m, q, err)
+			}
+			if !answersEqual(rp.Answers, rs.Answers) {
+				t.Fatalf("%v rankings diverge on %s:\npager   %v\nsegment %v", m, q, rp.Answers, rs.Answers)
+			}
+		}
+	}
+	if rows := seg.Store().Segments().RowsRead(); rows == 0 {
+		t.Fatal("segment served no rows — queries fell back to the pager")
+	}
+}
+
+// TestSegmentReadYourWrites checks the dirty-flag fallback: list
+// mutations staged between commits must be visible to queries before the
+// next CommitLists, and the segment must take over again afterwards.
+func TestSegmentReadYourWrites(t *testing.T) {
+	eng := testEngineOpts(t, 30, 42, &Options{SegmentLists: true})
+	q := `//article//sec[about(., ontologies case study)]`
+	if _, err := eng.Materialize(q, index.KindRPL, index.KindERPL); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Query(q, 5, MethodTA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) == 0 {
+		t.Fatal("no answers after materialize")
+	}
+
+	// Drop the lists without a commit: the segment still holds them, but
+	// the dirty flag must route reads to the (now empty) trees.
+	tr, err := eng.Translate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sids, terms := flatten(tr)
+	eng.beginWrite()
+	for _, term := range terms {
+		for _, sid := range sids {
+			if _, err := eng.store.DropList(index.KindRPL, term, sid); err != nil {
+				eng.endWrite()
+				t.Fatal(err)
+			}
+			if _, err := eng.store.DropList(index.KindERPL, term, sid); err != nil {
+				eng.endWrite()
+				t.Fatal(err)
+			}
+		}
+	}
+	eng.endWrite()
+	if ok, err := eng.CanUse(q, MethodTA); err != nil || ok {
+		t.Fatalf("RPL coverage after drop = %v, %v; want false", ok, err)
+	}
+
+	// Rebuild and confirm the segment serves again with the same answers.
+	if _, err := eng.Materialize(q, index.KindRPL, index.KindERPL); err != nil {
+		t.Fatal(err)
+	}
+	rowsBefore := eng.Store().Segments().RowsRead()
+	res2, err := eng.Query(q, 5, MethodTA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !answersEqual(res.Answers, res2.Answers) {
+		t.Fatalf("answers changed across drop+rematerialize:\n%v\n%v", res.Answers, res2.Answers)
+	}
+	if eng.Store().Segments().RowsRead() == rowsBefore {
+		t.Fatal("rematerialized query did not read from the segment")
+	}
+}
+
+// TestSegmentPersistsAcrossReopen exercises the on-disk lifecycle: the
+// backend marker makes Open re-attach, the manifest names the committed
+// generation, and rankings survive the restart.
+func TestSegmentPersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "col.trex")
+	col := corpus.GenerateIEEE(25, 11)
+	q := `//article//sec[about(., ontologies case study)]`
+
+	eng, err := Create(path, col, &Options{SegmentLists: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Materialize(q, index.KindRPL, index.KindERPL); err != nil {
+		eng.Close()
+		t.Fatal(err)
+	}
+	want, err := eng.Query(q, 10, MethodTA)
+	if err != nil {
+		eng.Close()
+		t.Fatal(err)
+	}
+	gen := eng.Store().Segments().Generation()
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if gen == 0 {
+		t.Fatal("no segment generation committed")
+	}
+	if _, err := os.Stat(filepath.Join(segmentDir(path), "MANIFEST")); err != nil {
+		t.Fatalf("manifest missing: %v", err)
+	}
+
+	// No SegmentLists option on reopen: the persisted marker decides.
+	re, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	ss := re.Store().Segments()
+	if ss == nil {
+		t.Fatal("reopen did not attach segments")
+	}
+	if ss.Generation() != gen {
+		t.Fatalf("reopen generation = %d, want %d (a clean reopen must not rebuild)", ss.Generation(), gen)
+	}
+	got, err := re.Query(q, 10, MethodTA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !answersEqual(want.Answers, got.Answers) {
+		t.Fatalf("rankings changed across reopen:\n%v\n%v", want.Answers, got.Answers)
+	}
+	if ss.RowsRead() == 0 {
+		t.Fatal("reopened engine did not read from the segment")
+	}
+}
+
+// TestSegmentCrashBeforeSwap dies between the segment fsync and the
+// manifest swap and requires the old generation to serve intact after
+// reopening, across several crash/recover rounds.
+func TestSegmentCrashBeforeSwap(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "col.trex")
+	col := corpus.GenerateIEEE(25, 13)
+	q := `//article//sec[about(., ontologies case study)]`
+
+	eng, err := Create(path, col, &Options{SegmentLists: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Materialize(q, index.KindRPL, index.KindERPL); err != nil {
+		eng.Close()
+		t.Fatal(err)
+	}
+	want, err := eng.Query(q, 10, MethodTA)
+	if err != nil {
+		eng.Close()
+		t.Fatal(err)
+	}
+	if len(want.Answers) == 0 {
+		eng.Close()
+		t.Fatal("no baseline answers — the crash assertions would be vacuous")
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	crash := `//article[about(., clustering)]//sec[about(., retrieval)]`
+	for round := 0; round < 3; round++ {
+		eng, err := Open(path, nil)
+		if err != nil {
+			t.Fatalf("round %d reopen: %v", round, err)
+		}
+		gen := eng.Store().Segments().Generation()
+		eng.Store().Segments().CrashBeforeSwap = func() error {
+			return fmt.Errorf("simulated crash before manifest swap")
+		}
+		if _, err := eng.Materialize(crash, index.KindRPL, index.KindERPL); err == nil {
+			eng.Close()
+			t.Fatalf("round %d: materialize survived the crash hook", round)
+		}
+		// Abandon the engine without Close (Close would flush the pager,
+		// which the crashed process never did) and recover from disk.
+		re, err := Open(path, nil)
+		if err != nil {
+			t.Fatalf("round %d recover: %v", round, err)
+		}
+		ss := re.Store().Segments()
+		if ss.Generation() != gen {
+			t.Fatalf("round %d: generation after crash = %d, want old %d", round, ss.Generation(), gen)
+		}
+		got, err := re.Query(q, 10, MethodTA)
+		if err != nil {
+			t.Fatalf("round %d query: %v", round, err)
+		}
+		if !answersEqual(want.Answers, got.Answers) {
+			t.Fatalf("round %d: old generation does not serve intact:\n%v\n%v", round, want.Answers, got.Answers)
+		}
+		if err := re.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

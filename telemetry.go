@@ -4,6 +4,8 @@ import (
 	"strconv"
 	"time"
 
+	"trex/internal/index"
+	"trex/internal/segment"
 	"trex/internal/storage"
 	"trex/internal/telemetry"
 )
@@ -241,14 +243,43 @@ func (e *Engine) SlowLog() *telemetry.SlowLog {
 }
 
 // endSpanIO closes trace span idx, attributes the I/O the engine's
-// shared counters saw since prev to it, and returns the new snapshot
-// for the next span. A method (not a closure) so the query hot path
-// stays allocation-free.
-func (e *Engine) endSpanIO(trc *telemetry.Trace, idx int, prev storage.Stats) (*telemetry.Span, storage.Stats) {
-	now := e.db.Stats()
+// shared counters saw since prev to it — pager pages plus bytes served
+// from the mmap'd segment — and returns the new snapshot for the next
+// span. A method (not a closure) so the query hot path stays
+// allocation-free.
+func (e *Engine) endSpanIO(trc *telemetry.Trace, idx int, prev index.IOStat) (*telemetry.Span, index.IOStat) {
+	now := e.store.IOStats()
 	d := now.Sub(prev)
 	sp := trc.EndSpan(idx)
-	sp.PageReads = d.CacheHits + d.CacheMisses
-	sp.BytesRead = d.PagesRead * storage.PageSize
+	sp.PageReads = d.Storage.CacheHits + d.Storage.CacheMisses
+	sp.BytesRead = d.Storage.PagesRead*storage.PageSize + d.SegmentBytes
 	return sp, now
+}
+
+// registerSegmentMetrics exposes the segment store's counters and gauges
+// as func metrics, mirroring registerStorageMetrics: the store already
+// maintains them atomically for read accounting, so the scrape path
+// reads them instead of double-counting.
+func registerSegmentMetrics(reg *telemetry.Registry, ss *segment.Store) {
+	reg.CounterFunc("trex_segment_rows_read_total",
+		"Rows served from mmap'd segment cursors and gets.", nil,
+		func() uint64 { return ss.RowsRead() })
+	reg.CounterFunc("trex_segment_bytes_read_total",
+		"Key+value bytes served from the mmap'd segment (the mapped-read analogue of pages_read * page_size).", nil,
+		func() uint64 { return ss.BytesRead() })
+	reg.CounterFunc("trex_segment_manifest_swaps_total",
+		"Segment generation commits published via a manifest flip.", nil,
+		func() uint64 { return ss.Swaps() })
+	reg.CounterFunc("trex_segment_generations_retired_total",
+		"Segment generations superseded by a newer commit.", nil,
+		func() uint64 { return ss.GensRetired() })
+	reg.GaugeFunc("trex_segment_generations_live",
+		"Segment generations currently mapped (current plus pinned-old).", nil,
+		func() float64 { return float64(ss.GensLive()) })
+	reg.GaugeFunc("trex_segment_mapped_bytes",
+		"Bytes of all live segment generation images.", nil,
+		func() float64 { return float64(ss.MappedBytes()) })
+	reg.GaugeFunc("trex_segment_reader_pins",
+		"Outstanding segment reader pins.", nil,
+		func() float64 { return float64(ss.PinsActive()) })
 }
