@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-parallel bench-pr3 bench-pr5 bench-pr6 bench-suite-log test-telemetry test-segment fuzz soak ci run-serve-autopilot
+.PHONY: all build test race vet bench bench-parallel bench-pr3 bench-pr5 bench-pr6 bench-qps bench-suite-log test-telemetry test-segment test-frontdoor fuzz soak ci run-serve-autopilot
 
 all: build test
 
@@ -53,6 +53,13 @@ bench-pr5:
 bench-pr6:
 	$(GO) run ./cmd/trexbench -exp pr6 -pr6out BENCH_PR6.json
 
+# bench-qps regenerates BENCH_PR7.json: the front door under open-loop
+# load — offered-vs-achieved QPS with p50/p99 latency curves for the
+# raw engine, admission control, and admission + the epoch-invalidated
+# result cache, over a skewed replay of the paper queries.
+bench-qps:
+	$(GO) run ./cmd/trexbench -exp pr7 -pr7out BENCH_PR7.json
+
 # bench-suite-log re-runs the full `go test -bench` sweep and captures
 # the raw tool output for local inspection. The log is generated on
 # demand and not committed; recorded results live in the BENCH_*.json
@@ -79,6 +86,18 @@ test-telemetry:
 	$(GO) test . -run 'TestTrace|TestShardCountersSumToGlobal|TestSlowLogCapturesExactly|TestMetricsMatchQueryTraffic|TestExplainTrace|TestQueryTelemetryAllocGuard' -count=1
 	$(GO) test . -run TestTelemetryMixedQueryMaterializeRace -race -count=1
 	$(GO) test ./internal/webapi -run 'TestMetrics|TestSlowlog|TestSearchResponseTrace' -count=1
+
+# test-frontdoor is the front-door gate: the admission/cache unit suite,
+# the engine-level deadline/cancellation/cache semantics (including the
+# race-detected no-stale-hit hammer), the /search 429/503 and cached
+# response handler tests, and the 200-case cached-vs-uncached oracle
+# sweep asserting byte-identical rankings.
+test-frontdoor:
+	$(GO) test ./internal/frontdoor -count=1
+	$(GO) test . -run 'TestQueryDeadline|TestQueryCancel|TestFrontDoor|TestResultCache|TestWriteInvalidates|TestAdmissionShedAndTimeout' -count=1
+	$(GO) test . -run TestNoStaleCacheHitUnderWrites -race -count=1
+	$(GO) test ./internal/webapi -run 'TestSearchShed|TestSearchQueueTimeout|TestSearchDeadline|TestSearchCached' -count=1
+	$(GO) test ./internal/oracle -run TestCachedDifferential200Cases -count=1
 
 # fuzz gives each codec fuzz target a short bounded run — long enough to
 # catch a decode panic regression, short enough for CI. The loop fails
@@ -109,9 +128,9 @@ soak:
 		$(GO) test ./internal/oracle -run '^TestSoak$$' -count=1 -v -timeout 120m
 
 # ci is the full pre-merge gate: build, vet, plain tests, race tests,
-# the segment-backend gate, the telemetry conformance gate, short codec
-# and segment-format fuzz runs.
-ci: build vet test race test-segment test-telemetry fuzz
+# the segment-backend gate, the telemetry conformance gate, the
+# front-door gate, short codec and segment-format fuzz runs.
+ci: build vet test race test-segment test-telemetry test-frontdoor fuzz
 
 # run-serve-autopilot is an end-to-end smoke test of the online
 # self-management daemon: generate a small corpus, load it, serve it

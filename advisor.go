@@ -141,7 +141,7 @@ func (e *Engine) selfManage(ctx context.Context, queries []WorkloadQuery, disk i
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		spec, err := e.measureWorkloadQuery(wq, lists)
+		spec, err := e.measureWorkloadQuery(ctx, wq, lists)
 		if err != nil {
 			if cfg.skipUntranslatable && spec == nil {
 				report.SkippedQueries = append(report.SkippedQueries, wq.NEXI)
@@ -230,7 +230,7 @@ func (e *Engine) selfManage(ctx context.Context, queries []WorkloadQuery, disk i
 // three strategies under the read lock, so queries keep flowing between
 // the two phases. A (nil, err) return means the query failed to
 // translate; (non-nil spec, err) is an internal error.
-func (e *Engine) measureWorkloadQuery(wq WorkloadQuery, lists map[string]listInfo) (*selfmanage.QuerySpec, error) {
+func (e *Engine) measureWorkloadQuery(ctx context.Context, wq WorkloadQuery, lists map[string]listInfo) (*selfmanage.QuerySpec, error) {
 	e.beginWrite()
 	tr, err := e.translateMode(wq.NEXI, translate.ModeVague)
 	if err != nil {
@@ -261,15 +261,15 @@ func (e *Engine) measureWorkloadQuery(wq WorkloadQuery, lists map[string]listInf
 	if k <= 0 {
 		k = DefaultK
 	}
-	_, eraStats, err := retrieval.ExhaustiveTopK(e.store, sids, terms, sc, k)
+	_, eraStats, err := retrieval.ExhaustiveTopKCtx(ctx, e.store, sids, terms, sc, k)
 	if err != nil {
 		return &selfmanage.QuerySpec{}, err
 	}
-	_, taStats, err := retrieval.TA(e.store, sids, terms, sc, k)
+	_, taStats, err := retrieval.TACtx(ctx, e.store, sids, terms, sc, k)
 	if err != nil {
 		return &selfmanage.QuerySpec{}, err
 	}
-	_, mergeStats, err := retrieval.Merge(e.store, sids, terms, k)
+	_, mergeStats, err := retrieval.MergeCtx(ctx, e.store, sids, terms, k)
 	if err != nil {
 		return &selfmanage.QuerySpec{}, err
 	}

@@ -17,6 +17,7 @@
 //	pr3        block-encoded vs row-per-entry list storage (see -pr3out)
 //	pr5        telemetry overhead: traces/metrics on vs off (see -pr5out)
 //	pr6        mmap'd segment read path vs the pager (see -pr6out)
+//	pr7        front door under load: admission + result cache (see -pr7out)
 //	all        everything above
 //
 // Usage:
@@ -47,6 +48,7 @@ func main() {
 	pr3Out := flag.String("pr3out", "", "write the pr3 storage comparison as JSON to this file")
 	pr5Out := flag.String("pr5out", "", "write the pr5 telemetry overhead report as JSON to this file")
 	pr6Out := flag.String("pr6out", "", "write the pr6 segment read-path report as JSON to this file")
+	pr7Out := flag.String("pr7out", "", "write the pr7 front-door load report as JSON to this file")
 	flag.Parse()
 	csvOut = *csvDir
 	if csvOut != "" {
@@ -127,6 +129,10 @@ func main() {
 	if run("pr6") {
 		ok = true
 		pr6(*scale, *pr6Out)
+	}
+	if run("pr7") {
+		ok = true
+		pr7(*scale, *pr7Out)
 	}
 	if !ok {
 		log.Fatalf("unknown experiment %q", *exp)
@@ -441,6 +447,42 @@ func pr6(scale float64, outPath string) {
 		}
 	}
 	fmt.Printf("mean TA speedup (pager/segment): %.2fx\n", rep.TASpeedupMean)
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("# wrote %s\n", outPath)
+	}
+	fmt.Println()
+}
+
+func pr7(scale float64, outPath string) {
+	fmt.Println("## Front door under load: admission + result cache (PR 7)")
+	rep, err := bench.PR7(scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serial capacity: %.0f qps (uncached, single-threaded replay)\n", rep.SerialCapacityQPS)
+	for _, v := range rep.Variants {
+		fmt.Printf("%-16s (inflight=%d queue=%d cache=%d)\n",
+			v.Name, v.MaxInflight, v.QueueDepth, v.CacheEntries)
+		fmt.Printf("  %10s %10s %9s %9s | %5s %5s %5s | %8s\n",
+			"offered", "achieved", "p50-ms", "p99-ms", "ok", "shed", "503", "hit-rate")
+		for _, p := range v.Points {
+			fmt.Printf("  %10.0f %10.0f %9.2f %9.2f | %5d %5d %5d | %7.0f%%\n",
+				p.OfferedQPS, p.AchievedQPS, p.P50MS, p.P99MS,
+				p.OK, p.Shed, p.QueueTimeouts, p.CacheHitRate*100)
+		}
+	}
 	if outPath != "" {
 		f, err := os.Create(outPath)
 		if err != nil {

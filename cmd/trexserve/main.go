@@ -15,6 +15,13 @@
 // /materialize (with -writes), /. Telemetry (the /metrics registry,
 // per-query traces and the slow-query log) is on by default; disable it
 // with -metrics=false, tune the slow log with -slowlog-threshold.
+//
+// The front door is off by default. -max-inflight bounds concurrent
+// query evaluation with a -queue deep admission queue (arrivals past it
+// get 429, waits past -queue-timeout get 503), -deadline bounds each
+// query's evaluation time (expiry returns a best-effort ranking marked
+// approximate), and -cache-entries enables a result cache invalidated
+// by every index write.
 package main
 
 import (
@@ -64,13 +71,29 @@ func main() {
 	metrics := flag.Bool("metrics", true, "enable telemetry: /metrics registry, per-query traces, /slowlog")
 	slowThreshold := flag.Duration("slowlog-threshold", trex.DefaultSlowQueryThreshold, "wall-time budget at or above which a query lands in /slowlog (0 disables recording)")
 	slowCapacity := flag.Int("slowlog-capacity", 128, "slow-query ring buffer size")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrently evaluating queries (0 = unbounded, no admission control)")
+	queue := flag.Int("queue", 0, "admission queue depth beyond -max-inflight; arrivals past it are shed with 429")
+	queueTimeout := flag.Duration("queue-timeout", 0, "max time a query may wait for an execution slot before a 503 (0 = 100ms default)")
+	deadline := flag.Duration("deadline", 0, "default per-query deadline; expiry returns the best-effort ranking marked approximate (0 = none)")
+	cacheEntries := flag.Int("cache-entries", 0, "result cache capacity in entries, invalidated by any index write (0 = no cache)")
 	flag.Parse()
 	if *dbPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+	var fd *trex.FrontDoorOptions
+	if *maxInflight > 0 || *deadline > 0 || *cacheEntries > 0 {
+		fd = &trex.FrontDoorOptions{
+			MaxInflight:  *maxInflight,
+			QueueDepth:   *queue,
+			QueueTimeout: *queueTimeout,
+			Deadline:     *deadline,
+			CacheEntries: *cacheEntries,
+		}
+	}
 	eng, err := trex.Open(*dbPath, &trex.Options{
 		SegmentLists: *segments,
+		FrontDoor:    fd,
 		Telemetry: &trex.TelemetryOptions{
 			Disabled:           !*metrics,
 			SlowQueryThreshold: *slowThreshold,

@@ -35,6 +35,7 @@ import (
 
 	"trex/internal/autopilot"
 	"trex/internal/corpus"
+	"trex/internal/frontdoor"
 	"trex/internal/index"
 	"trex/internal/score"
 	"trex/internal/segment"
@@ -87,6 +88,11 @@ type Options struct {
 	// Writes keep the pager path; uncommitted list changes are served
 	// from the trees until the next commit.
 	SegmentLists bool
+	// FrontDoor configures overload protection for the query path:
+	// bounded admission with load shedding, a default per-query
+	// deadline, and an epoch-invalidated result cache. Nil disables all
+	// of it; see FrontDoorOptions.
+	FrontDoor *FrontDoorOptions
 }
 
 // Engine is an opened TReX collection: storage, index tables and the
@@ -128,6 +134,19 @@ type Engine struct {
 	// I/O-attribution guard); nil when TelemetryOptions.Disabled. Set
 	// once before the engine is shared, then read-only.
 	met *engineMetrics
+	// Front door (see FrontDoorOptions): adm gates query concurrency
+	// and rcache memoizes rankings; both nil when disabled. fd keeps
+	// the configured options (for the default deadline).
+	adm    *frontdoor.Admission
+	rcache *frontdoor.Cache
+	fd     FrontDoorOptions
+	// writeEpoch is the result cache's invalidation key: seeded from
+	// the persisted list epoch at open, bumped by beginWrite under the
+	// exclusive lock — so every maintenance step (even one of many
+	// inside a single operation) moves the engine past all cached
+	// rankings. Cache fills read it under the shared lock, where it
+	// cannot move.
+	writeEpoch atomic.Uint64
 }
 
 // beginRead / endRead bracket a read-only operation (queries,
@@ -160,6 +179,12 @@ func (e *Engine) beginWrite() {
 	} else {
 		e.rw.Lock()
 	}
+	// Every exclusive step may change what queries would return: move
+	// the write epoch past every cached ranking. Bumping per step (not
+	// per operation) matters — multi-step maintenance releases rw
+	// between steps, and a cache fill in such a window must die at the
+	// next step, not survive until the operation commits.
+	e.writeEpoch.Add(1)
 	e.inflight.Wait()
 }
 func (e *Engine) endWrite() { e.rw.Unlock() }
@@ -325,6 +350,9 @@ func build(db *storage.DB, col *corpus.Collection, opts *Options) (*Engine, erro
 	}
 	eng := &Engine{db: db, store: store, sum: sum}
 	eng.initTelemetry(opts.Telemetry)
+	if err := eng.initFrontDoor(opts.FrontDoor); err != nil {
+		return nil, err
+	}
 	if err := eng.saveSummary(); err != nil {
 		return nil, err
 	}
@@ -357,6 +385,10 @@ func Open(path string, opts *Options) (*Engine, error) {
 	}
 	eng := &Engine{db: db, store: store}
 	eng.initTelemetry(opts.Telemetry)
+	if err := eng.initFrontDoor(opts.FrontDoor); err != nil {
+		db.Close()
+		return nil, err
+	}
 	if err := eng.loadSummary(); err != nil {
 		db.Close()
 		return nil, fmt.Errorf("trex: %s is not a TReX database: %w", path, err)

@@ -1,6 +1,7 @@
 package trex
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -41,6 +42,14 @@ type Explanation struct {
 
 // Explain analyzes a query without evaluating it.
 func (e *Engine) Explain(src string) (*Explanation, error) {
+	return e.ExplainCtx(context.Background(), src)
+}
+
+// ExplainCtx is Explain with a caller context. Analysis is cheap (no
+// retrieval runs), so the context is only consulted between phases: a
+// cancellation or expired deadline aborts with the context's error
+// rather than producing a partial explanation.
+func (e *Engine) ExplainCtx(ctx context.Context, src string) (*Explanation, error) {
 	e.beginRead()
 	defer e.endRead()
 
@@ -60,6 +69,9 @@ func (e *Engine) Explain(src string) (*Explanation, error) {
 		span = trc.StartSpan("analyze")
 	}
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	sids, terms := flatten(tr)
@@ -94,6 +106,9 @@ func (e *Engine) Explain(src string) (*Explanation, error) {
 		return nil, err
 	}
 	if ex.MethodAtLargeK, err = e.pick(sids, terms, 1_000_000); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	for _, kind := range []index.ListKind{index.KindRPL, index.KindERPL} {

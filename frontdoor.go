@@ -1,0 +1,120 @@
+package trex
+
+import (
+	"time"
+
+	"trex/internal/frontdoor"
+)
+
+// FrontDoorOptions configures the engine's high-QPS front door: bounded
+// admission (concurrency cap + waiting room + load shedding), a default
+// per-query deadline, and an epoch-invalidated result cache. The zero
+// value (and a nil pointer in Options) disables all three — the query
+// path then pays only nil checks.
+type FrontDoorOptions struct {
+	// MaxInflight caps concurrently executing queries; arrivals beyond
+	// it wait in the bounded queue. 0 disables admission control
+	// entirely (unbounded concurrency, the pre-front-door behavior).
+	MaxInflight int
+	// QueueDepth is the waiting room beyond MaxInflight. An arrival
+	// finding it full is rejected immediately with
+	// frontdoor.ErrShed (HTTP 429 from /search).
+	QueueDepth int
+	// QueueTimeout bounds a queued query's wait; waiting it out returns
+	// frontdoor.ErrQueueTimeout (HTTP 503 from /search). <= 0 uses
+	// frontdoor.DefaultQueueTimeout.
+	QueueTimeout time.Duration
+	// Deadline is the per-query evaluation budget applied when the
+	// caller's context carries no deadline of its own. When it expires
+	// the strategies stop at the next block boundary and the query
+	// returns its best-effort ranking with Result.Approximate set.
+	// 0 = no default deadline.
+	Deadline time.Duration
+	// CacheEntries bounds the result cache (number of cached rankings,
+	// sharded LRU). 0 disables caching. Entries are keyed by the query
+	// and every ranking-relevant option, and invalidated atomically by
+	// any index write via the engine write epoch.
+	CacheEntries int
+}
+
+// initFrontDoor wires the admission gate and result cache per opts and
+// seeds the write epoch from the persisted list epoch (PR 6): cache
+// keys start from the on-disk epoch, and every exclusive maintenance
+// step bumps the in-memory epoch from there. Called once from
+// build/Open before the engine is shared.
+func (e *Engine) initFrontDoor(opts *FrontDoorOptions) error {
+	ep, err := e.store.ListEpoch()
+	if err != nil {
+		return err
+	}
+	e.writeEpoch.Store(ep)
+	if opts == nil {
+		return nil
+	}
+	e.fd = *opts
+	if opts.MaxInflight > 0 {
+		e.adm = frontdoor.NewAdmission(frontdoor.AdmissionOptions{
+			MaxInflight:  opts.MaxInflight,
+			QueueDepth:   opts.QueueDepth,
+			QueueTimeout: opts.QueueTimeout,
+		})
+	}
+	if opts.CacheEntries > 0 {
+		e.rcache = frontdoor.NewCache(opts.CacheEntries)
+	}
+	if m := e.met; m != nil && (e.adm != nil || e.rcache != nil) {
+		registerFrontdoorMetrics(m, e.adm, e.rcache)
+	}
+	return nil
+}
+
+// Admission exposes the admission gate (nil when MaxInflight is 0).
+// Read-only for status; tests use it to occupy slots deterministically.
+func (e *Engine) Admission() *frontdoor.Admission { return e.adm }
+
+// ResultCache exposes the result cache (nil when CacheEntries is 0).
+func (e *Engine) ResultCache() *frontdoor.Cache { return e.rcache }
+
+// WriteEpoch returns the engine's current write epoch: seeded from the
+// persisted list epoch, bumped by every exclusive maintenance step
+// (each Materialize/AddDocuments/selfManage sub-step), and the key that
+// decides whether a cached result is still current.
+func (e *Engine) WriteEpoch() uint64 { return e.writeEpoch.Load() }
+
+// registerFrontdoorMetrics exposes the front door's counters as func
+// metrics in the trex_* registry, mirroring registerStorageMetrics: the
+// admission gate and cache maintain their own atomics, so the scrape
+// path reads them instead of double-counting. The queue-wait histogram
+// is the one instrument the query path feeds directly.
+func registerFrontdoorMetrics(m *engineMetrics, adm *frontdoor.Admission, cache *frontdoor.Cache) {
+	reg := m.reg
+	if adm != nil {
+		m.queueWait = reg.Histogram("trex_frontdoor_queue_wait_seconds",
+			"Time admitted queries spent waiting for an execution slot.", nil, nil)
+		reg.CounterFunc("trex_frontdoor_admitted_total",
+			"Queries that got an execution slot.", nil, adm.Admitted)
+		reg.CounterFunc("trex_frontdoor_shed_total",
+			"Queries rejected immediately because the admission queue was full.", nil, adm.Shed)
+		reg.CounterFunc("trex_frontdoor_queue_timeouts_total",
+			"Queries that waited out the admission queue timeout.", nil, adm.TimedOut)
+		reg.GaugeFunc("trex_frontdoor_inflight",
+			"Queries currently holding an execution slot.", nil,
+			func() float64 { return float64(adm.InFlight()) })
+		reg.GaugeFunc("trex_frontdoor_queued",
+			"Queries currently waiting for an execution slot.", nil,
+			func() float64 { return float64(adm.Queued()) })
+	}
+	if cache != nil {
+		reg.CounterFunc("trex_frontdoor_cache_hits_total",
+			"Queries served from the result cache.", nil, cache.Hits)
+		reg.CounterFunc("trex_frontdoor_cache_misses_total",
+			"Result-cache lookups that missed (including invalidations).", nil, cache.Misses)
+		reg.CounterFunc("trex_frontdoor_cache_evictions_total",
+			"Cached results dropped by LRU pressure.", nil, cache.Evictions)
+		reg.CounterFunc("trex_frontdoor_cache_invalidations_total",
+			"Cached results dropped because a write moved the epoch past them.", nil, cache.Invalidations)
+		reg.GaugeFunc("trex_frontdoor_cache_entries",
+			"Results currently cached.", nil,
+			func() float64 { return float64(cache.Len()) })
+	}
+}

@@ -1,0 +1,281 @@
+package trex
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"trex/internal/corpus"
+	"trex/internal/frontdoor"
+	"trex/internal/index"
+)
+
+const fdQuery = `//article//sec[about(., ontologies case study)]`
+
+// TestQueryDeadlineExpiredApproximate: an already-expired deadline is
+// the degenerate budget — every strategy must stop at its first poll
+// point and return a best-effort (possibly empty) ranking marked
+// Approximate instead of an error, regardless of corpus size.
+func TestQueryDeadlineExpiredApproximate(t *testing.T) {
+	eng := testEngine(t, 30, 42)
+	if _, err := eng.Materialize(fdQuery, index.KindRPL, index.KindERPL); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	for _, m := range []Method{MethodERA, MethodTA, MethodNRA, MethodMerge} {
+		res, err := eng.QueryCtx(ctx, fdQuery, 5, m)
+		if err != nil {
+			t.Fatalf("%v: expired deadline returned error %v, want approximate result", m, err)
+		}
+		if !res.Approximate {
+			t.Fatalf("%v: expired deadline did not mark the result approximate", m)
+		}
+	}
+	// Without a deadline the same queries are exact.
+	for _, m := range []Method{MethodERA, MethodTA, MethodNRA, MethodMerge} {
+		res, err := eng.Query(fdQuery, 5, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Approximate {
+			t.Fatalf("%v: unbounded query marked approximate", m)
+		}
+	}
+}
+
+// TestQueryCancelPropagates: cancellation (unlike deadline expiry) is
+// the caller walking away — it aborts with the context's error, never a
+// partial result.
+func TestQueryCancelPropagates(t *testing.T) {
+	eng := testEngine(t, 20, 7)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.QueryCtx(ctx, fdQuery, 5, MethodERA); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestFrontDoorDefaultDeadline: the configured default applies only
+// when the caller brought no deadline of their own.
+func TestFrontDoorDefaultDeadline(t *testing.T) {
+	eng := testEngineOpts(t, 20, 7, &Options{
+		FrontDoor: &FrontDoorOptions{Deadline: time.Nanosecond},
+	})
+	res, err := eng.Query(fdQuery, 5, MethodERA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Approximate {
+		t.Fatal("1ns default deadline did not produce an approximate result")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	res, err = eng.QueryCtx(ctx, fdQuery, 5, MethodERA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Approximate {
+		t.Fatal("caller's generous deadline was overridden by the tiny default")
+	}
+}
+
+// TestResultCacheHitIdentical: a cache hit returns byte-identical
+// answers, is marked Cached, and NoCache bypasses the cache entirely.
+func TestResultCacheHitIdentical(t *testing.T) {
+	eng := testEngineOpts(t, 30, 42, &Options{
+		FrontDoor: &FrontDoorOptions{CacheEntries: 64},
+	})
+	opts := QueryOptions{K: 5, Method: MethodERA}
+	fill, err := eng.QueryOpts(fdQuery, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fill.Cached {
+		t.Fatal("first query claims cached")
+	}
+	hit, err := eng.QueryOpts(fdQuery, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.Cached {
+		t.Fatal("second identical query not served from cache")
+	}
+	if !reflect.DeepEqual(fill.Answers, hit.Answers) {
+		t.Fatalf("cached answers differ:\nfill: %+v\nhit:  %+v", fill.Answers, hit.Answers)
+	}
+	bypass, err := eng.QueryOpts(fdQuery, QueryOptions{K: 5, Method: MethodERA, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bypass.Cached {
+		t.Fatal("NoCache query served from cache")
+	}
+	if !reflect.DeepEqual(fill.Answers, bypass.Answers) {
+		t.Fatal("NoCache ranking differs from cached ranking")
+	}
+	if c := eng.ResultCache(); c.Hits() == 0 {
+		t.Fatal("cache counted no hits")
+	}
+}
+
+// TestWriteInvalidatesResultCache: any index write bumps the engine's
+// write epoch, so entries filled before it can never be served after.
+func TestWriteInvalidatesResultCache(t *testing.T) {
+	full := corpus.GenerateIEEE(40, 42)
+	eng, err := CreateMemory(&corpus.Collection{Docs: full.Docs[:25]}, &Options{
+		FrontDoor: &FrontDoorOptions{CacheEntries: 64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	opts := QueryOptions{K: 0, Method: MethodERA}
+	if _, err := eng.QueryOpts(fdQuery, opts); err != nil { // fill
+		t.Fatal(err)
+	}
+	epochBefore := eng.WriteEpoch()
+
+	// Materialize is a write: it must flip the epoch even though it does
+	// not change this query's ERA ranking.
+	if _, err := eng.Materialize(fdQuery, index.KindRPL); err != nil {
+		t.Fatal(err)
+	}
+	if eng.WriteEpoch() == epochBefore {
+		t.Fatal("materialize did not advance the write epoch")
+	}
+	res, err := eng.QueryOpts(fdQuery, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cached {
+		t.Fatal("stale cache entry served after materialize")
+	}
+
+	// A real content write: rankings after it must match an uncached
+	// evaluation, not the pre-write fill.
+	if _, err := eng.AddDocuments(full.Docs[25:]); err != nil {
+		t.Fatal(err)
+	}
+	post, err := eng.QueryOpts(fdQuery, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if post.Cached {
+		t.Fatal("stale cache entry served after AddDocuments")
+	}
+	ref, err := eng.QueryOpts(fdQuery, QueryOptions{K: 0, Method: MethodERA, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(post.Answers, ref.Answers) {
+		t.Fatal("post-write cached ranking differs from uncached evaluation")
+	}
+	if inv := eng.ResultCache().Invalidations(); inv == 0 {
+		t.Fatal("cache counted no epoch invalidations")
+	}
+}
+
+// TestAdmissionShedAndTimeout: with the only slot pinned, a depth-0
+// queue sheds immediately and a depth-1 queue times out; releasing the
+// slot restores service.
+func TestAdmissionShedAndTimeout(t *testing.T) {
+	shedEng := testEngineOpts(t, 20, 7, &Options{
+		FrontDoor: &FrontDoorOptions{MaxInflight: 1, QueueDepth: 0},
+	})
+	release, _, err := shedEng.Admission().Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shedEng.Query(fdQuery, 5, MethodERA); !errors.Is(err, frontdoor.ErrShed) {
+		t.Fatalf("err = %v, want ErrShed", err)
+	}
+	release()
+	if _, err := shedEng.Query(fdQuery, 5, MethodERA); err != nil {
+		t.Fatalf("query after release: %v", err)
+	}
+
+	toEng := testEngineOpts(t, 20, 7, &Options{
+		FrontDoor: &FrontDoorOptions{MaxInflight: 1, QueueDepth: 1, QueueTimeout: 10 * time.Millisecond},
+	})
+	release, _, err = toEng.Admission().Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	if _, err := toEng.Query(fdQuery, 5, MethodERA); !errors.Is(err, frontdoor.ErrQueueTimeout) {
+		t.Fatalf("err = %v, want ErrQueueTimeout", err)
+	}
+}
+
+// TestNoStaleCacheHitUnderWrites hammers cached queries from several
+// goroutines while a writer keeps flipping the epoch (AddDocuments
+// changes rankings, Materialize changes lists). After every write the
+// writer asserts the cached path agrees with an uncached evaluation —
+// under -race this also proves the epoch/lock protocol has no windows.
+func TestNoStaleCacheHitUnderWrites(t *testing.T) {
+	full := corpus.GenerateIEEE(40, 11)
+	eng, err := CreateMemory(&corpus.Collection{Docs: full.Docs[:20]}, &Options{
+		FrontDoor: &FrontDoorOptions{CacheEntries: 128},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	opts := QueryOptions{K: 0, Method: MethodAuto}
+	done := make(chan struct{})
+	errs := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			for {
+				select {
+				case <-done:
+					errs <- nil
+					return
+				default:
+				}
+				if _, err := eng.QueryOpts(fdQuery, opts); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+
+	rest := full.Docs[20:]
+	for len(rest) > 0 {
+		n := 4
+		if n > len(rest) {
+			n = len(rest)
+		}
+		if _, err := eng.AddDocuments(rest[:n]); err != nil {
+			t.Fatal(err)
+		}
+		rest = rest[n:]
+		if _, err := eng.Materialize(fdQuery, index.KindRPL, index.KindERPL); err != nil {
+			t.Fatal(err)
+		}
+		cached, err := eng.QueryOpts(fdQuery, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := eng.QueryOpts(fdQuery, QueryOptions{K: 0, Method: MethodAuto, NoCache: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(cached.Answers, ref.Answers) {
+			t.Fatalf("stale ranking after write: cached %d answers, uncached %d",
+				len(cached.Answers), len(ref.Answers))
+		}
+	}
+	close(done)
+	for i := 0; i < 4; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("reader: %v", err)
+		}
+	}
+}

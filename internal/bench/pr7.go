@@ -1,0 +1,306 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"trex"
+	"trex/internal/corpus"
+	"trex/internal/frontdoor"
+	"trex/internal/index"
+)
+
+// PR7 measures the front door under closed-loop load: a skewed replay of
+// the paper's IEEE queries is offered at multiples of the engine's serial
+// capacity against three engine variants — no front door, admission
+// control, and admission control plus the epoch-invalidated result
+// cache. Latency is measured from each request's *scheduled* arrival
+// (open-loop), so queueing delay past the saturation knee is captured
+// instead of hidden by coordinated omission. `make bench-qps` serializes
+// the report to BENCH_PR7.json.
+
+// PR7Point is one (variant, offered-rate) measurement.
+type PR7Point struct {
+	OfferedQPS  float64 `json:"offeredQps"`
+	AchievedQPS float64 `json:"achievedQps"`
+	// P50MS/P99MS are percentiles of successful requests' latency from
+	// scheduled arrival to completion, in milliseconds.
+	P50MS float64 `json:"p50Ms"`
+	P99MS float64 `json:"p99Ms"`
+	OK    int     `json:"ok"`
+	// Shed/QueueTimeouts are requests the admission layer rejected (fast
+	// 429/503 at the HTTP layer); Errors is anything else.
+	Shed          int `json:"shed"`
+	QueueTimeouts int `json:"queueTimeouts"`
+	Errors        int `json:"errors"`
+	// CacheHitRate is the result cache's hit fraction during this point
+	// (0 on cacheless variants).
+	CacheHitRate float64 `json:"cacheHitRate"`
+}
+
+// PR7Variant is one engine configuration's offered-rate curve.
+type PR7Variant struct {
+	Name         string     `json:"name"`
+	MaxInflight  int        `json:"maxInflight"`
+	QueueDepth   int        `json:"queueDepth"`
+	CacheEntries int        `json:"cacheEntries"`
+	Points       []PR7Point `json:"points"`
+}
+
+// PR7Report is the full front-door load comparison.
+type PR7Report struct {
+	Corpus struct {
+		Style string `json:"style"`
+		Docs  int    `json:"docs"`
+		Seed  int64  `json:"seed"`
+	} `json:"corpus"`
+	Workload struct {
+		// Requests is the replay length per measured point; Weights is
+		// the skew (query id -> fraction of traffic).
+		Requests int                `json:"requests"`
+		K        int                `json:"k"`
+		Weights  map[string]float64 `json:"weights"`
+	} `json:"workload"`
+	// SerialCapacityQPS is the raw engine's single-threaded throughput on
+	// the replay; offered rates are multiples of it.
+	SerialCapacityQPS float64      `json:"serialCapacityQps"`
+	Variants          []PR7Variant `json:"variants"`
+}
+
+// pr7Weights is the replay skew: a hot query dominating, a warm tier,
+// and a tail — the regime a result cache is built for.
+var pr7Weights = map[string]float64{
+	"202": 0.50,
+	"203": 0.25,
+	"270": 0.15,
+	"233": 0.10,
+}
+
+const (
+	pr7K        = 10
+	pr7Requests = 400
+)
+
+// pr7Multipliers are the offered rates as fractions of serial capacity:
+// below, at, and past the saturation knee.
+var pr7Multipliers = []float64{0.5, 1, 2, 4}
+
+// PR7 builds the three engine variants over one IEEE corpus and sweeps
+// the offered rate against each.
+func PR7(scale float64) (*PR7Report, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	docs := int(float64(DefaultIEEEDocs) * scale)
+	col := corpus.GenerateIEEE(docs, DefaultSeed)
+
+	rep := &PR7Report{}
+	rep.Corpus.Style = "ieee"
+	rep.Corpus.Docs = docs
+	rep.Corpus.Seed = DefaultSeed
+	rep.Workload.Requests = pr7Requests
+	rep.Workload.K = pr7K
+	rep.Workload.Weights = pr7Weights
+
+	reqs := pr7Replay(pr7Requests)
+
+	// Admission sizing: slots for the evaluation parallelism the box has,
+	// a short queue to ride bursts, and a timeout that bounds queue wait
+	// to roughly the p99 budget the shed curve should hold.
+	variants := []struct {
+		name string
+		fd   *trex.FrontDoorOptions
+	}{
+		{"raw", nil},
+		{"admission", &trex.FrontDoorOptions{
+			MaxInflight: 4, QueueDepth: 16, QueueTimeout: 100 * time.Millisecond,
+		}},
+		{"admission+cache", &trex.FrontDoorOptions{
+			MaxInflight: 4, QueueDepth: 16, QueueTimeout: 100 * time.Millisecond,
+			CacheEntries: 1024,
+		}},
+	}
+
+	var capacity float64
+	for _, v := range variants {
+		eng, err := trex.CreateMemory(col, &trex.Options{FrontDoor: v.fd})
+		if err != nil {
+			return nil, fmt.Errorf("bench: pr7 %s engine: %w", v.name, err)
+		}
+		for id := range pr7Weights {
+			q := QueryByID(id)
+			if _, err := eng.Materialize(q.NEXI, index.KindRPL, index.KindERPL); err != nil {
+				eng.Close()
+				return nil, fmt.Errorf("bench: pr7 materialize %s: %w", id, err)
+			}
+		}
+		if v.fd == nil {
+			// Serial capacity on the raw engine: one warmup pass, then a
+			// timed pass with no concurrency and no cache.
+			if capacity, err = pr7SerialCapacity(eng, reqs); err != nil {
+				eng.Close()
+				return nil, err
+			}
+			rep.SerialCapacityQPS = capacity
+		}
+
+		pv := PR7Variant{Name: v.name}
+		if v.fd != nil {
+			pv.MaxInflight = v.fd.MaxInflight
+			pv.QueueDepth = v.fd.QueueDepth
+			pv.CacheEntries = v.fd.CacheEntries
+		}
+		for _, mult := range pr7Multipliers {
+			pt, err := pr7RunPoint(eng, reqs, capacity*mult)
+			if err != nil {
+				eng.Close()
+				return nil, err
+			}
+			pv.Points = append(pv.Points, pt)
+		}
+		rep.Variants = append(rep.Variants, pv)
+		eng.Close()
+	}
+	return rep, nil
+}
+
+type pr7Request struct {
+	nexi string
+	k    int
+}
+
+// pr7Replay draws the deterministic skewed request sequence every
+// variant replays (same seed — identical traffic).
+func pr7Replay(n int) []pr7Request {
+	type slot struct {
+		nexi   string
+		cumul  float64
+		weight float64
+	}
+	var slots []slot
+	var cumul float64
+	// Deterministic iteration order over the weight map.
+	var ids []string
+	for id := range pr7Weights {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		cumul += pr7Weights[id]
+		slots = append(slots, slot{nexi: QueryByID(id).NEXI, cumul: cumul, weight: pr7Weights[id]})
+	}
+	rng := rand.New(rand.NewSource(DefaultSeed))
+	reqs := make([]pr7Request, n)
+	for i := range reqs {
+		r := rng.Float64() * cumul
+		for _, s := range slots {
+			if r <= s.cumul {
+				reqs[i] = pr7Request{nexi: s.nexi, k: pr7K}
+				break
+			}
+		}
+	}
+	return reqs
+}
+
+// pr7SerialCapacity times one uncached single-threaded replay pass
+// (after a warmup pass) and returns requests/second.
+func pr7SerialCapacity(eng *trex.Engine, reqs []pr7Request) (float64, error) {
+	for pass := 0; pass < 2; pass++ {
+		start := time.Now()
+		for _, r := range reqs {
+			if _, err := eng.QueryOpts(r.nexi, trex.QueryOptions{K: r.k, NoCache: true}); err != nil {
+				return 0, fmt.Errorf("bench: pr7 serial pass: %w", err)
+			}
+		}
+		if pass == 1 {
+			return float64(len(reqs)) / time.Since(start).Seconds(), nil
+		}
+	}
+	return 0, nil
+}
+
+// pr7RunPoint offers the replay open-loop at the given rate: request i
+// is launched at its scheduled arrival time and its latency measured
+// from that schedule, so time spent waiting behind a saturated engine
+// counts against it.
+func pr7RunPoint(eng *trex.Engine, reqs []pr7Request, offered float64) (PR7Point, error) {
+	pt := PR7Point{OfferedQPS: offered}
+	if offered <= 0 {
+		return pt, fmt.Errorf("bench: pr7 offered rate %f", offered)
+	}
+	n := len(reqs)
+	lats := make([]time.Duration, n)
+	outcomes := make([]int8, n)
+
+	var hits0, misses0 uint64
+	if c := eng.ResultCache(); c != nil {
+		hits0, misses0 = c.Hits(), c.Misses()
+	}
+
+	var wg sync.WaitGroup
+	interval := time.Duration(float64(time.Second) / offered)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		at := start.Add(time.Duration(i) * interval)
+		if d := time.Until(at); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func(i int, at time.Time) {
+			defer wg.Done()
+			_, err := eng.QueryOpts(reqs[i].nexi, trex.QueryOptions{K: reqs[i].k})
+			lats[i] = time.Since(at)
+			switch {
+			case err == nil:
+				outcomes[i] = 0
+			case errors.Is(err, frontdoor.ErrShed):
+				outcomes[i] = 1
+			case errors.Is(err, frontdoor.ErrQueueTimeout):
+				outcomes[i] = 2
+			default:
+				outcomes[i] = 3
+			}
+		}(i, at)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var okLats []time.Duration
+	for i := range outcomes {
+		switch outcomes[i] {
+		case 0:
+			pt.OK++
+			okLats = append(okLats, lats[i])
+		case 1:
+			pt.Shed++
+		case 2:
+			pt.QueueTimeouts++
+		default:
+			pt.Errors++
+		}
+	}
+	pt.AchievedQPS = float64(pt.OK) / elapsed.Seconds()
+	sort.Slice(okLats, func(i, j int) bool { return okLats[i] < okLats[j] })
+	pt.P50MS = pr7PercentileMS(okLats, 0.50)
+	pt.P99MS = pr7PercentileMS(okLats, 0.99)
+	if c := eng.ResultCache(); c != nil {
+		hits, misses := c.Hits()-hits0, c.Misses()-misses0
+		if total := hits + misses; total > 0 {
+			pt.CacheHitRate = float64(hits) / float64(total)
+		}
+	}
+	return pt, nil
+}
+
+func pr7PercentileMS(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return float64(sorted[idx].Nanoseconds()) / 1e6
+}

@@ -1,0 +1,160 @@
+// Package frontdoor protects the engine from overload: a bounded
+// admission queue with load shedding (so a traffic spike degrades into
+// fast rejections instead of unbounded latency), and an epoch-keyed
+// result cache that serves repeated queries without re-evaluation while
+// any index write invalidates every cached ranking atomically.
+//
+// The package is deliberately engine-agnostic — it deals in slots,
+// epochs and opaque values — so the admission and caching policies can
+// be tested exhaustively without building an index. The engine wires it
+// into the query path (trex.FrontDoorOptions) and the web layer maps
+// ErrShed / ErrQueueTimeout to HTTP 429 / 503.
+package frontdoor
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+var (
+	// ErrShed rejects a query at the door: every execution slot is busy
+	// and the waiting room is full. The caller should retry after a
+	// backoff (HTTP 429).
+	ErrShed = errors.New("frontdoor: query shed, admission queue full")
+	// ErrQueueTimeout rejects a query that waited in the admission queue
+	// longer than the configured bound without getting a slot (HTTP 503).
+	ErrQueueTimeout = errors.New("frontdoor: queue wait exceeded admission timeout")
+)
+
+// DefaultQueueTimeout bounds queue waits when no timeout is configured.
+// Past this point the client is better served by a fast failure it can
+// retry against a less loaded replica than by a slot it may never get.
+const DefaultQueueTimeout = 100 * time.Millisecond
+
+// AdmissionOptions configures the bounded admission queue.
+type AdmissionOptions struct {
+	// MaxInflight is the number of queries executing concurrently
+	// (minimum 1).
+	MaxInflight int
+	// QueueDepth is the number of queries allowed to wait for a slot
+	// beyond MaxInflight; an arrival finding the queue full is shed
+	// immediately (0 = no waiting room, shed as soon as slots are busy).
+	QueueDepth int
+	// QueueTimeout bounds how long a queued query waits before giving up
+	// (<= 0 uses DefaultQueueTimeout).
+	QueueTimeout time.Duration
+}
+
+// Admission is a bounded concurrency gate: at most MaxInflight holders,
+// at most QueueDepth waiters, every waiter bounded by QueueTimeout.
+// All counters are atomics so the telemetry registry can read them at
+// scrape time without a lock.
+type Admission struct {
+	slots        chan struct{}
+	queueDepth   int64
+	queueTimeout time.Duration
+
+	queued   atomic.Int64
+	inflight atomic.Int64
+	admitted atomic.Uint64
+	shed     atomic.Uint64
+	timedOut atomic.Uint64
+}
+
+// NewAdmission builds the gate. MaxInflight < 1 is clamped to 1.
+func NewAdmission(o AdmissionOptions) *Admission {
+	if o.MaxInflight < 1 {
+		o.MaxInflight = 1
+	}
+	if o.QueueDepth < 0 {
+		o.QueueDepth = 0
+	}
+	if o.QueueTimeout <= 0 {
+		o.QueueTimeout = DefaultQueueTimeout
+	}
+	return &Admission{
+		slots:        make(chan struct{}, o.MaxInflight),
+		queueDepth:   int64(o.QueueDepth),
+		queueTimeout: o.QueueTimeout,
+	}
+}
+
+// Acquire claims an execution slot, waiting in the bounded queue when
+// all slots are busy. On success it returns the release function (call
+// exactly once, when the query is done) and the time spent queued. On
+// failure the error is ErrShed (queue full, immediate), ErrQueueTimeout
+// (waited out the bound, or the caller's deadline expired while
+// queued), or the context's own error for a cancellation.
+func (a *Admission) Acquire(ctx context.Context) (release func(), wait time.Duration, err error) {
+	// Fast path: a free slot, no queueing, no timer.
+	select {
+	case a.slots <- struct{}{}:
+		a.admitted.Add(1)
+		a.inflight.Add(1)
+		return a.release, 0, nil
+	default:
+	}
+	// Slots busy: join the bounded queue or shed. The counter is the
+	// queue — admission order among waiters is whatever the runtime
+	// wakes first, which is fine; the bound is what matters.
+	if a.queued.Add(1) > a.queueDepth {
+		a.queued.Add(-1)
+		a.shed.Add(1)
+		return nil, 0, ErrShed
+	}
+	start := time.Now()
+	timer := time.NewTimer(a.queueTimeout)
+	defer timer.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		a.queued.Add(-1)
+		a.admitted.Add(1)
+		a.inflight.Add(1)
+		return a.release, time.Since(start), nil
+	case <-timer.C:
+		a.queued.Add(-1)
+		a.timedOut.Add(1)
+		return nil, time.Since(start), ErrQueueTimeout
+	case <-ctx.Done():
+		a.queued.Add(-1)
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			// The query's own deadline ran out while it waited — same
+			// outcome as the queue timeout, and the same retry advice.
+			a.timedOut.Add(1)
+			return nil, time.Since(start), ErrQueueTimeout
+		}
+		return nil, time.Since(start), ctx.Err()
+	}
+}
+
+func (a *Admission) release() {
+	a.inflight.Add(-1)
+	<-a.slots
+}
+
+// MaxInflight returns the configured concurrency bound.
+func (a *Admission) MaxInflight() int { return cap(a.slots) }
+
+// QueueDepth returns the configured waiting-room size.
+func (a *Admission) QueueDepth() int { return int(a.queueDepth) }
+
+// QueueTimeout returns the configured queue-wait bound.
+func (a *Admission) QueueTimeout() time.Duration { return a.queueTimeout }
+
+// InFlight is the number of slots currently held.
+func (a *Admission) InFlight() int64 { return a.inflight.Load() }
+
+// Queued is the number of queries currently waiting for a slot.
+func (a *Admission) Queued() int64 { return a.queued.Load() }
+
+// Admitted counts queries that got a slot.
+func (a *Admission) Admitted() uint64 { return a.admitted.Load() }
+
+// Shed counts queries rejected immediately because the queue was full.
+func (a *Admission) Shed() uint64 { return a.shed.Load() }
+
+// TimedOut counts queries that waited out the queue timeout (including
+// deadlines that expired while queued).
+func (a *Admission) TimedOut() uint64 { return a.timedOut.Load() }

@@ -1,0 +1,158 @@
+package frontdoor
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// cacheShards splits the result cache into independently locked shards
+// (keys are spread by FNV-1a) so concurrent readers on a hot workload
+// rarely contend on one mutex.
+const cacheShards = 16
+
+// Cache is a sharded LRU of query results keyed by (key, epoch). The
+// epoch is the engine's write epoch: every entry remembers the epoch it
+// was filled under, and Get returns it only while that epoch is still
+// current. Epochs only grow, so a mismatched entry can never become
+// valid again — Get drops it on sight (counted as an invalidation).
+//
+// The engine fills and reads the cache under its read lock, and bumps
+// the epoch under its write lock, which yields the crucial invariant
+// without any cache-wide flush: a fill observed epoch E while holding
+// the read lock, so the entry is exactly as fresh as E — and any write
+// that could change rankings has, by construction, moved the engine
+// past E before the next reader looks.
+type Cache struct {
+	shards   [cacheShards]cacheShard
+	perShard int
+
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	evictions     atomic.Uint64
+	invalidations atomic.Uint64
+}
+
+type cacheShard struct {
+	mu  sync.Mutex
+	lru *list.List
+	m   map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key   string
+	epoch uint64
+	value any
+}
+
+// NewCache builds a cache holding roughly `entries` results in total
+// (rounded up to a multiple of the shard count; entries <= 0 gets a
+// small default).
+func NewCache(entries int) *Cache {
+	if entries <= 0 {
+		entries = 256
+	}
+	per := (entries + cacheShards - 1) / cacheShards
+	c := &Cache{perShard: per}
+	for i := range c.shards {
+		c.shards[i].lru = list.New()
+		c.shards[i].m = make(map[string]*list.Element, per)
+	}
+	return c
+}
+
+// shard picks the key's shard by FNV-1a.
+func (c *Cache) shard(key string) *cacheShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &c.shards[h%cacheShards]
+}
+
+// Get returns the value cached under key iff it was filled at the given
+// epoch. An entry from an older epoch is deleted on the spot: a write
+// has happened since the fill and the ranking may have changed.
+func (c *Cache) Get(key string, epoch uint64) (any, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	el, ok := s.m[key]
+	if !ok {
+		s.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false
+	}
+	ent := el.Value.(*cacheEntry)
+	if ent.epoch != epoch {
+		s.lru.Remove(el)
+		delete(s.m, key)
+		s.mu.Unlock()
+		c.invalidations.Add(1)
+		c.misses.Add(1)
+		return nil, false
+	}
+	s.lru.MoveToFront(el)
+	// Copy the value before unlocking: Put may overwrite ent.value in
+	// place when a newer epoch replaces the entry.
+	v := ent.value
+	s.mu.Unlock()
+	c.hits.Add(1)
+	return v, true
+}
+
+// Put stores the value under (key, epoch), evicting the shard's least
+// recently used entry when full. A concurrent fill of the same key at
+// the same epoch keeps the existing entry; a fill at a newer epoch
+// replaces it.
+func (c *Cache) Put(key string, epoch uint64, v any) {
+	s := c.shard(key)
+	s.mu.Lock()
+	if el, ok := s.m[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		if ent.epoch != epoch {
+			ent.epoch = epoch
+			ent.value = v
+		}
+		s.lru.MoveToFront(el)
+		s.mu.Unlock()
+		return
+	}
+	evicted := 0
+	for s.lru.Len() >= c.perShard {
+		back := s.lru.Back()
+		s.lru.Remove(back)
+		delete(s.m, back.Value.(*cacheEntry).key)
+		evicted++
+	}
+	s.m[key] = s.lru.PushFront(&cacheEntry{key: key, epoch: epoch, value: v})
+	s.mu.Unlock()
+	if evicted > 0 {
+		c.evictions.Add(uint64(evicted))
+	}
+}
+
+// Len is the number of entries currently cached (any epoch).
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.lru.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Hits counts Gets served from the cache.
+func (c *Cache) Hits() uint64 { return c.hits.Load() }
+
+// Misses counts Gets that found nothing usable (including
+// invalidations).
+func (c *Cache) Misses() uint64 { return c.misses.Load() }
+
+// Evictions counts entries dropped by LRU pressure.
+func (c *Cache) Evictions() uint64 { return c.evictions.Load() }
+
+// Invalidations counts entries dropped because their epoch was stale.
+func (c *Cache) Invalidations() uint64 { return c.invalidations.Load() }

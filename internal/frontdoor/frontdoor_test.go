@@ -1,0 +1,266 @@
+package frontdoor
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAdmissionFastPath(t *testing.T) {
+	a := NewAdmission(AdmissionOptions{MaxInflight: 2, QueueDepth: 1})
+	r1, w1, err := a.Acquire(context.Background())
+	if err != nil || w1 != 0 {
+		t.Fatalf("first acquire: wait=%v err=%v", w1, err)
+	}
+	r2, _, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("second acquire: %v", err)
+	}
+	if got := a.InFlight(); got != 2 {
+		t.Fatalf("InFlight = %d, want 2", got)
+	}
+	if got := a.Admitted(); got != 2 {
+		t.Fatalf("Admitted = %d, want 2", got)
+	}
+	r1()
+	r2()
+	if got := a.InFlight(); got != 0 {
+		t.Fatalf("InFlight after release = %d, want 0", got)
+	}
+}
+
+func TestAdmissionShedWhenQueueFull(t *testing.T) {
+	a := NewAdmission(AdmissionOptions{MaxInflight: 1, QueueDepth: 0})
+	rel, _, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	defer rel()
+	// No waiting room: the next arrival must be rejected immediately,
+	// not after a timeout.
+	start := time.Now()
+	_, _, err = a.Acquire(context.Background())
+	if !errors.Is(err, ErrShed) {
+		t.Fatalf("err = %v, want ErrShed", err)
+	}
+	if d := time.Since(start); d > 50*time.Millisecond {
+		t.Fatalf("shed took %v, want immediate", d)
+	}
+	if got := a.Shed(); got != 1 {
+		t.Fatalf("Shed = %d, want 1", got)
+	}
+}
+
+func TestAdmissionQueueTimeout(t *testing.T) {
+	a := NewAdmission(AdmissionOptions{MaxInflight: 1, QueueDepth: 1, QueueTimeout: 20 * time.Millisecond})
+	rel, _, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	defer rel()
+	_, wait, err := a.Acquire(context.Background())
+	if !errors.Is(err, ErrQueueTimeout) {
+		t.Fatalf("err = %v, want ErrQueueTimeout", err)
+	}
+	if wait < 20*time.Millisecond {
+		t.Fatalf("wait = %v, want >= queue timeout", wait)
+	}
+	if got := a.TimedOut(); got != 1 {
+		t.Fatalf("TimedOut = %d, want 1", got)
+	}
+	if got := a.Queued(); got != 0 {
+		t.Fatalf("Queued after timeout = %d, want 0", got)
+	}
+}
+
+func TestAdmissionQueuedWaiterGetsReleasedSlot(t *testing.T) {
+	a := NewAdmission(AdmissionOptions{MaxInflight: 1, QueueDepth: 1, QueueTimeout: 5 * time.Second})
+	rel, _, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		r, wait, err := a.Acquire(context.Background())
+		if err == nil {
+			if wait <= 0 {
+				err = fmt.Errorf("queued acquire reported zero wait")
+			}
+			r()
+		}
+		done <- err
+	}()
+	// Give the waiter time to join the queue, then free the slot.
+	time.Sleep(10 * time.Millisecond)
+	rel()
+	if err := <-done; err != nil {
+		t.Fatalf("queued acquire: %v", err)
+	}
+	if got := a.Admitted(); got != 2 {
+		t.Fatalf("Admitted = %d, want 2", got)
+	}
+}
+
+func TestAdmissionDeadlineWhileQueuedIsTimeout(t *testing.T) {
+	a := NewAdmission(AdmissionOptions{MaxInflight: 1, QueueDepth: 1, QueueTimeout: 5 * time.Second})
+	rel, _, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	defer rel()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, _, err = a.Acquire(ctx)
+	if !errors.Is(err, ErrQueueTimeout) {
+		t.Fatalf("err = %v, want ErrQueueTimeout for an expired deadline", err)
+	}
+}
+
+func TestAdmissionCancelWhileQueuedPropagates(t *testing.T) {
+	a := NewAdmission(AdmissionOptions{MaxInflight: 1, QueueDepth: 1, QueueTimeout: 5 * time.Second})
+	rel, _, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	defer rel()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	_, _, err = a.Acquire(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestAdmissionConcurrencyBoundHolds(t *testing.T) {
+	const inflight = 4
+	a := NewAdmission(AdmissionOptions{MaxInflight: inflight, QueueDepth: 64, QueueTimeout: 5 * time.Second})
+	var (
+		mu   sync.Mutex
+		cur  int
+		peak int
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rel, _, err := a.Acquire(context.Background())
+			if err != nil {
+				t.Errorf("acquire: %v", err)
+				return
+			}
+			mu.Lock()
+			cur++
+			if cur > peak {
+				peak = cur
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			mu.Lock()
+			cur--
+			mu.Unlock()
+			rel()
+		}()
+	}
+	wg.Wait()
+	if peak > inflight {
+		t.Fatalf("peak concurrency %d exceeded MaxInflight %d", peak, inflight)
+	}
+	if got := a.Admitted(); got != 64 {
+		t.Fatalf("Admitted = %d, want 64", got)
+	}
+}
+
+func TestCacheHitAndMiss(t *testing.T) {
+	c := NewCache(64)
+	if _, ok := c.Get("a", 1); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", 1, "va")
+	v, ok := c.Get("a", 1)
+	if !ok || v.(string) != "va" {
+		t.Fatalf("Get = %v, %v; want va", v, ok)
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", c.Hits(), c.Misses())
+	}
+}
+
+func TestCacheEpochMismatchInvalidates(t *testing.T) {
+	c := NewCache(64)
+	c.Put("a", 1, "old")
+	if _, ok := c.Get("a", 2); ok {
+		t.Fatal("stale entry served across an epoch bump")
+	}
+	if c.Invalidations() != 1 {
+		t.Fatalf("Invalidations = %d, want 1", c.Invalidations())
+	}
+	// The stale entry must be gone, not resurrectable at the old epoch.
+	if _, ok := c.Get("a", 1); ok {
+		t.Fatal("stale entry survived its own invalidation")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", c.Len())
+	}
+}
+
+func TestCachePutNewerEpochReplaces(t *testing.T) {
+	c := NewCache(64)
+	c.Put("a", 1, "old")
+	c.Put("a", 2, "new")
+	v, ok := c.Get("a", 2)
+	if !ok || v.(string) != "new" {
+		t.Fatalf("Get = %v, %v; want new", v, ok)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// One entry per shard: every insert beyond the first in a shard
+	// evicts that shard's resident.
+	c := NewCache(cacheShards)
+	var keys []string
+	for i := 0; len(keys) < 2; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if c.shard(k) == &c.shards[0] {
+			keys = append(keys, k)
+		}
+	}
+	c.Put(keys[0], 1, 0)
+	c.Put(keys[1], 1, 1)
+	if _, ok := c.Get(keys[0], 1); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if _, ok := c.Get(keys[1], 1); !ok {
+		t.Fatal("newest entry evicted")
+	}
+	if c.Evictions() != 1 {
+		t.Fatalf("Evictions = %d, want 1", c.Evictions())
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := NewCache(128)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", i%32)
+				epoch := uint64(i % 3)
+				c.Put(k, epoch, i)
+				c.Get(k, epoch)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 128+cacheShards {
+		t.Fatalf("Len = %d, exceeds capacity", c.Len())
+	}
+}

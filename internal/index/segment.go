@@ -70,6 +70,12 @@ func (s *Store) listEpoch() (uint64, error) {
 	return binary.BigEndian.Uint64(v), nil
 }
 
+// ListEpoch exposes the committed-or-staged list epoch: it advances on
+// the first list mutation after each segment commit, and it is the
+// persisted anchor the engine's in-memory write epoch (the result
+// cache's invalidation key) is seeded from at open.
+func (s *Store) ListEpoch() (uint64, error) { return s.listEpoch() }
+
 func (s *Store) putListEpoch(e uint64) error {
 	var v [8]byte
 	binary.BigEndian.PutUint64(v[:], e)

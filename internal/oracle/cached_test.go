@@ -1,0 +1,96 @@
+package oracle_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"trex"
+	"trex/internal/index"
+	"trex/internal/oracle"
+)
+
+// cachedCaseWords mirrors the generator's closed term alphabet (gen.go);
+// the tags below are the generator's element tags plus the <doc> root.
+var (
+	cachedCaseWords = []string{"ax", "bx", "cx", "dx", "ex"}
+	cachedCaseTags  = []string{"doc", "r", "s", "t", "u"}
+)
+
+// TestCachedDifferential200Cases extends the differential oracle to the
+// front door's result cache: 200 seeded cases, each asserting that the
+// cache fill and the subsequent hit return rankings byte-identical to
+// an uncached evaluation, for every strategy. No tolerance — the cache
+// stores the engine's own Result, so any drift means a stale or
+// miskeyed entry.
+func TestCachedDifferential200Cases(t *testing.T) {
+	for seed := int64(1); seed <= 200; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			runCachedCase(t, seed)
+		})
+	}
+}
+
+func runCachedCase(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(64)
+	col := oracle.GenCollection(seed, perm[:4+rng.Intn(8)])
+	eng, err := trex.CreateMemory(col, &trex.Options{
+		Telemetry: &trex.TelemetryOptions{Disabled: true},
+		FrontDoor: &trex.FrontDoorOptions{CacheEntries: 64},
+	})
+	if err != nil {
+		t.Fatalf("seed %d: build: %v", seed, err)
+	}
+	defer eng.Close()
+
+	tag := cachedCaseTags[rng.Intn(len(cachedCaseTags))]
+	wordPerm := rng.Perm(len(cachedCaseWords))
+	var words []string
+	for _, w := range wordPerm[:1+rng.Intn(3)] {
+		words = append(words, cachedCaseWords[w])
+	}
+	q := fmt.Sprintf("//%s[about(., %s)]", tag, strings.Join(words, " "))
+	if _, err := eng.Translate(q); err != nil {
+		// The random tag is absent from this corpus's summary; the root
+		// always translates.
+		q = fmt.Sprintf("//doc[about(., %s)]", strings.Join(words, " "))
+	}
+	k := []int{1, 2, 3, 10, 0}[rng.Intn(5)]
+
+	if _, err := eng.Materialize(q, index.KindRPL, index.KindERPL); err != nil {
+		t.Fatalf("seed %d: materialize %q: %v", seed, q, err)
+	}
+	for _, m := range []trex.Method{trex.MethodERA, trex.MethodTA, trex.MethodNRA, trex.MethodMerge} {
+		baseline, err := eng.QueryOpts(q, trex.QueryOptions{K: k, Method: m, NoCache: true})
+		if err != nil {
+			t.Fatalf("seed %d: %v uncached: %v", seed, m, err)
+		}
+		fill, err := eng.QueryOpts(q, trex.QueryOptions{K: k, Method: m})
+		if err != nil {
+			t.Fatalf("seed %d: %v fill: %v", seed, m, err)
+		}
+		if fill.Cached {
+			t.Fatalf("seed %d: %v: first cache-eligible query claims cached", seed, m)
+		}
+		hit, err := eng.QueryOpts(q, trex.QueryOptions{K: k, Method: m})
+		if err != nil {
+			t.Fatalf("seed %d: %v hit: %v", seed, m, err)
+		}
+		if !hit.Cached {
+			t.Fatalf("seed %d: %v: repeat query not served from cache", seed, m)
+		}
+		if !reflect.DeepEqual(baseline.Answers, fill.Answers) {
+			t.Fatalf("seed %d: %v: fill ranking differs from uncached (q=%q k=%d)\nuncached: %+v\nfill:     %+v",
+				seed, m, q, k, baseline.Answers, fill.Answers)
+		}
+		if !reflect.DeepEqual(baseline.Answers, hit.Answers) {
+			t.Fatalf("seed %d: %v: cached ranking differs from uncached (q=%q k=%d)\nuncached: %+v\ncached:   %+v",
+				seed, m, q, k, baseline.Answers, hit.Answers)
+		}
+	}
+}

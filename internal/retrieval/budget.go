@@ -1,0 +1,39 @@
+package retrieval
+
+import (
+	"context"
+	"errors"
+)
+
+// pollBudget is the strategies' cancellation point, checked at block
+// boundaries (a TA/NRA round, a Merge sweep batch, an ERA position
+// batch). An expired deadline asks the strategy to stop and return its
+// current best-effort state with Stats.Approximate set — bounded
+// latency in exchange for rank-safety, which is the contract a query
+// deadline buys. A cancellation (the caller is gone, nobody wants the
+// partial answer) aborts with the context's error.
+//
+// The not-done fast path is a single non-blocking channel poll;
+// context.Background's Done channel is nil, so undeadlined queries pay
+// almost nothing.
+func pollBudget(ctx context.Context) (stop bool, err error) {
+	select {
+	case <-ctx.Done():
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return true, nil
+		}
+		return false, ctx.Err()
+	default:
+		return false, nil
+	}
+}
+
+// budgetPollInterval is how many ERA sweep iterations (or Merge
+// frontier steps, via mergePollMask) pass between budget polls. Polling
+// is cheap but not free; a few hundred positions is far below any
+// meaningful deadline's resolution.
+const budgetPollInterval = 256
+
+// mergePollMask polls Merge's frontier loop every 32 steps — each step
+// is heavier than an ERA position, so the interval is shorter.
+const mergePollMask = 31

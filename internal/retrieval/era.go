@@ -1,6 +1,7 @@
 package retrieval
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -18,6 +19,15 @@ import (
 // matrix C where C[i][x] is the frequency of term x inside the current
 // element of sid i.
 func ERA(st *index.Store, sids []uint32, terms []string) ([]ElementTF, *Stats, error) {
+	return ERACtx(context.Background(), st, sids, terms)
+}
+
+// ERACtx is ERA with a cancellation/deadline context, polled every few
+// hundred positions of the sweep. On an expired deadline it flushes the
+// open elements (so partially counted elements are still emitted with
+// the frequencies seen so far) and returns with Stats.Approximate set;
+// on cancellation it returns the context's error.
+func ERACtx(ctx context.Context, st *index.Store, sids []uint32, terms []string) ([]ElementTF, *Stats, error) {
 	start := time.Now()
 	io := st.IOStats()
 	stats := &Stats{ListReads: make([]int, len(terms))}
@@ -85,7 +95,18 @@ func ERA(st *index.Store, sids []uint32, terms []string) ([]ElementTF, *Stats, e
 		}
 	}
 
-	for {
+	for step := 0; ; step++ {
+		if step%budgetPollInterval == 0 {
+			if stop, err := pollBudget(ctx); err != nil {
+				return nil, nil, err
+			} else if stop {
+				for i := 0; i < m; i++ {
+					flush(i)
+				}
+				stats.Approximate = true
+				break
+			}
+		}
 		// x: index of the minimal current position.
 		x := 0
 		for j := 1; j < n; j++ {
@@ -148,8 +169,14 @@ func ERA(st *index.Store, sids []uint32, terms []string) ([]ElementTF, *Stats, e
 // the scorer, returning the top k (all results when k <= 0). This is the
 // baseline every query can fall back to: it needs no redundant indexes.
 func ExhaustiveTopK(st *index.Store, sids []uint32, terms []string, sc *score.Scorer, k int) ([]Scored, *Stats, error) {
+	return ExhaustiveTopKCtx(context.Background(), st, sids, terms, sc, k)
+}
+
+// ExhaustiveTopKCtx is ExhaustiveTopK over ERACtx: an expired deadline
+// yields the ranked best-effort prefix with Stats.Approximate set.
+func ExhaustiveTopKCtx(ctx context.Context, st *index.Store, sids []uint32, terms []string, sc *score.Scorer, k int) ([]Scored, *Stats, error) {
 	start := time.Now()
-	rows, stats, err := ERA(st, sids, terms)
+	rows, stats, err := ERACtx(ctx, st, sids, terms)
 	if err != nil {
 		return nil, nil, err
 	}

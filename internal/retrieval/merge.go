@@ -1,6 +1,7 @@
 package retrieval
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -26,6 +27,14 @@ import (
 //
 // k <= 0 returns all answers.
 func Merge(st *index.Store, sids []uint32, terms []string, k int) ([]Scored, *Stats, error) {
+	return MergeCtx(context.Background(), st, sids, terms, k)
+}
+
+// MergeCtx is Merge with a cancellation/deadline context, polled every
+// few frontier steps. On an expired deadline it sorts whatever answers
+// the sweep has accumulated and returns them with Stats.Approximate
+// set; on cancellation it returns the context's error.
+func MergeCtx(ctx context.Context, st *index.Store, sids []uint32, terms []string, k int) ([]Scored, *Stats, error) {
 	start := time.Now()
 	io := st.IOStats()
 	stats := &Stats{ListReads: make([]int, len(terms)), ListTotals: make([]int, len(terms))}
@@ -59,7 +68,15 @@ func Merge(st *index.Store, sids []uint32, terms []string, k int) ([]Scored, *St
 
 	var v []Scored
 	var drainBuf []index.RPLEntry
-	for {
+	for step := 0; ; step++ {
+		if step&mergePollMask == 0 {
+			if stop, err := pollBudget(ctx); err != nil {
+				return nil, nil, err
+			} else if stop {
+				stats.Approximate = true
+				break
+			}
+		}
 		// m: minimal (doc, end) among live heads.
 		min := -1
 		for j := range heads {

@@ -2,6 +2,7 @@ package retrieval
 
 import (
 	"container/heap"
+	"context"
 	"time"
 
 	"trex/internal/index"
@@ -40,6 +41,15 @@ func (c *nraCand) exactScore() float64 {
 // The returned ranking is exact and identical to TA/Merge/ERA. Queries
 // are limited to 64 terms (far beyond NEXI practice).
 func NRA(st *index.Store, sids []uint32, terms []string, k int) ([]Scored, *Stats, error) {
+	return NRACtx(context.Background(), st, sids, terms, k)
+}
+
+// NRACtx is NRA with a cancellation/deadline context, polled once per
+// sorted-access round. On an expired deadline it ranks the candidates
+// accumulated so far by their resolved contributions and returns them
+// with Stats.Approximate set; on cancellation it returns the context's
+// error.
+func NRACtx(ctx context.Context, st *index.Store, sids []uint32, terms []string, k int) ([]Scored, *Stats, error) {
 	start := time.Now()
 	io := st.IOStats()
 	stats := &Stats{ListReads: make([]int, len(terms)), ListTotals: make([]int, len(terms))}
@@ -108,6 +118,12 @@ func NRA(st *index.Store, sids []uint32, terms []string, k int) ([]Scored, *Stat
 
 	round := 0
 	for {
+		if stop, err := pollBudget(ctx); err != nil {
+			return nil, nil, err
+		} else if stop {
+			stats.Approximate = true
+			break
+		}
 		allDone := true
 		for j := range iters {
 			if exhausted[j] {

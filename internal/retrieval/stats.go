@@ -84,6 +84,12 @@ type Stats struct {
 	// (top-k worst score above the aggregate frontier bound) rather than
 	// by exhausting the lists.
 	ThresholdStop bool
+	// Approximate reports that the run stopped early because its
+	// context deadline expired: the results are the best-effort state at
+	// the stop point (everything scored so far, correctly ranked), not
+	// the rank-safe top k. Cancellation never sets this — a canceled run
+	// returns an error, not a partial answer.
+	Approximate bool
 }
 
 // captureIO fills the I/O counters from the delta of the store's

@@ -2,6 +2,7 @@ package retrieval
 
 import (
 	"container/heap"
+	"context"
 	"time"
 
 	"trex/internal/index"
@@ -18,6 +19,14 @@ import (
 // The returned stats separate the time spent managing the top-k heap
 // (Stats.HeapTime); the paper's ITA curve is Stats.ITATime().
 func TA(st *index.Store, sids []uint32, terms []string, sc *score.Scorer, k int) ([]Scored, *Stats, error) {
+	return TACtx(context.Background(), st, sids, terms, sc, k)
+}
+
+// TACtx is TA with a cancellation/deadline context, polled once per
+// sorted-access round. On an expired deadline it stops at the round
+// boundary and returns the current top-k heap with Stats.Approximate
+// set; on cancellation it returns the context's error.
+func TACtx(ctx context.Context, st *index.Store, sids []uint32, terms []string, sc *score.Scorer, k int) ([]Scored, *Stats, error) {
 	start := time.Now()
 	io := st.IOStats()
 	stats := &Stats{ListReads: make([]int, len(terms)), ListTotals: make([]int, len(terms))}
@@ -108,6 +117,12 @@ func TA(st *index.Store, sids []uint32, terms []string, sc *score.Scorer, k int)
 	}
 
 	for {
+		if stop, err := pollBudget(ctx); err != nil {
+			return nil, nil, err
+		} else if stop {
+			stats.Approximate = true
+			break
+		}
 		allDone := true
 		for j := range iters {
 			if exhausted[j] {

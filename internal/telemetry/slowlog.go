@@ -6,15 +6,20 @@ import (
 	"time"
 )
 
-// SlowLogEntry is one over-budget query.
+// SlowLogEntry is one over-budget query. Wall is the client-visible
+// latency — with admission control it includes the queue wait, and
+// QueueWait attributes that share, so a query that was slow only
+// because it queued is distinguishable from one that evaluated slowly.
 type SlowLogEntry struct {
-	Time   time.Time     `json:"time"`
-	Query  string        `json:"query"`
-	Method string        `json:"method"`
-	K      int           `json:"k"`
-	Wall   time.Duration `json:"-"`
-	WallMS float64       `json:"wallMs"`
-	Trace  *Trace        `json:"trace,omitempty"`
+	Time        time.Time     `json:"time"`
+	Query       string        `json:"query"`
+	Method      string        `json:"method"`
+	K           int           `json:"k"`
+	Wall        time.Duration `json:"-"`
+	WallMS      float64       `json:"wallMs"`
+	QueueWait   time.Duration `json:"-"`
+	QueueWaitMS float64       `json:"queueWaitMs,omitempty"`
+	Trace       *Trace        `json:"trace,omitempty"`
 }
 
 // SlowLog is a bounded ring buffer of the most recent queries whose
@@ -68,6 +73,7 @@ func (l *SlowLog) Record(e SlowLogEntry) {
 		e.Time = time.Now()
 	}
 	e.WallMS = float64(e.Wall.Nanoseconds()) / 1e6
+	e.QueueWaitMS = float64(e.QueueWait.Nanoseconds()) / 1e6
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if len(l.ring) < cap(l.ring) {

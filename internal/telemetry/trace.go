@@ -24,6 +24,11 @@ type Trace struct {
 	K      int
 	Start  time.Time
 	Wall   time.Duration
+	// Queue is the time the query spent waiting in the admission queue
+	// before Start (zero without admission control). It is deliberately
+	// a field, not a span: spans partition Wall, and the queue wait
+	// happened before the evaluation clock started.
+	Queue time.Duration
 	// IOExact reports whether the trace's I/O counters describe this
 	// query alone: true only when no other query overlapped the
 	// measurement window and no maintenance write touched storage
@@ -182,6 +187,7 @@ type traceJSON struct {
 	Method  string     `json:"method"`
 	K       int        `json:"k"`
 	WallUS  float64    `json:"wallUs"`
+	QueueUS float64    `json:"queueUs,omitempty"`
 	IOExact bool       `json:"ioExact"`
 	Spans   []spanJSON `json:"spans"`
 }
@@ -195,6 +201,7 @@ func (t *Trace) MarshalJSON() ([]byte, error) {
 		Method:  t.Method,
 		K:       t.K,
 		WallUS:  us(t.Wall),
+		QueueUS: us(t.Queue),
 		IOExact: t.IOExact,
 		Spans:   make([]spanJSON, len(t.Spans)),
 	}

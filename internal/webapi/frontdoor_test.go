@@ -1,0 +1,118 @@
+package webapi
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"reflect"
+	"testing"
+	"time"
+
+	"trex"
+	"trex/internal/corpus"
+)
+
+// newFrontDoorServer builds a server whose engine runs with the given
+// front-door configuration, returning the engine too so tests can pin
+// its admission slots directly.
+func newFrontDoorServer(t *testing.T, fd *trex.FrontDoorOptions) (*httptest.Server, *trex.Engine) {
+	t.Helper()
+	col := corpus.GenerateIEEE(25, 202)
+	eng, err := trex.CreateMemory(col, &trex.Options{StoreDocuments: true, FrontDoor: fd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	ts := httptest.NewServer(New(eng, false))
+	t.Cleanup(ts.Close)
+	return ts, eng
+}
+
+func TestSearchShedReturns429(t *testing.T) {
+	ts, eng := newFrontDoorServer(t, &trex.FrontDoorOptions{MaxInflight: 1, QueueDepth: 0})
+	// Pin the only execution slot so the next arrival finds the queue
+	// (depth 0) full and is shed.
+	release, _, err := eng.Admission().Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	resp, err := http.Get(ts.URL + "/search?q=" + url.QueryEscape(testQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("Retry-After = %q", ra)
+	}
+}
+
+func TestSearchQueueTimeoutReturns503(t *testing.T) {
+	ts, eng := newFrontDoorServer(t, &trex.FrontDoorOptions{
+		MaxInflight: 1, QueueDepth: 1, QueueTimeout: 20 * time.Millisecond,
+	})
+	release, _, err := eng.Admission().Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	// The request queues (depth 1 admits it), then times out waiting for
+	// the pinned slot.
+	resp, err := http.Get(ts.URL + "/search?q=" + url.QueryEscape(testQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("Retry-After = %q", ra)
+	}
+}
+
+func TestSearchDeadlineParam(t *testing.T) {
+	ts, _ := newFrontDoorServer(t, nil)
+	// An already-expired deadline still succeeds: the strategies stop at
+	// the first block boundary and the response is marked approximate.
+	var resp SearchResponse
+	code := getJSON(t, ts, "/search?deadline=1ns&q="+url.QueryEscape(testQuery), &resp)
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if !resp.Approximate {
+		t.Fatal("expired deadline did not mark the response approximate")
+	}
+
+	var e map[string]string
+	if code := getJSON(t, ts, "/search?deadline=soon&q="+url.QueryEscape(testQuery), &e); code != http.StatusBadRequest {
+		t.Fatalf("bad deadline status = %d", code)
+	}
+}
+
+func TestSearchCachedResponse(t *testing.T) {
+	ts, _ := newFrontDoorServer(t, &trex.FrontDoorOptions{CacheEntries: 64})
+	path := "/search?k=5&q=" + url.QueryEscape(testQuery)
+	var first, second SearchResponse
+	if code := getJSON(t, ts, path, &first); code != http.StatusOK {
+		t.Fatalf("first status = %d", code)
+	}
+	if first.Cached {
+		t.Fatal("first response claims cached")
+	}
+	if code := getJSON(t, ts, path, &second); code != http.StatusOK {
+		t.Fatalf("second status = %d", code)
+	}
+	if !second.Cached {
+		t.Fatal("second response not served from cache")
+	}
+	if !reflect.DeepEqual(first.Hits, second.Hits) {
+		t.Fatalf("cached hits differ:\nfirst:  %+v\nsecond: %+v", first.Hits, second.Hits)
+	}
+}

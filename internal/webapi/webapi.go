@@ -3,7 +3,7 @@
 //
 // Endpoints:
 //
-//	GET  /search?q=<nexi>&k=10&method=auto|era|ta|nra|merge|race&snippets=1
+//	GET  /search?q=<nexi>&k=10&method=auto|era|ta|nra|merge|race&snippets=1&deadline=50ms
 //	GET  /explain?q=<nexi>
 //	POST /materialize?q=<nexi>&kinds=rpl,erpl
 //	GET  /stats
@@ -16,7 +16,9 @@
 package webapi
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -24,6 +26,7 @@ import (
 	"time"
 
 	"trex"
+	"trex/internal/frontdoor"
 	"trex/internal/index"
 	"trex/internal/telemetry"
 )
@@ -93,6 +96,11 @@ type SearchResponse struct {
 	PageReads uint64      `json:"pageReads"`
 	BytesRead uint64      `json:"bytesRead"`
 	Hits      []SearchHit `json:"hits"`
+	// Approximate reports the query's deadline expired mid-retrieval: the
+	// hits are the correctly ranked best-effort state at the stop point.
+	Approximate bool `json:"approximate,omitempty"`
+	// Cached reports the result was served from the engine's result cache.
+	Cached bool `json:"cached,omitempty"`
 	// Trace is the per-query span breakdown (absent when the engine runs
 	// with telemetry disabled).
 	Trace *telemetry.Trace `json:"trace,omitempty"`
@@ -137,10 +145,32 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	ctx := r.Context()
+	if ds := r.URL.Query().Get("deadline"); ds != "" {
+		d, err := time.ParseDuration(ds)
+		if err != nil || d <= 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad deadline %q", ds))
+			return
+		}
+		var cancel func()
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
 	start := time.Now()
-	res, err := s.eng.Query(q, k, method)
+	res, err := s.eng.QueryOptsCtx(ctx, q, trex.QueryOptions{K: k, Method: method})
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		switch {
+		case errors.Is(err, frontdoor.ErrShed):
+			// The admission queue is full: fail fast and tell the client
+			// when to come back rather than letting requests pile up.
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, frontdoor.ErrQueueTimeout):
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusServiceUnavailable, err)
+		default:
+			writeErr(w, http.StatusBadRequest, err)
+		}
 		return
 	}
 	resp := SearchResponse{
@@ -156,6 +186,8 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		resp.PageReads = res.Stats.PageReads
 		resp.BytesRead = res.Stats.BytesRead
 	}
+	resp.Approximate = res.Approximate
+	resp.Cached = res.Cached
 	resp.Trace = res.Trace
 	wantSnippets := r.URL.Query().Get("snippets") == "1"
 	terms := res.Translation.DistinctTerms()

@@ -2,8 +2,11 @@ package trex
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"sort"
+	"strconv"
+	"time"
 
 	"trex/internal/index"
 	"trex/internal/nexi"
@@ -94,6 +97,16 @@ type Result struct {
 	// Trace is the per-query span breakdown (nil when telemetry is
 	// disabled): timed phases with page/byte counts attributed per span.
 	Trace *telemetry.Trace
+	// Approximate reports that the query's deadline expired mid-
+	// retrieval: Answers is the correctly ranked best-effort state at
+	// the stop point, not the rank-safe top k. Approximate results are
+	// never cached.
+	Approximate bool
+	// Cached reports the result was served from the front door's result
+	// cache (identical ranking to a fresh evaluation — the epoch key
+	// guarantees no write happened since the fill). Treat a cached
+	// Result as read-only: its Answers and Stats are shared.
+	Cached bool
 }
 
 // flatten returns the union of clause sids (plus the target extents, so
@@ -303,49 +316,128 @@ type QueryOptions struct {
 	// Offset skips the first Offset answers (pagination). The retrieval
 	// phase computes Offset+K answers, so deep pages cost accordingly.
 	Offset int
+	// NoCache bypasses the result cache for this query (no lookup, no
+	// fill). The differential oracle uses it to compare cached and
+	// uncached rankings on one engine.
+	NoCache bool
 }
 
 // Query evaluates a NEXI query, returning the top k answers (all answers
 // when k <= 0) using the requested method. MethodAuto picks Merge or TA
 // when their lists are materialized (TA for k <= 10), falling back to ERA.
 func (e *Engine) Query(src string, k int, m Method) (*Result, error) {
-	return e.QueryOpts(src, QueryOptions{K: k, Method: m})
+	return e.QueryOptsCtx(context.Background(), src, QueryOptions{K: k, Method: m})
 }
 
-// QueryOpts evaluates with full options. Successful queries are fed to
-// the autopilot's workload tracker (when enabled) so index selection
-// follows observed traffic.
+// QueryCtx is Query with a caller context: a deadline bounds evaluation
+// (the strategies stop at block boundaries and return a best-effort
+// ranking with Result.Approximate set), and a cancellation aborts with
+// the context's error.
+func (e *Engine) QueryCtx(ctx context.Context, src string, k int, m Method) (*Result, error) {
+	return e.QueryOptsCtx(ctx, src, QueryOptions{K: k, Method: m})
+}
+
+// QueryOpts evaluates with full options (no caller deadline).
 func (e *Engine) QueryOpts(src string, opts QueryOptions) (*Result, error) {
-	e.beginRead()
-	res, err := e.queryOpts(src, opts)
-	e.endRead()
-	if err == nil {
-		if p := e.pilot.Load(); p != nil {
-			k := opts.K
-			if k <= 0 {
-				// Track "all answers" queries at the shared default k —
-				// the workload model (Definition 4.1) needs a concrete k.
-				k = DefaultK
-			}
-			p.Observe(src, k)
+	return e.QueryOptsCtx(context.Background(), src, opts)
+}
+
+// QueryOptsCtx is the full query entry point: admission control (when
+// configured, the query first claims an execution slot or is shed /
+// timed out at the door), the default front-door deadline (applied only
+// when the caller brought none), the result cache (epoch-checked lookup
+// before evaluation, fill after), and finally the evaluation pipeline.
+// Successful queries — cached or not — are fed to the autopilot's
+// workload tracker so index selection follows observed traffic.
+func (e *Engine) QueryOptsCtx(ctx context.Context, src string, opts QueryOptions) (*Result, error) {
+	var queueWait time.Duration
+	if adm := e.adm; adm != nil {
+		release, wait, err := adm.Acquire(ctx)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		queueWait = wait
+		if m := e.met; m != nil && m.queueWait != nil {
+			m.queueWait.Observe(wait.Seconds())
 		}
 	}
+	if d := e.fd.Deadline; d > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, d)
+			defer cancel()
+		}
+	}
+
+	e.beginRead()
+	var ckey string
+	var epoch uint64
+	cache := e.rcache
+	useCache := cache != nil && !opts.NoCache
+	if useCache {
+		ckey = cacheKey(src, opts)
+		// The epoch cannot move while we hold the read lock (beginWrite
+		// bumps it under the exclusive lock), so a hit at this epoch is
+		// exactly as fresh as an evaluation started now — and a fill
+		// below tags the entry with the epoch its evaluation saw.
+		epoch = e.writeEpoch.Load()
+		if v, ok := cache.Get(ckey, epoch); ok {
+			e.endRead()
+			out := *v.(*Result)
+			out.Cached = true
+			out.Trace = nil
+			e.observePilot(src, opts.K)
+			return &out, nil
+		}
+	}
+	res, err := e.queryOpts(ctx, src, opts, queueWait)
+	if err == nil && useCache && !res.Approximate {
+		cache.Put(ckey, epoch, res)
+	}
+	e.endRead()
+	if err == nil {
+		e.observePilot(src, opts.K)
+	}
 	return res, err
+}
+
+// observePilot feeds a successful query to the autopilot's workload
+// tracker (when enabled).
+func (e *Engine) observePilot(src string, k int) {
+	if p := e.pilot.Load(); p != nil {
+		if k <= 0 {
+			// Track "all answers" queries at the shared default k — the
+			// workload model (Definition 4.1) needs a concrete k.
+			k = DefaultK
+		}
+		p.Observe(src, k)
+	}
+}
+
+// cacheKey folds every ranking-relevant option into the result-cache
+// key. Anything that can change Answers must appear here; NoCache must
+// not (it only controls cache participation).
+func cacheKey(src string, opts QueryOptions) string {
+	return strconv.Itoa(opts.K) + "\x00" + strconv.Itoa(int(opts.Method)) + "\x00" +
+		strconv.Itoa(int(opts.Mode)) + "\x00" + strconv.Itoa(opts.Offset) + "\x00" +
+		strconv.FormatFloat(opts.PhraseBonus, 'g', -1, 64) + "\x00" + src
 }
 
 // queryOpts runs the query pipeline, wrapped in telemetry when enabled:
 // a per-query trace (spans with I/O attribution), per-method counters
 // and latency histograms, retrieval effort counters, and the slow-query
 // log. With telemetry disabled it is exactly the bare pipeline.
-func (e *Engine) queryOpts(src string, opts QueryOptions) (*Result, error) {
+func (e *Engine) queryOpts(ctx context.Context, src string, opts QueryOptions, queueWait time.Duration) (*Result, error) {
 	met := e.met
 	if met == nil {
-		return e.queryCore(src, opts, nil)
+		return e.queryCore(ctx, src, opts, nil)
 	}
 
 	trc := telemetry.NewTrace(src, opts.K)
+	trc.Queue = queueWait
 	win := met.guard.Enter()
-	res, err := e.queryCore(src, opts, trc)
+	res, err := e.queryCore(ctx, src, opts, trc)
 	win.Exit()
 	trc.Finish()
 	if err != nil {
@@ -393,8 +485,10 @@ func (e *Engine) queryOpts(src string, opts QueryOptions) (*Result, error) {
 		Query:  src,
 		Method: trc.Method,
 		K:      opts.K,
-		Wall:   trc.Wall,
-		Trace:  trc,
+		// Wall is the client-visible latency: queue wait plus evaluation.
+		Wall:      trc.Wall + queueWait,
+		QueueWait: queueWait,
+		Trace:     trc,
 	}) {
 		met.slowQueries.Inc()
 	}
@@ -405,7 +499,7 @@ func (e *Engine) queryOpts(src string, opts QueryOptions) (*Result, error) {
 // each phase in a trace span and attributes the engine's shared I/O
 // counter deltas to it; every instrumentation step is alloc-free so the
 // telemetry overhead stays at the trace's own two allocations.
-func (e *Engine) queryCore(src string, opts QueryOptions, trc *telemetry.Trace) (*Result, error) {
+func (e *Engine) queryCore(ctx context.Context, src string, opts QueryOptions, trc *telemetry.Trace) (*Result, error) {
 	k, m := opts.K, opts.Method
 
 	var ioPrev index.IOStat
@@ -473,7 +567,7 @@ func (e *Engine) queryCore(src string, opts QueryOptions, trc *telemetry.Trace) 
 	if trc != nil {
 		span = trc.StartSpan("retrieve")
 	}
-	scored, stats, m, err := e.retrieve(m, sids, terms, sc, kEval)
+	scored, stats, m, err := e.retrieve(ctx, m, sids, terms, sc, kEval)
 	if trc != nil {
 		sp, now := e.endSpanIO(trc, span, ioPrev)
 		ioPrev = now
@@ -524,13 +618,14 @@ func (e *Engine) queryCore(src string, opts QueryOptions, trc *telemetry.Trace) 
 		TotalAnswers: total,
 		Translation:  tr,
 		Stats:        stats,
+		Approximate:  stats != nil && stats.Approximate,
 	}, nil
 }
 
 // retrieve runs the requested strategy's retrieval phase. For MethodRace
 // it runs TA and Merge concurrently and returns whichever finishes first
 // (with Method rewritten to the winner).
-func (e *Engine) retrieve(m Method, sids []uint32, terms []string, sc *score.Scorer, kEval int) ([]retrieval.Scored, *retrieval.Stats, Method, error) {
+func (e *Engine) retrieve(ctx context.Context, m Method, sids []uint32, terms []string, sc *score.Scorer, kEval int) ([]retrieval.Scored, *retrieval.Stats, Method, error) {
 	kTA := kEval
 	if kTA <= 0 {
 		// TA needs a concrete k; for full evaluation use a bound no
@@ -539,16 +634,16 @@ func (e *Engine) retrieve(m Method, sids []uint32, terms []string, sc *score.Sco
 	}
 	switch m {
 	case MethodERA:
-		scored, stats, err := retrieval.ExhaustiveTopK(e.store, sids, terms, sc, kEval)
+		scored, stats, err := retrieval.ExhaustiveTopKCtx(ctx, e.store, sids, terms, sc, kEval)
 		return scored, stats, m, err
 	case MethodTA:
-		scored, stats, err := retrieval.TA(e.store, sids, terms, sc, kTA)
+		scored, stats, err := retrieval.TACtx(ctx, e.store, sids, terms, sc, kTA)
 		return scored, stats, m, err
 	case MethodNRA:
-		scored, stats, err := retrieval.NRA(e.store, sids, terms, kTA)
+		scored, stats, err := retrieval.NRACtx(ctx, e.store, sids, terms, kTA)
 		return scored, stats, m, err
 	case MethodMerge:
-		scored, stats, err := retrieval.Merge(e.store, sids, terms, kEval)
+		scored, stats, err := retrieval.MergeCtx(ctx, e.store, sids, terms, kEval)
 		return scored, stats, m, err
 	case MethodRace:
 		type outcome struct {
@@ -568,7 +663,7 @@ func (e *Engine) retrieve(m Method, sids []uint32, terms []string, sc *score.Sco
 				w := m.guard.Enter()
 				defer w.Exit()
 			}
-			s, st, err := retrieval.TA(e.store, sids, terms, sc, kTA)
+			s, st, err := retrieval.TACtx(ctx, e.store, sids, terms, sc, kTA)
 			ch <- outcome{s, st, MethodTA, err}
 		}()
 		go func() {
@@ -577,7 +672,7 @@ func (e *Engine) retrieve(m Method, sids []uint32, terms []string, sc *score.Sco
 				w := m.guard.Enter()
 				defer w.Exit()
 			}
-			s, st, err := retrieval.Merge(e.store, sids, terms, kEval)
+			s, st, err := retrieval.MergeCtx(ctx, e.store, sids, terms, kEval)
 			ch <- outcome{s, st, MethodMerge, err}
 		}()
 		first := <-ch

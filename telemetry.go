@@ -83,6 +83,9 @@ type engineMetrics struct {
 	translateMisses *telemetry.Counter
 	writeLockWait   *telemetry.Histogram
 	slowQueries     *telemetry.Counter
+	// queueWait is registered by the front door (nil when admission
+	// control is off): time admitted queries spent waiting for a slot.
+	queueWait *telemetry.Histogram
 
 	autopilotRuns     *telemetry.Counter
 	autopilotFailures *telemetry.Counter
