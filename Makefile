@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-parallel bench-pr3 bench-pr5 bench-pr6 bench-qps bench-suite-log test-telemetry test-segment test-frontdoor fuzz soak ci run-serve-autopilot
+.PHONY: all build test race vet bench bench-parallel bench-pr3 bench-pr5 bench-pr6 bench-qps bench-pr8 bench-suite-log test-telemetry test-segment test-frontdoor test-planner fuzz soak ci run-serve-autopilot
 
 all: build test
 
@@ -60,6 +60,13 @@ bench-pr6:
 bench-qps:
 	$(GO) run ./cmd/trexbench -exp pr7 -pr7out BENCH_PR7.json
 
+# bench-pr8 regenerates BENCH_PR8.json: the telemetry-driven query
+# planner — MethodAuto vs MethodRace vs each fixed method over the
+# skewed replay (mean/p99 wall, engine-level page reads charging race
+# its losers, per-query auto-vs-best-fixed, shadow-sampled regret rate).
+bench-pr8:
+	$(GO) run ./cmd/trexbench -exp pr8 -pr8out BENCH_PR8.json
+
 # bench-suite-log re-runs the full `go test -bench` sweep and captures
 # the raw tool output for local inspection. The log is generated on
 # demand and not committed; recorded results live in the BENCH_*.json
@@ -99,6 +106,19 @@ test-frontdoor:
 	$(GO) test ./internal/webapi -run 'TestSearchShed|TestSearchQueueTimeout|TestSearchDeadline|TestSearchCached' -count=1
 	$(GO) test ./internal/oracle -run TestCachedDifferential200Cases -count=1
 
+# test-planner is the query-planner gate: the planner package's unit
+# suite (cost model, bucketing, eligibility), the engine-level
+# convergence test (auto routes >= 90% of a calibrated workload to the
+# measured-cheapest method), the shadow-sampling-vs-maintenance race
+# test, the oracle sweep's Auto column, and the /planner + /search
+# planner-field handler tests.
+test-planner:
+	$(GO) test ./internal/planner -count=1
+	$(GO) test . -run 'TestPlannerConvergence|TestShadowSampling|TestPlanner' -count=1
+	$(GO) test . -run TestShadowSamplingRace -race -count=1
+	$(GO) test ./internal/oracle -run TestDifferential200Cases -count=1
+	$(GO) test ./internal/webapi -run 'TestPlanner|TestSearchPlannerFields|TestExplainPlannerFields' -count=1
+
 # fuzz gives each codec fuzz target a short bounded run — long enough to
 # catch a decode panic regression, short enough for CI. The loop fails
 # fast: the first red target stops the run instead of burning the
@@ -129,8 +149,9 @@ soak:
 
 # ci is the full pre-merge gate: build, vet, plain tests, race tests,
 # the segment-backend gate, the telemetry conformance gate, the
-# front-door gate, short codec and segment-format fuzz runs.
-ci: build vet test race test-segment test-telemetry test-frontdoor fuzz
+# front-door gate, the query-planner gate, short codec and
+# segment-format fuzz runs.
+ci: build vet test race test-segment test-telemetry test-frontdoor test-planner fuzz
 
 # run-serve-autopilot is an end-to-end smoke test of the online
 # self-management daemon: generate a small corpus, load it, serve it

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"trex/internal/autopilot"
+	"trex/internal/selfmanage"
 	"trex/internal/storage"
 )
 
@@ -147,6 +148,7 @@ func (e *Engine) autopilotRun(ctx context.Context, workload []autopilot.TrackedQ
 		DiskUsed:   rep.Plan.DiskUsed,
 		DiskBudget: opts.DiskBudget,
 		Saving:     rep.Plan.Saving,
+		Routed:     rep.Routed,
 	}, nil
 }
 
@@ -165,6 +167,10 @@ type AutopilotPlan struct {
 	DiskUsed     int64                    `json:"diskUsed"`
 	DiskBudget   int64                    `json:"diskBudget"`
 	Saving       float64                  `json:"saving"`
+	// Routed is the query planner's predicted method per workload query
+	// under RPL-only and ERPL-only coverage; absent when the planner is
+	// disabled.
+	Routed map[string]selfmanage.Routing `json:"routed,omitempty"`
 }
 
 // AutopilotStorage reports the engine's cumulative storage I/O counters,
@@ -238,6 +244,7 @@ func (e *Engine) AutopilotStatus() AutopilotStatus {
 			DiskUsed:     st.LastReport.DiskUsed,
 			DiskBudget:   st.LastReport.DiskBudget,
 			Saving:       st.LastReport.Saving,
+			Routed:       st.LastReport.Routed,
 		}
 		for _, tq := range st.LastReport.Workload {
 			plan.Workload = append(plan.Workload, AutopilotWorkloadEntry{NEXI: tq.NEXI, K: tq.K, Freq: tq.Freq})

@@ -18,6 +18,7 @@
 //	pr5        telemetry overhead: traces/metrics on vs off (see -pr5out)
 //	pr6        mmap'd segment read path vs the pager (see -pr6out)
 //	pr7        front door under load: admission + result cache (see -pr7out)
+//	pr8        telemetry-driven query planner: auto vs race vs fixed (see -pr8out)
 //	all        everything above
 //
 // Usage:
@@ -49,6 +50,7 @@ func main() {
 	pr5Out := flag.String("pr5out", "", "write the pr5 telemetry overhead report as JSON to this file")
 	pr6Out := flag.String("pr6out", "", "write the pr6 segment read-path report as JSON to this file")
 	pr7Out := flag.String("pr7out", "", "write the pr7 front-door load report as JSON to this file")
+	pr8Out := flag.String("pr8out", "", "write the pr8 query-planner report as JSON to this file")
 	flag.Parse()
 	csvOut = *csvDir
 	if csvOut != "" {
@@ -133,6 +135,10 @@ func main() {
 	if run("pr7") {
 		ok = true
 		pr7(*scale, *pr7Out)
+	}
+	if run("pr8") {
+		ok = true
+		pr8(*scale, *pr8Out)
 	}
 	if !ok {
 		log.Fatalf("unknown experiment %q", *exp)
@@ -483,6 +489,64 @@ func pr7(scale float64, outPath string) {
 				p.OK, p.Shed, p.QueueTimeouts, p.CacheHitRate*100)
 		}
 	}
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("# wrote %s\n", outPath)
+	}
+	fmt.Println()
+}
+
+func pr8(scale float64, outPath string) {
+	fmt.Println("## Telemetry-driven query planner: auto vs race vs fixed (PR 8)")
+	rep, err := bench.PR8(scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-6s %10s %10s %12s %14s  %s\n",
+		"policy", "mean-ms", "p99-ms", "page-reads", "bytes-read", "executed-mix")
+	for _, v := range rep.Variants {
+		var mix []string
+		for _, m := range []string{"era", "ta", "nra", "merge"} {
+			if n := v.Methods[m]; n > 0 {
+				mix = append(mix, fmt.Sprintf("%s:%d", m, n))
+			}
+		}
+		fmt.Printf("%-6s %10.3f %10.3f %12d %14d  %s\n",
+			v.Name, v.MeanWallMS, v.P99WallMS, v.PageReads, v.BytesRead, strings.Join(mix, " "))
+	}
+	fmt.Printf("%-4s %5s | %-6s %9s | %-6s %9s %7s\n",
+		"id", "reqs", "best", "best-ms", "auto->", "auto-ms", "ratio")
+	for _, q := range rep.PerQuery {
+		fmt.Printf("%-4s %5d | %-6s %9.3f | %-6s %9.3f %6.2fx\n",
+			q.ID, q.Requests, q.BestFixed, q.BestFixedMS, q.AutoRouted, q.AutoMeanMS, q.AutoOverBestX)
+	}
+	autoStatus := "ok"
+	if rep.AutoOverBestFixed > 1.05 {
+		autoStatus = "FAIL"
+	}
+	raceStatus := "ok"
+	if rep.RaceOverAutoPageReads <= 1 {
+		raceStatus = "FAIL"
+	}
+	fmt.Printf("auto over per-query best fixed (mean wall): %.3fx (budget 1.05) %s\n",
+		rep.AutoOverBestFixed, autoStatus)
+	fmt.Printf("race over auto page reads: %.2fx (must be > 1) %s\n",
+		rep.RaceOverAutoPageReads, raceStatus)
+	fmt.Printf("shadow regret: %d/%d mispredicted (%.1f%%), %d errors\n",
+		rep.Shadow.Mispredictions, rep.Shadow.Samples, rep.Shadow.RegretRate*100, rep.Shadow.Errors)
+	fmt.Printf("planner model: %d observations across %d calibrated buckets\n",
+		rep.PlannerObservations, rep.CalibratedBuckets)
 	if outPath != "" {
 		f, err := os.Create(outPath)
 		if err != nil {

@@ -11,10 +11,16 @@
 //	     -autopilot-drift 500 -autopilot-capacity 512 -autopilot-top 16
 //	     -autopilot-solver greedy -autopilot-pause 5ms]
 //
-// Endpoints: /search, /explain, /stats, /autopilot, /metrics, /slowlog,
-// /materialize (with -writes), /. Telemetry (the /metrics registry,
-// per-query traces and the slow-query log) is on by default; disable it
-// with -metrics=false, tune the slow log with -slowlog-threshold.
+// Endpoints: /search, /explain, /stats, /autopilot, /planner, /metrics,
+// /slowlog, /materialize (with -writes), /. Telemetry (the /metrics
+// registry, per-query traces and the slow-query log) is on by default;
+// disable it with -metrics=false, tune the slow log with
+// -slowlog-threshold.
+//
+// The telemetry-driven query planner resolves method=auto by default;
+// -planner=false falls back to the static coverage heuristic, and
+// -shadow-fraction tunes how often the planner's runner-up method is
+// additionally run in the background to measure prediction regret.
 //
 // The front door is off by default. -max-inflight bounds concurrent
 // query evaluation with a -queue deep admission queue (arrivals past it
@@ -76,6 +82,8 @@ func main() {
 	queueTimeout := flag.Duration("queue-timeout", 0, "max time a query may wait for an execution slot before a 503 (0 = 100ms default)")
 	deadline := flag.Duration("deadline", 0, "default per-query deadline; expiry returns the best-effort ranking marked approximate (0 = none)")
 	cacheEntries := flag.Int("cache-entries", 0, "result cache capacity in entries, invalidated by any index write (0 = no cache)")
+	plannerOn := flag.Bool("planner", true, "resolve method=auto through the telemetry-calibrated cost model (false = static coverage heuristic)")
+	shadowFraction := flag.Float64("shadow-fraction", trex.DefaultShadowFraction, "fraction of auto-planned queries whose runner-up method also runs in the background to measure regret (0 < f <= 1; negative disables)")
 	flag.Parse()
 	if *dbPath == "" {
 		flag.Usage()
@@ -94,6 +102,10 @@ func main() {
 	eng, err := trex.Open(*dbPath, &trex.Options{
 		SegmentLists: *segments,
 		FrontDoor:    fd,
+		Planner: &trex.PlannerOptions{
+			Disabled:       !*plannerOn,
+			ShadowFraction: *shadowFraction,
+		},
 		Telemetry: &trex.TelemetryOptions{
 			Disabled:           !*metrics,
 			SlowQueryThreshold: *slowThreshold,

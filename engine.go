@@ -93,6 +93,11 @@ type Options struct {
 	// deadline, and an epoch-invalidated result cache. Nil disables all
 	// of it; see FrontDoorOptions.
 	FrontDoor *FrontDoorOptions
+	// Planner configures the online query planner that resolves
+	// MethodAuto through a continuously calibrated cost model. Nil
+	// enables it with defaults; see PlannerOptions.Disabled to fall
+	// back to the legacy static heuristic.
+	Planner *PlannerOptions
 }
 
 // Engine is an opened TReX collection: storage, index tables and the
@@ -140,6 +145,10 @@ type Engine struct {
 	adm    *frontdoor.Admission
 	rcache *frontdoor.Cache
 	fd     FrontDoorOptions
+	// pln is the online query planner (MethodAuto resolution, cost
+	// model calibration, shadow sampling); nil when disabled. Set once
+	// before the engine is shared, then read-only.
+	pln *plannerState
 	// writeEpoch is the result cache's invalidation key: seeded from
 	// the persisted list epoch at open, bumped by beginWrite under the
 	// exclusive lock — so every maintenance step (even one of many
@@ -350,6 +359,7 @@ func build(db *storage.DB, col *corpus.Collection, opts *Options) (*Engine, erro
 	}
 	eng := &Engine{db: db, store: store, sum: sum}
 	eng.initTelemetry(opts.Telemetry)
+	eng.initPlanner(opts.Planner)
 	if err := eng.initFrontDoor(opts.FrontDoor); err != nil {
 		return nil, err
 	}
@@ -385,6 +395,7 @@ func Open(path string, opts *Options) (*Engine, error) {
 	}
 	eng := &Engine{db: db, store: store}
 	eng.initTelemetry(opts.Telemetry)
+	eng.initPlanner(opts.Planner)
 	if err := eng.initFrontDoor(opts.FrontDoor); err != nil {
 		db.Close()
 		return nil, err

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"trex/internal/index"
+	"trex/internal/planner"
 	"trex/internal/telemetry"
 	"trex/internal/translate"
 )
@@ -35,6 +36,13 @@ type Explanation struct {
 	// lists plus the clause's ERPL lists — exact for block-encoded lists,
 	// since the catalog records real encoded sizes.
 	ListBytes int64
+	// PlanFeatures is the feature vector the query planner derives for
+	// this query (at k = DefaultK), and Plan the resulting decision with
+	// per-candidate cost estimates. Both are nil when the planner is
+	// disabled. Computing them reads only the engine's stat cache — no
+	// cursors are opened and no pages are touched.
+	PlanFeatures *planner.Features
+	Plan         *planner.Decision
 	// Trace breaks the analysis into timed spans with I/O attribution
 	// (nil when telemetry is disabled).
 	Trace *telemetry.Trace
@@ -96,17 +104,24 @@ func (e *Engine) ExplainCtx(ctx context.Context, src string) (*Explanation, erro
 			ex.TargetPaths = append(ex.TargetPaths, n.XPathExpr())
 		}
 	}
-	if ex.RPLCovered, err = e.store.Covered(index.KindRPL, terms, sids); err != nil {
+	if ex.RPLCovered, err = e.store.CoveredCached(index.KindRPL, terms, sids); err != nil {
 		return nil, err
 	}
-	if ex.ERPLCovered, err = e.store.Covered(index.KindERPL, terms, sids); err != nil {
+	if ex.ERPLCovered, err = e.store.CoveredCached(index.KindERPL, terms, sids); err != nil {
 		return nil, err
 	}
-	if ex.MethodAtSmallK, err = e.pick(sids, terms, 1); err != nil {
+	if ex.MethodAtSmallK, err = e.methodAt(sids, terms, 1); err != nil {
 		return nil, err
 	}
-	if ex.MethodAtLargeK, err = e.pick(sids, terms, 1_000_000); err != nil {
+	if ex.MethodAtLargeK, err = e.methodAt(sids, terms, 1_000_000); err != nil {
 		return nil, err
+	}
+	if p := e.pln; p != nil {
+		if f, ferr := e.planFeatures(sids, terms, DefaultK); ferr == nil {
+			d := p.model.Plan(f)
+			ex.PlanFeatures = &f
+			ex.Plan = &d
+		}
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -121,14 +136,14 @@ func (e *Engine) ExplainCtx(ctx context.Context, src string) (*Explanation, erro
 		}
 		for _, t := range terms {
 			for _, sid := range sids {
-				n, b, err := e.store.BuiltSize(kind, t, sid)
+				ls, err := e.store.ListStat(kind, t, sid)
 				if err != nil {
 					return nil, err
 				}
 				if kind == index.KindRPL {
-					ex.ListVolume += n
+					ex.ListVolume += ls.Entries
 				}
-				ex.ListBytes += b
+				ex.ListBytes += ls.Bytes
 			}
 		}
 	}
@@ -138,6 +153,18 @@ func (e *Engine) ExplainCtx(ctx context.Context, src string) (*Explanation, erro
 		ex.Trace = trc
 	}
 	return ex, nil
+}
+
+// methodAt resolves what MethodAuto would run at k: the planner's
+// decision when enabled (cold-starting to the static heuristic while
+// uncalibrated), the static heuristic alone otherwise.
+func (e *Engine) methodAt(sids []uint32, terms []string, k int) (Method, error) {
+	if p := e.pln; p != nil {
+		if f, err := e.planFeatures(sids, terms, k); err == nil {
+			return toEngineMethod(p.model.Plan(f).Method), nil
+		}
+	}
+	return e.pick(sids, terms, k)
 }
 
 func prefixedAll(prefix string, words []string) []string {
@@ -161,5 +188,16 @@ func (ex *Explanation) String() string {
 		ex.RPLCovered, ex.ERPLCovered, ex.ListVolume, ex.ListBytes)
 	fmt.Fprintf(&sb, "auto method: k small -> %s, k large -> %s\n",
 		ex.MethodAtSmallK, ex.MethodAtLargeK)
+	if d := ex.Plan; d != nil {
+		mode := "calibrated"
+		if d.ColdStart {
+			mode = "cold-start"
+		}
+		fmt.Fprintf(&sb, "planner (%s, k=%d): %s, predicted cost %.0f", mode, DefaultK, d.Method, d.Cost)
+		if d.RunnerUp >= 0 {
+			fmt.Fprintf(&sb, "; runner-up %s, cost %.0f", d.RunnerUp, d.RunnerUpCost)
+		}
+		sb.WriteByte('\n')
+	}
 	return sb.String()
 }

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"trex/internal/selfmanage"
 )
 
 // Config tunes the controller loop.
@@ -55,6 +57,11 @@ type RunReport struct {
 	DiskBudget int64
 	// Saving is the plan's weighted time saving over the ERA baseline.
 	Saving float64
+	// Routed maps each measured query to the retrieval method the query
+	// planner predicts under RPL-only and ERPL-only coverage — the costs
+	// the solver's saving terms were built from. Nil when the engine's
+	// planner is disabled.
+	Routed map[string]selfmanage.Routing
 }
 
 // RunFunc measures a workload snapshot, solves for the list set under

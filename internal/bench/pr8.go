@@ -1,0 +1,332 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"trex"
+	"trex/internal/corpus"
+	"trex/internal/index"
+	"trex/internal/storage"
+)
+
+// PR8 compares the telemetry-driven query planner (MethodAuto) against
+// MethodRace and the four fixed methods on the standard IEEE corpus with
+// the skewed replay of PR 7. All passes run on one engine, in order
+// fixed -> race -> auto, so the planner enters the auto pass calibrated
+// by exactly the measurements the report prints — the steady state a
+// serving engine reaches on a stable workload. I/O per pass is the
+// engine-level pager delta (logical page touches), which charges Race
+// its losers' reads; wall time is per-request. A second engine with
+// shadow sampling forced to every query measures the planner's regret
+// rate. `make bench-pr8` serializes the report to BENCH_PR8.json.
+
+// PR8Variant is one method policy's replay totals.
+type PR8Variant struct {
+	Name string `json:"name"`
+	// MeanWallMS/P99WallMS summarize per-request wall time.
+	MeanWallMS float64 `json:"meanWallMs"`
+	P99WallMS  float64 `json:"p99WallMs"`
+	// PageReads is the pass's logical page-touch delta (cache hits +
+	// misses, so a warm cache does not hide work); BytesRead the
+	// physical backend traffic. Both include MethodRace's losing
+	// runners, which per-run stats do not see.
+	PageReads uint64 `json:"pageReads"`
+	BytesRead uint64 `json:"bytesRead"`
+	// Methods is the executed-method mix (for race: winners; for auto:
+	// the planner's routing).
+	Methods map[string]int `json:"methods"`
+}
+
+// PR8QueryBest records, per workload query, the cheapest fixed method by
+// mean wall and what auto routed it to.
+type PR8QueryBest struct {
+	ID            string             `json:"id"`
+	Requests      int                `json:"requests"`
+	FixedMeanMS   map[string]float64 `json:"fixedMeanMs"`
+	BestFixed     string             `json:"bestFixed"`
+	AutoRouted    string             `json:"autoRouted"`
+	AutoMeanMS    float64            `json:"autoMeanMs"`
+	BestFixedMS   float64            `json:"bestFixedMs"`
+	AutoOverBestX float64            `json:"autoOverBestX"`
+}
+
+// PR8Shadow is the regret measurement from the shadow-sampling engine.
+type PR8Shadow struct {
+	Samples        uint64 `json:"samples"`
+	Errors         uint64 `json:"errors"`
+	Mispredictions uint64 `json:"mispredictions"`
+	// RegretRate is mispredictions/samples: the fraction of shadowed
+	// decisions where the runner-up measured cheaper than the pick.
+	RegretRate float64 `json:"regretRate"`
+}
+
+// PR8Report is the full planner comparison.
+type PR8Report struct {
+	Corpus struct {
+		Style string `json:"style"`
+		Docs  int    `json:"docs"`
+		Seed  int64  `json:"seed"`
+	} `json:"corpus"`
+	Workload struct {
+		Requests int                `json:"requests"`
+		K        int                `json:"k"`
+		Weights  map[string]float64 `json:"weights"`
+	} `json:"workload"`
+	Variants []PR8Variant `json:"variants"`
+	// PerQuery breaks the auto-vs-best-fixed comparison down by query.
+	PerQuery []PR8QueryBest `json:"perQuery"`
+	// BestFixedMeanWallMS is the replay's mean wall under the oracle
+	// policy "each query runs its own cheapest fixed method";
+	// AutoOverBestFixed is auto's mean wall divided by it (acceptance:
+	// <= 1.05). RaceOverAutoPageReads is race's logical page touches
+	// divided by auto's (acceptance: > 1).
+	BestFixedMeanWallMS   float64   `json:"bestFixedMeanWallMs"`
+	AutoOverBestFixed     float64   `json:"autoOverBestFixed"`
+	RaceOverAutoPageReads float64   `json:"raceOverAutoPageReads"`
+	Shadow                PR8Shadow `json:"shadow"`
+	// PlannerObservations/CalibratedBuckets snapshot the model after the
+	// auto pass.
+	PlannerObservations uint64 `json:"plannerObservations"`
+	CalibratedBuckets   int    `json:"calibratedBuckets"`
+}
+
+const (
+	pr8K        = 10
+	pr8Requests = 400
+)
+
+// pr8FixedMethods are the per-method baseline passes, in run order.
+var pr8FixedMethods = []trex.Method{trex.MethodERA, trex.MethodTA, trex.MethodNRA, trex.MethodMerge}
+
+// PR8 builds the planner comparison over one IEEE corpus.
+func PR8(scale float64) (*PR8Report, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	docs := int(float64(DefaultIEEEDocs) * scale)
+	col := corpus.GenerateIEEE(docs, DefaultSeed)
+
+	rep := &PR8Report{}
+	rep.Corpus.Style = "ieee"
+	rep.Corpus.Docs = docs
+	rep.Corpus.Seed = DefaultSeed
+	rep.Workload.Requests = pr8Requests
+	rep.Workload.K = pr8K
+	rep.Workload.Weights = pr7Weights
+
+	reqs := pr7Replay(pr8Requests)
+	idOf := make(map[string]string, len(pr7Weights))
+	for id := range pr7Weights {
+		idOf[QueryByID(id).NEXI] = id
+	}
+
+	// Shadow sampling off: the auto pass's I/O must be the planner's
+	// own, not its runner-up probes (those are measured separately).
+	eng, err := trex.CreateMemory(col, &trex.Options{
+		Planner: &trex.PlannerOptions{ShadowFraction: -1},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench: pr8 engine: %w", err)
+	}
+	defer eng.Close()
+	for id := range pr7Weights {
+		q := QueryByID(id)
+		if _, err := eng.Materialize(q.NEXI, index.KindRPL, index.KindERPL); err != nil {
+			return nil, fmt.Errorf("bench: pr8 materialize %s: %w", id, err)
+		}
+	}
+
+	// Warmup: one untimed replay so every pass sees a warm page cache.
+	if _, _, _, err := pr8Pass(eng, reqs, trex.MethodERA); err != nil {
+		return nil, err
+	}
+
+	// perID[id][method] collects per-request wall times.
+	perID := make(map[string]map[string][]time.Duration)
+	record := func(id, method string, d time.Duration) {
+		if perID[id] == nil {
+			perID[id] = make(map[string][]time.Duration)
+		}
+		perID[id][method] = append(perID[id][method], d)
+	}
+
+	passes := append(append([]trex.Method(nil), pr8FixedMethods...), trex.MethodRace, trex.MethodAuto)
+	var autoPages, racePages uint64
+	autoRouted := make(map[string]map[string]int) // query id -> executed method -> count
+	for _, m := range passes {
+		lats, executed, io, err := pr8Pass(eng, reqs, m)
+		if err != nil {
+			return nil, err
+		}
+		v := PR8Variant{Name: m.String(), Methods: make(map[string]int), PageReads: io.pages, BytesRead: io.bytes}
+		all := make([]time.Duration, 0, len(lats))
+		for i, d := range lats {
+			all = append(all, d)
+			id := idOf[reqs[i].nexi]
+			record(id, m.String(), d)
+			v.Methods[executed[i]]++
+			if m == trex.MethodAuto {
+				if autoRouted[id] == nil {
+					autoRouted[id] = make(map[string]int)
+				}
+				autoRouted[id][executed[i]]++
+			}
+		}
+		v.MeanWallMS = pr8MeanMS(all)
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		v.P99WallMS = pr7PercentileMS(all, 0.99)
+		rep.Variants = append(rep.Variants, v)
+		switch m {
+		case trex.MethodAuto:
+			autoPages = io.pages
+		case trex.MethodRace:
+			racePages = io.pages
+		}
+	}
+
+	// Per-query: cheapest fixed method by mean wall vs auto's routing.
+	var ids []string
+	for id := range pr7Weights {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var bestSum, autoSum float64
+	var n int
+	for _, id := range ids {
+		byMethod := perID[id]
+		qb := PR8QueryBest{ID: id, FixedMeanMS: make(map[string]float64, len(pr8FixedMethods))}
+		for _, m := range pr8FixedMethods {
+			mean := pr8MeanMS(byMethod[m.String()])
+			qb.FixedMeanMS[m.String()] = mean
+			if qb.BestFixed == "" || mean < qb.BestFixedMS {
+				qb.BestFixed, qb.BestFixedMS = m.String(), mean
+			}
+		}
+		autoLats := byMethod[trex.MethodAuto.String()]
+		qb.Requests = len(autoLats)
+		qb.AutoMeanMS = pr8MeanMS(autoLats)
+		if qb.BestFixedMS > 0 {
+			qb.AutoOverBestX = qb.AutoMeanMS / qb.BestFixedMS
+		}
+		qb.AutoRouted = pr8Dominant(autoRouted[id])
+		bestSum += qb.BestFixedMS * float64(qb.Requests)
+		autoSum += qb.AutoMeanMS * float64(qb.Requests)
+		n += qb.Requests
+		rep.PerQuery = append(rep.PerQuery, qb)
+	}
+	if n > 0 {
+		rep.BestFixedMeanWallMS = bestSum / float64(n)
+	}
+	if rep.BestFixedMeanWallMS > 0 {
+		rep.AutoOverBestFixed = (autoSum / float64(n)) / rep.BestFixedMeanWallMS
+	}
+	if autoPages > 0 {
+		rep.RaceOverAutoPageReads = float64(racePages) / float64(autoPages)
+	}
+
+	st := eng.PlannerStatus()
+	rep.PlannerObservations = st.Observations
+	rep.CalibratedBuckets = st.CalibratedBuckets
+
+	shadow, err := pr8Shadow(col, reqs)
+	if err != nil {
+		return nil, err
+	}
+	rep.Shadow = *shadow
+	return rep, nil
+}
+
+type pr8IO struct {
+	pages uint64
+	bytes uint64
+}
+
+// pr8Pass replays the request sequence under one method policy,
+// returning per-request wall times, per-request executed methods, and
+// the pass's engine-level I/O delta.
+func pr8Pass(eng *trex.Engine, reqs []pr7Request, m trex.Method) ([]time.Duration, []string, pr8IO, error) {
+	lats := make([]time.Duration, len(reqs))
+	executed := make([]string, len(reqs))
+	before := eng.DB().Stats()
+	for i, r := range reqs {
+		start := time.Now()
+		res, err := eng.QueryOpts(r.nexi, trex.QueryOptions{K: r.k, Method: m, NoCache: true})
+		if err != nil {
+			return nil, nil, pr8IO{}, fmt.Errorf("bench: pr8 %v pass: %w", m, err)
+		}
+		lats[i] = time.Since(start)
+		executed[i] = res.Method.String()
+	}
+	// Shadows are off, but race losers may still be draining; the next
+	// pass's delta must not absorb them.
+	eng.DrainShadows()
+	d := eng.DB().Stats().Sub(before)
+	return lats, executed, pr8IO{pages: d.CacheHits + d.CacheMisses, bytes: d.PagesRead * storage.PageSize}, nil
+}
+
+// pr8Dominant returns the most frequent key (ties by name, for
+// determinism).
+func pr8Dominant(counts map[string]int) string {
+	best, bestN := "", -1
+	var keys []string
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if counts[k] > bestN {
+			best, bestN = k, counts[k]
+		}
+	}
+	return best
+}
+
+func pr8MeanMS(lats []time.Duration) float64 {
+	if len(lats) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range lats {
+		sum += d
+	}
+	return float64(sum.Nanoseconds()) / float64(len(lats)) / 1e6
+}
+
+// pr8Shadow builds a second engine with shadow sampling on every auto
+// query, replays the workload twice (calibrate, then measure), and
+// reports the regret counters.
+func pr8Shadow(col *corpus.Collection, reqs []pr7Request) (*PR8Shadow, error) {
+	eng, err := trex.CreateMemory(col, &trex.Options{
+		Planner: &trex.PlannerOptions{ShadowFraction: 1},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench: pr8 shadow engine: %w", err)
+	}
+	defer eng.Close()
+	for id := range pr7Weights {
+		q := QueryByID(id)
+		if _, err := eng.Materialize(q.NEXI, index.KindRPL, index.KindERPL); err != nil {
+			return nil, fmt.Errorf("bench: pr8 shadow materialize %s: %w", id, err)
+		}
+	}
+	for pass := 0; pass < 2; pass++ {
+		for _, r := range reqs {
+			if _, err := eng.QueryOpts(r.nexi, trex.QueryOptions{K: r.k, NoCache: true}); err != nil {
+				return nil, fmt.Errorf("bench: pr8 shadow pass: %w", err)
+			}
+		}
+		eng.DrainShadows()
+	}
+	st := eng.PlannerStatus()
+	out := &PR8Shadow{
+		Samples:        st.ShadowSamples,
+		Errors:         st.ShadowErrors,
+		Mispredictions: st.Mispredictions,
+	}
+	if st.ShadowSamples > 0 {
+		out.RegretRate = float64(st.Mispredictions) / float64(st.ShadowSamples)
+	}
+	return out, nil
+}

@@ -114,7 +114,8 @@ func AppendDocuments(s *Store, docs []corpus.Document, sum *summary.Summary) (*A
 		}
 	}
 
-	// Merge term statistics.
+	// Merge term statistics (and drop the planner's memo of them).
+	s.stats.invalidate()
 	for t := range cfDelta {
 		df, err := s.TermDF(t)
 		if err != nil {

@@ -56,6 +56,7 @@ func (s *Store) dropERPL(term string, sid uint32) (int, error) {
 			return 0, err
 		}
 	}
+	s.stats.invalidate()
 	if _, err := s.Catalog.Delete(catalogKey(KindERPL, term, sid)); err != nil {
 		return 0, err
 	}
@@ -126,6 +127,7 @@ func (s *Store) dropRPL(term string, sid uint32) (int, error) {
 			}
 		}
 	}
+	s.stats.invalidate()
 	if _, err := s.Catalog.Delete(catalogKey(KindRPL, term, sid)); err != nil {
 		return 0, err
 	}

@@ -1,0 +1,99 @@
+package index
+
+import "testing"
+
+func TestListStatCaching(t *testing.T) {
+	st := openEmptyStore(t)
+
+	// Unbuilt list: not built, zero sizes.
+	ls, err := st.ListStat(KindRPL, "xml", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.Built || ls.Entries != 0 || ls.Bytes != 0 || ls.Blocks != 0 {
+		t.Fatalf("unbuilt ListStat = %+v", ls)
+	}
+
+	if err := st.MarkBuilt(KindRPL, "xml", 3, 300, 4096); err != nil {
+		t.Fatal(err)
+	}
+	ls, err = st.ListStat(KindRPL, "xml", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBlocks := (300 + BlockTargetEntries - 1) / BlockTargetEntries
+	if !ls.Built || ls.Entries != 300 || ls.Bytes != 4096 || ls.Blocks != wantBlocks {
+		t.Fatalf("built ListStat = %+v, want entries=300 bytes=4096 blocks=%d", ls, wantBlocks)
+	}
+
+	// A warm lookup must not touch storage pages.
+	before := st.DB.Stats()
+	for i := 0; i < 100; i++ {
+		if _, err := st.ListStat(KindRPL, "xml", 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := st.DB.Stats().Sub(before); d.CacheHits+d.CacheMisses != 0 {
+		t.Fatalf("warm ListStat touched %d pages", d.CacheHits+d.CacheMisses)
+	}
+
+	// Re-marking (rebuild) invalidates.
+	if err := st.MarkBuilt(KindRPL, "xml", 3, 500, 8192); err != nil {
+		t.Fatal(err)
+	}
+	ls, err = st.ListStat(KindRPL, "xml", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.Entries != 500 || ls.Bytes != 8192 {
+		t.Fatalf("post-rebuild ListStat = %+v, want entries=500", ls)
+	}
+
+	// Dropping invalidates back to unbuilt.
+	if _, err := st.DropList(KindRPL, "xml", 3); err != nil {
+		t.Fatal(err)
+	}
+	ls, err = st.ListStat(KindRPL, "xml", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.Built {
+		t.Fatalf("dropped list still Built: %+v", ls)
+	}
+}
+
+func TestCoveredCachedMatchesCovered(t *testing.T) {
+	st := openEmptyStore(t)
+	terms := []string{"alpha", "beta"}
+	sids := []uint32{1, 2}
+	for _, tm := range terms {
+		for _, sid := range sids {
+			if tm == "beta" && sid == 2 {
+				continue // leave one hole
+			}
+			if err := st.MarkBuilt(KindERPL, tm, sid, 10, 100); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, probe := range []struct {
+		terms []string
+		sids  []uint32
+	}{
+		{terms, sids},
+		{[]string{"alpha"}, sids},
+		{terms, []uint32{1}},
+	} {
+		want, err := st.Covered(KindERPL, probe.terms, probe.sids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := st.CoveredCached(KindERPL, probe.terms, probe.sids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("CoveredCached(%v,%v) = %v, Covered = %v", probe.terms, probe.sids, got, want)
+		}
+	}
+}

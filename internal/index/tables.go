@@ -37,6 +37,10 @@ type Store struct {
 	// stopSet caches the persisted stopword set (nil until loaded).
 	stopSet map[string]bool
 
+	// stats memoizes catalog and term-stat lookups for the planner's
+	// feature extraction (see statcache.go).
+	stats statCache
+
 	// seg, when attached, serves committed RPL/ERPL reads from an
 	// immutable mmap'd segment; segClean reports whether it reflects the
 	// trees (see segment.go). Nil seg = pager backend.
@@ -279,6 +283,7 @@ func (s *Store) MarkBuilt(kind ListKind, term string, sid uint32, entries int, b
 	var v [16]byte
 	binary.BigEndian.PutUint64(v[0:8], uint64(entries))
 	binary.BigEndian.PutUint64(v[8:16], uint64(bytes))
+	s.stats.invalidate()
 	return s.Catalog.Put(catalogKey(kind, term, sid), v[:])
 }
 

@@ -8,6 +8,12 @@
 // tolerance: the codecs round-trip scores exactly, so any drift is a
 // bug.
 //
+// A fifth "Auto" column routes each case through the query planner: a
+// per-case-calibrated planner picks a method from the case's feature
+// vector and the oracle runs whatever it decided, asserting routing can
+// never change a ranking. The calibration is seeded per case so the
+// sweep exercises all four routes, not just the cold-start picks.
+//
 // CheckCrashRecovery additionally loops each case through a crash that
 // dies between the segment fsync and the manifest swap, asserting the
 // old generation serves intact after recovery.
@@ -24,7 +30,9 @@ import (
 
 	"trex/internal/faultinject"
 	"trex/internal/index"
+	"trex/internal/planner"
 	"trex/internal/retrieval"
+	"trex/internal/score"
 	"trex/internal/segment"
 	"trex/internal/storage"
 	"trex/internal/summary"
@@ -64,7 +72,7 @@ func NewCase(rng *rand.Rand, seed int64) Case {
 type Mismatch struct {
 	Case     Case
 	Store    string // "v1", "v2", or "mixed"
-	Strategy string // "TA", "NRA", or "Merge"
+	Strategy string // "TA", "NRA", "Merge", or "Auto"
 	Detail   string
 }
 
@@ -168,6 +176,9 @@ func check(c Case, perturb perturbFunc) (*Mismatch, error) {
 				r, _, err := retrieval.Merge(s.st, c.SIDs, c.Terms, kk)
 				return r, err
 			}},
+			{"Auto", func() ([]retrieval.Scored, error) {
+				return runAuto(s.st, c, sc, kk)
+			}},
 		}
 		for _, strat := range runs {
 			got, err := strat.run()
@@ -183,6 +194,83 @@ func check(c Case, perturb perturbFunc) (*Mismatch, error) {
 		}
 	}
 	return nil, nil
+}
+
+// caseFeatures derives the planner feature vector for the case on one
+// store — the same catalog-backed statistics the engine's query path
+// feeds the planner.
+func caseFeatures(st *index.Store, c Case) (planner.Features, error) {
+	f := planner.Features{NumSIDs: len(c.SIDs), NumTerms: len(c.Terms), K: c.K}
+	if f.K < 0 {
+		f.K = 0
+	}
+	var err error
+	if f.RPLCovered, err = st.CoveredCached(index.KindRPL, c.Terms, c.SIDs); err != nil {
+		return f, err
+	}
+	if f.ERPLCovered, err = st.CoveredCached(index.KindERPL, c.Terms, c.SIDs); err != nil {
+		return f, err
+	}
+	for _, t := range c.Terms {
+		cf, err := st.TermCFCached(t)
+		if err != nil {
+			return f, err
+		}
+		f.PostingsPositions += cf
+		for _, sid := range c.SIDs {
+			rs, err := st.ListStat(index.KindRPL, t, sid)
+			if err != nil {
+				return f, err
+			}
+			if rs.Built {
+				f.RPLEntries += int64(rs.Entries)
+				f.RPLBytes += rs.Bytes
+				f.RPLBlocks += int64(rs.Blocks)
+			}
+			es, err := st.ListStat(index.KindERPL, t, sid)
+			if err != nil {
+				return f, err
+			}
+			if es.Built {
+				f.ERPLEntries += int64(es.Entries)
+				f.ERPLBytes += es.Bytes
+				f.ERPLBlocks += int64(es.Blocks)
+			}
+		}
+	}
+	return f, nil
+}
+
+// runAuto is the planner-routed column: a fresh planner, calibrated with
+// a single observation that makes the case's seed-preferred method the
+// predicted-cheapest (when eligible), decides the method, and the oracle
+// runs exactly that. The seed rotation walks all four routes across a
+// sweep; ineligible preferences fall back to the planner's own ranking.
+func runAuto(st *index.Store, c Case, sc *score.Scorer, kk int) ([]retrieval.Scored, error) {
+	f, err := caseFeatures(st, c)
+	if err != nil {
+		return nil, err
+	}
+	pl := planner.New()
+	pref := planner.Method(uint64(c.Seed) % uint64(planner.NumMethods))
+	if planner.Eligible(pref, f) {
+		pl.Observe(pref, f, 1)
+	}
+	d := pl.Plan(f)
+	switch d.Method {
+	case planner.TA:
+		r, _, err := retrieval.TA(st, c.SIDs, c.Terms, sc, kk)
+		return r, err
+	case planner.NRA:
+		r, _, err := retrieval.NRA(st, c.SIDs, c.Terms, kk)
+		return r, err
+	case planner.Merge:
+		r, _, err := retrieval.Merge(st, c.SIDs, c.Terms, kk)
+		return r, err
+	default:
+		r, _, err := retrieval.ExhaustiveTopK(st, c.SIDs, c.Terms, sc, kk)
+		return r, err
+	}
 }
 
 // buildCaseStore parses the case's collection into a fresh in-memory

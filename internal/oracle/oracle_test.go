@@ -12,8 +12,9 @@ import (
 )
 
 // TestDifferential200Cases is the CI-mode oracle sweep: 200 seeded cases,
-// each asserting byte-identical rankings from TA, NRA, and Merge against
-// the exhaustive baseline across v1, v2, and mixed-format stores.
+// each asserting byte-identical rankings from TA, NRA, Merge, and the
+// planner-routed Auto column against the exhaustive baseline across v1,
+// v2, mixed-format, and segment-backed stores.
 func TestDifferential200Cases(t *testing.T) {
 	for seed := int64(1); seed <= 200; seed++ {
 		seed := seed

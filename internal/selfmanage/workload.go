@@ -47,6 +47,18 @@ func (s Strategy) String() string {
 	}
 }
 
+// Routing records, for one workload query, which retrieval method the
+// engine's query planner predicts it would run under each single-kind
+// coverage: with only the query's RPLs materialized, and with only its
+// ERPLs. The advisor folds these into the solver's saving terms — a
+// materialized list only saves time for queries the planner would
+// actually route to the strategy that reads it (a query routed to ERA
+// under RPL-only coverage gains nothing from its RPLs).
+type Routing struct {
+	RPLOnly  string `json:"rplOnly"`
+	ERPLOnly string `json:"erplOnly"`
+}
+
 // ListRef identifies one materializable list with its size. Key should be
 // unique per physical list (e.g. "E/term/sid" or "R/term/sid"), so queries
 // that share lists share their cost.

@@ -8,6 +8,7 @@
 //	POST /materialize?q=<nexi>&kinds=rpl,erpl
 //	GET  /stats
 //	GET  /autopilot   (online self-management status: last run, plan, budget)
+//	GET  /planner     (query planner status: decisions, shadow sampling, model)
 //	GET  /metrics     (Prometheus text exposition of the engine's registry)
 //	GET  /slowlog     (recent over-threshold queries with their traces)
 //	GET  /            (a minimal HTML search page)
@@ -28,6 +29,7 @@ import (
 	"trex"
 	"trex/internal/frontdoor"
 	"trex/internal/index"
+	"trex/internal/planner"
 	"trex/internal/telemetry"
 )
 
@@ -49,6 +51,7 @@ func New(eng *trex.Engine, allowWrites bool) *Server {
 	mux.HandleFunc("POST /materialize", s.handleMaterialize)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /autopilot", s.handleAutopilot)
+	mux.HandleFunc("GET /planner", s.handlePlanner)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /slowlog", s.handleSlowlog)
 	mux.HandleFunc("GET /{$}", s.handleIndex)
@@ -101,9 +104,43 @@ type SearchResponse struct {
 	Approximate bool `json:"approximate,omitempty"`
 	// Cached reports the result was served from the engine's result cache.
 	Cached bool `json:"cached,omitempty"`
+	// PlannedMethod / PredictedCost / PlanCandidates expose the query
+	// planner's decision when the query ran with method=auto on a
+	// planner-enabled engine (absent for fixed methods, cache hits, or a
+	// disabled planner).
+	PlannedMethod  string          `json:"plannedMethod,omitempty"`
+	PredictedCost  float64         `json:"predictedCost,omitempty"`
+	PlanCandidates []PlanCandidate `json:"planCandidates,omitempty"`
 	// Trace is the per-query span breakdown (absent when the engine runs
 	// with telemetry disabled).
 	Trace *telemetry.Trace `json:"trace,omitempty"`
+}
+
+// PlanCandidate is one retrieval method's cost estimate inside a
+// planner decision, as exposed by /search and /explain.
+type PlanCandidate struct {
+	Method   string  `json:"method"`
+	Eligible bool    `json:"eligible"`
+	Prior    float64 `json:"prior"`
+	Ratio    float64 `json:"ratio"`
+	Cost     float64 `json:"cost"`
+	Samples  uint64  `json:"samples"`
+}
+
+// planCandidates flattens a planner decision's candidate table.
+func planCandidates(d *planner.Decision) []PlanCandidate {
+	out := make([]PlanCandidate, 0, len(d.Candidates))
+	for _, c := range d.Candidates {
+		out = append(out, PlanCandidate{
+			Method:   c.Method.String(),
+			Eligible: c.Eligible,
+			Prior:    c.Prior,
+			Ratio:    c.Ratio,
+			Cost:     c.Cost,
+			Samples:  c.Samples,
+		})
+	}
+	return out
 }
 
 func parseMethod(s string) (trex.Method, error) {
@@ -189,6 +226,11 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	resp.Approximate = res.Approximate
 	resp.Cached = res.Cached
 	resp.Trace = res.Trace
+	if res.Plan != nil {
+		resp.PlannedMethod = res.Plan.Method.String()
+		resp.PredictedCost = res.Plan.Cost
+		resp.PlanCandidates = planCandidates(res.Plan)
+	}
 	wantSnippets := r.URL.Query().Get("snippets") == "1"
 	terms := res.Translation.DistinctTerms()
 	for i, a := range res.Answers {
@@ -221,7 +263,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	out := map[string]any{
 		"query":          ex.Query,
 		"numSids":        ex.NumSIDs,
 		"numTerms":       ex.NumTerms,
@@ -233,7 +275,17 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		"methodAtLargeK": ex.MethodAtLargeK.String(),
 		"listVolume":     ex.ListVolume,
 		"listBytes":      ex.ListBytes,
-	})
+	}
+	if ex.Plan != nil {
+		out["plannedMethod"] = ex.Plan.Method.String()
+		out["predictedCost"] = ex.Plan.Cost
+		out["planColdStart"] = ex.Plan.ColdStart
+		out["planCandidates"] = planCandidates(ex.Plan)
+	}
+	if ex.PlanFeatures != nil {
+		out["planFeatures"] = ex.PlanFeatures
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleMaterialize(w http.ResponseWriter, r *http.Request) {
@@ -335,6 +387,14 @@ func (s *Server) handleSlowlog(w http.ResponseWriter, r *http.Request) {
 // server runs without the autopilot.
 func (s *Server) handleAutopilot(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.eng.AutopilotStatus())
+}
+
+// handlePlanner reports the query planner's state: per-method decision
+// counts, shadow-sampling counters (samples, errors, mispredictions),
+// and model calibration (observations, buckets, staleness).
+// enabled=false when the engine runs with the planner disabled.
+func (s *Server) handlePlanner(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.eng.PlannerStatus())
 }
 
 const indexHTML = `<!doctype html>

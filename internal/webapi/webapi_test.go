@@ -181,6 +181,119 @@ func TestIndexPage(t *testing.T) {
 	}
 }
 
+func TestPlannerEndpoint(t *testing.T) {
+	ts := newTestServer(t, false)
+	var st map[string]any
+	if code := getJSON(t, ts, "/planner", &st); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if !st["enabled"].(bool) {
+		t.Fatal("planner reported disabled on a default engine")
+	}
+	if st["shadowFraction"].(float64) != trex.DefaultShadowFraction {
+		t.Fatalf("shadowFraction = %v", st["shadowFraction"])
+	}
+	if _, ok := st["decisions"].(map[string]any); !ok {
+		t.Fatalf("decisions = %T", st["decisions"])
+	}
+
+	// An auto query bumps the decision counter for the routed method and
+	// calibrates the model with its observed cost.
+	var sr SearchResponse
+	if code := getJSON(t, ts, "/search?q="+url.QueryEscape(testQuery), &sr); code != http.StatusOK {
+		t.Fatalf("search status = %d", code)
+	}
+	if code := getJSON(t, ts, "/planner", &st); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	dec := st["decisions"].(map[string]any)
+	var total float64
+	for _, v := range dec {
+		total += v.(float64)
+	}
+	if total != 1 {
+		t.Fatalf("decisions after one auto query = %v", dec)
+	}
+	if st["observations"].(float64) < 1 {
+		t.Fatalf("observations = %v", st["observations"])
+	}
+
+	// A planner-disabled engine still answers, flagged disabled.
+	col := corpus.GenerateIEEE(5, 404)
+	eng, err := trex.CreateMemory(col, &trex.Options{
+		Planner: &trex.PlannerOptions{Disabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	ts2 := httptest.NewServer(New(eng, false))
+	t.Cleanup(ts2.Close)
+	var off map[string]any
+	if code := getJSON(t, ts2, "/planner", &off); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if off["enabled"].(bool) {
+		t.Fatal("planner reported enabled on a disabled engine")
+	}
+}
+
+func TestSearchPlannerFields(t *testing.T) {
+	ts := newTestServer(t, false)
+	var sr SearchResponse
+	if code := getJSON(t, ts, "/search?q="+url.QueryEscape(testQuery), &sr); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if sr.PlannedMethod != sr.Method {
+		t.Fatalf("plannedMethod = %q, method = %q", sr.PlannedMethod, sr.Method)
+	}
+	if sr.PredictedCost <= 0 {
+		t.Fatalf("predictedCost = %v", sr.PredictedCost)
+	}
+	if len(sr.PlanCandidates) != 4 {
+		t.Fatalf("planCandidates = %d, want 4", len(sr.PlanCandidates))
+	}
+	for _, c := range sr.PlanCandidates {
+		if c.Method == "" {
+			t.Fatalf("candidate missing method: %+v", c)
+		}
+	}
+
+	// Fixed methods carry no plan.
+	var fixed SearchResponse
+	if code := getJSON(t, ts, "/search?method=era&q="+url.QueryEscape(testQuery), &fixed); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if fixed.PlannedMethod != "" || fixed.PlanCandidates != nil {
+		t.Fatalf("fixed-method response carries plan: %q %v", fixed.PlannedMethod, fixed.PlanCandidates)
+	}
+}
+
+func TestExplainPlannerFields(t *testing.T) {
+	ts := newTestServer(t, false)
+	var ex map[string]any
+	if code := getJSON(t, ts, "/explain?q="+url.QueryEscape(testQuery), &ex); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if ex["plannedMethod"].(string) != "era" {
+		t.Fatalf("plannedMethod = %v (nothing materialized)", ex["plannedMethod"])
+	}
+	if ex["planColdStart"].(bool) != true {
+		t.Fatal("fresh engine not flagged cold-start")
+	}
+	cands, ok := ex["planCandidates"].([]any)
+	if !ok || len(cands) != 4 {
+		t.Fatalf("planCandidates = %v", ex["planCandidates"])
+	}
+	feats, ok := ex["planFeatures"].(map[string]any)
+	if !ok {
+		t.Fatalf("planFeatures = %T", ex["planFeatures"])
+	}
+	if feats["NumTerms"].(float64) != 3 {
+		t.Fatalf("planFeatures.NumTerms = %v", feats["NumTerms"])
+	}
+}
+
 func TestAutopilotEndpoint(t *testing.T) {
 	// Without the daemon the endpoint still answers, flagged disabled.
 	ts := newTestServer(t, false)

@@ -10,6 +10,7 @@ import (
 
 	"trex/internal/index"
 	"trex/internal/nexi"
+	"trex/internal/planner"
 	"trex/internal/retrieval"
 	"trex/internal/score"
 	"trex/internal/telemetry"
@@ -20,8 +21,11 @@ import (
 type Method int
 
 const (
-	// MethodAuto lets the engine pick based on which redundant lists are
-	// materialized and on k.
+	// MethodAuto lets the engine pick the strategy. With the online
+	// planner enabled (the default) the pick comes from a continuously
+	// calibrated cost model over the query's feature vector; with the
+	// planner disabled it falls back to the static heuristic (list
+	// coverage plus a fixed k threshold).
 	MethodAuto Method = iota
 	// MethodERA forces the exhaustive algorithm (always available).
 	MethodERA
@@ -33,7 +37,11 @@ const (
 	// MethodRace runs TA and Merge concurrently and returns the result of
 	// whichever finishes first — the parallel evaluation Section 4 of the
 	// paper describes for systems that store both an RPL and an ERPL.
-	// Requires both coverages.
+	// Requires both coverages. Since the online planner took over
+	// MethodAuto, racing is a legacy mode: it burns the loser's pages
+	// and an admission slot on every query, where the planner pays that
+	// double evaluation only on the sampled shadow fraction. Kept for
+	// explicit callers and as the bench baseline.
 	MethodRace
 	// MethodNRA is the sorted-access-only threshold algorithm (the
 	// TopX-style variant the paper's TA implementation follows): no
@@ -94,6 +102,12 @@ type Result struct {
 	Translation *translate.Translation
 	// Stats describes the retrieval phase (the part the paper times).
 	Stats *retrieval.Stats
+	// Plan is the planner's decision when the query came in as
+	// MethodAuto and the online planner resolved it: the predicted
+	// costs of every candidate method alongside the pick. Nil for
+	// fixed-method queries, for cached results, and when the planner is
+	// disabled (the legacy static heuristic leaves no decision record).
+	Plan *planner.Decision
 	// Trace is the per-query span breakdown (nil when telemetry is
 	// disabled): timed phases with page/byte counts attributed per span.
 	Trace *telemetry.Trace
@@ -323,8 +337,9 @@ type QueryOptions struct {
 }
 
 // Query evaluates a NEXI query, returning the top k answers (all answers
-// when k <= 0) using the requested method. MethodAuto picks Merge or TA
-// when their lists are materialized (TA for k <= 10), falling back to ERA.
+// when k <= 0) using the requested method. MethodAuto resolves through
+// the online planner's cost model (Options.Planner), falling back to
+// the static coverage-plus-k heuristic when the planner is disabled.
 func (e *Engine) Query(src string, k int, m Method) (*Result, error) {
 	return e.QueryOptsCtx(context.Background(), src, QueryOptions{K: k, Method: m})
 }
@@ -387,6 +402,7 @@ func (e *Engine) QueryOptsCtx(ctx context.Context, src string, opts QueryOptions
 			out := *v.(*Result)
 			out.Cached = true
 			out.Trace = nil
+			out.Plan = nil
 			e.observePilot(src, opts.K)
 			return &out, nil
 		}
@@ -537,31 +553,54 @@ func (e *Engine) queryCore(ctx context.Context, src string, opts QueryOptions, t
 		return nil, err
 	}
 
-	if m == MethodAuto {
-		m, err = e.pick(sids, terms, k)
-		if err != nil {
-			return nil, err
-		}
-	}
-	if trc != nil {
-		sp, now := e.endSpanIO(trc, span, ioPrev)
-		sp.Method = m.String()
-		ioPrev = now
-	}
-
 	// Multi-clause queries combine scores across elements (support
 	// clauses contribute containment bonuses), so their retrieval phase
 	// must produce all matches. A single target-clause query ranks purely
 	// by per-element scores — support bonuses cannot apply (every
 	// retrieved element is an answer) — so k (plus any pagination offset)
 	// pushes down into the strategy, which is the whole point of top-k
-	// evaluation.
+	// evaluation. Computed before method resolution: the planner's k
+	// feature must be the k the retrieval phase will actually see.
 	kEval := 0
 	if len(tr.Clauses) == 1 && tr.Clauses[0].IsTarget && len(negs) == 0 {
 		kEval = k
 		if k > 0 && opts.Offset > 0 {
 			kEval = k + opts.Offset
 		}
+	}
+
+	// With the planner enabled, every query's feature vector is
+	// extracted (stat-cache lookups, no page reads when warm): auto
+	// queries plan with it, and every exactly measured run — fixed
+	// method or planned — calibrates the model with it afterwards.
+	var feats planner.Features
+	featsOK := false
+	var plan *planner.Decision
+	if p := e.pln; p != nil {
+		if f, ferr := e.planFeatures(sids, terms, kEval); ferr == nil {
+			feats, featsOK = f, true
+		}
+	}
+	if m == MethodAuto {
+		if p := e.pln; p != nil && featsOK {
+			d := p.model.Plan(feats)
+			plan = &d
+			m = toEngineMethod(d.Method)
+			p.decisions[d.Method].Add(1)
+		} else {
+			if p := e.pln; p != nil {
+				p.fallbacks.Add(1)
+			}
+			m, err = e.pick(sids, terms, k)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if trc != nil {
+		sp, now := e.endSpanIO(trc, span, ioPrev)
+		sp.Method = m.String()
+		ioPrev = now
 	}
 
 	if trc != nil {
@@ -586,6 +625,17 @@ func (e *Engine) queryCore(ctx context.Context, src string, opts QueryOptions, t
 	}
 	if err != nil {
 		return nil, err
+	}
+	if featsOK {
+		// Calibrate on the executed method (the race winner when the
+		// caller forced MethodRace); shadow-sample auto-planned queries
+		// so the runner-up's cost keeps the model honest.
+		e.observeRun(m, feats, stats)
+		if plan != nil && plan.RunnerUp >= 0 && stats != nil && !stats.Approximate {
+			if ru := toEngineMethod(plan.RunnerUp); ru != m && e.pln.shouldShadow() {
+				e.launchShadow(ru, sids, terms, sc, kEval, feats, stats.CostProxy())
+			}
+		}
 	}
 
 	if trc != nil {
@@ -618,6 +668,7 @@ func (e *Engine) queryCore(ctx context.Context, src string, opts QueryOptions, t
 		TotalAnswers: total,
 		Translation:  tr,
 		Stats:        stats,
+		Plan:         plan,
 		Approximate:  stats != nil && stats.Approximate,
 	}, nil
 }
