@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-parallel bench-pr3 bench-pr5 bench-pr6 bench-qps bench-pr8 bench-suite-log test-telemetry test-segment test-frontdoor test-planner fuzz soak ci run-serve-autopilot
+.PHONY: all build test race vet bench bench-parallel bench-pr3 bench-pr5 bench-pr6 bench-qps bench-pr8 bench-cluster bench-suite-log test-telemetry test-segment test-frontdoor test-planner test-cluster fuzz soak soak-cluster ci run-serve-autopilot
 
 all: build test
 
@@ -67,6 +67,15 @@ bench-qps:
 bench-pr8:
 	$(GO) run ./cmd/trexbench -exp pr8 -pr8out BENCH_PR8.json
 
+# bench-cluster regenerates BENCH_PR9.json: the distributed serving
+# tier — open-loop QPS/p50/p99 sweeps for the single engine vs
+# coordinators at 1/2/4/8 shards behind an identical front door, with
+# distributed-TA early-stop counts and per-shard page reads. On a
+# single-core box expect throughput parity (the JSON records the
+# caveat); the distributed win is in the early-stop/page columns.
+bench-cluster:
+	$(GO) run ./cmd/trexbench -exp pr9 -pr9out BENCH_PR9.json
+
 # bench-suite-log re-runs the full `go test -bench` sweep and captures
 # the raw tool output for local inspection. The log is generated on
 # demand and not committed; recorded results live in the BENCH_*.json
@@ -119,6 +128,18 @@ test-planner:
 	$(GO) test ./internal/oracle -run TestDifferential200Cases -count=1
 	$(GO) test ./internal/webapi -run 'TestPlanner|TestSearchPlannerFields|TestExplainPlannerFields' -count=1
 
+# test-cluster is the distributed-tier gate: the cluster package's
+# full suite (partitioning, distributed TA, sequenced replication,
+# fault injection at every fetch boundary, telemetry conformance), the
+# replication/fault tests under the race detector, the 200-case
+# distributed-vs-single differential oracle, and the coordinator's
+# HTTP handler tests.
+test-cluster:
+	$(GO) test ./internal/cluster -count=1
+	$(GO) test ./internal/cluster -run 'TestQueriesRaceWriteFanout|TestWriteFanoutSurvivesMidApplyCrash|TestClusterIOExactHonestUnderSegmentSwap' -race -count=1
+	$(GO) test ./internal/oracle -run 'TestClusterDifferential200Cases|TestClusterPerturbationShrinksToMinimalRepro' -count=1
+	$(GO) test ./internal/webapi -run 'TestCluster' -count=1
+
 # fuzz gives each codec fuzz target a short bounded run — long enough to
 # catch a decode panic regression, short enough for CI. The loop fails
 # fast: the first red target stops the run instead of burning the
@@ -147,11 +168,21 @@ soak:
 	TREX_SOAK=1 TREX_SOAK_SEED=$(SEED) TREX_SOAK_CASES=$(CASES) \
 		$(GO) test ./internal/oracle -run '^TestSoak$$' -count=1 -v -timeout 120m
 
+# soak-cluster is the nightly distributed-oracle long run: randomized
+# cases through the full CheckCluster grid (shards {1,2,4} x replicas
+# {1,2} x ERA/TA/NRA/Merge vs a single engine). Same SEED/CASES
+# replay contract as `make soak`; a cluster case covers 24 grid cells,
+# so the default count is lower.
+CLUSTER_CASES ?= 1000
+soak-cluster:
+	TREX_SOAK=1 TREX_SOAK_SEED=$(SEED) TREX_SOAK_CASES=$(CLUSTER_CASES) \
+		$(GO) test ./internal/oracle -run '^TestClusterSoak$$' -count=1 -v -timeout 120m
+
 # ci is the full pre-merge gate: build, vet, plain tests, race tests,
 # the segment-backend gate, the telemetry conformance gate, the
 # front-door gate, the query-planner gate, short codec and
 # segment-format fuzz runs.
-ci: build vet test race test-segment test-telemetry test-frontdoor test-planner fuzz
+ci: build vet test race test-segment test-telemetry test-frontdoor test-planner test-cluster fuzz
 
 # run-serve-autopilot is an end-to-end smoke test of the online
 # self-management daemon: generate a small corpus, load it, serve it

@@ -19,6 +19,7 @@
 //	pr6        mmap'd segment read path vs the pager (see -pr6out)
 //	pr7        front door under load: admission + result cache (see -pr7out)
 //	pr8        telemetry-driven query planner: auto vs race vs fixed (see -pr8out)
+//	pr9        distributed serving tier: sharded scatter-gather vs single engine (see -pr9out)
 //	all        everything above
 //
 // Usage:
@@ -51,6 +52,7 @@ func main() {
 	pr6Out := flag.String("pr6out", "", "write the pr6 segment read-path report as JSON to this file")
 	pr7Out := flag.String("pr7out", "", "write the pr7 front-door load report as JSON to this file")
 	pr8Out := flag.String("pr8out", "", "write the pr8 query-planner report as JSON to this file")
+	pr9Out := flag.String("pr9out", "", "write the pr9 cluster serving report as JSON to this file")
 	flag.Parse()
 	csvOut = *csvDir
 	if csvOut != "" {
@@ -139,6 +141,10 @@ func main() {
 	if run("pr8") {
 		ok = true
 		pr8(*scale, *pr8Out)
+	}
+	if run("pr9") {
+		ok = true
+		pr9(*scale, *pr9Out)
 	}
 	if !ok {
 		log.Fatalf("unknown experiment %q", *exp)
@@ -489,6 +495,50 @@ func pr7(scale float64, outPath string) {
 				p.OK, p.Shed, p.QueueTimeouts, p.CacheHitRate*100)
 		}
 	}
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("# wrote %s\n", outPath)
+	}
+	fmt.Println()
+}
+
+func pr9(scale float64, outPath string) {
+	fmt.Println("## Distributed serving tier: sharded scatter-gather vs single engine (PR 9)")
+	rep, err := bench.PR9(scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serial capacity: %.0f qps (uncached, single-threaded TA replay); gomaxprocs=%d numcpu=%d\n",
+		rep.SerialCapacityQPS, rep.GOMAXPROCS, rep.NumCPU)
+	if rep.SingleCoreCaveat != "" {
+		fmt.Printf("caveat: %s\n", rep.SingleCoreCaveat)
+	}
+	for _, v := range rep.Variants {
+		label := v.Name
+		if v.Shards > 0 {
+			label = fmt.Sprintf("%s (N=%d R=%d)", v.Name, v.Shards, v.Replicas)
+		}
+		fmt.Printf("%-20s\n", label)
+		fmt.Printf("  %10s %10s %9s %9s | %5s %5s %5s | %10s %7s %7s\n",
+			"offered", "achieved", "p50-ms", "p99-ms", "ok", "shed", "503", "pages", "early", "fetch")
+		for _, p := range v.Points {
+			fmt.Printf("  %10.0f %10.0f %9.2f %9.2f | %5d %5d %5d | %10d %7d %7d\n",
+				p.OfferedQPS, p.AchievedQPS, p.P50MS, p.P99MS,
+				p.OK, p.Shed, p.QueueTimeouts, p.PageReads, p.EarlyStops, p.Fetches)
+		}
+	}
+	fmt.Printf("4-shard ok-QPS over single engine: %.2fx\n", rep.SpeedupAt4Shards)
 	if outPath != "" {
 		f, err := os.Create(outPath)
 		if err != nil {

@@ -4,9 +4,17 @@
 // the materialized RPL/ERPL set tuned to it under a disk budget while
 // the server keeps answering queries.
 //
+// With -shards N (and optionally -replicas R) it instead serves a
+// sharded scatter-gather cluster built from a corpus directory: the
+// coordinator translates each query once, runs distributed TA across
+// the shard engines with replica failover, and exposes /cluster for
+// topology plus trex_cluster_* metrics. The front door then guards the
+// coordinator, not the individual shard engines.
+//
 // Usage:
 //
 //	trexserve -db ./ieee.trexdb -addr :8080 [-writes]
+//	trexserve -corpus ./corpus-dir -shards 4 -replicas 2 -addr :8080 [-writes]
 //	    [-autopilot -autopilot-interval 30s -autopilot-budget 1000000000
 //	     -autopilot-drift 500 -autopilot-capacity 512 -autopilot-top 16
 //	     -autopilot-solver greedy -autopilot-pause 5ms]
@@ -43,8 +51,51 @@ import (
 	"time"
 
 	"trex"
+	"trex/internal/cluster"
+	"trex/internal/corpus"
 	"trex/internal/webapi"
 )
+
+// serveCluster builds an N-shard, R-replica in-memory cluster from a
+// corpus directory and serves the coordinator API. The front door
+// (admission, deadline, result cache) sits above the coordinator, not
+// the shard engines.
+func serveCluster(addr, corpusDir string, shards, replicas int, writes bool, fd *trex.FrontDoorOptions, engine trex.Options) {
+	if corpusDir == "" {
+		log.Fatal("cluster mode (-shards/-replicas) needs -corpus <dir> (trexgen output)")
+	}
+	col, err := corpus.LoadDir(corpusDir)
+	if err != nil {
+		log.Fatalf("load corpus: %v", err)
+	}
+	cl, err := cluster.New(col, cluster.Options{
+		Shards:    shards,
+		Replicas:  replicas,
+		Engine:    engine,
+		FrontDoor: fd,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := &http.Server{Addr: addr, Handler: webapi.NewCluster(cl, writes)}
+	go func() {
+		<-ctx.Done()
+		srv.Shutdown(context.Background())
+	}()
+	fmt.Printf("serving %s on http://%s (%d docs, shards=%d replicas=%d writes=%v)\n",
+		corpusDir, addr, len(col.Docs), shards, replicas, writes)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	if err := cl.Close(); err != nil {
+		log.Fatalf("close: %v", err)
+	}
+	fmt.Println("shut down cleanly")
+}
 
 func parseSolver(s string) (trex.Solver, error) {
 	switch s {
@@ -62,8 +113,11 @@ func parseSolver(s string) (trex.Solver, error) {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("trexserve: ")
-	dbPath := flag.String("db", "", "TReX database file (required)")
+	dbPath := flag.String("db", "", "TReX database file (required unless -shards/-replicas serve a corpus)")
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	shards := flag.Int("shards", 1, "serve a sharded cluster with this many document-space partitions (needs -corpus)")
+	replicas := flag.Int("replicas", 1, "replicas per shard in cluster mode; reads fail over, writes fan out")
+	corpusDir := flag.String("corpus", "", "corpus directory (trexgen output) to build the cluster from; required in cluster mode")
 	writes := flag.Bool("writes", false, "enable the /materialize endpoint")
 	auto := flag.Bool("autopilot", false, "enable online self-management (workload tracker + re-planning daemon)")
 	autoInterval := flag.Duration("autopilot-interval", 30*time.Second, "time between autopilot planning runs")
@@ -85,7 +139,8 @@ func main() {
 	plannerOn := flag.Bool("planner", true, "resolve method=auto through the telemetry-calibrated cost model (false = static coverage heuristic)")
 	shadowFraction := flag.Float64("shadow-fraction", trex.DefaultShadowFraction, "fraction of auto-planned queries whose runner-up method also runs in the background to measure regret (0 < f <= 1; negative disables)")
 	flag.Parse()
-	if *dbPath == "" {
+	clusterMode := *shards > 1 || *replicas > 1 || *corpusDir != ""
+	if *dbPath == "" && !clusterMode {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -98,6 +153,22 @@ func main() {
 			Deadline:     *deadline,
 			CacheEntries: *cacheEntries,
 		}
+	}
+
+	if clusterMode {
+		serveCluster(*addr, *corpusDir, *shards, *replicas, *writes, fd, trex.Options{
+			SegmentLists:   *segments,
+			StoreDocuments: true,
+			Planner: &trex.PlannerOptions{
+				Disabled:       !*plannerOn,
+				ShadowFraction: *shadowFraction,
+			},
+			Telemetry: &trex.TelemetryOptions{
+				Disabled:           !*metrics,
+				SlowQueryThreshold: *slowThreshold,
+				SlowLogCapacity:    *slowCapacity,
+			}})
+		return
 	}
 	eng, err := trex.Open(*dbPath, &trex.Options{
 		SegmentLists: *segments,

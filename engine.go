@@ -98,6 +98,15 @@ type Options struct {
 	// enables it with defaults; see PlannerOptions.Disabled to fall
 	// back to the legacy static heuristic.
 	Planner *PlannerOptions
+	// SharedSummary, when non-nil, is used instead of building a
+	// structural summary from the collection. The distributed tier
+	// (internal/cluster) builds ONE summary over the full corpus and
+	// hands each shard a private deep copy, so every shard assigns the
+	// same sid to the same label path and a query translates to the
+	// same (sids, terms) everywhere. The engine takes ownership of the
+	// value: callers must not share one *Summary between engines
+	// (AppendDocuments mutates it in place).
+	SharedSummary *summary.Summary
 }
 
 // Engine is an opened TReX collection: storage, index tables and the
@@ -329,13 +338,17 @@ func build(db *storage.DB, col *corpus.Collection, opts *Options) (*Engine, erro
 	if opts.Aliases != nil {
 		aliases = opts.Aliases
 	}
-	sum, err := summary.Build(col, summary.Options{
-		Kind:    opts.SummaryKind,
-		Aliases: aliases,
-		K:       opts.K,
-	})
-	if err != nil {
-		return nil, err
+	sum := opts.SharedSummary
+	if sum == nil {
+		var err error
+		sum, err = summary.Build(col, summary.Options{
+			Kind:    opts.SummaryKind,
+			Aliases: aliases,
+			K:       opts.K,
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
 	if !sum.SafeForRetrieval() {
 		return nil, fmt.Errorf("trex: summary kind %v is unsafe for retrieval over this collection (an extent contains ancestor/descendant pairs); use the incoming summary", opts.SummaryKind)

@@ -1,0 +1,327 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"trex"
+	"trex/internal/cluster"
+	"trex/internal/corpus"
+	"trex/internal/frontdoor"
+	"trex/internal/index"
+)
+
+// PR9 measures the distributed serving tier against a single engine on
+// the same skewed IEEE replay PR 7 uses: offered-rate sweeps (open-loop,
+// latency from scheduled arrival) against the single engine and
+// coordinators at 1/2/4/8 shards, all behind an identical front door.
+// Every query runs distributed TA at small k, so the report also counts
+// coordinator early-stops — shards abandoned while still truncated
+// because their threshold bound fell below the global k-th score.
+// `make bench-cluster` serializes the report to BENCH_PR9.json.
+//
+// Throughput scaling caveat: shards here are goroutines in one process,
+// so ok-QPS gains over the single engine require real hardware
+// parallelism. On a single-core container (GOMAXPROCS=1) the expected
+// result is parity on throughput — the distributed win shows up in
+// per-shard pages read and early-stops, not QPS. The report records the
+// scheduler width so readers can interpret the numbers.
+
+// PR9Point is one (variant, offered-rate) measurement.
+type PR9Point struct {
+	OfferedQPS    float64 `json:"offeredQps"`
+	AchievedQPS   float64 `json:"achievedQps"`
+	P50MS         float64 `json:"p50Ms"`
+	P99MS         float64 `json:"p99Ms"`
+	OK            int     `json:"ok"`
+	Shed          int     `json:"shed"`
+	QueueTimeouts int     `json:"queueTimeouts"`
+	Errors        int     `json:"errors"`
+	// PageReads is the total retrieval page reads across successful
+	// requests (for clusters: summed over every shard fetch).
+	PageReads uint64 `json:"pageReads"`
+	// EarlyStops / Fetches are the coordinator's distributed-TA
+	// accounting summed over successful requests (0 for the single
+	// engine).
+	EarlyStops int `json:"earlyStops"`
+	Fetches    int `json:"fetches"`
+}
+
+// PR9Variant is one serving configuration's offered-rate curve.
+type PR9Variant struct {
+	Name     string     `json:"name"`
+	Shards   int        `json:"shards"`
+	Replicas int        `json:"replicas"`
+	Points   []PR9Point `json:"points"`
+}
+
+// PR9Report is the distributed-vs-single serving comparison.
+type PR9Report struct {
+	Corpus struct {
+		Style string `json:"style"`
+		Docs  int    `json:"docs"`
+		Seed  int64  `json:"seed"`
+	} `json:"corpus"`
+	Workload struct {
+		Requests int                `json:"requests"`
+		K        int                `json:"k"`
+		Method   string             `json:"method"`
+		Weights  map[string]float64 `json:"weights"`
+	} `json:"workload"`
+	// NumCPU / GOMAXPROCS record the scheduler width the sweep ran under;
+	// QPS scaling across shard counts is bounded by them.
+	NumCPU     int `json:"numCpu"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// SingleCoreCaveat documents why shard counts cannot beat the single
+	// engine on throughput when the box has one core (empty on
+	// multi-core runs).
+	SingleCoreCaveat string `json:"singleCoreCaveat,omitempty"`
+	// SerialCapacityQPS is the single engine's uncached single-threaded
+	// throughput on the replay; offered rates are multiples of it.
+	SerialCapacityQPS float64 `json:"serialCapacityQps"`
+	// SpeedupAt4Shards is the best achieved ok-QPS of the 4-shard
+	// coordinator over the single engine's best.
+	SpeedupAt4Shards float64      `json:"speedupAt4Shards"`
+	Variants         []PR9Variant `json:"variants"`
+}
+
+const (
+	pr9K        = 5
+	pr9Requests = 300
+)
+
+// pr9ShardCounts is the sweep's cluster sizes.
+var pr9ShardCounts = []int{1, 2, 4, 8}
+
+// pr9Multipliers are offered rates as fractions of the single engine's
+// serial capacity.
+var pr9Multipliers = []float64{0.5, 1, 2}
+
+// pr9QueryFunc runs one request against a serving configuration and
+// reports its retrieval accounting.
+type pr9QueryFunc func(nexi string, k int) (pages uint64, earlyStops, fetches int, err error)
+
+// PR9 builds the serving variants over one IEEE corpus and sweeps the
+// offered rate against each.
+func PR9(scale float64) (*PR9Report, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	docs := int(float64(DefaultIEEEDocs) * scale)
+	col := corpus.GenerateIEEE(docs, DefaultSeed)
+
+	rep := &PR9Report{}
+	rep.Corpus.Style = "ieee"
+	rep.Corpus.Docs = docs
+	rep.Corpus.Seed = DefaultSeed
+	rep.Workload.Requests = pr9Requests
+	rep.Workload.K = pr9K
+	rep.Workload.Method = trex.MethodTA.String()
+	rep.Workload.Weights = pr7Weights
+	rep.NumCPU = runtime.NumCPU()
+	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	if rep.GOMAXPROCS <= 1 || rep.NumCPU <= 1 {
+		rep.SingleCoreCaveat = "shards are goroutines in one process; with a single-core scheduler the coordinator cannot exceed single-engine QPS — expect parity or below on throughput (scatter-gather adds per-shard fetch overhead on one core) and read the early-stop and per-shard page-read columns instead"
+	}
+
+	reqs := pr7Replay(pr9Requests)
+	fd := func() *trex.FrontDoorOptions {
+		return &trex.FrontDoorOptions{MaxInflight: 4, QueueDepth: 16, QueueTimeout: 100 * time.Millisecond}
+	}
+
+	// The single-engine baseline.
+	eng, err := trex.CreateMemory(col, &trex.Options{FrontDoor: fd()})
+	if err != nil {
+		return nil, fmt.Errorf("bench: pr9 single engine: %w", err)
+	}
+	for id := range pr7Weights {
+		if _, err := eng.Materialize(QueryByID(id).NEXI, index.KindRPL, index.KindERPL); err != nil {
+			eng.Close()
+			return nil, fmt.Errorf("bench: pr9 materialize %s: %w", id, err)
+		}
+	}
+	capacity, err := pr9SerialCapacity(eng, reqs)
+	if err != nil {
+		eng.Close()
+		return nil, err
+	}
+	rep.SerialCapacityQPS = capacity
+
+	singleDo := func(nexi string, k int) (uint64, int, int, error) {
+		res, err := eng.QueryOpts(nexi, trex.QueryOptions{K: k, Method: trex.MethodTA})
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		var pages uint64
+		if res.Stats != nil {
+			pages = res.Stats.PageReads
+		}
+		return pages, 0, 1, nil
+	}
+	sv, err := pr9RunVariant("single", 0, 0, reqs, capacity, singleDo)
+	eng.Close()
+	if err != nil {
+		return nil, err
+	}
+	rep.Variants = append(rep.Variants, sv)
+
+	for _, shards := range pr9ShardCounts {
+		cl, err := cluster.New(col, cluster.Options{Shards: shards, Replicas: 1, FrontDoor: fd()})
+		if err != nil {
+			return nil, fmt.Errorf("bench: pr9 cluster %d shards: %w", shards, err)
+		}
+		for id := range pr7Weights {
+			if err := cl.Materialize(QueryByID(id).NEXI, index.KindRPL, index.KindERPL); err != nil {
+				cl.Close()
+				return nil, fmt.Errorf("bench: pr9 cluster %d materialize %s: %w", shards, id, err)
+			}
+		}
+		clusterDo := func(nexi string, k int) (uint64, int, int, error) {
+			res, err := cl.Query(nexi, k, trex.MethodTA)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			var pages uint64
+			if res.Stats != nil {
+				pages = res.Stats.PageReads
+			}
+			return pages, res.Cluster.EarlyStops, res.Cluster.Fetches, nil
+		}
+		cv, err := pr9RunVariant(fmt.Sprintf("cluster-%d", shards), shards, 1, reqs, capacity, clusterDo)
+		cl.Close()
+		if err != nil {
+			return nil, err
+		}
+		rep.Variants = append(rep.Variants, cv)
+	}
+
+	rep.SpeedupAt4Shards = pr9Speedup(rep.Variants, "single", "cluster-4")
+	return rep, nil
+}
+
+// pr9Speedup compares the best achieved ok-QPS of two variants.
+func pr9Speedup(vs []PR9Variant, base, target string) float64 {
+	best := func(name string) float64 {
+		for _, v := range vs {
+			if v.Name != name {
+				continue
+			}
+			m := 0.0
+			for _, p := range v.Points {
+				if p.AchievedQPS > m {
+					m = p.AchievedQPS
+				}
+			}
+			return m
+		}
+		return 0
+	}
+	b, t := best(base), best(target)
+	if b <= 0 {
+		return 0
+	}
+	return t / b
+}
+
+// pr9SerialCapacity times one uncached single-threaded TA replay pass
+// (after a warmup pass) and returns requests/second.
+func pr9SerialCapacity(eng *trex.Engine, reqs []pr7Request) (float64, error) {
+	for pass := 0; pass < 2; pass++ {
+		start := time.Now()
+		for _, r := range reqs {
+			if _, err := eng.QueryOpts(r.nexi, trex.QueryOptions{K: pr9K, Method: trex.MethodTA, NoCache: true}); err != nil {
+				return 0, fmt.Errorf("bench: pr9 serial pass: %w", err)
+			}
+		}
+		if pass == 1 {
+			return float64(len(reqs)) / time.Since(start).Seconds(), nil
+		}
+	}
+	return 0, nil
+}
+
+// pr9RunVariant sweeps the offered-rate multipliers against one serving
+// configuration.
+func pr9RunVariant(name string, shards, replicas int, reqs []pr7Request, capacity float64, do pr9QueryFunc) (PR9Variant, error) {
+	v := PR9Variant{Name: name, Shards: shards, Replicas: replicas}
+	for _, mult := range pr9Multipliers {
+		pt, err := pr9RunPoint(reqs, capacity*mult, do)
+		if err != nil {
+			return v, fmt.Errorf("bench: pr9 %s: %w", name, err)
+		}
+		v.Points = append(v.Points, pt)
+	}
+	return v, nil
+}
+
+// pr9RunPoint offers the replay open-loop at the given rate, measuring
+// latency from each request's scheduled arrival.
+func pr9RunPoint(reqs []pr7Request, offered float64, do pr9QueryFunc) (PR9Point, error) {
+	pt := PR9Point{OfferedQPS: offered}
+	if offered <= 0 {
+		return pt, fmt.Errorf("offered rate %f", offered)
+	}
+	n := len(reqs)
+	lats := make([]time.Duration, n)
+	outcomes := make([]int8, n)
+	var pages, early, fetches atomic.Uint64
+
+	var wg sync.WaitGroup
+	interval := time.Duration(float64(time.Second) / offered)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		at := start.Add(time.Duration(i) * interval)
+		if d := time.Until(at); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func(i int, at time.Time) {
+			defer wg.Done()
+			p, e, f, err := do(reqs[i].nexi, pr9K)
+			lats[i] = time.Since(at)
+			switch {
+			case err == nil:
+				outcomes[i] = 0
+				pages.Add(p)
+				early.Add(uint64(e))
+				fetches.Add(uint64(f))
+			case errors.Is(err, frontdoor.ErrShed):
+				outcomes[i] = 1
+			case errors.Is(err, frontdoor.ErrQueueTimeout):
+				outcomes[i] = 2
+			default:
+				outcomes[i] = 3
+			}
+		}(i, at)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var okLats []time.Duration
+	for i := range outcomes {
+		switch outcomes[i] {
+		case 0:
+			pt.OK++
+			okLats = append(okLats, lats[i])
+		case 1:
+			pt.Shed++
+		case 2:
+			pt.QueueTimeouts++
+		default:
+			pt.Errors++
+		}
+	}
+	pt.AchievedQPS = float64(pt.OK) / elapsed.Seconds()
+	sort.Slice(okLats, func(i, j int) bool { return okLats[i] < okLats[j] })
+	pt.P50MS = pr7PercentileMS(okLats, 0.50)
+	pt.P99MS = pr7PercentileMS(okLats, 0.99)
+	pt.PageReads = pages.Load()
+	pt.EarlyStops = int(early.Load())
+	pt.Fetches = int(fetches.Load())
+	return pt, nil
+}

@@ -1,0 +1,312 @@
+// Package cluster is TReX's distributed serving tier: the document
+// space is partitioned round-robin into N independent engine shards
+// (each its own store, segments and telemetry), every shard is served
+// by R replicas kept byte-identical through a sequenced apply channel,
+// and a coordinator translates each NEXI query once, scatters it, and
+// gathers a global top-k with a distributed threshold algorithm — it
+// stops pulling from any shard whose local score bound falls below the
+// global k-th score.
+//
+// Byte-identical distributed rankings rest on two invariants:
+//
+//   - One sid space. A single structural summary is built over the full
+//     corpus and every replica engine gets a private deep copy, so a
+//     query translates to the same (sids, terms) everywhere.
+//   - Global statistics. BM25 scores depend on collection statistics
+//     and per-term df/cf; each shard's exact local totals are
+//     aggregated and the merged global values written back into every
+//     replica (trex.SyncStatistics), using the same arithmetic the
+//     single-engine build uses.
+//
+// With those two pinned, a shard scores its local documents exactly as
+// a single engine over the whole corpus would, and a merge of shard
+// top-k lists under the engine's tie-break order reproduces the
+// single-engine ranking byte for byte — the invariant the distributed
+// differential oracle (internal/oracle/cluster.go) checks.
+package cluster
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"trex"
+	"trex/internal/corpus"
+	"trex/internal/frontdoor"
+	"trex/internal/summary"
+	"trex/internal/telemetry"
+)
+
+// Options configures a cluster build.
+type Options struct {
+	// Shards is the number of document-space partitions (>= 1).
+	Shards int
+	// Replicas is the number of engines serving each shard (>= 1).
+	// Reads are load-balanced round-robin across live replicas; writes
+	// are fanned out through the shard's sequenced apply channel.
+	Replicas int
+	// Engine is the per-replica engine template. SharedSummary,
+	// FrontDoor and Autopilot are overridden by the cluster: the
+	// summary is built once over the full corpus, overload protection
+	// lives at the coordinator, and self-management must flow through
+	// Cluster.SelfManage so replicas stay byte-identical.
+	Engine trex.Options
+	// FrontDoor configures coordinator-level admission control, the
+	// default per-query deadline, and the cluster result cache
+	// (invalidated when any shard's write epoch moves). Nil disables
+	// all three.
+	FrontDoor *trex.FrontDoorOptions
+	// DisableMetrics turns off the coordinator's trex_cluster_*
+	// registry (per-replica engine telemetry is governed by
+	// Engine.Telemetry).
+	DisableMetrics bool
+}
+
+// Cluster is a built distributed tier: N*R replica engines plus the
+// coordinator state (admission, cache, metrics, the shared summary).
+type Cluster struct {
+	shards   []*shard
+	nShards  int
+	replicas int
+
+	// sum is the coordinator's own deep copy of the global structural
+	// summary, used to translate queries once per request. It is
+	// read-only after build (cluster AddDocuments rejects documents
+	// that would grow the summary — see AddDocuments).
+	sum *summary.Summary
+	// stop is the stopword set the replicas persisted, for the
+	// coordinator's pushdown decision (negated stopwords carry no
+	// signal, mirroring the engine's plan phase).
+	stop map[string]struct{}
+
+	adm      *frontdoor.Admission
+	rcache   *frontdoor.Cache
+	deadline time.Duration
+
+	// docs counts total documents across the cluster (the next global
+	// id); AddDocuments advances it.
+	docs atomic.Int64
+
+	// fetchHook is the fault-injection hook called at every shard
+	// fetch boundary (see SetFetchHook).
+	fetchHook atomic.Pointer[func(shard, replica int)]
+
+	met    *clusterMetrics
+	closed atomic.Bool
+}
+
+// New partitions col into opts.Shards round-robin shards and builds
+// opts.Replicas in-memory engines per shard, all sharing one summary
+// (deep-copied per replica) and globally aggregated statistics.
+func New(col *corpus.Collection, opts Options) (*Cluster, error) {
+	if opts.Shards < 1 {
+		return nil, fmt.Errorf("cluster: need at least 1 shard (got %d)", opts.Shards)
+	}
+	if opts.Replicas < 1 {
+		return nil, fmt.Errorf("cluster: need at least 1 replica (got %d)", opts.Replicas)
+	}
+	aliases := col.Aliases
+	if opts.Engine.Aliases != nil {
+		aliases = opts.Engine.Aliases
+	}
+	sum, err := summary.Build(col, summary.Options{
+		Kind:    opts.Engine.SummaryKind,
+		Aliases: aliases,
+		K:       opts.Engine.K,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: build global summary: %w", err)
+	}
+	parts, err := partitionCollection(col, opts.Shards)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		nShards:  opts.Shards,
+		replicas: opts.Replicas,
+		sum:      sum,
+		stop:     map[string]struct{}{},
+	}
+	c.docs.Store(int64(len(col.Docs)))
+	for _, w := range opts.Engine.Stopwords {
+		c.stop[w] = struct{}{}
+	}
+	for s := 0; s < opts.Shards; s++ {
+		sh := newShard(s)
+		for r := 0; r < opts.Replicas; r++ {
+			eopts := opts.Engine // copy the template
+			eopts.FrontDoor = nil
+			eopts.Autopilot = nil
+			cp, err := copySummary(sum)
+			if err != nil {
+				c.Close()
+				return nil, fmt.Errorf("cluster: copy summary for shard %d replica %d: %w", s, r, err)
+			}
+			eopts.SharedSummary = cp
+			eng, err := trex.CreateMemory(parts[s], &eopts)
+			if err != nil {
+				c.Close()
+				return nil, fmt.Errorf("cluster: build shard %d replica %d: %w", s, r, err)
+			}
+			sh.addReplica(eng)
+		}
+		sh.start()
+		c.shards = append(c.shards, sh)
+	}
+	if err := c.syncStatistics(); err != nil {
+		c.Close()
+		return nil, err
+	}
+	if fd := opts.FrontDoor; fd != nil {
+		if fd.MaxInflight > 0 {
+			c.adm = frontdoor.NewAdmission(frontdoor.AdmissionOptions{
+				MaxInflight:  fd.MaxInflight,
+				QueueDepth:   fd.QueueDepth,
+				QueueTimeout: fd.QueueTimeout,
+			})
+		}
+		if fd.CacheEntries > 0 {
+			c.rcache = frontdoor.NewCache(fd.CacheEntries)
+		}
+		c.deadline = fd.Deadline
+	}
+	if !opts.DisableMetrics {
+		c.met = newClusterMetrics(c)
+	}
+	return c, nil
+}
+
+// copySummary deep-copies a structural summary through its binary
+// snapshot codec. Sharing one *Summary between engines is unsafe:
+// AppendDocuments mutates it in place.
+func copySummary(s *summary.Summary) (*summary.Summary, error) {
+	b, err := s.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	cp := &summary.Summary{}
+	if err := cp.UnmarshalBinary(b); err != nil {
+		return nil, err
+	}
+	return cp, nil
+}
+
+// syncStatistics aggregates every shard's exact local statistics and
+// writes the merged global values into every replica. Called at build
+// and after every cluster AddDocuments (scores must reflect the whole
+// corpus, not one shard's slice of it).
+func (c *Cluster) syncStatistics() error {
+	parts := make([]*trex.Statistics, 0, c.nShards)
+	for _, sh := range c.shards {
+		r := sh.anyUp()
+		if r == nil {
+			return fmt.Errorf("cluster: shard %d has no live replica to collect statistics from", sh.id)
+		}
+		st, err := r.eng.CollectStatistics()
+		if err != nil {
+			return fmt.Errorf("cluster: shard %d statistics: %w", sh.id, err)
+		}
+		parts = append(parts, st)
+	}
+	global := trex.MergeStatistics(parts)
+	for _, sh := range c.shards {
+		if err := sh.apply(op{kind: opSyncStats, stats: global}); err != nil {
+			return fmt.Errorf("cluster: shard %d stats sync: %w", sh.id, err)
+		}
+	}
+	return nil
+}
+
+// Shards returns the shard count.
+func (c *Cluster) Shards() int { return c.nShards }
+
+// Replicas returns the per-shard replica count.
+func (c *Cluster) Replicas() int { return c.replicas }
+
+// Engine returns one replica engine (for tests and per-shard
+// inspection endpoints). It stays owned by the cluster.
+func (c *Cluster) Engine(shard, replica int) *trex.Engine {
+	return c.shards[shard].replicas[replica].eng
+}
+
+// Epoch is the cluster-wide write epoch: the sum of every replica
+// engine's write epoch. Any write anywhere — including a revived
+// replica replaying its backlog — moves the sum, which is what the
+// coordinator's result cache keys on. A sum (not a max) also moves
+// during partially applied fan-outs, so a cache fill that raced a
+// write is rejected by the double-read guard in QueryOptsCtx.
+func (c *Cluster) Epoch() uint64 {
+	var sum uint64
+	for _, sh := range c.shards {
+		for _, r := range sh.replicas {
+			sum += r.eng.WriteEpoch()
+		}
+	}
+	return sum
+}
+
+// Admission exposes the coordinator's admission gate (nil when
+// disabled).
+func (c *Cluster) Admission() *frontdoor.Admission { return c.adm }
+
+// ResultCache exposes the coordinator's result cache (nil when
+// disabled).
+func (c *Cluster) ResultCache() *frontdoor.Cache { return c.rcache }
+
+// MetricsRegistry exposes the coordinator's trex_cluster_* registry
+// (nil when disabled). Per-replica engine registries are reachable via
+// Engine(shard, replica).MetricsRegistry().
+func (c *Cluster) MetricsRegistry() *telemetry.Registry {
+	if c.met == nil {
+		return nil
+	}
+	return c.met.reg
+}
+
+// Kill marks a replica dead: it stops applying writes and is excluded
+// from reads. In-flight fetches against it are discarded and retried
+// on a live replica (counted as failovers).
+func (c *Cluster) Kill(shard, replica int) {
+	c.shards[shard].replicas[replica].kill()
+}
+
+// Revive brings a killed replica back: its missed ops are replayed
+// through the sequenced apply channel, and once it has converged to
+// the shard's current epoch it rejoins the read rotation. Blocks until
+// caught up.
+func (c *Cluster) Revive(shard, replica int) error {
+	return c.shards[shard].revive(replica)
+}
+
+// ReplicaUp reports whether the replica is serving reads.
+func (c *Cluster) ReplicaUp(shard, replica int) bool {
+	return c.shards[shard].replicas[replica].state() == replicaUp
+}
+
+// ReplicaEpoch returns how many sequenced ops the replica has applied.
+func (c *Cluster) ReplicaEpoch(shard, replica int) uint64 {
+	return c.shards[shard].replicas[replica].appliedSeq()
+}
+
+// ShardEpoch returns the shard's op-log length (the epoch every live
+// replica has reached — writes are synchronous).
+func (c *Cluster) ShardEpoch(shard int) uint64 {
+	return c.shards[shard].logLen()
+}
+
+// Close shuts down every replica engine and the appliers.
+func (c *Cluster) Close() error {
+	if !c.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	var first error
+	for _, sh := range c.shards {
+		sh.stopApplier()
+		for _, r := range sh.replicas {
+			if err := r.eng.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}

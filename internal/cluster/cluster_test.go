@@ -1,0 +1,334 @@
+package cluster_test
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"trex"
+	"trex/internal/cluster"
+	"trex/internal/corpus"
+	"trex/internal/index"
+)
+
+// synthDoc builds one <r><s>...</s></r> document whose term frequency
+// for "hot" is tf, padded with distinct filler so lengths vary.
+func synthDoc(id, tf int) corpus.Document {
+	var sb strings.Builder
+	sb.WriteString("<r><s>")
+	for i := 0; i < tf; i++ {
+		sb.WriteString("hot ")
+	}
+	sb.WriteString(fmt.Sprintf("filler%d mundane words</s></r>", id%7))
+	return corpus.Document{ID: id, Name: fmt.Sprintf("d%d", id), Data: []byte(sb.String())}
+}
+
+// skewedCollection concentrates high-tf documents on global ids
+// congruent to 0 mod hotStride — with round-robin partitioning those
+// all land on shard 0, which is what makes the other shards' bounds
+// collapse below the global k-th score.
+func skewedCollection(n, hotStride int) *corpus.Collection {
+	docs := make([]corpus.Document, n)
+	for i := range docs {
+		tf := 1
+		if i%hotStride == 0 {
+			tf = 6 + i%3
+		}
+		docs[i] = synthDoc(i, tf)
+	}
+	return &corpus.Collection{Docs: docs}
+}
+
+func mustCluster(t *testing.T, col *corpus.Collection, opts cluster.Options) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.New(col, opts)
+	if err != nil {
+		t.Fatalf("cluster.New: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func mustSingle(t *testing.T, col *corpus.Collection) *trex.Engine {
+	t.Helper()
+	eng, err := trex.CreateMemory(col, &trex.Options{})
+	if err != nil {
+		t.Fatalf("CreateMemory: %v", err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	return eng
+}
+
+// materializeBoth builds the redundant RPL/ERPL lists for q on the
+// single engine and across the cluster — TA/NRA/Merge read only
+// materialized lists.
+func materializeBoth(t *testing.T, single *trex.Engine, c *cluster.Cluster, q string) {
+	t.Helper()
+	if single != nil {
+		if _, err := single.Materialize(q, index.KindRPL, index.KindERPL); err != nil {
+			t.Fatalf("single materialize: %v", err)
+		}
+	}
+	if c != nil {
+		if err := c.Materialize(q, index.KindRPL, index.KindERPL); err != nil {
+			t.Fatalf("cluster materialize: %v", err)
+		}
+	}
+}
+
+func sameAnswers(t *testing.T, got, want []trex.Answer, label string) {
+	t.Helper()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s: rankings diverge\n got: %+v\nwant: %+v", label, got, want)
+	}
+}
+
+const hotQuery = `//s[about(., hot)]`
+
+func TestDistributedMatchesSingleEngine(t *testing.T) {
+	col := skewedCollection(40, 4)
+	single := mustSingle(t, col)
+	materializeBoth(t, single, nil, hotQuery)
+	for _, shards := range []int{1, 2, 4} {
+		for _, replicas := range []int{1, 2} {
+			c := mustCluster(t, col, cluster.Options{Shards: shards, Replicas: replicas})
+			materializeBoth(t, nil, c, hotQuery)
+			for _, k := range []int{1, 3, 10, 0} {
+				for _, m := range []trex.Method{trex.MethodERA, trex.MethodTA, trex.MethodNRA, trex.MethodMerge} {
+					want, err := single.QueryOpts(hotQuery, trex.QueryOptions{K: k, Method: m})
+					if err != nil {
+						t.Fatalf("single query: %v", err)
+					}
+					got, err := c.Query(hotQuery, k, m)
+					if err != nil {
+						t.Fatalf("cluster query (N=%d R=%d k=%d m=%v): %v", shards, replicas, k, m, err)
+					}
+					sameAnswers(t, got.Answers, want.Answers,
+						fmt.Sprintf("N=%d R=%d k=%d m=%v", shards, replicas, k, m))
+					if got.TotalAnswers != want.TotalAnswers {
+						t.Fatalf("N=%d R=%d k=%d m=%v: TotalAnswers %d != single %d",
+							shards, replicas, k, m, got.TotalAnswers, want.TotalAnswers)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDistributedOffsetPagination(t *testing.T) {
+	col := skewedCollection(30, 3)
+	single := mustSingle(t, col)
+	c := mustCluster(t, col, cluster.Options{Shards: 4, Replicas: 1})
+	materializeBoth(t, single, c, hotQuery)
+	for _, off := range []int{0, 2, 5, 100} {
+		want, err := single.QueryOpts(hotQuery, trex.QueryOptions{K: 3, Method: trex.MethodTA, Offset: off})
+		if err != nil {
+			t.Fatalf("single: %v", err)
+		}
+		got, err := c.QueryOptsCtx(t.Context(), hotQuery, trex.QueryOptions{K: 3, Method: trex.MethodTA, Offset: off})
+		if err != nil {
+			t.Fatalf("cluster: %v", err)
+		}
+		sameAnswers(t, got.Answers, want.Answers, fmt.Sprintf("offset=%d", off))
+	}
+}
+
+func TestEarlyStopsOnSkewedCorpus(t *testing.T) {
+	// Hot documents all live on shard 0 (ids ≡ 0 mod 4); shards 1-3
+	// truncate with low bounds and must be early-stopped, not drained.
+	col := skewedCollection(64, 4)
+	c := mustCluster(t, col, cluster.Options{Shards: 4, Replicas: 1})
+	single := mustSingle(t, col)
+	materializeBoth(t, single, c, hotQuery)
+	res, err := c.Query(hotQuery, 3, trex.MethodTA)
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if res.Cluster.EarlyStops == 0 {
+		t.Fatalf("want early-stops > 0 on the skewed corpus, got stats %+v", res.Cluster)
+	}
+	if res.Cluster.Fetches < 4 {
+		t.Fatalf("want at least one fetch per shard, got %+v", res.Cluster)
+	}
+	want, err := single.Query(hotQuery, 3, trex.MethodTA)
+	if err != nil {
+		t.Fatalf("single: %v", err)
+	}
+	sameAnswers(t, res.Answers, want.Answers, "skewed top-3")
+}
+
+func TestReplicaFailoverKeepsServing(t *testing.T) {
+	col := skewedCollection(32, 4)
+	c := mustCluster(t, col, cluster.Options{Shards: 2, Replicas: 2})
+	single := mustSingle(t, col)
+	materializeBoth(t, single, c, hotQuery)
+	want, err := single.Query(hotQuery, 5, trex.MethodMerge)
+	if err != nil {
+		t.Fatalf("single: %v", err)
+	}
+	c.Kill(0, 0)
+	c.Kill(1, 1)
+	for i := 0; i < 4; i++ {
+		got, err := c.Query(hotQuery, 5, trex.MethodMerge)
+		if err != nil {
+			t.Fatalf("query with one replica down per shard: %v", err)
+		}
+		sameAnswers(t, got.Answers, want.Answers, "failover ranking")
+	}
+	c.Kill(0, 1) // whole shard 0 dead now
+	if _, err := c.Query(hotQuery, 5, trex.MethodMerge); err == nil {
+		t.Fatalf("want an error when a whole shard is dead")
+	}
+}
+
+func TestWriteFanoutConvergesReplicas(t *testing.T) {
+	col := skewedCollection(24, 4)
+	c := mustCluster(t, col, cluster.Options{Shards: 2, Replicas: 3})
+	if err := c.Materialize(hotQuery, index.KindRPL, index.KindERPL); err != nil {
+		t.Fatalf("materialize: %v", err)
+	}
+	extra := []corpus.Document{synthDoc(24, 2), synthDoc(25, 9)}
+	if err := c.AddDocuments(extra); err != nil {
+		t.Fatalf("add documents: %v", err)
+	}
+	for s := 0; s < c.Shards(); s++ {
+		top := c.ShardEpoch(s)
+		for r := 0; r < c.Replicas(); r++ {
+			if got := c.ReplicaEpoch(s, r); got != top {
+				t.Fatalf("shard %d replica %d at epoch %d, want %d", s, r, got, top)
+			}
+		}
+	}
+	// Every replica of a shard must answer byte-identically after the
+	// fan-out (the sequenced, deterministic op property).
+	for s := 0; s < c.Shards(); s++ {
+		var base *trex.Result
+		for r := 0; r < c.Replicas(); r++ {
+			res, err := c.Engine(s, r).Query(hotQuery, 0, trex.MethodERA)
+			if err != nil {
+				t.Fatalf("shard %d replica %d: %v", s, r, err)
+			}
+			if base == nil {
+				base = res
+			} else {
+				sameAnswers(t, res.Answers, base.Answers, fmt.Sprintf("shard %d replica %d", s, r))
+			}
+		}
+	}
+	// And the cluster as a whole must match a single engine over the
+	// extended corpus.
+	full := skewedCollection(26, 4)
+	full.Docs[24] = synthDoc(24, 2)
+	full.Docs[25] = synthDoc(25, 9)
+	single := mustSingle(t, full)
+	want, err := single.Query(hotQuery, 0, trex.MethodERA)
+	if err != nil {
+		t.Fatalf("single: %v", err)
+	}
+	got, err := c.Query(hotQuery, 0, trex.MethodERA)
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	sameAnswers(t, got.Answers, want.Answers, "post-add cluster vs single")
+}
+
+// TestStaleCrossShardCacheHitRegression is the front-door epoch fix:
+// the coordinator cache must be keyed on an epoch that moves when ANY
+// replica of ANY shard takes a write — a coordinator-local or
+// shard-0-only epoch would keep serving the old ranking after a write
+// lands on another shard.
+func TestStaleCrossShardCacheHitRegression(t *testing.T) {
+	col := skewedCollection(24, 4)
+	c := mustCluster(t, col, cluster.Options{
+		Shards:   2,
+		Replicas: 1,
+		FrontDoor: &trex.FrontDoorOptions{
+			CacheEntries: 64,
+		},
+	})
+	r1, err := c.Query(hotQuery, 5, trex.MethodERA)
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if r1.Cached {
+		t.Fatalf("first query must not be cached")
+	}
+	r2, err := c.Query(hotQuery, 5, trex.MethodERA)
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if !r2.Cached {
+		t.Fatalf("second identical query must be a cache hit")
+	}
+	// Out-of-band write on shard 1 only (shard 0's epoch does not
+	// move): a materialize bumps the write epoch without changing the
+	// ranking, so only a correctly summed cluster epoch notices.
+	if _, err := c.Engine(1, 0).Materialize(hotQuery, index.KindRPL); err != nil {
+		t.Fatalf("shard-1 materialize: %v", err)
+	}
+	r3, err := c.Query(hotQuery, 5, trex.MethodERA)
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if r3.Cached {
+		t.Fatalf("stale cross-shard cache hit: shard 1 took a write but the coordinator served the old entry")
+	}
+	sameAnswers(t, r3.Answers, r1.Answers, "materialize is rank-safe")
+
+	// A write that changes rankings must be reflected, not served
+	// stale: append a document that outranks everything.
+	if err := c.AddDocuments([]corpus.Document{synthDoc(24, 12)}); err != nil {
+		t.Fatalf("add: %v", err)
+	}
+	r4, err := c.Query(hotQuery, 5, trex.MethodERA)
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if r4.Cached {
+		t.Fatalf("cache hit after a ranking-changing write")
+	}
+	if reflect.DeepEqual(r4.Answers, r1.Answers) {
+		t.Fatalf("post-write ranking identical to pre-write ranking; expected the new hot document to appear")
+	}
+	full := skewedCollection(25, 4)
+	full.Docs[24] = synthDoc(24, 12)
+	single := mustSingle(t, full)
+	want, err := single.Query(hotQuery, 5, trex.MethodERA)
+	if err != nil {
+		t.Fatalf("single: %v", err)
+	}
+	sameAnswers(t, r4.Answers, want.Answers, "post-write cluster vs single")
+}
+
+func TestPartitionRejectsNonDenseIDs(t *testing.T) {
+	col := &corpus.Collection{Docs: []corpus.Document{synthDoc(1, 2)}}
+	if _, err := cluster.New(col, cluster.Options{Shards: 2, Replicas: 1}); err == nil {
+		t.Fatalf("want an error for non-dense document ids")
+	}
+}
+
+func TestClusterMetricsRegistry(t *testing.T) {
+	col := skewedCollection(32, 4)
+	c := mustCluster(t, col, cluster.Options{Shards: 2, Replicas: 2})
+	if _, err := c.Query(hotQuery, 3, trex.MethodTA); err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	c.Kill(0, 0)
+	var sb strings.Builder
+	if err := c.MetricsRegistry().WritePrometheus(&sb); err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"trex_cluster_queries_total 1",
+		`trex_cluster_fetches_total{shard="0"}`,
+		`trex_cluster_replica_up{replica="0",shard="0"} 0`,
+		`trex_cluster_replica_up{replica="1",shard="0"} 1`,
+		"trex_cluster_rounds_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("scrape missing %q in:\n%s", want, out)
+		}
+	}
+}

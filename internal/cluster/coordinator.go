@@ -1,0 +1,524 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"trex"
+	"trex/internal/index"
+	"trex/internal/nexi"
+	"trex/internal/retrieval"
+	"trex/internal/translate"
+)
+
+// The coordinator's distributed threshold algorithm. Each round fetches
+// a shard-local top-b from every still-active shard; a shard that
+// returned exactly b answers is possibly truncated and its last
+// (lowest) returned score is an upper bound on everything it has not
+// returned yet. Once the merged heap holds the global top-k, a shard
+// whose bound is strictly below the global k-th score cannot contribute
+// — equal scores could still displace the k-th by the (doc, end)
+// tie-break, so the stop test is strict — and the coordinator stops
+// pulling from it (an early-stop). Shards whose bound is still at or
+// above the k-th are refetched with a doubled b until every shard is
+// either exhausted or early-stopped.
+
+// ShardStats describes one shard's part in a query.
+type ShardStats struct {
+	// Fetches is the number of rounds this shard was pulled.
+	Fetches int
+	// Answers is the number of (remapped) answers the shard's final
+	// fetch contributed to the merge.
+	Answers int
+	// PageReads sums the shard's retrieval page reads over all fetches.
+	PageReads uint64
+	// EarlyStop reports the coordinator stopped pulling from this shard
+	// while it was still truncated, because its bound fell below the
+	// global k-th score.
+	EarlyStop bool
+	// Exhausted reports the shard returned everything it had.
+	Exhausted bool
+	// Replica is the replica that served the final fetch.
+	Replica int
+}
+
+// ClusterStats describes the scatter-gather behind one Result.
+type ClusterStats struct {
+	Shards     int
+	Rounds     int
+	Fetches    int
+	EarlyStops int
+	Failovers  int
+	PerShard   []ShardStats
+}
+
+// Result is a coordinator query outcome: the merged engine-shaped
+// result plus the distributed-TA accounting.
+type Result struct {
+	trex.Result
+	Cluster ClusterStats
+}
+
+// Query evaluates src with top-k k and the given method on every
+// shard (no caller deadline).
+func (c *Cluster) Query(src string, k int, m trex.Method) (*Result, error) {
+	return c.QueryOptsCtx(context.Background(), src, trex.QueryOptions{K: k, Method: m})
+}
+
+// QueryOptsCtx is the coordinator's full query entry point: admission
+// control, the default front-door deadline, the cluster result cache
+// (keyed by the summed write epoch of every replica, so a write on any
+// shard invalidates it), then the distributed threshold algorithm.
+func (c *Cluster) QueryOptsCtx(ctx context.Context, src string, opts trex.QueryOptions) (*Result, error) {
+	if c.met != nil {
+		c.met.queries.Add(1)
+	}
+	if adm := c.adm; adm != nil {
+		release, wait, err := adm.Acquire(ctx)
+		if err != nil {
+			if c.met != nil {
+				c.met.errors.Add(1)
+			}
+			return nil, err
+		}
+		defer release()
+		if c.met != nil {
+			c.met.queueWait.Observe(wait.Seconds())
+		}
+	}
+	if d := c.deadline; d > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, d)
+			defer cancel()
+		}
+	}
+	cache := c.rcache
+	useCache := cache != nil && !opts.NoCache
+	var key string
+	var epoch uint64
+	if useCache {
+		key = clusterCacheKey(src, opts)
+		// The coordinator holds no cluster-wide lock, so the epoch can
+		// move during evaluation; the fill below re-reads it and only
+		// caches when nothing was written meanwhile. A hit is safe
+		// unconditionally: the entry's epoch matching the current sum
+		// proves no replica committed a write since the fill.
+		epoch = c.Epoch()
+		if v, ok := cache.Get(key, epoch); ok {
+			out := *v.(*Result)
+			out.Cached = true
+			return &out, nil
+		}
+	}
+	res, err := c.scatterGather(ctx, src, opts)
+	if err != nil {
+		if c.met != nil {
+			c.met.errors.Add(1)
+		}
+		return nil, err
+	}
+	if useCache && !res.Approximate && c.Epoch() == epoch {
+		cache.Put(key, epoch, res)
+	}
+	return res, nil
+}
+
+// clusterCacheKey mirrors the engine's cache key: every option that
+// changes the answer set is folded in.
+func clusterCacheKey(src string, opts trex.QueryOptions) string {
+	return strconv.Itoa(opts.K) + "\x00" + strconv.Itoa(int(opts.Method)) + "\x00" +
+		strconv.Itoa(int(opts.Mode)) + "\x00" + strconv.Itoa(opts.Offset) + "\x00" +
+		strconv.FormatFloat(opts.PhraseBonus, 'g', -1, 64) + "\x00" + src
+}
+
+// shardRun is the coordinator's per-shard scatter state.
+type shardRun struct {
+	res       *trex.Result  // latest fetch, answers remapped to global ids
+	answers   []trex.Answer // remapped answers of the latest fetch
+	bound     float64       // upper bound on unreturned scores
+	exhausted bool
+	curK      int
+	stats     ShardStats
+}
+
+func (c *Cluster) scatterGather(ctx context.Context, src string, opts trex.QueryOptions) (*Result, error) {
+	start := time.Now()
+	// Translate once at the coordinator: the shared summary gives the
+	// same (sids, terms) every shard will derive, and the clause shape
+	// decides whether shard-side evaluation truncates at k (the
+	// pushdown rule the engine itself uses).
+	q, err := nexi.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := translate.Translate(q, c.sum, opts.Mode)
+	if err != nil {
+		return nil, err
+	}
+	pushdown := pushdownApplies(tr, c.stop)
+
+	needed := 0
+	if opts.K > 0 {
+		needed = opts.K + opts.Offset
+	}
+	runs := make([]*shardRun, c.nShards)
+	// Initial per-shard budget: an even split plus one covers the
+	// uniform case in one round; skew is what the refetch loop is for.
+	k0 := needed
+	if needed > 0 && c.nShards > 1 {
+		k0 = needed/c.nShards + 1
+	}
+	for i := range runs {
+		runs[i] = &shardRun{bound: math.Inf(1), curK: k0}
+	}
+
+	agg := &retrieval.Stats{IOExact: true}
+	approx := false
+	var failovers uint64
+	rounds := 0
+	toFetch := make([]int, c.nShards)
+	for i := range toFetch {
+		toFetch[i] = i
+	}
+	var merged []trex.Answer
+	for len(toFetch) > 0 {
+		rounds++
+		var wg sync.WaitGroup
+		errs := make([]error, len(toFetch))
+		for fi, si := range toFetch {
+			wg.Add(1)
+			go func(fi, si int) {
+				defer wg.Done()
+				run := runs[si]
+				res, rid, fo, err := c.fetchShard(ctx, si, src, opts, run.curK)
+				atomic.AddUint64(&failovers, fo)
+				if err != nil {
+					errs[fi] = err
+					return
+				}
+				run.res = res
+				run.stats.Fetches++
+				run.stats.Replica = rid
+				if res.Stats != nil {
+					run.stats.PageReads += res.Stats.PageReads
+				}
+				run.answers = remapAnswers(res.Answers, si, c.nShards)
+				// A shard that returned fewer answers than asked for has
+				// nothing more; TotalAnswers cannot stand in for this test
+				// because shard-side truncation sets it to len(Answers).
+				run.exhausted = run.curK <= 0 || len(res.Answers) < run.curK || res.Approximate
+				if run.exhausted {
+					run.bound = math.Inf(-1)
+				} else {
+					run.bound = res.Answers[len(res.Answers)-1].Score
+				}
+			}(fi, si)
+		}
+		wg.Wait()
+		for fi, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("cluster: shard %d: %w", toFetch[fi], err)
+			}
+		}
+		for _, si := range toFetch {
+			if r := runs[si].res; r != nil {
+				accumulateStats(agg, r.Stats)
+				if r.Approximate {
+					approx = true
+				}
+			}
+			if c.met != nil {
+				c.met.fetches[si].Add(1)
+				if st := runs[si].res.Stats; st != nil {
+					c.met.pageReads[si].Add(st.PageReads)
+				}
+			}
+		}
+		merged = mergeAnswers(runs)
+		if needed == 0 || approx || ctx.Err() != nil {
+			// Fetch-all queries finish in one round; an expired deadline
+			// returns the best-effort merge without further pulling.
+			break
+		}
+		var kth float64
+		full := len(merged) >= needed
+		if full {
+			kth = merged[needed-1].Score
+		}
+		toFetch = toFetch[:0]
+		for si, run := range runs {
+			if run.exhausted {
+				continue
+			}
+			if !full || run.bound >= kth {
+				// Tie-safe refetch test: an unreturned answer scoring
+				// exactly kth could still win the (doc, end) tie-break.
+				run.curK *= 2
+				if run.curK < needed {
+					run.curK = needed
+				}
+				toFetch = append(toFetch, si)
+			}
+		}
+	}
+
+	earlyStops := 0
+	for _, run := range runs {
+		// An early-stop is a threshold decision: the shard was still
+		// truncated when the loop proved it could not contribute. A
+		// deadline break is not one.
+		if !approx && !run.exhausted && run.res != nil && !math.IsInf(run.bound, 1) {
+			run.stats.EarlyStop = true
+			earlyStops++
+		}
+		run.stats.Exhausted = run.exhausted
+		run.stats.Answers = len(run.answers)
+	}
+	if c.met != nil {
+		c.met.earlyStops.Add(uint64(earlyStops))
+		c.met.failovers.Add(failovers)
+		c.met.rounds.Add(uint64(rounds))
+	}
+
+	total := mergedTotal(runs, merged, pushdown, needed)
+	answers := merged
+	if opts.Offset > 0 {
+		if opts.Offset >= len(answers) {
+			answers = nil
+		} else {
+			answers = answers[opts.Offset:]
+		}
+	}
+	if opts.K > 0 && len(answers) > opts.K {
+		answers = answers[:opts.K]
+	}
+	agg.Elapsed = time.Since(start)
+	agg.Approximate = approx
+
+	out := &Result{
+		Result: trex.Result{
+			Query:        src,
+			Method:       uniformMethod(runs, opts.Method),
+			K:            opts.K,
+			Answers:      answers,
+			TotalAnswers: total,
+			Translation:  tr,
+			Stats:        agg,
+			Approximate:  approx,
+		},
+	}
+	out.Cluster = ClusterStats{
+		Shards:     c.nShards,
+		Rounds:     rounds,
+		EarlyStops: earlyStops,
+		Failovers:  int(failovers),
+		PerShard:   make([]ShardStats, c.nShards),
+	}
+	fetches := 0
+	for si, run := range runs {
+		out.Cluster.PerShard[si] = run.stats
+		fetches += run.stats.Fetches
+	}
+	out.Cluster.Fetches = fetches
+	return out, nil
+}
+
+// fetchShard pulls one shard's local top-k from a live replica,
+// failing over (and counting it) when the chosen replica is found dead
+// after the fetch: a result read from a dying replica is discarded,
+// never merged.
+func (c *Cluster) fetchShard(ctx context.Context, si int, src string, opts trex.QueryOptions, k int) (*trex.Result, int, uint64, error) {
+	sh := c.shards[si]
+	var failovers uint64
+	for attempt := 0; attempt <= len(sh.replicas); attempt++ {
+		r := sh.pickUp()
+		if r == nil {
+			return nil, -1, failovers, fmt.Errorf("no live replicas")
+		}
+		qo := opts
+		qo.K = k
+		qo.Offset = 0     // pagination is applied after the global merge
+		qo.NoCache = true // the cluster cache sits at the coordinator
+		res, err := r.eng.QueryOptsCtx(ctx, src, qo)
+		if h := c.fetchHook.Load(); h != nil {
+			(*h)(si, r.id)
+		}
+		if r.state() != replicaUp {
+			// The replica died under the fetch; its answer may reflect a
+			// half-applied state. Retry on a peer.
+			failovers++
+			continue
+		}
+		if err != nil {
+			return nil, r.id, failovers, err
+		}
+		return res, r.id, failovers, nil
+	}
+	return nil, -1, failovers, fmt.Errorf("no live replicas")
+}
+
+// Snippet renders a text snippet for a coordinator answer. The answer
+// carries a global document id, but document bytes live only on the
+// owning shard, so the call localizes the id and routes to a live
+// replica of that shard (with the same discard-on-death failover as
+// query fetches).
+func (c *Cluster) Snippet(a trex.Answer, terms []string, width int) (string, error) {
+	si := shardOf(int(a.Doc), c.nShards)
+	sh := c.shards[si]
+	local := a
+	local.Doc = uint32(localDoc(int(a.Doc), c.nShards))
+	for attempt := 0; attempt <= len(sh.replicas); attempt++ {
+		r := sh.pickUp()
+		if r == nil {
+			break
+		}
+		snip, err := r.eng.Snippet(local, terms, width)
+		if r.state() != replicaUp {
+			continue
+		}
+		return snip, err
+	}
+	return "", fmt.Errorf("cluster: shard %d: no live replicas", si)
+}
+
+// remapAnswers rewrites shard-local document ids back to global ids.
+// Relative order within the shard is preserved (the mapping is strictly
+// monotone per shard), so re-sorting the union with the engine's
+// comparator reproduces the single-engine order.
+func remapAnswers(in []trex.Answer, shard, shards int) []trex.Answer {
+	out := make([]trex.Answer, len(in))
+	for i, a := range in {
+		a.Doc = globalDoc(a.Doc, shard, shards)
+		out[i] = a
+	}
+	return out
+}
+
+// mergeAnswers merges every shard's latest answers under the engine's
+// ranking order: score descending, then (doc, end) ascending.
+func mergeAnswers(runs []*shardRun) []trex.Answer {
+	n := 0
+	for _, r := range runs {
+		n += len(r.answers)
+	}
+	if n == 0 {
+		// nil, not an empty slice: byte-identical to the engine's own
+		// no-answers shape.
+		return nil
+	}
+	out := make([]trex.Answer, 0, n)
+	for _, r := range runs {
+		out = append(out, r.answers...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return index.CompareDocEnd(out[i].Doc, out[i].End, out[j].Doc, out[j].End) < 0
+	})
+	return out
+}
+
+// mergedTotal reproduces the engine's TotalAnswers semantics. With
+// pushdown (single target clause, no negatives) shard retrieval is
+// truncated at k, so the count saturates at k — exactly what a single
+// engine reports. Without pushdown every shard counts all its matches
+// and the global total is their sum.
+func mergedTotal(runs []*shardRun, merged []trex.Answer, pushdown bool, needed int) int {
+	if pushdown && needed > 0 {
+		if len(merged) > needed {
+			return needed
+		}
+		return len(merged)
+	}
+	total := 0
+	for _, r := range runs {
+		if r.res != nil {
+			total += r.res.TotalAnswers
+		}
+	}
+	return total
+}
+
+// uniformMethod reports the shards' resolved method when they agree
+// (they always do for fixed-method queries); per-shard planners may
+// resolve MethodAuto differently, in which case the requested method
+// stands (rankings are method-independent — that is the oracle's
+// invariant).
+func uniformMethod(runs []*shardRun, requested trex.Method) trex.Method {
+	m := requested
+	first := true
+	for _, r := range runs {
+		if r.res == nil {
+			continue
+		}
+		if first {
+			m = r.res.Method
+			first = false
+		} else if m != r.res.Method {
+			return requested
+		}
+	}
+	return m
+}
+
+// pushdownApplies mirrors the engine's plan phase: top-k pushes into
+// shard retrieval only for a single target clause with no surviving
+// negated terms (stopworded negatives carry no signal and are dropped
+// before the test, as the engine does).
+func pushdownApplies(tr *translate.Translation, stop map[string]struct{}) bool {
+	if len(tr.Clauses) != 1 || !tr.Clauses[0].IsTarget {
+		return false
+	}
+	for i := range tr.Clauses {
+		for _, w := range tr.Clauses[i].NegativeTerms() {
+			if _, isStop := stop[w]; !isStop {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// accumulateStats folds one shard fetch's retrieval stats into the
+// coordinator aggregate. Counters sum (refetched rounds did real
+// work); IOExact survives only if every constituent was exact.
+func accumulateStats(dst, src *retrieval.Stats) {
+	if src == nil {
+		return
+	}
+	dst.HeapTime += src.HeapTime
+	dst.SortedAccesses += src.SortedAccesses
+	dst.SkippedBySID += src.SkippedBySID
+	dst.RandomAccesses += src.RandomAccesses
+	dst.PositionsScanned += src.PositionsScanned
+	dst.ElementsScanned += src.ElementsScanned
+	dst.HeapOps += src.HeapOps
+	dst.Answers += src.Answers
+	dst.CursorSteps += src.CursorSteps
+	dst.BlockSkips += src.BlockSkips
+	dst.PageReads += src.PageReads
+	dst.BytesRead += src.BytesRead
+	dst.SegmentRows += src.SegmentRows
+	dst.IOExact = dst.IOExact && src.IOExact
+	dst.ThresholdStop = dst.ThresholdStop || src.ThresholdStop
+}
+
+// SetFetchHook installs the fault-injection hook called after every
+// shard fetch returns and before the coordinator's liveness re-check —
+// the fetch boundary where a replica death must be survived. Pass nil
+// to clear. Test-only plumbing.
+func (c *Cluster) SetFetchHook(h func(shard, replica int)) {
+	if h == nil {
+		c.fetchHook.Store(nil)
+		return
+	}
+	c.fetchHook.Store(&h)
+}

@@ -1,0 +1,221 @@
+package cluster_test
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"trex"
+	"trex/internal/cluster"
+	"trex/internal/corpus"
+)
+
+// TestKillReplicaAtEveryFetchBoundary walks the fault point across every
+// shard-fetch boundary of one query: run it repeatedly, killing the
+// serving replica at the n-th boundary for n = 1, 2, ... until a run
+// completes without placing its kill. No run may error, and every run
+// must return the reference ranking — a result read from a dying
+// replica is discarded and refetched from its peer, never merged.
+func TestKillReplicaAtEveryFetchBoundary(t *testing.T) {
+	col := skewedCollection(48, 4)
+	single := mustSingle(t, col)
+	c := mustCluster(t, col, cluster.Options{Shards: 4, Replicas: 2})
+	materializeBoth(t, single, c, hotQuery)
+	want, err := single.Query(hotQuery, 5, trex.MethodTA)
+	if err != nil {
+		t.Fatalf("single: %v", err)
+	}
+	totalFailovers := 0
+	for target := uint64(1); ; target++ {
+		var n atomic.Uint64
+		killedShard := atomic.Int64{}
+		killedReplica := atomic.Int64{}
+		killedShard.Store(-1)
+		c.SetFetchHook(func(shard, replica int) {
+			if n.Add(1) == target {
+				killedShard.Store(int64(shard))
+				killedReplica.Store(int64(replica))
+				c.Kill(shard, replica)
+			}
+		})
+		got, err := c.Query(hotQuery, 5, trex.MethodTA)
+		c.SetFetchHook(nil)
+		if err != nil {
+			t.Fatalf("boundary %d: query error: %v", target, err)
+		}
+		sameAnswers(t, got.Answers, want.Answers, fmt.Sprintf("boundary %d", target))
+		ks := killedShard.Load()
+		if ks < 0 {
+			// This run saw fewer boundaries than target: every fetch
+			// boundary of the query has now been exercised.
+			break
+		}
+		if got.Cluster.Failovers == 0 {
+			t.Fatalf("boundary %d: killed the serving replica but no failover was counted", target)
+		}
+		totalFailovers += got.Cluster.Failovers
+		if err := c.Revive(int(ks), int(killedReplica.Load())); err != nil {
+			t.Fatalf("boundary %d: revive: %v", target, err)
+		}
+	}
+	if totalFailovers == 0 {
+		t.Fatalf("fault loop never triggered a failover")
+	}
+}
+
+// TestWriteFanoutSurvivesMidApplyCrash crashes a replica between
+// claiming a sequenced op and applying it (the apply hook fires exactly
+// there, and a kill makes the applier drop the claimed entry). The
+// write must still commit on the surviving replica, queries must keep
+// flowing, and revival must replay the dropped suffix until the replica
+// is byte-identical to its peer at the shard's epoch.
+func TestWriteFanoutSurvivesMidApplyCrash(t *testing.T) {
+	col := skewedCollection(24, 4)
+	c := mustCluster(t, col, cluster.Options{Shards: 2, Replicas: 2})
+	crashAt := c.ShardEpoch(0) + 1
+	var crashed atomic.Bool
+	c.SetApplyHook(func(shard, replica int, seq uint64) {
+		if shard == 0 && replica == 1 && seq == crashAt && crashed.CompareAndSwap(false, true) {
+			c.Kill(0, 1)
+		}
+	})
+	extra := []corpus.Document{synthDoc(24, 7), synthDoc(25, 2)}
+	if err := c.AddDocuments(extra); err != nil {
+		t.Fatalf("add during crash: %v", err)
+	}
+	c.SetApplyHook(nil)
+	if !crashed.Load() {
+		t.Fatalf("crash hook never fired")
+	}
+	if c.ReplicaUp(0, 1) {
+		t.Fatalf("crashed replica still marked up")
+	}
+	if got, top := c.ReplicaEpoch(0, 1), c.ShardEpoch(0); got >= top {
+		t.Fatalf("crashed replica claims epoch %d >= shard epoch %d; the dropped op was counted as applied", got, top)
+	}
+	if _, err := c.Query(hotQuery, 3, trex.MethodERA); err != nil {
+		t.Fatalf("query with crashed replica: %v", err)
+	}
+	if err := c.Revive(0, 1); err != nil {
+		t.Fatalf("revive: %v", err)
+	}
+	if got, top := c.ReplicaEpoch(0, 1), c.ShardEpoch(0); got != top {
+		t.Fatalf("revived replica at epoch %d, want %d", got, top)
+	}
+	a, err := c.Engine(0, 0).Query(hotQuery, 0, trex.MethodERA)
+	if err != nil {
+		t.Fatalf("peer query: %v", err)
+	}
+	b, err := c.Engine(0, 1).Query(hotQuery, 0, trex.MethodERA)
+	if err != nil {
+		t.Fatalf("revived query: %v", err)
+	}
+	sameAnswers(t, b.Answers, a.Answers, "revived replica vs peer")
+
+	full := &corpus.Collection{Docs: append(skewedCollection(24, 4).Docs, extra...)}
+	single := mustSingle(t, full)
+	want, err := single.Query(hotQuery, 0, trex.MethodERA)
+	if err != nil {
+		t.Fatalf("single: %v", err)
+	}
+	got, err := c.Query(hotQuery, 0, trex.MethodERA)
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	sameAnswers(t, got.Answers, want.Answers, "post-crash cluster vs single")
+}
+
+// TestQueriesRaceWriteFanout races a pool of query goroutines against a
+// sequence of cluster writes, with one replica crashed mid-apply and
+// revived before the end. Run under -race this is the data-race gate for
+// the coordinator/replication locking; functionally, no query may error
+// and after the dust settles every replica must sit at its shard's
+// epoch with byte-identical rankings matching a single engine.
+func TestQueriesRaceWriteFanout(t *testing.T) {
+	col := skewedCollection(32, 4)
+	c := mustCluster(t, col, cluster.Options{Shards: 2, Replicas: 2})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := c.Query(hotQuery, 3, trex.MethodERA); err != nil {
+					t.Errorf("query during write fan-out: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	// Crash replica 0 of shard 1 in the middle of applying the third
+	// write batch, keep writing through the outage, revive at the end.
+	crashAt := c.ShardEpoch(1) + 3
+	var crashed atomic.Bool
+	c.SetApplyHook(func(shard, replica int, seq uint64) {
+		if shard == 1 && replica == 0 && seq >= crashAt && crashed.CompareAndSwap(false, true) {
+			c.Kill(1, 0)
+		}
+	})
+	var added []corpus.Document
+	next := 32
+	for i := 0; i < 6; i++ {
+		batch := []corpus.Document{synthDoc(next, 1+i%5), synthDoc(next+1, 6)}
+		next += 2
+		if err := c.AddDocuments(batch); err != nil {
+			t.Fatalf("add batch %d: %v", i, err)
+		}
+		added = append(added, batch...)
+	}
+	c.SetApplyHook(nil)
+	if !crashed.Load() {
+		t.Fatalf("mid-apply crash never fired")
+	}
+	if err := c.Revive(1, 0); err != nil {
+		t.Fatalf("revive: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for s := 0; s < c.Shards(); s++ {
+		top := c.ShardEpoch(s)
+		for r := 0; r < c.Replicas(); r++ {
+			if got := c.ReplicaEpoch(s, r); got != top {
+				t.Fatalf("shard %d replica %d at epoch %d, want %d", s, r, got, top)
+			}
+		}
+	}
+	for s := 0; s < c.Shards(); s++ {
+		var base *trex.Result
+		for r := 0; r < c.Replicas(); r++ {
+			res, err := c.Engine(s, r).Query(hotQuery, 0, trex.MethodERA)
+			if err != nil {
+				t.Fatalf("shard %d replica %d: %v", s, r, err)
+			}
+			if base == nil {
+				base = res
+			} else {
+				sameAnswers(t, res.Answers, base.Answers, fmt.Sprintf("shard %d replica %d", s, r))
+			}
+		}
+	}
+	full := &corpus.Collection{Docs: append(skewedCollection(32, 4).Docs, added...)}
+	single := mustSingle(t, full)
+	want, err := single.Query(hotQuery, 10, trex.MethodERA)
+	if err != nil {
+		t.Fatalf("single: %v", err)
+	}
+	got, err := c.Query(hotQuery, 10, trex.MethodERA)
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	sameAnswers(t, got.Answers, want.Answers, "post-race cluster vs single")
+}

@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"strconv"
+
+	"trex/internal/telemetry"
+)
+
+// Coordinator telemetry: the trex_cluster_* metric families. Counters
+// the query path owns are registry Counters bumped inline; everything
+// the replication layer already tracks (replica state, applied
+// sequence, admission and cache counters) is exposed through
+// CounterFunc/GaugeFunc reads at scrape time, the same lock-free
+// pattern the engine's front door uses.
+type clusterMetrics struct {
+	reg *telemetry.Registry
+
+	queries    *telemetry.Counter
+	errors     *telemetry.Counter
+	earlyStops *telemetry.Counter
+	failovers  *telemetry.Counter
+	rounds     *telemetry.Counter
+	writes     *telemetry.Counter
+	queueWait  *telemetry.Histogram
+
+	// fetches[i] / pageReads[i] are per-shard fan-out counters.
+	fetches   []*telemetry.Counter
+	pageReads []*telemetry.Counter
+}
+
+func newClusterMetrics(c *Cluster) *clusterMetrics {
+	reg := telemetry.NewRegistry()
+	m := &clusterMetrics{reg: reg}
+	m.queries = reg.Counter("trex_cluster_queries_total",
+		"Queries accepted by the cluster coordinator.", nil)
+	m.errors = reg.Counter("trex_cluster_query_errors_total",
+		"Coordinator queries that failed (including shed and timed-out admissions).", nil)
+	m.earlyStops = reg.Counter("trex_cluster_early_stops_total",
+		"Shards the distributed threshold algorithm stopped pulling from while still truncated (local bound below the global k-th score).", nil)
+	m.failovers = reg.Counter("trex_cluster_failovers_total",
+		"Shard fetches discarded because the serving replica died, retried on a peer.", nil)
+	m.rounds = reg.Counter("trex_cluster_rounds_total",
+		"Scatter-gather fetch rounds executed.", nil)
+	m.writes = reg.Counter("trex_cluster_writes_total",
+		"Cluster-level write operations fanned out through the sequenced apply channels.", nil)
+	m.queueWait = reg.Histogram("trex_cluster_queue_wait_seconds",
+		"Admission queue wait before coordinator evaluation.", nil, nil)
+	for si, sh := range c.shards {
+		label := telemetry.Labels{"shard": strconv.Itoa(si)}
+		m.fetches = append(m.fetches, reg.Counter("trex_cluster_fetches_total",
+			"Per-shard fetches issued by the coordinator (initial round plus refetches).", label))
+		m.pageReads = append(m.pageReads, reg.Counter("trex_cluster_shard_page_reads_total",
+			"Storage pages read by this shard's fetches, as reported by shard retrieval stats.", label))
+		for ri, r := range sh.replicas {
+			rl := telemetry.Labels{"shard": strconv.Itoa(si), "replica": strconv.Itoa(ri)}
+			rr := r
+			shard := sh
+			reg.GaugeFunc("trex_cluster_replica_up",
+				"1 when the replica is serving reads, 0 while dead or catching up.", rl,
+				func() float64 {
+					if rr.state() == replicaUp {
+						return 1
+					}
+					return 0
+				})
+			reg.GaugeFunc("trex_cluster_replica_lag",
+				"Sequenced ops the replica is behind its shard's log.", rl,
+				func() float64 {
+					return float64(shard.logLen() - rr.appliedSeq())
+				})
+		}
+	}
+	if adm := c.adm; adm != nil {
+		reg.CounterFunc("trex_cluster_frontdoor_admitted_total",
+			"Queries that acquired a coordinator execution slot.", nil, adm.Admitted)
+		reg.CounterFunc("trex_cluster_frontdoor_shed_total",
+			"Queries rejected at the coordinator door (queue full).", nil, adm.Shed)
+		reg.CounterFunc("trex_cluster_frontdoor_queue_timeout_total",
+			"Queries that timed out waiting for a coordinator slot.", nil, adm.TimedOut)
+	}
+	if rc := c.rcache; rc != nil {
+		reg.CounterFunc("trex_cluster_result_cache_hits_total",
+			"Coordinator result cache hits (epoch-fresh).", nil, rc.Hits)
+		reg.CounterFunc("trex_cluster_result_cache_misses_total",
+			"Coordinator result cache misses.", nil, rc.Misses)
+		reg.CounterFunc("trex_cluster_result_cache_invalidations_total",
+			"Cache entries rejected because some replica's write epoch moved.", nil, rc.Invalidations)
+	}
+	return m
+}

@@ -1,0 +1,61 @@
+package cluster
+
+import (
+	"fmt"
+
+	"trex/internal/corpus"
+)
+
+// Document-space partitioning. Global document g lives on shard g mod N
+// with shard-local id g div N. The mapping is invertible
+// (g = local*N + shard), keeps every shard's id sequence dense and
+// append-only (the engine's AddDocuments contract), and preserves
+// relative document order inside a shard — so a shard's local
+// tie-breaking (score desc, then (doc, end) asc) agrees with the global
+// tie-break for any two answers on the same shard, and the coordinator
+// only has to re-sort across shards after remapping ids.
+
+func shardOf(global, shards int) int { return global % shards }
+
+func localDoc(global, shards int) int { return global / shards }
+
+func globalDoc(local uint32, shard, shards int) uint32 {
+	return local*uint32(shards) + uint32(shard)
+}
+
+// partitionDocs splits documents (carrying global ids) into per-shard
+// slices with ids rewritten to shard-local. Every document's global id
+// must equal base+i (the dense append-only sequence).
+func partitionDocs(docs []corpus.Document, base, shards int) ([][]corpus.Document, error) {
+	parts := make([][]corpus.Document, shards)
+	for i, d := range docs {
+		if d.ID != base+i {
+			return nil, fmt.Errorf("cluster: document ids must continue the dense sequence: got %d at position %d (want %d)", d.ID, i, base+i)
+		}
+		s := shardOf(d.ID, shards)
+		ld := d
+		ld.ID = localDoc(d.ID, shards)
+		parts[s] = append(parts[s], ld)
+	}
+	return parts, nil
+}
+
+// partitionCollection splits a full collection into N shard-local
+// collections sharing the style/alias/topic metadata.
+func partitionCollection(col *corpus.Collection, shards int) ([]*corpus.Collection, error) {
+	parts, err := partitionDocs(col.Docs, 0, shards)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*corpus.Collection, shards)
+	for s := range out {
+		out[s] = &corpus.Collection{
+			Style:     col.Style,
+			Docs:      parts[s],
+			Aliases:   col.Aliases,
+			Topics:    col.Topics,
+			Relevance: col.Relevance,
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,443 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"trex"
+	"trex/internal/corpus"
+	"trex/internal/index"
+)
+
+// Sequenced replication. Every write to a shard — document appends,
+// materialization, self-management plans, statistics syncs — is
+// appended to the shard's op log and fanned out to each replica's
+// apply queue in log order. Appliers are single goroutines per
+// replica, so a replica applies ops strictly in sequence; because
+// every op is deterministic given the store state it is applied to,
+// replicas that have applied the same prefix of the log hold
+// byte-identical stores.
+//
+// A dead replica skips ops without advancing its applied sequence;
+// revival replays the missed suffix through the same queue, and the
+// seq==applied+1 guard makes duplicate deliveries harmless. Reads are
+// served only by replicas in the Up state, so a replica catching up
+// after revival never serves a stale ranking.
+
+type opKind int
+
+const (
+	opAddDocs opKind = iota
+	opMaterialize
+	opSelfManage
+	opSyncStats
+)
+
+// op is one sequenced, deterministic write. Fields are data-only so an
+// op replays identically on a revived replica.
+type op struct {
+	kind opKind
+	// opAddDocs: shard-local documents (ids already rewritten).
+	docs []corpus.Document
+	// opMaterialize
+	nexi  string
+	kinds []index.ListKind
+	// opSelfManage
+	queries []trex.WorkloadQuery
+	disk    int64
+	solver  trex.Solver
+	// opSyncStats: frozen globally merged statistics.
+	stats *trex.Statistics
+}
+
+func (o op) apply(eng *trex.Engine) error {
+	switch o.kind {
+	case opAddDocs:
+		_, err := eng.AddDocuments(o.docs)
+		return err
+	case opMaterialize:
+		_, err := eng.Materialize(o.nexi, o.kinds...)
+		return err
+	case opSelfManage:
+		_, err := eng.SelfManage(o.queries, o.disk, o.solver)
+		return err
+	case opSyncStats:
+		return eng.SyncStatistics(o.stats)
+	default:
+		return fmt.Errorf("cluster: unknown op kind %d", o.kind)
+	}
+}
+
+type replicaState int32
+
+const (
+	replicaUp replicaState = iota
+	replicaDown
+	replicaCatchingUp
+)
+
+type entry struct {
+	seq uint64
+	op  op
+}
+
+type replica struct {
+	id  int
+	eng *trex.Engine
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	st      replicaState
+	applied uint64 // ops applied, == seq of the last applied entry
+	queue   []entry
+	closing bool
+	// applyErr poisons the replica: a failed apply marks it down so it
+	// cannot serve reads diverged from its peers.
+	applyErr error
+}
+
+func newReplica(id int, eng *trex.Engine) *replica {
+	r := &replica{id: id, eng: eng}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+func (r *replica) state() replicaState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.st
+}
+
+func (r *replica) appliedSeq() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.applied
+}
+
+func (r *replica) kill() {
+	r.mu.Lock()
+	r.st = replicaDown
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+func (r *replica) enqueue(e entry) {
+	r.mu.Lock()
+	r.queue = append(r.queue, e)
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+// waitApplied blocks until the replica has applied seq, gone down, or
+// started closing. Reports whether the op is applied.
+func (r *replica) waitApplied(seq uint64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.st != replicaDown && !r.closing && r.applied < seq {
+		r.cond.Wait()
+	}
+	return r.applied >= seq
+}
+
+func (r *replica) close() {
+	r.mu.Lock()
+	r.closing = true
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+// run is the replica's applier: the single goroutine that pops queue
+// entries in order and applies them to the engine. onApply (when set)
+// is the fault-injection hook, called after the entry is claimed and
+// before it is applied — a kill() from the hook makes the applier drop
+// the entry, which is exactly the "crash mid-apply" a test wants.
+func (r *replica) run(shardID int, onApply func(shard, replica int, seq uint64)) {
+	for {
+		r.mu.Lock()
+		for len(r.queue) == 0 && !r.closing {
+			r.cond.Wait()
+		}
+		if r.closing {
+			r.mu.Unlock()
+			return
+		}
+		e := r.queue[0]
+		r.queue = r.queue[1:]
+		r.mu.Unlock()
+
+		if onApply != nil {
+			onApply(shardID, r.id, e.seq)
+		}
+
+		r.mu.Lock()
+		stale := e.seq != r.applied+1
+		down := r.st == replicaDown
+		r.mu.Unlock()
+		if stale || down {
+			// Stale duplicates (replay overlap) and ops reaching a dead
+			// replica are dropped; revival replays the gap.
+			continue
+		}
+		err := e.op.apply(r.eng)
+		r.mu.Lock()
+		if err != nil {
+			r.st = replicaDown
+			r.applyErr = err
+		} else {
+			r.applied = e.seq
+		}
+		r.cond.Broadcast()
+		r.mu.Unlock()
+	}
+}
+
+type shard struct {
+	id       int
+	replicas []*replica
+
+	mu  sync.Mutex
+	log []op
+
+	// rr rotates reads across live replicas.
+	rr atomic.Uint64
+
+	// onApply is the fault-injection hook threaded to every applier.
+	onApply atomic.Pointer[func(shard, replica int, seq uint64)]
+}
+
+func newShard(id int) *shard { return &shard{id: id} }
+
+func (s *shard) addReplica(eng *trex.Engine) {
+	s.replicas = append(s.replicas, newReplica(len(s.replicas), eng))
+}
+
+func (s *shard) start() {
+	for _, r := range s.replicas {
+		go func(r *replica) {
+			r.run(s.id, func(shardID, replicaID int, seq uint64) {
+				if h := s.onApply.Load(); h != nil {
+					(*h)(shardID, replicaID, seq)
+				}
+			})
+		}(r)
+	}
+}
+
+func (s *shard) stopApplier() {
+	for _, r := range s.replicas {
+		r.close()
+	}
+}
+
+func (s *shard) logLen() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return uint64(len(s.log))
+}
+
+// anyUp returns a live replica (nil if the whole shard is dead).
+func (s *shard) anyUp() *replica {
+	for _, r := range s.replicas {
+		if r.state() == replicaUp {
+			return r
+		}
+	}
+	return nil
+}
+
+// pickUp returns the next live replica in round-robin order.
+func (s *shard) pickUp() *replica {
+	n := len(s.replicas)
+	start := int(s.rr.Add(1))
+	for i := 0; i < n; i++ {
+		r := s.replicas[(start+i)%n]
+		if r.state() == replicaUp {
+			return r
+		}
+	}
+	return nil
+}
+
+// apply appends one op to the shard log, fans it out to every replica
+// queue, and waits for every replica that is not down to reach it.
+// Errors only when no replica applied the op (the shard lost all
+// replicas): replicated writes survive any R-1 deaths.
+func (s *shard) apply(o op) error {
+	s.mu.Lock()
+	s.log = append(s.log, o)
+	seq := uint64(len(s.log))
+	for _, r := range s.replicas {
+		r.enqueue(entry{seq: seq, op: o})
+	}
+	s.mu.Unlock()
+	applied := 0
+	for _, r := range s.replicas {
+		if r.waitApplied(seq) {
+			applied++
+		}
+	}
+	if applied == 0 {
+		if r := s.replicas[0]; true {
+			r.mu.Lock()
+			err := r.applyErr
+			r.mu.Unlock()
+			if err != nil {
+				return fmt.Errorf("cluster: shard %d write failed on every replica: %w", s.id, err)
+			}
+		}
+		return fmt.Errorf("cluster: shard %d has no live replicas", s.id)
+	}
+	return nil
+}
+
+// revive replays a dead replica's missed log suffix through its apply
+// queue and, once converged with no gap, flips it back into the read
+// rotation. Blocks until caught up (or the replica is killed again).
+func (s *shard) revive(replicaID int) error {
+	r := s.replicas[replicaID]
+	r.mu.Lock()
+	if r.st == replicaUp {
+		r.mu.Unlock()
+		return nil
+	}
+	if r.applyErr != nil {
+		err := r.applyErr
+		r.mu.Unlock()
+		return fmt.Errorf("cluster: shard %d replica %d is poisoned by a failed apply: %w", s.id, replicaID, err)
+	}
+	r.st = replicaCatchingUp
+	r.mu.Unlock()
+	for {
+		// Snapshot the missed suffix and replay it. New writes keep
+		// appending while we catch up; loop until there is no gap at
+		// the moment we hold the shard lock, then flip to Up under it
+		// so no append can sneak between the check and the flip.
+		s.mu.Lock()
+		top := uint64(len(s.log))
+		from := r.appliedSeq()
+		if from >= top {
+			r.mu.Lock()
+			var err error
+			if r.st == replicaCatchingUp {
+				r.st = replicaUp
+				r.cond.Broadcast()
+			} else {
+				err = fmt.Errorf("cluster: shard %d replica %d killed during revive", s.id, replicaID)
+			}
+			r.mu.Unlock()
+			s.mu.Unlock()
+			return err
+		}
+		pend := make([]entry, 0, top-from)
+		for seq := from + 1; seq <= top; seq++ {
+			pend = append(pend, entry{seq: seq, op: s.log[seq-1]})
+		}
+		s.mu.Unlock()
+		for _, e := range pend {
+			r.enqueue(e)
+		}
+		if !r.waitApplied(top) {
+			r.mu.Lock()
+			err := r.applyErr
+			r.mu.Unlock()
+			if err != nil {
+				return fmt.Errorf("cluster: shard %d replica %d poisoned during revive: %w", s.id, replicaID, err)
+			}
+			return fmt.Errorf("cluster: shard %d replica %d killed during revive", s.id, replicaID)
+		}
+	}
+}
+
+// --- cluster-level write APIs ---
+
+// ErrNewPaths reports that AddDocuments introduced label paths unknown
+// to the shared summary. Per-shard summaries then extend independently
+// and sid assignment diverges across shards (the documented limitation
+// of the distributed tier); rebuild the cluster to re-share a summary.
+var ErrNewPaths = fmt.Errorf("cluster: documents introduced new label paths; shard summaries have diverged — rebuild the cluster")
+
+// AddDocuments appends documents (global ids continuing the dense
+// sequence) to their shards through the sequenced channels, then
+// re-aggregates and re-syncs global statistics so scores stay
+// comparable across shards. Like the engine's AddDocuments it drops
+// all materialized lists (statistics changed); re-run Materialize or
+// SelfManage afterwards.
+func (c *Cluster) AddDocuments(docs []corpus.Document) error {
+	if len(docs) == 0 {
+		return nil
+	}
+	base := int(c.docs.Load())
+	parts, err := partitionDocs(docs, base, c.nShards)
+	if err != nil {
+		return err
+	}
+	for s, part := range parts {
+		if len(part) == 0 {
+			continue
+		}
+		if err := c.shards[s].apply(op{kind: opAddDocs, docs: part}); err != nil {
+			return err
+		}
+	}
+	c.docs.Add(int64(len(docs)))
+	c.bumpWrites()
+	if err := c.syncStatistics(); err != nil {
+		return err
+	}
+	// Detect summary divergence after the fact: a grown summary means
+	// some shard assigned sids the coordinator (and its peers) do not
+	// know. The shards themselves stay internally consistent.
+	for _, sh := range c.shards {
+		r := sh.anyUp()
+		if r != nil && r.eng.Summary().NumNodes() > c.sum.NumNodes() {
+			return ErrNewPaths
+		}
+	}
+	return nil
+}
+
+// Materialize fans a redundant-list build for query src out to every
+// shard through the sequenced channels.
+func (c *Cluster) Materialize(src string, kinds ...index.ListKind) error {
+	for _, sh := range c.shards {
+		if err := sh.apply(op{kind: opMaterialize, nexi: src, kinds: kinds}); err != nil {
+			return err
+		}
+	}
+	c.bumpWrites()
+	return nil
+}
+
+// SelfManage fans one self-management plan (the paper's Section 4
+// index selection) out to every shard. Each shard solves against its
+// own catalog under the same per-shard disk budget; because the op is
+// deterministic, replicas of a shard pick identical list sets.
+func (c *Cluster) SelfManage(queries []trex.WorkloadQuery, diskPerShard int64, solver trex.Solver) error {
+	for _, sh := range c.shards {
+		if err := sh.apply(op{kind: opSelfManage, queries: queries, disk: diskPerShard, solver: solver}); err != nil {
+			return err
+		}
+	}
+	c.bumpWrites()
+	return nil
+}
+
+func (c *Cluster) bumpWrites() {
+	if c.met != nil {
+		c.met.writes.Add(1)
+	}
+}
+
+// SetApplyHook installs the fault-injection hook called by every
+// replica applier after claiming an op and before applying it. Pass
+// nil to clear. Test-only plumbing.
+func (c *Cluster) SetApplyHook(h func(shard, replica int, seq uint64)) {
+	for _, sh := range c.shards {
+		if h == nil {
+			sh.onApply.Store(nil)
+		} else {
+			sh.onApply.Store(&h)
+		}
+	}
+}

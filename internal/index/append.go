@@ -34,7 +34,13 @@ func AppendDocuments(s *Store, docs []corpus.Document, sum *summary.Summary) (*A
 	if err != nil {
 		return nil, fmt.Errorf("index: append requires a built base index: %w", err)
 	}
-	next := st.NumDocs
+	// The dense id sequence continues from the LOCAL document count: on
+	// a cluster shard the collection statistics describe the whole
+	// corpus (see SyncStatistics), not this store's slice of it.
+	next, err := s.LocalDocCount()
+	if err != nil {
+		return nil, err
+	}
 	for i, d := range docs {
 		if d.ID != next+i {
 			return nil, fmt.Errorf("index: document ids must continue the sequence: got %d, want %d", d.ID, next+i)
@@ -141,6 +147,22 @@ func AppendDocuments(s *Store, docs []corpus.Document, sum *summary.Summary) (*A
 	}
 	if err := s.PutCollectionStats(st); err != nil {
 		return nil, err
+	}
+	// Keep the decoupled local count advancing when a stats sync froze
+	// it (no-op for single-engine stores, where NumDocs is the count).
+	tracked, err := s.localDocsTracked()
+	if err != nil {
+		return nil, err
+	}
+	if tracked {
+		if err := s.putLocalDocCount(next + len(docs)); err != nil {
+			return nil, err
+		}
+		for t := range cfDelta {
+			if err := s.bumpLocalTermStat(t, int(dfDelta[t]), int64(cfDelta[t])); err != nil {
+				return nil, err
+			}
+		}
 	}
 	stats.NewSIDs = sum.NumNodes() - oldNodes
 	return stats, nil

@@ -1,0 +1,163 @@
+package oracle
+
+import (
+	"fmt"
+	"strings"
+
+	"trex"
+	"trex/internal/cluster"
+	"trex/internal/corpus"
+	"trex/internal/index"
+)
+
+// The distributed differential oracle. A single engine built over the
+// whole case corpus is the ground truth; the same corpus served by an
+// N-shard, R-replica cluster must return byte-identical rankings —
+// same documents, same spans, same sids, same exact scores, same
+// TotalAnswers — for every retrieval method, across the whole
+// (shards, replicas) grid. Any drift is a bug in the distributed tier's
+// two invariants (shared sid space, globally synced statistics) or in
+// the coordinator's threshold merge, and shrinks to a 1-minimal case
+// exactly like the strategy oracle's failures do.
+
+// clusterShards and clusterReplicas define the differential grid.
+var (
+	clusterShards   = []int{1, 2, 4}
+	clusterReplicas = []int{1, 2}
+)
+
+// clusterMethods are the retrieval methods the coordinator is checked
+// under; rankings must be method-independent AND distribution-independent.
+var clusterMethods = []trex.Method{trex.MethodERA, trex.MethodTA, trex.MethodNRA, trex.MethodMerge}
+
+// ClusterQuery derives the case's NEXI query: the target tag comes from
+// the case seed (all four generator tags appear across a sweep) and the
+// about() filter carries the case terms. Every component the generator
+// emits is dense in the corpus, so queries return real multi-shard
+// result sets instead of empty ones.
+func ClusterQuery(c Case) string {
+	tag := genTags[int(uint64(c.Seed))%len(genTags)]
+	return fmt.Sprintf("//%s[about(., %s)]", tag, strings.Join(c.Terms, " "))
+}
+
+// CheckCluster runs one distributed differential case over the full
+// grid. A nil *Mismatch means every (shards, replicas, method) cell
+// agreed with the single engine; a non-nil error is a harness failure
+// (build or query error), which is a bug too but not a ranking
+// divergence. The Mismatch reuses the strategy oracle's type: Store
+// names the grid cell, Strategy the method.
+func CheckCluster(c Case) (*Mismatch, error) {
+	return checkCluster(c, nil)
+}
+
+// clusterPerturbFunc lets harness tests corrupt one grid cell's answers
+// before comparison, proving the cluster oracle's detect/shrink/repro
+// machinery catches real coordinator drift.
+type clusterPerturbFunc func(cell, method string, answers []trex.Answer) []trex.Answer
+
+// CheckClusterPerturbed is CheckCluster with a perturbation hook applied
+// to every coordinator result. Harness tests only.
+func CheckClusterPerturbed(c Case, perturb clusterPerturbFunc) (*Mismatch, error) {
+	return checkCluster(c, perturb)
+}
+
+func checkCluster(c Case, perturb clusterPerturbFunc) (*Mismatch, error) {
+	if len(c.DocIDs) == 0 || len(c.Terms) == 0 {
+		return nil, fmt.Errorf("oracle: degenerate cluster case %+v", c)
+	}
+	src := ClusterQuery(c)
+	col := GenCollection(c.Seed, c.DocIDs)
+	single, err := trex.CreateMemory(col, &trex.Options{Telemetry: &trex.TelemetryOptions{Disabled: true}})
+	if err != nil {
+		return nil, fmt.Errorf("oracle: build single engine: %w", err)
+	}
+	defer single.Close()
+	// TA/NRA/Merge read only materialized RPL/ERPL lists; build them on
+	// both sides so every method cell evaluates real retrieval.
+	if _, err := single.Materialize(src, index.KindRPL, index.KindERPL); err != nil {
+		return nil, fmt.Errorf("oracle: single materialize: %w", err)
+	}
+
+	want := map[trex.Method]*trex.Result{}
+	for _, m := range clusterMethods {
+		res, err := single.QueryOpts(src, trex.QueryOptions{K: c.K, Method: m})
+		if err != nil {
+			return nil, fmt.Errorf("oracle: single %v query: %w", m, err)
+		}
+		want[m] = res
+	}
+
+	for _, shards := range clusterShards {
+		for _, replicas := range clusterReplicas {
+			cell := fmt.Sprintf("cluster N=%d R=%d", shards, replicas)
+			mm, err := checkClusterCell(c, col, src, cell, shards, replicas, want, perturb)
+			if err != nil || mm != nil {
+				return mm, err
+			}
+		}
+	}
+	return nil, nil
+}
+
+// checkClusterCell builds one (shards, replicas) cluster over the case
+// corpus and checks every method against the single-engine reference.
+func checkClusterCell(c Case, col *corpus.Collection, src, cell string, shards, replicas int, want map[trex.Method]*trex.Result, perturb clusterPerturbFunc) (*Mismatch, error) {
+	cl, err := cluster.New(col, cluster.Options{
+		Shards:   shards,
+		Replicas: replicas,
+		Engine:   trex.Options{Telemetry: &trex.TelemetryOptions{Disabled: true}},
+		// The coordinator's own trex_cluster_* registry is noise here;
+		// per-case construction should stay cheap.
+		DisableMetrics: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("oracle: build %s: %w", cell, err)
+	}
+	defer cl.Close()
+	if err := cl.Materialize(src, index.KindRPL, index.KindERPL); err != nil {
+		return nil, fmt.Errorf("oracle: %s materialize: %w", cell, err)
+	}
+	for _, m := range clusterMethods {
+		got, err := cl.Query(src, c.K, m)
+		if err != nil {
+			return nil, fmt.Errorf("oracle: %s %v: %w", cell, m, err)
+		}
+		answers := got.Answers
+		if perturb != nil {
+			answers = perturb(cell, m.String(), answers)
+		}
+		if d := diffAnswers(want[m].Answers, answers); d != "" {
+			return &Mismatch{Case: c, Store: cell, Strategy: m.String(), Detail: d, Cluster: true}, nil
+		}
+		if got.TotalAnswers != want[m].TotalAnswers {
+			return &Mismatch{Case: c, Store: cell, Strategy: m.String(),
+				Detail:  fmt.Sprintf("TotalAnswers %d, want %d", got.TotalAnswers, want[m].TotalAnswers),
+				Cluster: true}, nil
+		}
+	}
+	return nil, nil
+}
+
+// diffAnswers reports the first divergence between two engine-shaped
+// answer lists, or "" when they are byte-identical (every field,
+// including exact scores).
+func diffAnswers(want, got []trex.Answer) string {
+	if len(want) != len(got) {
+		return fmt.Sprintf("%d answers, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			return fmt.Sprintf("rank %d: %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	return ""
+}
+
+// ShrinkCluster minimizes a failing cluster case to 1-minimality under
+// CheckCluster, mirroring Shrink for the strategy oracle.
+func ShrinkCluster(c Case) Case {
+	return Shrink(c, func(cand Case) bool {
+		m, err := CheckCluster(cand)
+		return err == nil && m != nil
+	})
+}

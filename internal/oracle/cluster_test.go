@@ -1,0 +1,140 @@
+package oracle_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"trex"
+	"trex/internal/oracle"
+)
+
+// TestClusterDifferential200Cases is the CI-mode distributed oracle
+// sweep: 200 seeded cases, each asserting the coordinator returns
+// byte-identical rankings to a single engine over the same corpus,
+// for ERA, TA, NRA, and Merge across the shards{1,2,4} x replicas{1,2}
+// grid.
+func TestClusterDifferential200Cases(t *testing.T) {
+	for seed := int64(1); seed <= 200; seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			c := oracle.NewCase(rand.New(rand.NewSource(seed)), seed)
+			m, err := oracle.CheckCluster(c)
+			if err != nil {
+				t.Fatalf("seed %d: harness error: %v (case %+v)", seed, err, c)
+			}
+			if m != nil {
+				t.Fatalf("seed %d: %s\n\n%s", seed, m, shrunkClusterRepro(m.Case))
+			}
+		})
+	}
+}
+
+// shrunkClusterRepro minimizes a genuinely failing distributed case and
+// renders its regression test, so a red cluster-oracle run prints
+// something paste-ready.
+func shrunkClusterRepro(c oracle.Case) string {
+	shrunk := oracle.ShrinkCluster(c)
+	m, err := oracle.CheckCluster(shrunk)
+	if err != nil || m == nil {
+		m = &oracle.Mismatch{Case: shrunk, Store: "?", Strategy: "?",
+			Detail: "shrink lost the failure", Cluster: true}
+	}
+	return m.Repro()
+}
+
+// TestClusterPerturbationShrinksToMinimalRepro proves the distributed
+// harness end to end by corrupting one grid cell's coordinator output:
+// the oracle must flag it, ShrinkCluster must converge on a 1-minimal
+// case that still fails, and Repro must print a CheckCluster-based
+// regression test.
+func TestClusterPerturbationShrinksToMinimalRepro(t *testing.T) {
+	// Drop TA's last answer on the 2-shard single-replica cell — a
+	// deterministic "coordinator bug" that fires whenever that cell
+	// returns any answers.
+	perturb := func(cell, method string, answers []trex.Answer) []trex.Answer {
+		if cell == "cluster N=2 R=1" && method == "ta" && len(answers) > 0 {
+			return answers[:len(answers)-1]
+		}
+		return answers
+	}
+	failing := func(c oracle.Case) bool {
+		m, err := oracle.CheckClusterPerturbed(c, perturb)
+		return err == nil && m != nil
+	}
+
+	var c oracle.Case
+	found := false
+	for seed := int64(1); seed <= 50 && !found; seed++ {
+		c = oracle.NewCase(rand.New(rand.NewSource(seed)), seed)
+		found = failing(c)
+	}
+	if !found {
+		t.Fatal("no seed in 1..50 produced TA answers on the 2-shard cell — generator is broken")
+	}
+
+	shrunk := oracle.Shrink(c, failing)
+	if !failing(shrunk) {
+		t.Fatalf("shrunk case no longer fails: %+v", shrunk)
+	}
+	if len(shrunk.DocIDs) > len(c.DocIDs) || len(shrunk.Terms) > len(c.Terms) {
+		t.Fatalf("shrink grew the case: %+v -> %+v", c, shrunk)
+	}
+	// 1-minimality: removing any single remaining component must make
+	// the failure vanish.
+	for i := range shrunk.DocIDs {
+		if len(shrunk.DocIDs) > 1 {
+			cand := shrunk
+			cand.DocIDs = append(append([]int(nil), shrunk.DocIDs[:i]...), shrunk.DocIDs[i+1:]...)
+			if failing(cand) {
+				t.Fatalf("not 1-minimal: doc %d is removable", shrunk.DocIDs[i])
+			}
+		}
+	}
+	for i := range shrunk.Terms {
+		if len(shrunk.Terms) > 1 {
+			cand := shrunk
+			cand.Terms = append(append([]string(nil), shrunk.Terms[:i]...), shrunk.Terms[i+1:]...)
+			if failing(cand) {
+				t.Fatalf("not 1-minimal: term %q is removable", shrunk.Terms[i])
+			}
+		}
+	}
+
+	m, err := oracle.CheckClusterPerturbed(shrunk, perturb)
+	if err != nil || m == nil {
+		t.Fatalf("CheckClusterPerturbed on shrunk case = %v, %v", m, err)
+	}
+	repro := m.Repro()
+	if !strings.Contains(repro, "oracle.CheckCluster(c)") ||
+		!strings.Contains(repro, "func TestOracleRegressionSeed") {
+		t.Fatalf("repro is not a paste-ready CheckCluster test:\n%s", repro)
+	}
+}
+
+// TestClusterQueryNonDegenerate guards the generator contract the
+// distributed sweep relies on: across the first 200 seeds, a healthy
+// majority of cases must return answers at all (an oracle that mostly
+// compares empty rankings proves nothing) and every generator tag must
+// appear as a query target.
+func TestClusterQueryNonDegenerate(t *testing.T) {
+	tags := map[string]bool{}
+	nonEmpty := 0
+	for seed := int64(1); seed <= 200; seed++ {
+		c := oracle.NewCase(rand.New(rand.NewSource(seed)), seed)
+		q := oracle.ClusterQuery(c)
+		start := strings.Index(q, "//") + 2
+		end := strings.Index(q, "[")
+		tags[q[start:end]] = true
+		if len(c.DocIDs) > 0 && len(c.Terms) > 0 {
+			nonEmpty++
+		}
+	}
+	if len(tags) < 4 {
+		t.Fatalf("only %d distinct target tags across 200 seeds: %v", len(tags), tags)
+	}
+	if nonEmpty < 200 {
+		t.Fatalf("%d/200 cases degenerate", 200-nonEmpty)
+	}
+}

@@ -1,58 +1,23 @@
 package oracle
 
 import (
-	"math/rand"
-	"strings"
-
 	"trex/internal/corpus"
+	"trex/internal/oracle/gen"
 )
 
-// The generator's closed alphabet. A handful of tags and terms keeps
-// random (sids, terms) clauses dense in the data, so differential cases
-// exercise real multi-list retrieval instead of returning empty sets.
+// The generator proper lives in the leaf package internal/oracle/gen so
+// the root package's tests can build seeded corpora without importing
+// the oracle (which imports trex via the cluster check). These aliases
+// keep the oracle's historical API.
 var (
-	genTags  = []string{"r", "s", "t", "u"}
-	genWords = []string{"ax", "bx", "cx", "dx", "ex"}
+	genTags  = gen.Tags
+	genWords = gen.Words
 )
 
-// GenDoc generates document id d from (seed, d) alone. Per-document
-// seeding is what makes shrinking sound: removing one document from a
-// case never changes the content of the documents that remain, so a
-// shrunk case reproduces byte-identical stores.
-func GenDoc(seed int64, d int) corpus.Document {
-	rng := rand.New(rand.NewSource(seed ^ int64(d)*0x9E3779B9))
-	var sb strings.Builder
-	var emit func(depth int)
-	emit = func(depth int) {
-		tag := genTags[rng.Intn(len(genTags))]
-		sb.WriteString("<" + tag + ">")
-		for i := 1 + rng.Intn(4); i > 0; i-- {
-			sb.WriteString(genWords[rng.Intn(len(genWords))] + " ")
-		}
-		if depth < 3 {
-			for i := rng.Intn(3); i > 0; i-- {
-				emit(depth + 1)
-				sb.WriteString(genWords[rng.Intn(len(genWords))] + " ")
-			}
-		}
-		sb.WriteString("</" + tag + ">")
-	}
-	sb.WriteString("<doc>")
-	emit(0)
-	sb.WriteString("</doc>")
-	return corpus.Document{ID: d, Data: []byte(sb.String())}
-}
+// GenDoc generates document id d from (seed, d) alone; see gen.Doc.
+func GenDoc(seed int64, d int) corpus.Document { return gen.Doc(seed, d) }
 
-// GenCollection materializes the case's documents. Store-facing ids are
-// renumbered dense from 0 (the index requires a dense sequence), while
-// content stays keyed by the original generator ids, preserving each
-// surviving document across shrink steps.
+// GenCollection materializes the case's documents; see gen.Collection.
 func GenCollection(seed int64, docIDs []int) *corpus.Collection {
-	docs := make([]corpus.Document, len(docIDs))
-	for i, d := range docIDs {
-		doc := GenDoc(seed, d)
-		doc.ID = i
-		docs[i] = doc
-	}
-	return &corpus.Collection{Docs: docs}
+	return gen.Collection(seed, docIDs)
 }

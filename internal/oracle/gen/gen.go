@@ -1,0 +1,62 @@
+// Package gen is the oracle's seeded corpus generator, split out as a
+// leaf so packages that only need deterministic test corpora (notably
+// the root package's own tests) can import it without pulling in the
+// oracle's engine and cluster dependencies.
+package gen
+
+import (
+	"math/rand"
+	"strings"
+
+	"trex/internal/corpus"
+)
+
+// The generator's closed alphabet. A handful of tags and terms keeps
+// random (sids, terms) clauses dense in the data, so differential cases
+// exercise real multi-list retrieval instead of returning empty sets.
+var (
+	Tags  = []string{"r", "s", "t", "u"}
+	Words = []string{"ax", "bx", "cx", "dx", "ex"}
+)
+
+// Doc generates document id d from (seed, d) alone. Per-document
+// seeding is what makes shrinking sound: removing one document from a
+// case never changes the content of the documents that remain, so a
+// shrunk case reproduces byte-identical stores.
+func Doc(seed int64, d int) corpus.Document {
+	rng := rand.New(rand.NewSource(seed ^ int64(d)*0x9E3779B9))
+	var sb strings.Builder
+	var emit func(depth int)
+	emit = func(depth int) {
+		tag := Tags[rng.Intn(len(Tags))]
+		sb.WriteString("<" + tag + ">")
+		for i := 1 + rng.Intn(4); i > 0; i-- {
+			sb.WriteString(Words[rng.Intn(len(Words))] + " ")
+		}
+		if depth < 3 {
+			for i := rng.Intn(3); i > 0; i-- {
+				emit(depth + 1)
+				sb.WriteString(Words[rng.Intn(len(Words))] + " ")
+			}
+		}
+		sb.WriteString("</" + tag + ">")
+	}
+	sb.WriteString("<doc>")
+	emit(0)
+	sb.WriteString("</doc>")
+	return corpus.Document{ID: d, Data: []byte(sb.String())}
+}
+
+// Collection materializes a case's documents. Store-facing ids are
+// renumbered dense from 0 (the index requires a dense sequence), while
+// content stays keyed by the original generator ids, preserving each
+// surviving document across shrink steps.
+func Collection(seed int64, docIDs []int) *corpus.Collection {
+	docs := make([]corpus.Document, len(docIDs))
+	for i, d := range docIDs {
+		doc := Doc(seed, d)
+		doc.ID = i
+		docs[i] = doc
+	}
+	return &corpus.Collection{Docs: docs}
+}

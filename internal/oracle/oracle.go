@@ -71,9 +71,12 @@ func NewCase(rng *rand.Rand, seed int64) Case {
 // baseline on one store.
 type Mismatch struct {
 	Case     Case
-	Store    string // "v1", "v2", or "mixed"
+	Store    string // "v1", "v2", "mixed", "segment", or a cluster grid cell
 	Strategy string // "TA", "NRA", "Merge", or "Auto"
 	Detail   string
+	// Cluster marks a distributed-oracle failure (CheckCluster); Repro
+	// then renders a CheckCluster regression instead of a Check one.
+	Cluster bool
 }
 
 func (m *Mismatch) String() string {
@@ -95,6 +98,12 @@ func (m *Mismatch) Repro() string {
 	fmt.Fprintf(&sb, "\t\tTerms:  %#v,\n", c.Terms)
 	fmt.Fprintf(&sb, "\t\tK:      %d,\n", c.K)
 	fmt.Fprintf(&sb, "\t}\n")
+	if m.Cluster {
+		sb.WriteString("\tm, err := oracle.CheckCluster(c)\n")
+		sb.WriteString("\tif err != nil {\n\t\tt.Fatal(err)\n\t}\n")
+		sb.WriteString("\tif m != nil {\n\t\tt.Fatalf(\"cluster diverges from single engine: %s\", m)\n\t}\n}\n")
+		return sb.String()
+	}
 	sb.WriteString("\tm, err := oracle.Check(c)\n")
 	sb.WriteString("\tif err != nil {\n\t\tt.Fatal(err)\n\t}\n")
 	sb.WriteString("\tif m != nil {\n\t\tt.Fatalf(\"strategies disagree: %s\", m)\n\t}\n}\n")

@@ -54,3 +54,50 @@ func TestSoak(t *testing.T) {
 		}
 	}
 }
+
+// TestClusterSoak is the nightly long-run distributed oracle: randomized
+// cases from a wall-clock seed through the full CheckCluster grid. Gated
+// behind TREX_SOAK like TestSoak; run it via `make soak-cluster`, and
+// replay a red run with `make soak-cluster SEED=<seed>`. A cluster case
+// covers 24 (method x shards x replicas) cells, so the default case
+// count is lower than the single-engine soak's.
+func TestClusterSoak(t *testing.T) {
+	if os.Getenv("TREX_SOAK") == "" {
+		t.Skip("soak disabled: set TREX_SOAK=1 (or run `make soak-cluster`)")
+	}
+	seed := time.Now().UnixNano()
+	if s := os.Getenv("TREX_SOAK_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("TREX_SOAK_SEED=%q: %v", s, err)
+		}
+		if v != 0 { // 0 = "pick one", the Makefile default
+			seed = v
+		}
+	}
+	cases := 1000
+	if s := os.Getenv("TREX_SOAK_CASES"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v <= 0 {
+			t.Fatalf("TREX_SOAK_CASES=%q: want a positive integer", s)
+		}
+		cases = v
+	}
+	t.Logf("cluster soak seed %d over %d cases — replay with: make soak-cluster SEED=%d", seed, cases, seed)
+
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < cases; i++ {
+		caseSeed := seed + int64(i)
+		c := oracle.NewCase(rng, caseSeed)
+		m, err := oracle.CheckCluster(c)
+		if err != nil {
+			t.Fatalf("case %d (seed %d): harness error: %v\ncase: %+v", i, caseSeed, err, c)
+		}
+		if m != nil {
+			t.Fatalf("case %d (seed %d): %s\n\nminimal repro:\n%s", i, caseSeed, m, shrunkClusterRepro(m.Case))
+		}
+		if i > 0 && i%200 == 0 {
+			t.Logf("%d/%d cluster cases green", i, cases)
+		}
+	}
+}

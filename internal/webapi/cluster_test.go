@@ -1,0 +1,290 @@
+package webapi
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"trex"
+	"trex/internal/cluster"
+	"trex/internal/corpus"
+)
+
+// newClusterServer builds a 2-shard, 2-replica coordinator server over
+// the same corpus newTestServer uses, so responses are directly
+// comparable against the single-engine API.
+func newClusterServer(t *testing.T, opts cluster.Options, allowWrites bool) (*httptest.Server, *cluster.Cluster) {
+	t.Helper()
+	col := corpus.GenerateIEEE(25, 202)
+	if opts.Shards == 0 {
+		opts.Shards = 2
+	}
+	if opts.Replicas == 0 {
+		opts.Replicas = 2
+	}
+	opts.Engine.StoreDocuments = true
+	cl, err := cluster.New(col, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	ts := httptest.NewServer(NewCluster(cl, allowWrites))
+	t.Cleanup(ts.Close)
+	return ts, cl
+}
+
+// TestClusterSearchMatchesSingleEngine compares the coordinator's
+// /search payload hit-for-hit against the single-engine server over the
+// identical corpus, and checks the distributed accounting is attached.
+func TestClusterSearchMatchesSingleEngine(t *testing.T) {
+	single := newTestServer(t, false)
+	clustered, _ := newClusterServer(t, cluster.Options{}, false)
+
+	path := "/search?snippets=1&k=5&q=" + url.QueryEscape(testQuery)
+	var want, got SearchResponse
+	if code := getJSON(t, single, path, &want); code != http.StatusOK {
+		t.Fatalf("single status = %d", code)
+	}
+	if code := getJSON(t, clustered, path, &got); code != http.StatusOK {
+		t.Fatalf("cluster status = %d", code)
+	}
+	if !reflect.DeepEqual(got.Hits, want.Hits) {
+		t.Fatalf("cluster hits differ from single engine:\nsingle:  %+v\ncluster: %+v", want.Hits, got.Hits)
+	}
+	if got.TotalAnswers != want.TotalAnswers {
+		t.Fatalf("totalAnswers = %d, single engine says %d", got.TotalAnswers, want.TotalAnswers)
+	}
+	if want.Cluster != nil {
+		t.Fatal("single-engine response carries a cluster section")
+	}
+	if got.Cluster == nil {
+		t.Fatal("cluster response missing the cluster section")
+	}
+	if got.Cluster.Shards != 2 || got.Cluster.Fetches < 2 || len(got.Cluster.PerShard) != 2 {
+		t.Fatalf("cluster accounting = %+v", got.Cluster)
+	}
+	for i, h := range got.Hits {
+		if h.Snippet == "" {
+			t.Fatalf("hit %d missing snippet (cross-shard snippet routing broken)", i)
+		}
+	}
+}
+
+// TestClusterSearchAdmission exercises the coordinator-level front door
+// over HTTP: a pinned slot sheds the next arrival with 429, and a
+// queued arrival that outlives the queue timeout gets 503.
+func TestClusterSearchAdmission(t *testing.T) {
+	ts, cl := newClusterServer(t, cluster.Options{
+		FrontDoor: &trex.FrontDoorOptions{MaxInflight: 1, QueueDepth: 0},
+	}, false)
+	release, _, err := cl.Admission().Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/search?q=" + url.QueryEscape(testQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("shed status = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("Retry-After = %q", ra)
+	}
+	release()
+
+	ts2, cl2 := newClusterServer(t, cluster.Options{
+		FrontDoor: &trex.FrontDoorOptions{MaxInflight: 1, QueueDepth: 1, QueueTimeout: 20 * time.Millisecond},
+	}, false)
+	release2, _, err := cl2.Admission().Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release2()
+	resp2, err := http.Get(ts2.URL + "/search?q=" + url.QueryEscape(testQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("queue-timeout status = %d, want 503", resp2.StatusCode)
+	}
+}
+
+// TestClusterSearchDeadline checks an expired per-request deadline
+// still returns a best-effort ranking marked approximate, and a
+// malformed deadline is a 400.
+func TestClusterSearchDeadline(t *testing.T) {
+	ts, _ := newClusterServer(t, cluster.Options{}, false)
+	var resp SearchResponse
+	if code := getJSON(t, ts, "/search?deadline=1ns&q="+url.QueryEscape(testQuery), &resp); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if !resp.Approximate {
+		t.Fatal("expired deadline did not mark the response approximate")
+	}
+	var e map[string]string
+	if code := getJSON(t, ts, "/search?deadline=soon&q="+url.QueryEscape(testQuery), &e); code != http.StatusBadRequest {
+		t.Fatalf("bad deadline status = %d", code)
+	}
+}
+
+// TestClusterStatusEndpoint kills a replica and checks /cluster exposes
+// the liveness flip, the epoch lag, and the recovery.
+func TestClusterStatusEndpoint(t *testing.T) {
+	type replicaStatus struct {
+		Replica int    `json:"replica"`
+		Up      bool   `json:"up"`
+		Epoch   uint64 `json:"epoch"`
+	}
+	type shardStatus struct {
+		Shard    int             `json:"shard"`
+		Epoch    uint64          `json:"epoch"`
+		Replicas []replicaStatus `json:"replicas"`
+	}
+	var status struct {
+		Shards   int           `json:"shards"`
+		Replicas int           `json:"replicas"`
+		Epoch    uint64        `json:"epoch"`
+		Topology []shardStatus `json:"topology"`
+	}
+	ts, cl := newClusterServer(t, cluster.Options{}, false)
+	if code := getJSON(t, ts, "/cluster", &status); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if status.Shards != 2 || status.Replicas != 2 || len(status.Topology) != 2 {
+		t.Fatalf("topology = %+v", status)
+	}
+	for _, sh := range status.Topology {
+		for _, r := range sh.Replicas {
+			if !r.Up {
+				t.Fatalf("fresh cluster reports shard %d replica %d down", sh.Shard, r.Replica)
+			}
+		}
+	}
+
+	cl.Kill(1, 0)
+	if code := getJSON(t, ts, "/cluster", &status); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if status.Topology[1].Replicas[0].Up {
+		t.Fatal("/cluster still reports the killed replica up")
+	}
+	if err := cl.Revive(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if code := getJSON(t, ts, "/cluster", &status); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if !status.Topology[1].Replicas[0].Up {
+		t.Fatal("/cluster does not report the revived replica up")
+	}
+}
+
+// TestClusterMetricsEndpoint checks the coordinator exposition carries
+// the trex_cluster_* family and that ?shard= selects one replica
+// engine's registry.
+func TestClusterMetricsEndpoint(t *testing.T) {
+	ts, _ := newClusterServer(t, cluster.Options{}, false)
+	if _, err := http.Get(ts.URL + "/search?q=" + url.QueryEscape(testQuery)); err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 32<<10)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, sb.String()
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("coordinator metrics status = %d", code)
+	}
+	if !strings.Contains(body, "trex_cluster_fetches_total") {
+		t.Fatalf("coordinator exposition missing trex_cluster_fetches_total:\n%s", body)
+	}
+
+	code, body = get("/metrics?shard=0&replica=1")
+	if code != http.StatusOK {
+		t.Fatalf("shard metrics status = %d", code)
+	}
+	if !strings.Contains(body, "trex_queries_total") {
+		t.Fatalf("shard exposition missing trex_queries_total:\n%s", body)
+	}
+	if strings.Contains(body, "trex_cluster_fetches_total") {
+		t.Fatal("shard exposition leaked coordinator metrics")
+	}
+
+	if code, _ := get("/metrics?shard=9"); code != http.StatusBadRequest {
+		t.Fatalf("out-of-range shard status = %d, want 400", code)
+	}
+}
+
+// TestClusterMaterializeGated checks the write gate and that an allowed
+// materialization bumps the replicated epoch.
+func TestClusterMaterializeGated(t *testing.T) {
+	ts, _ := newClusterServer(t, cluster.Options{}, false)
+	resp, err := http.Post(ts.URL+"/materialize?q="+url.QueryEscape(testQuery), "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("gated materialize status = %d, want 403", resp.StatusCode)
+	}
+
+	tsW, cl := newClusterServer(t, cluster.Options{}, true)
+	before := cl.Epoch()
+	respW, err := http.Post(tsW.URL+"/materialize?q="+url.QueryEscape(testQuery), "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	respW.Body.Close()
+	if respW.StatusCode != http.StatusOK {
+		t.Fatalf("materialize status = %d", respW.StatusCode)
+	}
+	if cl.Epoch() <= before {
+		t.Fatalf("epoch did not advance: %d -> %d", before, cl.Epoch())
+	}
+}
+
+// TestClusterStatsEndpoint checks /stats reports the global (synced)
+// collection statistics, identical to the single-engine /stats numbers.
+func TestClusterStatsEndpoint(t *testing.T) {
+	single := newTestServer(t, false)
+	clustered, _ := newClusterServer(t, cluster.Options{}, false)
+	var want, got map[string]any
+	if code := getJSON(t, single, "/stats", &want); code != http.StatusOK {
+		t.Fatalf("single stats status = %d", code)
+	}
+	if code := getJSON(t, clustered, "/stats", &got); code != http.StatusOK {
+		t.Fatalf("cluster stats status = %d", code)
+	}
+	for _, key := range []string{"numDocs", "numElements", "avgElementLen", "summaryNodes"} {
+		if got[key] != want[key] {
+			t.Fatalf("stats[%q] = %v, single engine says %v", key, got[key], want[key])
+		}
+	}
+	if got["shards"].(float64) != 2 || got["replicas"].(float64) != 2 {
+		t.Fatalf("cluster stats topology = %+v", got)
+	}
+}

@@ -114,6 +114,9 @@ type SearchResponse struct {
 	// Trace is the per-query span breakdown (absent when the engine runs
 	// with telemetry disabled).
 	Trace *telemetry.Trace `json:"trace,omitempty"`
+	// Cluster is the scatter-gather accounting when the query was served
+	// by a ClusterServer coordinator (absent on single-engine servers).
+	Cluster *ClusterQueryInfo `json:"cluster,omitempty"`
 }
 
 // PlanCandidate is one retrieval method's cost estimate inside a

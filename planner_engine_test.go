@@ -6,7 +6,7 @@ import (
 	"testing"
 
 	"trex/internal/index"
-	"trex/internal/oracle"
+	"trex/internal/oracle/gen"
 )
 
 // plannerTestQueries builds the tag × word grid over the oracle corpus:
@@ -31,7 +31,7 @@ func TestPlannerConvergence(t *testing.T) {
 	for i := range docs {
 		docs[i] = i
 	}
-	col := oracle.GenCollection(11, docs)
+	col := gen.Collection(11, docs)
 	eng, err := CreateMemory(col, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -102,7 +102,7 @@ func TestPlannerConvergence(t *testing.T) {
 // nothing tears: queries succeed, shadows drain, and the engine's
 // counters account for every sample.
 func TestShadowSamplingRace(t *testing.T) {
-	col := oracle.GenCollection(23, []int{0, 1, 2, 3, 4, 5, 6, 7})
+	col := gen.Collection(23, []int{0, 1, 2, 3, 4, 5, 6, 7})
 	eng, err := CreateMemory(col, &Options{Planner: &PlannerOptions{ShadowFraction: 1}})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,123 @@
+package trex
+
+import (
+	"fmt"
+	"sort"
+
+	"trex/internal/index"
+	"trex/internal/score"
+)
+
+// Statistics synchronization for the distributed tier. Shards score
+// documents locally, so byte-identical distributed rankings require
+// every shard engine to hold the global collection statistics and the
+// global per-term df/cf rows. The cluster coordinator reads each
+// shard's exact local totals with CollectStatistics, merges them, and
+// writes the union back into every replica with SyncStatistics.
+
+// Statistics is one engine's exact scoring state: the integer totals
+// behind CollectionStats (the stored average is truncated to 1/1000,
+// so aggregation needs the raw sums) plus every term's df/cf row.
+type Statistics struct {
+	Docs     int
+	Elements int
+	TotalLen int64
+	Terms    []index.TermStat
+}
+
+// CollectStatistics snapshots the engine's exact scoring statistics
+// under the read lock.
+func (e *Engine) CollectStatistics() (*Statistics, error) {
+	e.beginRead()
+	defer e.endRead()
+	// All three reads are the engine's LOCAL contribution: after a sync
+	// the serving CollectionStats/TermStats tables hold global values, so
+	// re-aggregation must go through the store's decoupled local copies
+	// (identical to the serving tables until the first sync).
+	docs, err := e.store.LocalDocCount()
+	if err != nil {
+		return nil, fmt.Errorf("trex: collect statistics: %w", err)
+	}
+	elems, totalLen, err := e.store.ElementLengthStats()
+	if err != nil {
+		return nil, fmt.Errorf("trex: collect statistics (elements scan): %w", err)
+	}
+	st := &Statistics{Docs: docs, Elements: elems, TotalLen: totalLen}
+	st.Terms, err = e.store.LocalTermStats()
+	if err != nil {
+		return nil, fmt.Errorf("trex: collect statistics (term scan): %w", err)
+	}
+	return st, nil
+}
+
+// SyncStatistics overwrites the engine's collection statistics and term
+// df/cf rows with externally aggregated global values. It is a
+// maintenance operation (exclusive with queries and other maintenance)
+// and bumps the write epoch, so epoch-keyed result caches are
+// invalidated: scores change even though no list changed.
+//
+// The average element length is recomputed here from the exact integer
+// totals with the same float64 division BuildBase uses, then persisted
+// through the same truncating encoder — this is what makes a shard's
+// scorer bit-equal to a single engine built over the whole corpus.
+func (e *Engine) SyncStatistics(st *Statistics) error {
+	if st == nil {
+		return fmt.Errorf("trex: sync statistics: nil statistics")
+	}
+	e.maintMu.Lock()
+	defer e.maintMu.Unlock()
+	e.beginWrite()
+	defer e.endWrite()
+	avg := 0.0
+	if st.Elements > 0 {
+		avg = float64(st.TotalLen) / float64(st.Elements)
+	}
+	cs := score.CollectionStats{
+		NumDocs:       st.Docs,
+		NumElements:   st.Elements,
+		AvgElementLen: avg,
+	}
+	if err := e.store.SyncStatistics(cs, st.Terms); err != nil {
+		return fmt.Errorf("trex: sync statistics: %w", err)
+	}
+	if err := e.db.Flush(); err != nil {
+		return fmt.Errorf("trex: sync statistics (flush): %w", err)
+	}
+	return nil
+}
+
+// MergeStatistics folds per-shard exact statistics into one global
+// Statistics value: integer totals summed, term rows summed by term
+// (output sorted by term so the fan-out writes are deterministic).
+func MergeStatistics(parts []*Statistics) *Statistics {
+	out := &Statistics{}
+	type agg struct {
+		df int
+		cf int64
+	}
+	terms := map[string]agg{}
+	order := []string{}
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		out.Docs += p.Docs
+		out.Elements += p.Elements
+		out.TotalLen += p.TotalLen
+		for _, t := range p.Terms {
+			a, seen := terms[t.Term]
+			if !seen {
+				order = append(order, t.Term)
+			}
+			a.df += t.DF
+			a.cf += t.CF
+			terms[t.Term] = a
+		}
+	}
+	sort.Strings(order)
+	for _, term := range order {
+		a := terms[term]
+		out.Terms = append(out.Terms, index.TermStat{Term: term, DF: a.df, CF: a.cf})
+	}
+	return out
+}

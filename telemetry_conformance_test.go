@@ -5,7 +5,7 @@ import (
 	"time"
 
 	"trex/internal/index"
-	"trex/internal/oracle"
+	"trex/internal/oracle/gen"
 	"trex/internal/storage"
 )
 
@@ -17,7 +17,7 @@ import (
 
 func conformanceEngine(t *testing.T) *Engine {
 	t.Helper()
-	col := oracle.GenCollection(11, []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13})
+	col := gen.Collection(11, []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13})
 	eng, err := CreateMemory(col, &Options{
 		Telemetry: &TelemetryOptions{SlowQueryThreshold: time.Hour},
 	})
