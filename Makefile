@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-parallel bench-pr3 bench-pr5 bench-pr6 bench-qps bench-pr8 bench-cluster bench-suite-log test-telemetry test-segment test-frontdoor test-planner test-cluster fuzz soak soak-cluster ci run-serve-autopilot
+.PHONY: all build test race vet bench bench-parallel bench-pr3 bench-pr5 bench-pr6 bench-qps bench-pr8 bench-cluster bench-pr10 bench-suite-log test-telemetry test-segment test-frontdoor test-planner test-cluster test-json test-ingest fuzz soak soak-cluster ci run-serve-autopilot
 
 all: build test
 
@@ -76,6 +76,13 @@ bench-pr8:
 bench-cluster:
 	$(GO) run ./cmd/trexbench -exp pr9 -pr9out BENCH_PR9.json
 
+# bench-pr10 regenerates BENCH_PR10.json: streaming JSON ingest vs live
+# queries — ingest throughput and commit latency per commit batch size,
+# the staged->committed freshness-lag distribution, and query p50/p99
+# while the writer streams, against a quiet-engine baseline.
+bench-pr10:
+	$(GO) run ./cmd/trexbench -exp pr10 -pr10out BENCH_PR10.json
+
 # bench-suite-log re-runs the full `go test -bench` sweep and captures
 # the raw tool output for local inspection. The log is generated on
 # demand and not committed; recorded results live in the BENCH_*.json
@@ -140,6 +147,30 @@ test-cluster:
 	$(GO) test ./internal/oracle -run 'TestClusterDifferential200Cases|TestClusterPerturbationShrinksToMinimalRepro' -count=1
 	$(GO) test ./internal/webapi -run 'TestCluster' -count=1
 
+# test-json is the JSON-universe gate: the jsoncorpus mapping suite
+# (golden renderings, scanner cross-checks, strict inverse, JSONPath
+# translation), the corpus format-dispatch tests, and the 200-case
+# cross-universe differential oracle asserting ERA/TA/NRA/Merge return
+# byte-identical rankings for a JSON collection and its canonical XML
+# rendering over v1/v2/segment stores.
+test-json:
+	$(GO) test ./internal/jsoncorpus -count=1
+	$(GO) test ./internal/corpus -count=1
+	$(GO) test ./internal/oracle -run 'TestJSONXMLDifferential200Cases|TestUniversePerturbationShrinks' -count=1
+
+# test-ingest is the streaming-ingest gate: the staged-commit crash
+# loops (kill at every write boundary; single batch XML and JSON, plus
+# the two-batch never-partial loop), the race-detected ingest-vs-query
+# vs-autopilot differential, the front-door freshness test (no cached
+# pre-ingest result served after commit), the cluster streaming fan-out
+# epoch-convergence test, and the /ingest handler tests.
+test-ingest:
+	$(GO) test ./internal/faultinject -run 'TestCrashLoopStagedIngest' -count=1
+	$(GO) test . -run 'TestIngestRacesQueriesAndAutopilot' -race -count=1
+	$(GO) test . -run 'TestIngestInvalidatesResultCache' -count=1
+	$(GO) test ./internal/cluster -run 'TestClusterStreamingIngestConvergesEpochs' -race -count=1
+	$(GO) test ./internal/webapi -run 'TestIngest' -count=1
+
 # fuzz gives each codec fuzz target a short bounded run — long enough to
 # catch a decode panic regression, short enough for CI. The loop fails
 # fast: the first red target stops the run instead of burning the
@@ -147,6 +178,7 @@ test-cluster:
 FUZZTIME ?= 5s
 FUZZ_TARGETS = FuzzDecodePostingValue FuzzDecodeRPLRow FuzzDecodeERPLRow FuzzBlockRoundTrip
 SEGMENT_FUZZ_TARGETS = FuzzReader
+JSON_FUZZ_TARGETS = FuzzJSONToElements
 fuzz:
 	@set -e; for t in $(FUZZ_TARGETS); do \
 		echo "fuzz $$t"; \
@@ -155,6 +187,10 @@ fuzz:
 	for t in $(SEGMENT_FUZZ_TARGETS); do \
 		echo "fuzz $$t"; \
 		$(GO) test ./internal/segment -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) || exit 1; \
+	done; \
+	for t in $(JSON_FUZZ_TARGETS); do \
+		echo "fuzz $$t"; \
+		$(GO) test ./internal/jsoncorpus -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) || exit 1; \
 	done
 
 # soak is the nightly differential-oracle long run: thousands of seeded
@@ -180,9 +216,10 @@ soak-cluster:
 
 # ci is the full pre-merge gate: build, vet, plain tests, race tests,
 # the segment-backend gate, the telemetry conformance gate, the
-# front-door gate, the query-planner gate, short codec and
-# segment-format fuzz runs.
-ci: build vet test race test-segment test-telemetry test-frontdoor test-planner test-cluster fuzz
+# front-door gate, the query-planner gate, the cluster gate, the
+# JSON-universe gate, the streaming-ingest gate, and short codec,
+# segment-format, and JSON-mapping fuzz runs.
+ci: build vet test race test-segment test-telemetry test-frontdoor test-planner test-cluster test-json test-ingest fuzz
 
 # run-serve-autopilot is an end-to-end smoke test of the online
 # self-management daemon: generate a small corpus, load it, serve it

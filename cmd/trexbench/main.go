@@ -20,6 +20,7 @@
 //	pr7        front door under load: admission + result cache (see -pr7out)
 //	pr8        telemetry-driven query planner: auto vs race vs fixed (see -pr8out)
 //	pr9        distributed serving tier: sharded scatter-gather vs single engine (see -pr9out)
+//	pr10       streaming JSON ingest vs live queries: throughput, p99, freshness lag (see -pr10out)
 //	all        everything above
 //
 // Usage:
@@ -53,6 +54,7 @@ func main() {
 	pr7Out := flag.String("pr7out", "", "write the pr7 front-door load report as JSON to this file")
 	pr8Out := flag.String("pr8out", "", "write the pr8 query-planner report as JSON to this file")
 	pr9Out := flag.String("pr9out", "", "write the pr9 cluster serving report as JSON to this file")
+	pr10Out := flag.String("pr10out", "", "write the pr10 streaming-ingest report as JSON to this file")
 	flag.Parse()
 	csvOut = *csvDir
 	if csvOut != "" {
@@ -145,6 +147,10 @@ func main() {
 	if run("pr9") {
 		ok = true
 		pr9(*scale, *pr9Out)
+	}
+	if run("pr10") {
+		ok = true
+		pr10(*scale, *pr10Out)
 	}
 	if !ok {
 		log.Fatalf("unknown experiment %q", *exp)
@@ -539,6 +545,42 @@ func pr9(scale float64, outPath string) {
 		}
 	}
 	fmt.Printf("4-shard ok-QPS over single engine: %.2fx\n", rep.SpeedupAt4Shards)
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("# wrote %s\n", outPath)
+	}
+	fmt.Println()
+}
+
+func pr10(scale float64, outPath string) {
+	fmt.Println("## Streaming JSON ingest vs live queries (PR 10)")
+	rep, err := bench.PR10(scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("corpus: %d json docs (%d initial + %d streamed); %d readers; quiet query p50/p99 = %.2f/%.2f ms\n",
+		rep.Corpus.Docs, rep.InitialDocs, rep.StreamDocs, rep.Readers,
+		rep.BaselineQueryP50MS, rep.BaselineQueryP99MS)
+	fmt.Printf("%-6s %11s %8s %10s %10s | %9s %9s %9s %9s | %8s %9s %9s\n",
+		"batch", "docs/s", "commits", "cmt-p50", "cmt-p99",
+		"lag-p50", "lag-p90", "lag-p99", "lag-max", "queries", "q-p50", "q-p99")
+	for _, v := range rep.Variants {
+		fmt.Printf("%-6d %11.1f %8d %10.2f %10.2f | %9.2f %9.2f %9.2f %9.2f | %8d %9.2f %9.2f\n",
+			v.BatchDocs, v.IngestDocsPerSec, v.Commits, v.CommitP50MS, v.CommitP99MS,
+			v.FreshnessLag.P50MS, v.FreshnessLag.P90MS, v.FreshnessLag.P99MS, v.FreshnessLag.MaxMS,
+			v.Queries, v.QueryP50MS, v.QueryP99MS)
+	}
 	if outPath != "" {
 		f, err := os.Create(outPath)
 		if err != nil {

@@ -1,9 +1,11 @@
-// Command trexgen generates a synthetic XML collection (IEEE-journal or
-// Wikipedia style) into a directory, for use with trexload.
+// Command trexgen generates a synthetic collection (IEEE-journal or
+// Wikipedia style XML, or API-log style JSON) into a directory, for use
+// with trexload.
 //
 // Usage:
 //
 //	trexgen -style ieee -docs 400 -seed 1 -out ./corpus-ieee
+//	trexgen -style json -docs 400 -seed 1 -out ./corpus-events
 package main
 
 import (
@@ -18,7 +20,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("trexgen: ")
-	style := flag.String("style", "ieee", "collection style: ieee or wiki")
+	style := flag.String("style", "ieee", "collection style: ieee, wiki, or json")
 	docs := flag.Int("docs", 200, "number of documents to generate")
 	seed := flag.Int64("seed", 1, "generation seed (same seed = same corpus)")
 	out := flag.String("out", "", "output directory (required)")
@@ -33,8 +35,10 @@ func main() {
 		col = corpus.GenerateIEEE(*docs, *seed)
 	case "wiki":
 		col = corpus.GenerateWiki(*docs, *seed)
+	case "json":
+		col = corpus.GenerateJSON(*docs, *seed)
 	default:
-		log.Fatalf("unknown style %q (want ieee or wiki)", *style)
+		log.Fatalf("unknown style %q (want ieee, wiki, or json)", *style)
 	}
 	if err := corpus.WriteDir(col, *out); err != nil {
 		log.Fatal(err)

@@ -14,6 +14,7 @@ import (
 
 	"trex"
 	"trex/internal/index"
+	"trex/internal/jsoncorpus"
 	"trex/internal/nexi"
 )
 
@@ -55,6 +56,7 @@ func main() {
 	showStats := flag.Bool("stats", false, "print retrieval statistics")
 	explain := flag.Bool("explain", false, "print the evaluation plan instead of running the query")
 	topicsPath := flag.String("topics", "", "run every castitle from an INEX-style topics file instead of a single query")
+	lang := flag.String("lang", "nexi", "query language: nexi, or jsonpath (JSON corpora; translated onto NEXI)")
 	flag.Parse()
 	if *dbPath == "" || (*topicsPath == "" && flag.NArg() != 1) {
 		flag.Usage()
@@ -72,6 +74,17 @@ func main() {
 		return
 	}
 	query := flag.Arg(0)
+	switch *lang {
+	case "", "nexi":
+	case "jsonpath":
+		query, err = jsoncorpus.JSONPathToNEXI(query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("jsonpath -> %s\n", query)
+	default:
+		log.Fatalf("unknown query language %q (want nexi or jsonpath)", *lang)
+	}
 
 	if *materialize {
 		if _, err := eng.Materialize(query, index.KindRPL, index.KindERPL); err != nil {

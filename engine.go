@@ -116,6 +116,14 @@ type Engine struct {
 	store *index.Store
 	sum   *summary.Summary
 	docs  *corpus.DocStore
+	// format is the document universe of the stored collection (XML or
+	// JSON), persisted in the index meta. Set once at build/Open, then
+	// read-only.
+	format corpus.Format
+	// ingestStagedDocs/Bytes aggregate what live Ingestors hold staged
+	// but not yet committed; exported as gauges by telemetry.
+	ingestStagedDocs  atomic.Int64
+	ingestStagedBytes atomic.Int64
 	// inflight tracks racing retrieval goroutines (MethodRace) so Close
 	// does not pull the storage out from under a losing racer.
 	inflight sync.WaitGroup
@@ -367,10 +375,13 @@ func build(db *storage.DB, col *corpus.Collection, opts *Options) (*Engine, erro
 			return nil, err
 		}
 	}
+	if err := store.PutCorpusFormat(col.Format); err != nil {
+		return nil, err
+	}
 	if _, err := index.BuildBase(store, col, sum); err != nil {
 		return nil, err
 	}
-	eng := &Engine{db: db, store: store, sum: sum}
+	eng := &Engine{db: db, store: store, sum: sum, format: col.Format}
 	eng.initTelemetry(opts.Telemetry)
 	eng.initPlanner(opts.Planner)
 	if err := eng.initFrontDoor(opts.FrontDoor); err != nil {
@@ -406,7 +417,12 @@ func Open(path string, opts *Options) (*Engine, error) {
 		db.Close()
 		return nil, err
 	}
-	eng := &Engine{db: db, store: store}
+	format, err := store.CorpusFormat()
+	if err != nil {
+		db.Close()
+		return nil, err
+	}
+	eng := &Engine{db: db, store: store, format: format}
 	eng.initTelemetry(opts.Telemetry)
 	eng.initPlanner(opts.Planner)
 	if err := eng.initFrontDoor(opts.FrontDoor); err != nil {
@@ -455,6 +471,9 @@ func (e *Engine) Close() error {
 
 // Summary exposes the collection's structural summary.
 func (e *Engine) Summary() *summary.Summary { return e.sum }
+
+// Format reports which document universe the collection lives in.
+func (e *Engine) Format() corpus.Format { return e.format }
 
 // Store exposes the underlying index tables (read-mostly use).
 func (e *Engine) Store() *index.Store { return e.store }

@@ -1,0 +1,135 @@
+package trex
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"trex/internal/corpus"
+	"trex/internal/index"
+)
+
+// Ingestor streams documents into the engine while queries run. Add
+// stages each document immediately — parsed and tokenized in the
+// engine's corpus format, outside every engine lock, so malformed input
+// is rejected up front and the expensive work never blocks queries —
+// and Commit makes everything staged so far visible in one maintenance
+// operation with a single storage flush. Until Commit, staged documents
+// are invisible to queries and held only in memory: Abort (or dropping
+// the Ingestor) rolls them back by construction.
+//
+// Document ids are assigned at Commit time, continuing the engine's
+// dense sequence, so multiple Ingestors (or interleaved AddDocuments
+// calls) compose; an Ingestor itself is not safe for concurrent use.
+//
+// The engine exports trex_ingest_staged_docs / trex_ingest_staged_bytes
+// gauges aggregating all live Ingestors, and Commit feeds the
+// freshness-lag histogram with the staged→committed age of every
+// document in the batch.
+type Ingestor struct {
+	e *Engine
+
+	mu       sync.Mutex
+	pending  *index.StagedBatch
+	stagedAt []time.Time
+	closed   bool
+}
+
+// NewIngestor starts a streaming ingest session.
+func (e *Engine) NewIngestor() *Ingestor {
+	return &Ingestor{e: e}
+}
+
+// Add stages one document (bytes in the engine's corpus format). The
+// document becomes visible at the next Commit.
+func (ing *Ingestor) Add(data []byte) error {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	if ing.closed {
+		return fmt.Errorf("trex: ingestor is closed")
+	}
+	// Copy: callers commonly reuse their read buffer between Adds.
+	doc := corpus.Document{Data: append([]byte(nil), data...)}
+	b, err := index.StageDocuments(ing.e.format, []corpus.Document{doc})
+	if err != nil {
+		return err
+	}
+	if ing.pending == nil {
+		ing.pending = b
+	} else if err := ing.pending.Append(b); err != nil {
+		return err
+	}
+	ing.stagedAt = append(ing.stagedAt, time.Now())
+	ing.e.ingestStagedDocs.Add(1)
+	ing.e.ingestStagedBytes.Add(b.Bytes)
+	return nil
+}
+
+// StagedDocs reports how many documents are staged and uncommitted.
+func (ing *Ingestor) StagedDocs() int {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	if ing.pending == nil {
+		return 0
+	}
+	return len(ing.pending.Docs)
+}
+
+// StagedBytes reports the raw size of the staged, uncommitted documents.
+func (ing *Ingestor) StagedBytes() int64 {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	if ing.pending == nil {
+		return 0
+	}
+	return ing.pending.Bytes
+}
+
+// Commit makes every staged document visible: ids are assigned under
+// the maintenance lock, the batch is applied, materialized lists are
+// dropped (stored scores went stale), and the change is flushed
+// atomically. On error the documents remain staged — a later Commit
+// retries them — except for apply-phase errors, which are reported with
+// the failing phase (see Engine.AddDocuments for the semantics).
+func (ing *Ingestor) Commit() (*AddStats, error) {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	if ing.closed {
+		return nil, fmt.Errorf("trex: ingestor is closed")
+	}
+	if ing.pending == nil || len(ing.pending.Docs) == 0 {
+		return &AddStats{}, nil
+	}
+	e := ing.e
+	e.maintMu.Lock()
+	defer e.maintMu.Unlock()
+	next, err := e.store.LocalDocCount()
+	if err != nil {
+		return nil, err
+	}
+	ing.pending.Renumber(next)
+	st, err := e.commitStaged(ing.pending, ing.stagedAt)
+	if err != nil {
+		return nil, err
+	}
+	ing.drainLocked()
+	return st, nil
+}
+
+// Abort discards everything staged and closes the Ingestor.
+func (ing *Ingestor) Abort() {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	ing.drainLocked()
+	ing.closed = true
+}
+
+// drainLocked zeroes the staged state and the engine-level gauges.
+func (ing *Ingestor) drainLocked() {
+	if ing.pending != nil {
+		ing.e.ingestStagedDocs.Add(-int64(len(ing.pending.Docs)))
+		ing.e.ingestStagedBytes.Add(-ing.pending.Bytes)
+	}
+	ing.pending = nil
+	ing.stagedAt = nil
+}

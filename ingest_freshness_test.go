@@ -1,0 +1,74 @@
+package trex
+
+import (
+	"reflect"
+	"testing"
+
+	"trex/internal/corpus"
+)
+
+// TestIngestInvalidatesResultCache: a streaming-ingest commit bumps the
+// write epoch, so the front door can never serve a pre-ingest cached
+// ranking afterwards — the post-commit answers must match a fresh
+// uncached evaluation over the grown collection.
+func TestIngestInvalidatesResultCache(t *testing.T) {
+	full := corpus.GenerateIEEE(40, 42)
+	eng, err := CreateMemory(&corpus.Collection{Docs: full.Docs[:25]}, &Options{
+		FrontDoor: &FrontDoorOptions{CacheEntries: 64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	opts := QueryOptions{K: 0, Method: MethodERA}
+	pre, err := eng.QueryOpts(fdQuery, opts) // fill
+	if err != nil {
+		t.Fatal(err)
+	}
+	epochBefore := eng.WriteEpoch()
+
+	ing := eng.NewIngestor()
+	defer ing.Abort()
+	for _, d := range full.Docs[25:] {
+		if err := ing.Add(d.Data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Staged-but-uncommitted documents are invisible: the cache may still
+	// serve the pre-ingest entry, and that is correct.
+	mid, err := eng.QueryOpts(fdQuery, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mid.Cached || !reflect.DeepEqual(mid.Answers, pre.Answers) {
+		t.Fatal("staged (uncommitted) documents changed a served ranking")
+	}
+	if eng.WriteEpoch() != epochBefore {
+		t.Fatal("staging advanced the write epoch before commit")
+	}
+
+	if _, err := ing.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if eng.WriteEpoch() == epochBefore {
+		t.Fatal("ingest commit did not advance the write epoch")
+	}
+	post, err := eng.QueryOpts(fdQuery, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if post.Cached {
+		t.Fatal("stale cache entry served after ingest commit")
+	}
+	ref, err := eng.QueryOpts(fdQuery, QueryOptions{K: 0, Method: MethodERA, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(post.Answers, ref.Answers) {
+		t.Fatal("post-ingest ranking differs from an uncached evaluation")
+	}
+	if inv := eng.ResultCache().Invalidations(); inv == 0 {
+		t.Fatal("cache counted no epoch invalidations")
+	}
+}

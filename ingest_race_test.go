@@ -1,0 +1,174 @@
+package trex_test
+
+// Streaming-ingest race: an Ingestor commits batches while reader
+// goroutines query MethodAuto and the autopilot re-plans the
+// materialized set, all concurrently (run under -race via make test-ingest).
+// Commits are atomic, so every live result must be byte-identical to the
+// MethodERA answers of a quiesced twin engine built at one of the batch
+// boundaries — nothing in between, nothing torn, and after the writer
+// finishes the engine must sit exactly at the final boundary.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"trex"
+	"trex/internal/oracle/gen"
+)
+
+func TestIngestRacesQueriesAndAutopilot(t *testing.T) {
+	const (
+		seed     = int64(11)
+		initial  = 12
+		batches  = 3
+		perBatch = 4
+		queryK   = 5
+	)
+	queries := []string{
+		`//r[about(., ax)]`,
+		`//s[about(., bx cx)]`,
+		`//t[about(., dx)]`,
+		`//u[about(., ax ex)]`,
+	}
+
+	// Quiesced twin: one engine walked through the same batch commits
+	// sequentially, its exhaustive answers captured at every boundary.
+	// want[q][p] is the only legal answer set for query q at boundary p
+	// (p batches committed). The twin must take the incremental path too:
+	// scores depend on merged collection statistics, and incremental
+	// merging is not bit-identical to a from-scratch build.
+	want := make(map[string][]string)
+	render := func(res *trex.Result) string {
+		return fmt.Sprintf("%+v", res.Answers)
+	}
+	ids := make([]int, initial)
+	for i := range ids {
+		ids[i] = i
+	}
+	twin, err := trex.CreateMemory(gen.JSONCollection(seed, ids), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := func(p int) {
+		for _, q := range queries {
+			res, err := twin.Query(q, queryK, trex.MethodERA)
+			if err != nil {
+				t.Fatalf("twin boundary %d %q: %v", p, q, err)
+			}
+			want[q] = append(want[q], render(res))
+		}
+	}
+	snapshot(0)
+	for b := 0; b < batches; b++ {
+		ing := twin.NewIngestor()
+		for i := 0; i < perBatch; i++ {
+			if err := ing.Add(gen.JSONDoc(seed, initial+b*perBatch+i).Data); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := ing.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		snapshot(b + 1)
+	}
+	twin.Close()
+
+	// The live engine: initial prefix plus a fast autopilot, streamed into
+	// by an Ingestor on its own goroutine.
+	eng, err := trex.CreateMemory(gen.JSONCollection(seed, ids), &trex.Options{
+		Autopilot: &trex.AutopilotOptions{
+			Interval:     2 * time.Millisecond,
+			DriftQueries: 1,
+			Decay:        1,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	var wg sync.WaitGroup
+	writerErr := make(chan error, 1)
+	done := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		ing := eng.NewIngestor()
+		defer ing.Abort()
+		for b := 0; b < batches; b++ {
+			for i := 0; i < perBatch; i++ {
+				d := gen.JSONDoc(seed, initial+b*perBatch+i)
+				if err := ing.Add(d.Data); err != nil {
+					writerErr <- fmt.Errorf("batch %d add: %w", b, err)
+					return
+				}
+				time.Sleep(time.Millisecond) // let queries interleave
+			}
+			if _, err := ing.Commit(); err != nil {
+				writerErr <- fmt.Errorf("batch %d commit: %w", b, err)
+				return
+			}
+		}
+	}()
+
+	// Readers: hammer MethodAuto until the writer finishes, checking every
+	// result against the boundary set.
+	readErr := make(chan error, 4)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for round := 0; ; round++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				q := queries[(r+round)%len(queries)]
+				res, err := eng.Query(q, queryK, trex.MethodAuto)
+				if err != nil {
+					readErr <- fmt.Errorf("reader %d round %d %q: %w", r, round, q, err)
+					return
+				}
+				got := render(res)
+				ok := false
+				for _, w := range want[q] {
+					if got == w {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					readErr <- fmt.Errorf("reader %d round %d %q (method %v): answers match no batch boundary:\n%s",
+						r, round, q, res.Method, got)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	select {
+	case err := <-writerErr:
+		t.Fatal(err)
+	case err := <-readErr:
+		t.Fatal(err)
+	default:
+	}
+
+	// Quiesced: the engine must now sit exactly at the final boundary.
+	for _, q := range queries {
+		res, err := eng.Query(q, queryK, trex.MethodAuto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, w := render(res), want[q][batches]; got != w {
+			t.Fatalf("final state %q: answers diverge from the quiesced twin:\n got %s\nwant %s", q, got, w)
+		}
+	}
+	if st := eng.AutopilotStatus(); st.Failures != 0 {
+		t.Fatalf("autopilot failed %d times during ingest: %s", st.Failures, st.LastError)
+	}
+}

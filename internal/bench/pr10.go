@@ -1,0 +1,267 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"trex"
+	"trex/internal/corpus"
+	"trex/internal/jsoncorpus"
+)
+
+// PR10 measures the streaming-ingest path on a JSON corpus: the engine
+// starts from half the collection and a writer streams the rest through
+// an Ingestor at several commit batch sizes while closed-loop readers
+// replay JSONPath queries (translated onto NEXI) the whole time. The
+// report captures the tension the staged-commit design manages: ingest
+// throughput and commit latency per batch size, the freshness-lag
+// distribution (staged→committed age of each document, the same
+// quantity the trex_ingest_freshness_lag_seconds histogram observes),
+// and query latency during streaming against a quiet-engine baseline.
+// `make bench-pr10` serializes the report to BENCH_PR10.json.
+
+// PR10Queries is the replayed workload: JSONPath over the API-log
+// corpus shape, exercising the translation front end end-to-end.
+var PR10Queries = []string{
+	`$..message[?(about(@, timeout connection))]`,
+	`$.response[?(about(@.detail, payment declined))]`,
+	`$.annotations[*].note[?(about(@, deploy canary))]`,
+	`$..message[?(about(@, quota exceeded))]`,
+}
+
+// PR10Lag summarizes a freshness-lag distribution in milliseconds.
+type PR10Lag struct {
+	P50MS float64 `json:"p50Ms"`
+	P90MS float64 `json:"p90Ms"`
+	P99MS float64 `json:"p99Ms"`
+	MaxMS float64 `json:"maxMs"`
+}
+
+// PR10Variant is one streaming run at a fixed commit batch size.
+type PR10Variant struct {
+	BatchDocs int `json:"batchDocs"`
+	// Ingest side.
+	IngestedDocs     int     `json:"ingestedDocs"`
+	IngestDocsPerSec float64 `json:"ingestDocsPerSec"`
+	Commits          int     `json:"commits"`
+	CommitP50MS      float64 `json:"commitP50Ms"`
+	CommitP99MS      float64 `json:"commitP99Ms"`
+	// FreshnessLag is the staged→committed age distribution across every
+	// streamed document.
+	FreshnessLag PR10Lag `json:"freshnessLag"`
+	// Query side, measured only while the writer was active.
+	Queries    int     `json:"queries"`
+	QueryP50MS float64 `json:"queryP50Ms"`
+	QueryP99MS float64 `json:"queryP99Ms"`
+}
+
+// PR10Report is the streaming-ingest interference study.
+type PR10Report struct {
+	Corpus struct {
+		Style string `json:"style"`
+		Docs  int    `json:"docs"`
+		Seed  int64  `json:"seed"`
+	} `json:"corpus"`
+	InitialDocs int `json:"initialDocs"`
+	StreamDocs  int `json:"streamDocs"`
+	// JSONPath queries and their NEXI translations.
+	Queries    []string `json:"queries"`
+	Translated []string `json:"translated"`
+	Readers    int      `json:"readers"`
+	NumCPU     int      `json:"numCpu"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	// Quiet baseline: the same closed-loop replay against the initial
+	// prefix with no writer running.
+	BaselineQueryP50MS float64       `json:"baselineQueryP50Ms"`
+	BaselineQueryP99MS float64       `json:"baselineQueryP99Ms"`
+	Variants           []PR10Variant `json:"variants"`
+}
+
+const (
+	pr10Readers      = 2
+	pr10BaselineReps = 400
+)
+
+// pr10BatchSizes is the commit batch sweep: per-document commits,
+// medium batches, and one large batch per stream.
+var pr10BatchSizes = []int{1, 16, 64}
+
+// PR10 builds the JSON corpus and runs the streaming sweep.
+func PR10(scale float64) (*PR10Report, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	docs := int(float64(DefaultIEEEDocs) * scale)
+	col := corpus.GenerateJSON(docs, DefaultSeed)
+	initial := docs / 2
+
+	rep := &PR10Report{InitialDocs: initial, StreamDocs: docs - initial,
+		Readers: pr10Readers, NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	rep.Corpus.Style = "json"
+	rep.Corpus.Docs = docs
+	rep.Corpus.Seed = DefaultSeed
+	rep.Queries = PR10Queries
+	var nexis []string
+	for _, q := range PR10Queries {
+		n, err := jsoncorpus.JSONPathToNEXI(q)
+		if err != nil {
+			return nil, fmt.Errorf("bench: pr10 translate %q: %w", q, err)
+		}
+		nexis = append(nexis, n)
+	}
+	rep.Translated = nexis
+
+	prefix := func() *corpus.Collection {
+		return &corpus.Collection{Docs: col.Docs[:initial], Format: corpus.FormatJSON}
+	}
+
+	// Quiet baseline over the initial prefix.
+	eng, err := trex.CreateMemory(prefix(), nil)
+	if err != nil {
+		return nil, fmt.Errorf("bench: pr10 baseline engine: %w", err)
+	}
+	var quiet []time.Duration
+	for i := 0; i < pr10BaselineReps; i++ {
+		q := nexis[i%len(nexis)]
+		t0 := time.Now()
+		if _, err := eng.Query(q, 5, trex.MethodAuto); err != nil {
+			eng.Close()
+			return nil, fmt.Errorf("bench: pr10 baseline %q: %w", q, err)
+		}
+		quiet = append(quiet, time.Since(t0))
+	}
+	eng.Close()
+	sort.Slice(quiet, func(i, j int) bool { return quiet[i] < quiet[j] })
+	rep.BaselineQueryP50MS = pr7PercentileMS(quiet, 0.50)
+	rep.BaselineQueryP99MS = pr7PercentileMS(quiet, 0.99)
+
+	for _, batch := range pr10BatchSizes {
+		v, err := pr10RunVariant(prefix(), col.Docs[initial:], nexis, batch)
+		if err != nil {
+			return nil, err
+		}
+		rep.Variants = append(rep.Variants, v)
+	}
+	return rep, nil
+}
+
+// pr10RunVariant streams the tail of the collection into a fresh engine
+// at one batch size with closed-loop readers racing the writer.
+func pr10RunVariant(initial *corpus.Collection, stream []corpus.Document, nexis []string, batch int) (PR10Variant, error) {
+	v := PR10Variant{BatchDocs: batch}
+	eng, err := trex.CreateMemory(initial, nil)
+	if err != nil {
+		return v, fmt.Errorf("bench: pr10 batch %d engine: %w", batch, err)
+	}
+	defer eng.Close()
+
+	done := make(chan struct{})
+	var mu sync.Mutex
+	var queryLats []time.Duration
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	for r := 0; r < pr10Readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := r; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				q := nexis[i%len(nexis)]
+				t0 := time.Now()
+				if _, err := eng.Query(q, 5, trex.MethodAuto); err != nil {
+					fail(fmt.Errorf("bench: pr10 batch %d query %q: %w", batch, q, err))
+					return
+				}
+				d := time.Since(t0)
+				mu.Lock()
+				queryLats = append(queryLats, d)
+				mu.Unlock()
+			}
+		}(r)
+	}
+
+	// The writer: stage every document, commit every `batch` documents,
+	// recording commit latency and per-document staged→committed lag.
+	var commitLats, lags []time.Duration
+	ing := eng.NewIngestor()
+	start := time.Now()
+	var stagedAt []time.Time
+	commit := func() error {
+		if len(stagedAt) == 0 {
+			return nil
+		}
+		t0 := time.Now()
+		if _, err := ing.Commit(); err != nil {
+			return fmt.Errorf("bench: pr10 batch %d commit: %w", batch, err)
+		}
+		end := time.Now()
+		commitLats = append(commitLats, end.Sub(t0))
+		for _, ts := range stagedAt {
+			lags = append(lags, end.Sub(ts))
+		}
+		stagedAt = stagedAt[:0]
+		return nil
+	}
+	for _, d := range stream {
+		if err := ing.Add(d.Data); err != nil {
+			close(done)
+			wg.Wait()
+			return v, fmt.Errorf("bench: pr10 batch %d add: %w", batch, err)
+		}
+		stagedAt = append(stagedAt, time.Now())
+		if len(stagedAt) >= batch {
+			if err := commit(); err != nil {
+				close(done)
+				wg.Wait()
+				return v, err
+			}
+		}
+	}
+	if err := commit(); err != nil {
+		close(done)
+		wg.Wait()
+		return v, err
+	}
+	elapsed := time.Since(start)
+	close(done)
+	wg.Wait()
+	if firstErr != nil {
+		return v, firstErr
+	}
+
+	v.IngestedDocs = len(stream)
+	v.IngestDocsPerSec = float64(len(stream)) / elapsed.Seconds()
+	v.Commits = len(commitLats)
+	sort.Slice(commitLats, func(i, j int) bool { return commitLats[i] < commitLats[j] })
+	v.CommitP50MS = pr7PercentileMS(commitLats, 0.50)
+	v.CommitP99MS = pr7PercentileMS(commitLats, 0.99)
+	sort.Slice(lags, func(i, j int) bool { return lags[i] < lags[j] })
+	v.FreshnessLag = PR10Lag{
+		P50MS: pr7PercentileMS(lags, 0.50),
+		P90MS: pr7PercentileMS(lags, 0.90),
+		P99MS: pr7PercentileMS(lags, 0.99),
+	}
+	if n := len(lags); n > 0 {
+		v.FreshnessLag.MaxMS = float64(lags[n-1]) / float64(time.Millisecond)
+	}
+	sort.Slice(queryLats, func(i, j int) bool { return queryLats[i] < queryLats[j] })
+	v.Queries = len(queryLats)
+	v.QueryP50MS = pr7PercentileMS(queryLats, 0.50)
+	v.QueryP99MS = pr7PercentileMS(queryLats, 0.99)
+	return v, nil
+}

@@ -1,0 +1,97 @@
+package cluster_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"trex"
+	"trex/internal/cluster"
+	"trex/internal/corpus"
+)
+
+// TestClusterStreamingIngestConvergesEpochs streams several small write
+// batches through the cluster's fan-out while scatter-gather queries run
+// concurrently. After every batch the touched shards' replicas must sit
+// at their shard's exact op-log epoch (no replica left behind, none
+// ahead), and at the end all replicas of each shard must answer
+// byte-identically — streaming ingest must never leave the replica set
+// divergent.
+func TestClusterStreamingIngestConvergesEpochs(t *testing.T) {
+	col := skewedCollection(24, 4)
+	c := mustCluster(t, col, cluster.Options{Shards: 2, Replicas: 3})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	queryErr := make(chan error, 2)
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := c.Query(hotQuery, 5, trex.MethodERA); err != nil {
+					queryErr <- err
+					return
+				}
+			}
+		}()
+	}
+
+	const batches, perBatch = 4, 3
+	next := 24
+	for b := 0; b < batches; b++ {
+		batch := make([]corpus.Document, perBatch)
+		for i := range batch {
+			batch[i] = synthDoc(next, 2+(next%5))
+			next++
+		}
+		if err := c.AddDocuments(batch); err != nil {
+			t.Fatalf("batch %d: %v", b, err)
+		}
+		for s := 0; s < c.Shards(); s++ {
+			top := c.ShardEpoch(s)
+			for r := 0; r < c.Replicas(); r++ {
+				if got := c.ReplicaEpoch(s, r); got != top {
+					t.Fatalf("batch %d: shard %d replica %d at epoch %d, want %d", b, s, r, got, top)
+				}
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-queryErr:
+		t.Fatalf("concurrent query failed during streaming ingest: %v", err)
+	default:
+	}
+
+	// Replica agreement after the stream: the sequenced-deterministic-op
+	// property must hold across every batch boundary, not just one write.
+	for s := 0; s < c.Shards(); s++ {
+		var base *trex.Result
+		for r := 0; r < c.Replicas(); r++ {
+			res, err := c.Engine(s, r).Query(hotQuery, 0, trex.MethodERA)
+			if err != nil {
+				t.Fatalf("shard %d replica %d: %v", s, r, err)
+			}
+			if base == nil {
+				base = res
+			} else {
+				sameAnswers(t, res.Answers, base.Answers, fmt.Sprintf("shard %d replica %d", s, r))
+			}
+		}
+	}
+	// The stream landed: a full scatter-gather sees the grown corpus.
+	res, err := c.Query(hotQuery, 0, trex.MethodERA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalAnswers == 0 {
+		t.Fatal("no answers after streaming ingest")
+	}
+}

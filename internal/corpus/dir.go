@@ -16,6 +16,7 @@ const manifestName = "collection.json"
 // from the XML files alone.
 type manifest struct {
 	Style   string            `json:"style"`
+	Format  string            `json:"format,omitempty"`
 	Aliases map[string]string `json:"aliases"`
 	Docs    []manifestDoc     `json:"docs"`
 }
@@ -32,10 +33,17 @@ func WriteDir(col *Collection, dir string) error {
 		return err
 	}
 	m := manifest{Style: col.Style.String(), Aliases: col.Aliases}
+	if col.Format != FormatXML {
+		m.Format = col.Format.String()
+	}
+	ext := ".xml"
+	if col.Format == FormatJSON {
+		ext = ".json"
+	}
 	for _, d := range col.Docs {
 		name := d.Name
 		if name == "" {
-			name = fmt.Sprintf("doc-%06d.xml", d.ID)
+			name = fmt.Sprintf("doc-%06d%s", d.ID, ext)
 		}
 		if err := os.WriteFile(filepath.Join(dir, name), d.Data, 0o644); err != nil {
 			return err
@@ -63,6 +71,11 @@ func LoadDir(dir string) (*Collection, error) {
 		if m.Style == StyleWiki.String() {
 			col.Style = StyleWiki
 		}
+		f, err := ParseFormat(m.Format)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: manifest in %s: %w", dir, err)
+		}
+		col.Format = f
 		col.Aliases = m.Aliases
 		for _, md := range m.Docs {
 			b, err := os.ReadFile(filepath.Join(dir, md.Name))
@@ -80,14 +93,30 @@ func LoadDir(dir string) (*Collection, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Without a manifest the extension decides the universe; a directory
+	// mixing .xml and .json documents is ambiguous and rejected.
 	var names []string
+	jsonCount := 0
 	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".xml") {
+		if e.IsDir() {
+			continue
+		}
+		switch {
+		case strings.HasSuffix(e.Name(), ".xml"):
 			names = append(names, e.Name())
+		case strings.HasSuffix(e.Name(), ".json"):
+			names = append(names, e.Name())
+			jsonCount++
 		}
 	}
 	if len(names) == 0 {
-		return nil, fmt.Errorf("corpus: no manifest and no .xml files in %s", dir)
+		return nil, fmt.Errorf("corpus: no manifest and no .xml or .json files in %s", dir)
+	}
+	if jsonCount > 0 && jsonCount < len(names) {
+		return nil, fmt.Errorf("corpus: %s mixes .xml and .json documents; write a manifest", dir)
+	}
+	if jsonCount > 0 {
+		col.Format = FormatJSON
 	}
 	sort.Strings(names)
 	for i, name := range names {

@@ -1,0 +1,110 @@
+package corpus
+
+import (
+	"fmt"
+
+	"trex/internal/jsoncorpus"
+	"trex/internal/xmlscan"
+)
+
+// Format identifies which document universe a collection lives in. The
+// index machinery is structural and format-blind — everything downstream
+// of ParseDoc/DocTerms sees one element tree universe — so the format is
+// a property of the corpus (and is persisted in the index meta so an
+// opened index knows how to interpret stored document bytes).
+type Format int
+
+const (
+	// FormatXML documents are XML bytes parsed by xmlscan.
+	FormatXML Format = iota
+	// FormatJSON documents are JSON bytes mapped into the element
+	// universe by jsoncorpus (objects → elements, keys → tags, arrays →
+	// repeated siblings). Offsets refer to the canonical XML rendering.
+	FormatJSON
+)
+
+func (f Format) String() string {
+	switch f {
+	case FormatXML:
+		return "xml"
+	case FormatJSON:
+		return "json"
+	default:
+		return fmt.Sprintf("Format(%d)", int(f))
+	}
+}
+
+// ParseFormat inverts Format.String.
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "", "xml":
+		return FormatXML, nil
+	case "json":
+		return FormatJSON, nil
+	default:
+		return 0, fmt.Errorf("corpus: unknown format %q (want xml or json)", s)
+	}
+}
+
+// ParseDoc builds the element tree of one document in either universe.
+func ParseDoc(f Format, data []byte) (*xmlscan.Node, error) {
+	switch f {
+	case FormatJSON:
+		d, err := jsoncorpus.Map(data)
+		if err != nil {
+			return nil, err
+		}
+		return d.Root, nil
+	default:
+		return xmlscan.Parse(data)
+	}
+}
+
+// DocTerms extracts the term occurrences of one document in either
+// universe; offsets are into the document's canonical rendering (the
+// bytes themselves for XML).
+func DocTerms(f Format, data []byte) ([]xmlscan.Term, error) {
+	switch f {
+	case FormatJSON:
+		d, err := jsoncorpus.Map(data)
+		if err != nil {
+			return nil, err
+		}
+		return d.Terms, nil
+	default:
+		return xmlscan.DocTerms(data)
+	}
+}
+
+// ParseAndTerms computes tree and terms in one pass — for JSON the two
+// share a single Map call, for XML it is two scans of the same bytes.
+func ParseAndTerms(f Format, data []byte) (*xmlscan.Node, []xmlscan.Term, error) {
+	switch f {
+	case FormatJSON:
+		d, err := jsoncorpus.Map(data)
+		if err != nil {
+			return nil, nil, err
+		}
+		return d.Root, d.Terms, nil
+	default:
+		root, err := xmlscan.Parse(data)
+		if err != nil {
+			return nil, nil, err
+		}
+		terms, err := xmlscan.DocTerms(data)
+		if err != nil {
+			return nil, nil, err
+		}
+		return root, terms, nil
+	}
+}
+
+// RenderXML returns the canonical rendering all element offsets refer
+// to: the document bytes themselves for XML, the jsoncorpus rendering
+// for JSON. Snippet extraction slices this.
+func RenderXML(f Format, data []byte) ([]byte, error) {
+	if f == FormatJSON {
+		return jsoncorpus.ToXML(data)
+	}
+	return data, nil
+}

@@ -40,7 +40,10 @@ type Document struct {
 // Collection is a generated corpus plus the metadata retrieval needs.
 type Collection struct {
 	Style Style
-	Docs  []Document
+	// Format is the document universe every Data field lives in
+	// (FormatXML unless set).
+	Format Format
+	Docs   []Document
 	// Aliases maps synonym tags to their canonical alias (the INEX alias
 	// mapping of Section 2.1: ss1/ss2 -> sec and so on).
 	Aliases map[string]string

@@ -1,0 +1,100 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// JSONTopics plant query terms into API-log-style JSON corpora; the
+// shapes mirror the selectivity regimes of the XML topics (broad,
+// medium, narrow).
+var JSONTopics = []Topic{
+	{Name: "timeouts", Words: []string{"timeout", "connection", "refused"}, DocFraction: 0.30, Density: 0.30},
+	{Name: "payments", Words: []string{"payment", "declined", "retry"}, DocFraction: 0.15, Density: 0.25},
+	{Name: "quota", Words: []string{"quota", "exceeded", "throttle"}, DocFraction: 0.04, Density: 0.30},
+	{Name: "deploys", Words: []string{"deploy", "rollback", "canary"}, DocFraction: 0.35, Density: 0.25},
+}
+
+// GenerateJSON produces an API-log / document-store style JSON
+// collection: service event records with nested request/response
+// objects, tag arrays, and free-text messages carrying the topic
+// injections. Deterministic in (docs, seed), document-independent
+// streams like Generate.
+func GenerateJSON(docs int, seed int64) *Collection {
+	if docs <= 0 {
+		docs = 100
+	}
+	col := &Collection{Format: FormatJSON, Topics: JSONTopics, Relevance: make(map[string][]int)}
+	col.Docs = make([]Document, docs)
+	for i := 0; i < docs; i++ {
+		rng := rand.New(rand.NewSource(seed*1_000_003 + int64(i)))
+		vocab := newVocabulary(rng, 20000)
+		g := &docGen{rng: rng, vocab: vocab, topics: JSONTopics}
+		g.pickTopics()
+		col.Docs[i] = Document{ID: i, Name: fmt.Sprintf("event-%06d.json", i), Data: g.jsonDoc(i)}
+		for _, t := range g.about {
+			col.Relevance[t.Name] = append(col.Relevance[t.Name], i)
+		}
+	}
+	return col
+}
+
+// jsonDoc emits one event record. Field text reuses the XML generator's
+// vocabulary and topic-injection machinery, so queries over message
+// fields hit the same selectivity regimes as the XML benchmarks.
+func (g *docGen) jsonDoc(id int) []byte {
+	g.sb.Reset()
+	g.sb.WriteString("{")
+	g.field("event", g.jstr("service "+g.vocab.sentence(1)+" event"))
+	g.sb.WriteString(",")
+	g.field("id", fmt.Sprintf("%d", id))
+	g.sb.WriteString(",")
+	g.field("request", g.jsonRequest())
+	g.sb.WriteString(",")
+	g.field("response", g.jsonResponse())
+	g.sb.WriteString(",")
+	g.field("message", g.jstr(g.text(15, 40)))
+	g.sb.WriteString(",")
+	nTags := 1 + g.rng.Intn(4)
+	tags := make([]string, nTags)
+	for i := range tags {
+		tags[i] = g.jstr(g.vocab.sample())
+	}
+	g.field("tags", "["+strings.Join(tags, ",")+"]")
+	if g.rng.Float64() < 0.5 {
+		g.sb.WriteString(",")
+		nNotes := 1 + g.rng.Intn(3)
+		notes := make([]string, nNotes)
+		for i := range notes {
+			notes[i] = `{"note":` + g.jstr(g.text(5, 15)) + `}`
+		}
+		g.field("annotations", "["+strings.Join(notes, ",")+"]")
+	}
+	g.sb.WriteString("}")
+	return []byte(g.sb.String())
+}
+
+func (g *docGen) jsonRequest() string {
+	return `{"method":` + g.jstr(g.vocab.sample()) +
+		`,"path":` + g.jstr(g.vocab.sentence(2)) +
+		`,"params":{"query":` + g.jstr(g.text(5, 12)) + `}}`
+}
+
+func (g *docGen) jsonResponse() string {
+	body := `{"status":` + fmt.Sprintf("%d", 200+g.rng.Intn(300)) +
+		`,"detail":` + g.jstr(g.text(8, 20))
+	if g.rng.Float64() < 0.3 {
+		body += `,"errors":null`
+	}
+	return body + "}"
+}
+
+// field writes a "key":value pair; value must already be JSON.
+func (g *docGen) field(key, value string) {
+	g.sb.WriteString(`"` + key + `":` + value)
+}
+
+// jstr quotes generator text as a JSON string; generator vocabulary is
+// ASCII alphanumeric plus spaces, so plain quoting suffices.
+func (g *docGen) jstr(s string) string { return `"` + s + `"` }

@@ -2,13 +2,15 @@ package index
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"trex/internal/corpus"
 	"trex/internal/summary"
 	"trex/internal/xmlscan"
 )
 
-// AppendStats summarizes an AppendDocuments run.
+// AppendStats summarizes an ApplyStaged/AppendDocuments run.
 type AppendStats struct {
 	Docs     int
 	Elements int
@@ -16,17 +18,98 @@ type AppendStats struct {
 	NewSIDs  int
 }
 
-// AppendDocuments adds documents to an already-built base index. Document
+// StagedBatch is the result of StageDocuments: documents parsed and
+// tokenized but not yet visible anywhere. Staging is pure — it touches
+// no store, no summary, no lock — so an engine can stage a streaming
+// batch while queries run and only serialize the (cheap) apply step.
+// A batch that fails to stage leaves no trace by construction: rollback
+// is "drop the StagedBatch on the floor".
+type StagedBatch struct {
+	// Format is the universe the documents were parsed in.
+	Format corpus.Format
+	// Docs are the raw documents (stored verbatim by the engine).
+	Docs []corpus.Document
+	// Bytes is the total size of the staged document data — the
+	// staged-bytes telemetry gauge sums this across pending batches.
+	Bytes int64
+
+	roots []*xmlscan.Node
+	terms [][]xmlscan.Term
+}
+
+// Append folds another staged batch onto b (streaming ingest
+// accumulates per-document stagings into one commit batch).
+func (b *StagedBatch) Append(o *StagedBatch) error {
+	if o.Format != b.Format {
+		return fmt.Errorf("index: cannot mix %v and %v staged documents", b.Format, o.Format)
+	}
+	b.Docs = append(b.Docs, o.Docs...)
+	b.roots = append(b.roots, o.roots...)
+	b.terms = append(b.terms, o.terms...)
+	b.Bytes += o.Bytes
+	return nil
+}
+
+// Renumber assigns the dense document ids first, first+1, ... to the
+// batch. Streaming ingest stages documents before their final ids are
+// known (another committer may land first); ids are fixed at commit
+// time, under the maintenance lock.
+func (b *StagedBatch) Renumber(first int) {
+	for i := range b.Docs {
+		b.Docs[i].ID = first + i
+	}
+}
+
+// StageDocuments parses and tokenizes a batch in either universe,
+// in parallel, without touching the store. All malformed-input errors
+// surface here, before anything is written.
+func StageDocuments(f corpus.Format, docs []corpus.Document) (*StagedBatch, error) {
+	b := &StagedBatch{
+		Format: f,
+		Docs:   docs,
+		roots:  make([]*xmlscan.Node, len(docs)),
+		terms:  make([][]xmlscan.Term, len(docs)),
+	}
+	errs := make([]error, len(docs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := range docs {
+		b.Bytes += int64(len(docs[i].Data))
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer func() { <-sem; wg.Done() }()
+			root, terms, err := corpus.ParseAndTerms(f, docs[i].Data)
+			if err != nil {
+				errs[i] = fmt.Errorf("index: parse doc %d: %w", docs[i].ID, err)
+				return
+			}
+			b.roots[i] = root
+			b.terms[i] = terms
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// ApplyStaged makes a staged batch visible: summary extension, sid
+// assignment, Elements rows, posting fragments, statistics. Document
 // ids must continue the existing dense sequence (the collection is
-// append-only; ids order all positions, so new fragments sort after every
-// existing fragment of their token).
+// append-only; ids order all positions, so new fragments sort after
+// every existing fragment of their token).
 //
 // The summary is extended in place with any new label paths; the caller
-// owns persisting it (Engine.AddDocuments does). Materialized RPL/ERPL
-// lists are NOT updated here — their scores also go stale because the
+// owns persisting it (Engine ingest does). Materialized RPL/ERPL lists
+// are NOT updated here — their scores also go stale because the
 // collection statistics change — so callers must drop them (see
 // DropAllLists) or rebuild them afterwards.
-func AppendDocuments(s *Store, docs []corpus.Document, sum *summary.Summary) (*AppendStats, error) {
+func ApplyStaged(s *Store, b *StagedBatch, sum *summary.Summary) (*AppendStats, error) {
+	docs := b.Docs
 	if len(docs) == 0 {
 		return &AppendStats{}, nil
 	}
@@ -57,11 +140,8 @@ func AppendDocuments(s *Store, docs []corpus.Document, sum *summary.Summary) (*A
 		return nil, err
 	}
 
-	for _, d := range docs {
-		root, err := xmlscan.Parse(d.Data)
-		if err != nil {
-			return nil, fmt.Errorf("index: parse doc %d: %w", d.ID, err)
-		}
+	for i, d := range docs {
+		root := b.roots[i]
 		sum.ExtendWith(root)
 		if !sum.SafeForRetrieval() {
 			return nil, fmt.Errorf("index: doc %d makes the summary unsafe for retrieval", d.ID)
@@ -86,12 +166,8 @@ func AppendDocuments(s *Store, docs []corpus.Document, sum *summary.Summary) (*A
 			}
 			stats.Elements++
 		}
-		terms, err := xmlscan.DocTerms(d.Data)
-		if err != nil {
-			return nil, fmt.Errorf("index: tokenize doc %d: %w", d.ID, err)
-		}
 		seenInDoc := make(map[string]bool)
-		for _, t := range terms {
+		for _, t := range b.terms[i] {
 			if stop[t.Text] {
 				continue
 			}
@@ -168,9 +244,20 @@ func AppendDocuments(s *Store, docs []corpus.Document, sum *summary.Summary) (*A
 	return stats, nil
 }
 
+// AppendDocuments stages and applies in one call, in the XML universe —
+// the historical API. Engines with a JSON corpus go through
+// StageDocuments/ApplyStaged with their own format.
+func AppendDocuments(s *Store, docs []corpus.Document, sum *summary.Summary) (*AppendStats, error) {
+	b, err := StageDocuments(corpus.FormatXML, docs)
+	if err != nil {
+		return nil, err
+	}
+	return ApplyStaged(s, b, sum)
+}
+
 // DropAllLists removes every materialized RPL/ERPL list and its catalog
 // entry, returning the number of list entries deleted. Used after
-// AppendDocuments, when all stored scores are stale.
+// ApplyStaged, when all stored scores are stale.
 func DropAllLists(s *Store) (int, error) {
 	entries, err := s.CatalogEntries()
 	if err != nil {

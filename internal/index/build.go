@@ -61,11 +61,12 @@ func BuildBase(s *Store, col *corpus.Collection, sum *summary.Summary) (*BuildSt
 			defer func() { <-sem; wg.Done() }()
 			d := &col.Docs[i]
 			r := &results[i]
-			root, err := xmlscan.Parse(d.Data)
+			root, terms, err := corpus.ParseAndTerms(col.Format, d.Data)
 			if err != nil {
 				r.err = fmt.Errorf("index: parse doc %d: %w", d.ID, err)
 				return
 			}
+			r.terms = terms
 			err = sum.AssignDoc(root, func(n *xmlscan.Node, sid int) {
 				r.elems = append(r.elems, elemRow{
 					sid:    uint32(sid),
@@ -77,11 +78,6 @@ func BuildBase(s *Store, col *corpus.Collection, sum *summary.Summary) (*BuildSt
 			})
 			if err != nil {
 				r.err = fmt.Errorf("index: doc %d: %w", d.ID, err)
-				return
-			}
-			r.terms, err = xmlscan.DocTerms(d.Data)
-			if err != nil {
-				r.err = fmt.Errorf("index: tokenize doc %d: %w", d.ID, err)
 			}
 		}(i)
 	}

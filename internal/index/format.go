@@ -1,0 +1,33 @@
+package index
+
+import (
+	"trex/internal/corpus"
+	"trex/internal/storage"
+)
+
+// The corpus format is persisted in the index meta so an opened index
+// knows which universe its stored document bytes live in (snippet
+// extraction renders JSON documents to the canonical XML all offsets
+// refer to). Absence of the marker means XML — every pre-JSON index.
+var metaCorpusFormatKey = []byte("corpus-format")
+
+// PutCorpusFormat persists the corpus-format marker.
+func (s *Store) PutCorpusFormat(f corpus.Format) error {
+	if f == corpus.FormatXML {
+		return nil // absence is the XML marker; keeps old images byte-stable
+	}
+	return s.Meta.Put(metaCorpusFormatKey, []byte(f.String()))
+}
+
+// CorpusFormat returns the persisted corpus format (FormatXML when the
+// marker is absent).
+func (s *Store) CorpusFormat() (corpus.Format, error) {
+	v, err := s.Meta.Get(metaCorpusFormatKey)
+	if err == storage.ErrNotFound {
+		return corpus.FormatXML, nil
+	}
+	if err != nil {
+		return corpus.FormatXML, err
+	}
+	return corpus.ParseFormat(string(v))
+}

@@ -1,0 +1,256 @@
+package jsoncorpus
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"trex/internal/xmlscan"
+)
+
+// FromXML inverts ToXML: it parses a canonical XML rendering back into
+// canonical JSON bytes. Input that is not a canonical rendering (stray
+// attributes, mixed content, malformed type markers) is an error, never
+// a silent guess — the fuzz harness leans on that strictness.
+func FromXML(data []byte) ([]byte, error) {
+	root, err := parseDOM(data)
+	if err != nil {
+		return nil, err
+	}
+	if root.tag != RootTag {
+		return nil, fmt.Errorf("jsoncorpus: root element is %q, want %q", root.tag, RootTag)
+	}
+	if root.arrayItem {
+		return nil, fmt.Errorf("jsoncorpus: root element carries an array-item marker")
+	}
+	v, err := invertValue(root)
+	if err != nil {
+		return nil, err
+	}
+	return appendCanonical(nil, v), nil
+}
+
+// domNode is the light DOM FromXML inverts over.
+type domNode struct {
+	tag       string
+	typ       string // the t attribute ("" = string)
+	arrayItem bool   // the a="1" marker
+	text      strings.Builder
+	children  []*domNode
+}
+
+// parseDOM builds the DOM with attributes captured, validating the
+// attribute vocabulary as it goes.
+func parseDOM(data []byte) (*domNode, error) {
+	s := xmlscan.NewScanner(data)
+	s.CaptureAttrs = true
+	var root, cur *domNode
+	stack := []*domNode{}
+	for s.Next() {
+		ev := s.Event()
+		switch ev.Kind {
+		case xmlscan.KindStart:
+			n := &domNode{tag: ev.Name}
+			for _, a := range ev.Attrs {
+				switch a.Name {
+				case "t":
+					n.typ = a.Value
+				case "a":
+					if a.Value != "1" {
+						return nil, fmt.Errorf("jsoncorpus: bad array marker a=%q", a.Value)
+					}
+					n.arrayItem = true
+				default:
+					return nil, fmt.Errorf("jsoncorpus: unknown attribute %q on <%s>", a.Name, ev.Name)
+				}
+			}
+			if cur == nil {
+				if root != nil {
+					return nil, fmt.Errorf("jsoncorpus: multiple root elements")
+				}
+				root = n
+			} else {
+				cur.children = append(cur.children, n)
+			}
+			stack = append(stack, n)
+			cur = n
+		case xmlscan.KindEnd:
+			stack = stack[:len(stack)-1]
+			if len(stack) > 0 {
+				cur = stack[len(stack)-1]
+			} else {
+				cur = nil
+			}
+		case xmlscan.KindText:
+			if cur == nil {
+				if len(strings.TrimSpace(string(ev.Text))) == 0 {
+					continue
+				}
+				return nil, fmt.Errorf("jsoncorpus: text outside the root element")
+			}
+			cur.text.Write(ev.Text)
+		}
+	}
+	if err := s.Err(); err != nil {
+		return nil, err
+	}
+	if root == nil {
+		return nil, fmt.Errorf("jsoncorpus: empty document")
+	}
+	return root, nil
+}
+
+// invertValue maps one element back to a JSON value by its type marker.
+func invertValue(n *domNode) (any, error) {
+	if len(n.children) > 0 && strings.TrimSpace(n.text.String()) != "" {
+		return nil, fmt.Errorf("jsoncorpus: <%s> mixes text and children", n.tag)
+	}
+	switch n.typ {
+	case "":
+		if len(n.children) > 0 {
+			return nil, fmt.Errorf("jsoncorpus: string element <%s> has children", n.tag)
+		}
+		return unescapeText(n.text.String())
+	case "n":
+		if len(n.children) > 0 {
+			return nil, fmt.Errorf("jsoncorpus: number element <%s> has children", n.tag)
+		}
+		return parseNumber(n.text.String())
+	case "b":
+		switch n.text.String() {
+		case "true":
+			return true, nil
+		case "false":
+			return false, nil
+		}
+		return nil, fmt.Errorf("jsoncorpus: bad boolean text %q", n.text.String())
+	case "z":
+		if len(n.children) > 0 || n.text.Len() > 0 {
+			return nil, fmt.Errorf("jsoncorpus: null element <%s> is not empty", n.tag)
+		}
+		return nil, nil
+	case "o":
+		return invertObject(n)
+	case "v":
+		out := make([]any, 0, len(n.children))
+		for _, c := range n.children {
+			if c.tag != ItemTag {
+				return nil, fmt.Errorf("jsoncorpus: array wrapper child <%s>, want <%s>", c.tag, ItemTag)
+			}
+			if c.arrayItem {
+				return nil, fmt.Errorf("jsoncorpus: nested array item carries a member marker")
+			}
+			v, err := invertValue(c)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	case "a":
+		// The empty-array placeholder is only legal as an object member;
+		// invertObject handles it before calling here.
+		return nil, fmt.Errorf("jsoncorpus: stray empty-array placeholder <%s>", n.tag)
+	default:
+		return nil, fmt.Errorf("jsoncorpus: unknown type marker t=%q on <%s>", n.typ, n.tag)
+	}
+}
+
+// invertObject rebuilds an object from its member elements: runs of
+// same-tag siblings marked a="1" fold back into arrays, t="a"
+// placeholders into empty arrays.
+func invertObject(n *domNode) (any, error) {
+	obj := make(map[string]any, len(n.children))
+	for i := 0; i < len(n.children); {
+		c := n.children[i]
+		key, err := DecodeKey(c.tag)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := obj[key]; dup {
+			return nil, fmt.Errorf("jsoncorpus: duplicate member %q", key)
+		}
+		switch {
+		case c.typ == "a":
+			if len(c.children) > 0 || c.text.Len() > 0 || c.arrayItem {
+				return nil, fmt.Errorf("jsoncorpus: malformed empty-array placeholder <%s>", c.tag)
+			}
+			obj[key] = []any{}
+			i++
+		case c.arrayItem:
+			var arr []any
+			for i < len(n.children) && n.children[i].tag == c.tag {
+				item := n.children[i]
+				if !item.arrayItem {
+					return nil, fmt.Errorf("jsoncorpus: member %q mixes array items and a plain value", key)
+				}
+				v, err := invertValue(item)
+				if err != nil {
+					return nil, err
+				}
+				arr = append(arr, v)
+				i++
+			}
+			obj[key] = arr
+		default:
+			v, err := invertValue(c)
+			if err != nil {
+				return nil, err
+			}
+			obj[key] = v
+			i++
+			if i < len(n.children) && n.children[i].tag == c.tag {
+				return nil, fmt.Errorf("jsoncorpus: member %q repeats without array markers", key)
+			}
+		}
+	}
+	return obj, nil
+}
+
+// parseNumber validates a JSON number literal, preserving it verbatim.
+func parseNumber(s string) (any, error) {
+	if !validNumber(s) {
+		return nil, fmt.Errorf("jsoncorpus: bad number literal %q", s)
+	}
+	return json.Number(s), nil
+}
+
+// validNumber checks the JSON number grammar (RFC 8259 §6).
+func validNumber(s string) bool {
+	i := 0
+	if i < len(s) && s[i] == '-' {
+		i++
+	}
+	switch {
+	case i < len(s) && s[i] == '0':
+		i++
+	case i < len(s) && s[i] >= '1' && s[i] <= '9':
+		for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+			i++
+		}
+	default:
+		return false
+	}
+	if i < len(s) && s[i] == '.' {
+		i++
+		if i >= len(s) || s[i] < '0' || s[i] > '9' {
+			return false
+		}
+		for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+			i++
+		}
+	}
+	if i < len(s) && (s[i] == 'e' || s[i] == 'E') {
+		i++
+		if i < len(s) && (s[i] == '+' || s[i] == '-') {
+			i++
+		}
+		if i >= len(s) || s[i] < '0' || s[i] > '9' {
+			return false
+		}
+		for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+			i++
+		}
+	}
+	return i == len(s)
+}

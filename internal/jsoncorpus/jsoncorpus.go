@@ -1,0 +1,394 @@
+// Package jsoncorpus opens the second document universe: JSON corpora
+// mapped onto the same (summary, keyword) index machinery the engine
+// runs over XML. The paper's summary/sid self-management is structural,
+// not XML-specific — a JSON document is just another labeled tree — so
+// this package defines one canonical, invertible mapping:
+//
+//   - objects become elements, keys become tags (escaped into the XML
+//     name alphabet, see EncodeKey),
+//   - arrays become repeated siblings carrying the member's tag,
+//   - scalars become text runs (numbers, bools and null carry a type
+//     attribute so the mapping inverts losslessly).
+//
+// Map builds the element tree and term list DIRECTLY from the JSON
+// bytes in one pass, computing byte offsets by laying out the canonical
+// XML rendering without going through the XML scanner. ToXML produces
+// that rendering as real bytes; FromXML inverts it. The cross-universe
+// differential oracle (internal/oracle) asserts that indexing a JSON
+// collection through Map and indexing its ToXML rendering through
+// xmlscan produce byte-identical rankings — two independent
+// implementations of the same layout spec checking each other.
+//
+// JSONPathToNEXI binds a JSONPath-flavored query syntax onto NEXI so
+// existing translation, planning and all four retrieval strategies run
+// unchanged over JSON collections.
+package jsoncorpus
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"trex/internal/xmlscan"
+)
+
+// Doc is the result of mapping one JSON document into the element
+// universe: the parsed tree, the term occurrences, and the canonical
+// XML rendering all offsets refer to.
+type Doc struct {
+	// Root is the element tree; offsets (Start/End) are byte positions
+	// within XML, exactly as xmlscan.Parse(XML) would assign them.
+	Root *xmlscan.Node
+	// Terms are the term occurrences with offsets into XML, exactly as
+	// xmlscan.DocTerms(XML) would produce them.
+	Terms []xmlscan.Term
+	// XML is the canonical rendering (deterministic bytes: object keys
+	// sorted, no inter-tag whitespace).
+	XML []byte
+}
+
+// RootTag is the synthetic element wrapping every mapped document.
+const RootTag = "doc"
+
+// ItemTag is the synthetic element wrapping items of nested arrays
+// (arrays that are themselves array items, where there is no member key
+// to repeat).
+const ItemTag = "el"
+
+// decode parses JSON bytes preserving number literals verbatim
+// (json.Number), rejecting trailing garbage.
+func decode(data []byte) (any, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	var v any
+	if err := dec.Decode(&v); err != nil {
+		return nil, fmt.Errorf("jsoncorpus: %w", err)
+	}
+	// A second Decode must hit EOF: "1 2" is not one document.
+	var trailing any
+	if err := dec.Decode(&trailing); err == nil {
+		return nil, fmt.Errorf("jsoncorpus: trailing data after JSON value")
+	}
+	return v, nil
+}
+
+// Map parses one JSON document and maps it into the element universe in
+// a single pass. See Doc for what the offsets mean.
+func Map(data []byte) (*Doc, error) {
+	v, err := decode(data)
+	if err != nil {
+		return nil, err
+	}
+	b := &builder{}
+	root := b.value(RootTag, false, v, nil)
+	return &Doc{Root: root, Terms: b.terms, XML: b.buf}, nil
+}
+
+// ToXML returns the canonical XML rendering of a JSON document.
+func ToXML(data []byte) ([]byte, error) {
+	d, err := Map(data)
+	if err != nil {
+		return nil, err
+	}
+	return d.XML, nil
+}
+
+// Canonical returns the canonical JSON form of a document: object keys
+// sorted, number literals preserved, strings minimally escaped. It is
+// the fixpoint FromXML(ToXML(x)) lands on.
+func Canonical(data []byte) ([]byte, error) {
+	v, err := decode(data)
+	if err != nil {
+		return nil, err
+	}
+	return appendCanonical(nil, v), nil
+}
+
+// builder lays out the canonical rendering, assigning element offsets
+// and tokenizing text runs as it writes them.
+type builder struct {
+	buf   []byte
+	terms []xmlscan.Term
+}
+
+// text appends an escaped text run and tokenizes the escaped bytes at
+// their rendered offsets (entity escapes tokenize exactly as the XML
+// scanner would see them, e.g. "&amp;" contributes the token "amp").
+func (b *builder) text(s string) {
+	start := len(b.buf)
+	b.buf = appendEscapedText(b.buf, s)
+	xmlscan.Tokenize(b.buf[start:], start, func(t xmlscan.Term) {
+		b.terms = append(b.terms, t)
+	})
+}
+
+// open writes a start tag; typ 0 means string (no type attribute).
+func (b *builder) open(tag string, arrayItem bool, typ byte) {
+	b.buf = append(b.buf, '<')
+	b.buf = append(b.buf, tag...)
+	if arrayItem {
+		b.buf = append(b.buf, ` a="1"`...)
+	}
+	if typ != 0 {
+		b.buf = append(b.buf, ` t="`...)
+		b.buf = append(b.buf, typ, '"')
+	}
+	b.buf = append(b.buf, '>')
+}
+
+func (b *builder) close(tag string) {
+	b.buf = append(b.buf, '<', '/')
+	b.buf = append(b.buf, tag...)
+	b.buf = append(b.buf, '>')
+}
+
+// value renders one JSON value as an element with the given tag,
+// returning the element node with its Start/End offsets.
+func (b *builder) value(tag string, arrayItem bool, v any, parent *xmlscan.Node) *xmlscan.Node {
+	n := &xmlscan.Node{Tag: tag, Start: len(b.buf), Parent: parent}
+	if parent != nil {
+		parent.Children = append(parent.Children, n)
+	}
+	switch x := v.(type) {
+	case nil:
+		b.open(tag, arrayItem, 'z')
+	case bool:
+		b.open(tag, arrayItem, 'b')
+		if x {
+			b.text("true")
+		} else {
+			b.text("false")
+		}
+	case json.Number:
+		b.open(tag, arrayItem, 'n')
+		b.text(x.String())
+	case string:
+		b.open(tag, arrayItem, 0)
+		b.text(x)
+	case map[string]any:
+		b.open(tag, arrayItem, 'o')
+		for _, k := range sortedKeys(x) {
+			b.member(EncodeKey(k), x[k], n)
+		}
+	case []any:
+		// Reached for nested arrays (an array item that is itself an
+		// array) and for a top-level array: items get the synthetic
+		// ItemTag, never exploded, so [[1,2]] and [[1],[2]] stay
+		// distinguishable.
+		b.open(tag, arrayItem, 'v')
+		for _, item := range x {
+			b.value(ItemTag, false, item, n)
+		}
+	default:
+		// decode() only produces the cases above.
+		panic(fmt.Sprintf("jsoncorpus: impossible decoded type %T", v))
+	}
+	b.close(tag)
+	n.End = len(b.buf)
+	return n
+}
+
+// member renders one object member. Arrays explode into repeated
+// siblings carrying the member's tag (marked a="1" so the mapping
+// inverts); an empty array leaves a t="a" placeholder.
+func (b *builder) member(tag string, v any, parent *xmlscan.Node) {
+	if arr, ok := v.([]any); ok {
+		if len(arr) == 0 {
+			n := &xmlscan.Node{Tag: tag, Start: len(b.buf), Parent: parent}
+			parent.Children = append(parent.Children, n)
+			b.open(tag, false, 'a')
+			b.close(tag)
+			n.End = len(b.buf)
+			return
+		}
+		for _, item := range arr {
+			b.value(tag, true, item, parent)
+		}
+		return
+	}
+	b.value(tag, false, v, parent)
+}
+
+func sortedKeys(m map[string]any) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// appendEscapedText escapes the three markup bytes; everything else
+// (including control bytes and non-UTF8) passes through as text.
+func appendEscapedText(buf []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '&':
+			buf = append(buf, "&amp;"...)
+		case '<':
+			buf = append(buf, "&lt;"...)
+		case '>':
+			buf = append(buf, "&gt;"...)
+		default:
+			buf = append(buf, s[i])
+		}
+	}
+	return buf
+}
+
+// unescapeText inverts appendEscapedText. Unknown entities are an
+// error: canonical renderings only ever contain the three above.
+func unescapeText(s string) (string, error) {
+	if !strings.ContainsRune(s, '&') {
+		return s, nil
+	}
+	var sb strings.Builder
+	for i := 0; i < len(s); {
+		if s[i] != '&' {
+			sb.WriteByte(s[i])
+			i++
+			continue
+		}
+		switch {
+		case strings.HasPrefix(s[i:], "&amp;"):
+			sb.WriteByte('&')
+			i += 5
+		case strings.HasPrefix(s[i:], "&lt;"):
+			sb.WriteByte('<')
+			i += 4
+		case strings.HasPrefix(s[i:], "&gt;"):
+			sb.WriteByte('>')
+			i += 4
+		default:
+			return "", fmt.Errorf("jsoncorpus: unknown entity at byte %d", i)
+		}
+	}
+	return sb.String(), nil
+}
+
+const hexDigits = "0123456789abcdef"
+
+// EncodeKey maps an arbitrary JSON object key into the XML/NEXI name
+// alphabet [A-Za-z0-9_]: letters and (non-leading) digits pass through,
+// every other byte becomes "_xx" (two lowercase hex digits). The empty
+// key encodes as "_". The encoding is injective, so distinct keys never
+// collide as tags, and DecodeKey inverts it exactly.
+func EncodeKey(key string) string {
+	if key == "" {
+		return "_"
+	}
+	var sb strings.Builder
+	for i := 0; i < len(key); i++ {
+		b := key[i]
+		switch {
+		case b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z':
+			sb.WriteByte(b)
+		case b >= '0' && b <= '9' && i > 0:
+			sb.WriteByte(b)
+		default:
+			sb.WriteByte('_')
+			sb.WriteByte(hexDigits[b>>4])
+			sb.WriteByte(hexDigits[b&0x0f])
+		}
+	}
+	return sb.String()
+}
+
+// DecodeKey inverts EncodeKey; it errors on byte sequences EncodeKey
+// cannot produce.
+func DecodeKey(tag string) (string, error) {
+	if tag == "_" {
+		return "", nil
+	}
+	var sb strings.Builder
+	for i := 0; i < len(tag); {
+		b := tag[i]
+		if b != '_' {
+			sb.WriteByte(b)
+			i++
+			continue
+		}
+		if i+2 >= len(tag) || !isHex(tag[i+1]) || !isHex(tag[i+2]) {
+			return "", fmt.Errorf("jsoncorpus: tag %q: truncated escape at byte %d", tag, i)
+		}
+		sb.WriteByte(unhex(tag[i+1])<<4 | unhex(tag[i+2]))
+		i += 3
+	}
+	return sb.String(), nil
+}
+
+func isHex(b byte) bool { return b >= '0' && b <= '9' || b >= 'a' && b <= 'f' }
+func unhex(b byte) byte {
+	if b <= '9' {
+		return b - '0'
+	}
+	return b - 'a' + 10
+}
+
+// appendCanonical renders a decoded JSON value in canonical form:
+// object keys sorted, number literals verbatim, strings escaped with
+// the fixed scheme below. Both Canonical and FromXML funnel through
+// this, so byte comparison between them is meaningful.
+func appendCanonical(buf []byte, v any) []byte {
+	switch x := v.(type) {
+	case nil:
+		return append(buf, "null"...)
+	case bool:
+		if x {
+			return append(buf, "true"...)
+		}
+		return append(buf, "false"...)
+	case json.Number:
+		return append(buf, x.String()...)
+	case string:
+		return appendJSONString(buf, x)
+	case map[string]any:
+		buf = append(buf, '{')
+		for i, k := range sortedKeys(x) {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = appendJSONString(buf, k)
+			buf = append(buf, ':')
+			buf = appendCanonical(buf, x[k])
+		}
+		return append(buf, '}')
+	case []any:
+		buf = append(buf, '[')
+		for i, item := range x {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = appendCanonical(buf, item)
+		}
+		return append(buf, ']')
+	default:
+		panic(fmt.Sprintf("jsoncorpus: impossible decoded type %T", v))
+	}
+}
+
+// appendJSONString writes a JSON string literal: the two mandatory
+// escapes plus control characters; no HTML escaping.
+func appendJSONString(buf []byte, s string) []byte {
+	buf = append(buf, '"')
+	for i := 0; i < len(s); i++ {
+		b := s[i]
+		switch {
+		case b == '"' || b == '\\':
+			buf = append(buf, '\\', b)
+		case b == '\n':
+			buf = append(buf, '\\', 'n')
+		case b == '\r':
+			buf = append(buf, '\\', 'r')
+		case b == '\t':
+			buf = append(buf, '\\', 't')
+		case b < 0x20:
+			buf = append(buf, '\\', 'u', '0', '0', hexDigits[b>>4], hexDigits[b&0x0f])
+		default:
+			buf = append(buf, b)
+		}
+	}
+	return append(buf, '"')
+}

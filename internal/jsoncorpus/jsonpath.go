@@ -1,0 +1,347 @@
+package jsoncorpus
+
+import (
+	"fmt"
+	"strings"
+
+	"trex/internal/nexi"
+)
+
+// JSONPathToNEXI binds a JSONPath-flavored query syntax onto NEXI so a
+// JSON collection is queried in its own idiom while translation,
+// planning and retrieval run unchanged. Supported grammar:
+//
+//	Query  = "$" { Step } .
+//	Step   = "." Name | "." "*" | ".." Name | "[" Sel "]" .
+//	Sel    = "*" | "'" Key "'" | "\"" Key "\"" | "?(" Filter ")" .
+//	Filter = Or .
+//	Or     = And { ("or" | "||") And } .
+//	And    = Prim { ("and" | "&&") Prim } .
+//	Prim   = About | "(" Or ")" .
+//	About  = "about" "(" "@" { RelStep } "," Terms ")" .
+//
+// Every step maps to a NEXI descendant step (//name) — the element
+// universe nests members as descendants, and arrays are repeated
+// siblings, so "[*]" after a member is a no-op and "[n]" positional
+// selection is rejected. Keys pass through EncodeKey, so
+// $.store["weird key"] addresses the same tag the mapper produced.
+// about() terms (words, "phrases", +/- markers) pass through verbatim.
+//
+// Example:
+//
+//	$..book[?(about(@.title, gold) and about(@, rare first edition))]
+//	  → //book[about(.//title, gold) and about(., rare first edition)]
+func JSONPathToNEXI(q string) (string, error) {
+	p := &jpParser{src: q}
+	out, err := p.query()
+	if err != nil {
+		return "", err
+	}
+	// A final NEXI parse guarantees the binding never emits a query the
+	// engine would choke on later.
+	if _, err := nexi.Parse(out); err != nil {
+		return "", fmt.Errorf("jsoncorpus: translated NEXI %q is invalid: %w", out, err)
+	}
+	return out, nil
+}
+
+type jpParser struct {
+	src string
+	pos int
+}
+
+func (p *jpParser) errf(format string, args ...any) error {
+	return fmt.Errorf("jsoncorpus: jsonpath at byte %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *jpParser) skipSpace() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *jpParser) eat(lit string) bool {
+	p.skipSpace()
+	if strings.HasPrefix(p.src[p.pos:], lit) {
+		p.pos += len(lit)
+		return true
+	}
+	return false
+}
+
+func isKeyByte(c byte) bool {
+	return c == '_' || c == '-' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+// name parses a dotted-step name (bare identifier).
+func (p *jpParser) name() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) && isKeyByte(p.src[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", p.errf("expected a name")
+	}
+	return p.src[start:p.pos], nil
+}
+
+// query parses the whole expression, emitting NEXI steps.
+func (p *jpParser) query() (string, error) {
+	if !p.eat("$") {
+		return "", p.errf("query must start with $")
+	}
+	var sb strings.Builder
+	steps := 0
+	hasPred := false
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			break
+		}
+		switch {
+		case p.eat(".."):
+			n, err := p.name()
+			if err != nil {
+				return "", err
+			}
+			sb.WriteString("//" + EncodeKey(n))
+			steps++
+			hasPred = false
+		case p.eat(".*"):
+			sb.WriteString("//*")
+			steps++
+			hasPred = false
+		case p.eat("."):
+			n, err := p.name()
+			if err != nil {
+				return "", err
+			}
+			sb.WriteString("//" + EncodeKey(n))
+			steps++
+			hasPred = false
+		case p.eat("["):
+			done, err := p.bracket(&sb, steps, &hasPred)
+			if err != nil {
+				return "", err
+			}
+			steps += done
+		default:
+			return "", p.errf("unexpected %q", p.src[p.pos:p.pos+1])
+		}
+	}
+	if steps == 0 {
+		return "", p.errf("query selects nothing ($ alone)")
+	}
+	return sb.String(), nil
+}
+
+// bracket handles one [...] selector; returns how many steps it added.
+func (p *jpParser) bracket(sb *strings.Builder, steps int, hasPred *bool) (int, error) {
+	p.skipSpace()
+	if p.eat("*") {
+		// Arrays are repeated siblings: [*] selects what the member step
+		// already selected.
+		if !p.eat("]") {
+			return 0, p.errf("expected ] after *")
+		}
+		return 0, nil
+	}
+	if p.pos < len(p.src) && (p.src[p.pos] == '\'' || p.src[p.pos] == '"') {
+		quote := p.src[p.pos]
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] != quote {
+			p.pos++
+		}
+		if p.pos >= len(p.src) {
+			return 0, p.errf("unterminated quoted key")
+		}
+		key := p.src[start:p.pos]
+		p.pos++
+		if !p.eat("]") {
+			return 0, p.errf("expected ] after quoted key")
+		}
+		sb.WriteString("//" + EncodeKey(key))
+		*hasPred = false
+		return 1, nil
+	}
+	if p.eat("?(") {
+		if steps == 0 {
+			return 0, p.errf("filter before any step")
+		}
+		if *hasPred {
+			return 0, p.errf("step already has a filter")
+		}
+		sb.WriteByte('[')
+		if err := p.filterOr(sb); err != nil {
+			return 0, err
+		}
+		if !p.eat(")") {
+			return 0, p.errf("expected ) closing the filter")
+		}
+		if !p.eat("]") {
+			return 0, p.errf("expected ] closing the selector")
+		}
+		sb.WriteByte(']')
+		*hasPred = true
+		return 0, nil
+	}
+	p.skipSpace()
+	if p.pos < len(p.src) && (p.src[p.pos] >= '0' && p.src[p.pos] <= '9' || p.src[p.pos] == '-') {
+		return 0, p.errf("positional array indexes are not supported (arrays map to repeated siblings; use [*] or a filter)")
+	}
+	return 0, p.errf("expected *, a quoted key, or ?(...)")
+}
+
+func (p *jpParser) filterOr(sb *strings.Builder) error {
+	if err := p.filterAnd(sb); err != nil {
+		return err
+	}
+	for {
+		if p.eat("||") || p.eatWord("or") {
+			sb.WriteString(" or ")
+			if err := p.filterAnd(sb); err != nil {
+				return err
+			}
+			continue
+		}
+		return nil
+	}
+}
+
+func (p *jpParser) filterAnd(sb *strings.Builder) error {
+	if err := p.filterPrim(sb); err != nil {
+		return err
+	}
+	for {
+		if p.eat("&&") || p.eatWord("and") {
+			sb.WriteString(" and ")
+			if err := p.filterPrim(sb); err != nil {
+				return err
+			}
+			continue
+		}
+		return nil
+	}
+}
+
+// eatWord consumes a keyword only when it is not a prefix of a longer
+// identifier ("or" must not eat into "order").
+func (p *jpParser) eatWord(w string) bool {
+	p.skipSpace()
+	if !strings.HasPrefix(p.src[p.pos:], w) {
+		return false
+	}
+	if end := p.pos + len(w); end < len(p.src) && isKeyByte(p.src[end]) {
+		return false
+	}
+	p.pos += len(w)
+	return true
+}
+
+func (p *jpParser) filterPrim(sb *strings.Builder) error {
+	if p.eat("(") {
+		sb.WriteByte('(')
+		if err := p.filterOr(sb); err != nil {
+			return err
+		}
+		if !p.eat(")") {
+			return p.errf("expected )")
+		}
+		sb.WriteByte(')')
+		return nil
+	}
+	return p.about(sb)
+}
+
+// about parses about(@path, terms) into NEXI about(.path, terms).
+func (p *jpParser) about(sb *strings.Builder) error {
+	if !p.eatWord("about") || !p.eat("(") {
+		return p.errf("expected about(")
+	}
+	if !p.eat("@") {
+		return p.errf("expected @ starting the about path")
+	}
+	sb.WriteString("about(.")
+	for {
+		if p.eat("..") || p.eat(".") {
+			n, err := p.name()
+			if err != nil {
+				return err
+			}
+			sb.WriteString("//" + EncodeKey(n))
+			continue
+		}
+		if p.eat("[") {
+			p.skipSpace()
+			if p.pos >= len(p.src) || p.src[p.pos] != '\'' && p.src[p.pos] != '"' {
+				return p.errf("expected a quoted key in the about path")
+			}
+			quote := p.src[p.pos]
+			p.pos++
+			start := p.pos
+			for p.pos < len(p.src) && p.src[p.pos] != quote {
+				p.pos++
+			}
+			if p.pos >= len(p.src) {
+				return p.errf("unterminated quoted key")
+			}
+			key := p.src[start:p.pos]
+			p.pos++
+			if !p.eat("]") {
+				return p.errf("expected ]")
+			}
+			sb.WriteString("//" + EncodeKey(key))
+			continue
+		}
+		break
+	}
+	if !p.eat(",") {
+		return p.errf("expected , between the about path and its terms")
+	}
+	// Terms pass through verbatim up to the about's closing paren;
+	// quoted phrases may contain parens.
+	p.skipSpace()
+	start := p.pos
+	depth := 0
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '"' {
+			p.pos++
+			for p.pos < len(p.src) && p.src[p.pos] != '"' {
+				p.pos++
+			}
+			if p.pos >= len(p.src) {
+				return p.errf("unterminated phrase")
+			}
+			p.pos++
+			continue
+		}
+		if c == '(' {
+			depth++
+		}
+		if c == ')' {
+			if depth == 0 {
+				break
+			}
+			depth--
+		}
+		p.pos++
+	}
+	if p.pos >= len(p.src) {
+		return p.errf("unterminated about(")
+	}
+	terms := strings.TrimSpace(p.src[start:p.pos])
+	if terms == "" {
+		return p.errf("about() has no terms")
+	}
+	p.pos++ // ')'
+	sb.WriteString(", " + terms + ")")
+	return nil
+}

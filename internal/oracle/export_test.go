@@ -8,3 +8,10 @@ import "trex/internal/retrieval"
 func CheckPerturbed(c Case, perturb func(store, strategy string, res []retrieval.Scored) []retrieval.Scored) (*Mismatch, error) {
 	return check(c, perturb)
 }
+
+// CheckUniversePerturbed is the same hook for the cross-universe
+// oracle; the store argument is a "universe/format" cell like
+// "json/v2".
+func CheckUniversePerturbed(c Case, perturb func(store, strategy string, res []retrieval.Scored) []retrieval.Scored) (*Mismatch, error) {
+	return checkUniverse(c, perturb)
+}

@@ -1,0 +1,104 @@
+package gen
+
+import (
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"trex/internal/corpus"
+	"trex/internal/jsoncorpus"
+)
+
+// JSONDoc generates JSON document id d from (seed, d) alone, over the
+// same closed alphabet as Doc: object keys come from Tags (keys map to
+// element tags in the canonical rendering) and string values from
+// Words, so a case's (sids, terms) clause is dense in either universe.
+// The value shapes deliberately cover the whole mapping: nested
+// objects, arrays (including empty and nested ones), numbers, booleans,
+// and nulls all appear. Per-document seeding keeps shrinking sound,
+// exactly as for Doc.
+func JSONDoc(seed int64, d int) corpus.Document {
+	rng := rand.New(rand.NewSource(seed ^ int64(d)*0x9E3779B9))
+	var sb strings.Builder
+	text := func() {
+		sb.WriteByte('"')
+		for i := 1 + rng.Intn(4); i > 0; i-- {
+			sb.WriteString(Words[rng.Intn(len(Words))])
+			if i > 1 {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('"')
+	}
+	var value func(depth int)
+	object := func(depth int) {
+		sb.WriteByte('{')
+		keys := rng.Perm(len(Tags))[:1+rng.Intn(3)]
+		for i, k := range keys {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(`"` + Tags[k] + `":`)
+			value(depth + 1)
+		}
+		sb.WriteByte('}')
+	}
+	value = func(depth int) {
+		n := rng.Intn(10)
+		if depth >= 3 && n < 4 {
+			n += 4 // leaves only below the depth cap
+		}
+		switch n {
+		case 0, 1:
+			object(depth)
+		case 2, 3:
+			sb.WriteByte('[')
+			for i := rng.Intn(4); i > 0; i-- {
+				value(depth + 1)
+				if i > 1 {
+					sb.WriteByte(',')
+				}
+			}
+			sb.WriteByte(']')
+		case 4, 5, 6:
+			text()
+		case 7:
+			sb.WriteString(strconv.Itoa(10 + rng.Intn(90)))
+		case 8:
+			sb.WriteString([]string{"true", "false"}[rng.Intn(2)])
+		default:
+			sb.WriteString("null")
+		}
+	}
+	object(0)
+	return corpus.Document{ID: d, Data: []byte(sb.String())}
+}
+
+// JSONCollection materializes a case's documents in the JSON universe,
+// renumbered dense from 0 like Collection.
+func JSONCollection(seed int64, docIDs []int) *corpus.Collection {
+	docs := make([]corpus.Document, len(docIDs))
+	for i, d := range docIDs {
+		doc := JSONDoc(seed, d)
+		doc.ID = i
+		docs[i] = doc
+	}
+	return &corpus.Collection{Docs: docs, Format: corpus.FormatJSON}
+}
+
+// XMLRendering maps a JSON collection to its canonical XML rendering:
+// the same documents, same ids, byte layout as defined by the
+// jsoncorpus mapping. Indexing either collection must produce
+// byte-identical rankings; the cross-universe oracle asserts exactly
+// that.
+func XMLRendering(col *corpus.Collection) (*corpus.Collection, error) {
+	docs := make([]corpus.Document, len(col.Docs))
+	for i, d := range col.Docs {
+		xml, err := jsoncorpus.ToXML(d.Data)
+		if err != nil {
+			return nil, err
+		}
+		docs[i] = corpus.Document{ID: d.ID, Data: xml}
+	}
+	return &corpus.Collection{Docs: docs, Format: corpus.FormatXML}, nil
+}

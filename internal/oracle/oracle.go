@@ -28,6 +28,7 @@ import (
 	"math/rand"
 	"strings"
 
+	"trex/internal/corpus"
 	"trex/internal/faultinject"
 	"trex/internal/index"
 	"trex/internal/planner"
@@ -77,6 +78,9 @@ type Mismatch struct {
 	// Cluster marks a distributed-oracle failure (CheckCluster); Repro
 	// then renders a CheckCluster regression instead of a Check one.
 	Cluster bool
+	// Universe marks a cross-universe failure (CheckUniverse): the JSON
+	// collection and its canonical XML rendering disagreed.
+	Universe bool
 }
 
 func (m *Mismatch) String() string {
@@ -102,6 +106,12 @@ func (m *Mismatch) Repro() string {
 		sb.WriteString("\tm, err := oracle.CheckCluster(c)\n")
 		sb.WriteString("\tif err != nil {\n\t\tt.Fatal(err)\n\t}\n")
 		sb.WriteString("\tif m != nil {\n\t\tt.Fatalf(\"cluster diverges from single engine: %s\", m)\n\t}\n}\n")
+		return sb.String()
+	}
+	if m.Universe {
+		sb.WriteString("\tm, err := oracle.CheckUniverse(c)\n")
+		sb.WriteString("\tif err != nil {\n\t\tt.Fatal(err)\n\t}\n")
+		sb.WriteString("\tif m != nil {\n\t\tt.Fatalf(\"JSON and XML universes diverge: %s\", m)\n\t}\n}\n")
 		return sb.String()
 	}
 	sb.WriteString("\tm, err := oracle.Check(c)\n")
@@ -289,7 +299,13 @@ func runAuto(st *index.Store, c Case, sc *score.Scorer, kk int) ([]retrieval.Sco
 // (v2 lists committed to and served from an in-memory segment
 // generation instead of the pager trees).
 func buildCaseStore(c Case, format string) (*index.Store, func(), error) {
-	col := GenCollection(c.Seed, c.DocIDs)
+	return buildStoreFrom(GenCollection(c.Seed, c.DocIDs), c, format)
+}
+
+// buildStoreFrom is buildCaseStore over an explicit collection; the
+// cross-universe oracle feeds it the same case with JSON and XML
+// renderings of one document set.
+func buildStoreFrom(col *corpus.Collection, c Case, format string) (*index.Store, func(), error) {
 	sum, err := summary.Build(col, summary.Options{Kind: summary.KindIncoming})
 	if err != nil {
 		return nil, nil, err

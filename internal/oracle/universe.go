@@ -1,0 +1,116 @@
+package oracle
+
+import (
+	"fmt"
+
+	"trex/internal/corpus"
+	"trex/internal/oracle/gen"
+	"trex/internal/retrieval"
+)
+
+// CheckUniverse runs one cross-universe differential case: the seeded
+// JSON collection JSONCollection(Seed, DocIDs) and its canonical XML
+// rendering are indexed independently — the JSON side through the
+// direct jsoncorpus mapping, the XML side through the scanner — and
+// ERA, TA, NRA, and Merge over v1, v2, and segment-backed stores in
+// BOTH universes must return rankings byte-identical to the exhaustive
+// baseline of the XML universe. Element identity is (doc, end byte
+// offset in the canonical rendering) and scores depend on element
+// lengths, so equality here proves the mapping preserves offsets,
+// lengths, and term positions exactly, not merely "the same answers".
+func CheckUniverse(c Case) (*Mismatch, error) {
+	return checkUniverse(c, nil)
+}
+
+func checkUniverse(c Case, perturb perturbFunc) (*Mismatch, error) {
+	if len(c.DocIDs) == 0 || len(c.SIDs) == 0 || len(c.Terms) == 0 {
+		return nil, fmt.Errorf("oracle: degenerate case %+v", c)
+	}
+	jcol := gen.JSONCollection(c.Seed, c.DocIDs)
+	xcol, err := gen.XMLRendering(jcol)
+	if err != nil {
+		return nil, fmt.Errorf("oracle: render case %+v: %w", c, err)
+	}
+
+	// Baseline: exhaustive retrieval over the XML universe's v1 store.
+	xv1, closeXV1, err := buildStoreFrom(xcol, c, "v1")
+	if err != nil {
+		return nil, err
+	}
+	defer closeXV1()
+	sc, err := xv1.NewScorer(c.Terms)
+	if err != nil {
+		return nil, err
+	}
+	base, _, err := retrieval.ExhaustiveTopK(xv1, c.SIDs, c.Terms, sc, c.K)
+	if err != nil {
+		return nil, err
+	}
+
+	kk := c.K
+	if kk <= 0 {
+		kk = 1 << 20
+	}
+	universes := []struct {
+		name string
+		col  *corpus.Collection
+	}{{"json", jcol}, {"xml", xcol}}
+	for _, u := range universes {
+		for _, format := range []string{"v1", "v2", "segment"} {
+			m, err := checkUniverseStore(c, u.name, format, u.col, base, kk, perturb)
+			if m != nil || err != nil {
+				return m, err
+			}
+		}
+	}
+	return nil, nil
+}
+
+// checkUniverseStore builds one (universe, store format) cell and runs
+// all four strategies against the shared baseline.
+func checkUniverseStore(c Case, universe, format string, col *corpus.Collection, base []retrieval.Scored, kk int, perturb perturbFunc) (*Mismatch, error) {
+	st, closeSt, err := buildStoreFrom(col, c, format)
+	if err != nil {
+		return nil, err
+	}
+	defer closeSt()
+	sc, err := st.NewScorer(c.Terms)
+	if err != nil {
+		return nil, err
+	}
+	cell := universe + "/" + format
+	runs := []struct {
+		name string
+		run  func() ([]retrieval.Scored, error)
+	}{
+		{"ERA", func() ([]retrieval.Scored, error) {
+			r, _, err := retrieval.ExhaustiveTopK(st, c.SIDs, c.Terms, sc, c.K)
+			return r, err
+		}},
+		{"TA", func() ([]retrieval.Scored, error) {
+			r, _, err := retrieval.TA(st, c.SIDs, c.Terms, sc, kk)
+			return r, err
+		}},
+		{"NRA", func() ([]retrieval.Scored, error) {
+			r, _, err := retrieval.NRA(st, c.SIDs, c.Terms, kk)
+			return r, err
+		}},
+		{"Merge", func() ([]retrieval.Scored, error) {
+			r, _, err := retrieval.Merge(st, c.SIDs, c.Terms, kk)
+			return r, err
+		}},
+	}
+	for _, strat := range runs {
+		got, err := strat.run()
+		if err != nil {
+			return nil, fmt.Errorf("oracle: %s on %s: %w", strat.name, cell, err)
+		}
+		if perturb != nil {
+			got = perturb(cell, strat.name, got)
+		}
+		if d := diffRankings(base, got); d != "" {
+			return &Mismatch{Case: c, Store: cell, Strategy: strat.name, Detail: d, Universe: true}, nil
+		}
+	}
+	return nil, nil
+}

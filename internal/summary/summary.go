@@ -193,7 +193,7 @@ func Build(col *corpus.Collection, opts Options) (*Summary, error) {
 		return nil, fmt.Errorf("summary: A(k) requires K >= 1, got %d", opts.K)
 	}
 	for _, d := range col.Docs {
-		root, err := xmlscan.Parse(d.Data)
+		root, err := corpus.ParseDoc(col.Format, d.Data)
 		if err != nil {
 			return nil, fmt.Errorf("summary: doc %d: %w", d.ID, err)
 		}

@@ -1,0 +1,113 @@
+package webapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"trex"
+	"trex/internal/corpus"
+)
+
+// newJSONTestServer serves a JSON-corpus engine (writes per flag).
+func newJSONTestServer(t *testing.T, allowWrites bool) (*httptest.Server, *trex.Engine) {
+	t.Helper()
+	col := corpus.GenerateJSON(20, 77)
+	eng, err := trex.CreateMemory(col, &trex.Options{StoreDocuments: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	ts := httptest.NewServer(New(eng, allowWrites))
+	t.Cleanup(ts.Close)
+	return ts, eng
+}
+
+func docCount(t *testing.T, eng *trex.Engine) int {
+	t.Helper()
+	cs, err := eng.Store().CollectionStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cs.NumDocs
+}
+
+func postNDJSON(t *testing.T, ts *httptest.Server, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/ingest", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return resp, out
+}
+
+// TestIngestEndpoint streams NDJSON documents into a live server and
+// checks they become searchable in the same process.
+func TestIngestEndpoint(t *testing.T) {
+	ts, eng := newJSONTestServer(t, true)
+	pre := docCount(t, eng)
+
+	body := `{"message":"zq unique ingest probe term","tags":["a1"]}` + "\n\n" +
+		`{"message":"zq again","response":{"detail":"zq"}}` + "\n"
+	resp, out := postNDJSON(t, ts, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d (%v)", resp.StatusCode, out)
+	}
+	if got := out["docs"].(float64); got != 2 {
+		t.Fatalf("docs = %v, want 2 (blank lines skipped)", got)
+	}
+	if got := docCount(t, eng); got != pre+2 {
+		t.Fatalf("engine docs = %d, want %d", got, pre+2)
+	}
+
+	// The streamed content is queryable, through the JSONPath front end.
+	q := url.QueryEscape(`$..message[?(about(@, zq))]`)
+	sresp, err := http.Get(ts.URL + "/search?lang=jsonpath&k=5&q=" + q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var sr SearchResponse
+	if err := json.NewDecoder(sresp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if sresp.StatusCode != http.StatusOK || len(sr.Hits) != 2 {
+		t.Fatalf("search status=%d hits=%d, want 2 hits for the ingested term", sresp.StatusCode, len(sr.Hits))
+	}
+}
+
+// TestIngestRejectsMalformedLineAtomically: a bad document rejects the
+// whole batch with its line number, and nothing is committed.
+func TestIngestRejectsMalformedLineAtomically(t *testing.T) {
+	ts, eng := newJSONTestServer(t, true)
+	pre := docCount(t, eng)
+	body := `{"message":"fine"}` + "\n" + `{"message": trailing garbage` + "\n"
+	resp, out := postNDJSON(t, ts, body)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	if msg := fmt.Sprint(out["error"]); !strings.Contains(msg, "line 2") {
+		t.Fatalf("error does not name the failing line: %q", msg)
+	}
+	if got := docCount(t, eng); got != pre {
+		t.Fatalf("partial batch committed: %d docs, want %d", got, pre)
+	}
+}
+
+// TestIngestForbiddenOnReadOnly: without -writes the endpoint is 403.
+func TestIngestForbiddenOnReadOnly(t *testing.T) {
+	ts, _ := newJSONTestServer(t, false)
+	resp, _ := postNDJSON(t, ts, `{"a":"b"}`)
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("status = %d, want 403", resp.StatusCode)
+	}
+}

@@ -3,9 +3,10 @@
 //
 // Endpoints:
 //
-//	GET  /search?q=<nexi>&k=10&method=auto|era|ta|nra|merge|race&snippets=1&deadline=50ms
-//	GET  /explain?q=<nexi>
+//	GET  /search?q=<nexi>&k=10&method=auto|era|ta|nra|merge|race&snippets=1&deadline=50ms&lang=nexi|jsonpath
+//	GET  /explain?q=<nexi>&lang=nexi|jsonpath
 //	POST /materialize?q=<nexi>&kinds=rpl,erpl
+//	POST /ingest      (streaming ingest: one document per body line)
 //	GET  /stats
 //	GET  /autopilot   (online self-management status: last run, plan, budget)
 //	GET  /planner     (query planner status: decisions, shadow sampling, model)
@@ -17,6 +18,8 @@
 package webapi
 
 import (
+	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -29,6 +32,7 @@ import (
 	"trex"
 	"trex/internal/frontdoor"
 	"trex/internal/index"
+	"trex/internal/jsoncorpus"
 	"trex/internal/planner"
 	"trex/internal/telemetry"
 )
@@ -49,6 +53,7 @@ func New(eng *trex.Engine, allowWrites bool) *Server {
 	mux.HandleFunc("GET /search", s.handleSearch)
 	mux.HandleFunc("GET /explain", s.handleExplain)
 	mux.HandleFunc("POST /materialize", s.handleMaterialize)
+	mux.HandleFunc("POST /ingest", s.handleIngest)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /autopilot", s.handleAutopilot)
 	mux.HandleFunc("GET /planner", s.handlePlanner)
@@ -165,10 +170,28 @@ func parseMethod(s string) (trex.Method, error) {
 	}
 }
 
-func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+// queryParam extracts and translates the q parameter: lang=jsonpath
+// rebinds a JSONPath-flavored query onto NEXI (the natural idiom for a
+// JSON corpus); lang=nexi (or absent) passes q through.
+func queryParam(r *http.Request) (string, error) {
 	q := r.URL.Query().Get("q")
 	if q == "" {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing q parameter"))
+		return "", fmt.Errorf("missing q parameter")
+	}
+	switch lang := r.URL.Query().Get("lang"); lang {
+	case "", "nexi":
+		return q, nil
+	case "jsonpath":
+		return jsoncorpus.JSONPathToNEXI(q)
+	default:
+		return "", fmt.Errorf("unknown query language %q (want nexi or jsonpath)", lang)
+	}
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q, err := queryParam(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	k := trex.DefaultK
@@ -256,9 +279,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query().Get("q")
-	if q == "" {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing q parameter"))
+	q, err := queryParam(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	ex, err := s.eng.Explain(q)
@@ -328,6 +351,54 @@ func (s *Server) handleMaterialize(w http.ResponseWriter, r *http.Request) {
 		"erplBytes":   ms.ERPLBytes,
 	})
 }
+
+// handleIngest streams documents into the engine: the request body is
+// one document per line, in the engine's corpus format (JSON objects
+// for a JSON corpus, single-line XML for an XML corpus). All lines are
+// staged first — a malformed document rejects the whole request with
+// nothing written — then committed as one batch. Gated by AllowWrites
+// like every other mutation.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if !s.AllowWrites {
+		writeErr(w, http.StatusForbidden, fmt.Errorf("writes disabled on this server"))
+		return
+	}
+	ing := s.eng.NewIngestor()
+	defer ing.Abort()
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), maxIngestLine)
+	line := 0
+	for sc.Scan() {
+		line++
+		doc := bytes.TrimSpace(sc.Bytes())
+		if len(doc) == 0 {
+			continue
+		}
+		if err := ing.Add(doc); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("line %d: %w", line, err))
+			return
+		}
+	}
+	if err := sc.Err(); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+		return
+	}
+	st, err := ing.Commit()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"docs":               st.Docs,
+		"elements":           st.Elements,
+		"postings":           st.Postings,
+		"newSids":            st.NewSIDs,
+		"droppedListEntries": st.DroppedListEntries,
+	})
+}
+
+// maxIngestLine bounds one ingested document (16 MiB).
+const maxIngestLine = 16 << 20
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	cs, err := s.eng.Store().CollectionStats()

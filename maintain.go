@@ -2,6 +2,7 @@ package trex
 
 import (
 	"fmt"
+	"time"
 
 	"trex/internal/corpus"
 	"trex/internal/index"
@@ -25,34 +26,49 @@ type AddStats struct {
 // indexes incrementally: the structural summary grows for unseen paths,
 // element rows and posting fragments are inserted, and term/collection
 // statistics are merged. Document ids must continue the existing dense
-// sequence (the collection is append-only).
+// sequence (the collection is append-only). Documents are interpreted
+// in the engine's corpus format (XML or JSON).
 //
-// All materialized RPL/ERPL lists are dropped, since their stored scores
-// are computed from collection statistics that just changed; re-run
-// Materialize or SelfManage afterwards. AddDocuments is a maintenance
-// operation: it may run while queries are served (it holds the engine
-// write lock for its duration) but is exclusive with other maintenance
-// operations.
+// The batch is STAGED first — parsed and tokenized outside the engine
+// write lock, so queries keep serving through the expensive part — and
+// only then applied under the lock and committed with a single storage
+// flush. A batch that fails to stage (malformed input, out-of-sequence
+// ids) is rolled back for free: nothing was written. Errors after the
+// apply phase begins say which phase failed; queries stay correct
+// throughout because every strategy falls back to the base tables, and
+// the crash-recovery journal keeps the on-disk image at exactly the
+// pre-batch or post-batch state (see internal/faultinject).
 //
-// The phases run in sequence: append base rows and merge statistics,
-// persist the extended summary, drop all materialized lists, then store
-// raw documents (when StoreDocuments is on). There is no rollback;
-// errors say which phase failed. In particular, an error in or after the
-// drop-lists phase leaves the engine with statistics already merged and
-// materialized lists partially (or fully) dropped — queries stay correct
-// because every strategy falls back to the base tables, but redundant
-// lists must be rebuilt via Materialize or SelfManage.
+// All materialized RPL/ERPL lists are dropped, since their stored
+// scores are computed from collection statistics that just changed;
+// re-run Materialize or SelfManage afterwards. AddDocuments is a
+// maintenance operation: exclusive with other maintenance operations,
+// concurrent with queries except during apply steps.
 func (e *Engine) AddDocuments(docs []corpus.Document) (*AddStats, error) {
 	if len(docs) == 0 {
 		return &AddStats{}, nil
 	}
 	e.maintMu.Lock()
 	defer e.maintMu.Unlock()
+	// Stage outside the write lock: parse/tokenize is the expensive,
+	// failure-prone part and it touches no shared state.
+	batch, err := index.StageDocuments(e.format, docs)
+	if err != nil {
+		return nil, fmt.Errorf("trex: add documents (stage phase, nothing written): %w", err)
+	}
+	return e.commitStaged(batch, nil)
+}
+
+// commitStaged applies one staged batch and commits it. Caller holds
+// maintMu. stagedAt, when non-nil, carries the per-document staging
+// times for the freshness-lag histogram (nil for plain AddDocuments).
+func (e *Engine) commitStaged(batch *index.StagedBatch, stagedAt []time.Time) (*AddStats, error) {
+	t0 := time.Now()
 	e.beginWrite()
 	defer e.endWrite()
-	as, err := index.AppendDocuments(e.store, docs, e.sum)
+	as, err := index.ApplyStaged(e.store, batch, e.sum)
 	if err != nil {
-		return nil, fmt.Errorf("trex: add documents (append phase): %w", err)
+		return nil, fmt.Errorf("trex: add documents (apply phase): %w", err)
 	}
 	e.invalidateTranslations()
 	if err := e.saveSummary(); err != nil {
@@ -63,7 +79,7 @@ func (e *Engine) AddDocuments(docs []corpus.Document) (*AddStats, error) {
 		return nil, fmt.Errorf("trex: add documents (drop-lists phase, stats already merged, lists partially dropped): %w", err)
 	}
 	if e.docs != nil {
-		for _, d := range docs {
+		for _, d := range batch.Docs {
 			if err := e.docs.Put(d.ID, d.Data); err != nil {
 				return nil, fmt.Errorf("trex: add documents (store-documents phase, index already updated): %w", err)
 			}
@@ -74,6 +90,20 @@ func (e *Engine) AddDocuments(docs []corpus.Document) (*AddStats, error) {
 	}
 	if err := e.db.Flush(); err != nil {
 		return nil, fmt.Errorf("trex: add documents (commit phase, index updated in memory): %w", err)
+	}
+	if m := e.met; m != nil {
+		m.ingestBatches.Inc()
+		m.ingestDocs.Add(uint64(as.Docs))
+		m.ingestCommitDur.Observe(time.Since(t0).Seconds())
+		now := time.Now()
+		for _, ts := range stagedAt {
+			m.ingestFreshness.Observe(now.Sub(ts).Seconds())
+		}
+	}
+	// New documents shift term statistics and may open new sids: ask the
+	// autopilot to re-plan the materialized set against the new corpus.
+	if p := e.pilot.Load(); p != nil {
+		p.Kick()
 	}
 	return &AddStats{
 		Docs:               as.Docs,

@@ -3,6 +3,7 @@ package trex
 import (
 	"strings"
 
+	"trex/internal/corpus"
 	"trex/internal/xmlscan"
 )
 
@@ -18,6 +19,12 @@ func (e *Engine) Snippet(a Answer, terms []string, width int) (string, error) {
 		width = 160
 	}
 	data, err := e.document(int(a.Doc))
+	if err != nil {
+		return "", err
+	}
+	// Answer offsets refer to the canonical XML rendering; for a JSON
+	// corpus the stored bytes are JSON and must be rendered first.
+	data, err = corpus.RenderXML(e.format, data)
 	if err != nil {
 		return "", err
 	}

@@ -92,6 +92,15 @@ type engineMetrics struct {
 	autopilotDropped  *telemetry.Counter
 	autopilotKept     *telemetry.Gauge
 	autopilotDisk     *telemetry.Gauge
+
+	// Streaming ingest: batch/doc counters, commit latency, and the
+	// staged→committed freshness lag per document. The staged-docs and
+	// staged-bytes gauges are func metrics over the engine's aggregate
+	// atomics (see Engine.ingestStagedDocs).
+	ingestBatches   *telemetry.Counter
+	ingestDocs      *telemetry.Counter
+	ingestCommitDur *telemetry.Histogram
+	ingestFreshness *telemetry.Histogram
 }
 
 // initTelemetry builds the registry and wires the storage counters as
@@ -170,6 +179,21 @@ func (e *Engine) initTelemetry(opts *TelemetryOptions) {
 		"Materialized lists kept by the last autopilot run.", nil)
 	m.autopilotDisk = reg.Gauge("trex_autopilot_disk_used_bytes",
 		"Disk used by the materialized list set after the last autopilot run.", nil)
+
+	m.ingestBatches = reg.Counter("trex_ingest_batches_total",
+		"Committed streaming-ingest batches (including AddDocuments calls).", nil)
+	m.ingestDocs = reg.Counter("trex_ingest_docs_total",
+		"Documents committed through streaming ingest.", nil)
+	m.ingestCommitDur = reg.Histogram("trex_ingest_commit_seconds",
+		"Latency of the apply+flush phase of an ingest commit.", nil, nil)
+	m.ingestFreshness = reg.Histogram("trex_ingest_freshness_lag_seconds",
+		"Age of each document at commit: time from staging to queryable.", nil, nil)
+	reg.GaugeFunc("trex_ingest_staged_docs",
+		"Documents staged by live Ingestors, not yet committed.", nil,
+		func() float64 { return float64(e.ingestStagedDocs.Load()) })
+	reg.GaugeFunc("trex_ingest_staged_bytes",
+		"Raw bytes staged by live Ingestors, not yet committed.", nil,
+		func() float64 { return float64(e.ingestStagedBytes.Load()) })
 
 	e.met = m
 }
